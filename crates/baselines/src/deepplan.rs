@@ -1,0 +1,38 @@
+//! **DeepPlan+** — NVSHMEM+ with storage-driven parallel PCIe (paper §6).
+//!
+//! DeepPlan's direct-host-access trick loads data over *all* PCIe links of a
+//! node in parallel. Grafted onto the NVSHMEM+ store this accelerates
+//! gFn–host transfers, but:
+//!
+//! * route GPUs are chosen without topology awareness — same-switch GPUs
+//!   share one host uplink and NVLink-less peers double traffic on the
+//!   source's own PCIe segment (§3.2.2), which is why DeepPlan+ can lose to
+//!   NVSHMEM+ on asymmetric DGX-V100 boxes (Fig. 13b);
+//! * bandwidth is not partitioned, so co-located workflows interfere
+//!   (Fig. 5b: 3.65× gFn–host degradation);
+//! * gFn–gFn transfers and the placement-blind store are unchanged.
+
+use grouter_runtime::dataplane::DataPlane;
+use grouter_transfer::plan::PlanConfig;
+
+use crate::nvshmem::NvshmemPlane;
+
+/// Build the DeepPlan+ plane (an [`NvshmemPlane`] with parallel-PCIe
+/// gFn–host planning).
+pub fn deepplan_plane(seed: u64) -> Box<dyn DataPlane> {
+    Box::new(NvshmemPlane::new(seed).with_host_cfg(PlanConfig::deepplan(), "DeepPlan+"))
+}
+
+/// Type alias so callers can name the plane in signatures.
+pub type DeepPlanPlane = NvshmemPlane;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepplan_reports_its_name() {
+        let plane = deepplan_plane(1);
+        assert_eq!(plane.name(), "DeepPlan+");
+    }
+}

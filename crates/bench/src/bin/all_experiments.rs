@@ -1,0 +1,30 @@
+//! Runs the full experiment suite (every table and figure of the paper's
+//! evaluation) and prints each report, separated by rulers.
+use grouter_bench::experiments as e;
+
+fn main() {
+    let runs: Vec<(&str, fn() -> String)> = vec![
+        ("Fig. 3", e::fig03::run),
+        ("Table 1", e::table1::run),
+        ("Fig. 5", e::fig05::run),
+        ("Fig. 6", e::fig06::run),
+        ("Fig. 7", e::fig07::run),
+        ("Fig. 13", e::fig13::run),
+        ("Fig. 14", e::fig14::run),
+        ("Fig. 15", e::fig15::run),
+        ("Fig. 16", e::fig16::run),
+        ("Fig. 17", e::fig17::run),
+        ("Fig. 18", e::fig18::run),
+        ("Fig. 19", e::fig19::run),
+        ("Fig. 20", e::fig20::run),
+        ("Scalability (§1 claim)", e::scalability::run),
+        ("Design-constant sweeps", e::sweeps::run),
+        ("Uplink utilisation (Fig. 5a mechanism)", e::utilization::run),
+    ];
+    for (name, run) in runs {
+        println!("{}", "=".repeat(78));
+        println!("{name}");
+        println!("{}", "=".repeat(78));
+        println!("{}", run());
+    }
+}

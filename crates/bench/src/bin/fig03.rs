@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 03 (see the experiment module docs).
+fn main() {
+    print!("{}", grouter_bench::experiments::fig03::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's Fig. 17 (see the experiment module docs).
+fn main() {
+    print!("{}", grouter_bench::experiments::fig17::run());
+}

@@ -1,0 +1,4 @@
+//! Extra experiment beyond the paper's figures (see the module docs).
+fn main() {
+    print!("{}", grouter_bench::experiments::scalability::run());
+}

@@ -1,0 +1,4 @@
+//! Regenerates the paper's table1 (see the experiment module docs).
+fn main() {
+    print!("{}", grouter_bench::experiments::table1::run());
+}

@@ -1,0 +1,4 @@
+//! PCIe uplink utilisation under bandwidth harvesting (Fig. 5a mechanism).
+fn main() {
+    print!("{}", grouter_bench::experiments::utilization::run());
+}

@@ -1,0 +1,94 @@
+//! **Fig. 3** — latency breakdown of host-centric data passing.
+//!
+//! (a) Six workflows on INFless+ (DGX-V100): data passing dominates
+//! end-to-end latency (paper: 92 % overall — 63 % gFn–gFn + 29 % gFn–host).
+//! (b) The Traffic workflow across batch sizes.
+
+use crate::harness::{fmt_ms, run_trace, PlaneKind, Table};
+use grouter::topology::presets;
+use grouter_workloads::apps::{suite, traffic, WorkloadParams};
+use grouter_workloads::azure::ArrivalPattern;
+use grouter_workloads::models::GpuClass;
+
+pub fn run() -> String {
+    let mut out = String::from(
+        "Fig. 3 — host-centric (INFless+) latency breakdown on DGX-V100\n\n(a) per workflow, batch 8, sporadic trace\n",
+    );
+    let mut table = Table::new(
+        &["workflow", "compute", "gFn-gFn", "gFn-host", "cFn-cFn", "passing%"],
+        &[10, 9, 9, 9, 9, 9],
+    );
+    let params = WorkloadParams {
+        batch: 8,
+        gpu: GpuClass::V100,
+    };
+    let mut total_pass = 0.0;
+    let mut total_all = 0.0;
+    let mut total_gg = 0.0;
+    let mut total_gh = 0.0;
+    for spec in suite(params) {
+        let m = run_trace(
+            presets::dgx_v100(),
+            1,
+            PlaneKind::Infless,
+            &[spec.clone()],
+            ArrivalPattern::Sporadic,
+            2.0,
+            10,
+            11,
+        );
+        let (comp, gg, gh, hh) = m.breakdown_ms(None);
+        let pass = gg + gh + hh;
+        total_pass += pass;
+        total_all += comp + pass;
+        total_gg += gg;
+        total_gh += gh;
+        table.row(&[
+            spec.name.clone(),
+            fmt_ms(comp),
+            fmt_ms(gg),
+            fmt_ms(gh),
+            fmt_ms(hh),
+            format!("{:.0}%", pass / (comp + pass) * 100.0),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str(&format!(
+        "\noverall: data passing = {:.0}% of latency ({:.0}% gFn-gFn + {:.0}% gFn-host); paper: 92% (63% + 29%)\n",
+        total_pass / total_all * 100.0,
+        total_gg / total_all * 100.0,
+        total_gh / total_all * 100.0,
+    ));
+
+    out.push_str("\n(b) Traffic workflow vs batch size\n");
+    let mut table = Table::new(
+        &["batch", "compute", "gFn-gFn", "gFn-host", "e2e mean"],
+        &[6, 9, 9, 9, 9],
+    );
+    for batch in [1u32, 4, 8, 16, 32] {
+        let spec = traffic(WorkloadParams {
+            batch,
+            gpu: GpuClass::V100,
+        });
+        let m = run_trace(
+            presets::dgx_v100(),
+            1,
+            PlaneKind::Infless,
+            &[spec],
+            ArrivalPattern::Sporadic,
+            1.0,
+            10,
+            13,
+        );
+        let (comp, gg, gh, _) = m.breakdown_ms(None);
+        table.row(&[
+            batch.to_string(),
+            fmt_ms(comp),
+            fmt_ms(gg),
+            fmt_ms(gh),
+            fmt_ms(m.latency_ms(None).mean()),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out
+}

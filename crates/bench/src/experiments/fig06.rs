@@ -1,0 +1,71 @@
+//! **Fig. 6(a)** — point-to-point bandwidth between every GPU pair of a
+//! DGX-V100 server: 48 GB/s (double NVLink), 24 GB/s (single), and
+//! PCIe-limited pairs without a direct NVLink.
+
+use grouter::sim::{FlowNet, FlowOptions};
+use grouter::sim::time::SimTime;
+use grouter::topology::{presets, Topology};
+
+
+use crate::harness::Table;
+
+/// Achieved bandwidth (GB/s) for a 1 GB transfer `a → b` over the *direct*
+/// path — NVLink when the pair is connected, PCIe peer-to-peer otherwise —
+/// exactly what a `p2pBandwidthLatencyTest` run measures.
+fn p2p_gbps(a: usize, b: usize) -> f64 {
+    let mut net = FlowNet::new();
+    let topo = Topology::build(presets::dgx_v100(), 1, &mut net);
+    let links = topo
+        .nvlink_edge(0, a, b)
+        .unwrap_or_else(|| topo.pcie_p2p_path(0, a, b));
+    let id = net
+        .start_flow(SimTime::ZERO, links, 1e9, FlowOptions::default())
+        .expect("valid path");
+    let done = net.next_completion().expect("progress");
+    let _ = net.advance_to(done);
+    let _ = id;
+    1e9 / done.as_secs_f64() / 1e9
+}
+
+pub fn run() -> String {
+    let mut out = String::from(
+        "Fig. 6(a) — direct point-to-point bandwidth (GB/s) between DGX-V100 GPU pairs\n\n",
+    );
+    let mut header = vec!["src\\dst".to_string()];
+    header.extend((0..8).map(|g| format!("g{g}")));
+    let hdr_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let mut table = Table::new(&hdr_refs, &[7, 5, 5, 5, 5, 5, 5, 5, 5]);
+    let mut classes = (0usize, 0usize, 0usize); // (48, 24, pcie)
+    for a in 0..8 {
+        let mut row = vec![format!("g{a}")];
+        for b in 0..8 {
+            if a == b {
+                row.push("-".into());
+                continue;
+            }
+            let bw = p2p_gbps(a, b);
+            if a < b {
+                if bw > 40.0 {
+                    classes.0 += 1;
+                } else if bw > 20.0 {
+                    classes.1 += 1;
+                } else {
+                    classes.2 += 1;
+                }
+            }
+            row.push(format!("{bw:.0}"));
+        }
+        table.row(&row);
+    }
+    out.push_str(&table.finish());
+    let total = (classes.0 + classes.1 + classes.2) as f64;
+    out.push_str(&format!(
+        "\npair classes: {} x 48 GB/s, {} x 24 GB/s ({:.0}%), {} x PCIe-only ({:.0}%)\npaper: 28% of pairs at half bandwidth, 42% without direct NVLink\n",
+        classes.0,
+        classes.1,
+        classes.1 as f64 / total * 100.0,
+        classes.2,
+        classes.2 as f64 / total * 100.0,
+    ));
+    out
+}

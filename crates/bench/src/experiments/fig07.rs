@@ -1,0 +1,97 @@
+//! **Fig. 7** — (a) idle GPU memory fluctuates under an Azure-style trace;
+//! (b) shrinking available memory forces evictions to host memory.
+
+use std::sync::Arc;
+
+use crate::harness::{PlaneKind, Table};
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::Runtime;
+use grouter::sim::rng::DetRng;
+use grouter::sim::time::{SimDuration, SimTime};
+use grouter::topology::presets;
+use grouter_workloads::apps::{driving, WorkloadParams};
+use grouter_workloads::azure::{generate_trace, ArrivalPattern};
+use grouter_workloads::models::GpuClass;
+
+const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
+
+pub fn run() -> String {
+    let mut out = String::from("Fig. 7(a) — idle GPU memory under a bursty trace (driving, DGX-V100)\n\n");
+    let params = WorkloadParams {
+        batch: 8,
+        gpu: GpuClass::V100,
+    };
+    let spec = driving(params);
+    let cfg = RuntimeConfig {
+        placement_nodes: vec![0],
+        sample_memory: true,
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(presets::dgx_v100(), 1, PlaneKind::Grouter.build(1), cfg);
+    rt.schedule_memory_samples(SimDuration::from_millis(250), SimTime(15_000_000_000));
+    let mut rng = DetRng::new(21);
+    for t in generate_trace(ArrivalPattern::Bursty, 20.0, SimDuration::from_secs(15), &mut rng) {
+        rt.submit(spec.clone(), t);
+    }
+    rt.run();
+    // Aggregate idle memory across all 8 GPUs over time.
+    let series = &rt.world().mem_series;
+    let mut table = Table::new(&["t (s)", "idle GPU mem (GiB, node total)"], &[8, 30]);
+    let n = series[0].len();
+    for k in (0..n).step_by((n / 15).max(1)) {
+        let t = series[0].points()[k].0;
+        let total: f64 = series.iter().map(|s| s.points()[k].1).sum();
+        table.row(&[format!("{:.2}", t.as_secs_f64()), format!("{:.1}", total / GIB)]);
+    }
+    out.push_str(&table.finish());
+    let min: f64 = (0..n)
+        .map(|k| series.iter().map(|s| s.points()[k].1).sum::<f64>())
+        .fold(f64::INFINITY, f64::min);
+    let max: f64 = (0..n)
+        .map(|k| series.iter().map(|s| s.points()[k].1).sum::<f64>())
+        .fold(0.0, f64::max);
+    out.push_str(&format!(
+        "\nidle memory swings between {:.1} and {:.1} GiB — availability changes unpredictably (paper Fig. 7a)\n",
+        min / GIB,
+        max / GIB
+    ));
+
+    out.push_str("\nFig. 7(b) — forced evictions as available memory shrinks\n\n");
+    let mut table = Table::new(
+        &["available mem", "evictions", "restores", "p99 (ms)"],
+        &[14, 10, 9, 9],
+    );
+    for avail_frac in [0.5, 0.2, 0.1, 0.05] {
+        let (ev, rs, p99) = pressure_run(spec.clone(), avail_frac);
+        table.row(&[
+            format!("{:.0}%", avail_frac * 100.0),
+            ev.to_string(),
+            rs.to_string(),
+            format!("{p99:.0}"),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out
+}
+
+/// Run with `avail` fraction of GPU memory free for storage; count
+/// migrations by watching objects located on the host.
+fn pressure_run(spec: Arc<grouter::runtime::spec::WorkflowSpec>, avail: f64) -> (u64, u64, f64) {
+    let cfg = RuntimeConfig {
+        placement_nodes: vec![0],
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(presets::dgx_v100(), 1, PlaneKind::Grouter.build(1), cfg);
+    let cap = rt.world().topo.gpu_mem_bytes();
+    for idx in 0..8 {
+        rt.world_mut().pools[idx].set_runtime_used(cap * (1.0 - avail));
+    }
+    let mut rng = DetRng::new(23);
+    for t in generate_trace(ArrivalPattern::Bursty, 25.0, SimDuration::from_secs(10), &mut rng) {
+        rt.submit(spec.clone(), t);
+    }
+    rt.run();
+    let stats = rt.world().plane.as_ref().expect("plane").stats();
+    let p99 = rt.metrics().latency_ms(None).p99();
+    (stats.migrations, stats.restores, p99)
+}

@@ -1,0 +1,84 @@
+//! **Fig. 13** — data-passing latency between two functions vs data volume:
+//! (a) intra-node gFn–gFn, (b) host–gFn, (c) inter-node gFn–gFn, on
+//! DGX-V100, across all four planes.
+//!
+//! Paper reductions for GROUTER vs INFless+/NVSHMEM+/DeepPlan+:
+//! (a) −95/−75/−75 %, (b) −63/−63/−75 %, (c) −91/−87/−87 %.
+
+use crate::harness::{fmt_ms, gfn_hop_ms, host_gfn_ms, pct_reduction, PlaneKind, Table, MB};
+use grouter::topology::{presets, GpuRef};
+
+const SIZES: [f64; 5] = [16.0 * MB, 64.0 * MB, 128.0 * MB, 256.0 * MB, 512.0 * MB];
+
+fn section(
+    out: &mut String,
+    title: &str,
+    paper: &str,
+    probe: impl Fn(PlaneKind, f64, u64) -> f64,
+) {
+    out.push_str(title);
+    out.push('\n');
+    let mut table = Table::new(
+        &["size (MB)", "INFless+", "NVSHMEM+", "DeepPlan+", "GROUTER", "vs best base"],
+        &[9, 10, 10, 10, 10, 12],
+    );
+    let mut last_reduction = String::new();
+    for size in SIZES {
+        // Average random-placement planes over several seeds.
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
+        let ms: Vec<f64> = PlaneKind::MAIN
+            .iter()
+            .map(|&p| {
+                seeds.iter().map(|&sd| probe(p, size, sd)).sum::<f64>() / seeds.len() as f64
+            })
+            .collect();
+        let best_base = ms[0].min(ms[1]).min(ms[2]);
+        last_reduction = pct_reduction(best_base, ms[3]);
+        table.row(&[
+            format!("{:.0}", size / MB),
+            fmt_ms(ms[0]),
+            fmt_ms(ms[1]),
+            fmt_ms(ms[2]),
+            fmt_ms(ms[3]),
+            last_reduction.clone(),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str(&format!("paper: {paper}; measured at 512 MB: {last_reduction} vs best baseline\n\n"));
+}
+
+pub fn run() -> String {
+    let mut out = String::from("Fig. 13 — data-passing latency (ms) vs data volume, DGX-V100\n\n");
+
+    section(
+        &mut out,
+        "(a) intra-node gFn-gFn (GPU0 -> GPU1, weak NVLink pair)",
+        "GROUTER -95%/-75%/-75%",
+        |p, size, sd| gfn_hop_ms(presets::dgx_v100(), 1, p, GpuRef::new(0, 0), GpuRef::new(0, 1), size, sd),
+    );
+
+    section(
+        &mut out,
+        "(b) host-gFn (workflow input into GPU0)",
+        "GROUTER -63%/-63%/-75%",
+        |p, size, sd| host_gfn_ms(presets::dgx_v100(), p, GpuRef::new(0, 0), size, sd),
+    );
+
+    section(
+        &mut out,
+        "(c) inter-node gFn-gFn (node0/GPU0 -> node1/GPU3)",
+        "GROUTER -91%/-87%/-87%",
+        |p, size, sd| {
+            gfn_hop_ms(
+                presets::dgx_v100(),
+                2,
+                p,
+                GpuRef::new(0, 0),
+                GpuRef::new(1, 3),
+                size,
+                sd,
+            )
+        },
+    );
+    out
+}

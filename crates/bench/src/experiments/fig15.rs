@@ -1,0 +1,55 @@
+//! **Fig. 15** — maximum sustainable throughput, intra-node and cross-node.
+//!
+//! Paper: intra-node GROUTER beats INFless+/NVSHMEM+/DeepPlan+ by
+//! 2.1×/1.74×/1.37×; cross-node by 2.73×/1.55×/1.39×.
+
+use crate::harness::{max_throughput_rps, with_calibrated_slo, PlaneKind, Table};
+use grouter::topology::presets;
+use grouter_workloads::apps::{driving, traffic, video, WorkloadParams};
+use grouter_workloads::models::GpuClass;
+
+pub fn run() -> String {
+    let mut out = String::from("Fig. 15 — maximum throughput (req/s) within SLO (1.5x solo latency)\n\n");
+    let params = WorkloadParams {
+        batch: 8,
+        gpu: GpuClass::V100,
+    };
+    let specs = [traffic(params), driving(params), video(params)];
+    for (nodes, title, paper) in [
+        (1usize, "(a) functions co-located within one node", "2.1x / 1.74x / 1.37x"),
+        (2usize, "(b) functions distributed across two nodes", "2.73x / 1.55x / 1.39x"),
+    ] {
+        out.push_str(title);
+        out.push('\n');
+        let mut table = Table::new(
+            &["workflow", "INFless+", "NVSHMEM+", "DeepPlan+", "GROUTER", "vs INFless+"],
+            &[10, 10, 10, 10, 10, 11],
+        );
+        let mut ratio_sum = [0.0f64; 3];
+        for spec in &specs {
+            // SLO per plane: 1.5x that plane's own solo latency — the knee
+            // where a system stops keeping up with its unloaded behaviour.
+            let mut row = vec![spec.name.clone()];
+            let mut rps = Vec::new();
+            for &plane in &PlaneKind::MAIN {
+                let spec = with_calibrated_slo(presets::dgx_v100(), nodes, plane, spec, 1.5, 9);
+                let r = max_throughput_rps(presets::dgx_v100(), nodes, plane, &spec, spec.slo, 9);
+                rps.push(r);
+                row.push(format!("{r:.1}"));
+            }
+            row.push(format!("{:.2}x", rps[3] / rps[0].max(0.1)));
+            for k in 0..3 {
+                ratio_sum[k] += rps[3] / rps[k].max(0.1);
+            }
+            table.row(&row);
+        }
+        out.push_str(&table.finish());
+        out.push_str(&format!(
+            "mean speedup: {:.2}x / {:.2}x / {:.2}x vs INFless+/NVSHMEM+/DeepPlan+ (paper: {paper})\n\n",
+            ratio_sum[0] / specs.len() as f64,
+            ratio_sum[1] / specs.len() as f64,
+            ratio_sum[2] / specs.len() as f64,
+        ));
+    }
+    out
+}

@@ -1,0 +1,104 @@
+//! **Fig. 16** — ablation: disable GROUTER's optimizations one by one and
+//! measure average data-passing latency under a bursty workload.
+//!
+//! Paper: removing everything costs 1.57–1.82× (DGX-V100) and 1.30–1.61×
+//! (DGX-A100).
+
+use crate::harness::{fmt_ms, PlaneKind, Table};
+use grouter::topology::graph::TopologySpec;
+use grouter::topology::presets;
+use grouter::GrouterConfig;
+use grouter_workloads::apps::{suite, WorkloadParams};
+use grouter_workloads::azure::ArrivalPattern;
+use grouter_workloads::models::GpuClass;
+
+fn ladder() -> Vec<(&'static str, GrouterConfig)> {
+    vec![
+        ("GROUTER", GrouterConfig::full()),
+        ("-ES", GrouterConfig::full().no_es()),
+        ("-ES-TA", GrouterConfig::full().no_es().no_ta()),
+        ("-ES-TA-BH", GrouterConfig::full().no_es().no_ta().no_bh()),
+        (
+            "-ES-TA-BH-UF",
+            GrouterConfig::full().no_es().no_ta().no_bh().no_uf(),
+        ),
+    ]
+}
+
+fn testbed(out: &mut String, name: &str, topo: TopologySpec, gpu: GpuClass, paper: &str) {
+    out.push_str(&format!("{name}\n"));
+    let mut table = Table::new(
+        &["config", "avg data passing (ms)", "vs GROUTER"],
+        &[14, 21, 11],
+    );
+    let params = WorkloadParams { batch: 8, gpu };
+    // Memory pressure so elastic storage matters: models occupy 70%.
+    let mut full = 0.0;
+    for (label, cfg) in ladder() {
+        let specs = suite(params);
+        let m = run_with_pressure(topo.clone(), cfg, &specs);
+        if label == "GROUTER" {
+            full = m;
+        }
+        table.row(&[
+            label.to_string(),
+            fmt_ms(m),
+            format!("{:.2}x", m / full),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str(&format!("paper: fully ablated = {paper}\n\n"));
+}
+
+fn run_with_pressure(
+    topo: TopologySpec,
+    cfg: GrouterConfig,
+    specs: &[std::sync::Arc<grouter::runtime::spec::WorkflowSpec>],
+) -> f64 {
+    use grouter::runtime::world::RuntimeConfig;
+    use grouter::runtime::Runtime;
+    use grouter::sim::rng::DetRng;
+    use grouter::sim::time::SimDuration;
+    use grouter_workloads::azure::generate_trace;
+
+    let mut rt = Runtime::new(
+        topo,
+        1,
+        PlaneKind::GrouterCfg(cfg).build(3),
+        RuntimeConfig::default(),
+    );
+    let cap = rt.world().topo.gpu_mem_bytes();
+    for idx in 0..rt.world().pools.len() {
+        rt.world_mut().pools[idx].set_runtime_used(cap * 0.85);
+    }
+    let mut rng = DetRng::new(41);
+    for (k, spec) in specs.iter().enumerate() {
+        let mut sub = rng.fork(k as u64);
+        for t in generate_trace(ArrivalPattern::Bursty, 3.0, SimDuration::from_secs(10), &mut sub) {
+            rt.submit(spec.clone(), t);
+        }
+    }
+    rt.run();
+    rt.metrics().passing_ms(None).mean()
+}
+
+pub fn run() -> String {
+    let mut out = String::from(
+        "Fig. 16 — ablation: average data-passing latency as optimizations are removed\n(bursty trace over the full workflow suite, 85% GPU memory held by models)\n\n",
+    );
+    testbed(
+        &mut out,
+        "(a) DGX-V100",
+        presets::dgx_v100(),
+        GpuClass::V100,
+        "1.57-1.82x",
+    );
+    testbed(
+        &mut out,
+        "(b) DGX-A100",
+        presets::dgx_a100(),
+        GpuClass::A100,
+        "1.30-1.61x",
+    );
+    out
+}

@@ -1,0 +1,164 @@
+//! **Fig. 19** — emerging LLM applications: Mixture-of-Agents KV-cache
+//! passing between 8×H800 nodes; receiver time-to-first-token.
+//!
+//! Paper: at 4K input GROUTER cuts TTFT by 66 % vs INFless+ and 57 % vs
+//! Mooncake+; across models/TP settings by 36 %/28 %; at TP=8 Mooncake also
+//! uses multiple NICs and the remaining gap is locality.
+
+use std::sync::Arc;
+
+use crate::harness::{fmt_ms, PlaneKind, Table};
+use grouter::runtime::dataplane::Destination;
+use grouter::runtime::metrics::PassCategory;
+use grouter::runtime::placement::PlacementPolicy;
+use grouter::runtime::spec::{StageSpec, WorkflowSpec};
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::Runtime;
+use grouter::sim::time::SimTime;
+use grouter::topology::{presets, GpuRef};
+use grouter_workloads::apps::moa;
+use grouter_workloads::llm::LlmModel;
+use grouter_workloads::models::GpuClass;
+
+fn kv_workflow(model: LlmModel, tokens: u32, tp: u32) -> Arc<WorkflowSpec> {
+    let mut wf = WorkflowSpec::new("moa-hop", 1e6);
+    let sender = wf.push(StageSpec::gpu(
+        "sender",
+        vec![],
+        model.prefill_latency(tokens, tp),
+        model.kv_bytes(tokens),
+        20e9,
+    ));
+    wf.push(StageSpec::gpu(
+        "receiver",
+        vec![sender],
+        model.first_token_latency(tp),
+        1e6,
+        20e9,
+    ));
+    Arc::new(wf)
+}
+
+fn ttft_ms(plane: PlaneKind, model: LlmModel, tokens: u32, tp: u32) -> f64 {
+    let pin = PlacementPolicy::Pinned(vec![
+        Destination::Gpu(GpuRef::new(0, 1)),
+        Destination::Gpu(GpuRef::new(1, 2)),
+    ]);
+    let cfg = RuntimeConfig {
+        placement: pin,
+        placement_nodes: vec![0, 1],
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(presets::h800x8(), 2, plane.build(3), cfg);
+    rt.submit(kv_workflow(model, tokens, tp), SimTime::ZERO);
+    rt.run();
+    let rec = &rt.metrics().records()[0];
+    rec.passing_of(PassCategory::GpuGpu).as_millis_f64()
+        + rec.passing_of(PassCategory::GpuHost).as_millis_f64()
+        + model.first_token_latency(tp).as_millis_f64()
+}
+
+pub fn run() -> String {
+    let mut out = String::from(
+        "Fig. 19 — MoA KV-cache passing across 8xH800 nodes: receiver TTFT (ms)\n\n(a) vs input length (7B, TP=1)\n",
+    );
+    let mut table = Table::new(
+        &["tokens", "INFless+", "Mooncake+", "GROUTER", "vs both"],
+        &[7, 10, 10, 10, 16],
+    );
+    let mut at4k = (0.0, 0.0, 0.0);
+    for tokens in [1024u32, 2048, 4096, 8192] {
+        let inf = ttft_ms(PlaneKind::Infless, LlmModel::Llama7B, tokens, 1);
+        let moon = ttft_ms(PlaneKind::Mooncake(1), LlmModel::Llama7B, tokens, 1);
+        let ours = ttft_ms(PlaneKind::Grouter, LlmModel::Llama7B, tokens, 1);
+        if tokens == 4096 {
+            at4k = (inf, moon, ours);
+        }
+        table.row(&[
+            tokens.to_string(),
+            fmt_ms(inf),
+            fmt_ms(moon),
+            fmt_ms(ours),
+            format!(
+                "{:+.0}% / {:+.0}%",
+                (ours / inf - 1.0) * 100.0,
+                (ours / moon - 1.0) * 100.0
+            ),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str(&format!(
+        "at 4K: {:+.0}% vs INFless+, {:+.0}% vs Mooncake+ (paper: -66% / -57%)\n\n",
+        (at4k.2 / at4k.0 - 1.0) * 100.0,
+        (at4k.2 / at4k.1 - 1.0) * 100.0
+    ));
+
+    out.push_str("(b) vs model and tensor parallelism (4K tokens)\n");
+    let mut table = Table::new(
+        &["model", "TP", "INFless+", "Mooncake+", "GROUTER", "vs Mooncake+"],
+        &[6, 3, 10, 10, 10, 12],
+    );
+    for model in LlmModel::ALL {
+        for tp in [1u32, 2, 4, 8] {
+            let inf = ttft_ms(PlaneKind::Infless, model, 4096, tp);
+            let moon = ttft_ms(PlaneKind::Mooncake(tp), model, 4096, tp);
+            let ours = ttft_ms(PlaneKind::Grouter, model, 4096, tp);
+            table.row(&[
+                model.name().to_string(),
+                tp.to_string(),
+                fmt_ms(inf),
+                fmt_ms(moon),
+                fmt_ms(ours),
+                format!("{:+.0}%", (ours / moon - 1.0) * 100.0),
+            ]);
+        }
+    }
+    out.push_str(&table.finish());
+    out.push_str("paper: -36%/-28% on average; the gap vs Mooncake+ narrows as TP grows\n");
+
+    // Beyond the paper's hop-level figure: the full layered MoA workflow
+    // end-to-end ("different stages are deployed on separate 8xH800 GPU
+    // nodes"). Each layer's agents fan into the next; every edge carries a
+    // 2K-token 7B KV cache.
+    out.push_str("\n(c) full 3-layer x 3-agent MoA workflow, agents spread over 2 nodes, e2e latency (ms)\n");
+    let mut table = Table::new(&["plane", "mean", "p99", "gFn-gFn pass (ms)"], &[10, 9, 9, 18]);
+    let spec = moa(
+        grouter_workloads::apps::WorkloadParams {
+            batch: 1,
+            gpu: GpuClass::H800,
+        },
+        3,
+        3,
+        LlmModel::Llama7B.kv_bytes(2048),
+    );
+    for plane in [PlaneKind::Infless, PlaneKind::Mooncake(1), PlaneKind::Grouter] {
+        use grouter::runtime::placement::PlacementPolicy;
+        let cfg = RuntimeConfig {
+            placement: PlacementPolicy::RoundRobin,
+            placement_nodes: vec![0, 1],
+            ..Default::default()
+        };
+        let mut rt = Runtime::new(presets::h800x8(), 2, plane.build(3), cfg);
+        for i in 0..8u64 {
+            rt.submit(spec.clone(), SimTime(i * 500_000_000));
+        }
+        rt.run();
+        let m = rt.metrics();
+        let lat = m.latency_ms(None);
+        table.row(&[
+            plane.label().to_string(),
+            fmt_ms(lat.mean()),
+            fmt_ms(lat.p99()),
+            fmt_ms(
+                m.records()
+                    .iter()
+                    .map(|r| r.passing_of(PassCategory::GpuGpu).as_millis_f64())
+                    .sum::<f64>()
+                    / m.completed().max(1) as f64,
+            ),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str("the 12 inter-agent KV edges amplify every per-hop saving\n");
+    out
+}

@@ -1,0 +1,156 @@
+//! **Fig. 20** — applicability and overheads.
+//!
+//! (a) gFn–gFn data passing on a 4×A10 server without NVLink (paper:
+//! GROUTER −51 % — locality removes one of two PCIe P2P copies);
+//! (b) CPU/control-plane overhead (lookup traffic) vs INFless+;
+//! (c) GPU memory overhead of the storage disciplines (elastic vs static
+//! vs NVSHMEM-symmetric).
+
+use crate::harness::{fmt_ms, gfn_hop_ms, run_trace, PlaneKind, Table, MB};
+use grouter::mem::PoolDiscipline;
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::Runtime;
+use grouter::sim::rng::DetRng;
+use grouter::sim::time::SimDuration;
+use grouter::topology::{presets, GpuRef};
+use grouter_workloads::apps::{driving, WorkloadParams};
+use grouter_workloads::azure::{generate_trace, ArrivalPattern};
+use grouter_workloads::models::GpuClass;
+
+pub fn run() -> String {
+    let mut out = String::from("Fig. 20 — applicability and system overhead\n\n(a) gFn-gFn data passing on 4xA10 (no NVLink), GPU0 -> GPU1\n");
+    let mut table = Table::new(
+        &["size (MB)", "INFless+", "NVSHMEM+", "DeepPlan+", "GROUTER", "vs best base"],
+        &[9, 10, 10, 10, 10, 12],
+    );
+    for size in [64.0 * MB, 128.0 * MB, 256.0 * MB, 512.0 * MB] {
+        let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        let ms: Vec<f64> = PlaneKind::MAIN
+            .iter()
+            .map(|&p| {
+                seeds
+                    .iter()
+                    .map(|&sd| {
+                        gfn_hop_ms(presets::a10x4(), 1, p, GpuRef::new(0, 0), GpuRef::new(0, 1), size, sd)
+                    })
+                    .sum::<f64>()
+                    / seeds.len() as f64
+            })
+            .collect();
+        let best = ms[0].min(ms[1]).min(ms[2]);
+        table.row(&[
+            format!("{:.0}", size / MB),
+            fmt_ms(ms[0]),
+            fmt_ms(ms[1]),
+            fmt_ms(ms[2]),
+            fmt_ms(ms[3]),
+            format!("{:+.0}%", (ms[3] / best - 1.0) * 100.0),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str("paper: -51% (one PCIe P2P copy instead of two store relays)\n\n");
+
+    out.push_str("(b) control-plane overhead: mapping-table traffic per request\n");
+    let params = WorkloadParams {
+        batch: 8,
+        gpu: GpuClass::V100,
+    };
+    let mut table = Table::new(
+        &["plane", "local lookups/req", "global lookups/req", "pin events/req"],
+        &[10, 18, 18, 15],
+    );
+    for plane in [PlaneKind::Infless, PlaneKind::Grouter] {
+        let spec = driving(params);
+        let m = run_trace(
+            presets::dgx_v100(),
+            1,
+            plane,
+            &[spec],
+            ArrivalPattern::Sporadic,
+            5.0,
+            10,
+            3,
+        );
+        // lookup stats live in the world; re-run capturing the world.
+        let mut rt = Runtime::new(
+            presets::dgx_v100(),
+            1,
+            plane.build(3),
+            RuntimeConfig::default(),
+        );
+        let mut rng = DetRng::new(3);
+        let spec = driving(params);
+        for t in generate_trace(ArrivalPattern::Sporadic, 5.0, SimDuration::from_secs(10), &mut rng)
+        {
+            rt.submit(spec.clone(), t);
+        }
+        rt.run();
+        let (local, global) = rt.world().store.lookup_stats();
+        // INFless+ pins a staging buffer per host transfer; GROUTER reuses
+        // the shared ring (§4.3.2), so its pin-event count stays at the
+        // one-time ring allocations.
+        let pins: u64 = match plane {
+            PlaneKind::Infless => {
+                // Modelled as control latency, not ring events: count host
+                // legs = 2 gFn-host transfers per gFn stage (put + get).
+                let gfn_hops: usize = m
+                    .records()
+                    .iter()
+                    .map(|r| r.op_durations.len())
+                    .sum();
+                gfn_hops as u64
+            }
+            _ => rt.world().pinned.iter().map(|r| r.pin_events()).sum(),
+        };
+        let n = m.completed().max(1) as f64;
+        table.row(&[
+            plane.label().to_string(),
+            format!("{:.1}", local as f64 / n),
+            format!("{:.1}", global as f64 / n),
+            format!("{:.1}", pins as f64 / n),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str("paper: GROUTER's CPU usage is on par with INFless+; the shared pinned ring\nremoves per-transfer pinning (§4.3.2)\n\n");
+
+    out.push_str("(c) GPU memory overhead: peak storage reservation vs peak demand (driving, bursty)\n");
+    let mut table = Table::new(
+        &["discipline", "peak reserved (MB)", "peak used (MB)", "overhead"],
+        &[22, 18, 15, 9],
+    );
+    for (label, discipline) in [
+        ("GROUTER elastic", PoolDiscipline::Elastic),
+        ("static pool", PoolDiscipline::Static { bytes: 4e9 }),
+        ("NVSHMEM symmetric", PoolDiscipline::Symmetric { bytes: 4e9 }),
+    ] {
+        let cfg = RuntimeConfig {
+            pool_discipline: discipline,
+            ..Default::default()
+        };
+        let mut rt = Runtime::new(presets::dgx_v100(), 1, PlaneKind::Grouter.build(3), cfg);
+        let mut rng = DetRng::new(77);
+        let spec = driving(params);
+        for t in generate_trace(ArrivalPattern::Bursty, 15.0, SimDuration::from_secs(10), &mut rng)
+        {
+            rt.submit(spec.clone(), t);
+        }
+        rt.run();
+        // Symmetric heaps charge every GPU in the job the same reservation.
+        let gpus = rt.world().pools.len() as f64;
+        let used: f64 = rt.world().pools.iter().map(|p| p.peak_used()).sum();
+        let reserved: f64 = match discipline {
+            // Symmetric heaps charge every GPU the same reservation.
+            PoolDiscipline::Symmetric { bytes } => bytes * gpus,
+            _ => rt.world().pools.iter().map(|p| p.peak_reserved()).sum(),
+        };
+        table.row(&[
+            label.to_string(),
+            format!("{:.0}", reserved / 1e6),
+            format!("{:.0}", used / 1e6),
+            format!("{:.1}x", reserved / used.max(1.0)),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str("paper: static pooling uses ~4x the actual demand; symmetric allocation is worst;\nGROUTER scales the pool with demand\n");
+    out
+}

@@ -1,0 +1,110 @@
+//! Cluster-scale behaviour (paper §1: "we also demonstrate the scalability
+//! and effectiveness of GROUTER in LLM inference applications and large
+//! clusters").
+//!
+//! Two probes:
+//! * weak scaling — grow the cluster and the offered load together; the
+//!   hierarchical control plane (local tables + per-node ledgers) should
+//!   keep per-request latency flat;
+//! * cross-node span — place a workflow across 1…4 nodes; GROUTER's
+//!   multi-NIC transfers keep the penalty for spanning nodes bounded.
+
+use crate::harness::{fmt_ms, PlaneKind, Table};
+use grouter::topology::presets;
+use grouter_workloads::apps::{traffic, WorkloadParams};
+use grouter_workloads::azure::ArrivalPattern;
+use grouter_workloads::models::GpuClass;
+
+pub fn run() -> String {
+    let params = WorkloadParams {
+        batch: 8,
+        gpu: GpuClass::V100,
+    };
+    let spec = traffic(params);
+
+    let mut out = String::from(
+        "Scalability — weak scaling of the traffic workflow on DGX-V100 clusters\n(load grows with the cluster: 6 req/s per node, bursty)\n\n",
+    );
+    let mut table = Table::new(
+        &["nodes", "GPUs", "requests", "p50 (ms)", "p99 (ms)", "global lookups/req"],
+        &[6, 5, 9, 9, 9, 19],
+    );
+    for nodes in [1usize, 2, 4, 8] {
+        use grouter::runtime::world::RuntimeConfig;
+        use grouter::runtime::Runtime;
+        use grouter::sim::rng::DetRng;
+        use grouter::sim::time::SimDuration;
+        use grouter_workloads::azure::generate_trace;
+
+        let mut rt = Runtime::new(
+            presets::dgx_v100(),
+            nodes,
+            PlaneKind::Grouter.build(9),
+            RuntimeConfig::default(),
+        );
+        let mut rng = DetRng::new(9);
+        for t in generate_trace(
+            ArrivalPattern::Bursty,
+            6.0 * nodes as f64,
+            SimDuration::from_secs(10),
+            &mut rng,
+        ) {
+            rt.submit(spec.clone(), t);
+        }
+        rt.run();
+        let m = rt.metrics();
+        let lat = m.latency_ms(None);
+        let (_, global) = rt.world().store.lookup_stats();
+        table.row(&[
+            nodes.to_string(),
+            (nodes * 8).to_string(),
+            m.completed().to_string(),
+            fmt_ms(lat.p50()),
+            fmt_ms(lat.p99()),
+            format!("{:.2}", global as f64 / m.completed().max(1) as f64),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str("\nper-request latency stays flat as the cluster grows: placement keeps workflows\nnode-local and the hierarchical control plane avoids global lookups (§4.2.2)\n\n");
+
+    out.push_str("Cross-node span — the same workflow forced across N nodes (round-robin placement)\n");
+    let mut table = Table::new(&["span (nodes)", "p99 (ms)", "vs 1 node"], &[12, 10, 10]);
+    let mut base = 0.0;
+    for span in [1usize, 2, 4] {
+        use grouter::runtime::placement::PlacementPolicy;
+        use grouter::runtime::world::RuntimeConfig;
+        use grouter::runtime::Runtime;
+        use grouter::sim::rng::DetRng;
+        use grouter::sim::time::SimDuration;
+        use grouter_workloads::azure::generate_trace;
+
+        let cfg = RuntimeConfig {
+            placement: PlacementPolicy::RoundRobin,
+            placement_nodes: (0..span).collect(),
+            ..Default::default()
+        };
+        let mut rt = Runtime::new(presets::dgx_v100(), 4, PlaneKind::Grouter.build(9), cfg);
+        let mut rng = DetRng::new(11);
+        for t in generate_trace(
+            ArrivalPattern::Sporadic,
+            4.0,
+            SimDuration::from_secs(10),
+            &mut rng,
+        ) {
+            rt.submit(spec.clone(), t);
+        }
+        rt.run();
+        let p99 = rt.metrics().latency_ms(None).p99();
+        if span == 1 {
+            base = p99;
+        }
+        table.row(&[
+            span.to_string(),
+            fmt_ms(p99),
+            format!("{:.2}x", p99 / base),
+        ]);
+    }
+    out.push_str(&table.finish());
+    out.push_str("\nmulti-NIC GDR keeps the cross-node penalty bounded even when every hop\ncrosses the network\n");
+    out
+}

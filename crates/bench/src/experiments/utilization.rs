@@ -1,0 +1,87 @@
+//! Link-level view of bandwidth harvesting (the mechanism behind Fig. 5a):
+//! watch the four PCIe switch→host uplinks of a DGX-V100 node while a
+//! gFn–host-heavy workload runs. GROUTER spreads staging across all four;
+//! the single-path baseline hammers one uplink and leaves the rest idle.
+
+use std::sync::Arc;
+
+use crate::harness::{PlaneKind, Table};
+use grouter::runtime::spec::{StageSpec, WorkflowSpec};
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::Runtime;
+use grouter::sim::rng::DetRng;
+use grouter::sim::time::{SimDuration, SimTime};
+use grouter::topology::presets;
+use grouter::GrouterConfig;
+use grouter_workloads::azure::{generate_trace, ArrivalPattern};
+
+const MB: f64 = 1e6;
+
+/// One GPU stage with a large host-bound output → every request is an
+/// egress d2h transfer.
+fn egress_heavy() -> Arc<WorkflowSpec> {
+    let mut wf = WorkflowSpec::new("egress", 1.0 * MB);
+    wf.push(StageSpec::gpu(
+        "render",
+        vec![],
+        SimDuration::from_millis(6),
+        256.0 * MB,
+        1e9,
+    ));
+    Arc::new(wf)
+}
+
+fn uplink_utilisation(plane: PlaneKind) -> (Vec<f64>, f64) {
+    use grouter::runtime::dataplane::Destination;
+    use grouter::runtime::placement::PlacementPolicy;
+    use grouter::topology::GpuRef;
+
+    let pin = PlacementPolicy::Pinned(vec![Destination::Gpu(GpuRef::new(0, 0))]);
+    let cfg = RuntimeConfig {
+        placement: pin,
+        placement_nodes: vec![0],
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(presets::dgx_v100(), 1, plane.build(5), cfg);
+    let uplinks = rt.world().topo.uplink_links(0);
+    rt.schedule_link_samples(uplinks, SimDuration::from_millis(5), SimTime(10_000_000_000));
+    let mut rng = DetRng::new(8);
+    let spec = egress_heavy();
+    for t in generate_trace(ArrivalPattern::Bursty, 20.0, SimDuration::from_secs(10), &mut rng) {
+        rt.submit(spec.clone(), t);
+    }
+    rt.run();
+    let util = rt
+        .world()
+        .link_series
+        .iter()
+        .map(|(_, s)| s.time_weighted_mean().unwrap_or(0.0) * 100.0)
+        .collect();
+    (util, rt.metrics().latency_ms(None).mean())
+}
+
+pub fn run() -> String {
+    let mut out = String::from(
+        "PCIe uplink utilisation while one GPU streams 256 MB outputs to host\n(bursty 20 req/s, DGX-V100 node; mean % of each switch uplink)\n\n",
+    );
+    let mut table = Table::new(
+        &["plane", "uplink0", "uplink1", "uplink2", "uplink3", "mean e2e (ms)"],
+        &[22, 8, 8, 8, 8, 14],
+    );
+    for (label, plane) in [
+        (
+            "single PCIe (no BH)",
+            PlaneKind::GrouterCfg(GrouterConfig::full().no_bh()),
+        ),
+        ("GROUTER (harvesting)", PlaneKind::Grouter),
+    ] {
+        let (util, e2e) = uplink_utilisation(plane);
+        let mut row = vec![label.to_string()];
+        row.extend(util.iter().map(|u| format!("{u:.0}%")));
+        row.push(format!("{e2e:.1}"));
+        table.row(&row);
+    }
+    out.push_str(&table.finish());
+    out.push_str("\nsame bytes, four uplinks instead of one: each transfer finishes ~4x sooner,\nwhich is exactly Fig. 5a's \"2-4x higher aggregate bandwidth\" mechanism\n");
+    out
+}

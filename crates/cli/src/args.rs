@@ -1,0 +1,137 @@
+//! Command-line argument handling for `grouter-cli`.
+
+/// Parsed command line.
+#[derive(Clone, Debug)]
+pub struct Args {
+    pub file: String,
+    pub plane: String,
+    pub topology: String,
+    pub nodes: usize,
+    pub pattern: String,
+    pub rps: f64,
+    pub seconds: u64,
+    pub seed: u64,
+    pub compare: bool,
+    pub csv: Option<String>,
+}
+
+/// The usage string printed on `--help` or bad invocations.
+pub fn usage() -> String {
+    "usage: grouter-cli <workflow.wf> [--plane grouter|infless|nvshmem|deepplan] \
+     [--topology v100|a100|a10|h800] [--nodes N] \
+     [--pattern bursty|sporadic|periodic] [--rps R] [--seconds S] [--seed N] \
+     [--compare] [--csv <file>]"
+        .to_string()
+}
+
+/// Parse `argv` (without the program name).
+pub fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        file: String::new(),
+        plane: "grouter".into(),
+        topology: "v100".into(),
+        nodes: 1,
+        pattern: "bursty".into(),
+        rps: 5.0,
+        seconds: 10,
+        seed: 42,
+        compare: false,
+        csv: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--plane" => args.plane = take("--plane")?,
+            "--topology" => args.topology = take("--topology")?,
+            "--nodes" => {
+                args.nodes = take("--nodes")?
+                    .parse()
+                    .map_err(|_| "--nodes must be an integer".to_string())?
+            }
+            "--pattern" => args.pattern = take("--pattern")?,
+            "--rps" => {
+                args.rps = take("--rps")?
+                    .parse()
+                    .map_err(|_| "--rps must be a number".to_string())?
+            }
+            "--seconds" => {
+                args.seconds = take("--seconds")?
+                    .parse()
+                    .map_err(|_| "--seconds must be an integer".to_string())?
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--compare" => args.compare = true,
+            "--csv" => args.csv = Some(take("--csv")?),
+            "--help" | "-h" => return Err(usage()),
+            flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
+            path => {
+                if !args.file.is_empty() {
+                    return Err("only one workflow file is accepted".to_string());
+                }
+                args.file = path.to_string();
+            }
+        }
+    }
+    if args.file.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(words: &[&str]) -> Result<Args, String> {
+        let argv: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+        parse_args(&argv)
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&["wf.wf"]).expect("valid");
+        assert_eq!(a.file, "wf.wf");
+        assert_eq!(a.plane, "grouter");
+        assert_eq!(a.topology, "v100");
+        assert_eq!(a.nodes, 1);
+        assert!(!a.compare);
+        assert!(a.csv.is_none());
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&[
+            "wf.wf", "--plane", "infless", "--topology", "a100", "--nodes", "2",
+            "--pattern", "sporadic", "--rps", "12.5", "--seconds", "30",
+            "--seed", "7", "--compare", "--csv", "out.csv",
+        ])
+        .expect("valid");
+        assert_eq!(a.plane, "infless");
+        assert_eq!(a.topology, "a100");
+        assert_eq!(a.nodes, 2);
+        assert_eq!(a.pattern, "sporadic");
+        assert_eq!(a.rps, 12.5);
+        assert_eq!(a.seconds, 30);
+        assert_eq!(a.seed, 7);
+        assert!(a.compare);
+        assert_eq!(a.csv.as_deref(), Some("out.csv"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse(&[]).is_err(), "missing file");
+        assert!(parse(&["a.wf", "--nodes", "x"]).is_err(), "bad integer");
+        assert!(parse(&["a.wf", "--rps"]).is_err(), "missing value");
+        assert!(parse(&["a.wf", "--bogus"]).is_err(), "unknown flag");
+        assert!(parse(&["a.wf", "b.wf"]).is_err(), "two files");
+    }
+}

@@ -1,0 +1,24 @@
+//! # grouter-cli
+//!
+//! Text-format workflow definitions and the argument handling behind the
+//! `grouter-cli` binary, so downstream users can simulate their own
+//! inference pipelines without writing Rust:
+//!
+//! ```text
+//! # my_pipeline.wf
+//! workflow traffic-lite
+//! input 4MB
+//! slo 150ms
+//! stage decode  cpu compute=5ms  out=48MB
+//! stage detect  gpu compute=22ms out=24MB mem=1.9GB deps=decode
+//! stage classify gpu compute=9ms out=1MB  mem=0.8GB deps=detect
+//! ```
+//!
+//! ```text
+//! grouter-cli my_pipeline.wf --plane grouter --topology v100 --rps 10 --seconds 10
+//! ```
+
+pub mod args;
+pub mod parse;
+
+pub use parse::{parse_workflow, ParseError};

@@ -1,0 +1,159 @@
+//! `grouter-cli` — simulate a `.wf` workflow on any testbed / data plane.
+//!
+//! ```text
+//! grouter-cli <workflow.wf> [--plane grouter|infless|nvshmem|deepplan]
+//!             [--topology v100|a100|a10|h800] [--nodes N]
+//!             [--pattern bursty|sporadic|periodic] [--rps R]
+//!             [--seconds S] [--seed N]
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use grouter::runtime::dataplane::DataPlane;
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::Runtime;
+use grouter::sim::rng::DetRng;
+use grouter::sim::time::SimDuration;
+use grouter::topology::graph::TopologySpec;
+use grouter::topology::presets;
+use grouter::{GrouterConfig, GrouterPlane};
+use grouter_baselines::{deepplan_plane, InflessPlane, NvshmemPlane};
+use grouter_cli::args::parse_args;
+use grouter_cli::parse_workflow;
+use grouter_workloads::azure::{generate_trace, ArrivalPattern};
+
+fn topology_of(name: &str) -> Result<TopologySpec, String> {
+    Ok(match name {
+        "v100" => presets::dgx_v100(),
+        "a100" => presets::dgx_a100(),
+        "a10" => presets::a10x4(),
+        "h800" => presets::h800x8(),
+        other => return Err(format!("unknown topology '{other}'")),
+    })
+}
+
+fn plane_of(name: &str, seed: u64) -> Result<Box<dyn DataPlane>, String> {
+    Ok(match name {
+        "grouter" => Box::new(GrouterPlane::new(GrouterConfig::full())),
+        "infless" => Box::new(InflessPlane::new()),
+        "nvshmem" => Box::new(NvshmemPlane::new(seed)),
+        "deepplan" => deepplan_plane(seed),
+        other => return Err(format!("unknown plane '{other}'")),
+    })
+}
+
+fn pattern_of(name: &str) -> Result<ArrivalPattern, String> {
+    Ok(match name {
+        "bursty" => ArrivalPattern::Bursty,
+        "sporadic" => ArrivalPattern::Sporadic,
+        "periodic" => ArrivalPattern::Periodic,
+        other => return Err(format!("unknown pattern '{other}'")),
+    })
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(m) => {
+            eprintln!("{m}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&args.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let spec = match parse_workflow(&text) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("{}: {e}", args.file);
+            return ExitCode::FAILURE;
+        }
+    };
+    let run_one = |plane_name: &str| -> Result<grouter::runtime::metrics::Metrics, String> {
+        let topo = topology_of(&args.topology)?;
+        let plane = plane_of(plane_name, args.seed)?;
+        let pattern = pattern_of(&args.pattern)?;
+        let mut rt = Runtime::new(topo, args.nodes, plane, RuntimeConfig::default());
+        let mut rng = DetRng::new(args.seed);
+        for t in generate_trace(
+            pattern,
+            args.rps,
+            SimDuration::from_secs(args.seconds),
+            &mut rng,
+        ) {
+            rt.submit(spec.clone(), t);
+        }
+        rt.run();
+        Ok(rt.metrics().clone())
+    };
+    let run = || -> Result<(), String> {
+        println!(
+            "workflow '{}' on {} x {}, {} pattern at {} req/s for {}s",
+            spec.name, args.nodes, args.topology, args.pattern, args.rps, args.seconds
+        );
+        if args.compare {
+            println!(
+                "{:<12} {:>10} {:>10} {:>10} {:>16}",
+                "plane", "mean (ms)", "p50 (ms)", "p99 (ms)", "data pass (ms)"
+            );
+            for plane_name in ["infless", "nvshmem", "deepplan", "grouter"] {
+                let m = run_one(plane_name)?;
+                let lat = m.latency_ms(None);
+                let (_, gg, gh, hh) = m.breakdown_ms(None);
+                println!(
+                    "{:<12} {:>10.1} {:>10.1} {:>10.1} {:>16.1}",
+                    plane_name,
+                    lat.mean(),
+                    lat.p50(),
+                    lat.p99(),
+                    gg + gh + hh
+                );
+            }
+            return Ok(());
+        }
+        let m = run_one(&args.plane)?;
+        let lat = m.latency_ms(None);
+        let (comp, gg, gh, hh) = m.breakdown_ms(None);
+        println!("plane: {}", args.plane);
+        println!(
+            "requests: {} submitted, {} completed",
+            m.arrivals,
+            m.completed()
+        );
+        println!(
+            "latency (ms): mean {:.1}  p50 {:.1}  p99 {:.1}  max {:.1}",
+            lat.mean(),
+            lat.p50(),
+            lat.p99(),
+            lat.max()
+        );
+        println!(
+            "mean breakdown (ms): compute {comp:.1}  gFn-gFn {gg:.1}  gFn-host {gh:.1}  cFn-cFn {hh:.1}"
+        );
+        if spec.slo > SimDuration::ZERO {
+            println!(
+                "SLO {:.0} ms: {:.0}% of requests met it",
+                spec.slo.as_millis_f64(),
+                m.slo_compliance(None, spec.slo) * 100.0
+            );
+        }
+        if let Some(path) = &args.csv {
+            std::fs::write(path, m.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("per-request records written to {path}");
+        }
+        Ok(())
+    };
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(m) => {
+            eprintln!("{m}");
+            ExitCode::FAILURE
+        }
+    }
+}

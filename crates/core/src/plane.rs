@@ -1,0 +1,564 @@
+//! The GROUTER data plane (paper §4).
+//!
+//! [`GrouterPlane`] implements [`DataPlane`] with all four components:
+//!
+//! 1. **Unified data-passing framework** — `Put` detects the producer's GPU
+//!    and stores the object *there* (zero-copy via CUDA IPC address
+//!    sharing); `Get` resolves the object and moves it once, directly to
+//!    the consumer, choosing the pattern-appropriate engine (§4.2).
+//! 2. **Fine-grained bandwidth harvesting** — gFn–host traffic fans out
+//!    over route-GPU PCIe links, cross-node traffic over multiple NICs;
+//!    SLO transfers receive `Rate_least` floors and the tightest SLO gets
+//!    the idle bandwidth (§4.3.2).
+//! 3. **Topology-aware transfer scheduling** — intra-node transfers use
+//!    Algorithm 1 over the node's bandwidth matrix, reserving parallel
+//!    NVLink paths that are released when the transfer completes (§4.3.3).
+//! 4. **Elastic storage** — pool sizing follows the pre-warm scaler,
+//!    migration is request-queue-aware, and migrated objects are restored
+//!    proactively when memory frees up (§4.4).
+
+use std::collections::BTreeMap;
+
+use grouter_mem::{AllocError, EvictionPolicy, GrouterPolicy, LruPolicy, ObjectMeta};
+use grouter_runtime::dataplane::{DataOp, DataPlane, Destination, OpLeg, PlaneCtx, PlaneStats, PutOp};
+use grouter_sim::rng::DetRng;
+use grouter_sim::time::SimDuration;
+use grouter_store::{AccessToken, DataId, Location, StoreError};
+use grouter_topology::GpuRef;
+use grouter_transfer::plan::{
+    plan_cross_node, plan_d2h, plan_h2d, plan_host_to_host, plan_intra_node, plan_shm,
+    PlannedFlow, TransferPlan,
+};
+
+use crate::config::GrouterConfig;
+
+/// The GPU-centric data plane.
+#[derive(Debug)]
+pub struct GrouterPlane {
+    cfg: GrouterConfig,
+    /// Randomness only used when the unified framework is ablated away
+    /// (random store GPU, NVSHMEM-style).
+    rng: DetRng,
+    /// Objects migrated to host memory and the GPU they should return to.
+    migrated_home: BTreeMap<u64, GpuRef>,
+    stats: PlaneStats,
+}
+
+impl GrouterPlane {
+    pub fn new(cfg: GrouterConfig) -> GrouterPlane {
+        GrouterPlane {
+            cfg,
+            rng: DetRng::new(0x6706_7265),
+            migrated_home: BTreeMap::new(),
+            stats: PlaneStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> GrouterConfig {
+        self.cfg
+    }
+
+    /// Stage a host-bound leg through the node's circular pinned buffer
+    /// (§4.3.2): reuse is free; overflow falls back to an ad-hoc pinned
+    /// allocation whose latency is added to the leg setup.
+    fn apply_pinned(&self, ctx: &mut PlaneCtx<'_>, leg: &mut OpLeg) {
+        let node = leg.nv_node;
+        let want = grouter_sim::params::PINNED_STAGE_BYTES.min(leg.plan.total_bytes);
+        if want <= 0.0 {
+            return;
+        }
+        let grant = ctx.pinned[node].acquire(want);
+        leg.plan.setup = leg.plan.setup + grant.latency;
+        if !grant.pinned_fresh {
+            leg.pinned_release = Some((node, want));
+        }
+    }
+
+    /// Attach `Rate_least` floors and the tightest-SLO weight to a PCIe/NIC
+    /// leg (§4.3.2). No-op without bandwidth harvesting or without an SLO.
+    fn apply_slo(&self, ctx: &mut PlaneCtx<'_>, leg: &mut OpLeg) {
+        if !self.cfg.bandwidth_harvesting {
+            return;
+        }
+        let Some(slo) = ctx.slo else {
+            return;
+        };
+        if leg.plan.flows.is_empty() || leg.plan.total_bytes <= 0.0 {
+            return;
+        }
+        let node = leg.nv_node;
+        // The bandwidth domain is what this plan can reach: the sum of its
+        // paths' bottleneck capacities.
+        let domain_bw: f64 = leg
+            .plan
+            .flows
+            .iter()
+            .map(|f| {
+                f.links
+                    .iter()
+                    .map(|&l| ctx.net.link_capacity(l))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        let token = ctx.rates[node].register(ctx.now, leg.plan.total_bytes, slo);
+        for flow in &mut leg.plan.flows {
+            flow.opts = ctx.rates[node].flow_options(token, flow.bytes, domain_bw);
+        }
+        leg.rate_token = Some((node, token));
+    }
+
+    /// Build an intra-node gFn–gFn leg through the node's reservation
+    /// ledger: Algorithm 1 path selection with direct-path priority —
+    /// indirect occupants of the direct edge are reassigned to alternative
+    /// routes (§4.3.3), and the executor re-paths their in-flight flows.
+    fn ledger_intra_leg(
+        &self,
+        ctx: &mut PlaneCtx<'_>,
+        node: usize,
+        src: usize,
+        dst: usize,
+        bytes: f64,
+    ) -> OpLeg {
+        use grouter_sim::params;
+        let max_hops = if ctx.topo.has_nvswitch() { 1 } else { self.cfg.max_hops };
+        let (res, sel, rebalances) =
+            ctx.ledgers[node].reserve(src, dst, max_hops, self.cfg.max_paths);
+        if sel.is_empty() {
+            // No NVLink route: fall back to the single-path planner (PCIe
+            // peer-to-peer or shortest route).
+            let plan = plan_intra_node(
+                ctx.topo,
+                ctx.net,
+                None,
+                node,
+                src,
+                dst,
+                bytes,
+                &grouter_transfer::plan::PlanConfig::single_path(),
+            );
+            ctx.ledgers[node].release(res);
+            return OpLeg::new(plan, node);
+        }
+        let caps: Vec<f64> = sel.paths.iter().map(|p| p.rate).collect();
+        let shares = grouter_transfer::chunk::proportional_split(bytes, &caps);
+        let flows: Vec<PlannedFlow> = sel
+            .paths
+            .iter()
+            .zip(shares)
+            .map(|(p, share)| {
+                let mut links = Vec::new();
+                for hop in p.gpus.windows(2) {
+                    links.extend(
+                        ctx.topo
+                            .nvlink_edge(node, hop[0], hop[1])
+                            .expect("selected path uses existing edges"),
+                    );
+                }
+                PlannedFlow {
+                    links,
+                    bytes: share,
+                    opts: Default::default(),
+                    nv_reservation: None, // the ledger owns the reservation
+                    route: Some(p.gpus.clone()),
+                }
+            })
+            .collect();
+        let plan = TransferPlan {
+            flows,
+            setup: params::IPC_MAP_FIRST + params::DMA_LAUNCH + params::CHUNK_OVERHEAD,
+            total_bytes: bytes,
+        };
+        let mut leg = OpLeg::new(plan, node);
+        leg.ledger_release = Some((node, res));
+        leg.reroutes = rebalances.into_iter().map(|rb| (node, rb)).collect();
+        leg
+    }
+
+    /// Allocate `bytes` of pool space on `gpu`, migrating victims to host
+    /// memory if needed (queue-aware with ES, LRU without). Returns the
+    /// allocation latency and the migration legs; `Err(())` when the object
+    /// can never fit (caller falls back to host storage).
+    fn alloc(
+        &mut self,
+        ctx: &mut PlaneCtx<'_>,
+        gpu: GpuRef,
+        bytes: f64,
+    ) -> Result<(SimDuration, Vec<OpLeg>), ()> {
+        let idx = ctx.pool_index(gpu);
+        match ctx.pools[idx].try_alloc(bytes) {
+            Ok(grant) => Ok((grant.latency, Vec::new())),
+            Err(AllocError::NeedsEviction { shortfall }) => {
+                let legs = self.migrate(ctx, gpu, shortfall);
+                match ctx.pools[idx].try_alloc(bytes) {
+                    Ok(grant) => Ok((grant.latency, legs)),
+                    Err(_) => Err(()),
+                }
+            }
+            Err(AllocError::TooLarge) => Err(()),
+        }
+    }
+
+    /// Migrate at least `need` bytes off `gpu` to host memory.
+    fn migrate(&mut self, ctx: &mut PlaneCtx<'_>, gpu: GpuRef, need: f64) -> Vec<OpLeg> {
+        let entries = ctx.store.entries_at(Location::Gpu(gpu));
+        let metas: Vec<ObjectMeta> = entries
+            .iter()
+            .map(|e| ObjectMeta {
+                key: e.id.0,
+                bytes: e.bytes,
+                last_access: e.last_access,
+                next_use: e.next_use,
+            })
+            .collect();
+        let victims = if self.cfg.elastic_storage {
+            GrouterPolicy.select_victims(&metas, need)
+        } else {
+            LruPolicy.select_victims(&metas, need)
+        };
+        let host_cfg = self.cfg.host_cfg();
+        let mut legs = Vec::new();
+        for v in victims {
+            let id = DataId(v);
+            let entry = ctx.store.peek(id).expect("victim exists").clone();
+            legs.push(OpLeg::new(
+                plan_d2h(ctx.topo, ctx.net, gpu.node, gpu.gpu, entry.bytes, &host_cfg),
+                gpu.node,
+            ));
+            ctx.store
+                .relocate(id, Location::Host(gpu.node))
+                .expect("victim exists");
+            let idx = ctx.pool_index(gpu);
+            ctx.pools[idx].free(entry.bytes);
+            self.stats.migrations += 1;
+            if self.cfg.elastic_storage {
+                self.migrated_home.insert(v, gpu);
+            }
+        }
+        legs
+    }
+
+    /// Proactively restore migrated objects to `gpu` while pool space
+    /// allows (§4.4.2). Soonest-needed first; each restoration is its own
+    /// background operation.
+    fn restores(&mut self, ctx: &mut PlaneCtx<'_>, gpu: GpuRef) -> Vec<DataOp> {
+        if !self.cfg.elastic_storage || !self.cfg.proactive_restore {
+            return Vec::new();
+        }
+        let candidates: Vec<ObjectMeta> = self
+            .migrated_home
+            .iter()
+            .filter(|&(_, &home)| home == gpu)
+            .filter_map(|(&id, _)| {
+                let entry = ctx.store.peek(DataId(id))?;
+                if !matches!(entry.location, Location::Host(_)) {
+                    return None;
+                }
+                Some(ObjectMeta {
+                    key: id,
+                    bytes: entry.bytes,
+                    last_access: entry.last_access,
+                    next_use: entry.next_use,
+                })
+            })
+            .collect();
+        let order = GrouterPolicy.restore_order(&candidates);
+        let host_cfg = self.cfg.host_cfg();
+        let mut ops = Vec::new();
+        for key in order {
+            let id = DataId(key);
+            let bytes = ctx.store.peek(id).expect("candidate exists").bytes;
+            let idx = ctx.pool_index(gpu);
+            // Leave headroom for incoming puts: restoring into a full pool
+            // would just force the next put to evict again (thrash), and the
+            // restore traffic would contend with critical-path transfers.
+            if ctx.pools[idx].used() + bytes > 0.7 * ctx.pools[idx].storage_cap() {
+                break;
+            }
+            let Ok(grant) = ctx.pools[idx].try_alloc(bytes) else {
+                break; // no headroom; stop restoring
+            };
+            ctx.store
+                .relocate(id, Location::Gpu(gpu))
+                .expect("candidate exists");
+            self.migrated_home.remove(&key);
+            self.stats.restores += 1;
+            ops.push(DataOp {
+                control_latency: grant.latency,
+                legs: vec![OpLeg::new(
+                    plan_h2d(ctx.topo, ctx.net, gpu.node, gpu.gpu, bytes, &host_cfg),
+                    gpu.node,
+                )],
+            });
+        }
+        ops
+    }
+
+    /// Track demand and resize the pool toward the pre-warm target (§4.4.1).
+    fn resize_pool(&self, ctx: &mut PlaneCtx<'_>, gpu: GpuRef) {
+        if !self.cfg.elastic_storage {
+            return;
+        }
+        let idx = ctx.pool_index(gpu);
+        let target = ctx.scalers[idx].target_bytes(ctx.now);
+        if target > ctx.pools[idx].reserved() {
+            ctx.pools[idx].prewarm_toward(target);
+        } else {
+            ctx.pools[idx].reclaim_toward(target);
+        }
+    }
+}
+
+impl DataPlane for GrouterPlane {
+    fn name(&self) -> &'static str {
+        "GROUTER"
+    }
+
+    fn put(
+        &mut self,
+        ctx: &mut PlaneCtx<'_>,
+        token: AccessToken,
+        source: Destination,
+        bytes: f64,
+        consumers: u32,
+    ) -> Result<PutOp, StoreError> {
+        match source {
+            Destination::Gpu(g) => {
+                // Locality: keep the data on the producer's GPU. Without the
+                // unified framework the store is placement-blind (random).
+                let store_gpu = if self.cfg.unified_framework {
+                    g
+                } else {
+                    GpuRef::new(g.node, self.rng.next_below(ctx.topo.gpus_per_node() as u64) as usize)
+                };
+                match self.alloc(ctx, store_gpu, bytes) {
+                    Ok((alloc_lat, mut legs)) => {
+                        if self.cfg.elastic_storage {
+                            let idx = ctx.pool_index(store_gpu);
+                            ctx.scalers[idx].on_output(token.function.0, bytes);
+                        }
+                        let (id, lookup) = ctx.store.put(
+                            ctx.now,
+                            token,
+                            Location::Gpu(store_gpu),
+                            bytes,
+                            consumers,
+                        );
+                        if store_gpu != g {
+                            // Relay copy (only without UF).
+                            if self.cfg.topology_aware {
+                                legs.push(self.ledger_intra_leg(
+                                    ctx,
+                                    g.node,
+                                    g.gpu,
+                                    store_gpu.gpu,
+                                    bytes,
+                                ));
+                            } else {
+                                let plan = plan_intra_node(
+                                    ctx.topo,
+                                    ctx.net,
+                                    None,
+                                    g.node,
+                                    g.gpu,
+                                    store_gpu.gpu,
+                                    bytes,
+                                    &self.cfg.intra_cfg(),
+                                );
+                                legs.push(OpLeg::new(plan, g.node));
+                            }
+                        }
+                        Ok(PutOp {
+                            id,
+                            op: DataOp {
+                                control_latency: lookup
+                                    + alloc_lat
+                                    + grouter_sim::params::IPC_MAP_CACHED,
+                                legs,
+                            },
+                        })
+                    }
+                    Err(()) => {
+                        // Oversized object: store in host memory.
+                        let (id, lookup) = ctx.store.put(
+                            ctx.now,
+                            token,
+                            Location::Host(g.node),
+                            bytes,
+                            consumers,
+                        );
+                        let mut leg = OpLeg::new(
+                            plan_d2h(ctx.topo, ctx.net, g.node, g.gpu, bytes, &self.cfg.host_cfg()),
+                            g.node,
+                        );
+                        self.apply_slo(ctx, &mut leg);
+                        self.apply_pinned(ctx, &mut leg);
+                        Ok(PutOp {
+                            id,
+                            op: DataOp {
+                                control_latency: lookup,
+                                legs: vec![leg],
+                            },
+                        })
+                    }
+                }
+            }
+            Destination::Host(n) => {
+                let (id, lookup) = ctx
+                    .store
+                    .put(ctx.now, token, Location::Host(n), bytes, consumers);
+                Ok(PutOp {
+                    id,
+                    op: DataOp::control_only(lookup),
+                })
+            }
+        }
+    }
+
+    fn get(
+        &mut self,
+        ctx: &mut PlaneCtx<'_>,
+        token: AccessToken,
+        id: DataId,
+        dest: Destination,
+    ) -> Result<DataOp, StoreError> {
+        let node = match dest {
+            Destination::Gpu(g) => g.node,
+            Destination::Host(n) => n,
+        };
+        let (entry, lookup) = ctx.store.resolve(ctx.now, node, token, id)?;
+        let mut legs: Vec<OpLeg> = Vec::new();
+        match (entry.location, dest) {
+            (Location::Gpu(s), Destination::Gpu(d)) if s == d => {
+                // Zero-copy address sharing (§4.2.2).
+                return Ok(DataOp::control_only(
+                    lookup + grouter_sim::params::IPC_MAP_CACHED,
+                ));
+            }
+            (Location::Gpu(s), Destination::Gpu(d)) if s.node == d.node => {
+                if self.cfg.topology_aware && ctx.topo.has_nvlink() {
+                    legs.push(self.ledger_intra_leg(ctx, s.node, s.gpu, d.gpu, entry.bytes));
+                } else {
+                    let plan = plan_intra_node(
+                        ctx.topo,
+                        ctx.net,
+                        None,
+                        s.node,
+                        s.gpu,
+                        d.gpu,
+                        entry.bytes,
+                        &self.cfg.intra_cfg(),
+                    );
+                    legs.push(OpLeg::new(plan, s.node));
+                }
+            }
+            (Location::Gpu(s), Destination::Gpu(d)) => {
+                // Direct GDR, multi-NIC when harvesting (Fig. 9a).
+                let mut leg = OpLeg::new(
+                    plan_cross_node(ctx.topo, ctx.net, s, d, entry.bytes, &self.cfg.xnode_cfg()),
+                    s.node,
+                );
+                self.apply_slo(ctx, &mut leg);
+                legs.push(leg);
+            }
+            (Location::Gpu(s), Destination::Host(n)) => {
+                let mut leg = OpLeg::new(
+                    plan_d2h(ctx.topo, ctx.net, s.node, s.gpu, entry.bytes, &self.cfg.host_cfg()),
+                    s.node,
+                );
+                self.apply_slo(ctx, &mut leg);
+                self.apply_pinned(ctx, &mut leg);
+                legs.push(leg);
+                if s.node != n {
+                    legs.push(OpLeg::new(
+                        plan_host_to_host(ctx.topo, ctx.net, s.node, n, entry.bytes),
+                        s.node,
+                    ));
+                }
+            }
+            (Location::Host(h), Destination::Gpu(d)) => {
+                if h != d.node {
+                    legs.push(OpLeg::new(
+                        plan_host_to_host(ctx.topo, ctx.net, h, d.node, entry.bytes),
+                        h,
+                    ));
+                }
+                let mut leg = OpLeg::new(
+                    plan_h2d(ctx.topo, ctx.net, d.node, d.gpu, entry.bytes, &self.cfg.host_cfg()),
+                    d.node,
+                );
+                self.apply_slo(ctx, &mut leg);
+                self.apply_pinned(ctx, &mut leg);
+                legs.push(leg);
+            }
+            (Location::Host(a), Destination::Host(b)) => {
+                if a == b {
+                    legs.push(OpLeg::new(plan_shm(ctx.topo, ctx.net, a, entry.bytes), a));
+                } else {
+                    legs.push(OpLeg::new(
+                        plan_host_to_host(ctx.topo, ctx.net, a, b, entry.bytes),
+                        a,
+                    ));
+                }
+            }
+        }
+        Ok(DataOp {
+            control_latency: lookup,
+            legs,
+        })
+    }
+
+    fn on_consumed(&mut self, ctx: &mut PlaneCtx<'_>, id: DataId) -> Vec<DataOp> {
+        let entry = ctx.store.peek(id).cloned();
+        let mut freed_gpu = None;
+        if ctx.store.consumed(id) {
+            self.migrated_home.remove(&id.0);
+            if let Some(entry) = entry {
+                if let Location::Gpu(g) = entry.location {
+                    let idx = ctx.pool_index(g);
+                    ctx.pools[idx].free(entry.bytes);
+                    if self.cfg.elastic_storage {
+                        ctx.scalers[idx].on_consumed(entry.producer.0);
+                    }
+                    freed_gpu = Some(g);
+                }
+            }
+        }
+        // Memory just freed: shrink toward target, then restore what fits.
+        if let Some(g) = freed_gpu {
+            self.resize_pool(ctx, g);
+            return self.restores(ctx, g);
+        }
+        Vec::new()
+    }
+
+    fn on_memory_change(&mut self, ctx: &mut PlaneCtx<'_>, gpu: GpuRef) -> Vec<DataOp> {
+        let idx = ctx.pool_index(gpu);
+        let over = ctx.pools[idx].used() - ctx.pools[idx].storage_cap();
+        if over > 0.0 {
+            let legs = self.migrate(ctx, gpu, over);
+            if legs.is_empty() {
+                return Vec::new();
+            }
+            return vec![DataOp {
+                control_latency: SimDuration::ZERO,
+                legs,
+            }];
+        }
+        self.restores(ctx, gpu)
+    }
+
+    fn stats(&self) -> PlaneStats {
+        self.stats
+    }
+
+    fn on_request(&mut self, ctx: &mut PlaneCtx<'_>, stages: &[Destination]) {
+        let mut seen = std::collections::BTreeSet::new();
+        for dest in stages {
+            if let Destination::Gpu(g) = dest {
+                if seen.insert(*g) {
+                    self.resize_pool(ctx, *g);
+                }
+            }
+        }
+    }
+}

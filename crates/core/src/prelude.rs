@@ -1,0 +1,22 @@
+//! Convenience imports for application code.
+//!
+//! ```
+//! use grouter::prelude::*;
+//!
+//! let mut wf = WorkflowSpec::new("demo", 1e6);
+//! wf.push(StageSpec::gpu("only", vec![], SimDuration::from_millis(5), 1e6, 1e9));
+//! let mut rt = grouter_runtime_on(presets::dgx_v100(), 1, GrouterConfig::full());
+//! rt.submit(std::sync::Arc::new(wf), SimTime::ZERO);
+//! rt.run();
+//! assert_eq!(rt.metrics().completed(), 1);
+//! ```
+
+pub use crate::{grouter_runtime_on, grouter_runtime_with, GrouterConfig, GrouterPlane};
+pub use grouter_runtime::dataplane::{DataPlane, Destination};
+pub use grouter_runtime::metrics::PassCategory;
+pub use grouter_runtime::placement::PlacementPolicy;
+pub use grouter_runtime::spec::{StageKind, StageSpec, WorkflowSpec};
+pub use grouter_runtime::world::RuntimeConfig;
+pub use grouter_runtime::Runtime;
+pub use grouter_sim::time::{SimDuration, SimTime};
+pub use grouter_topology::{presets, GpuRef, TopologyKind};

@@ -1,0 +1,372 @@
+//! Behavioural tests: GROUTER vs the baselines on identical workloads.
+//!
+//! These encode the paper's *qualitative* claims at test granularity; the
+//! quantitative sweeps live in `grouter-bench`.
+
+use std::sync::Arc;
+
+use grouter::runtime::dataplane::{DataPlane, Destination};
+use grouter::runtime::metrics::PassCategory;
+use grouter::runtime::placement::PlacementPolicy;
+use grouter::runtime::spec::{StageSpec, WorkflowSpec};
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::Runtime;
+use grouter::sim::time::{SimDuration, SimTime};
+use grouter::topology::{presets, GpuRef};
+use grouter::{GrouterConfig, GrouterPlane};
+use grouter_baselines::{InflessPlane, NvshmemPlane};
+
+const MB: f64 = 1e6;
+
+fn ms(v: u64) -> SimDuration {
+    SimDuration::from_millis(v)
+}
+
+/// Two GPU stages exchanging `bytes` on the weakly connected pair (0, 1).
+fn hop_workflow(bytes: f64) -> Arc<WorkflowSpec> {
+    let mut wf = WorkflowSpec::new("hop", 1.0 * MB);
+    let a = wf.push(StageSpec::gpu("a", vec![], ms(5), bytes, 1e9));
+    wf.push(StageSpec::gpu("b", vec![a], ms(5), 1.0 * MB, 1e9));
+    Arc::new(wf)
+}
+
+fn run_pinned(plane: Box<dyn DataPlane>, spec: Arc<WorkflowSpec>, gpus: Vec<usize>) -> Runtime {
+    let pin = PlacementPolicy::Pinned(
+        gpus.into_iter()
+            .map(|g| Destination::Gpu(GpuRef::new(0, g)))
+            .collect(),
+    );
+    let cfg = RuntimeConfig {
+        placement: pin,
+        placement_nodes: vec![0],
+        ..Default::default()
+    };
+    let mut rt = Runtime::new(presets::dgx_v100(), 1, plane, cfg);
+    rt.submit(spec, SimTime::ZERO);
+    rt.run();
+    rt
+}
+
+fn gfn_gfn_ms(rt: &Runtime) -> f64 {
+    rt.metrics().records()[0]
+        .passing_of(PassCategory::GpuGpu)
+        .as_millis_f64()
+}
+
+fn gfn_host_ms(rt: &Runtime) -> f64 {
+    rt.metrics().records()[0]
+        .passing_of(PassCategory::GpuHost)
+        .as_millis_f64()
+}
+
+#[test]
+fn grouter_intra_node_beats_host_centric_and_nvshmem() {
+    let bytes = 240.0 * MB;
+    let grouter = run_pinned(
+        Box::new(GrouterPlane::new(GrouterConfig::full())),
+        hop_workflow(bytes),
+        vec![0, 1],
+    );
+    let infless = run_pinned(
+        Box::new(InflessPlane::new()),
+        hop_workflow(bytes),
+        vec![0, 1],
+    );
+    let nvshmem = run_pinned(
+        Box::new(NvshmemPlane::new(5)),
+        hop_workflow(bytes),
+        vec![0, 1],
+    );
+    let g = gfn_gfn_ms(&grouter);
+    // Attribution is by logical edge: INFless+'s detour through host memory
+    // still counts as the gFn–gFn hop, exactly like the paper's Fig. 3.
+    let i = gfn_gfn_ms(&infless);
+    let n = gfn_gfn_ms(&nvshmem);
+    // Paper Fig. 13a: −95 % vs INFless+, −75 % vs NVSHMEM+.
+    assert!(g < 0.15 * i, "GROUTER {g} ms vs INFless+ {i} ms");
+    assert!(g < 0.55 * n, "GROUTER {g} ms vs NVSHMEM+ {n} ms");
+}
+
+#[test]
+fn parallel_nvlink_beats_single_path_on_weak_pairs() {
+    let bytes = 480.0 * MB;
+    let full = run_pinned(
+        Box::new(GrouterPlane::new(GrouterConfig::full())),
+        hop_workflow(bytes),
+        vec![0, 1], // single 24 GB/s link pair
+    );
+    let no_ta = run_pinned(
+        Box::new(GrouterPlane::new(GrouterConfig::full().no_ta())),
+        hop_workflow(bytes),
+        vec![0, 1],
+    );
+    let f = gfn_gfn_ms(&full);
+    let s = gfn_gfn_ms(&no_ta);
+    assert!(
+        f < 0.7 * s,
+        "parallel NVLink {f} ms should clearly beat single path {s} ms"
+    );
+}
+
+#[test]
+fn bandwidth_harvesting_accelerates_egress() {
+    // A single GPU stage with a large output: the response egress is a
+    // gFn-host transfer.
+    let mut wf = WorkflowSpec::new("egress", 1.0 * MB);
+    wf.push(StageSpec::gpu("a", vec![], ms(5), 480.0 * MB, 1e9));
+    let spec = Arc::new(wf);
+    let full = run_pinned(
+        Box::new(GrouterPlane::new(GrouterConfig::full())),
+        spec.clone(),
+        vec![0],
+    );
+    let no_bh = run_pinned(
+        Box::new(GrouterPlane::new(GrouterConfig::full().no_bh())),
+        spec,
+        vec![0],
+    );
+    let f = gfn_host_ms(&full);
+    let s = gfn_host_ms(&no_bh);
+    // 4 PCIe chains vs 1 — paper claims 2–4×.
+    assert!(f < 0.45 * s, "harvested {f} ms vs single-link {s} ms");
+}
+
+#[test]
+fn zero_copy_when_colocated() {
+    let rt = run_pinned(
+        Box::new(GrouterPlane::new(GrouterConfig::full())),
+        hop_workflow(480.0 * MB),
+        vec![3, 3],
+    );
+    let g = gfn_gfn_ms(&rt);
+    // First put pays one millisecond-level cudaMalloc to grow the cold pool
+    // (§4.4.1); no bytes move. A 480 MB copy would take ≥ 10 ms even over
+    // a double NVLink.
+    assert!(g < 2.0, "co-located hop should be zero-copy, got {g} ms");
+}
+
+#[test]
+fn ablation_degrades_monotonically_in_aggregate() {
+    // Cumulative ablation as in Fig. 16; full GROUTER must beat the fully
+    // ablated variant by a clear margin on data-passing latency.
+    let bytes = 240.0 * MB;
+    let configs = [
+        GrouterConfig::full(),
+        GrouterConfig::full().no_es(),
+        GrouterConfig::full().no_es().no_ta(),
+        GrouterConfig::full().no_es().no_ta().no_bh(),
+        GrouterConfig::full().no_es().no_ta().no_bh().no_uf(),
+    ];
+    let mut passing: Vec<f64> = Vec::new();
+    for cfg in configs {
+        let rt = run_pinned(
+            Box::new(GrouterPlane::new(cfg)),
+            hop_workflow(bytes),
+            vec![0, 1],
+        );
+        let rec = &rt.metrics().records()[0];
+        passing.push(rec.passing_total().as_millis_f64());
+    }
+    let full = passing[0];
+    let none = passing[4];
+    assert!(
+        none > 1.3 * full,
+        "fully ablated {none} ms should be ≥1.3× full {full} ms (got {passing:?})"
+    );
+    // Each later ablation is never better than full GROUTER.
+    for (i, p) in passing.iter().enumerate() {
+        assert!(*p >= full * 0.99, "config {i} beat full GROUTER: {passing:?}");
+    }
+}
+
+#[test]
+fn elastic_pool_shrinks_after_burst_static_does_not() {
+    use grouter::mem::PoolDiscipline;
+    // Heavy burst of puts, then idle: elastic storage reclaims.
+    let mut wf = WorkflowSpec::new("burst", 1.0 * MB);
+    wf.push(StageSpec::gpu("a", vec![], ms(2), 400.0 * MB, 1e9));
+    let spec = Arc::new(wf);
+
+    let run = |discipline| {
+        let pin = PlacementPolicy::Pinned(vec![Destination::Gpu(GpuRef::new(0, 0))]);
+        let cfg = RuntimeConfig {
+            placement: pin,
+            placement_nodes: vec![0],
+            pool_discipline: discipline,
+            ..Default::default()
+        };
+        let mut rt = Runtime::new(
+            presets::dgx_v100(),
+            1,
+            Box::new(GrouterPlane::new(GrouterConfig::full())),
+            cfg,
+        );
+        for i in 0..10 {
+            rt.submit(spec.clone(), SimTime(i * 20_000_000));
+        }
+        rt.run();
+        rt
+    };
+
+    let elastic = run(PoolDiscipline::Elastic);
+    let static_ = run(PoolDiscipline::Static { bytes: 6e9 });
+    let e_reserved = elastic.world().pools[0].reserved();
+    let s_reserved = static_.world().pools[0].reserved();
+    assert!(
+        e_reserved < 2e9,
+        "elastic pool still holds {e_reserved} after the burst"
+    );
+    assert!(
+        (s_reserved - 6e9).abs() < 1.0,
+        "static pool must keep its reservation, got {s_reserved}"
+    );
+}
+
+#[test]
+fn queue_aware_migration_protects_imminent_data() {
+    use grouter::mem::{EvictionPolicy, GrouterPolicy, LruPolicy, ObjectMeta};
+    // Direct policy-level check of the Fig. 11b scenario, then the
+    // plane-level wiring: ES on uses queue-aware victims.
+    let objects = vec![
+        ObjectMeta {
+            key: 1,
+            bytes: 100.0,
+            last_access: SimTime(10),
+            next_use: Some(0),
+        },
+        ObjectMeta {
+            key: 2,
+            bytes: 100.0,
+            last_access: SimTime(20),
+            next_use: Some(5),
+        },
+    ];
+    assert_eq!(LruPolicy.select_victims(&objects, 100.0), vec![1]);
+    assert_eq!(GrouterPolicy.select_victims(&objects, 100.0), vec![2]);
+}
+
+#[test]
+fn access_control_blocks_cross_workflow_reads() {
+    // Build a tiny world manually to call the plane directly.
+    use grouter::mem::{ElasticPool, PinnedRing, PoolDiscipline, PrewarmScaler};
+    use grouter::runtime::dataplane::PlaneCtx;
+    use grouter::sim::FlowNet;
+    use grouter::store::{AccessToken, DataStore, FunctionId, WorkflowId};
+    use grouter::topology::{PathLedger, Topology};
+    use grouter::transfer::rate::RateController;
+
+    let mut net = FlowNet::new();
+    let topo = Topology::build(presets::dgx_v100(), 1, &mut net);
+    let mut store = DataStore::new(1);
+    let mut pools: Vec<ElasticPool> = (0..8)
+        .map(|_| ElasticPool::new(PoolDiscipline::Elastic, topo.gpu_mem_bytes()))
+        .collect();
+    let mut scalers: Vec<PrewarmScaler> = (0..8).map(|_| PrewarmScaler::new()).collect();
+    let mut ledgers = vec![PathLedger::from_topology(&topo)];
+    let mut pinned = vec![PinnedRing::new(grouter::sim::params::PINNED_RING_BYTES)];
+    let mut rates = vec![RateController::new()];
+    let mut plane = GrouterPlane::new(GrouterConfig::full());
+
+    let mut ctx = PlaneCtx {
+        topo: &topo,
+        net: &net,
+        store: &mut store,
+        pools: &mut pools,
+        scalers: &mut scalers,
+        ledgers: &mut ledgers,
+        pinned: &mut pinned,
+        rates: &mut rates,
+        now: SimTime::ZERO,
+        slo: None,
+    };
+    let owner = AccessToken {
+        function: FunctionId(1),
+        workflow: WorkflowId(7),
+    };
+    let put = plane
+        .put(&mut ctx, owner, Destination::Gpu(GpuRef::new(0, 0)), 1e6, 1)
+        .expect("put");
+    let intruder = AccessToken {
+        function: FunctionId(2),
+        workflow: WorkflowId(8),
+    };
+    let err = plane
+        .get(&mut ctx, intruder, put.id, Destination::Gpu(GpuRef::new(0, 1)))
+        .unwrap_err();
+    assert!(matches!(err, grouter::store::StoreError::AccessDenied { .. }));
+    // The rightful owner still reads it.
+    let ok = plane.get(&mut ctx, owner, put.id, Destination::Gpu(GpuRef::new(0, 1)));
+    assert!(ok.is_ok());
+}
+
+#[test]
+fn concurrent_transfers_trigger_live_rebalancing_and_release_cleanly() {
+    // Stage s0 (GPU0) feeds s1 (GPU1) with a large object whose Algorithm 1
+    // selection occupies the direct (0,3) edge as part of an indirect
+    // route; s2 (GPU0, serialised after s0) then feeds s3 (GPU3), forcing a
+    // direct-path rebalance of s1's in-flight flow.
+    let mut wf = WorkflowSpec::new("rebalance", 1.0 * MB);
+    let a = wf.push(StageSpec::gpu("a", vec![], ms(1), 600.0 * MB, 1e9));
+    wf.push(StageSpec::gpu("b", vec![a], ms(1), 1.0 * MB, 1e9));
+    let c = wf.push(StageSpec::gpu("c", vec![], ms(2), 600.0 * MB, 1e9));
+    wf.push(StageSpec::gpu("d", vec![c], ms(1), 1.0 * MB, 1e9));
+    let pin = PlacementPolicy::Pinned(vec![
+        Destination::Gpu(GpuRef::new(0, 0)),
+        Destination::Gpu(GpuRef::new(0, 1)),
+        Destination::Gpu(GpuRef::new(0, 0)),
+        Destination::Gpu(GpuRef::new(0, 3)),
+    ]);
+    let cfg = RuntimeConfig {
+        placement: pin,
+        placement_nodes: vec![0],
+        ..Default::default()
+    };
+    // Three paths leave the (0,4) links free as rebalance headroom; with
+    // all four taken there is no alternative route to move the occupant to.
+    let plane_cfg = GrouterConfig {
+        max_paths: 3,
+        ..GrouterConfig::full()
+    };
+    let mut rt = Runtime::new(
+        presets::dgx_v100(),
+        1,
+        Box::new(GrouterPlane::new(plane_cfg)),
+        cfg,
+    );
+    rt.submit(Arc::new(wf), SimTime::ZERO);
+    rt.run();
+    assert_eq!(rt.metrics().completed(), 1);
+    assert!(rt.world().quiescent());
+    // A live flow really was re-pathed.
+    assert!(
+        rt.world().rebalances_applied > 0,
+        "expected at least one live rebalance"
+    );
+    // The hygiene invariant: every reservation released, every edge idle,
+    // no dangling flow-index entries — even after live rebalancing.
+    assert!(rt.world().ledgers_idle(), "NVLink bandwidth leaked");
+}
+
+#[test]
+fn ledgers_idle_after_heavy_concurrent_load() {
+    let spec = hop_workflow(120.0 * MB);
+    let mut rt = {
+        let cfg = RuntimeConfig {
+            placement: PlacementPolicy::Mapa,
+            placement_nodes: vec![0],
+            ..Default::default()
+        };
+        Runtime::new(
+            presets::dgx_v100(),
+            1,
+            Box::new(GrouterPlane::new(GrouterConfig::full())),
+            cfg,
+        )
+    };
+    for i in 0..40 {
+        rt.submit(spec.clone(), SimTime(i * 3_000_000));
+    }
+    rt.run();
+    assert_eq!(rt.metrics().completed(), 40);
+    assert!(rt.world().ledgers_idle(), "NVLink bandwidth leaked");
+}

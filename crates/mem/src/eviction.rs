@@ -1,0 +1,228 @@
+//! Migration victim selection (paper §4.4.2, Fig. 11b).
+//!
+//! When GPU memory pressure rises, stored intermediate data must move to
+//! host memory. The policies differ in *which* objects go first:
+//!
+//! * [`LruPolicy`] — least-recently-*accessed* first. This is what DNN-
+//!   oriented memory managers do, and it is wrong for serverless workflows:
+//!   the output of function `a₁` was written earliest, so LRU evicts it even
+//!   though its consumer `b₁` is at the *head* of the request queue.
+//! * [`QueueAwarePolicy`] (RQ) — evict the data whose consumer sits deepest
+//!   in the request queue (needed latest); data for imminent invocations
+//!   stays resident.
+//! * [`GrouterPolicy`] — queue-aware selection plus *proactive restoration*:
+//!   [`GrouterPolicy::restore_order`] returns migrated objects in ascending
+//!   need order so the store can pull them back as soon as memory frees.
+
+use grouter_sim::time::SimTime;
+
+/// Metadata the policies see for each stored object.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ObjectMeta {
+    /// Opaque object key (the store's data ID).
+    pub key: u64,
+    /// Object size in bytes.
+    pub bytes: f64,
+    /// Last time the object was written or read.
+    pub last_access: SimTime,
+    /// Queue rank of the *earliest* pending consumer of this object:
+    /// 0 = next to run. `None` = no known pending consumer (safest victim).
+    pub next_use: Option<u64>,
+}
+
+/// A victim-selection strategy.
+pub trait EvictionPolicy {
+    /// Pick objects to migrate, in order, until at least `need` bytes are
+    /// covered. `objects` is the resident set; implementations must not
+    /// select the same key twice. Returns selected keys in eviction order.
+    fn select_victims(&self, objects: &[ObjectMeta], need: f64) -> Vec<u64>;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Walk `ordered` (best victims first) until `need` bytes are covered.
+fn take_until(ordered: Vec<&ObjectMeta>, need: f64) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut freed = 0.0;
+    for obj in ordered {
+        if freed >= need {
+            break;
+        }
+        freed += obj.bytes;
+        out.push(obj.key);
+    }
+    out
+}
+
+/// Classic least-recently-used eviction (the NVSHMEM+ baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LruPolicy;
+
+impl EvictionPolicy for LruPolicy {
+    fn select_victims(&self, objects: &[ObjectMeta], need: f64) -> Vec<u64> {
+        let mut ordered: Vec<&ObjectMeta> = objects.iter().collect();
+        // Oldest access first; key breaks ties deterministically.
+        ordered.sort_by_key(|o| (o.last_access, o.key));
+        take_until(ordered, need)
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+}
+
+/// Request-queue-aware eviction (RQ): evict data needed latest first.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueueAwarePolicy;
+
+impl EvictionPolicy for QueueAwarePolicy {
+    fn select_victims(&self, objects: &[ObjectMeta], need: f64) -> Vec<u64> {
+        let mut ordered: Vec<&ObjectMeta> = objects.iter().collect();
+        // Best victims first: objects nobody is scheduled to read, then
+        // objects whose consumer sits deepest in the queue.
+        ordered.sort_by_key(|o| match o.next_use {
+            None => (0u8, 0u64, o.key),
+            Some(rank) => (1, u64::MAX - rank, o.key),
+        });
+        take_until(ordered, need)
+    }
+
+    fn name(&self) -> &'static str {
+        "RQ"
+    }
+}
+
+/// GROUTER's policy: queue-aware victim selection (identical to
+/// [`QueueAwarePolicy`]) + an ordering for proactive restoration of migrated
+/// data when memory frees up.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GrouterPolicy;
+
+impl GrouterPolicy {
+    /// Order migrated objects for restoration: soonest-needed first; objects
+    /// without a known consumer are not restored proactively.
+    pub fn restore_order(&self, migrated: &[ObjectMeta]) -> Vec<u64> {
+        let mut with_use: Vec<&ObjectMeta> =
+            migrated.iter().filter(|o| o.next_use.is_some()).collect();
+        with_use.sort_by_key(|o| (o.next_use.unwrap_or(u64::MAX), o.key));
+        with_use.iter().map(|o| o.key).collect()
+    }
+}
+
+impl EvictionPolicy for GrouterPolicy {
+    fn select_victims(&self, objects: &[ObjectMeta], need: f64) -> Vec<u64> {
+        QueueAwarePolicy.select_victims(objects, need)
+    }
+
+    fn name(&self) -> &'static str {
+        "GROUTER"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(key: u64, bytes: f64, last_access: u64, next_use: Option<u64>) -> ObjectMeta {
+        ObjectMeta {
+            key,
+            bytes,
+            last_access: SimTime(last_access),
+            next_use,
+        }
+    }
+
+    #[test]
+    fn lru_evicts_oldest_access_first() {
+        let objects = vec![
+            obj(1, 100.0, 10, Some(0)), // oldest access but needed next!
+            obj(2, 100.0, 20, Some(5)),
+            obj(3, 100.0, 30, Some(9)),
+        ];
+        let victims = LruPolicy.select_victims(&objects, 150.0);
+        assert_eq!(victims, vec![1, 2], "LRU ignores the queue");
+    }
+
+    #[test]
+    fn queue_aware_evicts_latest_needed_first() {
+        // Fig. 11b: a1's output (consumer b1 enqueued earlier) must outlive
+        // a2's output (consumer b2 enqueued later), regardless of access
+        // recency.
+        let objects = vec![
+            obj(1, 100.0, 10, Some(0)), // a1's output — b1 is next
+            obj(2, 100.0, 20, Some(7)), // a2's output — b2 is far back
+        ];
+        let victims = QueueAwarePolicy.select_victims(&objects, 100.0);
+        assert_eq!(victims, vec![2]);
+    }
+
+    #[test]
+    fn queue_aware_prefers_unconsumed_objects() {
+        let objects = vec![
+            obj(1, 100.0, 10, Some(3)),
+            obj(2, 100.0, 20, None), // nobody scheduled to read it
+            obj(3, 100.0, 30, Some(1)),
+        ];
+        let victims = QueueAwarePolicy.select_victims(&objects, 250.0);
+        assert_eq!(victims, vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn selection_stops_once_need_met() {
+        let objects = vec![
+            obj(1, 400.0, 10, None),
+            obj(2, 400.0, 20, Some(1)),
+            obj(3, 400.0, 30, Some(0)),
+        ];
+        let victims = QueueAwarePolicy.select_victims(&objects, 300.0);
+        assert_eq!(victims, vec![1], "one object already covers the need");
+    }
+
+    #[test]
+    fn empty_set_yields_no_victims() {
+        assert!(LruPolicy.select_victims(&[], 100.0).is_empty());
+        assert!(QueueAwarePolicy.select_victims(&[], 100.0).is_empty());
+    }
+
+    #[test]
+    fn need_larger_than_everything_selects_all() {
+        let objects = vec![obj(1, 10.0, 1, None), obj(2, 10.0, 2, Some(0))];
+        let victims = GrouterPolicy.select_victims(&objects, 1e9);
+        assert_eq!(victims.len(), 2);
+    }
+
+    #[test]
+    fn grouter_matches_queue_aware_selection() {
+        let objects = vec![
+            obj(1, 100.0, 10, Some(0)),
+            obj(2, 100.0, 20, Some(7)),
+            obj(3, 100.0, 5, None),
+        ];
+        assert_eq!(
+            GrouterPolicy.select_victims(&objects, 100.0),
+            QueueAwarePolicy.select_victims(&objects, 100.0)
+        );
+    }
+
+    #[test]
+    fn restore_order_is_soonest_first() {
+        let migrated = vec![
+            obj(1, 100.0, 10, Some(9)),
+            obj(2, 100.0, 20, Some(2)),
+            obj(3, 100.0, 30, None), // never proactively restored
+            obj(4, 100.0, 40, Some(5)),
+        ];
+        assert_eq!(GrouterPolicy.restore_order(&migrated), vec![2, 4, 1]);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_key() {
+        let objects = vec![
+            obj(5, 100.0, 10, Some(3)),
+            obj(2, 100.0, 10, Some(3)),
+        ];
+        let victims = QueueAwarePolicy.select_victims(&objects, 100.0);
+        assert_eq!(victims, vec![2], "ties resolve by key for determinism");
+    }
+}

@@ -1,0 +1,511 @@
+//! Per-GPU storage memory pool.
+//!
+//! Native GPU allocation (`cudaMalloc`/`cudaFree`) costs milliseconds, so
+//! GPU stores keep a pre-allocated pool and serve allocations from it in
+//! microseconds. The paper contrasts three pooling disciplines:
+//!
+//! * **Elastic** (GROUTER, §4.4.1) — the pool grows on demand and shrinks
+//!   back to the pre-warm target (a 300 MB floor in idle periods), and never
+//!   exceeds 50 % of free GPU memory.
+//! * **Static** — a fixed reservation sized for the peak, released only by
+//!   manual reclamation (PyTorch-style); the paper measures 4× over-use.
+//! * **Symmetric** — NVSHMEM's symmetric heap: every allocation is mirrored
+//!   on *all* GPUs of the job, so one GPU's demand bloats every GPU.
+//!
+//! The pool tracks *bytes*, not addresses: fragmentation is out of scope
+//! (GMLake-style defragmentation is orthogonal, §7).
+
+use grouter_sim::params;
+use grouter_sim::time::SimDuration;
+
+/// Which pooling discipline a pool follows.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PoolDiscipline {
+    /// GROUTER: grow on demand, shrink to the scaler's target.
+    Elastic,
+    /// Fixed pre-reservation of the given size; never shrinks.
+    Static { bytes: f64 },
+    /// NVSHMEM symmetric heap of the given per-GPU size; never shrinks and
+    /// is charged to every GPU in the job regardless of local demand.
+    Symmetric { bytes: f64 },
+}
+
+/// A successful allocation: the modelled latency the caller must charge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AllocGrant {
+    /// Allocation latency (pool hit: µs; pool growth: ms for `cudaMalloc`).
+    pub latency: SimDuration,
+    /// Whether the pool had to grow (a native allocation happened).
+    pub grew: bool,
+}
+
+/// Allocation failure.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AllocError {
+    /// The object can fit only after evicting `shortfall` bytes of stored
+    /// data (pool is at its cap or the GPU is out of memory).
+    NeedsEviction { shortfall: f64 },
+    /// The object can never fit on this GPU (larger than the storage cap).
+    TooLarge,
+}
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AllocError::NeedsEviction { shortfall } => {
+                write!(f, "needs eviction of {shortfall:.0} bytes")
+            }
+            AllocError::TooLarge => write!(f, "object exceeds storage capacity"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Byte-level accounting of one GPU's storage pool.
+///
+/// # Examples
+///
+/// ```
+/// use grouter_mem::{ElasticPool, PoolDiscipline};
+///
+/// let mut pool = ElasticPool::new(PoolDiscipline::Elastic, 16e9);
+/// // First allocation fits the 300 MB idle floor: a fast pool hit.
+/// assert!(!pool.try_alloc(100e6).unwrap().grew);
+/// // Growing past the floor costs a native cudaMalloc.
+/// assert!(pool.try_alloc(500e6).unwrap().grew);
+/// pool.free(600e6);
+/// // Idle reclamation shrinks the reservation back toward the floor.
+/// pool.reclaim_toward(0.0);
+/// assert_eq!(pool.reserved(), 300e6);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ElasticPool {
+    discipline: PoolDiscipline,
+    /// Total GPU memory.
+    capacity: f64,
+    /// Memory held by function execution (models, activations) — not ours.
+    runtime_used: f64,
+    /// Pool bytes currently allocated from the GPU.
+    reserved: f64,
+    /// Pool bytes handed out to live objects.
+    used: f64,
+    /// Idle floor (paper: 300 MB).
+    min_pool: f64,
+    /// Fraction of free memory the pool may occupy (paper: 0.5).
+    free_fraction: f64,
+    /// Number of native (`cudaMalloc`) growth events, for overhead reports.
+    native_allocs: u64,
+    /// High-water marks for the memory-overhead report (Fig. 20c).
+    peak_used: f64,
+    peak_reserved: f64,
+}
+
+impl ElasticPool {
+    /// Create a pool on a GPU with `capacity` bytes of memory.
+    pub fn new(discipline: PoolDiscipline, capacity: f64) -> ElasticPool {
+        assert!(capacity > 0.0, "GPU capacity must be positive");
+        let reserved = match discipline {
+            PoolDiscipline::Elastic => params::MIN_POOL_BYTES.min(capacity),
+            PoolDiscipline::Static { bytes } | PoolDiscipline::Symmetric { bytes } => {
+                bytes.min(capacity)
+            }
+        };
+        ElasticPool {
+            discipline,
+            capacity,
+            runtime_used: 0.0,
+            reserved,
+            used: 0.0,
+            min_pool: params::MIN_POOL_BYTES,
+            free_fraction: params::STORAGE_FREE_FRACTION,
+            native_allocs: 1, // the initial reservation
+            peak_used: 0.0,
+            peak_reserved: reserved,
+        }
+    }
+
+    fn note_peaks(&mut self) {
+        self.peak_used = self.peak_used.max(self.used);
+        self.peak_reserved = self.peak_reserved.max(self.reserved);
+    }
+
+    /// Highest live demand ever observed.
+    pub fn peak_used(&self) -> f64 {
+        self.peak_used
+    }
+
+    /// Largest reservation ever held (the storage footprint peak).
+    pub fn peak_reserved(&self) -> f64 {
+        self.peak_reserved
+    }
+
+    pub fn discipline(&self) -> PoolDiscipline {
+        self.discipline
+    }
+
+    /// Total GPU memory.
+    pub fn capacity(&self) -> f64 {
+        self.capacity
+    }
+
+    /// Pool bytes currently reserved from the GPU (the storage *footprint*).
+    pub fn reserved(&self) -> f64 {
+        self.reserved
+    }
+
+    /// Pool bytes held by live objects (the storage *demand*).
+    pub fn used(&self) -> f64 {
+        self.used
+    }
+
+    /// Memory used by function execution.
+    pub fn runtime_used(&self) -> f64 {
+        self.runtime_used
+    }
+
+    /// GPU memory not taken by the runtime or the pool.
+    pub fn idle_gpu_memory(&self) -> f64 {
+        (self.capacity - self.runtime_used - self.reserved).max(0.0)
+    }
+
+    /// The most the pool may reserve right now: `free_fraction` of the
+    /// memory not used by function execution (paper §4.4.2: 50 % of free
+    /// memory), but never below the idle floor.
+    pub fn storage_cap(&self) -> f64 {
+        let cap = (self.capacity - self.runtime_used).max(0.0) * self.free_fraction;
+        cap.max(self.min_pool.min(self.capacity))
+    }
+
+    /// Number of native allocation events so far.
+    pub fn native_allocs(&self) -> u64 {
+        self.native_allocs
+    }
+
+    /// Record a change in runtime (function execution) memory usage.
+    ///
+    /// Returns the number of stored bytes that must be migrated away to
+    /// respect the new cap (0.0 when the pool still fits). The caller evicts
+    /// via its migration policy and then calls [`ElasticPool::free`].
+    pub fn set_runtime_used(&mut self, bytes: f64) -> f64 {
+        self.runtime_used = bytes.clamp(0.0, self.capacity);
+        let cap = self.storage_cap();
+        if self.reserved > cap && matches!(self.discipline, PoolDiscipline::Elastic) {
+            // Shrink the empty part of the pool for free; live objects can
+            // only leave via migration.
+            let shrinkable = self.reserved - self.used;
+            let overshoot = self.reserved - cap;
+            self.reserved -= overshoot.min(shrinkable);
+        }
+        (self.used - self.storage_cap()).max(0.0)
+    }
+
+    /// Allocate `bytes` for a new object.
+    pub fn try_alloc(&mut self, bytes: f64) -> Result<AllocGrant, AllocError> {
+        assert!(bytes >= 0.0, "allocation size must be non-negative");
+        let cap = self.storage_cap();
+        if bytes > cap {
+            return Err(AllocError::TooLarge);
+        }
+        if self.used + bytes <= self.reserved {
+            self.used += bytes;
+            self.note_peaks();
+            return Ok(AllocGrant {
+                latency: params::POOL_ALLOC,
+                grew: false,
+            });
+        }
+        match self.discipline {
+            PoolDiscipline::Static { .. } | PoolDiscipline::Symmetric { .. } => {
+                // Fixed pools never grow: demand beyond the reservation needs
+                // eviction.
+                Err(AllocError::NeedsEviction {
+                    shortfall: self.used + bytes - self.reserved,
+                })
+            }
+            PoolDiscipline::Elastic => {
+                let want = self.used + bytes;
+                if want <= cap {
+                    self.reserved = want;
+                    self.used = want;
+                    self.native_allocs += 1;
+                    self.note_peaks();
+                    Ok(AllocGrant {
+                        latency: params::CUDA_MALLOC,
+                        grew: true,
+                    })
+                } else {
+                    Err(AllocError::NeedsEviction {
+                        shortfall: want - cap,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Release `bytes` of a live object (consumed, deleted, or migrated).
+    pub fn free(&mut self, bytes: f64) {
+        self.used = (self.used - bytes).max(0.0);
+    }
+
+    /// Shrink an elastic pool's reservation toward `target` bytes (the
+    /// pre-warm scaler's estimate). Reservation never drops below live use
+    /// or the idle floor. No-op for fixed disciplines.
+    pub fn reclaim_toward(&mut self, target: f64) {
+        if !matches!(self.discipline, PoolDiscipline::Elastic) {
+            return;
+        }
+        let floor = self.used.max(self.min_pool.min(self.capacity));
+        self.reserved = self.reserved.min(target.max(floor)).max(floor);
+    }
+
+    /// Grow an elastic pool's reservation toward `target` ahead of demand
+    /// (pre-warming). Bounded by the storage cap. Returns `true` if a native
+    /// allocation happened.
+    pub fn prewarm_toward(&mut self, target: f64) -> bool {
+        if !matches!(self.discipline, PoolDiscipline::Elastic) {
+            return false;
+        }
+        let goal = target.min(self.storage_cap());
+        if goal > self.reserved {
+            self.reserved = goal;
+            self.native_allocs += 1;
+            self.note_peaks();
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1e9;
+
+    fn elastic(capacity: f64) -> ElasticPool {
+        ElasticPool::new(PoolDiscipline::Elastic, capacity)
+    }
+
+    #[test]
+    fn pool_hit_is_fast_growth_is_slow() {
+        let mut p = elastic(16.0 * GB);
+        // First alloc fits the 300 MB floor.
+        let g = p.try_alloc(100e6).unwrap();
+        assert!(!g.grew);
+        assert_eq!(g.latency, params::POOL_ALLOC);
+        // Second alloc exceeds the floor → native growth.
+        let g = p.try_alloc(400e6).unwrap();
+        assert!(g.grew);
+        assert_eq!(g.latency, params::CUDA_MALLOC);
+        assert_eq!(p.used(), 500e6);
+    }
+
+    #[test]
+    fn cap_is_half_of_free_memory() {
+        let mut p = elastic(16.0 * GB);
+        assert_eq!(p.storage_cap(), 8.0 * GB);
+        p.set_runtime_used(8.0 * GB);
+        assert_eq!(p.storage_cap(), 4.0 * GB);
+    }
+
+    #[test]
+    fn alloc_beyond_cap_needs_eviction() {
+        let mut p = elastic(16.0 * GB);
+        p.try_alloc(7.5 * GB).unwrap();
+        match p.try_alloc(1.0 * GB) {
+            Err(AllocError::NeedsEviction { shortfall }) => {
+                assert!((shortfall - 0.5 * GB).abs() < 1.0);
+            }
+            other => panic!("expected NeedsEviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn object_larger_than_cap_rejected() {
+        let mut p = elastic(16.0 * GB);
+        assert_eq!(p.try_alloc(9.0 * GB), Err(AllocError::TooLarge));
+    }
+
+    #[test]
+    fn free_releases_demand_but_not_reservation() {
+        let mut p = elastic(16.0 * GB);
+        p.try_alloc(2.0 * GB).unwrap();
+        let reserved = p.reserved();
+        p.free(2.0 * GB);
+        assert_eq!(p.used(), 0.0);
+        assert_eq!(p.reserved(), reserved, "reservation kept for reuse");
+        // Reclaim shrinks it back toward the floor.
+        p.reclaim_toward(0.0);
+        assert_eq!(p.reserved(), params::MIN_POOL_BYTES);
+    }
+
+    #[test]
+    fn static_pool_never_grows() {
+        let mut p = ElasticPool::new(PoolDiscipline::Static { bytes: 1.0 * GB }, 16.0 * GB);
+        p.try_alloc(0.9 * GB).unwrap();
+        assert!(matches!(
+            p.try_alloc(0.2 * GB),
+            Err(AllocError::NeedsEviction { .. })
+        ));
+        p.reclaim_toward(0.0);
+        assert_eq!(p.reserved(), 1.0 * GB, "static pools ignore reclamation");
+    }
+
+    #[test]
+    fn runtime_pressure_forces_migration() {
+        let mut p = elastic(16.0 * GB);
+        p.try_alloc(6.0 * GB).unwrap();
+        // Functions now occupy 8 GB → cap drops to 4 GB; 2 GB must move.
+        let must_move = p.set_runtime_used(8.0 * GB);
+        assert!((must_move - 2.0 * GB).abs() < 1.0);
+        // Caller migrates and frees.
+        p.free(2.0 * GB);
+        assert!(p.used() <= p.storage_cap() + 1.0);
+    }
+
+    #[test]
+    fn runtime_pressure_shrinks_empty_reservation_silently() {
+        let mut p = elastic(16.0 * GB);
+        p.try_alloc(6.0 * GB).unwrap();
+        p.free(5.0 * GB); // 1 GB live, 6 GB reserved
+        let must_move = p.set_runtime_used(8.0 * GB);
+        assert_eq!(must_move, 0.0, "live data fits under the new cap");
+        assert!(p.reserved() <= p.storage_cap() + 1.0);
+        assert_eq!(p.used(), 1.0 * GB);
+    }
+
+    #[test]
+    fn prewarm_grows_reservation_within_cap() {
+        let mut p = elastic(16.0 * GB);
+        assert!(p.prewarm_toward(2.0 * GB));
+        assert_eq!(p.reserved(), 2.0 * GB);
+        // Cannot exceed the cap.
+        assert!(p.prewarm_toward(100.0 * GB));
+        assert_eq!(p.reserved(), p.storage_cap());
+        // No growth needed → no native alloc.
+        assert!(!p.prewarm_toward(1.0 * GB));
+    }
+
+    #[test]
+    fn idle_memory_accounting() {
+        let mut p = elastic(16.0 * GB);
+        p.set_runtime_used(4.0 * GB);
+        p.prewarm_toward(2.0 * GB);
+        assert_eq!(p.idle_gpu_memory(), 10.0 * GB);
+    }
+
+    #[test]
+    fn native_alloc_counter_counts_growth() {
+        let mut p = elastic(16.0 * GB);
+        let start = p.native_allocs();
+        p.try_alloc(100e6).unwrap(); // hit
+        p.try_alloc(1.0 * GB).unwrap(); // growth
+        assert_eq!(p.native_allocs(), start + 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Clone, Debug)]
+    enum Op {
+        Alloc(f64),
+        Free(f64),
+        Runtime(f64),
+        Reclaim(f64),
+        Prewarm(f64),
+    }
+
+    fn arb_op() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1e6..4e9).prop_map(Op::Alloc),
+            (1e6..4e9).prop_map(Op::Free),
+            (0.0..16e9).prop_map(Op::Runtime),
+            (0.0..8e9).prop_map(Op::Reclaim),
+            (0.0..8e9).prop_map(Op::Prewarm),
+        ]
+    }
+
+    proptest! {
+        /// Pool accounting invariants hold under arbitrary operation
+        /// sequences: used ≤ reserved ≤ capacity, cap respected after
+        /// every successful allocation, nothing goes negative.
+        #[test]
+        fn accounting_invariants(ops in proptest::collection::vec(arb_op(), 1..64)) {
+            let mut pool = ElasticPool::new(PoolDiscipline::Elastic, 16e9);
+            let mut live = 0.0f64;
+            for op in ops {
+                match op {
+                    Op::Alloc(b) => {
+                        if pool.try_alloc(b).is_ok() {
+                            live += b;
+                        }
+                    }
+                    Op::Free(b) => {
+                        let b = b.min(live);
+                        pool.free(b);
+                        live -= b;
+                    }
+                    Op::Runtime(b) => {
+                        let must_move = pool.set_runtime_used(b);
+                        // Caller contract: migrate exactly what was asked.
+                        if must_move > 0.0 {
+                            pool.free(must_move.min(live));
+                            live = (live - must_move).max(0.0);
+                        }
+                    }
+                    Op::Reclaim(t) => pool.reclaim_toward(t),
+                    Op::Prewarm(t) => {
+                        pool.prewarm_toward(t);
+                    }
+                }
+                prop_assert!(pool.used() >= -1.0, "negative use");
+                prop_assert!(
+                    pool.used() <= pool.reserved() + 1.0,
+                    "used {} > reserved {}",
+                    pool.used(),
+                    pool.reserved()
+                );
+                prop_assert!(
+                    pool.reserved() <= pool.capacity() + 1.0,
+                    "reserved beyond capacity"
+                );
+                prop_assert!(pool.idle_gpu_memory() >= 0.0);
+                prop_assert!(pool.peak_used() >= pool.used() - 1.0);
+                prop_assert!(pool.peak_reserved() >= pool.reserved() - 1.0);
+            }
+        }
+
+        /// Fixed disciplines never change their reservation.
+        #[test]
+        fn fixed_pools_hold_their_reservation(ops in proptest::collection::vec(arb_op(), 1..32)) {
+            for discipline in [
+                PoolDiscipline::Static { bytes: 4e9 },
+                PoolDiscipline::Symmetric { bytes: 4e9 },
+            ] {
+                let mut pool = ElasticPool::new(discipline, 16e9);
+                let initial = pool.reserved();
+                for op in ops.clone() {
+                    match op {
+                        Op::Alloc(b) => {
+                            let _ = pool.try_alloc(b);
+                        }
+                        Op::Free(b) => pool.free(b),
+                        Op::Runtime(b) => {
+                            let _ = pool.set_runtime_used(b);
+                        }
+                        Op::Reclaim(t) => pool.reclaim_toward(t),
+                        Op::Prewarm(t) => {
+                            pool.prewarm_toward(t);
+                        }
+                    }
+                    prop_assert_eq!(pool.reserved(), initial);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The data-plane interface.
+//!
+//! Every data plane — GROUTER and all baselines — implements [`DataPlane`]:
+//! a policy that decides *where* a `Put` stores its bytes and *which paths*
+//! a `Get` uses, expressed as [`DataOp`]s (sequences of transfer legs) that
+//! the executor runs on the simulated cluster. This mirrors the paper's
+//! architecture: the storage/transfer layer is a service below the
+//! serverless platform, swapped out per experiment.
+
+use grouter_mem::{ElasticPool, PinnedRing, PrewarmScaler};
+use grouter_sim::time::{SimDuration, SimTime};
+use grouter_sim::FlowNet;
+use grouter_store::{AccessToken, DataId, DataStore, StoreError};
+use grouter_topology::ledger::{PathLedger, Rebalance, ResId};
+use grouter_topology::{GpuRef, Topology};
+use grouter_transfer::plan::TransferPlan;
+use grouter_transfer::rate::{RateController, SloSpec};
+
+pub use grouter_store::patterns::Destination;
+
+/// One transfer leg of a data operation.
+#[derive(Clone, Debug)]
+pub struct OpLeg {
+    pub plan: TransferPlan,
+    /// Node whose bandwidth matrix holds the plan's NVLink reservations.
+    pub nv_node: usize,
+    /// Registered SLO-transfer token to release on completion, if any.
+    pub rate_token: Option<(usize, u64)>,
+    /// Ledger reservation `(node, id)` to release when the leg completes
+    /// (GROUTER's Algorithm 1 reservations).
+    pub ledger_release: Option<(usize, ResId)>,
+    /// Pinned-ring bytes `(node, bytes)` to return when the leg completes.
+    pub pinned_release: Option<(usize, f64)>,
+    /// Rebalances of *other* functions' paths to apply when this leg
+    /// starts: `(node, move)` — the executor re-paths the in-flight flow.
+    pub reroutes: Vec<(usize, Rebalance)>,
+}
+
+impl OpLeg {
+    pub fn new(plan: TransferPlan, nv_node: usize) -> OpLeg {
+        OpLeg {
+            plan,
+            nv_node,
+            rate_token: None,
+            ledger_release: None,
+            pinned_release: None,
+            reroutes: Vec::new(),
+        }
+    }
+}
+
+/// A data operation: control-plane latency plus zero or more transfer legs
+/// executed strictly in order (relays need two legs).
+#[derive(Clone, Debug, Default)]
+pub struct DataOp {
+    pub control_latency: SimDuration,
+    pub legs: Vec<OpLeg>,
+}
+
+impl DataOp {
+    /// An operation that finishes after only control-plane latency.
+    pub fn control_only(latency: SimDuration) -> DataOp {
+        DataOp {
+            control_latency: latency,
+            legs: Vec::new(),
+        }
+    }
+
+    /// Total bytes moved across all legs.
+    pub fn bytes_moved(&self) -> f64 {
+        self.legs.iter().map(|l| l.plan.total_bytes).sum()
+    }
+}
+
+/// Result of a `Put`: the new object id plus the work to perform.
+#[derive(Clone, Debug)]
+pub struct PutOp {
+    pub id: DataId,
+    pub op: DataOp,
+}
+
+/// Mutable view of the cluster state a plane may consult and update.
+///
+/// Indexing: `pools`/`scalers` are flat `node * gpus_per_node + gpu`;
+/// `ledgers`/`rates` are per node.
+pub struct PlaneCtx<'a> {
+    pub topo: &'a Topology,
+    pub net: &'a FlowNet,
+    pub store: &'a mut DataStore,
+    pub pools: &'a mut [ElasticPool],
+    pub scalers: &'a mut [PrewarmScaler],
+    pub ledgers: &'a mut [PathLedger],
+    /// Per-node circular pinned staging buffers (§4.3.2).
+    pub pinned: &'a mut [PinnedRing],
+    pub rates: &'a mut [RateController],
+    pub now: SimTime,
+    /// SLO of the workflow the current operation belongs to (`None` for
+    /// background work or uncalibrated workflows). Feeds the `Rate_least`
+    /// guarantees of §4.3.2.
+    pub slo: Option<SloSpec>,
+}
+
+impl<'a> PlaneCtx<'a> {
+    /// Flat pool index for a GPU.
+    pub fn pool_index(&self, gpu: GpuRef) -> usize {
+        gpu.node * self.topo.gpus_per_node() + gpu.gpu
+    }
+
+    pub fn pool(&mut self, gpu: GpuRef) -> &mut ElasticPool {
+        let idx = self.pool_index(gpu);
+        &mut self.pools[idx]
+    }
+
+    pub fn scaler(&mut self, gpu: GpuRef) -> &mut PrewarmScaler {
+        let idx = self.pool_index(gpu);
+        &mut self.scalers[idx]
+    }
+}
+
+/// Operation counters a plane may expose for overhead reports
+/// (Figs. 7b, 18, 20).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PlaneStats {
+    /// Objects migrated from GPU storage to host memory.
+    pub migrations: u64,
+    /// Objects proactively restored from host memory to GPU storage.
+    pub restores: u64,
+}
+
+/// A pluggable data plane.
+pub trait DataPlane {
+    /// Short name for reports ("GROUTER", "INFless+", …).
+    fn name(&self) -> &'static str;
+
+    /// Store `bytes` produced by `token.function` running at `source`.
+    /// `consumers` is how many downstream `Get`s will read the object.
+    fn put(
+        &mut self,
+        ctx: &mut PlaneCtx<'_>,
+        token: AccessToken,
+        source: Destination,
+        bytes: f64,
+        consumers: u32,
+    ) -> Result<PutOp, StoreError>;
+
+    /// Fetch object `id` for a consumer at `dest`.
+    fn get(
+        &mut self,
+        ctx: &mut PlaneCtx<'_>,
+        token: AccessToken,
+        id: DataId,
+        dest: Destination,
+    ) -> Result<DataOp, StoreError>;
+
+    /// One consumer of `id` finished reading it (prompt GC hook). Returns
+    /// background operations (e.g. proactive restorations now that memory
+    /// freed up).
+    fn on_consumed(&mut self, ctx: &mut PlaneCtx<'_>, id: DataId) -> Vec<DataOp>;
+
+    /// Runtime GPU memory changed on `gpu` (a function started or stopped).
+    /// Returns background migration operations needed to relieve pressure.
+    fn on_memory_change(&mut self, ctx: &mut PlaneCtx<'_>, gpu: GpuRef) -> Vec<DataOp>;
+
+    /// A request arrived for a workflow whose stages run at the given
+    /// destinations (pre-warming hook for the elastic store).
+    fn on_request(&mut self, _ctx: &mut PlaneCtx<'_>, _stages: &[Destination]) {}
+
+    /// Migration/restoration counters (zero for planes that don't track).
+    fn stats(&self) -> PlaneStats {
+        PlaneStats::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_only_op_has_no_bytes() {
+        let op = DataOp::control_only(SimDuration::from_micros(2));
+        assert_eq!(op.bytes_moved(), 0.0);
+        assert!(op.legs.is_empty());
+    }
+}

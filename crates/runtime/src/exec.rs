@@ -1,0 +1,849 @@
+//! Event-driven workflow executor.
+//!
+//! Drives workflow instances through their stage lifecycle:
+//!
+//! ```text
+//! arrival → place → [per stage] fetch inputs (Get) → queue on GPU →
+//! compute → store output (Put) → notify dependents → … → egress → record
+//! ```
+//!
+//! Data movement runs on the flow network; a single "net wake" event (with
+//! version-stamped staleness guards) advances the network to each next flow
+//! completion and resumes whatever operation was waiting.
+
+use std::sync::Arc;
+
+use grouter_sim::engine::{Scheduler, Simulation};
+use grouter_sim::params;
+use grouter_sim::time::{SimDuration, SimTime};
+use grouter_store::patterns::DataPassPattern;
+use grouter_store::{AccessToken, DataId, FunctionId, Location, WorkflowId};
+use grouter_topology::graph::TopologySpec;
+use grouter_transfer::exec::BeginOutcome;
+
+use crate::dataplane::{DataOp, DataPlane, Destination, PlaneCtx};
+use crate::metrics::{InstanceRecord, Metrics, PassCategory};
+use crate::spec::{StageKind, WorkflowSpec};
+use crate::world::{Instance, OpKind, PendingOp, RuntimeConfig, StageRun, StageState, World};
+
+/// Public driver: a [`World`] plus its event queue.
+pub struct Runtime {
+    sim: Simulation<World>,
+    function_ids: std::collections::HashMap<(String, usize), u64>,
+}
+
+impl Runtime {
+    pub fn new(
+        spec: TopologySpec,
+        num_nodes: usize,
+        plane: Box<dyn DataPlane>,
+        config: RuntimeConfig,
+    ) -> Runtime {
+        Runtime {
+            sim: Simulation::new(World::new(spec, num_nodes, plane, config)),
+            function_ids: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Schedule a request for `spec` at absolute time `at`.
+    pub fn submit(&mut self, spec: Arc<WorkflowSpec>, at: SimTime) {
+        spec.validate().expect("workflow spec must be valid");
+        // Stable per-(workflow, stage) function identities for the pre-warm
+        // scalers: stage 0 of "traffic" is the same function on every
+        // request.
+        let base = self.function_ids.len() as u64;
+        for i in 0..spec.stages.len() {
+            let key = (spec.name.clone(), i);
+            let next = base + i as u64 + 1;
+            self.function_ids.entry(key).or_insert(next);
+        }
+        let ids: Vec<u64> = (0..spec.stages.len())
+            .map(|i| self.function_ids[&(spec.name.clone(), i)])
+            .collect();
+        self.sim.world.metrics.arrivals += 1;
+        self.sim
+            .sched
+            .schedule_at(at, move |w, s| arrival(w, s, spec, ids));
+    }
+
+    /// Record per-GPU idle-memory samples every `every` until `until`
+    /// (Fig. 7a). Must be called before `run`.
+    pub fn schedule_memory_samples(&mut self, every: SimDuration, until: SimTime) {
+        let mut t = SimTime::ZERO;
+        while t <= until {
+            self.sim.sched.schedule_at(t, move |w, s| {
+                w.sample_memory(s.now());
+            });
+            t = t + every;
+        }
+    }
+
+    /// Watch `links`, sampling their utilisation every `every` until
+    /// `until` (bandwidth-aggregation analysis, Fig. 5a). Must be called
+    /// before `run`.
+    pub fn schedule_link_samples(
+        &mut self,
+        links: Vec<grouter_sim::LinkId>,
+        every: SimDuration,
+        until: SimTime,
+    ) {
+        for l in links {
+            self.sim
+                .world
+                .link_series
+                .push((l, grouter_sim::stats::TimeSeries::new()));
+        }
+        let mut t = SimTime::ZERO;
+        while t <= until {
+            self.sim.sched.schedule_at(t, move |w, s| {
+                w.sample_links(s.now());
+            });
+            t = t + every;
+        }
+    }
+
+    /// Change a link's capacity at the current instant (failure injection /
+    /// co-tenant congestion) and reschedule the network wake so in-flight
+    /// transfers adapt. Mutating `world().net` directly would strand live
+    /// flows: the pending wake events carry stale version stamps.
+    pub fn set_link_capacity(&mut self, link: grouter_sim::LinkId, capacity: f64) {
+        let now = self.sim.now();
+        self.sim.world.net.set_link_capacity(now, link, capacity);
+        schedule_net_wake(&mut self.sim.world, &mut self.sim.sched);
+    }
+
+    /// Run to quiescence (all submitted requests completed).
+    pub fn run(&mut self) {
+        self.sim.run();
+    }
+
+    /// Run until the clock passes `deadline`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        self.sim.run_until(deadline);
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.sim.world.metrics
+    }
+
+    pub fn world(&self) -> &World {
+        &self.sim.world
+    }
+
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.sim.world
+    }
+}
+
+/// Run a closure against the plane with a borrow-split context.
+fn with_plane<R>(
+    w: &mut World,
+    now: SimTime,
+    slo: Option<grouter_transfer::rate::SloSpec>,
+    f: impl FnOnce(&mut dyn DataPlane, &mut PlaneCtx<'_>) -> R,
+) -> R {
+    let mut plane = w.plane.take().expect("plane re-entrancy");
+    let r = {
+        let mut ctx = PlaneCtx {
+            topo: &w.topo,
+            net: &w.net,
+            store: &mut w.store,
+            pools: &mut w.pools,
+            scalers: &mut w.scalers,
+            ledgers: &mut w.ledgers,
+            pinned: &mut w.pinned,
+            rates: &mut w.rates,
+            now,
+            slo,
+        };
+        f(plane.as_mut(), &mut ctx)
+    };
+    w.plane = Some(plane);
+    r
+}
+
+/// SLO spec of an instance's workflow (for `Rate_least`), if calibrated.
+fn instance_slo(inst: &Instance) -> Option<grouter_transfer::rate::SloSpec> {
+    if inst.spec.slo > SimDuration::ZERO {
+        Some(grouter_transfer::rate::SloSpec {
+            slo: inst.spec.slo,
+            infer: inst.spec.critical_path_compute(),
+        })
+    } else {
+        None
+    }
+}
+
+/// Latency attribution by *logical* edge, as in the paper's Fig. 3: a
+/// gFn→gFn hop counts as gFn–gFn passing even when a host-centric plane
+/// routes it through host memory; cFn and ingress/egress endpoints count as
+/// host-side.
+fn edge_category(producer_is_gfn: bool, consumer_is_gfn: bool) -> PassCategory {
+    match (producer_is_gfn, consumer_is_gfn) {
+        (true, true) => PassCategory::GpuGpu,
+        (false, false) => PassCategory::HostHost,
+        _ => PassCategory::GpuHost,
+    }
+}
+
+#[allow(dead_code)]
+fn pass_category(pattern: DataPassPattern) -> PassCategory {
+    match pattern {
+        DataPassPattern::ZeroCopy
+        | DataPassPattern::IntraNodeGpu { .. }
+        | DataPassPattern::CrossNodeGpu { .. } => PassCategory::GpuGpu,
+        DataPassPattern::HostToGpu { .. } | DataPassPattern::GpuToHost { .. } => {
+            PassCategory::GpuHost
+        }
+        DataPassPattern::HostLocal { .. } | DataPassPattern::HostCross { .. } => {
+            PassCategory::HostHost
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arrival
+// ---------------------------------------------------------------------------
+
+fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_ids: Vec<u64>) {
+    let now = s.now();
+    let inst_id = w.next_instance;
+    w.next_instance += 1;
+    let placements = w.placer.place(&w.topo, &spec, &mut w.rng);
+
+    // Conditional branch sampling: pick one alternative per group.
+    let mut skipped = vec![false; spec.stages.len()];
+    let mut groups: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (i, st) in spec.stages.iter().enumerate() {
+        if let Some((g, _)) = st.cond_group {
+            groups.entry(g).or_default().push(i);
+        }
+    }
+    for members in groups.values() {
+        let total: f64 = members
+            .iter()
+            .map(|&i| spec.stages[i].cond_group.expect("grouped").1)
+            .sum();
+        let mut pick = w.rng.next_f64() * total;
+        let mut chosen = members[members.len() - 1];
+        for &i in members {
+            let wgt = spec.stages[i].cond_group.expect("grouped").1;
+            if pick < wgt {
+                chosen = i;
+                break;
+            }
+            pick -= wgt;
+        }
+        for &i in members {
+            if i != chosen {
+                skipped[i] = true;
+            }
+        }
+    }
+    // Cascade: a stage whose deps are all skipped is skipped too.
+    for i in 0..spec.stages.len() {
+        let deps = &spec.stages[i].deps;
+        if !deps.is_empty() && deps.iter().all(|&d| skipped[d]) {
+            skipped[i] = true;
+        }
+    }
+
+    let stages: Vec<StageRun> = (0..spec.stages.len())
+        .map(|i| {
+            let state = if skipped[i] {
+                StageState::Skipped
+            } else {
+                let deps_left = spec.stages[i]
+                    .deps
+                    .iter()
+                    .filter(|&&d| !skipped[d])
+                    .count() as u32;
+                StageState::Waiting { deps_left }
+            };
+            StageRun {
+                state,
+                output: None,
+                rank: None,
+            }
+        })
+        .collect();
+
+    let terminals_left = spec
+        .terminals()
+        .iter()
+        .filter(|&&t| !skipped[t])
+        .count() as u32;
+    let roots: Vec<usize> = (0..spec.stages.len())
+        .filter(|&i| !skipped[i] && spec.stages[i].deps.is_empty())
+        .collect();
+
+    // Pre-warm hook for the elastic store.
+    let fn_dests: Vec<Destination> = placements.clone();
+    with_plane(w, now, None, |p, ctx| p.on_request(ctx, &fn_dests));
+    for (i, &fid) in fn_ids.iter().enumerate() {
+        if !skipped[i] {
+            if let Destination::Gpu(g) = placements[i] {
+                let idx = g.node * w.topo.gpus_per_node() + g.gpu;
+                w.scalers[idx].on_request(fid, now);
+            }
+        }
+    }
+
+    // The request payload lands in host memory of the first root's node.
+    let input_node = roots
+        .first()
+        .map(|&r| match placements[r] {
+            Destination::Gpu(g) => g.node,
+            Destination::Host(n) => n,
+        })
+        .unwrap_or(0);
+    let token = AccessToken {
+        function: FunctionId(0),
+        workflow: WorkflowId(inst_id),
+    };
+    let (input_data, _) = w.store.put(
+        now,
+        token,
+        Location::Host(input_node),
+        spec.input_bytes,
+        roots.len() as u32,
+    );
+
+    w.instances.insert(
+        inst_id,
+        Instance {
+            spec,
+            arrived: now,
+            placements,
+            stages,
+            input_data,
+            terminals_left,
+            compute_total: SimDuration::ZERO,
+            passing: Default::default(),
+            op_durations: Vec::new(),
+            workflow_id: WorkflowId(inst_id),
+            fn_ids,
+        },
+    );
+
+    for root in roots {
+        stage_ready(w, s, inst_id, root);
+    }
+    if w.config.sample_memory {
+        w.sample_memory(now);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stage lifecycle
+// ---------------------------------------------------------------------------
+
+/// Stage dependencies are satisfied: enqueue it. Serverless functions call
+/// `Get` when they are *invoked*, not when upstream data appears, so inputs
+/// stay in the store while the stage waits in the GPU queue — the
+/// accumulation the elastic storage of §4.4 manages (Figs. 7 and 11).
+fn stage_ready(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
+    // Queue rank drives queue-aware migration: record which queued stage
+    // will consume each input and when.
+    let rank = w.enqueue_counter;
+    w.enqueue_counter += 1;
+    let (dest, inputs) = {
+        let inst = w.instances.get_mut(&inst_id).expect("live");
+        inst.stages[stage].rank = Some(rank);
+        inst.stages[stage].state = StageState::Queued;
+        (inst.placements[stage], stage_inputs(inst, stage))
+    };
+    for d in inputs {
+        let cur = w.store.peek(d).and_then(|e| e.next_use);
+        if cur.map_or(true, |c| rank < c) {
+            w.store.set_next_use(d, Some(rank));
+        }
+    }
+    match dest {
+        Destination::Gpu(g) => {
+            let idx = w.gpu_index(g.node, g.gpu);
+            w.gpus[idx].queue.push_back((inst_id, stage));
+            try_dispatch_gpu(w, s, idx);
+        }
+        Destination::Host(_) => {
+            // CPU slots are not a bottleneck in the paper's workloads.
+            start_fetch(w, s, inst_id, stage);
+        }
+    }
+}
+
+/// The data IDs a stage consumes (outputs of completed deps, or the
+/// workflow input for roots).
+fn stage_inputs(inst: &Instance, stage: usize) -> Vec<DataId> {
+    let deps = &inst.spec.stages[stage].deps;
+    if deps.is_empty() {
+        vec![inst.input_data]
+    } else {
+        deps.iter()
+            .filter(|&&d| inst.stages[d].state == StageState::Done)
+            .map(|&d| inst.stages[d].output.expect("done stage has output"))
+            .collect()
+    }
+}
+
+fn try_dispatch_gpu(w: &mut World, s: &mut Scheduler<World>, gpu_idx: usize) {
+    if w.gpus[gpu_idx].busy {
+        return;
+    }
+    let Some((inst_id, stage)) = w.gpus[gpu_idx].queue.pop_front() else {
+        return;
+    };
+    w.gpus[gpu_idx].busy = true;
+    start_fetch(w, s, inst_id, stage);
+}
+
+/// The function was invoked (GPU assigned / CPU slot taken): fetch inputs
+/// through the data plane, then run.
+fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
+    let now = s.now();
+    let (token, dest, inputs) = {
+        let inst = w.instances.get_mut(&inst_id).expect("live instance");
+        let token = AccessToken {
+            function: FunctionId(inst.fn_ids[stage]),
+            workflow: inst.workflow_id,
+        };
+        let inputs = stage_inputs(inst, stage);
+        inst.stages[stage].state = StageState::Fetching {
+            gets_left: inputs.len() as u32,
+        };
+        (token, inst.placements[stage], inputs)
+    };
+    if inputs.is_empty() {
+        start_running(w, s, inst_id, stage);
+        return;
+    }
+    for d in inputs {
+        let cat = {
+            let inst = w.instances.get(&inst_id).expect("live");
+            let producer_gfn = if d == inst.input_data {
+                false // workflow input arrives via host memory
+            } else {
+                inst.spec
+                    .stages
+                    .iter()
+                    .enumerate()
+                    .find(|(j, _)| inst.stages[*j].output == Some(d))
+                    .map(|(_, st)| st.is_gpu())
+                    .unwrap_or(false)
+            };
+            edge_category(producer_gfn, inst.spec.stages[stage].is_gpu())
+        };
+        let slo = instance_slo(w.instances.get(&inst_id).expect("live"));
+        let op = with_plane(w, now, slo, |p, ctx| p.get(ctx, token, d, dest))
+            .unwrap_or_else(|e| panic!("Get({d:?}) failed: {e}"));
+        start_op(w, s, op, OpKind::Get { inst: inst_id, stage, data: d }, cat);
+    }
+}
+
+fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
+    let now = s.now();
+    let (dest, compute, mem_bytes, name) = {
+        let inst = w.instances.get_mut(&inst_id).expect("live");
+        inst.stages[stage].state = StageState::Running;
+        let spec = &inst.spec.stages[stage];
+        let mem = match spec.kind {
+            StageKind::Gpu { mem_bytes } => mem_bytes,
+            StageKind::Cpu => 0.0,
+        };
+        (
+            inst.placements[stage],
+            spec.compute,
+            mem,
+            inst.spec.name.clone(),
+        )
+    };
+
+    let mut delay = SimDuration::ZERO;
+    if let Destination::Gpu(g) = dest {
+        // Cold start unless pre-warmed (paper pre-warms, SHEPHERD-style).
+        let warm_key = (name, stage, w.gpu_index(g.node, g.gpu));
+        if !w.config.prewarm && !w.warm.contains(&warm_key) {
+            delay = params::COLD_START_GFN;
+        }
+        w.warm.insert(warm_key);
+        // Model memory while running — may squeeze the storage pool.
+        let idx = w.gpu_index(g.node, g.gpu);
+        let used = w.pools[idx].runtime_used() + mem_bytes;
+        w.pools[idx].set_runtime_used(used);
+        let background = with_plane(w, now, None, |p, ctx| p.on_memory_change(ctx, g));
+        run_background(w, s, background);
+        if w.config.sample_memory {
+            w.sample_memory(now);
+        }
+    } else if !w.config.prewarm {
+        delay = params::COLD_START_CFN;
+    }
+
+    s.schedule_in(delay + compute, move |w, s| compute_done(w, s, inst_id, stage));
+}
+
+fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
+    let now = s.now();
+    let (dest, compute, mem_bytes, output_bytes, fid) = {
+        let inst = w.instances.get_mut(&inst_id).expect("live");
+        let spec = &inst.spec.stages[stage];
+        inst.compute_total = inst.compute_total + spec.compute;
+        let mem = match spec.kind {
+            StageKind::Gpu { mem_bytes } => mem_bytes,
+            StageKind::Cpu => 0.0,
+        };
+        (
+            inst.placements[stage],
+            spec.compute,
+            mem,
+            spec.output_bytes,
+            inst.fn_ids[stage],
+        )
+    };
+    let _ = compute;
+
+    if let Destination::Gpu(g) = dest {
+        let idx = w.gpu_index(g.node, g.gpu);
+        w.gpus[idx].busy = false;
+        let used = (w.pools[idx].runtime_used() - mem_bytes).max(0.0);
+        w.pools[idx].set_runtime_used(used);
+        let background = with_plane(w, now, None, |p, ctx| p.on_memory_change(ctx, g));
+        run_background(w, s, background);
+        try_dispatch_gpu(w, s, idx);
+        if w.config.sample_memory {
+            w.sample_memory(now);
+        }
+    }
+
+    // Store the output through the data plane.
+    let consumers = w.instances[&inst_id].consumers_of(stage);
+    let token = AccessToken {
+        function: FunctionId(fid),
+        workflow: w.instances[&inst_id].workflow_id,
+    };
+    w.instances.get_mut(&inst_id).expect("live").stages[stage].state = StageState::Storing;
+    let slo = instance_slo(&w.instances[&inst_id]);
+    let put = with_plane(w, now, slo, |p, ctx| {
+        p.put(ctx, token, dest, output_bytes, consumers)
+    })
+    .unwrap_or_else(|e| panic!("Put for stage {stage} failed: {e}"));
+    let cat = {
+        let inst = &w.instances[&inst_id];
+        let producer_gfn = inst.spec.stages[stage].is_gpu();
+        // Attribute the put to the dominant downstream edge: gFn–gFn when
+        // any live dependent is a GPU function, otherwise host-side
+        // (cFn consumers or the response egress).
+        let any_gfn_consumer = inst
+            .spec
+            .stages
+            .iter()
+            .enumerate()
+            .any(|(j, st)| {
+                st.deps.contains(&stage)
+                    && inst.stages[j].state != StageState::Skipped
+                    && st.is_gpu()
+            });
+        edge_category(producer_gfn, any_gfn_consumer)
+    };
+    start_op(
+        w,
+        s,
+        put.op,
+        OpKind::Put {
+            inst: inst_id,
+            stage,
+            data: put.id,
+        },
+        cat,
+    );
+}
+
+fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize, data: DataId) {
+    let now = s.now();
+    let (is_terminal, dependents, dest) = {
+        let inst = w.instances.get_mut(&inst_id).expect("live");
+        inst.stages[stage].state = StageState::Done;
+        inst.stages[stage].output = Some(data);
+        let is_terminal = inst.spec.terminals().contains(&stage);
+        let mut dependents = Vec::new();
+        for (j, st) in inst.spec.stages.iter().enumerate() {
+            if st.deps.contains(&stage) && matches!(inst.stages[j].state, StageState::Waiting { .. })
+            {
+                dependents.push(j);
+            }
+        }
+        (is_terminal, dependents, inst.placements[stage])
+    };
+    let topo = &w.topo;
+    w.placer.release(topo, dest);
+
+    for j in dependents {
+        let ready = {
+            let inst = w.instances.get_mut(&inst_id).expect("live");
+            if let StageState::Waiting { deps_left } = inst.stages[j].state {
+                let left = deps_left - 1;
+                inst.stages[j].state = StageState::Waiting { deps_left: left };
+                left == 0
+            } else {
+                false
+            }
+        };
+        if ready {
+            stage_ready(w, s, inst_id, j);
+        }
+    }
+
+    if is_terminal {
+        // Response egress: pull the output into host memory.
+        let (token, node) = {
+            let inst = &w.instances[&inst_id];
+            let node = match inst.placements[stage] {
+                Destination::Gpu(g) => g.node,
+                Destination::Host(n) => n,
+            };
+            (
+                AccessToken {
+                    function: FunctionId(inst.fn_ids[stage]),
+                    workflow: inst.workflow_id,
+                },
+                node,
+            )
+        };
+        let cat = edge_category(w.instances[&inst_id].spec.stages[stage].is_gpu(), false);
+        let slo = instance_slo(&w.instances[&inst_id]);
+        let op = with_plane(w, now, slo, |p, ctx| {
+            p.get(ctx, token, data, Destination::Host(node))
+        })
+        .unwrap_or_else(|e| panic!("egress Get failed: {e}"));
+        start_op(
+            w,
+            s,
+            op,
+            OpKind::Egress {
+                inst: inst_id,
+                stage,
+                data,
+            },
+            cat,
+        );
+    }
+}
+
+fn finish_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u64) {
+    let now = s.now();
+    let inst = w.instances.remove(&inst_id).expect("live");
+    w.metrics.record(InstanceRecord {
+        workflow: inst.spec.name.clone(),
+        arrived: inst.arrived,
+        completed: now,
+        compute: inst.compute_total,
+        passing: inst.passing,
+        op_durations: inst.op_durations,
+    });
+    let _ = s;
+}
+
+// ---------------------------------------------------------------------------
+// Data operations
+// ---------------------------------------------------------------------------
+
+fn start_op(
+    w: &mut World,
+    s: &mut Scheduler<World>,
+    op: DataOp,
+    kind: OpKind,
+    category: PassCategory,
+) {
+    let op_id = w.next_op;
+    w.next_op += 1;
+    w.ops.insert(
+        op_id,
+        PendingOp {
+            legs: op.legs.into(),
+            started: s.now(),
+            kind,
+            category,
+            rate_token: None,
+            ledger_release: None,
+            pinned_release: None,
+        },
+    );
+    s.schedule_in(op.control_latency, move |w, s| advance_op(w, s, op_id));
+}
+
+fn advance_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
+    let Some(pending) = w.ops.get_mut(&op_id) else {
+        return;
+    };
+    match pending.legs.pop_front() {
+        None => complete_op(w, s, op_id),
+        Some(leg) => {
+            s.schedule_in(leg.plan.setup, move |w, s| begin_leg(w, s, op_id, leg));
+        }
+    }
+}
+
+fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::dataplane::OpLeg) {
+    let now = s.now();
+    if let Some(pending) = w.ops.get_mut(&op_id) {
+        pending.rate_token = leg.rate_token;
+        pending.ledger_release = leg.ledger_release;
+        pending.pinned_release = leg.pinned_release;
+    }
+    // Apply direct-path rebalances: move other functions' in-flight flows
+    // onto their new routes (§4.3.3 reassignment). A flow that already
+    // finished simply isn't in the index any more.
+    for (node, rb) in &leg.reroutes {
+        let found = w
+            .nv_flow_index
+            .iter()
+            .find(|(_, v)| **v == (*node, rb.old.clone()))
+            .map(|(fid, _)| *fid);
+        if let Some(fid) = found {
+            let mut links = Vec::new();
+            for hop in rb.new.windows(2) {
+                links.extend(
+                    w.topo
+                        .nvlink_edge(*node, hop[0], hop[1])
+                        .expect("rebalance routes use existing edges"),
+                );
+            }
+            w.net
+                .reroute_flow(now, fid, links)
+                .expect("rerouted flow is live");
+            w.nv_flow_index.insert(fid, (*node, rb.new.clone()));
+            w.rebalances_applied += 1;
+        }
+    }
+    match w.engine.begin(&mut w.net, now, &leg.plan, leg.nv_node) {
+        BeginOutcome::Immediate => {
+            release_rate_token(w, op_id);
+            release_ledger(w, op_id);
+            advance_op(w, s, op_id);
+        }
+        BeginOutcome::InFlight(tid, flows) => {
+            for (fid, route) in flows {
+                if let Some(route) = route {
+                    w.nv_flow_index.insert(fid, (leg.nv_node, route));
+                }
+            }
+            w.transfer_waiters.insert(tid, op_id);
+            schedule_net_wake(w, s);
+        }
+    }
+}
+
+fn release_rate_token(w: &mut World, op_id: u64) {
+    if let Some(pending) = w.ops.get_mut(&op_id) {
+        if let Some((node, token)) = pending.rate_token.take() {
+            w.rates[node].finish(token);
+        }
+    }
+}
+
+fn release_ledger(w: &mut World, op_id: u64) {
+    if let Some(pending) = w.ops.get_mut(&op_id) {
+        if let Some((node, res)) = pending.ledger_release.take() {
+            w.ledgers[node].release(res);
+        }
+        if let Some((node, bytes)) = pending.pinned_release.take() {
+            w.pinned[node].release(bytes);
+        }
+    }
+}
+
+fn complete_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
+    let now = s.now();
+    let op = w.ops.remove(&op_id).expect("pending op");
+    let duration = now - op.started;
+    match op.kind {
+        OpKind::Get { inst, stage, data } => {
+            record_pass(w, inst, op.category, duration);
+            // The consumer has its copy; release the stored object.
+            let background = with_plane(w, now, None, |p, ctx| p.on_consumed(ctx, data));
+            run_background(w, s, background);
+            let ready = {
+                let instance = w.instances.get_mut(&inst).expect("live");
+                if let StageState::Fetching { gets_left } = instance.stages[stage].state {
+                    let left = gets_left - 1;
+                    instance.stages[stage].state = StageState::Fetching { gets_left: left };
+                    left == 0
+                } else {
+                    false
+                }
+            };
+            if ready {
+                start_running(w, s, inst, stage);
+            }
+        }
+        OpKind::Put { inst, stage, data } => {
+            record_pass(w, inst, op.category, duration);
+            stage_done(w, s, inst, stage, data);
+        }
+        OpKind::Egress { inst, stage, data } => {
+            let _ = stage;
+            record_pass(w, inst, op.category, duration);
+            let background = with_plane(w, now, None, |p, ctx| p.on_consumed(ctx, data));
+            run_background(w, s, background);
+            let done = {
+                let instance = w.instances.get_mut(&inst).expect("live");
+                instance.terminals_left -= 1;
+                instance.terminals_left == 0
+            };
+            if done {
+                finish_instance(w, s, inst);
+            }
+        }
+        OpKind::Background => {}
+    }
+}
+
+fn record_pass(w: &mut World, inst_id: u64, cat: PassCategory, dur: SimDuration) {
+    if let Some(inst) = w.instances.get_mut(&inst_id) {
+        let slot = inst.passing.entry(cat).or_insert(SimDuration::ZERO);
+        *slot = *slot + dur;
+        inst.op_durations.push((cat, dur));
+    }
+}
+
+fn run_background(w: &mut World, s: &mut Scheduler<World>, ops: Vec<DataOp>) {
+    for op in ops {
+        start_op(w, s, op, OpKind::Background, PassCategory::GpuHost);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Network wake
+// ---------------------------------------------------------------------------
+
+fn schedule_net_wake(w: &mut World, s: &mut Scheduler<World>) {
+    let Some(at) = w.net.next_completion() else {
+        return;
+    };
+    let version = w.net.version();
+    s.schedule_at(at, move |w, s| {
+        if w.net.version() != version {
+            return; // stale wake; a fresher one is scheduled
+        }
+        let done = w.net.advance_to(s.now());
+        for fid in &done {
+            w.nv_flow_index.remove(fid);
+        }
+        let finished = w.engine.on_flows_complete(&done);
+        for td in finished {
+            for (route, rate) in &td.nv_releases {
+                w.ledgers[td.nv_node].bwm_mut().release_path(route, *rate);
+            }
+            if let Some(op_id) = w.transfer_waiters.remove(&td.id) {
+                release_rate_token(w, op_id);
+                release_ledger(w, op_id);
+                advance_op(w, s, op_id);
+            }
+        }
+        schedule_net_wake(w, s);
+    });
+}

@@ -1,0 +1,34 @@
+//! # grouter-runtime
+//!
+//! The serverless inference platform the paper builds on (INFless-style):
+//! workflow DAGs of CPU and GPU functions, MAPA-style placement,
+//! time-multiplexed GPU execution, request queues, pre-warming, and SLO
+//! accounting — everything the data plane needs from its host system
+//! (`DESIGN.md` §2).
+//!
+//! * [`spec`] — workflow/stage descriptions (sequence, condition, fan-in,
+//!   fan-out patterns of Fig. 12).
+//! * [`placement`] — function → GPU/CPU placement policies.
+//! * [`dataplane`] — the [`dataplane::DataPlane`] trait every data plane
+//!   (GROUTER and the baselines) implements, plus the operation types the
+//!   executor runs.
+//! * [`metrics`] — per-instance latency breakdowns (compute vs gFn–gFn vs
+//!   gFn–host data passing, Fig. 3) and aggregate summaries.
+//! * [`world`] — cluster state: topology, flow network, pools, matrices,
+//!   GPU/CPU occupancy.
+//! * [`exec`] — the event-driven executor tying it all together.
+
+pub mod dataplane;
+pub mod exec;
+pub mod metrics;
+pub mod placement;
+pub mod simple_plane;
+pub mod spec;
+pub mod world;
+
+pub use dataplane::{DataOp, DataPlane, Destination, OpLeg, PlaneCtx, PutOp};
+pub use exec::Runtime;
+pub use metrics::{InstanceRecord, Metrics, PassCategory};
+pub use placement::PlacementPolicy;
+pub use spec::{StageKind, StageSpec, WorkflowSpec};
+pub use world::World;

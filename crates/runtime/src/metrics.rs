@@ -1,0 +1,271 @@
+//! Latency accounting.
+//!
+//! The paper's headline analysis (Fig. 3) splits end-to-end latency into
+//! computation, gFn–gFn data passing, and gFn–host data passing; the
+//! elastic-storage experiments (Fig. 18) additionally need raw data-passing
+//! latencies. [`Metrics`] collects all of it per workflow instance.
+
+use std::collections::BTreeMap;
+
+use grouter_sim::stats::Summary;
+use grouter_sim::time::{SimDuration, SimTime};
+
+/// Which kind of data passing an operation was (paper Fig. 3's breakdown).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum PassCategory {
+    /// gFn–gFn (intra- or cross-node GPU to GPU).
+    GpuGpu,
+    /// gFn–host in either direction (PCIe staging, response egress, input
+    /// ingest into a GPU).
+    GpuHost,
+    /// cFn–cFn via host shared memory (negligible in the paper).
+    HostHost,
+}
+
+/// Finished-instance record.
+#[derive(Clone, Debug)]
+pub struct InstanceRecord {
+    pub workflow: String,
+    pub arrived: SimTime,
+    pub completed: SimTime,
+    /// Total busy compute time across stages (not the critical path).
+    pub compute: SimDuration,
+    /// Data-passing wall time by category, summed over operations.
+    pub passing: BTreeMap<PassCategory, SimDuration>,
+    /// Individual data-passing operation durations (for Fig. 18c averages).
+    pub op_durations: Vec<(PassCategory, SimDuration)>,
+}
+
+impl InstanceRecord {
+    pub fn latency(&self) -> SimDuration {
+        self.completed - self.arrived
+    }
+
+    pub fn passing_total(&self) -> SimDuration {
+        self.passing
+            .values()
+            .fold(SimDuration::ZERO, |a, &b| a + b)
+    }
+
+    pub fn passing_of(&self, cat: PassCategory) -> SimDuration {
+        self.passing.get(&cat).copied().unwrap_or(SimDuration::ZERO)
+    }
+}
+
+/// Aggregate metrics over a run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    records: Vec<InstanceRecord>,
+    /// Requests that arrived (some may still be in flight at harvest time).
+    pub arrivals: u64,
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Self::default()
+    }
+
+    pub fn record(&mut self, rec: InstanceRecord) {
+        self.records.push(rec);
+    }
+
+    pub fn completed(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn records(&self) -> &[InstanceRecord] {
+        &self.records
+    }
+
+    /// End-to-end latency distribution in milliseconds (optionally filtered
+    /// by workflow name).
+    pub fn latency_ms(&self, workflow: Option<&str>) -> Summary {
+        let mut s = Summary::new();
+        for r in self.filtered(workflow) {
+            s.record(r.latency().as_millis_f64());
+        }
+        s
+    }
+
+    /// Distribution of per-operation data-passing latencies (ms) in a
+    /// category.
+    pub fn op_latency_ms(&self, cat: PassCategory, workflow: Option<&str>) -> Summary {
+        let mut s = Summary::new();
+        for r in self.filtered(workflow) {
+            for &(c, d) in &r.op_durations {
+                if c == cat {
+                    s.record(d.as_millis_f64());
+                }
+            }
+        }
+        s
+    }
+
+    /// Distribution of per-instance total data-passing latencies (ms).
+    pub fn passing_ms(&self, workflow: Option<&str>) -> Summary {
+        let mut s = Summary::new();
+        for r in self.filtered(workflow) {
+            s.record(r.passing_total().as_millis_f64());
+        }
+        s
+    }
+
+    /// Mean latency breakdown `(compute, gfn_gfn, gfn_host, cfn_cfn)` in ms
+    /// — the stacked bars of Fig. 3.
+    pub fn breakdown_ms(&self, workflow: Option<&str>) -> (f64, f64, f64, f64) {
+        let mut n = 0u64;
+        let (mut comp, mut gg, mut gh, mut hh) = (0.0, 0.0, 0.0, 0.0);
+        for r in self.filtered(workflow) {
+            n += 1;
+            comp += r.compute.as_millis_f64();
+            gg += r.passing_of(PassCategory::GpuGpu).as_millis_f64();
+            gh += r.passing_of(PassCategory::GpuHost).as_millis_f64();
+            hh += r.passing_of(PassCategory::HostHost).as_millis_f64();
+        }
+        if n == 0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        let n = n as f64;
+        (comp / n, gg / n, gh / n, hh / n)
+    }
+
+    /// Completed requests per second over the span of the run.
+    pub fn throughput(&self, until: SimTime) -> f64 {
+        if until == SimTime::ZERO {
+            return 0.0;
+        }
+        self.records.len() as f64 / until.as_secs_f64()
+    }
+
+    /// Fraction of completed instances whose latency met `slo`.
+    pub fn slo_compliance(&self, workflow: Option<&str>, slo: SimDuration) -> f64 {
+        let mut total = 0u64;
+        let mut ok = 0u64;
+        for r in self.filtered(workflow) {
+            total += 1;
+            if r.latency() <= slo {
+                ok += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            ok as f64 / total as f64
+        }
+    }
+
+    /// Per-request records as CSV (for external plotting):
+    /// `workflow,arrived_s,latency_ms,compute_ms,gfn_gfn_ms,gfn_host_ms,cfn_cfn_ms`.
+    pub fn to_csv(&self) -> String {
+        let mut out =
+            String::from("workflow,arrived_s,latency_ms,compute_ms,gfn_gfn_ms,gfn_host_ms,cfn_cfn_ms\n");
+        for r in &self.records {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{}\n",
+                r.workflow,
+                r.arrived.as_secs_f64(),
+                r.latency().as_millis_f64(),
+                r.compute.as_millis_f64(),
+                r.passing_of(PassCategory::GpuGpu).as_millis_f64(),
+                r.passing_of(PassCategory::GpuHost).as_millis_f64(),
+                r.passing_of(PassCategory::HostHost).as_millis_f64(),
+            ));
+        }
+        out
+    }
+
+    fn filtered<'a>(&'a self, workflow: Option<&'a str>) -> impl Iterator<Item = &'a InstanceRecord> {
+        self.records
+            .iter()
+            .filter(move |r| workflow.map_or(true, |w| r.workflow == w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, arrive_ms: u64, done_ms: u64, gg_ms: u64, gh_ms: u64) -> InstanceRecord {
+        let mut passing = BTreeMap::new();
+        passing.insert(PassCategory::GpuGpu, SimDuration::from_millis(gg_ms));
+        passing.insert(PassCategory::GpuHost, SimDuration::from_millis(gh_ms));
+        InstanceRecord {
+            workflow: name.into(),
+            arrived: SimTime(arrive_ms * 1_000_000),
+            completed: SimTime(done_ms * 1_000_000),
+            compute: SimDuration::from_millis(done_ms - arrive_ms - gg_ms - gh_ms),
+            passing,
+            op_durations: vec![
+                (PassCategory::GpuGpu, SimDuration::from_millis(gg_ms)),
+                (PassCategory::GpuHost, SimDuration::from_millis(gh_ms)),
+            ],
+        }
+    }
+
+    #[test]
+    fn latency_and_breakdown() {
+        let mut m = Metrics::new();
+        m.record(rec("t", 0, 100, 60, 30));
+        m.record(rec("t", 0, 200, 120, 60));
+        let lat = m.latency_ms(Some("t"));
+        assert_eq!(lat.len(), 2);
+        assert_eq!(lat.max(), 200.0);
+        let (comp, gg, gh, hh) = m.breakdown_ms(Some("t"));
+        assert_eq!(comp, 15.0);
+        assert_eq!(gg, 90.0);
+        assert_eq!(gh, 45.0);
+        assert_eq!(hh, 0.0);
+        // Data passing dominates, as in Fig. 3.
+        assert!((gg + gh) / (comp + gg + gh) >= 0.9);
+    }
+
+    #[test]
+    fn filters_by_workflow() {
+        let mut m = Metrics::new();
+        m.record(rec("a", 0, 100, 10, 10));
+        m.record(rec("b", 0, 300, 10, 10));
+        assert_eq!(m.latency_ms(Some("a")).len(), 1);
+        assert_eq!(m.latency_ms(None).len(), 2);
+        assert_eq!(m.breakdown_ms(Some("zzz")), (0.0, 0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn slo_compliance_counts_fractions() {
+        let mut m = Metrics::new();
+        m.record(rec("a", 0, 100, 10, 10));
+        m.record(rec("a", 0, 300, 10, 10));
+        assert_eq!(m.slo_compliance(Some("a"), SimDuration::from_millis(150)), 0.5);
+        assert_eq!(m.slo_compliance(Some("none"), SimDuration::from_millis(1)), 0.0);
+    }
+
+    #[test]
+    fn throughput_is_completions_over_time() {
+        let mut m = Metrics::new();
+        m.record(rec("a", 0, 100, 10, 10));
+        m.record(rec("a", 0, 100, 10, 10));
+        assert_eq!(m.throughput(SimTime(2_000_000_000)), 1.0);
+        assert_eq!(m.throughput(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn csv_export_has_header_and_rows() {
+        let mut m = Metrics::new();
+        m.record(rec("a", 0, 100, 40, 20));
+        let csv = m.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("workflow,arrived_s"));
+        assert!(lines[1].starts_with("a,0,100,"));
+    }
+
+    #[test]
+    fn op_latency_collects_per_category() {
+        let mut m = Metrics::new();
+        m.record(rec("a", 0, 100, 40, 20));
+        let gg = m.op_latency_ms(PassCategory::GpuGpu, None);
+        assert_eq!(gg.len(), 1);
+        assert_eq!(gg.max(), 40.0);
+        let hh = m.op_latency_ms(PassCategory::HostHost, None);
+        assert!(hh.is_empty());
+    }
+}

@@ -1,0 +1,245 @@
+//! A minimal reference data plane.
+//!
+//! [`LocalityPlane`] stores every output where it was produced (GPU outputs
+//! in the producer's pool, CPU outputs in host memory) and serves every
+//! `Get` over a single direct path. It exists to (a) document the
+//! [`DataPlane`] contract with the simplest correct implementation and
+//! (b) exercise the executor in this crate's tests without pulling in the
+//! full GROUTER/baseline planes.
+//!
+//! It is *not* one of the paper's systems: GROUTER adds bandwidth
+//! harvesting, topology-aware multi-path transfers and elastic storage on
+//! top of this locality baseline; the baselines degrade it in other
+//! directions (host-only storage, random store GPU).
+
+use grouter_mem::{AllocError, EvictionPolicy, LruPolicy, ObjectMeta};
+use grouter_sim::time::SimDuration;
+use grouter_store::{AccessToken, DataId, Location, StoreError};
+use grouter_topology::GpuRef;
+use grouter_transfer::plan::{
+    plan_cross_node, plan_d2h, plan_h2d, plan_intra_node, plan_shm, PlanConfig, TransferPlan,
+};
+
+use crate::dataplane::{DataOp, DataPlane, Destination, OpLeg, PlaneCtx, PutOp};
+
+/// Store-local, single-path data plane.
+#[derive(Debug, Default)]
+pub struct LocalityPlane;
+
+impl LocalityPlane {
+    pub fn new() -> LocalityPlane {
+        LocalityPlane
+    }
+
+    /// Free pool space on `gpu` by migrating LRU victims to host memory.
+    /// Returns the migration legs and accumulates freed bytes.
+    fn evict(ctx: &mut PlaneCtx<'_>, gpu: GpuRef, need: f64) -> Vec<OpLeg> {
+        let entries = ctx.store.entries_at(Location::Gpu(gpu));
+        let metas: Vec<ObjectMeta> = entries
+            .iter()
+            .map(|e| ObjectMeta {
+                key: e.id.0,
+                bytes: e.bytes,
+                last_access: e.last_access,
+                next_use: e.next_use,
+            })
+            .collect();
+        let victims = LruPolicy.select_victims(&metas, need);
+        let mut legs = Vec::new();
+        for v in victims {
+            let id = DataId(v);
+            let entry = ctx.store.peek(id).expect("victim exists").clone();
+            let plan = plan_d2h(
+                ctx.topo,
+                ctx.net,
+                gpu.node,
+                gpu.gpu,
+                entry.bytes,
+                &PlanConfig::single_path(),
+            );
+            legs.push(OpLeg::new(plan, gpu.node));
+            ctx.store
+                .relocate(id, Location::Host(gpu.node))
+                .expect("victim exists");
+            ctx.pool(gpu).free(entry.bytes);
+        }
+        legs
+    }
+}
+
+impl DataPlane for LocalityPlane {
+    fn name(&self) -> &'static str {
+        "Locality"
+    }
+
+    fn put(
+        &mut self,
+        ctx: &mut PlaneCtx<'_>,
+        token: AccessToken,
+        source: Destination,
+        bytes: f64,
+        consumers: u32,
+    ) -> Result<PutOp, StoreError> {
+        match source {
+            Destination::Gpu(g) => {
+                let mut legs = Vec::new();
+                let mut control = SimDuration::ZERO;
+                let grant = match ctx.pool(g).try_alloc(bytes) {
+                    Ok(grant) => grant,
+                    Err(AllocError::NeedsEviction { shortfall }) => {
+                        legs.extend(Self::evict(ctx, g, shortfall));
+                        ctx.pool(g)
+                            .try_alloc(bytes)
+                            .expect("eviction freed enough space")
+                    }
+                    Err(AllocError::TooLarge) => {
+                        // Fall back to host storage for oversized objects.
+                        let (id, lat) =
+                            ctx.store
+                                .put(ctx.now, token, Location::Host(g.node), bytes, consumers);
+                        let plan = plan_d2h(
+                            ctx.topo,
+                            ctx.net,
+                            g.node,
+                            g.gpu,
+                            bytes,
+                            &PlanConfig::single_path(),
+                        );
+                        return Ok(PutOp {
+                            id,
+                            op: DataOp {
+                                control_latency: lat,
+                                legs: vec![OpLeg::new(plan, g.node)],
+                            },
+                        });
+                    }
+                };
+                control = control + grant.latency;
+                let (id, lat) =
+                    ctx.store
+                        .put(ctx.now, token, Location::Gpu(g), bytes, consumers);
+                Ok(PutOp {
+                    id,
+                    op: DataOp {
+                        control_latency: control + lat,
+                        legs,
+                    },
+                })
+            }
+            Destination::Host(n) => {
+                let (id, lat) = ctx
+                    .store
+                    .put(ctx.now, token, Location::Host(n), bytes, consumers);
+                Ok(PutOp {
+                    id,
+                    op: DataOp::control_only(lat),
+                })
+            }
+        }
+    }
+
+    fn get(
+        &mut self,
+        ctx: &mut PlaneCtx<'_>,
+        token: AccessToken,
+        id: DataId,
+        dest: Destination,
+    ) -> Result<DataOp, StoreError> {
+        let node = match dest {
+            Destination::Gpu(g) => g.node,
+            Destination::Host(n) => n,
+        };
+        let (entry, lookup) = ctx.store.resolve(ctx.now, node, token, id)?;
+        let cfg = PlanConfig::single_path();
+        let plan: TransferPlan = match (entry.location, dest) {
+            (Location::Gpu(s), Destination::Gpu(d)) if s == d => {
+                return Ok(DataOp::control_only(lookup + grouter_sim::params::IPC_MAP_CACHED));
+            }
+            (Location::Gpu(s), Destination::Gpu(d)) if s.node == d.node => {
+                plan_intra_node(ctx.topo, ctx.net, None, s.node, s.gpu, d.gpu, entry.bytes, &cfg)
+            }
+            (Location::Gpu(s), Destination::Gpu(d)) => {
+                plan_cross_node(ctx.topo, ctx.net, s, d, entry.bytes, &cfg)
+            }
+            (Location::Host(n), Destination::Gpu(d)) if n == d.node => {
+                plan_h2d(ctx.topo, ctx.net, d.node, d.gpu, entry.bytes, &cfg)
+            }
+            (Location::Host(n), Destination::Gpu(d)) => {
+                // Remote host data: network hop, then PCIe up.
+                let mut op = DataOp {
+                    control_latency: lookup,
+                    legs: vec![
+                        OpLeg::new(
+                            grouter_transfer::plan::plan_host_to_host(
+                                ctx.topo, ctx.net, n, d.node, entry.bytes,
+                            ),
+                            n,
+                        ),
+                        OpLeg::new(
+                            plan_h2d(ctx.topo, ctx.net, d.node, d.gpu, entry.bytes, &cfg),
+                            d.node,
+                        ),
+                    ],
+                };
+                op.control_latency = lookup;
+                return Ok(op);
+            }
+            (Location::Gpu(s), Destination::Host(n)) if s.node == n => {
+                plan_d2h(ctx.topo, ctx.net, s.node, s.gpu, entry.bytes, &cfg)
+            }
+            (Location::Gpu(s), Destination::Host(n)) => {
+                let mut legs = vec![OpLeg::new(
+                    plan_d2h(ctx.topo, ctx.net, s.node, s.gpu, entry.bytes, &cfg),
+                    s.node,
+                )];
+                legs.push(OpLeg::new(
+                    grouter_transfer::plan::plan_host_to_host(
+                        ctx.topo, ctx.net, s.node, n, entry.bytes,
+                    ),
+                    s.node,
+                ));
+                return Ok(DataOp {
+                    control_latency: lookup,
+                    legs,
+                });
+            }
+            (Location::Host(a), Destination::Host(b)) if a == b => {
+                plan_shm(ctx.topo, ctx.net, a, entry.bytes)
+            }
+            (Location::Host(a), Destination::Host(b)) => {
+                grouter_transfer::plan::plan_host_to_host(ctx.topo, ctx.net, a, b, entry.bytes)
+            }
+        };
+        Ok(DataOp {
+            control_latency: lookup,
+            legs: vec![OpLeg::new(plan, entry.location.node())],
+        })
+    }
+
+    fn on_consumed(&mut self, ctx: &mut PlaneCtx<'_>, id: DataId) -> Vec<DataOp> {
+        let entry = ctx.store.peek(id).cloned();
+        if ctx.store.consumed(id) {
+            if let Some(entry) = entry {
+                if let Location::Gpu(g) = entry.location {
+                    ctx.pool(g).free(entry.bytes);
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn on_memory_change(&mut self, ctx: &mut PlaneCtx<'_>, gpu: GpuRef) -> Vec<DataOp> {
+        let over = ctx.pool(gpu).used() - ctx.pool(gpu).storage_cap();
+        if over <= 0.0 {
+            return Vec::new();
+        }
+        let legs = Self::evict(ctx, gpu, over);
+        if legs.is_empty() {
+            return Vec::new();
+        }
+        vec![DataOp {
+            control_latency: SimDuration::ZERO,
+            legs,
+        }]
+    }
+}

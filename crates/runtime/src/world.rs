@@ -1,0 +1,311 @@
+//! Cluster + platform state for the executor.
+//!
+//! [`World`] owns everything the event handlers mutate: the interconnect
+//! flow network, the transfer engine, the metadata store, per-GPU memory
+//! pools and pre-warm scalers, per-node bandwidth matrices and rate
+//! controllers, GPU run queues, live workflow instances and in-flight data
+//! operations.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
+
+use grouter_mem::{ElasticPool, PinnedRing, PoolDiscipline, PrewarmScaler};
+use grouter_sim::rng::DetRng;
+use grouter_sim::stats::TimeSeries;
+use grouter_sim::time::{SimDuration, SimTime};
+use grouter_sim::FlowNet;
+use grouter_store::DataStore;
+use grouter_store::{DataId, WorkflowId};
+use grouter_topology::graph::TopologySpec;
+use grouter_topology::{PathLedger, Topology};
+use grouter_transfer::exec::{TransferEngine, TransferId};
+use grouter_transfer::rate::RateController;
+
+use crate::dataplane::{DataPlane, Destination, OpLeg};
+use crate::metrics::{Metrics, PassCategory};
+use crate::placement::{Placer, PlacementPolicy};
+use crate::spec::WorkflowSpec;
+
+/// Executor configuration.
+#[derive(Clone, Debug)]
+pub struct RuntimeConfig {
+    pub placement: PlacementPolicy,
+    /// Nodes functions may be placed on (defaults to all nodes).
+    pub placement_nodes: Vec<usize>,
+    /// Deterministic seed for branch sampling and random-placement planes.
+    pub seed: u64,
+    /// Pre-warm containers (the paper's default, SHEPHERD-style). When
+    /// `false`, the first run of a stage on a GPU pays a cold start.
+    pub prewarm: bool,
+    /// Record a per-GPU idle-memory time series (Fig. 7a).
+    pub sample_memory: bool,
+    /// GPU pool discipline (elastic for GROUTER, static/symmetric for the
+    /// memory-overhead baselines of Fig. 20c).
+    pub pool_discipline: PoolDiscipline,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            placement: PlacementPolicy::Mapa,
+            placement_nodes: Vec::new(),
+            seed: 42,
+            prewarm: true,
+            sample_memory: false,
+            pool_discipline: PoolDiscipline::Elastic,
+        }
+    }
+}
+
+/// Lifecycle of one stage of one instance.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StageState {
+    /// Waiting for `deps_left` upstream stages.
+    Waiting { deps_left: u32 },
+    /// Inputs being fetched (`gets_left` outstanding `Get`s).
+    Fetching { gets_left: u32 },
+    /// Inputs resident; waiting for the GPU.
+    Queued,
+    Running,
+    /// Output `Put` in flight.
+    Storing,
+    Done,
+    /// Conditional branch not taken (or all deps skipped).
+    Skipped,
+}
+
+/// Per-instance stage bookkeeping.
+#[derive(Clone, Debug)]
+pub struct StageRun {
+    pub state: StageState,
+    pub output: Option<DataId>,
+    /// Global enqueue rank (queue-aware migration input).
+    pub rank: Option<u64>,
+}
+
+/// One live workflow invocation.
+#[derive(Debug)]
+pub struct Instance {
+    pub spec: Arc<WorkflowSpec>,
+    pub arrived: SimTime,
+    pub placements: Vec<Destination>,
+    pub stages: Vec<StageRun>,
+    pub input_data: DataId,
+    /// Non-skipped terminal stages whose egress has not completed yet.
+    pub terminals_left: u32,
+    pub compute_total: SimDuration,
+    pub passing: BTreeMap<PassCategory, SimDuration>,
+    pub op_durations: Vec<(PassCategory, SimDuration)>,
+    pub workflow_id: WorkflowId,
+    /// Stable per-(workflow, stage) function identity (pre-warm statistics).
+    pub fn_ids: Vec<u64>,
+}
+
+impl Instance {
+    /// Per-instance consumer count of `stage`'s output: non-skipped
+    /// dependents plus the response egress for terminals.
+    pub fn consumers_of(&self, stage: usize) -> u32 {
+        let mut n = 0;
+        for (j, s) in self.spec.stages.iter().enumerate() {
+            if s.deps.contains(&stage) && self.stages[j].state != StageState::Skipped {
+                n += 1;
+            }
+        }
+        let is_terminal = self.spec.terminals().contains(&stage);
+        if is_terminal && self.stages[stage].state != StageState::Skipped {
+            n += 1;
+        }
+        n
+    }
+}
+
+/// What a finished [`crate::dataplane::DataOp`] was doing.
+#[derive(Clone, Copy, Debug)]
+pub enum OpKind {
+    /// Fetch one input of `stage`.
+    Get {
+        inst: u64,
+        stage: usize,
+        data: DataId,
+    },
+    /// Store `stage`'s output.
+    Put {
+        inst: u64,
+        stage: usize,
+        data: DataId,
+    },
+    /// Move a terminal output to host memory (the response).
+    Egress {
+        inst: u64,
+        stage: usize,
+        data: DataId,
+    },
+    /// Migration / restoration traffic not on any request's critical path.
+    Background,
+}
+
+/// An in-flight data operation.
+#[derive(Debug)]
+pub struct PendingOp {
+    pub legs: VecDeque<OpLeg>,
+    pub started: SimTime,
+    pub kind: OpKind,
+    pub category: PassCategory,
+    /// SLO rate-controller registration of the current leg, released when
+    /// the leg completes.
+    pub rate_token: Option<(usize, u64)>,
+    /// Ledger reservation of the current leg, released when it completes.
+    pub ledger_release: Option<(usize, grouter_topology::ResId)>,
+    /// Pinned-ring bytes of the current leg, returned when it completes.
+    pub pinned_release: Option<(usize, f64)>,
+}
+
+/// Compute occupancy of one GPU (time-multiplexed, §4.3.2 footnote).
+#[derive(Debug, Default)]
+pub struct GpuExec {
+    pub busy: bool,
+    pub queue: VecDeque<(u64, usize)>,
+}
+
+/// All mutable simulation state.
+pub struct World {
+    pub topo: Topology,
+    pub net: FlowNet,
+    pub engine: TransferEngine,
+    pub store: DataStore,
+    pub pools: Vec<ElasticPool>,
+    pub scalers: Vec<PrewarmScaler>,
+    pub ledgers: Vec<PathLedger>,
+    pub pinned: Vec<PinnedRing>,
+    pub rates: Vec<RateController>,
+    /// Taken out while a plane method runs (borrow split).
+    pub plane: Option<Box<dyn DataPlane>>,
+    pub gpus: Vec<GpuExec>,
+    pub placer: Placer,
+    pub rng: DetRng,
+    pub instances: BTreeMap<u64, Instance>,
+    pub ops: BTreeMap<u64, PendingOp>,
+    pub transfer_waiters: HashMap<TransferId, u64>,
+    /// Live NVLink flows and their current `(node, GPU route)`, so a ledger
+    /// rebalance can find and re-path the in-flight flow.
+    pub nv_flow_index: HashMap<grouter_sim::FlowId, (usize, Vec<usize>)>,
+    pub metrics: Metrics,
+    pub mem_series: Vec<TimeSeries>,
+    /// Watched links and their utilisation-fraction time series (enabled by
+    /// `Runtime::schedule_link_samples`).
+    pub link_series: Vec<(grouter_sim::LinkId, TimeSeries)>,
+    pub warm: std::collections::HashSet<(String, usize, usize)>,
+    pub config: RuntimeConfig,
+    pub enqueue_counter: u64,
+    pub next_instance: u64,
+    pub next_op: u64,
+    /// In-flight flows re-pathed by direct-path rebalancing (§4.3.3).
+    pub rebalances_applied: u64,
+}
+
+impl World {
+    /// Build a cluster of `num_nodes` copies of `spec` with `plane` as the
+    /// data plane.
+    pub fn new(
+        spec: TopologySpec,
+        num_nodes: usize,
+        plane: Box<dyn DataPlane>,
+        mut config: RuntimeConfig,
+    ) -> World {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(spec, num_nodes, &mut net);
+        if config.placement_nodes.is_empty() {
+            config.placement_nodes = (0..num_nodes).collect();
+        }
+        let n_gpus = topo.num_gpus();
+        let pools = (0..n_gpus)
+            .map(|_| ElasticPool::new(config.pool_discipline, topo.gpu_mem_bytes()))
+            .collect();
+        let scalers = (0..n_gpus).map(|_| PrewarmScaler::new()).collect();
+        let ledgers = (0..num_nodes)
+            .map(|_| PathLedger::from_topology(&topo))
+            .collect();
+        let pinned = (0..num_nodes)
+            .map(|_| PinnedRing::new(grouter_sim::params::PINNED_RING_BYTES))
+            .collect();
+        let rates = (0..num_nodes).map(|_| RateController::new()).collect();
+        let placer = Placer::new(
+            config.placement.clone(),
+            &topo,
+            config.placement_nodes.clone(),
+        );
+        let mem_series = (0..n_gpus).map(|_| TimeSeries::new()).collect();
+        World {
+            rng: DetRng::new(config.seed),
+            placer,
+            gpus: (0..n_gpus).map(|_| GpuExec::default()).collect(),
+            engine: TransferEngine::new(),
+            store: DataStore::new(num_nodes),
+            pools,
+            scalers,
+            ledgers,
+            pinned,
+            rates,
+            plane: Some(plane),
+            instances: BTreeMap::new(),
+            ops: BTreeMap::new(),
+            transfer_waiters: HashMap::new(),
+            nv_flow_index: HashMap::new(),
+            metrics: Metrics::new(),
+            mem_series,
+            link_series: Vec::new(),
+            warm: std::collections::HashSet::new(),
+            config,
+            enqueue_counter: 0,
+            next_instance: 0,
+            next_op: 0,
+            rebalances_applied: 0,
+            topo,
+            net,
+        }
+    }
+
+    /// Flat GPU index.
+    pub fn gpu_index(&self, node: usize, gpu: usize) -> usize {
+        node * self.topo.gpus_per_node() + gpu
+    }
+
+    /// Idle (neither runtime- nor pool-reserved) memory on a GPU.
+    pub fn idle_gpu_memory(&self, node: usize, gpu: usize) -> f64 {
+        self.pools[self.gpu_index(node, gpu)].idle_gpu_memory()
+    }
+
+    /// Record utilisation (fraction of capacity) for every watched link.
+    pub fn sample_links(&mut self, now: SimTime) {
+        for (link, series) in &mut self.link_series {
+            let used = self.net.link_utilization(*link);
+            let cap = self.net.link_capacity(*link);
+            series.record(now, used / cap);
+        }
+    }
+
+    /// Record idle memory for every GPU (Fig. 7a sampling).
+    pub fn sample_memory(&mut self, now: SimTime) {
+        for idx in 0..self.pools.len() {
+            let v = self.pools[idx].idle_gpu_memory();
+            self.mem_series[idx].record(now, v);
+        }
+    }
+
+    /// Are any requests still in flight?
+    pub fn quiescent(&self) -> bool {
+        self.instances.is_empty() && self.ops.is_empty() && self.engine.in_flight() == 0
+    }
+
+    /// `true` when every node's path ledger holds no reservations and its
+    /// bandwidth matrix is fully idle — i.e. no NVLink bandwidth leaked.
+    pub fn ledgers_idle(&self) -> bool {
+        let g = self.topo.gpus_per_node();
+        self.ledgers.iter().all(|l| {
+            l.active() == 0
+                && (0..g).all(|a| {
+                    (0..g).all(|b| l.bwm().capacity(a, b) <= 0.0 || l.bwm().is_idle(a, b))
+                })
+        }) && self.nv_flow_index.is_empty()
+    }
+}

@@ -1,0 +1,303 @@
+//! Discrete-event scheduler.
+//!
+//! The engine is generic over a world type `W`: events are boxed closures
+//! `FnOnce(&mut W, &mut Scheduler<W>)`, so any subsystem can schedule follow-up
+//! work without the engine knowing about it. Events at the same instant fire
+//! in scheduling order (a monotonically increasing sequence number breaks
+//! ties), which makes every run deterministic.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::{SimDuration, SimTime};
+
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    event: BoxedEvent<W>,
+}
+
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The event queue and simulated clock.
+///
+/// Handed to every firing event so it can schedule more events.
+pub struct Scheduler<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<W>>,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+        }
+    }
+}
+
+impl<W> Scheduler<W> {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current simulated instant.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to `now`
+    /// so the clock never runs backwards.
+    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled {
+            at,
+            seq,
+            event: Box::new(event),
+        });
+    }
+
+    /// Schedule `event` to fire `delay` after the current instant.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule_at(self.now.saturating_add(delay), event);
+    }
+
+    /// Schedule `event` to fire immediately (after already-queued events at
+    /// the current instant).
+    pub fn schedule_now<F>(&mut self, event: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule_at(self.now, event);
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<W>> {
+        self.queue.pop()
+    }
+}
+
+/// A world plus its scheduler; owns the run loop.
+pub struct Simulation<W> {
+    pub world: W,
+    pub sched: Scheduler<W>,
+}
+
+impl<W> Simulation<W> {
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// Fire the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        match self.sched.pop() {
+            Some(ev) => {
+                debug_assert!(ev.at >= self.sched.now);
+                self.sched.now = ev.at;
+                (ev.event)(&mut self.world, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Run until the queue drains.
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    /// Run until the queue drains or the clock would pass `deadline`.
+    ///
+    /// Events scheduled exactly at `deadline` still fire. On return the clock
+    /// reads `min(deadline, time of last fired event)`.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let Some(next_at) = self.sched.queue.peek().map(|e| e.at) else {
+                break;
+            };
+            if next_at > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct World {
+        log: Vec<(u64, &'static str)>,
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(World::default());
+        sim.sched
+            .schedule_at(SimTime(30), |w: &mut World, _| w.log.push((30, "c")));
+        sim.sched
+            .schedule_at(SimTime(10), |w: &mut World, _| w.log.push((10, "a")));
+        sim.sched
+            .schedule_at(SimTime(20), |w: &mut World, _| w.log.push((20, "b")));
+        sim.run();
+        assert_eq!(sim.world.log, vec![(10, "a"), (20, "b"), (30, "c")]);
+        assert_eq!(sim.now(), SimTime(30));
+    }
+
+    #[test]
+    fn ties_fire_in_schedule_order() {
+        let mut sim = Simulation::new(World::default());
+        for name in ["first", "second", "third"] {
+            sim.sched
+                .schedule_at(SimTime(5), move |w: &mut World, _| w.log.push((5, name)));
+        }
+        sim.run();
+        let names: Vec<_> = sim.world.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn events_can_schedule_events() {
+        let mut sim = Simulation::new(World::default());
+        sim.sched.schedule_at(SimTime(10), |_, s: &mut Scheduler<World>| {
+            s.schedule_in(SimDuration(5), |w: &mut World, _| w.log.push((15, "child")));
+        });
+        sim.run();
+        assert_eq!(sim.world.log, vec![(15, "child")]);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim = Simulation::new(World::default());
+        sim.sched.schedule_at(SimTime(100), |_, s: &mut Scheduler<World>| {
+            // deliberately in the past
+            s.schedule_at(SimTime(1), |w: &mut World, _| w.log.push((100, "clamped")));
+        });
+        sim.run();
+        assert_eq!(sim.world.log, vec![(100, "clamped")]);
+        assert_eq!(sim.now(), SimTime(100));
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Simulation::new(World::default());
+        sim.sched
+            .schedule_at(SimTime(10), |w: &mut World, _| w.log.push((10, "in")));
+        sim.sched
+            .schedule_at(SimTime(50), |w: &mut World, _| w.log.push((50, "out")));
+        sim.run_until(SimTime(20));
+        assert_eq!(sim.world.log, vec![(10, "in")]);
+        // the out-of-window event is still pending
+        assert_eq!(sim.sched.pending(), 1);
+        sim.run();
+        assert_eq!(sim.world.log.len(), 2);
+    }
+
+    #[test]
+    fn run_until_inclusive_of_deadline() {
+        let mut sim = Simulation::new(World::default());
+        sim.sched
+            .schedule_at(SimTime(20), |w: &mut World, _| w.log.push((20, "edge")));
+        sim.run_until(SimTime(20));
+        assert_eq!(sim.world.log, vec![(20, "edge")]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the schedule order, events fire in (time, seq) order and
+        /// the clock never runs backwards.
+        #[test]
+        fn events_fire_in_nondecreasing_time(times in proptest::collection::vec(0u64..10_000, 1..64)) {
+            #[derive(Default)]
+            struct W {
+                fired: Vec<u64>,
+            }
+            let mut sim = Simulation::new(W::default());
+            for &t in &times {
+                sim.sched.schedule_at(SimTime(t), move |w: &mut W, s: &mut Scheduler<W>| {
+                    w.fired.push(s.now().as_nanos());
+                });
+            }
+            sim.run();
+            prop_assert_eq!(sim.world.fired.len(), times.len());
+            prop_assert!(sim.world.fired.windows(2).all(|w| w[0] <= w[1]));
+            let mut sorted = times.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(&sim.world.fired, &sorted);
+        }
+
+        /// Chained scheduling (each event schedules a follow-up) terminates
+        /// with the clock at the final hop.
+        #[test]
+        fn chained_events_advance_monotonically(hops in 1u64..50, step in 1u64..1000) {
+            struct W {
+                remaining: u64,
+                step: u64,
+            }
+            fn hop(w: &mut W, s: &mut Scheduler<W>) {
+                if w.remaining > 0 {
+                    w.remaining -= 1;
+                    let d = SimDuration(w.step);
+                    s.schedule_in(d, hop);
+                }
+            }
+            let mut sim = Simulation::new(W { remaining: hops, step });
+            sim.sched.schedule_at(SimTime::ZERO, hop);
+            sim.run();
+            // The k-th firing happens at k·step; the last event (which sees
+            // remaining == 0 and schedules nothing) fires at hops·step.
+            prop_assert_eq!(sim.now().as_nanos(), hops * step);
+        }
+    }
+}

@@ -1,0 +1,964 @@
+//! Flow-level network model.
+//!
+//! Interconnect hardware (NVLink, PCIe, NIC, host paths) is modelled as a set
+//! of directed links with fixed capacity in bytes/second. A data transfer
+//! (or one chunk of a multi-path transfer) is a *flow* over an ordered list
+//! of links. Bandwidth is divided between concurrent flows by **weighted
+//! max-min fairness** extended with:
+//!
+//! * per-flow **floors** — a guaranteed minimum rate, used by GROUTER's
+//!   SLO-aware transfer rate control (`Rate_least`, paper §4.3.2);
+//! * per-flow **caps** — a maximum rate, used to throttle bandwidth-hungry
+//!   workflows (bandwidth partitioning, Fig. 17);
+//! * per-flow **weights** — idle bandwidth beyond the floors is distributed
+//!   proportionally to weight, letting the controller hand spare bandwidth to
+//!   the function with the tightest SLO.
+//!
+//! The model is quasi-stationary: whenever the flow set or any constraint
+//! changes, all rates are recomputed and progress is settled up to the current
+//! instant. This is the standard flow-level approximation used by network
+//! simulators; it reproduces contention, aggregation and isolation effects
+//! without per-packet simulation.
+
+use std::collections::BTreeMap;
+
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a link inside one [`FlowNet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Identifies a flow inside one [`FlowNet`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FlowId(pub u64);
+
+/// Rate constraints for a new flow. All rates are bytes/second.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowOptions {
+    /// Guaranteed minimum rate (0 = best effort).
+    pub floor: f64,
+    /// Maximum rate (`f64::INFINITY` = unlimited).
+    pub cap: f64,
+    /// Share of idle bandwidth relative to other flows (default 1.0).
+    pub weight: f64,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            floor: 0.0,
+            cap: f64::INFINITY,
+            weight: 1.0,
+        }
+    }
+}
+
+/// A unidirectional interconnect edge.
+#[derive(Clone, Debug)]
+struct Link {
+    name: String,
+    capacity: f64,
+}
+
+#[derive(Clone, Debug)]
+struct Flow {
+    path: Vec<LinkId>,
+    remaining: f64,
+    rate: f64,
+    floor: f64,
+    cap: f64,
+    weight: f64,
+}
+
+/// Errors returned by [`FlowNet`] operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlowNetError {
+    /// A flow path must contain at least one link.
+    EmptyPath,
+    /// The referenced link does not exist.
+    UnknownLink(LinkId),
+    /// The referenced flow does not exist (already completed or cancelled).
+    UnknownFlow(FlowId),
+}
+
+impl std::fmt::Display for FlowNetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FlowNetError::EmptyPath => write!(f, "flow path is empty"),
+            FlowNetError::UnknownLink(l) => write!(f, "unknown link {l:?}"),
+            FlowNetError::UnknownFlow(fl) => write!(f, "unknown flow {fl:?}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowNetError {}
+
+/// Below this many bytes a flow counts as finished (absorbs ns rounding).
+const EPS_BYTES: f64 = 0.5;
+/// Below this rate (bytes/s) an allocation increment counts as zero.
+const EPS_RATE: f64 = 1.0;
+
+/// The flow-level network simulator.
+///
+/// Time does not advance by itself: the owner calls [`FlowNet::advance_to`]
+/// (typically from a scheduled event at [`FlowNet::next_completion`]) to
+/// settle progress and harvest completed flows.
+///
+/// # Examples
+///
+/// ```
+/// use grouter_sim::{FlowNet, FlowOptions, SimTime};
+///
+/// let mut net = FlowNet::new();
+/// let pcie = net.add_link("pcie", 12e9); // 12 GB/s
+/// let flow = net
+///     .start_flow(SimTime::ZERO, vec![pcie], 120e6, FlowOptions::default())
+///     .unwrap();
+/// // 120 MB over 12 GB/s → 10 ms.
+/// let done_at = net.next_completion().unwrap();
+/// assert_eq!(net.advance_to(done_at), vec![flow]);
+/// assert!((done_at.as_millis_f64() - 10.0).abs() < 0.01);
+/// ```
+pub struct FlowNet {
+    links: Vec<Link>,
+    flows: BTreeMap<u64, Flow>,
+    now: SimTime,
+    next_id: u64,
+    version: u64,
+}
+
+impl Default for FlowNet {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FlowNet {
+    pub fn new() -> Self {
+        FlowNet {
+            links: Vec::new(),
+            flows: BTreeMap::new(),
+            now: SimTime::ZERO,
+            next_id: 0,
+            version: 0,
+        }
+    }
+
+    /// Register a link with `capacity` bytes/second.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not strictly positive and finite: a
+    /// zero-capacity link would deadlock every flow routed over it.
+    pub fn add_link(&mut self, name: impl Into<String>, capacity: f64) -> LinkId {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive and finite"
+        );
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link {
+            name: name.into(),
+            capacity,
+        });
+        id
+    }
+
+    /// Capacity of `link` in bytes/second.
+    pub fn link_capacity(&self, link: LinkId) -> f64 {
+        self.links[link.0 as usize].capacity
+    }
+
+    /// Human-readable link name (for diagnostics).
+    pub fn link_name(&self, link: LinkId) -> &str {
+        &self.links[link.0 as usize].name
+    }
+
+    /// Number of registered links.
+    pub fn num_links(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Number of in-flight flows.
+    pub fn num_flows(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Monotone counter bumped whenever any rate may have changed. Event
+    /// handlers snapshot it to detect stale wake-ups.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Current settle point of the model.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Start transferring `bytes` over `path`. Progress is settled to `now`
+    /// first, then rates are recomputed.
+    pub fn start_flow(
+        &mut self,
+        now: SimTime,
+        path: Vec<LinkId>,
+        bytes: f64,
+        opts: FlowOptions,
+    ) -> Result<FlowId, FlowNetError> {
+        if path.is_empty() {
+            return Err(FlowNetError::EmptyPath);
+        }
+        for &l in &path {
+            if l.0 as usize >= self.links.len() {
+                return Err(FlowNetError::UnknownLink(l));
+            }
+        }
+        self.settle(now);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.flows.insert(
+            id,
+            Flow {
+                path,
+                remaining: bytes.max(0.0),
+                rate: 0.0,
+                floor: opts.floor.max(0.0),
+                cap: opts.cap.max(0.0),
+                weight: if opts.weight > 0.0 { opts.weight } else { 1.0 },
+            },
+        );
+        self.recompute_rates();
+        Ok(FlowId(id))
+    }
+
+    /// Abort a flow; remaining bytes are discarded.
+    pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Result<(), FlowNetError> {
+        self.settle(now);
+        if self.flows.remove(&id.0).is_none() {
+            return Err(FlowNetError::UnknownFlow(id));
+        }
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Change a flow's guaranteed floor (SLO re-negotiation).
+    pub fn set_floor(&mut self, now: SimTime, id: FlowId, floor: f64) -> Result<(), FlowNetError> {
+        self.settle(now);
+        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        flow.floor = floor.max(0.0);
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Change a flow's rate cap (bandwidth partitioning).
+    pub fn set_cap(&mut self, now: SimTime, id: FlowId, cap: f64) -> Result<(), FlowNetError> {
+        self.settle(now);
+        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        flow.cap = cap.max(0.0);
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Change a link's capacity mid-run (failure injection: congestion from
+    /// co-tenants, link flaps, degraded lanes). Progress is settled first;
+    /// all rates are recomputed against the new capacity.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is not strictly positive and finite (a dead link
+    /// would deadlock its flows; model removal by rerouting instead).
+    pub fn set_link_capacity(&mut self, now: SimTime, link: LinkId, capacity: f64) {
+        assert!(
+            capacity.is_finite() && capacity > 0.0,
+            "link capacity must be positive and finite"
+        );
+        self.settle(now);
+        self.links[link.0 as usize].capacity = capacity;
+        self.recompute_rates();
+    }
+
+    /// Move an in-flight flow onto a new link path (topology-aware
+    /// rebalancing, paper §4.3.3: a function occupying a direct path as part
+    /// of an indirect route can be reassigned to an alternative route).
+    /// Progress is settled first; remaining bytes continue on the new path.
+    pub fn reroute_flow(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        new_path: Vec<LinkId>,
+    ) -> Result<(), FlowNetError> {
+        if new_path.is_empty() {
+            return Err(FlowNetError::EmptyPath);
+        }
+        for &l in &new_path {
+            if l.0 as usize >= self.links.len() {
+                return Err(FlowNetError::UnknownLink(l));
+            }
+        }
+        self.settle(now);
+        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        flow.path = new_path;
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Change a flow's idle-bandwidth weight.
+    pub fn set_weight(&mut self, now: SimTime, id: FlowId, weight: f64) -> Result<(), FlowNetError> {
+        self.settle(now);
+        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        flow.weight = if weight > 0.0 { weight } else { 1.0 };
+        self.recompute_rates();
+        Ok(())
+    }
+
+    /// Current allocated rate of `id` in bytes/second.
+    pub fn flow_rate(&self, id: FlowId) -> Result<f64, FlowNetError> {
+        self.flows
+            .get(&id.0)
+            .map(|f| f.rate)
+            .ok_or(FlowNetError::UnknownFlow(id))
+    }
+
+    /// Bytes not yet delivered for `id` (as of the last settle point).
+    pub fn flow_remaining(&self, id: FlowId) -> Result<f64, FlowNetError> {
+        self.flows
+            .get(&id.0)
+            .map(|f| f.remaining)
+            .ok_or(FlowNetError::UnknownFlow(id))
+    }
+
+    /// Aggregate rate currently crossing `link`.
+    pub fn link_utilization(&self, link: LinkId) -> f64 {
+        self.flows
+            .values()
+            .filter(|f| f.path.contains(&link))
+            .map(|f| f.rate)
+            .sum()
+    }
+
+    /// Earliest instant at which some flow completes, or `None` when no flow
+    /// is making progress.
+    pub fn next_completion(&self) -> Option<SimTime> {
+        self.flows
+            .values()
+            .filter(|f| f.rate > EPS_RATE || f.remaining <= EPS_BYTES)
+            .map(|f| {
+                if f.remaining <= EPS_BYTES {
+                    self.now
+                } else {
+                    self.now + SimDuration::from_secs_f64(f.remaining / f.rate)
+                }
+            })
+            .min()
+    }
+
+    /// Advance the model to `now`, returning the flows that completed (in
+    /// ascending `FlowId` order). Completed flows are removed; rates are
+    /// recomputed if anything completed.
+    pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowId> {
+        self.settle(now);
+        let done: Vec<u64> = self
+            .flows
+            .iter()
+            .filter(|(_, f)| f.remaining <= EPS_BYTES)
+            .map(|(&id, _)| id)
+            .collect();
+        if done.is_empty() {
+            return Vec::new();
+        }
+        for id in &done {
+            self.flows.remove(id);
+        }
+        self.recompute_rates();
+        done.into_iter().map(FlowId).collect()
+    }
+
+    /// Accrue progress at current rates from the last settle point to `now`.
+    fn settle(&mut self, now: SimTime) {
+        if now <= self.now {
+            return;
+        }
+        let dt = (now - self.now).as_secs_f64();
+        for flow in self.flows.values_mut() {
+            flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
+        }
+        self.now = now;
+    }
+
+    /// Weighted max-min fair allocation with floors and caps.
+    ///
+    /// 1. Every flow starts at its floor (scaled down proportionally on links
+    ///    where floors alone oversubscribe capacity — the admission controller
+    ///    should prevent this, but the model stays robust if it does not).
+    /// 2. Progressive filling: all unfrozen flows gain rate in proportion to
+    ///    their weight until a link saturates or a flow hits its cap; binding
+    ///    flows freeze; repeat.
+    fn recompute_rates(&mut self) {
+        self.version += 1;
+        if self.flows.is_empty() {
+            return;
+        }
+
+        let ids: Vec<u64> = self.flows.keys().copied().collect();
+        let n = ids.len();
+        let mut rate = vec![0.0f64; n];
+        let mut frozen = vec![false; n];
+
+        // Per-link members, built once.
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.links.len()];
+        for (idx, id) in ids.iter().enumerate() {
+            for &l in &self.flows[id].path {
+                members[l.0 as usize].push(idx);
+            }
+        }
+
+        // Step 1: floors, with proportional scaling on oversubscribed links.
+        let mut scale = vec![1.0f64; n];
+        for (li, link) in self.links.iter().enumerate() {
+            let total_floor: f64 = members[li]
+                .iter()
+                .map(|&i| self.flows[&ids[i]].floor)
+                .sum();
+            if total_floor > link.capacity {
+                let factor = link.capacity / total_floor;
+                for &i in &members[li] {
+                    scale[i] = scale[i].min(factor);
+                }
+            }
+        }
+        for (i, id) in ids.iter().enumerate() {
+            let f = &self.flows[id];
+            rate[i] = (f.floor * scale[i]).min(f.cap);
+            if f.cap - rate[i] <= EPS_RATE || f.remaining <= EPS_BYTES {
+                frozen[i] = true;
+            }
+        }
+
+        // Step 2: progressive filling of the idle bandwidth.
+        // Each iteration freezes at least one flow, so it terminates.
+        loop {
+            if frozen.iter().all(|&f| f) {
+                break;
+            }
+            // Residual capacity and active weight per link.
+            let mut limiting_inc = f64::INFINITY; // in rate-per-unit-weight
+            for (li, link) in self.links.iter().enumerate() {
+                let used: f64 = members[li].iter().map(|&i| rate[i]).sum();
+                let active_weight: f64 = members[li]
+                    .iter()
+                    .filter(|&&i| !frozen[i])
+                    .map(|&i| self.flows[&ids[i]].weight)
+                    .sum();
+                if active_weight > 0.0 {
+                    let residual = (link.capacity - used).max(0.0);
+                    limiting_inc = limiting_inc.min(residual / active_weight);
+                }
+            }
+            // Cap headroom, in per-unit-weight terms.
+            for (i, id) in ids.iter().enumerate() {
+                if !frozen[i] {
+                    let f = &self.flows[id];
+                    limiting_inc = limiting_inc.min((f.cap - rate[i]) / f.weight);
+                }
+            }
+            if !limiting_inc.is_finite() {
+                break;
+            }
+            if limiting_inc > 0.0 {
+                for (i, id) in ids.iter().enumerate() {
+                    if !frozen[i] {
+                        rate[i] += limiting_inc * self.flows[id].weight;
+                    }
+                }
+            }
+            // Freeze flows bound by a saturated link or their cap.
+            let mut any_frozen = false;
+            for (li, link) in self.links.iter().enumerate() {
+                let used: f64 = members[li].iter().map(|&i| rate[i]).sum();
+                if link.capacity - used <= EPS_RATE {
+                    for &i in &members[li] {
+                        if !frozen[i] {
+                            frozen[i] = true;
+                            any_frozen = true;
+                        }
+                    }
+                }
+            }
+            for (i, id) in ids.iter().enumerate() {
+                if !frozen[i] && self.flows[id].cap - rate[i] <= EPS_RATE {
+                    frozen[i] = true;
+                    any_frozen = true;
+                }
+            }
+            if !any_frozen {
+                // Nothing binds (all remaining flows unconstrained with zero
+                // residual everywhere) — freeze everything to terminate.
+                break;
+            }
+        }
+
+        for (i, id) in ids.iter().enumerate() {
+            self.flows.get_mut(id).expect("flow present").rate = rate[i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GB: f64 = 1e9;
+
+    fn net_one_link(cap: f64) -> (FlowNet, LinkId) {
+        let mut net = FlowNet::new();
+        let l = net.add_link("l0", cap);
+        (net, l)
+    }
+
+    #[test]
+    fn single_flow_gets_full_capacity() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        assert!((net.flow_rate(f).unwrap() - 10.0 * GB).abs() < 1.0);
+        // 1 GB over 10 GB/s = 100 ms
+        let done_at = net.next_completion().unwrap();
+        assert!((done_at.as_millis_f64() - 100.0).abs() < 1e-3);
+        let done = net.advance_to(done_at);
+        assert_eq!(done, vec![f]);
+        assert_eq!(net.num_flows(), 0);
+    }
+
+    #[test]
+    fn two_flows_share_fairly() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f1 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        let f2 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        assert!((net.flow_rate(f1).unwrap() - 5.0 * GB).abs() < 2.0);
+        assert!((net.flow_rate(f2).unwrap() - 5.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn flow_rate_recovers_after_departure() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f1 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        let f2 = net
+            .start_flow(SimTime::ZERO, vec![l], 0.5 * GB, FlowOptions::default())
+            .unwrap();
+        // f2 finishes first (same rate, half the bytes): at t=100ms.
+        let t1 = net.next_completion().unwrap();
+        assert_eq!(net.advance_to(t1), vec![f2]);
+        // f1 has 0.5 GB left and now the full 10 GB/s.
+        assert!((net.flow_rate(f1).unwrap() - 10.0 * GB).abs() < 2.0);
+        let t2 = net.next_completion().unwrap();
+        assert!((t2.as_millis_f64() - 150.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn path_limited_by_slowest_link() {
+        let mut net = FlowNet::new();
+        let fast = net.add_link("fast", 40.0 * GB);
+        let slow = net.add_link("slow", 10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![fast, slow], GB, FlowOptions::default())
+            .unwrap();
+        assert!((net.flow_rate(f).unwrap() - 10.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn max_min_bottleneck_allocation() {
+        // Classic example: flows A (link1), B (link1+link2), C (link2).
+        // link1 = 10, link2 = 4 → B bottlenecked at 2 on link2 (shares with C),
+        // A then gets 8 on link1, C gets 2.
+        let mut net = FlowNet::new();
+        let l1 = net.add_link("l1", 10.0);
+        let l2 = net.add_link("l2", 4.0);
+        let a = net
+            .start_flow(SimTime::ZERO, vec![l1], 1e9, FlowOptions::default())
+            .unwrap();
+        let b = net
+            .start_flow(SimTime::ZERO, vec![l1, l2], 1e9, FlowOptions::default())
+            .unwrap();
+        let c = net
+            .start_flow(SimTime::ZERO, vec![l2], 1e9, FlowOptions::default())
+            .unwrap();
+        assert!((net.flow_rate(b).unwrap() - 2.0).abs() < 1e-6);
+        assert!((net.flow_rate(c).unwrap() - 2.0).abs() < 1e-6);
+        assert!((net.flow_rate(a).unwrap() - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn floor_is_guaranteed_under_contention() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let slo = net
+            .start_flow(
+                SimTime::ZERO,
+                vec![l],
+                GB,
+                FlowOptions {
+                    floor: 8.0 * GB,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // Four best-effort flows pile on.
+        let mut others = Vec::new();
+        for _ in 0..4 {
+            others.push(
+                net.start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+                    .unwrap(),
+            );
+        }
+        let r = net.flow_rate(slo).unwrap();
+        assert!(r >= 8.0 * GB - 1.0, "floor violated: {r}");
+        // Idle 2 GB/s is split 5 ways (the SLO flow also competes for idle).
+        let r0 = net.flow_rate(others[0]).unwrap();
+        assert!((r0 - 0.4 * GB).abs() < 10.0, "unexpected best-effort rate {r0}");
+    }
+
+    #[test]
+    fn cap_limits_rate() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let capped = net
+            .start_flow(
+                SimTime::ZERO,
+                vec![l],
+                GB,
+                FlowOptions {
+                    cap: 2.0 * GB,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let free = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        assert!(net.flow_rate(capped).unwrap() <= 2.0 * GB + 1.0);
+        // The free flow gets the rest.
+        assert!((net.flow_rate(free).unwrap() - 8.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn weights_split_idle_bandwidth_proportionally() {
+        let (mut net, l) = net_one_link(9.0 * GB);
+        let heavy = net
+            .start_flow(
+                SimTime::ZERO,
+                vec![l],
+                GB,
+                FlowOptions {
+                    weight: 2.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let light = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        assert!((net.flow_rate(heavy).unwrap() - 6.0 * GB).abs() < 2.0);
+        assert!((net.flow_rate(light).unwrap() - 3.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn oversubscribed_floors_scale_down() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f1 = net
+            .start_flow(
+                SimTime::ZERO,
+                vec![l],
+                GB,
+                FlowOptions {
+                    floor: 8.0 * GB,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let f2 = net
+            .start_flow(
+                SimTime::ZERO,
+                vec![l],
+                GB,
+                FlowOptions {
+                    floor: 12.0 * GB,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let r1 = net.flow_rate(f1).unwrap();
+        let r2 = net.flow_rate(f2).unwrap();
+        // Total never exceeds capacity; floors shrink proportionally (8:12).
+        assert!(r1 + r2 <= 10.0 * GB + 2.0);
+        assert!((r1 / r2 - 8.0 / 12.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cancel_releases_bandwidth() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f1 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        let f2 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        net.cancel_flow(SimTime::ZERO, f2).unwrap();
+        assert!((net.flow_rate(f1).unwrap() - 10.0 * GB).abs() < 2.0);
+        assert_eq!(
+            net.cancel_flow(SimTime::ZERO, f2),
+            Err(FlowNetError::UnknownFlow(f2))
+        );
+    }
+
+    #[test]
+    fn partial_progress_is_settled_on_changes() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f1 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        // At t=50ms, half the bytes have moved; a second flow arrives.
+        let t = SimTime(50_000_000);
+        let _f2 = net.start_flow(t, vec![l], GB, FlowOptions::default()).unwrap();
+        let rem = net.flow_remaining(f1).unwrap();
+        assert!((rem - 0.5 * GB).abs() < 1e3, "remaining {rem}");
+        // f1 now needs 0.5 GB at 5 GB/s → completes at t=150ms.
+        let done_at = net.next_completion().unwrap();
+        assert!((done_at.as_millis_f64() - 150.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_byte_flow_completes_immediately() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l], 0.0, FlowOptions::default())
+            .unwrap();
+        assert_eq!(net.next_completion(), Some(SimTime::ZERO));
+        assert_eq!(net.advance_to(SimTime::ZERO), vec![f]);
+    }
+
+    #[test]
+    fn empty_path_rejected() {
+        let mut net = FlowNet::new();
+        assert_eq!(
+            net.start_flow(SimTime::ZERO, vec![], GB, FlowOptions::default()),
+            Err(FlowNetError::EmptyPath)
+        );
+    }
+
+    #[test]
+    fn unknown_link_rejected() {
+        let mut net = FlowNet::new();
+        assert_eq!(
+            net.start_flow(SimTime::ZERO, vec![LinkId(7)], GB, FlowOptions::default()),
+            Err(FlowNetError::UnknownLink(LinkId(7)))
+        );
+    }
+
+    #[test]
+    fn version_bumps_on_rate_changes() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let v0 = net.version();
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        assert!(net.version() > v0);
+        let v1 = net.version();
+        net.set_cap(SimTime::ZERO, f, GB).unwrap();
+        assert!(net.version() > v1);
+    }
+
+    #[test]
+    fn link_utilization_reports_aggregate_rate() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        net.start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        net.start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        assert!((net.link_utilization(l) - 10.0 * GB).abs() < 4.0);
+    }
+
+    #[test]
+    fn degrading_a_link_slows_its_flows() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        // Halfway through, the link loses 80% of its capacity.
+        let t = SimTime(50_000_000);
+        net.set_link_capacity(t, l, 2.0 * GB);
+        assert!((net.flow_rate(f).unwrap() - 2.0 * GB).abs() < 2.0);
+        // 0.5 GB left at 2 GB/s → completes at 50ms + 250ms.
+        let done = net.next_completion().unwrap();
+        assert!((done.as_millis_f64() - 300.0).abs() < 0.01, "done {done}");
+        // Restoring capacity speeds the flow back up.
+        net.set_link_capacity(SimTime(100_000_000), l, 10.0 * GB);
+        assert!((net.flow_rate(f).unwrap() - 10.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_injection_rejected() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        net.set_link_capacity(SimTime::ZERO, l, 0.0);
+    }
+
+    #[test]
+    fn reroute_moves_remaining_bytes() {
+        let mut net = FlowNet::new();
+        let slow = net.add_link("slow", 1.0 * GB);
+        let fast = net.add_link("fast", 10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![slow], GB, FlowOptions::default())
+            .unwrap();
+        // Half the bytes drained at 1 GB/s by t=500ms; reroute to the fast
+        // link: remaining 0.5 GB at 10 GB/s → +50 ms.
+        let t = SimTime(500_000_000);
+        net.reroute_flow(t, f, vec![fast]).unwrap();
+        assert!((net.flow_remaining(f).unwrap() - 0.5 * GB).abs() < 1e3);
+        assert!((net.flow_rate(f).unwrap() - 10.0 * GB).abs() < 2.0);
+        let done = net.next_completion().unwrap();
+        assert!((done.as_millis_f64() - 550.0).abs() < 0.01, "done {done}");
+        // The old link is free for others.
+        assert_eq!(net.link_utilization(slow), 0.0);
+    }
+
+    #[test]
+    fn reroute_validates_inputs() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        assert_eq!(
+            net.reroute_flow(SimTime::ZERO, f, vec![]),
+            Err(FlowNetError::EmptyPath)
+        );
+        assert_eq!(
+            net.reroute_flow(SimTime::ZERO, f, vec![LinkId(9)]),
+            Err(FlowNetError::UnknownLink(LinkId(9)))
+        );
+        assert_eq!(
+            net.reroute_flow(SimTime::ZERO, FlowId(99), vec![l]),
+            Err(FlowNetError::UnknownFlow(FlowId(99)))
+        );
+    }
+
+    #[test]
+    fn parallel_paths_aggregate_bandwidth() {
+        // Two disjoint links: two chunks of one logical transfer run in
+        // parallel, halving completion time — the basis of bandwidth
+        // harvesting.
+        let mut net = FlowNet::new();
+        let l1 = net.add_link("p1", 10.0 * GB);
+        let l2 = net.add_link("p2", 10.0 * GB);
+        net.start_flow(SimTime::ZERO, vec![l1], GB, FlowOptions::default())
+            .unwrap();
+        net.start_flow(SimTime::ZERO, vec![l2], GB, FlowOptions::default())
+            .unwrap();
+        let done_at = net.next_completion().unwrap();
+        assert!((done_at.as_millis_f64() - 100.0).abs() < 1e-3);
+        let done = net.advance_to(done_at);
+        assert_eq!(done.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_net_and_flows() -> impl Strategy<Value = (Vec<f64>, Vec<(Vec<usize>, f64, f64, f64)>)> {
+        // (link capacities, flows as (path link indices, bytes, floor, cap))
+        (2usize..6).prop_flat_map(|n_links| {
+            let caps = proptest::collection::vec(1e9..50e9, n_links);
+            let flows = proptest::collection::vec(
+                (
+                    proptest::collection::vec(0..n_links, 1..3),
+                    1e3..1e9,  // bytes
+                    0.0..5e9,  // floor
+                    1e8..1e11, // cap
+                ),
+                1..16,
+            );
+            (caps, flows)
+        })
+    }
+
+    proptest! {
+        /// Invariants under arbitrary floors and caps: per-link usage never
+        /// exceeds capacity, every flow respects its cap, and the system
+        /// always drains to empty.
+        #[test]
+        fn rates_respect_links_and_caps((caps, flow_specs) in arb_net_and_flows()) {
+            let mut net = FlowNet::new();
+            let links: Vec<LinkId> = caps
+                .iter()
+                .enumerate()
+                .map(|(i, &c)| net.add_link(format!("l{i}"), c))
+                .collect();
+            let mut flows = Vec::new();
+            for (path_idx, bytes, floor, cap) in flow_specs {
+                let mut path: Vec<LinkId> = path_idx.iter().map(|&i| links[i]).collect();
+                path.dedup();
+                let f = net
+                    .start_flow(
+                        SimTime::ZERO,
+                        path,
+                        bytes,
+                        FlowOptions { floor, cap, weight: 1.0 },
+                    )
+                    .expect("valid flow");
+                flows.push((f, cap));
+            }
+            // Cap invariant.
+            for &(f, cap) in &flows {
+                let r = net.flow_rate(f).expect("live");
+                prop_assert!(r <= cap + EPS_RATE, "rate {r} over cap {cap}");
+            }
+            // Link invariant — floors may legitimately oversubscribe only
+            // when infeasible, and we scale them down, so usage ≤ capacity.
+            for (i, &l) in links.iter().enumerate() {
+                let used = net.link_utilization(l);
+                prop_assert!(used <= caps[i] * (1.0 + 1e-9) + EPS_RATE, "link {i}");
+            }
+            // Drain.
+            let mut guard = 0;
+            while net.num_flows() > 0 {
+                let t = net.next_completion().expect("progress");
+                net.advance_to(t);
+                guard += 1;
+                prop_assert!(guard < 100_000);
+            }
+        }
+
+        /// Settling at arbitrary intermediate instants never changes the
+        /// final completion time of a lone flow (quasi-stationarity).
+        #[test]
+        fn settling_is_exact(bytes in 1e3f64..1e9, cap_gbps in 1.0f64..50.0, cuts in proptest::collection::vec(1u64..1_000_000_000, 0..8)) {
+            let capacity = cap_gbps * 1e9;
+            let reference = {
+                let mut net = FlowNet::new();
+                let l = net.add_link("l", capacity);
+                net.start_flow(SimTime::ZERO, vec![l], bytes, FlowOptions::default())
+                    .expect("flow");
+                net.next_completion().expect("progress")
+            };
+            let mut net = FlowNet::new();
+            let l = net.add_link("l", capacity);
+            net.start_flow(SimTime::ZERO, vec![l], bytes, FlowOptions::default())
+                .expect("flow");
+            let mut sorted = cuts.clone();
+            sorted.sort_unstable();
+            for t in sorted {
+                let at = SimTime(t);
+                if at < reference {
+                    net.advance_to(at);
+                }
+            }
+            let done = net.next_completion().expect("progress");
+            // Interior settles may only shift completion by ns rounding.
+            let diff = done.as_nanos().abs_diff(reference.as_nanos());
+            prop_assert!(diff <= cuts.len() as u64 + 1, "diff {diff}");
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # grouter-sim
+//!
+//! Deterministic discrete-event simulation substrate used by the GROUTER
+//! reproduction.
+//!
+//! The paper evaluates GROUTER on real DGX-class GPU servers; this crate is the
+//! hardware substitute (see `DESIGN.md` §2). It provides:
+//!
+//! * [`time`] — integer-nanosecond simulated clock types.
+//! * [`engine`] — a generic event queue / scheduler with deterministic
+//!   tie-breaking.
+//! * [`flownet`] — a flow-level network model: transfers are flows over link
+//!   paths, and bandwidth is shared with max-min fairness honouring per-flow
+//!   rate floors (SLO guarantees) and caps (rate limiting).
+//! * [`stats`] — streaming percentiles, histograms and time series used by the
+//!   elastic-storage policies and the experiment harness.
+//! * [`rng`] — seeded deterministic random number helpers.
+//! * [`params`] — the single calibration table for all hardware constants.
+//!
+//! Everything in this crate is single-threaded and fully deterministic: two
+//! runs with the same seed produce bit-identical event orders.
+
+pub mod engine;
+pub mod flownet;
+pub mod params;
+pub mod rng;
+pub mod stats;
+pub mod time;
+
+pub use engine::{Scheduler, Simulation};
+pub use flownet::{FlowId, FlowNet, FlowOptions, LinkId};
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,393 @@
+//! Streaming statistics used by the elastic-storage policies (99th-percentile
+//! trackers) and by the experiment harness (latency distributions, time
+//! series).
+
+use crate::time::SimTime;
+
+/// A bounded-window sample tracker with percentile queries.
+///
+/// GROUTER's elastic storage characterises each function with the 99th
+/// percentiles of request interval (`R_window`), intermediate data size
+/// (`R_size`) and concurrency (`R_con`) (paper §4.4.1, Fig. 11a). These are
+/// computed over a sliding window of recent observations.
+#[derive(Clone, Debug)]
+pub struct WindowedPercentile {
+    window: usize,
+    samples: Vec<f64>,
+    cursor: usize,
+    filled: bool,
+}
+
+impl WindowedPercentile {
+    /// Create a tracker remembering the most recent `window` samples.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be non-empty");
+        WindowedPercentile {
+            window,
+            samples: Vec::with_capacity(window),
+            cursor: 0,
+            filled: false,
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: f64) {
+        if self.samples.len() < self.window {
+            self.samples.push(value);
+            if self.samples.len() == self.window {
+                self.filled = true;
+            }
+        } else {
+            self.samples[self.cursor] = value;
+            self.cursor = (self.cursor + 1) % self.window;
+        }
+    }
+
+    /// Number of samples currently held.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The `q`-quantile (q in [0, 1]) over the window, or `None` when empty.
+    ///
+    /// Uses the nearest-rank method, which matches how serverless pre-warming
+    /// policies read "the 99th percentile" of a small histogram.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+
+    /// Convenience: the 99th percentile.
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Mean over the window, or `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.samples.is_empty() {
+            None
+        } else {
+            Some(self.samples.iter().sum::<f64>() / self.samples.len() as f64)
+        }
+    }
+}
+
+/// An unbounded latency/throughput sample collector for experiment reporting.
+#[derive(Clone, Debug, Default)]
+pub struct Summary {
+    samples: Vec<f64>,
+}
+
+impl Summary {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    pub fn min(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    pub fn max(&self) -> f64 {
+        self.samples.iter().copied().fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Quantile by nearest rank; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+
+    /// All recorded samples (read-only), for CDF plotting.
+    pub fn samples(&self) -> &[f64] {
+        &self.samples
+    }
+}
+
+/// A `(time, value)` series, e.g. idle GPU memory over a trace (Fig. 7a).
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a point. Timestamps must be non-decreasing; out-of-order points
+    /// are clamped to the previous timestamp so the series stays monotone.
+    pub fn record(&mut self, t: SimTime, value: f64) {
+        let t = match self.points.last() {
+            Some(&(prev, _)) if t < prev => prev,
+            _ => t,
+        };
+        self.points.push((t, value));
+    }
+
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Down-sample to at most `n` evenly spaced points (for printing).
+    pub fn resample(&self, n: usize) -> Vec<(SimTime, f64)> {
+        if self.points.len() <= n || n == 0 {
+            return self.points.clone();
+        }
+        let step = self.points.len() as f64 / n as f64;
+        (0..n)
+            .map(|i| self.points[(i as f64 * step) as usize])
+            .collect()
+    }
+
+    /// Minimum value over the series.
+    pub fn min_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Maximum value over the series.
+    pub fn max_value(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .map(|&(_, v)| v)
+            .max_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
+    }
+
+    /// Time-weighted average value over the series.
+    pub fn time_weighted_mean(&self) -> Option<f64> {
+        if self.points.len() < 2 {
+            return self.points.first().map(|&(_, v)| v);
+        }
+        let mut area = 0.0;
+        let mut span = 0.0;
+        for pair in self.points.windows(2) {
+            let dt = (pair[1].0 - pair[0].0).as_secs_f64();
+            area += pair[0].1 * dt;
+            span += dt;
+        }
+        if span == 0.0 {
+            Some(self.points[0].1)
+        } else {
+            Some(area / span)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windowed_percentile_basics() {
+        let mut w = WindowedPercentile::new(100);
+        assert!(w.p99().is_none());
+        for i in 1..=100 {
+            w.record(i as f64);
+        }
+        assert_eq!(w.p99(), Some(99.0));
+        assert_eq!(w.quantile(0.5), Some(50.0));
+        assert_eq!(w.quantile(1.0), Some(100.0));
+        assert_eq!(w.quantile(0.0), Some(1.0));
+        assert_eq!(w.mean(), Some(50.5));
+    }
+
+    #[test]
+    fn windowed_percentile_evicts_oldest() {
+        let mut w = WindowedPercentile::new(3);
+        for v in [100.0, 1.0, 2.0, 3.0] {
+            w.record(v);
+        }
+        // 100.0 fell out of the window.
+        assert_eq!(w.quantile(1.0), Some(3.0));
+        assert_eq!(w.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be non-empty")]
+    fn zero_window_panics() {
+        let _ = WindowedPercentile::new(0);
+    }
+
+    #[test]
+    fn summary_quantiles() {
+        let mut s = Summary::new();
+        for i in 1..=1000 {
+            s.record(i as f64);
+        }
+        assert_eq!(s.p50(), 500.0);
+        assert_eq!(s.p99(), 990.0);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 1000.0);
+        assert!((s.mean() - 500.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        let s = Summary::new();
+        assert_eq!(s.p99(), 0.0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn timeseries_resample_and_stats() {
+        let mut ts = TimeSeries::new();
+        for i in 0..10 {
+            ts.record(SimTime(i * 10), i as f64);
+        }
+        assert_eq!(ts.resample(5).len(), 5);
+        assert_eq!(ts.min_value(), Some(0.0));
+        assert_eq!(ts.max_value(), Some(9.0));
+    }
+
+    #[test]
+    fn timeseries_clamps_out_of_order() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime(100), 1.0);
+        ts.record(SimTime(50), 2.0); // clamped to t=100
+        assert_eq!(ts.points()[1].0, SimTime(100));
+    }
+
+    #[test]
+    fn time_weighted_mean_weights_by_duration() {
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime(0), 10.0);
+        ts.record(SimTime(90), 0.0);
+        ts.record(SimTime(100), 0.0);
+        // 10.0 held for 90 ns, 0.0 for 10 ns → mean 9.0
+        assert!((ts.time_weighted_mean().unwrap() - 9.0).abs() < 1e-9);
+    }
+}
+
+impl Summary {
+    /// `n` evenly spaced CDF points `(value, fraction ≤ value)` — the shape
+    /// the paper's distribution figures (e.g. Fig. 18a) plot.
+    pub fn cdf_points(&self, n: usize) -> Vec<(f64, f64)> {
+        if self.samples.is_empty() || n == 0 {
+            return Vec::new();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        (1..=n)
+            .map(|k| {
+                let q = k as f64 / n as f64;
+                let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+                (sorted[rank - 1], q)
+            })
+            .collect()
+    }
+
+    /// Comma-separated `value,cdf` lines for external plotting.
+    pub fn cdf_csv(&self, n: usize) -> String {
+        let mut out = String::from("value,cdf\n");
+        for (v, q) in self.cdf_points(n) {
+            out.push_str(&format!("{v},{q}\n"));
+        }
+        out
+    }
+}
+
+impl TimeSeries {
+    /// Comma-separated `seconds,value` lines for external plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("seconds,value\n");
+        for &(t, v) in &self.points {
+            out.push_str(&format!("{},{v}\n", t.as_secs_f64()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn cdf_points_are_monotone_and_cover_range() {
+        let mut s = Summary::new();
+        for i in 1..=100 {
+            s.record(i as f64);
+        }
+        let cdf = s.cdf_points(10);
+        assert_eq!(cdf.len(), 10);
+        assert!(cdf.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 < w[1].1));
+        assert_eq!(cdf.last().unwrap().0, 100.0);
+        assert_eq!(cdf.last().unwrap().1, 1.0);
+    }
+
+    #[test]
+    fn cdf_empty_and_zero_n() {
+        let s = Summary::new();
+        assert!(s.cdf_points(5).is_empty());
+        let mut s2 = Summary::new();
+        s2.record(1.0);
+        assert!(s2.cdf_points(0).is_empty());
+    }
+
+    #[test]
+    fn csv_headers_present() {
+        let mut s = Summary::new();
+        s.record(2.0);
+        assert!(s.cdf_csv(2).starts_with("value,cdf\n"));
+        let mut ts = TimeSeries::new();
+        ts.record(SimTime(1_000_000_000), 7.0);
+        let csv = ts.to_csv();
+        assert!(csv.starts_with("seconds,value\n"));
+        assert!(csv.contains("1,7"));
+    }
+}

@@ -1,0 +1,85 @@
+//! Identifiers, locations and access tokens.
+
+use grouter_sim::time::SimTime;
+use grouter_topology::GpuRef;
+
+/// Globally unique identifier for one intermediate data object; returned by
+/// `Put` and passed to downstream functions (§4.2.1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct DataId(pub u64);
+
+/// A deployed function instance.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct FunctionId(pub u64);
+
+/// A workflow invocation (one request flowing through a DAG).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct WorkflowId(pub u64);
+
+/// Where an object's bytes currently live.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Location {
+    /// In a GPU storage pool.
+    Gpu(GpuRef),
+    /// In host memory of the given node (original placement or migrated).
+    Host(usize),
+}
+
+impl Location {
+    /// Node the bytes live on.
+    pub fn node(&self) -> usize {
+        match self {
+            Location::Gpu(g) => g.node,
+            Location::Host(n) => *n,
+        }
+    }
+
+    pub fn is_gpu(&self) -> bool {
+        matches!(self, Location::Gpu(_))
+    }
+}
+
+/// Credentials a function presents on every store access (§7: "GROUTER
+/// authenticates the requesting function using both function ID and workflow
+/// ID on every access").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct AccessToken {
+    pub function: FunctionId,
+    pub workflow: WorkflowId,
+}
+
+/// Store-side metadata for one object.
+#[derive(Clone, Debug)]
+pub struct DataEntry {
+    pub id: DataId,
+    pub bytes: f64,
+    pub location: Location,
+    /// The workflow the object belongs to; only its functions may access it.
+    pub workflow: WorkflowId,
+    /// The producing function.
+    pub producer: FunctionId,
+    pub created: SimTime,
+    pub last_access: SimTime,
+    /// Remaining consumers; the object is garbage once it reaches zero
+    /// ("GROUTER promptly removes intermediate data that is no longer
+    /// needed", §4.4.2).
+    pub pending_consumers: u32,
+    /// Queue rank of the earliest pending consumer (for queue-aware
+    /// migration); `None` when unknown.
+    pub next_use: Option<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn location_accessors() {
+        let gpu = Location::Gpu(GpuRef::new(2, 5));
+        assert_eq!(gpu.node(), 2);
+        assert!(gpu.is_gpu());
+        let host = Location::Host(1);
+        assert_eq!(host.node(), 1);
+        assert!(!host.is_gpu());
+    }
+}

@@ -1,0 +1,196 @@
+//! Hierarchical mapping tables (paper §4.2.2).
+//!
+//! "For scalability, each node maintains a local mapping table, while a
+//! centralized scheduler holds a global table. Lookups and updates are first
+//! served by the local table, falling back to the global table only on
+//! misses." A local hit costs [`grouter_sim::params::LOCAL_TABLE_LOOKUP`];
+//! a miss adds a [`grouter_sim::params::GLOBAL_TABLE_LOOKUP`] RPC, after
+//! which the entry is cached locally (the §7 invocation-time metadata sync).
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use grouter_sim::params;
+use grouter_sim::time::SimDuration;
+
+use crate::id::{DataEntry, DataId};
+
+/// Local per-node caches over one global table.
+#[derive(Debug)]
+pub struct MappingTables {
+    /// `local[node]` = set of data ids whose entry is cached on that node.
+    local: Vec<BTreeSet<DataId>>,
+    global: BTreeMap<DataId, DataEntry>,
+    local_hits: u64,
+    global_lookups: u64,
+}
+
+impl MappingTables {
+    pub fn new(num_nodes: usize) -> MappingTables {
+        assert!(num_nodes > 0, "need at least one node");
+        MappingTables {
+            local: vec![BTreeSet::new(); num_nodes],
+            global: BTreeMap::new(),
+            local_hits: 0,
+            global_lookups: 0,
+        }
+    }
+
+    /// Register a new entry; its metadata is immediately visible on the
+    /// producing node and in the global table.
+    pub fn insert(&mut self, entry: DataEntry) {
+        let node = entry.location.node();
+        self.local[node].insert(entry.id);
+        self.global.insert(entry.id, entry);
+    }
+
+    /// Look up `id` from `node`. Returns the entry (if any) and the control-
+    /// plane latency of the lookup. A miss on the local table falls back to
+    /// the global table and caches the result.
+    pub fn lookup(&mut self, node: usize, id: DataId) -> (Option<&DataEntry>, SimDuration) {
+        if self.local[node].contains(&id) {
+            self.local_hits += 1;
+            // The cached pointer may be stale after removal; verify against
+            // the global table (same node-local cost).
+            if self.global.contains_key(&id) {
+                return (self.global.get(&id), params::LOCAL_TABLE_LOOKUP);
+            }
+            self.local[node].remove(&id);
+            return (None, params::LOCAL_TABLE_LOOKUP);
+        }
+        self.global_lookups += 1;
+        let latency = params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP;
+        if self.global.contains_key(&id) {
+            self.local[node].insert(id);
+            (self.global.get(&id), latency)
+        } else {
+            (None, latency)
+        }
+    }
+
+    /// Mutable access to an entry (location updates, access stamps). Does not
+    /// model latency: callers pair it with a prior `lookup`.
+    pub fn get_mut(&mut self, id: DataId) -> Option<&mut DataEntry> {
+        self.global.get_mut(&id)
+    }
+
+    /// Read-only access without latency accounting (diagnostics, policies).
+    pub fn peek(&self, id: DataId) -> Option<&DataEntry> {
+        self.global.get(&id)
+    }
+
+    /// Remove an entry everywhere.
+    pub fn remove(&mut self, id: DataId) -> Option<DataEntry> {
+        for cache in &mut self.local {
+            cache.remove(&id);
+        }
+        self.global.remove(&id)
+    }
+
+    /// All live entries (deterministic id order).
+    pub fn entries(&self) -> impl Iterator<Item = &DataEntry> {
+        self.global.values()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.global.is_empty()
+    }
+
+    /// (local hits, global lookups) — for the CPU-overhead report (Fig. 20b).
+    pub fn lookup_stats(&self) -> (u64, u64) {
+        (self.local_hits, self.global_lookups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::{FunctionId, Location, WorkflowId};
+    use grouter_sim::time::SimTime;
+    use grouter_topology::GpuRef;
+
+    fn entry(id: u64, node: usize) -> DataEntry {
+        DataEntry {
+            id: DataId(id),
+            bytes: 1e6,
+            location: Location::Gpu(GpuRef::new(node, 0)),
+            workflow: WorkflowId(1),
+            producer: FunctionId(1),
+            created: SimTime::ZERO,
+            last_access: SimTime::ZERO,
+            pending_consumers: 1,
+            next_use: None,
+        }
+    }
+
+    #[test]
+    fn local_hit_is_cheap() {
+        let mut t = MappingTables::new(2);
+        t.insert(entry(1, 0));
+        let (found, lat) = t.lookup(0, DataId(1));
+        assert!(found.is_some());
+        assert_eq!(lat, params::LOCAL_TABLE_LOOKUP);
+        assert_eq!(t.lookup_stats(), (1, 0));
+    }
+
+    #[test]
+    fn remote_lookup_pays_global_rpc_then_caches() {
+        let mut t = MappingTables::new(2);
+        t.insert(entry(1, 0));
+        let (found, lat) = t.lookup(1, DataId(1));
+        assert!(found.is_some());
+        assert_eq!(lat, params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP);
+        // Second lookup from node 1 hits the cache.
+        let (_, lat2) = t.lookup(1, DataId(1));
+        assert_eq!(lat2, params::LOCAL_TABLE_LOOKUP);
+        assert_eq!(t.lookup_stats(), (1, 1));
+    }
+
+    #[test]
+    fn missing_id_still_costs_a_global_lookup() {
+        let mut t = MappingTables::new(1);
+        let (found, lat) = t.lookup(0, DataId(42));
+        assert!(found.is_none());
+        assert_eq!(lat, params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP);
+    }
+
+    #[test]
+    fn removal_invalidates_caches() {
+        let mut t = MappingTables::new(2);
+        t.insert(entry(1, 0));
+        t.lookup(1, DataId(1)); // cache on node 1
+        t.remove(DataId(1));
+        let (found, _) = t.lookup(1, DataId(1));
+        assert!(found.is_none());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn stale_local_pointer_degrades_gracefully() {
+        let mut t = MappingTables::new(1);
+        t.insert(entry(1, 0));
+        // Simulate a stale cache: remove globally but re-add the pointer.
+        t.remove(DataId(1));
+        t.local[0].insert(DataId(1));
+        let (found, lat) = t.lookup(0, DataId(1));
+        assert!(found.is_none());
+        assert_eq!(lat, params::LOCAL_TABLE_LOOKUP);
+        // Stale pointer was scrubbed.
+        assert!(!t.local[0].contains(&DataId(1)));
+    }
+
+    #[test]
+    fn entries_iterate_in_id_order() {
+        let mut t = MappingTables::new(1);
+        t.insert(entry(3, 0));
+        t.insert(entry(1, 0));
+        t.insert(entry(2, 0));
+        let ids: Vec<u64> = t.entries().map(|e| e.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

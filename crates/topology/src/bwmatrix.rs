@@ -1,0 +1,173 @@
+//! The global bandwidth-usage matrix `BW(g, b)` of §4.3.3.
+//!
+//! GROUTER "maintains a bandwidth usage matrix … continuously monitors and
+//! updates global bandwidth usage in real-time on this matrix, which is used
+//! to guide path selection". [`BwMatrix`] tracks, per directed GPU pair of
+//! one node, how much NVLink bandwidth is still unreserved. Algorithm 1
+//! occupies a path by subtracting the path's bottleneck bandwidth
+//! `b_min(path)` from every edge on it, and releases it when the transfer
+//! completes.
+
+use crate::graph::Topology;
+
+/// Residual directed NVLink bandwidth between the GPUs of one node.
+#[derive(Clone, Debug)]
+pub struct BwMatrix {
+    n: usize,
+    /// Hardware capacity of the directed edge `a → b` (0 = unconnected).
+    topo: Vec<f64>,
+    /// Unreserved capacity of the directed edge `a → b`.
+    residual: Vec<f64>,
+}
+
+impl BwMatrix {
+    /// Snapshot the NVLink capacities of `topo` (identical for every node).
+    pub fn from_topology(topo: &Topology) -> BwMatrix {
+        let n = topo.gpus_per_node();
+        let mut m = vec![0.0; n * n];
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    m[a * n + b] = topo.nvlink_bw(a, b);
+                }
+            }
+        }
+        BwMatrix {
+            n,
+            topo: m.clone(),
+            residual: m,
+        }
+    }
+
+    /// Number of GPUs.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Hardware capacity of `a → b`.
+    pub fn capacity(&self, a: usize, b: usize) -> f64 {
+        self.topo[a * self.n + b]
+    }
+
+    /// Unreserved capacity of `a → b`.
+    pub fn residual(&self, a: usize, b: usize) -> f64 {
+        self.residual[a * self.n + b]
+    }
+
+    /// `true` when the edge exists and no reservation touches it.
+    pub fn is_idle(&self, a: usize, b: usize) -> bool {
+        let c = self.capacity(a, b);
+        c > 0.0 && (self.residual(a, b) - c).abs() < 1e-6
+    }
+
+    /// Total unreserved bandwidth leaving `g` (`BW_out` in Algorithm 1).
+    pub fn out_bw(&self, g: usize) -> f64 {
+        (0..self.n).map(|b| self.residual(g, b)).sum()
+    }
+
+    /// Total unreserved bandwidth entering `g` (`BW_in` in Algorithm 1).
+    pub fn in_bw(&self, g: usize) -> f64 {
+        (0..self.n).map(|a| self.residual(a, g)).sum()
+    }
+
+    /// Reserve `amount` bytes/s on every edge of `path` (a GPU sequence).
+    /// Residuals clamp at zero: over-reservation is a scheduler bug upstream,
+    /// but the matrix must never go negative.
+    pub fn occupy_path(&mut self, path: &[usize], amount: f64) {
+        for hop in path.windows(2) {
+            let idx = hop[0] * self.n + hop[1];
+            self.residual[idx] = (self.residual[idx] - amount).max(0.0);
+        }
+    }
+
+    /// Release a previous reservation. Residuals clamp at the hardware
+    /// capacity.
+    pub fn release_path(&mut self, path: &[usize], amount: f64) {
+        for hop in path.windows(2) {
+            let idx = hop[0] * self.n + hop[1];
+            self.residual[idx] = (self.residual[idx] + amount).min(self.topo[idx]);
+        }
+    }
+
+    /// Bottleneck residual bandwidth along `path`, or 0 if any edge is
+    /// missing/saturated.
+    pub fn path_residual(&self, path: &[usize]) -> f64 {
+        if path.len() < 2 {
+            return 0.0;
+        }
+        path.windows(2)
+            .map(|hop| self.residual(hop[0], hop[1]))
+            .fold(f64::INFINITY, f64::min)
+            .max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use grouter_sim::{params, FlowNet};
+
+    fn v100_matrix() -> BwMatrix {
+        let mut net = FlowNet::new();
+        let t = Topology::build(presets::dgx_v100(), 1, &mut net);
+        BwMatrix::from_topology(&t)
+    }
+
+    #[test]
+    fn capacities_mirror_topology() {
+        let m = v100_matrix();
+        assert_eq!(m.capacity(0, 3), params::NVLINK_V100_DOUBLE);
+        assert_eq!(m.capacity(0, 1), params::NVLINK_V100_SINGLE);
+        assert_eq!(m.capacity(0, 5), 0.0);
+        assert_eq!(m.capacity(0, 0), 0.0);
+    }
+
+    #[test]
+    fn occupy_and_release_roundtrip() {
+        let mut m = v100_matrix();
+        let path = [0usize, 3, 7];
+        let full = m.path_residual(&path);
+        assert_eq!(full, params::NVLINK_V100_DOUBLE);
+        m.occupy_path(&path, 10e9);
+        assert_eq!(m.residual(0, 3), params::NVLINK_V100_DOUBLE - 10e9);
+        assert!(!m.is_idle(0, 3));
+        // Reverse direction untouched.
+        assert!(m.is_idle(3, 0));
+        m.release_path(&path, 10e9);
+        assert!(m.is_idle(0, 3));
+        assert!(m.is_idle(3, 7));
+    }
+
+    #[test]
+    fn residuals_clamp() {
+        let mut m = v100_matrix();
+        m.occupy_path(&[0, 1], 1e18);
+        assert_eq!(m.residual(0, 1), 0.0);
+        m.release_path(&[0, 1], 1e18);
+        assert_eq!(m.residual(0, 1), params::NVLINK_V100_SINGLE);
+    }
+
+    #[test]
+    fn out_and_in_bandwidth_sums() {
+        let m = v100_matrix();
+        // GPU 0 has six link-equivalents: 24+24+48+48.
+        assert_eq!(m.out_bw(0), 6.0 * params::NVLINK_V100_SINGLE);
+        assert_eq!(m.in_bw(0), 6.0 * params::NVLINK_V100_SINGLE);
+    }
+
+    #[test]
+    fn path_residual_is_bottleneck() {
+        let mut m = v100_matrix();
+        // 0→3 is 48, 3→1 is 24 → bottleneck 24.
+        assert_eq!(m.path_residual(&[0, 3, 1]), params::NVLINK_V100_SINGLE);
+        m.occupy_path(&[0, 3], 40e9);
+        assert_eq!(m.path_residual(&[0, 3, 1]), 8e9);
+        // Single-vertex "path" carries nothing.
+        assert_eq!(m.path_residual(&[0]), 0.0);
+    }
+}

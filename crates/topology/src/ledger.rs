@@ -1,0 +1,298 @@
+//! Reservation ledger with **direct-path priority rebalancing** (§4.3.3).
+//!
+//! Algorithm 1 alone picks paths for one transfer in isolation. The full
+//! scheduler also enforces the paper's priority rule: *"GROUTER prioritizes
+//! direct NVLink paths between GPUs. If these paths are already occupied by
+//! other functions (as part of indirect routes), GROUTER reassigns those
+//! functions to alternative routes."*
+//!
+//! [`PathLedger`] owns the node's bandwidth matrix plus the set of live
+//! reservations, so it can *move* an existing reservation's indirect path
+//! off a direct edge when a new transfer between that edge's endpoints
+//! arrives. Each move is reported as a [`Rebalance`] so the executor can
+//! re-path the in-flight flow ([`grouter_sim::FlowNet::reroute_flow`]).
+
+use std::collections::BTreeMap;
+
+use crate::bwmatrix::BwMatrix;
+use crate::graph::Topology;
+use crate::paths::{enumerate_paths, select_parallel_paths, NvPath, PathSelection};
+
+/// Identifies one live reservation in a [`PathLedger`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ResId(pub u64);
+
+/// An existing reservation's path moved to make room for a direct path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Rebalance {
+    pub reservation: ResId,
+    /// The GPU route vacated.
+    pub old: Vec<usize>,
+    /// The replacement route (same endpoints, same reserved rate).
+    pub new: Vec<usize>,
+    /// The reserved rate that moved with the path.
+    pub rate: f64,
+}
+
+/// Bandwidth matrix + live reservations for one node.
+///
+/// # Examples
+///
+/// ```
+/// use grouter_sim::FlowNet;
+/// use grouter_topology::{presets, PathLedger, Topology};
+///
+/// let mut net = FlowNet::new();
+/// let topo = Topology::build(presets::dgx_v100(), 1, &mut net);
+/// let mut ledger = PathLedger::from_topology(&topo);
+///
+/// // Weak pair (0,1): Algorithm 1 aggregates parallel NVLink paths.
+/// let (id, selection, _rebalances) = ledger.reserve(0, 1, 3, 4);
+/// assert!(selection.paths.len() >= 2);
+/// assert!(selection.total_rate() >= 48e9);
+/// ledger.release(id);
+/// assert!(ledger.bwm().is_idle(0, 1));
+/// ```
+#[derive(Clone, Debug)]
+pub struct PathLedger {
+    bwm: BwMatrix,
+    reservations: BTreeMap<u64, Vec<NvPath>>,
+    next: u64,
+}
+
+impl PathLedger {
+    pub fn from_topology(topo: &Topology) -> PathLedger {
+        PathLedger {
+            bwm: BwMatrix::from_topology(topo),
+            reservations: BTreeMap::new(),
+            next: 0,
+        }
+    }
+
+    /// Read access to the underlying matrix.
+    pub fn bwm(&self) -> &BwMatrix {
+        &self.bwm
+    }
+
+    /// Raw matrix access for callers that manage reservations themselves
+    /// (the planner-level API used by tests and non-ledger planes). Paths
+    /// occupied this way are invisible to rebalancing.
+    pub fn bwm_mut(&mut self) -> &mut BwMatrix {
+        &mut self.bwm
+    }
+
+    /// Number of live reservations.
+    pub fn active(&self) -> usize {
+        self.reservations.len()
+    }
+
+    /// Reserve parallel paths `src → dst`, first evicting *indirect* users
+    /// of the direct edge onto alternative routes when possible. Returns
+    /// the reservation id, the selection (rates already reserved), and the
+    /// rebalances the caller must apply to in-flight traffic.
+    pub fn reserve(
+        &mut self,
+        src: usize,
+        dst: usize,
+        max_hops: usize,
+        max_paths: usize,
+    ) -> (ResId, PathSelection, Vec<Rebalance>) {
+        let rebalances = self.rebalance_direct(src, dst, max_hops);
+        let sel = select_parallel_paths(&mut self.bwm, src, dst, max_hops, max_paths);
+        let id = self.next;
+        self.next += 1;
+        self.reservations.insert(id, sel.paths.clone());
+        (ResId(id), sel, rebalances)
+    }
+
+    /// Release a reservation, restoring its bandwidth. Returns `false` for
+    /// unknown/already-released ids (idempotent).
+    pub fn release(&mut self, id: ResId) -> bool {
+        match self.reservations.remove(&id.0) {
+            Some(paths) => {
+                for p in paths {
+                    self.bwm.release_path(&p.gpus, p.rate);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Free the direct edge `src → dst` of reservations that cross it as
+    /// part of an *indirect* route (different endpoints), re-routing each
+    /// onto an alternative path that can carry its reserved rate.
+    fn rebalance_direct(&mut self, src: usize, dst: usize, max_hops: usize) -> Vec<Rebalance> {
+        if self.bwm.capacity(src, dst) <= 0.0 || self.bwm.is_idle(src, dst) {
+            return Vec::new();
+        }
+        // Collect indirect users of the edge (deterministic order).
+        let mut candidates: Vec<(u64, usize)> = Vec::new();
+        for (&rid, paths) in &self.reservations {
+            for (pi, p) in paths.iter().enumerate() {
+                let endpoints = (p.gpus[0], *p.gpus.last().expect("path"));
+                let uses_edge = p.gpus.windows(2).any(|h| h[0] == src && h[1] == dst);
+                if uses_edge && endpoints != (src, dst) {
+                    candidates.push((rid, pi));
+                }
+            }
+        }
+        let mut out = Vec::new();
+        for (rid, pi) in candidates {
+            if self.bwm.is_idle(src, dst) {
+                break;
+            }
+            let old = self.reservations[&rid][pi].clone();
+            // Temporarily release the old path, then look for an
+            // alternative with enough residual that avoids the edge.
+            self.bwm.release_path(&old.gpus, old.rate);
+            let (s, d) = (old.gpus[0], *old.gpus.last().expect("path"));
+            let alternative = enumerate_paths(&self.bwm, s, d, max_hops)
+                .into_iter()
+                .filter(|p| !p.windows(2).any(|h| h[0] == src && h[1] == dst))
+                .find(|p| self.bwm.path_residual(p) >= old.rate);
+            match alternative {
+                Some(new_route) => {
+                    self.bwm.occupy_path(&new_route, old.rate);
+                    let paths = self.reservations.get_mut(&rid).expect("live");
+                    paths[pi] = NvPath {
+                        gpus: new_route.clone(),
+                        rate: old.rate,
+                    };
+                    out.push(Rebalance {
+                        reservation: ResId(rid),
+                        old: old.gpus,
+                        new: new_route,
+                        rate: old.rate,
+                    });
+                }
+                None => {
+                    // No viable alternative: put the old path back.
+                    self.bwm.occupy_path(&old.gpus, old.rate);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+    use grouter_sim::{params, FlowNet};
+
+    fn ledger() -> PathLedger {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(presets::dgx_v100(), 1, &mut net);
+        PathLedger::from_topology(&topo)
+    }
+
+    #[test]
+    fn reserve_and_release_roundtrip() {
+        let mut l = ledger();
+        let (id, sel, reb) = l.reserve(0, 1, 3, 4);
+        assert!(!sel.is_empty());
+        assert!(reb.is_empty(), "nothing to rebalance on an idle node");
+        assert_eq!(l.active(), 1);
+        assert!(l.release(id));
+        assert_eq!(l.active(), 0);
+        assert!(l.bwm().is_idle(0, 1));
+        // Idempotent.
+        assert!(!l.release(id));
+    }
+
+    #[test]
+    fn direct_path_evicts_indirect_user() {
+        let mut l = ledger();
+        // Transfer A: 0 → 1 over three paths. Its parallel selection uses
+        // indirect routes that cross other direct edges (e.g. 0→3 then
+        // 3→1), while leaving the 0→4 links free as rebalance headroom.
+        let (a, sel_a, _) = l.reserve(0, 1, 3, 3);
+        let crosses_03 = sel_a
+            .paths
+            .iter()
+            .any(|p| p.gpus.windows(2).any(|h| h[0] == 0 && h[1] == 3));
+        assert!(crosses_03, "expected an indirect path over edge (0,3): {sel_a:?}");
+        assert!(!l.bwm().is_idle(0, 3));
+
+        // Transfer B arrives for exactly that pair: the indirect user must
+        // be reassigned so B can claim the full direct edge.
+        let (b, sel_b, rebalances) = l.reserve(0, 3, 3, 1);
+        assert!(
+            !rebalances.is_empty(),
+            "expected a rebalance to free the direct edge"
+        );
+        for rb in &rebalances {
+            assert_eq!(rb.reservation, a);
+            assert_eq!(rb.old[0], 0);
+            assert_eq!(*rb.old.last().unwrap(), 1);
+            assert_eq!(rb.new[0], 0, "endpoints preserved");
+            assert_eq!(*rb.new.last().unwrap(), 1);
+            assert!(!rb.new.windows(2).any(|h| h[0] == 0 && h[1] == 3));
+        }
+        // B got the full direct bandwidth.
+        assert_eq!(sel_b.paths[0].gpus, vec![0, 3]);
+        assert!(
+            (sel_b.paths[0].rate - params::NVLINK_V100_DOUBLE).abs() < 1.0,
+            "direct rate {}",
+            sel_b.paths[0].rate
+        );
+        // Releasing everything restores a fully idle matrix.
+        l.release(a);
+        l.release(b);
+        for x in 0..8 {
+            for y in 0..8 {
+                if l.bwm().capacity(x, y) > 0.0 {
+                    assert!(l.bwm().is_idle(x, y), "({x},{y}) leaked");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn no_rebalance_when_direct_user_owns_the_edge() {
+        let mut l = ledger();
+        // A reserves the direct edge 0→3 itself (endpoints match).
+        let (_a, _, _) = l.reserve(0, 3, 1, 1);
+        // B wants the same pair: the occupant is a *direct* user, so no
+        // reassignment happens; B shares what's left (phase 2).
+        let (_b, _sel, rebalances) = l.reserve(0, 3, 1, 1);
+        assert!(rebalances.is_empty());
+    }
+
+    #[test]
+    fn rebalance_skipped_when_no_alternative_fits() {
+        let mut l = ledger();
+        // Saturate everything around GPU 0 with reservations.
+        let mut ids = Vec::new();
+        for dst in [1usize, 2, 3, 4] {
+            let (id, _, _) = l.reserve(0, dst, 3, 8);
+            ids.push(id);
+        }
+        // Now GPU 0's outgoing bandwidth is exhausted; a new reservation on
+        // (0,3) cannot evict anyone into thin air — the ledger must not
+        // corrupt the matrix trying.
+        let before_out = l.bwm().out_bw(0);
+        let (_c, _, _) = l.reserve(0, 3, 3, 2);
+        assert!(l.bwm().out_bw(0) <= before_out + 1.0);
+        for (x, y) in [(0, 1), (0, 2), (0, 3), (0, 4)] {
+            assert!(l.bwm().residual(x, y) >= 0.0, "({x},{y}) negative");
+        }
+    }
+
+    #[test]
+    fn reservations_are_deterministic() {
+        let run = || {
+            let mut l = ledger();
+            let (_, s1, _) = l.reserve(0, 1, 3, 4);
+            let (_, s2, r2) = l.reserve(0, 3, 3, 2);
+            (s1.paths, s2.paths, r2)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+        assert_eq!(a.2, b.2);
+    }
+}

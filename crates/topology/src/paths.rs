@@ -1,0 +1,336 @@
+//! NVLink path enumeration and **Algorithm 1**: contention-aware parallel
+//! path selection (§4.3.3).
+//!
+//! For a weakly connected GPU pair, GROUTER aggregates point-to-point
+//! bandwidth by routing chunks over several NVLink paths in parallel — e.g.
+//! `GPU4→GPU1` plus `GPU4→GPU6→GPU7→GPU1` in Fig. 9(b). The selection
+//! algorithm prefers completely idle paths (no contention with concurrent
+//! functions); once the source's outgoing or the destination's incoming
+//! bandwidth saturates it stops; if spare endpoint bandwidth remains it
+//! shares partially busy paths ("bandwidth balancing").
+
+use crate::bwmatrix::BwMatrix;
+
+/// One multi-hop NVLink route: a GPU sequence from source to destination.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NvPath {
+    /// GPUs visited, source first, destination last (≥ 2 entries).
+    pub gpus: Vec<usize>,
+    /// Bandwidth reserved on this path (bytes/s).
+    pub rate: f64,
+}
+
+impl NvPath {
+    /// Number of NVLink hops.
+    pub fn hops(&self) -> usize {
+        self.gpus.len() - 1
+    }
+}
+
+/// Result of Algorithm 1 for one transfer.
+#[derive(Clone, Debug, Default)]
+pub struct PathSelection {
+    /// Selected paths with their reserved rates, in selection order (direct
+    /// paths first).
+    pub paths: Vec<NvPath>,
+}
+
+impl PathSelection {
+    /// Aggregate reserved bandwidth across all selected paths.
+    pub fn total_rate(&self) -> f64 {
+        self.paths.iter().map(|p| p.rate).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+}
+
+/// Enumerate all loop-free paths `src → dst` of at most `max_hops` hops over
+/// edges with positive hardware capacity, ordered shortest-first (ties broken
+/// by larger hardware bottleneck, then lexicographically). This is the
+/// `next_shortest_path` oracle of Algorithm 1; with ≤ 8 GPUs per server the
+/// enumeration is tiny and is what lets real GROUTER keep selection below
+/// 10 µs.
+pub fn enumerate_paths(bw: &BwMatrix, src: usize, dst: usize, max_hops: usize) -> Vec<Vec<usize>> {
+    let n = bw.len();
+    assert!(src < n && dst < n && src != dst, "bad endpoints");
+    let mut out: Vec<Vec<usize>> = Vec::new();
+    let mut stack = vec![src];
+    let mut visited = vec![false; n];
+    visited[src] = true;
+    dfs(bw, dst, max_hops, &mut stack, &mut visited, &mut out);
+    out.sort_by(|a, b| {
+        let ka = (a.len(), std::cmp::Reverse(OrdF64(min_capacity(bw, a))));
+        let kb = (b.len(), std::cmp::Reverse(OrdF64(min_capacity(bw, b))));
+        ka.cmp(&kb).then_with(|| a.cmp(b))
+    });
+    out
+}
+
+fn dfs(
+    bw: &BwMatrix,
+    dst: usize,
+    max_hops: usize,
+    stack: &mut Vec<usize>,
+    visited: &mut [bool],
+    out: &mut Vec<Vec<usize>>,
+) {
+    let cur = *stack.last().expect("stack never empty");
+    if cur == dst {
+        out.push(stack.clone());
+        return;
+    }
+    if stack.len() > max_hops {
+        return;
+    }
+    for next in 0..bw.len() {
+        if !visited[next] && bw.capacity(cur, next) > 0.0 {
+            visited[next] = true;
+            stack.push(next);
+            dfs(bw, dst, max_hops, stack, visited, out);
+            stack.pop();
+            visited[next] = false;
+        }
+    }
+}
+
+fn min_capacity(bw: &BwMatrix, path: &[usize]) -> f64 {
+    path.windows(2)
+        .map(|h| bw.capacity(h[0], h[1]))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Total-order wrapper for non-NaN floats used in sort keys.
+#[derive(PartialEq)]
+struct OrdF64(f64);
+impl Eq for OrdF64 {}
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+/// **Algorithm 1** — contention-aware parallel path selection.
+///
+/// Reserves bandwidth in `bw` for every returned path (the caller releases it
+/// via [`BwMatrix::release_path`] when the transfer finishes).
+///
+/// * Phase 1 walks paths shortest-first and takes every path whose edges are
+///   all *idle*, reserving the path's bottleneck bandwidth `b_min`, until the
+///   source's outgoing or destination's incoming bandwidth is exhausted.
+/// * Phase 2 ("bandwidth balancing", lines 8–14) runs only if both endpoints
+///   still have spare bandwidth: partially busy paths are shared by
+///   reserving whatever residual bottleneck they retain.
+///
+/// `max_paths` bounds fan-out (chunk pipelining cost grows per path);
+/// `max_hops` bounds detour length (the paper's example uses 3 hops).
+pub fn select_parallel_paths(
+    bw: &mut BwMatrix,
+    src: usize,
+    dst: usize,
+    max_hops: usize,
+    max_paths: usize,
+) -> PathSelection {
+    const EPS: f64 = 1.0; // bytes/s — below this an edge counts as saturated
+    let mut selection = PathSelection::default();
+    if max_paths == 0 {
+        return selection;
+    }
+    let candidates = enumerate_paths(bw, src, dst, max_hops);
+
+    // Phase 1: fully idle paths.
+    for path in &candidates {
+        if selection.paths.len() >= max_paths {
+            return selection;
+        }
+        if bw.out_bw(src) <= EPS || bw.in_bw(dst) <= EPS {
+            return selection;
+        }
+        let all_idle = path.windows(2).all(|h| bw.is_idle(h[0], h[1]));
+        if !all_idle {
+            continue;
+        }
+        let rate = bw.path_residual(path);
+        if rate <= EPS {
+            continue;
+        }
+        bw.occupy_path(path, rate);
+        selection.paths.push(NvPath {
+            gpus: path.clone(),
+            rate,
+        });
+    }
+
+    // Phase 2: share partially busy paths while the endpoints allow.
+    for path in &candidates {
+        if selection.paths.len() >= max_paths {
+            break;
+        }
+        if bw.out_bw(src) <= EPS || bw.in_bw(dst) <= EPS {
+            break;
+        }
+        // Skip paths already selected in phase 1.
+        if selection.paths.iter().any(|p| &p.gpus == path) {
+            continue;
+        }
+        let rate = bw.path_residual(path);
+        if rate <= EPS {
+            continue;
+        }
+        bw.occupy_path(path, rate);
+        selection.paths.push(NvPath {
+            gpus: path.clone(),
+            rate,
+        });
+    }
+
+    selection
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+    use crate::presets;
+    use grouter_sim::{params, FlowNet};
+
+    fn v100() -> BwMatrix {
+        let mut net = FlowNet::new();
+        let t = Topology::build(presets::dgx_v100(), 1, &mut net);
+        BwMatrix::from_topology(&t)
+    }
+
+    #[test]
+    fn enumerate_prefers_direct_then_wider() {
+        let bw = v100();
+        let paths = enumerate_paths(&bw, 0, 3, 3);
+        // Direct 0→3 (48 GB/s) first.
+        assert_eq!(paths[0], vec![0, 3]);
+        // All paths are simple and start/end correctly.
+        for p in &paths {
+            assert_eq!(*p.first().unwrap(), 0);
+            assert_eq!(*p.last().unwrap(), 3);
+            let mut seen = std::collections::HashSet::new();
+            assert!(p.iter().all(|g| seen.insert(*g)), "loop in {p:?}");
+        }
+    }
+
+    #[test]
+    fn enumerate_respects_max_hops() {
+        let bw = v100();
+        for p in enumerate_paths(&bw, 0, 7, 2) {
+            assert!(p.len() <= 3);
+        }
+        // 0 and 7 are not adjacent: no 1-hop path exists.
+        assert!(enumerate_paths(&bw, 0, 7, 1).is_empty());
+    }
+
+    #[test]
+    fn unconnected_pair_uses_multi_hop() {
+        let bw = v100();
+        // GPU1 and GPU4 have no direct NVLink (Fig. 6).
+        assert_eq!(bw.capacity(1, 4), 0.0);
+        let paths = enumerate_paths(&bw, 1, 4, 2);
+        assert!(!paths.is_empty());
+        assert!(paths.iter().all(|p| p.len() >= 3));
+    }
+
+    #[test]
+    fn selection_aggregates_disjoint_idle_paths() {
+        let mut bw = v100();
+        // Weak pair 0→1: direct is a single 24 GB/s link; parallel paths
+        // must push the aggregate beyond the direct capacity (Fig. 9b).
+        let sel = select_parallel_paths(&mut bw, 0, 1, 3, 8);
+        assert!(sel.paths.len() >= 2, "expected parallel paths, got {sel:?}");
+        assert_eq!(sel.paths[0].gpus, vec![0, 1], "direct path first");
+        assert!(
+            sel.total_rate() >= 2.0 * params::NVLINK_V100_SINGLE,
+            "aggregate {} too small",
+            sel.total_rate()
+        );
+        // Reservations actually landed in the matrix.
+        assert!(!bw.is_idle(0, 1));
+    }
+
+    #[test]
+    fn selection_stops_at_endpoint_saturation() {
+        let mut bw = v100();
+        let sel = select_parallel_paths(&mut bw, 0, 1, 3, 64);
+        let total = sel.total_rate();
+        // Can never exceed either endpoint's aggregate link bandwidth.
+        assert!(total <= 6.0 * params::NVLINK_V100_SINGLE + 1.0);
+        // Selected paths reserve exactly what the matrix lost.
+        let spent_out: f64 = 6.0 * params::NVLINK_V100_SINGLE - bw.out_bw(0);
+        let direct_and_first_hop: f64 = sel
+            .paths
+            .iter()
+            .map(|p| p.rate)
+            .sum();
+        assert!((spent_out - direct_and_first_hop).abs() < 1.0);
+    }
+
+    #[test]
+    fn busy_paths_shared_only_when_endpoints_unsaturated() {
+        let mut bw = v100();
+        // Saturate the direct 0→1 link with "another function".
+        bw.occupy_path(&[0, 1], params::NVLINK_V100_SINGLE);
+        let sel = select_parallel_paths(&mut bw, 0, 1, 3, 8);
+        // The direct path must not be selected (no residual).
+        assert!(sel.paths.iter().all(|p| p.gpus != vec![0, 1]));
+        assert!(sel.total_rate() > 0.0);
+    }
+
+    #[test]
+    fn partially_busy_path_shared_in_phase_two() {
+        let mut bw = v100();
+        // Leave 10 GB/s residual on the direct edge.
+        bw.occupy_path(&[0, 1], params::NVLINK_V100_SINGLE - 10e9);
+        let sel = select_parallel_paths(&mut bw, 0, 1, 2, 8);
+        let direct = sel.paths.iter().find(|p| p.gpus == vec![0, 1]);
+        let d = direct.expect("direct path should be shared in phase 2");
+        assert!((d.rate - 10e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn nvswitch_pair_selects_direct_port_path() {
+        let mut net = FlowNet::new();
+        let t = Topology::build(presets::dgx_a100(), 1, &mut net);
+        let mut bw = BwMatrix::from_topology(&t);
+        let sel = select_parallel_paths(&mut bw, 0, 5, 3, 4);
+        assert_eq!(sel.paths[0].gpus, vec![0, 5]);
+        assert_eq!(sel.paths[0].rate, params::NVLINK_A100_PORT);
+    }
+
+    #[test]
+    fn no_paths_on_pcie_only_machines() {
+        let mut net = FlowNet::new();
+        let t = Topology::build(presets::a10x4(), 1, &mut net);
+        let mut bw = BwMatrix::from_topology(&t);
+        let sel = select_parallel_paths(&mut bw, 0, 1, 3, 4);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn max_paths_bounds_fanout() {
+        let mut bw = v100();
+        let sel = select_parallel_paths(&mut bw, 0, 1, 3, 2);
+        assert!(sel.paths.len() <= 2);
+    }
+
+    #[test]
+    fn release_restores_idle_state() {
+        let mut bw = v100();
+        let sel = select_parallel_paths(&mut bw, 0, 1, 3, 8);
+        for p in &sel.paths {
+            bw.release_path(&p.gpus, p.rate);
+        }
+        assert!(bw.is_idle(0, 1));
+        assert_eq!(bw.out_bw(0), 6.0 * params::NVLINK_V100_SINGLE);
+    }
+}

@@ -1,0 +1,169 @@
+//! The paper's testbeds as [`TopologySpec`]s.
+//!
+//! | preset | paper use | GPUs | NVLink | PCIe | NICs |
+//! |---|---|---|---|---|---|
+//! | [`dgx_v100`] | Testbed 1 (most figures) | 8×V100-16GB | asymmetric mesh, 24/48 GB/s | gen3, pairs share switches | 4×100 Gbps |
+//! | [`dgx_a100`] | Testbed 2 (Figs. 14–16) | 8×A100-40GB | NVSwitch 300 GB/s ports | gen4 | 8×200 Gbps |
+//! | [`a10x4`] | Fig. 20a | 4×A10-24GB | none | gen4, one switch per GPU | 2×100 Gbps |
+//! | [`h800x8`] | §6.4 LLM experiment | 8×H800-80GB | NVSwitch 200 GB/s ports | gen5 | 8×200 Gbps |
+
+use crate::graph::{TopologyKind, TopologySpec};
+use grouter_sim::params;
+
+/// DGX-V100 hybrid cube mesh (paper Fig. 6a).
+///
+/// GPUs form two quads `{0..3}` and `{4..7}`. Quad edges carry a single
+/// NVLink (24 GB/s); quad diagonals and the cross-quad links carry two
+/// (48 GB/s). Each GPU ends up with exactly six links; 8 of the 28 pairs run
+/// at half speed and 12 have no direct NVLink — matching the 28 % / 42 %
+/// statistics the paper reports.
+pub fn dgx_v100() -> TopologySpec {
+    let s = params::NVLINK_V100_SINGLE;
+    let d = params::NVLINK_V100_DOUBLE;
+    let nvlink_pairs = vec![
+        // quad 1 edges (single)
+        (0, 1, s),
+        (0, 2, s),
+        (1, 3, s),
+        (2, 3, s),
+        // quad 2 edges (single)
+        (4, 5, s),
+        (4, 6, s),
+        (5, 7, s),
+        (6, 7, s),
+        // quad diagonals (double)
+        (0, 3, d),
+        (1, 2, d),
+        (4, 7, d),
+        (5, 6, d),
+        // cross-quad links (double)
+        (0, 4, d),
+        (1, 5, d),
+        (2, 6, d),
+        (3, 7, d),
+    ];
+    TopologySpec {
+        kind: TopologyKind::DgxV100,
+        gpus_per_node: 8,
+        nvlink_pairs,
+        nvswitch_port_bw: None,
+        pcie_bw: params::PCIE_GEN3_X16,
+        // GPU pairs share PCIe switches, as on DGX-1.
+        switch_of: vec![0, 0, 1, 1, 2, 2, 3, 3],
+        // One 100 Gbps NIC per PCIe switch (p3.16xlarge: 4×100 Gbps).
+        nics: vec![
+            (0, params::NIC_100G),
+            (1, params::NIC_100G),
+            (2, params::NIC_100G),
+            (3, params::NIC_100G),
+        ],
+        nic_of_gpu: vec![0, 0, 1, 1, 2, 2, 3, 3],
+        gpu_mem_bytes: params::V100_MEM_BYTES,
+        dram_bw: params::HOST_DRAM_BW,
+        shm_bw: params::HOST_SHM_BW,
+    }
+}
+
+/// DGX-A100: 8 GPUs behind an NVSwitch (every pair at port speed), PCIe
+/// gen4, and — per the paper's testbed description — 8×200 Gbps NICs, one
+/// per GPU.
+pub fn dgx_a100() -> TopologySpec {
+    TopologySpec {
+        kind: TopologyKind::DgxA100,
+        gpus_per_node: 8,
+        nvlink_pairs: Vec::new(),
+        nvswitch_port_bw: Some(params::NVLINK_A100_PORT),
+        pcie_bw: params::PCIE_GEN4_X16,
+        switch_of: vec![0, 0, 1, 1, 2, 2, 3, 3],
+        nics: vec![
+            (0, params::NIC_200G),
+            (0, params::NIC_200G),
+            (1, params::NIC_200G),
+            (1, params::NIC_200G),
+            (2, params::NIC_200G),
+            (2, params::NIC_200G),
+            (3, params::NIC_200G),
+            (3, params::NIC_200G),
+        ],
+        nic_of_gpu: vec![0, 1, 2, 3, 4, 5, 6, 7],
+        gpu_mem_bytes: params::A100_MEM_BYTES,
+        dram_bw: params::HOST_DRAM_BW,
+        shm_bw: params::HOST_SHM_BW,
+    }
+}
+
+/// 4×A10 server without any NVLink (paper Fig. 20a). Each GPU sits on its
+/// own PCIe switch, so peer-to-peer copies cross the host bridge and parallel
+/// PCIe staging never shares uplinks.
+pub fn a10x4() -> TopologySpec {
+    TopologySpec {
+        kind: TopologyKind::A10x4,
+        gpus_per_node: 4,
+        nvlink_pairs: Vec::new(),
+        nvswitch_port_bw: None,
+        pcie_bw: params::PCIE_GEN4_X16,
+        switch_of: vec![0, 1, 2, 3],
+        nics: vec![(0, params::NIC_100G), (2, params::NIC_100G)],
+        nic_of_gpu: vec![0, 0, 1, 1],
+        gpu_mem_bytes: params::A10_MEM_BYTES,
+        dram_bw: params::HOST_DRAM_BW,
+        shm_bw: params::HOST_SHM_BW,
+    }
+}
+
+/// 8×H800 node for the LLM/MoA experiment (§6.4): NVSwitch with 200 GB/s
+/// ports, PCIe gen5, 200 Gbps NICs.
+pub fn h800x8() -> TopologySpec {
+    TopologySpec {
+        kind: TopologyKind::H800x8,
+        gpus_per_node: 8,
+        nvlink_pairs: Vec::new(),
+        nvswitch_port_bw: Some(params::NVLINK_H800_PORT),
+        pcie_bw: params::PCIE_GEN5_X16,
+        switch_of: vec![0, 0, 1, 1, 2, 2, 3, 3],
+        nics: vec![
+            (0, params::NIC_200G),
+            (0, params::NIC_200G),
+            (1, params::NIC_200G),
+            (1, params::NIC_200G),
+            (2, params::NIC_200G),
+            (2, params::NIC_200G),
+            (3, params::NIC_200G),
+            (3, params::NIC_200G),
+        ],
+        nic_of_gpu: vec![0, 1, 2, 3, 4, 5, 6, 7],
+        gpu_mem_bytes: params::H800_MEM_BYTES,
+        dram_bw: params::HOST_DRAM_BW,
+        shm_bw: params::HOST_SHM_BW,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Topology;
+    use grouter_sim::FlowNet;
+
+    #[test]
+    fn all_presets_build() {
+        for spec in [dgx_v100(), dgx_a100(), a10x4(), h800x8()] {
+            let mut net = FlowNet::new();
+            let t = Topology::build(spec.clone(), 2, &mut net);
+            assert_eq!(t.gpus_per_node(), spec.gpus_per_node);
+            assert!(net.num_links() > 0);
+        }
+    }
+
+    #[test]
+    fn nic_counts_match_testbeds() {
+        assert_eq!(dgx_v100().nics.len(), 4);
+        assert_eq!(dgx_a100().nics.len(), 8);
+        assert_eq!(h800x8().nics.len(), 8);
+    }
+
+    #[test]
+    fn memory_capacities_match_hardware() {
+        assert_eq!(dgx_v100().gpu_mem_bytes, 16.0 * 1024.0 * 1024.0 * 1024.0);
+        assert_eq!(a10x4().gpu_mem_bytes, 24.0 * 1024.0 * 1024.0 * 1024.0);
+    }
+}

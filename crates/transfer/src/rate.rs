@@ -1,0 +1,238 @@
+//! SLO-aware transfer rate control (paper §4.3.2, Fig. 10).
+//!
+//! For PCIe and NIC transfers — where bandwidth is the bottleneck — GROUTER
+//! guarantees each function the minimum rate that still meets its latency
+//! SLO:
+//!
+//! ```text
+//! Rate_least = data_size / (L_slo − L_infer)
+//! ```
+//!
+//! and hands the *idle* bandwidth (`Rate_idle = BW_all − Σ Rate_least`) to
+//! the function with the tightest SLO, letting latency-critical transfers
+//! finish first without starving anyone. In the simulator the guarantee maps
+//! to a [`grouter_sim::FlowOptions::floor`] and the tightest-SLO preference
+//! to a large [`grouter_sim::FlowOptions::weight`].
+
+use std::collections::BTreeMap;
+
+use grouter_sim::time::{SimDuration, SimTime};
+use grouter_sim::FlowOptions;
+
+/// A function's latency budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloSpec {
+    /// End-to-end latency objective (e.g. 1.5× solo execution time).
+    pub slo: SimDuration,
+    /// Predicted inference computation latency (offline profile).
+    pub infer: SimDuration,
+}
+
+impl SloSpec {
+    /// Time left for data movement: `L_slo − L_infer` (zero-clamped).
+    pub fn transfer_budget(&self) -> SimDuration {
+        if self.slo > self.infer {
+            self.slo - self.infer
+        } else {
+            SimDuration::ZERO
+        }
+    }
+}
+
+/// `Rate_least` in bytes/s. A non-positive budget means the SLO is already
+/// blown; the controller then asks for the full `fallback_rate` (the link
+/// capacity) — the best it can still do.
+pub fn rate_least(bytes: f64, spec: SloSpec, fallback_rate: f64) -> f64 {
+    let budget = spec.transfer_budget().as_secs_f64();
+    if budget <= 0.0 {
+        return fallback_rate;
+    }
+    bytes / budget
+}
+
+#[derive(Clone, Debug)]
+struct Registered {
+    bytes: f64,
+    spec: SloSpec,
+    deadline: SimTime,
+}
+
+/// Tracks the SLO transfers sharing one bandwidth domain (a node's PCIe
+/// complex or NIC set) and derives per-flow floors and weights.
+#[derive(Clone, Debug, Default)]
+pub struct RateController {
+    transfers: BTreeMap<u64, Registered>,
+    next_id: u64,
+}
+
+impl RateController {
+    pub fn new() -> RateController {
+        Self::default()
+    }
+
+    /// Register a transfer that must finish inside `spec`'s budget.
+    /// Returns a token for [`RateController::finish`].
+    pub fn register(&mut self, now: SimTime, bytes: f64, spec: SloSpec) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.transfers.insert(
+            id,
+            Registered {
+                bytes,
+                spec,
+                deadline: now + spec.slo,
+            },
+        );
+        id
+    }
+
+    /// Deregister a finished/cancelled transfer.
+    pub fn finish(&mut self, id: u64) {
+        self.transfers.remove(&id);
+    }
+
+    /// Number of live SLO transfers.
+    pub fn len(&self) -> usize {
+        self.transfers.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.transfers.is_empty()
+    }
+
+    /// `Σ Rate_least` over live transfers (for `Rate_idle` accounting).
+    pub fn total_floor(&self, domain_bw: f64) -> f64 {
+        self.transfers
+            .values()
+            .map(|r| rate_least(r.bytes, r.spec, domain_bw))
+            .sum()
+    }
+
+    /// Idle bandwidth after all guarantees: `BW_all − Σ Rate_least`,
+    /// zero-clamped.
+    pub fn rate_idle(&self, domain_bw: f64) -> f64 {
+        (domain_bw - self.total_floor(domain_bw)).max(0.0)
+    }
+
+    /// Whether `id` currently holds the tightest (earliest) deadline.
+    /// Ties break toward the earlier registration for determinism.
+    pub fn is_tightest(&self, id: u64) -> bool {
+        let Some(me) = self.transfers.get(&id) else {
+            return false;
+        };
+        self.transfers
+            .iter()
+            .all(|(&other, r)| other == id || (r.deadline, other) > (me.deadline, id))
+    }
+
+    /// Flow options for one path of transfer `id` carrying `path_bytes` of
+    /// the total: the floor is the byte-proportional share of `Rate_least`;
+    /// the tightest-SLO transfer gets a large weight so max-min fairness
+    /// hands it the idle bandwidth first.
+    pub fn flow_options(&self, id: u64, path_bytes: f64, domain_bw: f64) -> FlowOptions {
+        let Some(reg) = self.transfers.get(&id) else {
+            return FlowOptions::default();
+        };
+        let least = rate_least(reg.bytes, reg.spec, domain_bw);
+        let share = if reg.bytes > 0.0 {
+            path_bytes / reg.bytes
+        } else {
+            0.0
+        };
+        FlowOptions {
+            floor: least * share,
+            cap: f64::INFINITY,
+            weight: if self.is_tightest(id) { 64.0 } else { 1.0 },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(slo_ms: u64, infer_ms: u64) -> SloSpec {
+        SloSpec {
+            slo: SimDuration::from_millis(slo_ms),
+            infer: SimDuration::from_millis(infer_ms),
+        }
+    }
+
+    #[test]
+    fn rate_least_matches_formula() {
+        // 100 MB in (150 − 50) ms → 1 GB/s.
+        let r = rate_least(100e6, spec(150, 50), 12e9);
+        assert!((r - 1e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn blown_budget_falls_back_to_link_rate() {
+        let r = rate_least(100e6, spec(50, 50), 12e9);
+        assert_eq!(r, 12e9);
+        let r = rate_least(100e6, spec(40, 50), 12e9);
+        assert_eq!(r, 12e9);
+    }
+
+    #[test]
+    fn idle_rate_is_capacity_minus_guarantees() {
+        let mut rc = RateController::new();
+        rc.register(SimTime::ZERO, 100e6, spec(150, 50)); // 1 GB/s
+        rc.register(SimTime::ZERO, 400e6, spec(250, 50)); // 2 GB/s
+        assert!((rc.total_floor(12e9) - 3e9).abs() < 1.0);
+        assert!((rc.rate_idle(12e9) - 9e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn idle_rate_clamps_at_zero_when_oversubscribed() {
+        let mut rc = RateController::new();
+        for _ in 0..20 {
+            rc.register(SimTime::ZERO, 1e9, spec(150, 50)); // 10 GB/s each
+        }
+        assert_eq!(rc.rate_idle(12e9), 0.0);
+    }
+
+    #[test]
+    fn tightest_slo_gets_the_weight() {
+        let mut rc = RateController::new();
+        let loose = rc.register(SimTime::ZERO, 100e6, spec(500, 50));
+        let tight = rc.register(SimTime::ZERO, 100e6, spec(100, 50));
+        assert!(rc.is_tightest(tight));
+        assert!(!rc.is_tightest(loose));
+        let opts_tight = rc.flow_options(tight, 100e6, 12e9);
+        let opts_loose = rc.flow_options(loose, 100e6, 12e9);
+        assert!(opts_tight.weight > opts_loose.weight);
+    }
+
+    #[test]
+    fn floors_split_proportionally_across_paths() {
+        let mut rc = RateController::new();
+        let id = rc.register(SimTime::ZERO, 100e6, spec(150, 50)); // 1 GB/s total
+        let a = rc.flow_options(id, 75e6, 12e9);
+        let b = rc.flow_options(id, 25e6, 12e9);
+        assert!((a.floor - 0.75e9).abs() < 1.0);
+        assert!((b.floor - 0.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn finish_releases_guarantee() {
+        let mut rc = RateController::new();
+        let id = rc.register(SimTime::ZERO, 100e6, spec(150, 50));
+        assert_eq!(rc.len(), 1);
+        rc.finish(id);
+        assert!(rc.is_empty());
+        assert_eq!(rc.rate_idle(12e9), 12e9);
+        // Options for a finished transfer degrade to best-effort defaults.
+        let opts = rc.flow_options(id, 1e6, 12e9);
+        assert_eq!(opts.floor, 0.0);
+        assert_eq!(opts.weight, 1.0);
+    }
+
+    #[test]
+    fn tightest_tie_breaks_by_registration_order() {
+        let mut rc = RateController::new();
+        let first = rc.register(SimTime::ZERO, 1e6, spec(100, 10));
+        let second = rc.register(SimTime::ZERO, 1e6, spec(100, 10));
+        assert!(rc.is_tightest(first));
+        assert!(!rc.is_tightest(second));
+    }
+}

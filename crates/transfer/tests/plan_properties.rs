@@ -1,0 +1,141 @@
+//! Property tests over the transfer planners: whatever the pattern, config
+//! and size, plans conserve bytes, reference valid links, and respect the
+//! configured fan-out bound.
+
+use proptest::prelude::*;
+
+use grouter_sim::FlowNet;
+use grouter_topology::graph::TopologySpec;
+use grouter_topology::{presets, BwMatrix, GpuRef, Topology};
+use grouter_transfer::plan::{
+    plan_cross_node, plan_d2h, plan_h2d, plan_intra_node, plan_shm, PlanConfig, TransferPlan,
+};
+
+fn arb_cfg() -> impl Strategy<Value = PlanConfig> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 1usize..6, 1usize..4).prop_map(
+        |(pcie, nics, nvl, ta, max_paths, max_hops)| PlanConfig {
+            parallel_pcie: pcie,
+            parallel_nics: nics,
+            parallel_nvlink: nvl,
+            topology_aware: ta,
+            max_paths,
+            max_hops,
+        },
+    )
+}
+
+fn arb_preset() -> impl Strategy<Value = TopologySpec> {
+    prop_oneof![
+        Just(presets::dgx_v100()),
+        Just(presets::dgx_a100()),
+        Just(presets::a10x4()),
+        Just(presets::h800x8()),
+    ]
+}
+
+fn check_plan(plan: &TransferPlan, bytes: f64, net: &FlowNet, max_paths: usize) {
+    if bytes > 0.0 && !plan.is_zero_copy() {
+        let assigned = plan.assigned_bytes();
+        assert!(
+            (assigned - bytes).abs() < 1e-3 * bytes.max(1.0),
+            "assigned {assigned} of {bytes}"
+        );
+    }
+    assert!(plan.flows.len() <= max_paths.max(1), "fan-out exceeded");
+    for f in &plan.flows {
+        assert!(f.bytes >= 0.0);
+        assert!(!f.links.is_empty());
+        for l in &f.links {
+            assert!((l.0 as usize) < net.num_links(), "dangling link");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn intra_node_plans_are_sound(
+        spec in arb_preset(),
+        cfg in arb_cfg(),
+        src in 0usize..8,
+        dst in 0usize..8,
+        bytes in 0.0f64..1e9,
+        use_bwm in any::<bool>(),
+    ) {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(spec, 1, &mut net);
+        let g = topo.gpus_per_node();
+        let (src, dst) = (src % g, dst % g);
+        let mut bwm = BwMatrix::from_topology(&topo);
+        let plan = plan_intra_node(
+            &topo,
+            &net,
+            if use_bwm { Some(&mut bwm) } else { None },
+            0,
+            src,
+            dst,
+            bytes,
+            &cfg,
+        );
+        if src == dst {
+            prop_assert!(plan.is_zero_copy());
+        } else {
+            check_plan(&plan, bytes, &net, cfg.max_paths);
+            // Reservations in the plan must be releasable without going
+            // negative or over capacity.
+            for f in &plan.flows {
+                if let Some((route, rate)) = &f.nv_reservation {
+                    bwm.release_path(route, *rate);
+                }
+            }
+            for a in 0..g {
+                for b in 0..g {
+                    prop_assert!(bwm.residual(a, b) <= bwm.capacity(a, b) + 1.0);
+                    prop_assert!(bwm.residual(a, b) >= 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn host_plans_are_sound(
+        spec in arb_preset(),
+        cfg in arb_cfg(),
+        gpu in 0usize..8,
+        bytes in 0.0f64..1e9,
+    ) {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(spec, 1, &mut net);
+        let gpu = gpu % topo.gpus_per_node();
+        let d = plan_d2h(&topo, &net, 0, gpu, bytes, &cfg);
+        check_plan(&d, bytes, &net, cfg.max_paths);
+        let h = plan_h2d(&topo, &net, 0, gpu, bytes, &cfg);
+        check_plan(&h, bytes, &net, cfg.max_paths);
+        let s = plan_shm(&topo, &net, 0, bytes);
+        check_plan(&s, bytes, &net, 1);
+    }
+
+    #[test]
+    fn cross_node_plans_are_sound(
+        spec in arb_preset(),
+        cfg in arb_cfg(),
+        src in 0usize..8,
+        dst in 0usize..8,
+        bytes in 0.0f64..1e9,
+    ) {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(spec, 2, &mut net);
+        let g = topo.gpus_per_node();
+        let plan = plan_cross_node(
+            &topo,
+            &net,
+            GpuRef::new(0, src % g),
+            GpuRef::new(1, dst % g),
+            bytes,
+            &cfg,
+        );
+        check_plan(&plan, bytes, &net, cfg.max_paths);
+        prop_assert!(!plan.flows.is_empty(), "cross-node always moves bytes");
+    }
+}

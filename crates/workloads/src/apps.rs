@@ -1,0 +1,355 @@
+//! The benchmarking suite (paper Fig. 12).
+//!
+//! Six real-world inference workflows spanning the four DAG patterns:
+//!
+//! | workflow | pattern | source |
+//! |---|---|---|
+//! | Traffic | condition | Boggart \[3\] / Fig. 1 |
+//! | Driving | sequence | AdaInf \[40\] |
+//! | Video | fan-out | Aquatope \[55\] |
+//! | Image | fan-in | Cocktail \[11\] |
+//! | MoA | layered fan-in/out | Mixture-of-Agents \[45\] |
+//! | Chatbot | sequence (multi-stage QoS service) | Astraea-style \[54\], substituted for the sixth workflow (DESIGN.md §3) |
+//!
+//! Intermediate data sizes are per-item (frame/image/chunk) and scale with
+//! batch size; compute latencies come from [`crate::models`].
+
+use std::sync::Arc;
+
+use grouter_runtime::spec::{StageSpec, WorkflowSpec};
+use grouter_sim::time::SimDuration;
+
+use crate::models::{self, GpuClass, MIB};
+
+/// Batch size and GPU class a suite instance is built for.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadParams {
+    pub batch: u32,
+    pub gpu: GpuClass,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            batch: 8,
+            gpu: GpuClass::V100,
+        }
+    }
+}
+
+impl WorkloadParams {
+    fn cpu_ms(&self, per_item_ms: f64, base_ms: f64) -> SimDuration {
+        SimDuration::from_nanos(((base_ms + per_item_ms * self.batch as f64) * 1e6).round() as u64)
+    }
+
+    fn per_item(&self, bytes_per_item: f64) -> f64 {
+        bytes_per_item * self.batch as f64
+    }
+}
+
+/// *Traffic* (Fig. 1): decode → preprocess → YOLO detection → postprocess →
+/// conditional person/vehicle recognition.
+pub fn traffic(p: WorkloadParams) -> Arc<WorkflowSpec> {
+    let mut wf = WorkflowSpec::new("traffic", p.per_item(0.4 * MIB));
+    let decode = wf.push(StageSpec::cpu(
+        "decode",
+        vec![],
+        p.cpu_ms(2.0, 1.0),
+        p.per_item(6.0 * MIB), // raw 1080p frames
+    ));
+    let pre = wf.push(StageSpec::gpu(
+        "preprocess",
+        vec![decode],
+        models::PREPROCESS.latency(p.batch, p.gpu),
+        p.per_item(4.4 * MIB), // 608² fp32 tensors
+        models::PREPROCESS.mem_bytes,
+    ));
+    let det = wf.push(StageSpec::gpu(
+        "yolo-det",
+        vec![pre],
+        models::YOLO_DET.latency(p.batch, p.gpu),
+        p.per_item(2.5 * MIB), // boxes + feature maps
+        models::YOLO_DET.mem_bytes,
+    ));
+    let post = wf.push(StageSpec::gpu(
+        "postprocess",
+        vec![det],
+        models::POSTPROCESS.latency(p.batch, p.gpu),
+        p.per_item(2.5 * MIB), // object crops
+        models::POSTPROCESS.mem_bytes,
+    ));
+    wf.push(
+        StageSpec::gpu(
+            "person-rec",
+            vec![post],
+            models::RESNET50.latency(p.batch, p.gpu),
+            p.per_item(0.02 * MIB),
+            models::RESNET50.mem_bytes,
+        )
+        .with_cond(0, 0.5),
+    );
+    wf.push(
+        StageSpec::gpu(
+            "car-rec",
+            vec![post],
+            models::RESNET50.latency(p.batch, p.gpu),
+            p.per_item(0.02 * MIB),
+            models::RESNET50.mem_bytes,
+        )
+        .with_cond(0, 0.5),
+    );
+    Arc::new(wf)
+}
+
+/// *Driving* (AdaInf): linear denoise → segmentation → colourised output.
+/// Latency-critical in the bandwidth-partitioning experiment (Fig. 17).
+pub fn driving(p: WorkloadParams) -> Arc<WorkflowSpec> {
+    let mut wf = WorkflowSpec::new("driving", p.per_item(0.5 * MIB));
+    let decode = wf.push(StageSpec::cpu(
+        "decode",
+        vec![],
+        p.cpu_ms(1.5, 1.0),
+        p.per_item(6.0 * MIB),
+    ));
+    let den = wf.push(StageSpec::gpu(
+        "denoise",
+        vec![decode],
+        models::DENOISE.latency(p.batch, p.gpu),
+        p.per_item(6.0 * MIB),
+        models::DENOISE.mem_bytes,
+    ));
+    let seg = wf.push(StageSpec::gpu(
+        "segment",
+        vec![den],
+        models::SEGMENT.latency(p.batch, p.gpu),
+        p.per_item(2.0 * MIB), // class masks
+        models::SEGMENT.mem_bytes,
+    ));
+    wf.push(StageSpec::gpu(
+        "colorize",
+        vec![seg],
+        models::COLORIZE.latency(p.batch, p.gpu),
+        p.per_item(6.0 * MIB), // rendered image
+        models::COLORIZE.mem_bytes,
+    ));
+    Arc::new(wf)
+}
+
+/// *Video* (Aquatope): four chunkers fan out to parallel face detectors,
+/// fanning into one recognition stage. Transfer-intensive — the chunk loads
+/// are what starves the driving workflow in Fig. 5(b)/17(a).
+pub fn video(p: WorkloadParams) -> Arc<WorkflowSpec> {
+    const BRANCHES: usize = 4;
+    let mut wf = WorkflowSpec::new("video", p.per_item(8.0 * MIB));
+    let mut dets = Vec::new();
+    for i in 0..BRANCHES {
+        let chunk = wf.push(StageSpec::cpu(
+            format!("chunk{i}"),
+            vec![],
+            p.cpu_ms(0.8, 0.5),
+            p.per_item(16.0 * MIB), // decoded video chunk
+        ));
+        let det = wf.push(StageSpec::gpu(
+            format!("face-det{i}"),
+            vec![chunk],
+            models::FACE_DET.latency(p.batch, p.gpu),
+            p.per_item(2.0 * MIB), // face crops
+            models::FACE_DET.mem_bytes,
+        ));
+        dets.push(det);
+    }
+    wf.push(StageSpec::gpu(
+        "face-rec",
+        dets,
+        models::FACE_REC.latency(p.batch, p.gpu),
+        p.per_item(0.05 * MIB),
+        models::FACE_REC.mem_bytes,
+    ));
+    Arc::new(wf)
+}
+
+/// *Image* (Cocktail): denoise feeding a classifier ensemble whose votes a
+/// CPU stage aggregates (fan-in).
+pub fn image(p: WorkloadParams) -> Arc<WorkflowSpec> {
+    const ENSEMBLE: usize = 3;
+    let mut wf = WorkflowSpec::new("image", p.per_item(0.5 * MIB));
+    let den = wf.push(StageSpec::gpu(
+        "denoise",
+        vec![],
+        models::DENOISE.latency(p.batch, p.gpu),
+        p.per_item(6.0 * MIB),
+        models::DENOISE.mem_bytes,
+    ));
+    let mut members = Vec::new();
+    for i in 0..ENSEMBLE {
+        members.push(wf.push(StageSpec::gpu(
+            format!("classifier{i}"),
+            vec![den],
+            models::CLASSIFIER.latency(p.batch, p.gpu),
+            p.per_item(0.01 * MIB),
+            models::CLASSIFIER.mem_bytes,
+        )));
+    }
+    wf.push(StageSpec::cpu(
+        "aggregate",
+        members,
+        p.cpu_ms(0.05, 0.3),
+        p.per_item(0.01 * MIB),
+    ));
+    Arc::new(wf)
+}
+
+/// *Mixture-of-Agents* (suite-scale variant): `layers` layers of `agents`
+/// LLM agents; each agent consumes every previous-layer output (KV cache +
+/// response). The full H800-scale LLM experiment lives in [`crate::llm`].
+pub fn moa(p: WorkloadParams, layers: usize, agents: usize, kv_bytes: f64) -> Arc<WorkflowSpec> {
+    assert!(layers >= 1 && agents >= 1);
+    let mut wf = WorkflowSpec::new("moa", 2.0 * MIB);
+    let mut prev: Vec<usize> = Vec::new();
+    for l in 0..layers {
+        let mut cur = Vec::new();
+        for a in 0..agents {
+            // Per-agent generation latency grows with fan-in (longer prompt).
+            let fanin = prev.len().max(1) as u32;
+            let compute = SimDuration::from_nanos(
+                ((20_000.0 + 6_000.0 * fanin as f64) * p.gpu.speed_factor() * 1_000.0) as u64,
+            );
+            cur.push(wf.push(StageSpec::gpu(
+                format!("agent-l{l}a{a}"),
+                prev.clone(),
+                compute,
+                kv_bytes,
+                4.0e9,
+            )));
+        }
+        prev = cur;
+    }
+    // Aggregator produces the final answer from the last layer.
+    wf.push(StageSpec::gpu(
+        "aggregator",
+        prev,
+        SimDuration::from_nanos((40_000.0 * p.gpu.speed_factor() * 1_000.0) as u64),
+        0.5 * MIB,
+        4.0e9,
+    ));
+    Arc::new(wf)
+}
+
+/// *Chatbot*: ASR → NLU → TTS multi-stage service (Astraea-style),
+/// substituted for the sixth Fig. 12 workflow.
+pub fn chatbot(p: WorkloadParams) -> Arc<WorkflowSpec> {
+    let mut wf = WorkflowSpec::new("chatbot", p.per_item(1.0 * MIB));
+    let dec = wf.push(StageSpec::cpu(
+        "audio-decode",
+        vec![],
+        p.cpu_ms(0.6, 0.4),
+        p.per_item(3.0 * MIB), // PCM audio
+    ));
+    let asr = wf.push(StageSpec::gpu(
+        "asr",
+        vec![dec],
+        models::ASR.latency(p.batch, p.gpu),
+        p.per_item(0.02 * MIB), // transcript
+        models::ASR.mem_bytes,
+    ));
+    let nlu = wf.push(StageSpec::gpu(
+        "nlu",
+        vec![asr],
+        models::NLU.latency(p.batch, p.gpu),
+        p.per_item(0.05 * MIB), // response text
+        models::NLU.mem_bytes,
+    ));
+    wf.push(StageSpec::gpu(
+        "tts",
+        vec![nlu],
+        models::TTS.latency(p.batch, p.gpu),
+        p.per_item(4.0 * MIB), // synthesised audio
+        models::TTS.mem_bytes,
+    ));
+    Arc::new(wf)
+}
+
+/// The full suite at the given parameters (MoA at suite scale: 2 layers × 3
+/// agents with 100 MB KV objects, sized for 16 GB GPUs).
+pub fn suite(p: WorkloadParams) -> Vec<Arc<WorkflowSpec>> {
+    vec![
+        traffic(p),
+        driving(p),
+        video(p),
+        image(p),
+        moa(p, 2, 3, 100.0 * MIB),
+        chatbot(p),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_suite_specs_validate() {
+        for spec in suite(WorkloadParams::default()) {
+            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert!(spec.critical_path_compute() > SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn suite_covers_all_patterns() {
+        let s = suite(WorkloadParams::default());
+        let by_name = |n: &str| s.iter().find(|w| w.name == n).expect("present");
+        // Condition: traffic has a conditional group.
+        assert!(by_name("traffic").stages.iter().any(|st| st.cond_group.is_some()));
+        // Sequence: driving is a chain (every stage ≤ 1 dep, one terminal).
+        assert!(by_name("driving").stages.iter().all(|st| st.deps.len() <= 1));
+        assert_eq!(by_name("driving").terminals().len(), 1);
+        // Fan-out: video has 4 parallel branches.
+        let video = by_name("video");
+        assert_eq!(
+            video.stages.iter().filter(|st| st.deps.is_empty()).count(),
+            4
+        );
+        // Fan-in: image's aggregate has 3 deps.
+        let image = by_name("image");
+        assert_eq!(image.stages.last().expect("stages").deps.len(), 3);
+    }
+
+    #[test]
+    fn batch_scales_sizes_and_latency() {
+        let small = traffic(WorkloadParams {
+            batch: 1,
+            gpu: GpuClass::V100,
+        });
+        let large = traffic(WorkloadParams {
+            batch: 16,
+            gpu: GpuClass::V100,
+        });
+        assert!(large.input_bytes > small.input_bytes);
+        assert!(large.critical_path_compute() > small.critical_path_compute());
+        assert_eq!(large.stages[0].output_bytes, 16.0 * small.stages[0].output_bytes);
+    }
+
+    #[test]
+    fn moa_layers_are_fully_connected() {
+        let wf = moa(WorkloadParams::default(), 3, 2, 10.0 * MIB);
+        // Layer 1 agents (indices 2, 3) consume both layer-0 agents.
+        assert_eq!(wf.stages[2].deps, vec![0, 1]);
+        assert_eq!(wf.stages[3].deps, vec![0, 1]);
+        // Aggregator consumes the whole last layer.
+        assert_eq!(wf.stages.last().expect("stages").deps, vec![4, 5]);
+        wf.validate().expect("valid");
+    }
+
+    #[test]
+    fn gpu_class_changes_compute() {
+        let v = driving(WorkloadParams {
+            batch: 8,
+            gpu: GpuClass::V100,
+        });
+        let a = driving(WorkloadParams {
+            batch: 8,
+            gpu: GpuClass::A100,
+        });
+        assert!(a.critical_path_compute() < v.critical_path_compute());
+    }
+}

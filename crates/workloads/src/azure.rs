@@ -1,0 +1,198 @@
+//! Azure-Functions-style request traces (paper §6, \[39\]).
+//!
+//! The paper drives its evaluation with production traces whose request
+//! arrivals fall into three characteristic patterns; we synthesise each with
+//! matching statistics (the raw traces are not redistributable —
+//! DESIGN.md §2):
+//!
+//! * **Sporadic** — low-rate Poisson arrivals (the long tail of rarely
+//!   invoked functions).
+//! * **Periodic** — diurnal/cron-like sinusoidal rate modulation.
+//! * **Bursty** — Markov-modulated on/off process: quiet background traffic
+//!   punctuated by bursts an order of magnitude above the mean.
+
+use grouter_sim::rng::DetRng;
+use grouter_sim::time::{SimDuration, SimTime};
+
+/// The three arrival patterns of the Azure trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArrivalPattern {
+    Sporadic,
+    Periodic,
+    Bursty,
+}
+
+impl ArrivalPattern {
+    pub const ALL: [ArrivalPattern; 3] = [
+        ArrivalPattern::Sporadic,
+        ArrivalPattern::Periodic,
+        ArrivalPattern::Bursty,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            ArrivalPattern::Sporadic => "sporadic",
+            ArrivalPattern::Periodic => "periodic",
+            ArrivalPattern::Bursty => "bursty",
+        }
+    }
+}
+
+/// Generate arrival times over `[0, duration)` with mean rate `mean_rps`.
+///
+/// All patterns use thinning over a fine time grid so the mean rate is met
+/// while the shape differs:
+/// * sporadic: constant rate;
+/// * periodic: `λ(t) = mean · (1 + 0.9 sin(2πt / period))` with a 10 s
+///   period;
+/// * bursty: two-state modulation — ON at 8× mean for ~0.5 s, OFF at
+///   0.12× mean for ~4 s (expected rate ≈ mean).
+pub fn generate_trace(
+    pattern: ArrivalPattern,
+    mean_rps: f64,
+    duration: SimDuration,
+    rng: &mut DetRng,
+) -> Vec<SimTime> {
+    assert!(mean_rps > 0.0, "rate must be positive");
+    let horizon = duration.as_secs_f64();
+    let mut out = Vec::new();
+    match pattern {
+        ArrivalPattern::Sporadic => {
+            let mut t = 0.0;
+            loop {
+                t += rng.exponential(1.0 / mean_rps);
+                if t >= horizon {
+                    break;
+                }
+                out.push(SimTime((t * 1e9) as u64));
+            }
+        }
+        ArrivalPattern::Periodic => {
+            // Thinning against the peak rate.
+            let peak = mean_rps * 1.9;
+            let period = 10.0;
+            let mut t = 0.0;
+            loop {
+                t += rng.exponential(1.0 / peak);
+                if t >= horizon {
+                    break;
+                }
+                let lambda = mean_rps * (1.0 + 0.9 * (2.0 * std::f64::consts::PI * t / period).sin());
+                if rng.next_f64() < lambda / peak {
+                    out.push(SimTime((t * 1e9) as u64));
+                }
+            }
+        }
+        ArrivalPattern::Bursty => {
+            let on_rate = mean_rps * 8.0;
+            let off_rate = mean_rps * 0.12;
+            let mut t = 0.0;
+            let mut on = false;
+            let mut phase_end = rng.exponential(4.0);
+            loop {
+                let rate = if on { on_rate } else { off_rate };
+                let dt = rng.exponential(1.0 / rate);
+                if t + dt >= phase_end {
+                    t = phase_end;
+                    on = !on;
+                    phase_end = t + if on {
+                        rng.exponential(0.5)
+                    } else {
+                        rng.exponential(4.0)
+                    };
+                } else {
+                    t += dt;
+                    if t >= horizon {
+                        break;
+                    }
+                    out.push(SimTime((t * 1e9) as u64));
+                }
+                if t >= horizon {
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Coefficient of variation of inter-arrival times (trace shape check).
+pub fn interarrival_cv(trace: &[SimTime]) -> f64 {
+    if trace.len() < 3 {
+        return 0.0;
+    }
+    let gaps: Vec<f64> = trace
+        .windows(2)
+        .map(|w| (w[1] - w[0]).as_secs_f64())
+        .collect();
+    let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+    let var = gaps.iter().map(|g| (g - mean).powi(2)).sum::<f64>() / gaps.len() as f64;
+    if mean == 0.0 {
+        0.0
+    } else {
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(p: ArrivalPattern, rps: f64, secs: u64, seed: u64) -> Vec<SimTime> {
+        let mut rng = DetRng::new(seed);
+        generate_trace(p, rps, SimDuration::from_secs(secs), &mut rng)
+    }
+
+    #[test]
+    fn traces_are_sorted_and_within_horizon() {
+        for p in ArrivalPattern::ALL {
+            let t = trace(p, 20.0, 60, 7);
+            assert!(t.windows(2).all(|w| w[0] <= w[1]), "{p:?} unsorted");
+            assert!(t.iter().all(|&x| x < SimTime(60 * 1_000_000_000)));
+            assert!(!t.is_empty());
+        }
+    }
+
+    #[test]
+    fn mean_rates_are_close() {
+        for p in ArrivalPattern::ALL {
+            let t = trace(p, 50.0, 120, 11);
+            let rate = t.len() as f64 / 120.0;
+            assert!(
+                (rate - 50.0).abs() < 12.0,
+                "{p:?} rate {rate} far from 50"
+            );
+        }
+    }
+
+    #[test]
+    fn burstiness_ordering_matches_patterns() {
+        let cv_sporadic = interarrival_cv(&trace(ArrivalPattern::Sporadic, 30.0, 300, 3));
+        let cv_bursty = interarrival_cv(&trace(ArrivalPattern::Bursty, 30.0, 300, 3));
+        // Poisson CV ≈ 1; bursty must be clearly super-Poissonian.
+        assert!((cv_sporadic - 1.0).abs() < 0.2, "sporadic cv {cv_sporadic}");
+        assert!(cv_bursty > 1.5, "bursty cv {cv_bursty}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = trace(ArrivalPattern::Bursty, 25.0, 30, 9);
+        let b = trace(ArrivalPattern::Bursty, 25.0, 30, 9);
+        assert_eq!(a, b);
+        let c = trace(ArrivalPattern::Bursty, 25.0, 30, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn periodic_rate_oscillates() {
+        let t = trace(ArrivalPattern::Periodic, 100.0, 100, 5);
+        // Count arrivals in 1 s buckets; the spread must exceed Poisson noise.
+        let mut buckets = vec![0u32; 100];
+        for x in &t {
+            buckets[(x.as_secs_f64() as usize).min(99)] += 1;
+        }
+        let max = *buckets.iter().max().expect("nonempty") as f64;
+        let min = *buckets.iter().min().expect("nonempty") as f64;
+        assert!(max > 2.0 * min.max(1.0), "no visible modulation: {max} vs {min}");
+    }
+}

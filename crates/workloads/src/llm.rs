@@ -1,0 +1,123 @@
+//! LLM profiles for the MoA experiment (paper §6.4).
+//!
+//! Stages pass the prompt + response **KV cache** between agents to skip
+//! recomputation (DroidSpeak-style). The receiver's *time-to-first-token*
+//! (TTFT) is then `KV-transfer time + first-token compute` instead of a full
+//! prefill — which is exactly what makes the data plane the bottleneck and
+//! GROUTER's multi-NIC, locality-aware transfers pay off.
+
+use grouter_sim::time::SimDuration;
+
+/// An LLM size class used in Fig. 19(b).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LlmModel {
+    Llama7B,
+    Llama13B,
+    Llama70B,
+}
+
+impl LlmModel {
+    pub const ALL: [LlmModel; 3] = [LlmModel::Llama7B, LlmModel::Llama13B, LlmModel::Llama70B];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            LlmModel::Llama7B => "7B",
+            LlmModel::Llama13B => "13B",
+            LlmModel::Llama70B => "70B",
+        }
+    }
+
+    /// KV-cache bytes per token (fp16, both K and V, all layers).
+    pub fn kv_bytes_per_token(self) -> f64 {
+        match self {
+            // 32 layers × 4096 hidden × 2 (K+V) × 2 bytes
+            LlmModel::Llama7B => 0.5e6,
+            // 40 layers × 5120 hidden
+            LlmModel::Llama13B => 0.8e6,
+            // 80 layers × 8192 hidden, GQA 8:1
+            LlmModel::Llama70B => 1.6e6,
+        }
+    }
+
+    /// Full-prefill latency per token on one H800 (no KV reuse).
+    pub fn prefill_us_per_token(self, tp: u32) -> f64 {
+        let base = match self {
+            LlmModel::Llama7B => 90.0,
+            LlmModel::Llama13B => 160.0,
+            LlmModel::Llama70B => 700.0,
+        };
+        // Tensor parallelism speeds prefill sub-linearly.
+        base / (tp as f64).powf(0.85)
+    }
+
+    /// First-token generation latency once the KV cache is resident.
+    pub fn first_token_latency(self, tp: u32) -> SimDuration {
+        let us = match self {
+            LlmModel::Llama7B => 18_000.0,
+            LlmModel::Llama13B => 28_000.0,
+            LlmModel::Llama70B => 80_000.0,
+        } / (tp as f64).powf(0.7);
+        SimDuration::from_nanos((us * 1_000.0) as u64)
+    }
+
+    /// KV-cache size for an `input_tokens`-token context.
+    pub fn kv_bytes(self, input_tokens: u32) -> f64 {
+        self.kv_bytes_per_token() * input_tokens as f64
+    }
+
+    /// Full-prefill latency for `input_tokens` (the no-KV-passing floor).
+    pub fn prefill_latency(self, input_tokens: u32, tp: u32) -> SimDuration {
+        SimDuration::from_nanos(
+            (self.prefill_us_per_token(tp) * input_tokens as f64 * 1_000.0) as u64,
+        )
+    }
+}
+
+/// TTFT decomposition for a receiver agent: KV transfer + first token.
+pub fn ttft(kv_transfer: SimDuration, model: LlmModel, tp: u32) -> SimDuration {
+    kv_transfer + model.first_token_latency(tp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_sizes_scale_with_model_and_context() {
+        assert!(
+            LlmModel::Llama70B.kv_bytes(1000) > LlmModel::Llama7B.kv_bytes(1000)
+        );
+        assert_eq!(LlmModel::Llama7B.kv_bytes(4096), 0.5e6 * 4096.0);
+        // 4K context on 7B ≈ 2 GB — matches deployed systems.
+        let gb = LlmModel::Llama7B.kv_bytes(4096) / 1e9;
+        assert!((1.5..2.5).contains(&gb), "kv {gb} GB");
+    }
+
+    #[test]
+    fn tensor_parallelism_speeds_prefill() {
+        let tp1 = LlmModel::Llama70B.prefill_latency(4096, 1);
+        let tp8 = LlmModel::Llama70B.prefill_latency(4096, 8);
+        assert!(tp8 < tp1);
+        // Sub-linear: 8 GPUs give less than 8× speedup.
+        assert!(tp1.as_secs_f64() / tp8.as_secs_f64() < 8.0);
+    }
+
+    #[test]
+    fn kv_reuse_beats_full_prefill_at_long_context() {
+        // Even with a slow 10 GB/s transfer, passing 4K-token KV beats
+        // recomputing prefill for 70B.
+        let kv = LlmModel::Llama70B.kv_bytes(4096);
+        let transfer = SimDuration::from_secs_f64(kv / 10e9);
+        let with_reuse = ttft(transfer, LlmModel::Llama70B, 4);
+        let without = LlmModel::Llama70B.prefill_latency(4096, 4)
+            + LlmModel::Llama70B.first_token_latency(4);
+        assert!(with_reuse < without, "{with_reuse} vs {without}");
+    }
+
+    #[test]
+    fn names_cover_all() {
+        for m in LlmModel::ALL {
+            assert!(!m.name().is_empty());
+        }
+    }
+}

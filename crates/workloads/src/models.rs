@@ -1,0 +1,193 @@
+//! Model execution profiles.
+//!
+//! The paper treats DNN inference latency as highly predictable and drives
+//! SLO math from offline profiles (§4.3.2); we do the same. Latencies are
+//! parametric in batch size (`base + per_item × batch`) and calibrated to
+//! published V100 numbers for the respective model families; other GPUs
+//! apply a speed factor.
+
+use grouter_sim::time::SimDuration;
+
+/// Relative GPU speed vs V100 for the paper's testbeds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum GpuClass {
+    V100,
+    A100,
+    A10,
+    H800,
+}
+
+impl GpuClass {
+    /// Inference-latency scale factor relative to V100 (smaller = faster).
+    pub fn speed_factor(self) -> f64 {
+        match self {
+            GpuClass::V100 => 1.0,
+            GpuClass::A100 => 0.45,
+            GpuClass::A10 => 1.15,
+            GpuClass::H800 => 0.35,
+        }
+    }
+}
+
+/// A profiled model.
+#[derive(Clone, Debug)]
+pub struct ModelProfile {
+    pub name: &'static str,
+    /// Fixed per-invocation latency on a V100 (kernel launch, small layers).
+    pub base_us: f64,
+    /// Additional latency per batched item on a V100.
+    pub per_item_us: f64,
+    /// Resident model + activation memory while running.
+    pub mem_bytes: f64,
+}
+
+impl ModelProfile {
+    /// Inference latency at `batch` on `gpu`.
+    pub fn latency(&self, batch: u32, gpu: GpuClass) -> SimDuration {
+        let us = (self.base_us + self.per_item_us * batch as f64) * gpu.speed_factor();
+        SimDuration::from_nanos((us * 1_000.0).round() as u64)
+    }
+}
+
+/// MiB helper for size tables.
+pub const MIB: f64 = 1024.0 * 1024.0;
+
+/// YOLOv5 object detection at 608².
+pub const YOLO_DET: ModelProfile = ModelProfile {
+    name: "yolo-det",
+    base_us: 9_000.0,
+    per_item_us: 4_200.0,
+    mem_bytes: 1.9e9,
+};
+
+/// ResNet-50 classification/recognition head.
+pub const RESNET50: ModelProfile = ModelProfile {
+    name: "resnet50",
+    base_us: 3_500.0,
+    per_item_us: 1_400.0,
+    mem_bytes: 0.8e9,
+};
+
+/// GPU-side pre-processing (CV-CUDA resize/normalise).
+pub const PREPROCESS: ModelProfile = ModelProfile {
+    name: "preprocess",
+    base_us: 1_200.0,
+    per_item_us: 550.0,
+    mem_bytes: 0.3e9,
+};
+
+/// GPU-side post-processing (NMS, crop extraction).
+pub const POSTPROCESS: ModelProfile = ModelProfile {
+    name: "postprocess",
+    base_us: 1_000.0,
+    per_item_us: 400.0,
+    mem_bytes: 0.2e9,
+};
+
+/// Image denoising network (Driving/Image workflows).
+pub const DENOISE: ModelProfile = ModelProfile {
+    name: "denoise",
+    base_us: 4_000.0,
+    per_item_us: 2_200.0,
+    mem_bytes: 0.6e9,
+};
+
+/// DeepLab-style semantic segmentation.
+pub const SEGMENT: ModelProfile = ModelProfile {
+    name: "segment",
+    base_us: 16_000.0,
+    per_item_us: 7_500.0,
+    mem_bytes: 2.2e9,
+};
+
+/// Colourised-mask rendering (Driving output stage).
+pub const COLORIZE: ModelProfile = ModelProfile {
+    name: "colorize",
+    base_us: 1_500.0,
+    per_item_us: 700.0,
+    mem_bytes: 0.2e9,
+};
+
+/// MTCNN-style face detection on video frames.
+pub const FACE_DET: ModelProfile = ModelProfile {
+    name: "face-det",
+    base_us: 7_000.0,
+    per_item_us: 3_000.0,
+    mem_bytes: 1.1e9,
+};
+
+/// Face recognition / actor identification.
+pub const FACE_REC: ModelProfile = ModelProfile {
+    name: "face-rec",
+    base_us: 3_000.0,
+    per_item_us: 1_100.0,
+    mem_bytes: 0.7e9,
+};
+
+/// One member of the Image workflow's classifier ensemble.
+pub const CLASSIFIER: ModelProfile = ModelProfile {
+    name: "classifier",
+    base_us: 3_200.0,
+    per_item_us: 1_300.0,
+    mem_bytes: 0.8e9,
+};
+
+/// Speech recognition (Chatbot pipeline).
+pub const ASR: ModelProfile = ModelProfile {
+    name: "asr",
+    base_us: 12_000.0,
+    per_item_us: 5_000.0,
+    mem_bytes: 1.4e9,
+};
+
+/// Language understanding (Chatbot pipeline).
+pub const NLU: ModelProfile = ModelProfile {
+    name: "nlu",
+    base_us: 6_000.0,
+    per_item_us: 2_500.0,
+    mem_bytes: 1.0e9,
+};
+
+/// Speech synthesis (Chatbot pipeline).
+pub const TTS: ModelProfile = ModelProfile {
+    name: "tts",
+    base_us: 10_000.0,
+    per_item_us: 4_500.0,
+    mem_bytes: 1.2e9,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_scales_with_batch() {
+        let b1 = YOLO_DET.latency(1, GpuClass::V100);
+        let b8 = YOLO_DET.latency(8, GpuClass::V100);
+        assert!(b8 > b1);
+        // base 9 ms + 8×4.2 ms = 42.6 ms
+        assert_eq!(b8.as_micros_f64(), 42_600.0);
+    }
+
+    #[test]
+    fn faster_gpus_run_faster() {
+        let v = SEGMENT.latency(4, GpuClass::V100);
+        let a = SEGMENT.latency(4, GpuClass::A100);
+        let h = SEGMENT.latency(4, GpuClass::H800);
+        assert!(a < v);
+        assert!(h < a);
+        let a10 = SEGMENT.latency(4, GpuClass::A10);
+        assert!(a10 > v);
+    }
+
+    #[test]
+    fn profiles_have_positive_memory() {
+        for p in [
+            &YOLO_DET, &RESNET50, &PREPROCESS, &POSTPROCESS, &DENOISE, &SEGMENT, &COLORIZE,
+            &FACE_DET, &FACE_REC, &CLASSIFIER, &ASR, &NLU, &TTS,
+        ] {
+            assert!(p.mem_bytes > 0.0, "{}", p.name);
+            assert!(p.base_us > 0.0);
+        }
+    }
+}
