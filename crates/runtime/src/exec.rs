@@ -696,7 +696,11 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
     }
     // Apply direct-path rebalances: move other functions' in-flight flows
     // onto their new routes (§4.3.3 reassignment). A flow that already
-    // finished simply isn't in the index any more.
+    // finished simply isn't in the index any more. The reroutes and the
+    // leg's own flow starts all land at this instant, so the whole leg is
+    // one allocation batch: rates are recomputed once, over the union of
+    // the touched contention components.
+    w.net.begin_batch();
     for (node, rb) in &leg.reroutes {
         let found = w
             .nv_flow_index
@@ -719,7 +723,9 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
             w.rebalances_applied += 1;
         }
     }
-    match w.engine.begin(&mut w.net, now, &leg.plan, leg.nv_node) {
+    let outcome = w.engine.begin(&mut w.net, now, &leg.plan, leg.nv_node);
+    w.net.commit_batch();
+    match outcome {
         BeginOutcome::Immediate => {
             release_rate_token(w, op_id);
             release_ledger(w, op_id);

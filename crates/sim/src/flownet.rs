@@ -15,12 +15,44 @@
 //!   the function with the tightest SLO.
 //!
 //! The model is quasi-stationary: whenever the flow set or any constraint
-//! changes, all rates are recomputed and progress is settled up to the current
-//! instant. This is the standard flow-level approximation used by network
-//! simulators; it reproduces contention, aggregation and isolation effects
-//! without per-packet simulation.
+//! changes, affected rates are recomputed and progress is settled up to the
+//! current instant. This is the standard flow-level approximation used by
+//! network simulators; it reproduces contention, aggregation and isolation
+//! effects without per-packet simulation.
+//!
+//! # Incremental, contention-scoped allocation
+//!
+//! GROUTER's mechanisms (2 MB chunking, 5-chunk batches, parallel-path
+//! bandwidth harvesting) turn one logical transfer into many short-lived
+//! flows, so the allocator is on the hot path of every simulated byte. The
+//! implementation is engineered around three ideas:
+//!
+//! 1. **Slab storage.** Flows live in a dense `Vec` slab with a free list;
+//!    external [`FlowId`]s stay stable (monotonic, arrival-ordered) via a
+//!    side index. Per-link member lists are maintained *incrementally* on
+//!    flow add/remove/reroute instead of being rebuilt per recompute.
+//! 2. **Contention components.** A flow event re-runs progressive filling
+//!    only over the flows transitively sharing links with the changed flow
+//!    (its *contention component*). Disjoint components — different nodes,
+//!    different PCIe switches, independent NVLink cliques, the common case
+//!    on DGX presets — keep their rates and completion estimates untouched.
+//!    Within the recomputed component, member order is normalised to
+//!    ascending `FlowId` so results are independent of event history.
+//! 3. **Lazy completion heap.** [`FlowNet::next_completion`] pops a min-heap
+//!    of projected completion times instead of scanning every flow; entries
+//!    are invalidated by per-flow recompute stamps. Per-link aggregate rates
+//!    make [`FlowNet::link_utilization`] O(1).
+//!
+//! Progress settling is lazy as well: each flow records the instant its
+//! `remaining` was last materialised, and projections use the (constant)
+//! current rate, so an event settles only the flows whose rates it changes.
+//!
+//! The historical full-recompute allocator is preserved in
+//! [`crate::flownet_ref`] and property tests assert the two agree on rates
+//! for randomized topologies, constraints and event sequences.
 
-use std::collections::BTreeMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::time::{SimDuration, SimTime};
 
@@ -58,16 +90,57 @@ impl Default for FlowOptions {
 struct Link {
     name: String,
     capacity: f64,
+    /// Slot indices of flows whose path crosses this link (a flow appears
+    /// once per path occurrence). Maintained incrementally; *not* ordered.
+    members: Vec<u32>,
+    /// Aggregate allocated rate of `members`, maintained by every refill
+    /// that touches this link. Makes `link_utilization` O(1).
+    rate_sum: f64,
 }
 
+/// Sentinel id marking a free slab slot.
+const FREE: u64 = u64::MAX;
+
 #[derive(Clone, Debug)]
-struct Flow {
+struct Slot {
+    /// External flow id, or [`FREE`].
+    id: u64,
     path: Vec<LinkId>,
+    /// For each entry of `path`: this flow's index in that link's `members`
+    /// list (kept in sync under swap-removal).
+    member_pos: Vec<u32>,
+    /// Bytes left as of `settled_at`.
     remaining: f64,
     rate: f64,
     floor: f64,
+    /// Requested cap, normalised to a positive value or `INFINITY` (a
+    /// non-positive or NaN cap would stall the flow forever; it is treated
+    /// as "uncapped"). The *effective* cap is `cap.max(floor)`: the SLO
+    /// floor is a guarantee and dominates a contradictory throttle.
     cap: f64,
     weight: f64,
+    /// Instant at which `remaining` was last materialised.
+    settled_at: SimTime,
+    /// Version of the last refill that assigned `rate`; completion-heap
+    /// entries carrying an older stamp are stale.
+    stamp: u64,
+}
+
+impl Slot {
+    #[inline]
+    fn effective_cap(&self) -> f64 {
+        self.cap.max(self.floor)
+    }
+
+    /// Bytes left when projected forward to `now` at the current rate.
+    #[inline]
+    fn remaining_at(&self, now: SimTime) -> f64 {
+        if now <= self.settled_at {
+            return self.remaining;
+        }
+        let dt = (now - self.settled_at).as_secs_f64();
+        (self.remaining - self.rate * dt).max(0.0)
+    }
 }
 
 /// Errors returned by [`FlowNet`] operations.
@@ -94,9 +167,49 @@ impl std::fmt::Display for FlowNetError {
 impl std::error::Error for FlowNetError {}
 
 /// Below this many bytes a flow counts as finished (absorbs ns rounding).
-const EPS_BYTES: f64 = 0.5;
+pub(crate) const EPS_BYTES: f64 = 0.5;
 /// Below this rate (bytes/s) an allocation increment counts as zero.
-const EPS_RATE: f64 = 1.0;
+pub(crate) const EPS_RATE: f64 = 1.0;
+
+/// Reusable buffers for component collection and progressive filling, so
+/// steady-state recomputes allocate nothing.
+#[derive(Default)]
+struct Scratch {
+    /// Component members (slot indices), sorted by external id before fill.
+    comp_flows: Vec<u32>,
+    /// Component links (global link indices), in discovery order.
+    comp_links: Vec<u32>,
+    /// Epoch stamps: slot visited during the current collection.
+    flow_seen: Vec<u64>,
+    /// Epoch stamps: link visited during the current collection.
+    link_seen: Vec<u64>,
+    /// Epoch of the current collection.
+    epoch: u64,
+    /// Global link index → local index into `comp_links` (epoch-checked).
+    link_local: Vec<u32>,
+    /// Global slot index → local index into `comp_flows` (valid post-sort).
+    flow_local: Vec<u32>,
+    // Per-fill SoA mirrors of the component's flows.
+    rate: Vec<f64>,
+    frozen: Vec<bool>,
+    scale: Vec<f64>,
+    floor: Vec<f64>,
+    eff_cap: Vec<f64>,
+    weight: Vec<f64>,
+    // CSR of per-link member lists (local flow indices, ascending id).
+    csr_start: Vec<u32>,
+    csr_entries: Vec<u32>,
+}
+
+/// Deferred-recompute state for a batch of same-instant updates.
+#[derive(Default)]
+struct Batch {
+    depth: u32,
+    /// Slots whose constraints/paths changed (validated at commit).
+    seed_flows: Vec<u32>,
+    /// Links whose membership or capacity changed.
+    seed_links: Vec<u32>,
+}
 
 /// The flow-level network simulator.
 ///
@@ -121,10 +234,20 @@ const EPS_RATE: f64 = 1.0;
 /// ```
 pub struct FlowNet {
     links: Vec<Link>,
-    flows: BTreeMap<u64, Flow>,
+    slots: Vec<Slot>,
+    free_slots: Vec<u32>,
+    /// External id → slot index. Touched only at the API boundary; all hot
+    /// loops run on slot indices.
+    id_index: HashMap<u64, u32>,
+    live_flows: usize,
     now: SimTime,
     next_id: u64,
     version: u64,
+    /// Min-heap of `(completion ns, flow id, stamp)` projections. Entries
+    /// are lazily discarded when the flow is gone or was re-stamped.
+    completions: BinaryHeap<Reverse<(u64, u64, u64)>>,
+    scratch: Scratch,
+    batch: Batch,
 }
 
 impl Default for FlowNet {
@@ -137,10 +260,16 @@ impl FlowNet {
     pub fn new() -> Self {
         FlowNet {
             links: Vec::new(),
-            flows: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            id_index: HashMap::new(),
+            live_flows: 0,
             now: SimTime::ZERO,
             next_id: 0,
             version: 0,
+            completions: BinaryHeap::new(),
+            scratch: Scratch::default(),
+            batch: Batch::default(),
         }
     }
 
@@ -158,7 +287,11 @@ impl FlowNet {
         self.links.push(Link {
             name: name.into(),
             capacity,
+            members: Vec::new(),
+            rate_sum: 0.0,
         });
+        self.scratch.link_seen.push(0);
+        self.scratch.link_local.push(0);
         id
     }
 
@@ -179,7 +312,7 @@ impl FlowNet {
 
     /// Number of in-flight flows.
     pub fn num_flows(&self) -> usize {
-        self.flows.len()
+        self.live_flows
     }
 
     /// Monotone counter bumped whenever any rate may have changed. Event
@@ -193,8 +326,45 @@ impl FlowNet {
         self.now
     }
 
+    /// Defer rate recomputation until the matching [`FlowNet::commit_batch`].
+    ///
+    /// Use around a burst of same-instant updates (starting every flow of a
+    /// multi-path plan, applying a set of reroutes): the allocator then runs
+    /// progressive filling once over the union of affected contention
+    /// components instead of once per call. Batches nest; only the
+    /// outermost commit recomputes. Rates and completion estimates read
+    /// between `begin_batch` and `commit_batch` are stale, and
+    /// [`FlowNet::advance_to`] must not be called inside a batch.
+    pub fn begin_batch(&mut self) {
+        self.batch.depth += 1;
+    }
+
+    /// Close the current batch; on the outermost close, recompute the union
+    /// of all contention components touched since [`FlowNet::begin_batch`].
+    pub fn commit_batch(&mut self) {
+        assert!(self.batch.depth > 0, "commit_batch without begin_batch");
+        self.batch.depth -= 1;
+        if self.batch.depth > 0 {
+            return;
+        }
+        let seed_flows = std::mem::take(&mut self.batch.seed_flows);
+        let seed_links = std::mem::take(&mut self.batch.seed_links);
+        if seed_flows.is_empty() && seed_links.is_empty() {
+            return;
+        }
+        // A slot recorded as a seed may have been cancelled (and possibly
+        // reused) later in the same batch; freed slots are skipped — their
+        // links were recorded separately at removal time.
+        let live_seeds: Vec<u32> = seed_flows
+            .into_iter()
+            .filter(|&s| self.slots[s as usize].id != FREE)
+            .collect();
+        self.recompute_scoped(&live_seeds, &seed_links);
+    }
+
     /// Start transferring `bytes` over `path`. Progress is settled to `now`
-    /// first, then rates are recomputed.
+    /// first, then rates are recomputed for the affected contention
+    /// component.
     pub fn start_flow(
         &mut self,
         now: SimTime,
@@ -210,55 +380,75 @@ impl FlowNet {
                 return Err(FlowNetError::UnknownLink(l));
             }
         }
-        self.settle(now);
+        self.advance_clock(now);
         let id = self.next_id;
         self.next_id += 1;
-        self.flows.insert(
+        let floor = opts.floor.max(0.0);
+        let slot_idx = self.alloc_slot(Slot {
             id,
-            Flow {
-                path,
-                remaining: bytes.max(0.0),
-                rate: 0.0,
-                floor: opts.floor.max(0.0),
-                cap: opts.cap.max(0.0),
-                weight: if opts.weight > 0.0 { opts.weight } else { 1.0 },
-            },
-        );
-        self.recompute_rates();
+            path,
+            member_pos: Vec::new(),
+            remaining: bytes.max(0.0),
+            rate: 0.0,
+            floor,
+            cap: normalize_cap(opts.cap),
+            weight: if opts.weight > 0.0 { opts.weight } else { 1.0 },
+            settled_at: self.now,
+            stamp: 0,
+        });
+        self.attach_members(slot_idx);
+        self.id_index.insert(id, slot_idx);
+        self.live_flows += 1;
+        self.recompute_scoped(&[slot_idx], &[]);
         Ok(FlowId(id))
     }
 
     /// Abort a flow; remaining bytes are discarded.
     pub fn cancel_flow(&mut self, now: SimTime, id: FlowId) -> Result<(), FlowNetError> {
-        self.settle(now);
-        if self.flows.remove(&id.0).is_none() {
-            return Err(FlowNetError::UnknownFlow(id));
-        }
-        self.recompute_rates();
+        let slot = *self
+            .id_index
+            .get(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
+        self.advance_clock(now);
+        self.remove_flows(&[slot]);
         Ok(())
     }
 
     /// Change a flow's guaranteed floor (SLO re-negotiation).
     pub fn set_floor(&mut self, now: SimTime, id: FlowId, floor: f64) -> Result<(), FlowNetError> {
-        self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
-        flow.floor = floor.max(0.0);
-        self.recompute_rates();
+        let slot = *self
+            .id_index
+            .get(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
+        self.advance_clock(now);
+        self.settle_slot(slot);
+        self.slots[slot as usize].floor = floor.max(0.0);
+        self.recompute_scoped(&[slot], &[]);
         Ok(())
     }
 
     /// Change a flow's rate cap (bandwidth partitioning).
+    ///
+    /// Non-positive caps are normalised to "uncapped", and a cap below the
+    /// flow's floor is dominated by the floor: a literal `cap = 0` would
+    /// otherwise leave the flow with `remaining > 0`, `rate = 0` and no
+    /// completion ever scheduled — a silent stall.
     pub fn set_cap(&mut self, now: SimTime, id: FlowId, cap: f64) -> Result<(), FlowNetError> {
-        self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
-        flow.cap = cap.max(0.0);
-        self.recompute_rates();
+        let slot = *self
+            .id_index
+            .get(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
+        self.advance_clock(now);
+        self.settle_slot(slot);
+        self.slots[slot as usize].cap = normalize_cap(cap);
+        self.recompute_scoped(&[slot], &[]);
         Ok(())
     }
 
     /// Change a link's capacity mid-run (failure injection: congestion from
     /// co-tenants, link flaps, degraded lanes). Progress is settled first;
-    /// all rates are recomputed against the new capacity.
+    /// rates of the link's contention component are recomputed against the
+    /// new capacity.
     ///
     /// # Panics
     /// Panics if `capacity` is not strictly positive and finite (a dead link
@@ -268,15 +458,17 @@ impl FlowNet {
             capacity.is_finite() && capacity > 0.0,
             "link capacity must be positive and finite"
         );
-        self.settle(now);
+        self.advance_clock(now);
         self.links[link.0 as usize].capacity = capacity;
-        self.recompute_rates();
+        self.recompute_scoped(&[], &[link.0]);
     }
 
     /// Move an in-flight flow onto a new link path (topology-aware
     /// rebalancing, paper §4.3.3: a function occupying a direct path as part
     /// of an indirect route can be reassigned to an alternative route).
     /// Progress is settled first; remaining bytes continue on the new path.
+    /// Both the vacated and the newly joined contention components are
+    /// recomputed.
     pub fn reroute_flow(
         &mut self,
         now: SimTime,
@@ -291,97 +483,311 @@ impl FlowNet {
                 return Err(FlowNetError::UnknownLink(l));
             }
         }
-        self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
-        flow.path = new_path;
-        self.recompute_rates();
+        let slot = *self
+            .id_index
+            .get(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
+        self.advance_clock(now);
+        self.settle_slot(slot);
+        let old_links: Vec<u32> = {
+            let s = &mut self.slots[slot as usize];
+            s.path.iter().map(|l| l.0).collect()
+        };
+        self.detach_members(slot);
+        {
+            let s = &mut self.slots[slot as usize];
+            s.path = new_path;
+            s.member_pos.clear();
+        }
+        self.attach_members(slot);
+        self.recompute_scoped(&[slot], &old_links);
         Ok(())
     }
 
     /// Change a flow's idle-bandwidth weight.
     pub fn set_weight(&mut self, now: SimTime, id: FlowId, weight: f64) -> Result<(), FlowNetError> {
-        self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
-        flow.weight = if weight > 0.0 { weight } else { 1.0 };
-        self.recompute_rates();
+        let slot = *self
+            .id_index
+            .get(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
+        self.advance_clock(now);
+        self.settle_slot(slot);
+        self.slots[slot as usize].weight = if weight > 0.0 { weight } else { 1.0 };
+        self.recompute_scoped(&[slot], &[]);
         Ok(())
     }
 
     /// Current allocated rate of `id` in bytes/second.
     pub fn flow_rate(&self, id: FlowId) -> Result<f64, FlowNetError> {
-        self.flows
+        self.id_index
             .get(&id.0)
-            .map(|f| f.rate)
+            .map(|&s| self.slots[s as usize].rate)
             .ok_or(FlowNetError::UnknownFlow(id))
     }
 
-    /// Bytes not yet delivered for `id` (as of the last settle point).
+    /// Bytes not yet delivered for `id`, projected to the current instant.
     pub fn flow_remaining(&self, id: FlowId) -> Result<f64, FlowNetError> {
-        self.flows
+        self.id_index
             .get(&id.0)
-            .map(|f| f.remaining)
+            .map(|&s| self.slots[s as usize].remaining_at(self.now))
             .ok_or(FlowNetError::UnknownFlow(id))
     }
 
-    /// Aggregate rate currently crossing `link`.
+    /// Aggregate rate currently crossing `link`. O(1): maintained by every
+    /// refill touching the link.
     pub fn link_utilization(&self, link: LinkId) -> f64 {
-        self.flows
-            .values()
-            .filter(|f| f.path.contains(&link))
-            .map(|f| f.rate)
-            .sum()
+        self.links[link.0 as usize].rate_sum
     }
 
     /// Earliest instant at which some flow completes, or `None` when no flow
-    /// is making progress.
-    pub fn next_completion(&self) -> Option<SimTime> {
-        self.flows
-            .values()
-            .filter(|f| f.rate > EPS_RATE || f.remaining <= EPS_BYTES)
-            .map(|f| {
-                if f.remaining <= EPS_BYTES {
-                    self.now
-                } else {
-                    self.now + SimDuration::from_secs_f64(f.remaining / f.rate)
+    /// is making progress. Lazily discards stale heap entries.
+    pub fn next_completion(&mut self) -> Option<SimTime> {
+        debug_assert!(self.batch.depth == 0, "next_completion inside a batch");
+        while let Some(&Reverse((at, id, stamp))) = self.completions.peek() {
+            match self.id_index.get(&id) {
+                Some(&s) if self.slots[s as usize].stamp == stamp => {
+                    // Completions projected from an older settle point never
+                    // report earlier than the current settle point.
+                    return Some(SimTime(at.max(self.now.0)));
                 }
-            })
-            .min()
+                _ => {
+                    self.completions.pop();
+                }
+            }
+        }
+        None
     }
 
     /// Advance the model to `now`, returning the flows that completed (in
-    /// ascending `FlowId` order). Completed flows are removed; rates are
-    /// recomputed if anything completed.
+    /// ascending `FlowId` order). Completed flows are removed; the affected
+    /// contention components are recomputed.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowId> {
-        self.settle(now);
-        let done: Vec<u64> = self
-            .flows
-            .iter()
-            .filter(|(_, f)| f.remaining <= EPS_BYTES)
-            .map(|(&id, _)| id)
-            .collect();
-        if done.is_empty() {
+        assert!(self.batch.depth == 0, "advance_to inside a batch");
+        self.advance_clock(now);
+        let horizon = self.now.0;
+        let mut done_ids: Vec<u64> = Vec::new();
+        // A harvest frees bandwidth, which can push a peer's projected
+        // completion down to this very instant — loop until quiescent.
+        loop {
+            let mut harvested: Vec<u32> = Vec::new();
+            while let Some(&Reverse((at, id, stamp))) = self.completions.peek() {
+                if at > horizon {
+                    break;
+                }
+                self.completions.pop();
+                if let Some(&s) = self.id_index.get(&id) {
+                    if self.slots[s as usize].stamp == stamp {
+                        harvested.push(s);
+                    }
+                }
+            }
+            if harvested.is_empty() {
+                break;
+            }
+            for &s in &harvested {
+                done_ids.push(self.slots[s as usize].id);
+            }
+            self.remove_flows(&harvested);
+        }
+        if done_ids.is_empty() {
             return Vec::new();
         }
-        for id in &done {
-            self.flows.remove(id);
-        }
-        self.recompute_rates();
-        done.into_iter().map(FlowId).collect()
+        done_ids.sort_unstable();
+        done_ids.into_iter().map(FlowId).collect()
     }
 
-    /// Accrue progress at current rates from the last settle point to `now`.
-    fn settle(&mut self, now: SimTime) {
-        if now <= self.now {
+    // -- internals ----------------------------------------------------------
+
+    /// Move the settle point forward (never backwards). Individual flows
+    /// settle lazily when their component is next recomputed.
+    #[inline]
+    fn advance_clock(&mut self, now: SimTime) {
+        if now > self.now {
+            self.now = now;
+        }
+    }
+
+    /// Materialise one flow's progress at the current settle point.
+    #[inline]
+    fn settle_slot(&mut self, slot: u32) {
+        let now = self.now;
+        let s = &mut self.slots[slot as usize];
+        if s.settled_at < now {
+            let dt = (now - s.settled_at).as_secs_f64();
+            s.remaining = (s.remaining - s.rate * dt).max(0.0);
+            s.settled_at = now;
+        }
+    }
+
+    fn alloc_slot(&mut self, slot: Slot) -> u32 {
+        match self.free_slots.pop() {
+            Some(idx) => {
+                self.slots[idx as usize] = slot;
+                idx
+            }
+            None => {
+                self.slots.push(slot);
+                self.scratch.flow_seen.push(0);
+                self.scratch.flow_local.push(0);
+                (self.slots.len() - 1) as u32
+            }
+        }
+    }
+
+    /// Insert `slot` into the member list of every link on its path,
+    /// recording positions for O(1) removal.
+    fn attach_members(&mut self, slot: u32) {
+        let path = std::mem::take(&mut self.slots[slot as usize].path);
+        let mut member_pos = std::mem::take(&mut self.slots[slot as usize].member_pos);
+        member_pos.clear();
+        for &LinkId(l) in &path {
+            let members = &mut self.links[l as usize].members;
+            member_pos.push(members.len() as u32);
+            members.push(slot);
+        }
+        let s = &mut self.slots[slot as usize];
+        s.path = path;
+        s.member_pos = member_pos;
+    }
+
+    /// Remove `slot` from every member list on its path via swap-removal,
+    /// patching the displaced flow's recorded position.
+    fn detach_members(&mut self, slot: u32) {
+        let path = std::mem::take(&mut self.slots[slot as usize].path);
+        let mut member_pos = std::mem::take(&mut self.slots[slot as usize].member_pos);
+        for (k, &LinkId(l)) in path.iter().enumerate() {
+            let pos = member_pos[k] as usize;
+            let members = &mut self.links[l as usize].members;
+            debug_assert_eq!(members[pos], slot);
+            members.swap_remove(pos);
+            if pos < members.len() {
+                let moved = members[pos];
+                let old_last = members.len() as u32;
+                if moved == slot {
+                    // A duplicate link in our own path: patch the local copy.
+                    for (kk, &LinkId(ll)) in path.iter().enumerate() {
+                        if ll == l && member_pos[kk] == old_last {
+                            member_pos[kk] = pos as u32;
+                            break;
+                        }
+                    }
+                } else {
+                    let ms = &mut self.slots[moved as usize];
+                    for (kk, &LinkId(ll)) in ms.path.iter().enumerate() {
+                        if ll == l && ms.member_pos[kk] == old_last {
+                            ms.member_pos[kk] = pos as u32;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        let s = &mut self.slots[slot as usize];
+        s.path = path;
+        s.member_pos = member_pos;
+    }
+
+    /// Remove a set of live flows and recompute the contention components
+    /// they leave behind.
+    fn remove_flows(&mut self, removed: &[u32]) {
+        // Collect the affected links before the membership edits.
+        let mut freed_links: Vec<u32> = Vec::new();
+        for &s in removed {
+            freed_links.extend(self.slots[s as usize].path.iter().map(|l| l.0));
+        }
+        for &s in removed {
+            self.detach_members(s);
+            let slot = &mut self.slots[s as usize];
+            let id = slot.id;
+            slot.id = FREE;
+            slot.path.clear();
+            slot.member_pos.clear();
+            slot.rate = 0.0;
+            self.id_index.remove(&id);
+            self.free_slots.push(s);
+            self.live_flows -= 1;
+        }
+        if self.batch.depth > 0 {
+            self.batch.seed_links.extend(freed_links);
             return;
         }
-        let dt = (now - self.now).as_secs_f64();
-        for flow in self.flows.values_mut() {
-            flow.remaining = (flow.remaining - flow.rate * dt).max(0.0);
-        }
-        self.now = now;
+        self.recompute_scoped(&[], &freed_links);
     }
 
-    /// Weighted max-min fair allocation with floors and caps.
+    /// Recompute rates for the union of contention components reachable from
+    /// `seed_flows` (live slots) and `seed_links`, leaving every other
+    /// component untouched. Under an open batch, only records the seeds.
+    fn recompute_scoped(&mut self, seed_flows: &[u32], seed_links: &[u32]) {
+        if self.batch.depth > 0 {
+            self.batch.seed_flows.extend_from_slice(seed_flows);
+            self.batch.seed_links.extend_from_slice(seed_links);
+            return;
+        }
+        self.version += 1;
+        self.collect_component(seed_flows, seed_links);
+        self.refill_component();
+        self.maybe_compact_completions();
+    }
+
+    /// Flood-fill the contention component: flows pull in every link on
+    /// their path, links pull in every member flow.
+    fn collect_component(&mut self, seed_flows: &[u32], seed_links: &[u32]) {
+        let scratch = &mut self.scratch;
+        scratch.epoch += 1;
+        let epoch = scratch.epoch;
+        scratch.comp_flows.clear();
+        scratch.comp_links.clear();
+        for &s in seed_flows {
+            if scratch.flow_seen[s as usize] != epoch {
+                scratch.flow_seen[s as usize] = epoch;
+                scratch.comp_flows.push(s);
+            }
+        }
+        for &l in seed_links {
+            if scratch.link_seen[l as usize] != epoch {
+                scratch.link_seen[l as usize] = epoch;
+                scratch.comp_links.push(l);
+            }
+        }
+        let mut next_flow = 0usize;
+        let mut next_link = 0usize;
+        loop {
+            if next_link < scratch.comp_links.len() {
+                let l = scratch.comp_links[next_link];
+                next_link += 1;
+                for &m in &self.links[l as usize].members {
+                    if scratch.flow_seen[m as usize] != epoch {
+                        scratch.flow_seen[m as usize] = epoch;
+                        scratch.comp_flows.push(m);
+                    }
+                }
+                continue;
+            }
+            if next_flow < scratch.comp_flows.len() {
+                let f = scratch.comp_flows[next_flow];
+                next_flow += 1;
+                for &LinkId(l) in &self.slots[f as usize].path {
+                    if scratch.link_seen[l as usize] != epoch {
+                        scratch.link_seen[l as usize] = epoch;
+                        scratch.comp_links.push(l);
+                    }
+                }
+                continue;
+            }
+            break;
+        }
+        // Normalise member order to ascending external id: allocation (and
+        // its floating-point accumulation order) must not depend on the
+        // history of slab reuse.
+        let slots = &self.slots;
+        scratch
+            .comp_flows
+            .sort_unstable_by_key(|&s| slots[s as usize].id);
+    }
+
+    /// Weighted max-min progressive filling over the collected component
+    /// (see `collect_component`), then write-back: rates, per-link
+    /// aggregates, completion-heap entries.
     ///
     /// 1. Every flow starts at its floor (scaled down proportionally on links
     ///    where floors alone oversubscribe capacity — the admission controller
@@ -389,100 +795,170 @@ impl FlowNet {
     /// 2. Progressive filling: all unfrozen flows gain rate in proportion to
     ///    their weight until a link saturates or a flow hits its cap; binding
     ///    flows freeze; repeat.
-    fn recompute_rates(&mut self) {
-        self.version += 1;
-        if self.flows.is_empty() {
+    fn refill_component(&mut self) {
+        let scratch = &mut self.scratch;
+        let n = scratch.comp_flows.len();
+        let version = self.version;
+        let now = self.now;
+
+        // Settle members to the current instant; their rates change below.
+        for &s in &scratch.comp_flows {
+            let slot = &mut self.slots[s as usize];
+            if slot.settled_at < now {
+                let dt = (now - slot.settled_at).as_secs_f64();
+                slot.remaining = (slot.remaining - slot.rate * dt).max(0.0);
+                slot.settled_at = now;
+            }
+        }
+
+        if n == 0 {
+            // Links may still need their aggregates zeroed (e.g. the last
+            // member of a link was cancelled).
+            for &l in &scratch.comp_links {
+                debug_assert!(self.links[l as usize].members.is_empty());
+                self.links[l as usize].rate_sum = 0.0;
+            }
             return;
         }
 
-        let ids: Vec<u64> = self.flows.keys().copied().collect();
-        let n = ids.len();
-        let mut rate = vec![0.0f64; n];
-        let mut frozen = vec![false; n];
-
-        // Per-link members, built once.
-        let mut members: Vec<Vec<usize>> = vec![Vec::new(); self.links.len()];
-        for (idx, id) in ids.iter().enumerate() {
-            for &l in &self.flows[id].path {
-                members[l.0 as usize].push(idx);
-            }
+        // SoA mirrors + local indices.
+        scratch.rate.clear();
+        scratch.frozen.clear();
+        scratch.scale.clear();
+        scratch.floor.clear();
+        scratch.eff_cap.clear();
+        scratch.weight.clear();
+        for (local, &s) in scratch.comp_flows.iter().enumerate() {
+            let slot = &self.slots[s as usize];
+            scratch.flow_local[s as usize] = local as u32;
+            scratch.rate.push(0.0);
+            scratch.frozen.push(false);
+            scratch.scale.push(1.0);
+            scratch.floor.push(slot.floor);
+            scratch.eff_cap.push(slot.effective_cap());
+            scratch.weight.push(slot.weight);
         }
 
+        // CSR of per-link member lists in ascending-id order (flow-major
+        // construction over the sorted component preserves it, including
+        // duplicate entries for a path that crosses a link twice).
+        for (li, &l) in scratch.comp_links.iter().enumerate() {
+            scratch.link_local[l as usize] = li as u32;
+        }
+        scratch.csr_start.clear();
+        scratch.csr_start.resize(scratch.comp_links.len() + 1, 0);
+        for &s in &scratch.comp_flows {
+            for &LinkId(l) in &self.slots[s as usize].path {
+                scratch.csr_start[scratch.link_local[l as usize] as usize + 1] += 1;
+            }
+        }
+        for li in 1..scratch.csr_start.len() {
+            scratch.csr_start[li] += scratch.csr_start[li - 1];
+        }
+        scratch.csr_entries.clear();
+        scratch
+            .csr_entries
+            .resize(*scratch.csr_start.last().expect("non-empty") as usize, 0);
+        let mut cursor: Vec<u32> = scratch.csr_start[..scratch.comp_links.len()].to_vec();
+        for (local, &s) in scratch.comp_flows.iter().enumerate() {
+            for &LinkId(l) in &self.slots[s as usize].path {
+                let li = scratch.link_local[l as usize] as usize;
+                scratch.csr_entries[cursor[li] as usize] = local as u32;
+                cursor[li] += 1;
+            }
+        }
+        let members_of = |scratch: &Scratch, li: usize| -> std::ops::Range<usize> {
+            scratch.csr_start[li] as usize..scratch.csr_start[li + 1] as usize
+        };
+
         // Step 1: floors, with proportional scaling on oversubscribed links.
-        let mut scale = vec![1.0f64; n];
-        for (li, link) in self.links.iter().enumerate() {
-            let total_floor: f64 = members[li]
+        for (li, &l) in scratch.comp_links.iter().enumerate() {
+            let capacity = self.links[l as usize].capacity;
+            let r = members_of(scratch, li);
+            let total_floor: f64 = scratch.csr_entries[r.clone()]
                 .iter()
-                .map(|&i| self.flows[&ids[i]].floor)
+                .map(|&i| scratch.floor[i as usize])
                 .sum();
-            if total_floor > link.capacity {
-                let factor = link.capacity / total_floor;
-                for &i in &members[li] {
-                    scale[i] = scale[i].min(factor);
+            if total_floor > capacity {
+                let factor = capacity / total_floor;
+                for e in r {
+                    let i = scratch.csr_entries[e] as usize;
+                    scratch.scale[i] = scratch.scale[i].min(factor);
                 }
             }
         }
-        for (i, id) in ids.iter().enumerate() {
-            let f = &self.flows[id];
-            rate[i] = (f.floor * scale[i]).min(f.cap);
-            if f.cap - rate[i] <= EPS_RATE || f.remaining <= EPS_BYTES {
-                frozen[i] = true;
+        for (i, &s) in scratch.comp_flows.iter().enumerate() {
+            scratch.rate[i] = (scratch.floor[i] * scratch.scale[i]).min(scratch.eff_cap[i]);
+            if scratch.eff_cap[i] - scratch.rate[i] <= EPS_RATE
+                || self.slots[s as usize].remaining <= EPS_BYTES
+            {
+                scratch.frozen[i] = true;
             }
         }
 
         // Step 2: progressive filling of the idle bandwidth.
         // Each iteration freezes at least one flow, so it terminates.
         loop {
-            if frozen.iter().all(|&f| f) {
+            if scratch.frozen.iter().all(|&f| f) {
                 break;
             }
             // Residual capacity and active weight per link.
             let mut limiting_inc = f64::INFINITY; // in rate-per-unit-weight
-            for (li, link) in self.links.iter().enumerate() {
-                let used: f64 = members[li].iter().map(|&i| rate[i]).sum();
-                let active_weight: f64 = members[li]
-                    .iter()
-                    .filter(|&&i| !frozen[i])
-                    .map(|&i| self.flows[&ids[i]].weight)
-                    .sum();
+            for (li, &l) in scratch.comp_links.iter().enumerate() {
+                let capacity = self.links[l as usize].capacity;
+                let r = members_of(scratch, li);
+                let mut used = 0.0;
+                let mut active_weight = 0.0;
+                for &i in &scratch.csr_entries[r] {
+                    used += scratch.rate[i as usize];
+                    if !scratch.frozen[i as usize] {
+                        active_weight += scratch.weight[i as usize];
+                    }
+                }
                 if active_weight > 0.0 {
-                    let residual = (link.capacity - used).max(0.0);
+                    let residual = (capacity - used).max(0.0);
                     limiting_inc = limiting_inc.min(residual / active_weight);
                 }
             }
             // Cap headroom, in per-unit-weight terms.
-            for (i, id) in ids.iter().enumerate() {
-                if !frozen[i] {
-                    let f = &self.flows[id];
-                    limiting_inc = limiting_inc.min((f.cap - rate[i]) / f.weight);
+            for i in 0..n {
+                if !scratch.frozen[i] {
+                    limiting_inc =
+                        limiting_inc.min((scratch.eff_cap[i] - scratch.rate[i]) / scratch.weight[i]);
                 }
             }
             if !limiting_inc.is_finite() {
                 break;
             }
             if limiting_inc > 0.0 {
-                for (i, id) in ids.iter().enumerate() {
-                    if !frozen[i] {
-                        rate[i] += limiting_inc * self.flows[id].weight;
+                for i in 0..n {
+                    if !scratch.frozen[i] {
+                        scratch.rate[i] += limiting_inc * scratch.weight[i];
                     }
                 }
             }
             // Freeze flows bound by a saturated link or their cap.
             let mut any_frozen = false;
-            for (li, link) in self.links.iter().enumerate() {
-                let used: f64 = members[li].iter().map(|&i| rate[i]).sum();
-                if link.capacity - used <= EPS_RATE {
-                    for &i in &members[li] {
-                        if !frozen[i] {
-                            frozen[i] = true;
+            for (li, &l) in scratch.comp_links.iter().enumerate() {
+                let capacity = self.links[l as usize].capacity;
+                let r = members_of(scratch, li);
+                let used: f64 = scratch.csr_entries[r.clone()]
+                    .iter()
+                    .map(|&i| scratch.rate[i as usize])
+                    .sum();
+                if capacity - used <= EPS_RATE {
+                    for e in r {
+                        let i = scratch.csr_entries[e] as usize;
+                        if !scratch.frozen[i] {
+                            scratch.frozen[i] = true;
                             any_frozen = true;
                         }
                     }
                 }
             }
-            for (i, id) in ids.iter().enumerate() {
-                if !frozen[i] && self.flows[id].cap - rate[i] <= EPS_RATE {
-                    frozen[i] = true;
+            for i in 0..n {
+                if !scratch.frozen[i] && scratch.eff_cap[i] - scratch.rate[i] <= EPS_RATE {
+                    scratch.frozen[i] = true;
                     any_frozen = true;
                 }
             }
@@ -493,9 +969,58 @@ impl FlowNet {
             }
         }
 
-        for (i, id) in ids.iter().enumerate() {
-            self.flows.get_mut(id).expect("flow present").rate = rate[i];
+        // Write-back: rates, stamps, completion projections, per-link sums.
+        for (i, &s) in scratch.comp_flows.iter().enumerate() {
+            let slot = &mut self.slots[s as usize];
+            slot.rate = scratch.rate[i];
+            slot.stamp = version;
+            if slot.remaining <= EPS_BYTES {
+                self.completions.push(Reverse((now.0, slot.id, version)));
+            } else if slot.rate > EPS_RATE {
+                let done = now + SimDuration::from_secs_f64(slot.remaining / slot.rate);
+                self.completions.push(Reverse((done.0, slot.id, version)));
+            }
         }
+        for (li, &l) in scratch.comp_links.iter().enumerate() {
+            let r = members_of(scratch, li);
+            self.links[l as usize].rate_sum = scratch.csr_entries[r]
+                .iter()
+                .map(|&i| scratch.rate[i as usize])
+                .sum();
+        }
+    }
+
+    /// Bound heap garbage: when stale entries dominate, rebuild from live
+    /// flows (deterministic — derived from slab state only).
+    fn maybe_compact_completions(&mut self) {
+        if self.completions.len() < 1024 || self.completions.len() < 8 * self.live_flows {
+            return;
+        }
+        let mut fresh = BinaryHeap::with_capacity(self.live_flows);
+        for slot in &self.slots {
+            if slot.id == FREE {
+                continue;
+            }
+            if slot.remaining <= EPS_BYTES {
+                fresh.push(Reverse((slot.settled_at.0, slot.id, slot.stamp)));
+            } else if slot.rate > EPS_RATE {
+                let done = slot.settled_at + SimDuration::from_secs_f64(slot.remaining / slot.rate);
+                fresh.push(Reverse((done.0, slot.id, slot.stamp)));
+            }
+        }
+        self.completions = fresh;
+    }
+}
+
+/// Non-positive (or NaN) caps stall a flow forever; treat them as
+/// "uncapped". Positive caps pass through — the floor dominates at
+/// allocation time via `Slot::effective_cap`.
+#[inline]
+fn normalize_cap(cap: f64) -> f64 {
+    if cap > 0.0 {
+        cap
+    } else {
+        f64::INFINITY
     }
 }
 
@@ -639,6 +1164,62 @@ mod tests {
         assert!(net.flow_rate(capped).unwrap() <= 2.0 * GB + 1.0);
         // The free flow gets the rest.
         assert!((net.flow_rate(free).unwrap() - 8.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn zero_cap_does_not_stall() {
+        // Regression: a literal cap = 0 used to leave the flow with
+        // remaining > 0, rate = 0, and no completion ever scheduled.
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(
+                SimTime::ZERO,
+                vec![l],
+                GB,
+                FlowOptions {
+                    cap: 0.0,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        // Normalised to uncapped: full link rate, completes at 100 ms.
+        assert!((net.flow_rate(f).unwrap() - 10.0 * GB).abs() < 2.0);
+        let done = net.next_completion().expect("flow makes progress");
+        assert!((done.as_millis_f64() - 100.0).abs() < 1e-3);
+        assert_eq!(net.advance_to(done), vec![f]);
+    }
+
+    #[test]
+    fn set_cap_zero_does_not_stall() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        net.set_cap(SimTime::ZERO, f, 0.0).unwrap();
+        assert!(net.next_completion().is_some(), "flow stalled by zero cap");
+        assert!((net.flow_rate(f).unwrap() - 10.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn cap_below_floor_is_dominated_by_floor() {
+        // The SLO floor is a guarantee; a contradictory throttle must not
+        // starve the flow below it (which would also break the completion
+        // estimate the SLO controller derives from the floor).
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(
+                SimTime::ZERO,
+                vec![l],
+                GB,
+                FlowOptions {
+                    floor: 4.0 * GB,
+                    cap: 1.0 * GB,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        let r = net.flow_rate(f).unwrap();
+        assert!(r >= 4.0 * GB - 1.0, "floor violated by low cap: {r}");
     }
 
     #[test]
@@ -860,6 +1441,159 @@ mod tests {
         let done = net.advance_to(done_at);
         assert_eq!(done.len(), 2);
     }
+
+    #[test]
+    fn disjoint_components_are_not_recomputed() {
+        // Two independent links: events on one must not re-stamp flows on
+        // the other (the whole point of contention scoping).
+        let mut net = FlowNet::new();
+        let l1 = net.add_link("c1", 10.0 * GB);
+        let l2 = net.add_link("c2", 10.0 * GB);
+        let a = net
+            .start_flow(SimTime::ZERO, vec![l1], GB, FlowOptions::default())
+            .unwrap();
+        let stamp_a = {
+            let s = net.id_index[&a.0];
+            net.slots[s as usize].stamp
+        };
+        // Churn on the other component.
+        for _ in 0..5 {
+            let f = net
+                .start_flow(SimTime::ZERO, vec![l2], GB, FlowOptions::default())
+                .unwrap();
+            net.cancel_flow(SimTime::ZERO, f).unwrap();
+        }
+        let stamp_a_after = {
+            let s = net.id_index[&a.0];
+            net.slots[s as usize].stamp
+        };
+        assert_eq!(stamp_a, stamp_a_after, "disjoint component was touched");
+        assert!((net.flow_rate(a).unwrap() - 10.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn batch_defers_recompute_to_commit() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        net.begin_batch();
+        let f1 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        let f2 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        // Rates are stale until commit.
+        assert_eq!(net.flow_rate(f1).unwrap(), 0.0);
+        net.commit_batch();
+        assert!((net.flow_rate(f1).unwrap() - 5.0 * GB).abs() < 2.0);
+        assert!((net.flow_rate(f2).unwrap() - 5.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn batch_with_cancel_and_reuse_commits_cleanly() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        net.begin_batch();
+        let f1 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        net.cancel_flow(SimTime::ZERO, f1).unwrap();
+        // The freed slot is immediately reused by the next start.
+        let f2 = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        net.commit_batch();
+        assert!((net.flow_rate(f2).unwrap() - 10.0 * GB).abs() < 2.0);
+        assert_eq!(net.flow_rate(f1), Err(FlowNetError::UnknownFlow(f1)));
+        assert_eq!(net.num_flows(), 1);
+    }
+
+    #[test]
+    fn nested_batches_recompute_once_at_outermost_commit() {
+        let (mut net, l) = net_one_link(10.0 * GB);
+        net.begin_batch();
+        net.begin_batch();
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l], GB, FlowOptions::default())
+            .unwrap();
+        net.commit_batch();
+        // Inner commit must not recompute yet.
+        assert_eq!(net.flow_rate(f).unwrap(), 0.0);
+        net.commit_batch();
+        assert!((net.flow_rate(f).unwrap() - 10.0 * GB).abs() < 2.0);
+    }
+
+    #[test]
+    fn duplicate_link_in_path_counts_twice() {
+        // A path crossing the same link twice consumes double capacity on
+        // it, exactly like two hops; removal must not corrupt membership.
+        let (mut net, l) = net_one_link(10.0 * GB);
+        let f = net
+            .start_flow(SimTime::ZERO, vec![l, l], GB, FlowOptions::default())
+            .unwrap();
+        // Weighted fill: the flow's rate is counted twice on the link, so
+        // it converges to capacity/2.
+        assert!((net.flow_rate(f).unwrap() - 5.0 * GB).abs() < 2.0);
+        assert!((net.link_utilization(l) - 10.0 * GB).abs() < 4.0);
+        net.cancel_flow(SimTime::ZERO, f).unwrap();
+        assert_eq!(net.num_flows(), 0);
+        assert_eq!(net.link_utilization(l), 0.0);
+    }
+
+    #[test]
+    fn link_utilization_matches_member_sum_under_churn() {
+        // The O(1) aggregate must track the true member-rate sum through
+        // arrivals, departures, reroutes and constraint changes.
+        let mut net = FlowNet::new();
+        let links: Vec<LinkId> = (0..4).map(|i| net.add_link(format!("l{i}"), 10.0 * GB)).collect();
+        let mut live: Vec<(FlowId, Vec<LinkId>)> = Vec::new();
+        let mut t = SimTime::ZERO;
+        for step in 0u64..200 {
+            t = SimTime(t.0 + 100_000);
+            match step % 5 {
+                0 | 1 => {
+                    let path = vec![links[(step % 4) as usize], links[((step + 1) % 4) as usize]];
+                    let f = net
+                        .start_flow(t, path.clone(), GB, FlowOptions::default())
+                        .unwrap();
+                    live.push((f, path));
+                }
+                2 => {
+                    if !live.is_empty() {
+                        let (f, _) = live.remove((step as usize * 7) % live.len());
+                        net.cancel_flow(t, f).unwrap();
+                    }
+                }
+                3 => {
+                    let pick = (step as usize * 3) % live.len().max(1);
+                    if let Some((f, path)) = live.get_mut(pick) {
+                        let new_path = vec![links[(step % 4) as usize]];
+                        if net.reroute_flow(t, *f, new_path.clone()).is_ok() {
+                            *path = new_path;
+                        }
+                    }
+                }
+                _ => {
+                    if let Some((f, _)) = live.get((step as usize) % live.len().max(1)) {
+                        let _ = net.set_weight(t, *f, 1.0 + (step % 3) as f64);
+                    }
+                }
+            }
+            // Compare the O(1) aggregate against a full scan.
+            for &l in &links {
+                let expected: f64 = live
+                    .iter()
+                    .map(|(f, path)| {
+                        let crossings = path.iter().filter(|&&p| p == l).count() as f64;
+                        crossings * net.flow_rate(*f).unwrap_or(0.0)
+                    })
+                    .sum();
+                let got = net.link_utilization(l);
+                assert!(
+                    (got - expected).abs() <= 1e-6 * expected.max(1.0),
+                    "step {step} link {l:?}: aggregate {got} != member sum {expected}"
+                );
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -886,7 +1620,8 @@ mod proptests {
 
     proptest! {
         /// Invariants under arbitrary floors and caps: per-link usage never
-        /// exceeds capacity, every flow respects its cap, and the system
+        /// exceeds capacity, every flow respects its *effective* cap (the
+        /// floor dominates a contradictory lower cap), and the system
         /// always drains to empty.
         #[test]
         fn rates_respect_links_and_caps((caps, flow_specs) in arb_net_and_flows()) {
@@ -908,12 +1643,12 @@ mod proptests {
                         FlowOptions { floor, cap, weight: 1.0 },
                     )
                     .expect("valid flow");
-                flows.push((f, cap));
+                flows.push((f, floor.max(cap)));
             }
-            // Cap invariant.
-            for &(f, cap) in &flows {
+            // Effective-cap invariant.
+            for &(f, eff_cap) in &flows {
                 let r = net.flow_rate(f).expect("live");
-                prop_assert!(r <= cap + EPS_RATE, "rate {r} over cap {cap}");
+                prop_assert!(r <= eff_cap + EPS_RATE, "rate {r} over effective cap {eff_cap}");
             }
             // Link invariant — floors may legitimately oversubscribe only
             // when infeasible, and we scale them down, so usage ≤ capacity.

@@ -11,7 +11,10 @@
 //!   tie-breaking.
 //! * [`flownet`] — a flow-level network model: transfers are flows over link
 //!   paths, and bandwidth is shared with max-min fairness honouring per-flow
-//!   rate floors (SLO guarantees) and caps (rate limiting).
+//!   rate floors (SLO guarantees) and caps (rate limiting). Allocation is
+//!   incremental and scoped to contention components.
+//! * [`flownet_ref`] — the full-recompute reference allocator, kept as the
+//!   property-test oracle and benchmark baseline for [`flownet`].
 //! * [`stats`] — streaming percentiles, histograms and time series used by the
 //!   elastic-storage policies and the experiment harness.
 //! * [`rng`] — seeded deterministic random number helpers.
@@ -22,11 +25,13 @@
 
 pub mod engine;
 pub mod flownet;
+pub mod flownet_ref;
 pub mod params;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
 pub use engine::{Scheduler, Simulation};
-pub use flownet::{FlowId, FlowNet, FlowOptions, LinkId};
+pub use flownet::{FlowId, FlowNet, FlowNetError, FlowOptions, LinkId};
+pub use flownet_ref::ReferenceNet;
 pub use time::{SimDuration, SimTime};

@@ -96,6 +96,10 @@ impl TransferEngine {
         let mut nv_releases = Vec::new();
         let mut routes = Vec::new();
         let mut started = Vec::new();
+        // A multi-path plan starts all of its flows at the same instant;
+        // batching collapses the per-flow rate recomputes into one pass
+        // over the affected contention component.
+        net.begin_batch();
         for flow in &plan.flows {
             let fid = net
                 .start_flow(now, flow.links.clone(), flow.bytes, flow.opts)
@@ -110,6 +114,7 @@ impl TransferEngine {
             }
             started.push((fid, flow.route.clone()));
         }
+        net.commit_batch();
         self.active.insert(
             id,
             Active {

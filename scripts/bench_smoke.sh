@@ -1,0 +1,65 @@
+#!/bin/sh
+# Quick-turnaround benchmark smoke run.
+#
+# Runs the `bench_flownet` churn group with a reduced sample count, scrapes
+# the machine-readable CRITERION_JSON lines into BENCH_flownet.json, and
+# checks that the incremental allocator holds its speedup target (>= 5x at
+# 1024 concurrent flows) against the full-recompute reference.
+#
+# Usage: scripts/bench_smoke.sh [output.json]
+
+set -eu
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_flownet.json}"
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+cargo bench --bench flownet -- --sample-size 10 2>&1 | tee "$raw"
+
+grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk '
+    BEGIN { print "{"; print "  \"group\": \"bench_flownet\","; print "  \"results\": [" }
+    { lines[NR] = $0 }
+    END {
+        for (i = 1; i <= NR; i++)
+            printf "    %s%s\n", lines[i], (i < NR ? "," : "")
+        print "  ],"
+    }
+' > "$out.tmp"
+
+# Append the headline speedup (reference median / incremental median at
+# each population size) so the acceptance check is self-contained.
+grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk '
+    {
+        name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        med = $0; sub(/.*"median_ns":/, "", med); sub(/,.*/, "", med)
+        if (name ~ /^flownet_churn\//) { sub(/^flownet_churn\//, "", name); inc[name] = med }
+        else if (name ~ /^flownet_ref_churn\//) { sub(/^flownet_ref_churn\//, "", name); ref[name] = med }
+    }
+    END {
+        printf "  \"speedup\": {"
+        first = 1
+        for (k in inc) if (k in ref) {
+            printf "%s\"%s\": %.2f", (first ? "" : ", "), k, ref[k] / inc[k]
+            first = 0
+        }
+        print "}"
+        print "}"
+    }
+' >> "$out.tmp"
+mv "$out.tmp" "$out"
+
+echo "wrote $out"
+
+# Acceptance gate: >= 5x on the 1024-flow churn workload.
+speedup=$(sed -n 's/.*"1024": \([0-9.]*\).*/\1/p' "$out")
+if [ -z "$speedup" ]; then
+    echo "ERROR: no 1024-flow speedup in $out" >&2
+    exit 1
+fi
+ok=$(awk -v s="$speedup" 'BEGIN { print (s >= 5.0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "ERROR: 1024-flow churn speedup ${speedup}x is below the 5x target" >&2
+    exit 1
+fi
+echo "1024-flow churn speedup: ${speedup}x (target: >= 5x)"

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset used by this workspace's benches: `Criterion`,
+//! `Bencher::iter`, `black_box`, `criterion_group!` (named form) and
+//! `criterion_main!`. Each benchmark warms up briefly, picks an iteration
+//! count targeting ~5 ms per sample, then records `sample_size` samples.
+//!
+//! Results are printed human-readably plus one machine-readable line per
+//! benchmark (`CRITERION_JSON {...}`) that `scripts/bench_smoke.sh` scrapes
+//! into JSON artifacts.
+//!
+//! Recognised CLI arguments (others are ignored for `cargo bench`
+//! compatibility): `--sample-size N`, and a bare token as a name filter.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+static CLI: OnceLock<CliArgs> = OnceLock::new();
+
+#[derive(Default, Debug)]
+struct CliArgs {
+    sample_size: Option<usize>,
+    filter: Option<String>,
+}
+
+/// Parse and record CLI arguments; called by the `criterion_main!` entry
+/// point before any group runs.
+pub fn init_from_args() {
+    let mut parsed = CliArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--sample-size" => {
+                parsed.sample_size = args.next().and_then(|v| v.parse().ok());
+            }
+            "--bench" | "--test" | "--nocapture" => {}
+            s if s.starts_with("--") => {
+                // Unknown criterion flag (e.g. --noplot): skip, consuming a
+                // value if one follows that is not itself a flag.
+            }
+            s => parsed.filter = Some(s.to_string()),
+        }
+    }
+    let _ = CLI.set(parsed);
+}
+
+/// Benchmark driver. Mirrors criterion's builder-style configuration.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cli = CLI.get_or_init(CliArgs::default);
+        if let Some(filter) = &cli.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let samples = cli.sample_size.unwrap_or(self.sample_size).max(2);
+        let mut bencher = Bencher {
+            samples,
+            result: None,
+        };
+        f(&mut bencher);
+        match bencher.result {
+            Some(r) => r.report(name),
+            None => eprintln!("warning: bench {name} never called Bencher::iter"),
+        }
+        self
+    }
+}
+
+/// Passed to each benchmark closure; `iter` measures the hot loop.
+pub struct Bencher {
+    samples: usize,
+    result: Option<Measurement>,
+}
+
+struct Measurement {
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Measurement {
+    fn report(&self, name: &str) {
+        println!(
+            "bench: {name:<48} median {:>12} mean {:>12} min {:>12} ({} samples x {} iters)",
+            fmt_ns(self.median_ns),
+            fmt_ns(self.mean_ns),
+            fmt_ns(self.min_ns),
+            self.samples,
+            self.iters_per_sample,
+        );
+        println!(
+            "CRITERION_JSON {{\"name\":\"{name}\",\"median_ns\":{:.1},\"mean_ns\":{:.1},\"min_ns\":{:.1},\"samples\":{},\"iters_per_sample\":{}}}",
+            self.median_ns, self.mean_ns, self.min_ns, self.samples, self.iters_per_sample,
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+impl Bencher {
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warmup: estimate per-iteration cost over ~20 ms.
+        let warmup_start = Instant::now();
+        let mut warmup_iters: u64 = 0;
+        while warmup_start.elapsed().as_millis() < 20 || warmup_iters < 3 {
+            black_box(f());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        // Target ~5 ms per sample, capped to keep total runtime bounded.
+        let iters_per_sample = ((5e6 / est_ns.max(0.1)) as u64).clamp(1, 1_000_000);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let min_ns = samples_ns[0];
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.result = Some(Measurement {
+            mean_ns,
+            median_ns,
+            min_ns,
+            samples: samples_ns.len(),
+            iters_per_sample,
+        });
+    }
+}
+
+/// Named-form group definition, e.g.
+/// `criterion_group!(name = benches; config = Criterion::default(); targets = a, b)`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(name = $name; config = $crate::Criterion::default(); targets = $($target),+);
+    };
+}
+
+/// Generates `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $crate::init_from_args();
+            $($group();)+
+        }
+    };
+}
