@@ -54,7 +54,10 @@ pub fn leg_xnode(
     bytes: f64,
     cfg: &PlanConfig,
 ) -> OpLeg {
-    OpLeg::new(plan_cross_node(ctx.topo, ctx.net, src, dst, bytes, cfg), src.node)
+    OpLeg::new(
+        plan_cross_node(ctx.topo, ctx.net, src, dst, bytes, cfg),
+        src.node,
+    )
 }
 
 /// Host-to-host network leg.

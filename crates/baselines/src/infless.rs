@@ -60,7 +60,8 @@ impl DataPlane for InflessPlane {
             // Serialise the device tensor, pin a staging buffer (allocated
             // per transfer — no shared ring), then stage it down over the
             // producer's own PCIe link only.
-            control = control + common::serialize_latency(bytes) + grouter_sim::params::PINNED_ALLOC;
+            control =
+                control + common::serialize_latency(bytes) + grouter_sim::params::PINNED_ALLOC;
             legs.push(common::leg_d2h(ctx, g, bytes, &self.cfg));
         }
         Ok(PutOp {

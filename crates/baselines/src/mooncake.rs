@@ -77,13 +77,9 @@ impl DataPlane for MooncakePlane {
                         (grant.latency, legs)
                     }
                     Err(AllocError::TooLarge) => {
-                        let (id, lookup) = ctx.store.put(
-                            ctx.now,
-                            token,
-                            Location::Host(g.node),
-                            bytes,
-                            consumers,
-                        );
+                        let (id, lookup) =
+                            ctx.store
+                                .put(ctx.now, token, Location::Host(g.node), bytes, consumers);
                         return Ok(PutOp {
                             id,
                             op: DataOp {
@@ -110,9 +106,9 @@ impl DataPlane for MooncakePlane {
                 })
             }
             Destination::Host(n) => {
-                let (id, lookup) = ctx
-                    .store
-                    .put(ctx.now, token, Location::Host(n), bytes, consumers);
+                let (id, lookup) =
+                    ctx.store
+                        .put(ctx.now, token, Location::Host(n), bytes, consumers);
                 Ok(PutOp {
                     id,
                     op: DataOp::control_only(lookup),
@@ -246,7 +242,9 @@ mod tests {
                 .map(|_| ElasticPool::new(PoolDiscipline::Elastic, topo.gpu_mem_bytes()))
                 .collect();
             let scalers = (0..topo.num_gpus()).map(|_| PrewarmScaler::new()).collect();
-            let ledgers = (0..nodes).map(|_| PathLedger::from_topology(&topo)).collect();
+            let ledgers = (0..nodes)
+                .map(|_| PathLedger::from_topology(&topo))
+                .collect();
             let pinned = (0..nodes)
                 .map(|_| PinnedRing::new(grouter_sim::params::PINNED_RING_BYTES))
                 .collect();
@@ -322,10 +320,20 @@ mod tests {
             )
             .unwrap();
         let g1 = plane1
-            .get(&mut fx.ctx(), token(), put.id, Destination::Gpu(GpuRef::new(1, 3)))
+            .get(
+                &mut fx.ctx(),
+                token(),
+                put.id,
+                Destination::Gpu(GpuRef::new(1, 3)),
+            )
             .unwrap();
         let g8 = plane8
-            .get(&mut fx.ctx(), token(), put.id, Destination::Gpu(GpuRef::new(1, 3)))
+            .get(
+                &mut fx.ctx(),
+                token(),
+                put.id,
+                Destination::Gpu(GpuRef::new(1, 3)),
+            )
             .unwrap();
         let flows1 = g1.legs[0].plan.flows.len();
         let flows8 = g8.legs[0].plan.flows.len();

@@ -92,13 +92,9 @@ impl DataPlane for NvshmemPlane {
                     }
                     Err(AllocError::TooLarge) => {
                         // Spill to host memory.
-                        let (id, lookup) = ctx.store.put(
-                            ctx.now,
-                            token,
-                            Location::Host(g.node),
-                            bytes,
-                            consumers,
-                        );
+                        let (id, lookup) =
+                            ctx.store
+                                .put(ctx.now, token, Location::Host(g.node), bytes, consumers);
                         return Ok(PutOp {
                             id,
                             op: DataOp {
@@ -126,9 +122,9 @@ impl DataPlane for NvshmemPlane {
                 })
             }
             Destination::Host(n) => {
-                let (id, lookup) = ctx
-                    .store
-                    .put(ctx.now, token, Location::Host(n), bytes, consumers);
+                let (id, lookup) =
+                    ctx.store
+                        .put(ctx.now, token, Location::Host(n), bytes, consumers);
                 Ok(PutOp {
                     id,
                     op: DataOp::control_only(lookup),
@@ -283,7 +279,9 @@ mod tests {
                 .map(|_| ElasticPool::new(PoolDiscipline::Elastic, topo.gpu_mem_bytes()))
                 .collect();
             let scalers = (0..topo.num_gpus()).map(|_| PrewarmScaler::new()).collect();
-            let ledgers = (0..nodes).map(|_| PathLedger::from_topology(&topo)).collect();
+            let ledgers = (0..nodes)
+                .map(|_| PathLedger::from_topology(&topo))
+                .collect();
             let pinned = (0..nodes)
                 .map(|_| PinnedRing::new(grouter_sim::params::PINNED_RING_BYTES))
                 .collect();
@@ -339,7 +337,9 @@ mod tests {
                 )
                 .unwrap();
             let loc = fx.store.peek(put.id).unwrap().location;
-            let Location::Gpu(g) = loc else { panic!("GPU store") };
+            let Location::Gpu(g) = loc else {
+                panic!("GPU store")
+            };
             assert_eq!(g.node, 0);
             seen.insert(g.gpu);
         }
@@ -418,7 +418,12 @@ mod tests {
             workflow: WorkflowId(99),
         };
         let err = plane
-            .get(&mut fx.ctx(), intruder, put.id, Destination::Gpu(GpuRef::new(0, 1)))
+            .get(
+                &mut fx.ctx(),
+                intruder,
+                put.id,
+                Destination::Gpu(GpuRef::new(0, 1)),
+            )
             .unwrap_err();
         assert!(matches!(err, StoreError::AccessDenied { .. }));
     }

@@ -66,7 +66,12 @@ fn bench_incremental(c: &mut Criterion, flows: usize) {
     let mut live = VecDeque::with_capacity(flows);
     for i in 0..flows {
         let f = net
-            .start_flow(SimTime::ZERO, pool[i % pool.len()].clone(), CHUNK_BYTES, flow_opts(i))
+            .start_flow(
+                SimTime::ZERO,
+                pool[i % pool.len()].clone(),
+                CHUNK_BYTES,
+                flow_opts(i),
+            )
             .expect("valid path");
         live.push_back(f);
     }
@@ -105,7 +110,12 @@ fn bench_reference(c: &mut Criterion, flows: usize) {
     let mut live = VecDeque::with_capacity(flows);
     for i in 0..flows {
         let f = net
-            .start_flow(SimTime::ZERO, pool[i % pool.len()].clone(), CHUNK_BYTES, flow_opts(i))
+            .start_flow(
+                SimTime::ZERO,
+                pool[i % pool.len()].clone(),
+                CHUNK_BYTES,
+                flow_opts(i),
+            )
             .expect("valid path");
         live.push_back(f);
     }

@@ -1,0 +1,219 @@
+//! `bench_paths` — Algorithm 1 selection cost, cached vs uncached.
+//!
+//! Each case runs the same contention-aware parallel-path selection
+//! (§4.3.3) on one of the paper's testbeds — the DGX-V100 hybrid cube mesh
+//! or the DGX-A100 NVSwitch — with the matrix either fully idle or under a
+//! fixed background load. `paths_uncached/*` is the seed selector
+//! (`select_parallel_paths`), which re-runs the loop-free DFS on every
+//! call; `paths_cached/*` is the epoch-versioned [`PathSelector`], which
+//! enumerates once and then only re-checks residual bandwidth. Selections
+//! are released inside the loop so the matrix never saturates and every
+//! iteration measures the same state.
+//!
+//! `scripts/bench_smoke.sh` scrapes the emitted JSON lines into
+//! `BENCH_paths.json` and gates the contended-V100 speedup.
+//!
+//! The last bench is end-to-end: a `GrouterPlane` put/get churn trace
+//! through the full runtime, covering the path cache in situ (warm clone
+//! per node, ledger reserve/release, rebalance probes).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+use grouter::sim::FlowNet;
+use grouter::topology::paths::select_parallel_paths;
+use grouter::topology::{presets, BwMatrix, PathSelector, Topology};
+use grouter_bench::harness::{hop_spec, run_trace, PlaneKind, MB};
+use grouter_workloads::azure::ArrivalPattern;
+
+/// Background load applied to the matrix before the selection loop.
+#[derive(Clone, Copy, PartialEq)]
+enum Load {
+    /// No background traffic.
+    Idle,
+    /// Direct link saturated, detour legs half-loaded: phase 1 finds no
+    /// idle path and phase 2 shares the residuals ("bandwidth balancing").
+    Shared,
+    /// The source's outgoing NVLink bandwidth is fully consumed by
+    /// concurrent functions. Algorithm 1's stop condition answers this in
+    /// O(1) — but the seed selector still pays the full DFS + sort to find
+    /// that out, which is exactly the probe-storm regime (selection
+    /// retries, rebalance probes) the cache exists for.
+    Saturated,
+}
+
+/// One selection case: testbed, background load, and Algorithm 1 inputs.
+struct Case {
+    name: &'static str,
+    v100: bool,
+    load: Load,
+    max_hops: usize,
+    max_paths: usize,
+}
+
+const CASES: [Case; 5] = [
+    Case {
+        name: "v100_idle",
+        v100: true,
+        load: Load::Idle,
+        max_hops: 3,
+        max_paths: 4,
+    },
+    Case {
+        name: "v100_shared",
+        v100: true,
+        load: Load::Shared,
+        max_hops: 3,
+        max_paths: 4,
+    },
+    Case {
+        name: "v100_contended",
+        v100: true,
+        load: Load::Saturated,
+        max_hops: 3,
+        max_paths: 4,
+    },
+    Case {
+        name: "a100_idle",
+        v100: false,
+        load: Load::Idle,
+        max_hops: 1,
+        max_paths: 4,
+    },
+    Case {
+        name: "a100_contended",
+        v100: false,
+        load: Load::Saturated,
+        max_hops: 1,
+        max_paths: 4,
+    },
+];
+
+const SRC: usize = 0;
+const DST: usize = 1;
+
+fn build_matrix(v100: bool) -> BwMatrix {
+    let mut net = FlowNet::new();
+    let spec = if v100 {
+        presets::dgx_v100()
+    } else {
+        presets::dgx_a100()
+    };
+    let topo = Topology::build(spec, 1, &mut net);
+    BwMatrix::from_topology(&topo)
+}
+
+/// Apply the case's background load to the matrix.
+fn contend(bw: &mut BwMatrix, load: Load) {
+    match load {
+        Load::Idle => {}
+        Load::Shared => {
+            // Saturate the direct link, half-load the 1-hop detour legs:
+            // phase 1 finds no fully idle path and the selector walks deep
+            // into the candidate set sharing residuals.
+            let direct = bw.capacity(SRC, DST);
+            if direct > 0.0 {
+                bw.occupy_path(&[SRC, DST], direct);
+            }
+            for mid in 0..bw.len() {
+                if mid == SRC || mid == DST {
+                    continue;
+                }
+                for &(a, b) in &[(SRC, mid), (mid, DST)] {
+                    let c = bw.capacity(a, b);
+                    if c > 0.0 && bw.residual(a, b) >= 0.5 * c {
+                        bw.occupy_path(&[a, b], 0.5 * c);
+                    }
+                }
+            }
+        }
+        Load::Saturated => {
+            // Concurrent functions own every outgoing link of the source.
+            for b in 0..bw.len() {
+                let r = bw.residual(SRC, b);
+                if r > 0.0 {
+                    bw.occupy_path(&[SRC, b], r);
+                }
+            }
+        }
+    }
+}
+
+/// Seed selector: full loop-free DFS re-run on every selection.
+fn bench_uncached(c: &mut Criterion, case: &Case) {
+    let mut bwm = build_matrix(case.v100);
+    contend(&mut bwm, case.load);
+    c.bench_function(&format!("paths_uncached/{}", case.name), |b| {
+        b.iter(|| {
+            let sel = select_parallel_paths(
+                &mut bwm,
+                black_box(SRC),
+                black_box(DST),
+                case.max_hops,
+                case.max_paths,
+            );
+            for p in &sel.paths {
+                bwm.release_path(&p.gpus, p.rate);
+            }
+            black_box(sel.total_rate())
+        })
+    });
+}
+
+/// Cached selector: warmed path cache, scratch selection, recycled
+/// route buffers — the steady state has no DFS and no allocation.
+fn bench_cached(c: &mut Criterion, case: &Case) {
+    let mut sel = PathSelector::new(build_matrix(case.v100));
+    contend(sel.bwm_mut(), case.load);
+    sel.warm(case.max_hops);
+    c.bench_function(&format!("paths_cached/{}", case.name), |b| {
+        b.iter(|| {
+            let rate = sel
+                .select(
+                    black_box(SRC),
+                    black_box(DST),
+                    case.max_hops,
+                    case.max_paths,
+                )
+                .total_rate();
+            sel.release_last();
+            black_box(rate)
+        })
+    });
+}
+
+/// End-to-end: GROUTER's data plane under a short put/get churn trace on
+/// one V100 node — every hop reserves and releases NVLink paths through
+/// the warmed per-node ledger.
+fn bench_plane_churn(c: &mut Criterion) {
+    let spec = hop_spec(64.0 * MB, 1);
+    c.bench_function("grouter_plane_churn/putget", |b| {
+        b.iter(|| {
+            let m = run_trace(
+                presets::dgx_v100(),
+                1,
+                PlaneKind::Grouter,
+                std::slice::from_ref(&spec),
+                ArrivalPattern::Sporadic,
+                20.0,
+                2,
+                black_box(7),
+            );
+            black_box(m.completed())
+        })
+    });
+}
+
+fn all(c: &mut Criterion) {
+    for case in &CASES {
+        bench_uncached(c, case);
+        bench_cached(c, case);
+    }
+    bench_plane_churn(c);
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = all
+);
+criterion_main!(benches);

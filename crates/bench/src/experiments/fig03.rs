@@ -15,7 +15,9 @@ pub fn run() -> String {
         "Fig. 3 — host-centric (INFless+) latency breakdown on DGX-V100\n\n(a) per workflow, batch 8, sporadic trace\n",
     );
     let mut table = Table::new(
-        &["workflow", "compute", "gFn-gFn", "gFn-host", "cFn-cFn", "passing%"],
+        &[
+            "workflow", "compute", "gFn-gFn", "gFn-host", "cFn-cFn", "passing%",
+        ],
         &[10, 9, 9, 9, 9, 9],
     );
     let params = WorkloadParams {
@@ -31,7 +33,7 @@ pub fn run() -> String {
             presets::dgx_v100(),
             1,
             PlaneKind::Infless,
-            &[spec.clone()],
+            std::slice::from_ref(&spec),
             ArrivalPattern::Sporadic,
             2.0,
             10,

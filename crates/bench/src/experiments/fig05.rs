@@ -5,15 +5,14 @@
 //! DeepPlan-style shared parallel PCIe (NVSHMEM+ w/ DeepPlan in the paper).
 //! Co-running inflates driving's gFn–host latency severely (paper: 3.65×).
 
-
 use crate::harness::{fmt_ms, PlaneKind, Table};
-use grouter::GrouterConfig;
 use grouter::runtime::metrics::PassCategory;
 use grouter::runtime::world::RuntimeConfig;
 use grouter::runtime::Runtime;
 use grouter::sim::rng::DetRng;
 use grouter::sim::time::SimDuration;
 use grouter::topology::presets;
+use grouter::GrouterConfig;
 use grouter_workloads::apps::{driving, video, WorkloadParams};
 use grouter_workloads::azure::{generate_trace, ArrivalPattern};
 use grouter_workloads::models::GpuClass;
@@ -30,18 +29,32 @@ fn gfn_host_mean(plane: PlaneKind, with_video: bool, single_path: bool) -> (f64,
         gpu: GpuClass::V100,
     };
     let _ = single_path;
-    let mut rt = Runtime::new(presets::dgx_v100(), 1, plane.build(3), RuntimeConfig::default());
+    let mut rt = Runtime::new(
+        presets::dgx_v100(),
+        1,
+        plane.build(3),
+        RuntimeConfig::default(),
+    );
     let mut rng = DetRng::new(17);
     let d = driving(params);
     let mut sub = rng.fork(0);
-    for t in generate_trace(ArrivalPattern::Bursty, 8.0, SimDuration::from_secs(10), &mut sub) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        8.0,
+        SimDuration::from_secs(10),
+        &mut sub,
+    ) {
         rt.submit(d.clone(), t);
     }
     if with_video {
         let v = video(video_params);
         let mut sub = rng.fork(1);
-        for t in generate_trace(ArrivalPattern::Bursty, 20.0, SimDuration::from_secs(10), &mut sub)
-        {
+        for t in generate_trace(
+            ArrivalPattern::Bursty,
+            20.0,
+            SimDuration::from_secs(10),
+            &mut sub,
+        ) {
             rt.submit(v.clone(), t);
         }
     }
@@ -70,9 +83,8 @@ fn gfn_host_mean(plane: PlaneKind, with_video: bool, single_path: bool) -> (f64,
 }
 
 pub fn run() -> String {
-    let mut out = String::from(
-        "Fig. 5(b) — gFn-host latency: running alone vs co-located (DGX-V100)\n\n",
-    );
+    let mut out =
+        String::from("Fig. 5(b) — gFn-host latency: running alone vs co-located (DGX-V100)\n\n");
     let mut table = Table::new(
         &["config", "driving gFn-host", "video gFn-host"],
         &[30, 17, 15],

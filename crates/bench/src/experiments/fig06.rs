@@ -2,10 +2,9 @@
 //! DGX-V100 server: 48 GB/s (double NVLink), 24 GB/s (single), and
 //! PCIe-limited pairs without a direct NVLink.
 
-use grouter::sim::{FlowNet, FlowOptions};
 use grouter::sim::time::SimTime;
+use grouter::sim::{FlowNet, FlowOptions};
 use grouter::topology::{presets, Topology};
-
 
 use crate::harness::Table;
 

@@ -16,7 +16,8 @@ use grouter_workloads::models::GpuClass;
 const GIB: f64 = 1024.0 * 1024.0 * 1024.0;
 
 pub fn run() -> String {
-    let mut out = String::from("Fig. 7(a) — idle GPU memory under a bursty trace (driving, DGX-V100)\n\n");
+    let mut out =
+        String::from("Fig. 7(a) — idle GPU memory under a bursty trace (driving, DGX-V100)\n\n");
     let params = WorkloadParams {
         batch: 8,
         gpu: GpuClass::V100,
@@ -30,7 +31,12 @@ pub fn run() -> String {
     let mut rt = Runtime::new(presets::dgx_v100(), 1, PlaneKind::Grouter.build(1), cfg);
     rt.schedule_memory_samples(SimDuration::from_millis(250), SimTime(15_000_000_000));
     let mut rng = DetRng::new(21);
-    for t in generate_trace(ArrivalPattern::Bursty, 20.0, SimDuration::from_secs(15), &mut rng) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        20.0,
+        SimDuration::from_secs(15),
+        &mut rng,
+    ) {
         rt.submit(spec.clone(), t);
     }
     rt.run();
@@ -41,7 +47,10 @@ pub fn run() -> String {
     for k in (0..n).step_by((n / 15).max(1)) {
         let t = series[0].points()[k].0;
         let total: f64 = series.iter().map(|s| s.points()[k].1).sum();
-        table.row(&[format!("{:.2}", t.as_secs_f64()), format!("{:.1}", total / GIB)]);
+        table.row(&[
+            format!("{:.2}", t.as_secs_f64()),
+            format!("{:.1}", total / GIB),
+        ]);
     }
     out.push_str(&table.finish());
     let min: f64 = (0..n)
@@ -87,7 +96,12 @@ fn pressure_run(spec: Arc<grouter::runtime::spec::WorkflowSpec>, avail: f64) -> 
         rt.world_mut().pools[idx].set_runtime_used(cap * (1.0 - avail));
     }
     let mut rng = DetRng::new(23);
-    for t in generate_trace(ArrivalPattern::Bursty, 25.0, SimDuration::from_secs(10), &mut rng) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        25.0,
+        SimDuration::from_secs(10),
+        &mut rng,
+    ) {
         rt.submit(spec.clone(), t);
     }
     rt.run();

@@ -10,16 +10,18 @@ use grouter::topology::{presets, GpuRef};
 
 const SIZES: [f64; 5] = [16.0 * MB, 64.0 * MB, 128.0 * MB, 256.0 * MB, 512.0 * MB];
 
-fn section(
-    out: &mut String,
-    title: &str,
-    paper: &str,
-    probe: impl Fn(PlaneKind, f64, u64) -> f64,
-) {
+fn section(out: &mut String, title: &str, paper: &str, probe: impl Fn(PlaneKind, f64, u64) -> f64) {
     out.push_str(title);
     out.push('\n');
     let mut table = Table::new(
-        &["size (MB)", "INFless+", "NVSHMEM+", "DeepPlan+", "GROUTER", "vs best base"],
+        &[
+            "size (MB)",
+            "INFless+",
+            "NVSHMEM+",
+            "DeepPlan+",
+            "GROUTER",
+            "vs best base",
+        ],
         &[9, 10, 10, 10, 10, 12],
     );
     let mut last_reduction = String::new();
@@ -28,9 +30,7 @@ fn section(
         let seeds = [1u64, 2, 3, 4, 5, 6, 7, 8];
         let ms: Vec<f64> = PlaneKind::MAIN
             .iter()
-            .map(|&p| {
-                seeds.iter().map(|&sd| probe(p, size, sd)).sum::<f64>() / seeds.len() as f64
-            })
+            .map(|&p| seeds.iter().map(|&sd| probe(p, size, sd)).sum::<f64>() / seeds.len() as f64)
             .collect();
         let best_base = ms[0].min(ms[1]).min(ms[2]);
         last_reduction = pct_reduction(best_base, ms[3]);
@@ -44,7 +44,9 @@ fn section(
         ]);
     }
     out.push_str(&table.finish());
-    out.push_str(&format!("paper: {paper}; measured at 512 MB: {last_reduction} vs best baseline\n\n"));
+    out.push_str(&format!(
+        "paper: {paper}; measured at 512 MB: {last_reduction} vs best baseline\n\n"
+    ));
 }
 
 pub fn run() -> String {
@@ -54,7 +56,17 @@ pub fn run() -> String {
         &mut out,
         "(a) intra-node gFn-gFn (GPU0 -> GPU1, weak NVLink pair)",
         "GROUTER -95%/-75%/-75%",
-        |p, size, sd| gfn_hop_ms(presets::dgx_v100(), 1, p, GpuRef::new(0, 0), GpuRef::new(0, 1), size, sd),
+        |p, size, sd| {
+            gfn_hop_ms(
+                presets::dgx_v100(),
+                1,
+                p,
+                GpuRef::new(0, 0),
+                GpuRef::new(0, 1),
+                size,
+                sd,
+            )
+        },
     );
 
     section(

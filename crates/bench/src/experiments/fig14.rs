@@ -10,17 +10,26 @@ use grouter::runtime::world::RuntimeConfig;
 use grouter::runtime::Runtime;
 use grouter::sim::rng::DetRng;
 use grouter::sim::time::SimDuration;
-use grouter_workloads::azure::generate_trace;
 use grouter::topology::graph::TopologySpec;
 use grouter::topology::presets;
 use grouter_workloads::apps::{suite, WorkloadParams};
+use grouter_workloads::azure::generate_trace;
 use grouter_workloads::azure::ArrivalPattern;
 use grouter_workloads::models::GpuClass;
 
 fn testbed(out: &mut String, name: &str, topo: TopologySpec, gpu: GpuClass) {
-    out.push_str(&format!("{name}, bursty Azure-style trace, P99 latency (ms)\n"));
+    out.push_str(&format!(
+        "{name}, bursty Azure-style trace, P99 latency (ms)\n"
+    ));
     let mut table = Table::new(
-        &["workflow", "INFless+", "NVSHMEM+", "DeepPlan+", "GROUTER", "vs INFless+"],
+        &[
+            "workflow",
+            "INFless+",
+            "NVSHMEM+",
+            "DeepPlan+",
+            "GROUTER",
+            "vs INFless+",
+        ],
         &[10, 10, 10, 10, 10, 11],
     );
     let params = WorkloadParams { batch: 8, gpu };
@@ -60,7 +69,12 @@ fn run_pressured(
         rt.world_mut().pools[idx].set_runtime_used(cap * 0.7);
     }
     let mut rng = DetRng::new(31);
-    for t in generate_trace(ArrivalPattern::Bursty, 6.0, SimDuration::from_secs(12), &mut rng) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        6.0,
+        SimDuration::from_secs(12),
+        &mut rng,
+    ) {
         rt.submit(spec.clone(), t);
     }
     rt.run();
@@ -69,9 +83,19 @@ fn run_pressured(
 
 pub fn run() -> String {
     let mut out = String::from("Fig. 14 — end-to-end P99 latency under real-world workloads\n\n");
-    testbed(&mut out, "(a) DGX-V100", presets::dgx_v100(), GpuClass::V100);
+    testbed(
+        &mut out,
+        "(a) DGX-V100",
+        presets::dgx_v100(),
+        GpuClass::V100,
+    );
     out.push_str("paper (V100): -61% / -48% / -54%\n\n");
-    testbed(&mut out, "(b) DGX-A100", presets::dgx_a100(), GpuClass::A100);
+    testbed(
+        &mut out,
+        "(b) DGX-A100",
+        presets::dgx_a100(),
+        GpuClass::A100,
+    );
     out.push_str("paper (A100): -53% / -36% / -30%\n");
 
     // The paper drives Fig. 14 with "different production workloads": the

@@ -9,20 +9,36 @@ use grouter_workloads::apps::{driving, traffic, video, WorkloadParams};
 use grouter_workloads::models::GpuClass;
 
 pub fn run() -> String {
-    let mut out = String::from("Fig. 15 — maximum throughput (req/s) within SLO (1.5x solo latency)\n\n");
+    let mut out =
+        String::from("Fig. 15 — maximum throughput (req/s) within SLO (1.5x solo latency)\n\n");
     let params = WorkloadParams {
         batch: 8,
         gpu: GpuClass::V100,
     };
     let specs = [traffic(params), driving(params), video(params)];
     for (nodes, title, paper) in [
-        (1usize, "(a) functions co-located within one node", "2.1x / 1.74x / 1.37x"),
-        (2usize, "(b) functions distributed across two nodes", "2.73x / 1.55x / 1.39x"),
+        (
+            1usize,
+            "(a) functions co-located within one node",
+            "2.1x / 1.74x / 1.37x",
+        ),
+        (
+            2usize,
+            "(b) functions distributed across two nodes",
+            "2.73x / 1.55x / 1.39x",
+        ),
     ] {
         out.push_str(title);
         out.push('\n');
         let mut table = Table::new(
-            &["workflow", "INFless+", "NVSHMEM+", "DeepPlan+", "GROUTER", "vs INFless+"],
+            &[
+                "workflow",
+                "INFless+",
+                "NVSHMEM+",
+                "DeepPlan+",
+                "GROUTER",
+                "vs INFless+",
+            ],
             &[10, 10, 10, 10, 10, 11],
         );
         let mut ratio_sum = [0.0f64; 3];

@@ -40,11 +40,7 @@ fn testbed(out: &mut String, name: &str, topo: TopologySpec, gpu: GpuClass, pape
         if label == "GROUTER" {
             full = m;
         }
-        table.row(&[
-            label.to_string(),
-            fmt_ms(m),
-            format!("{:.2}x", m / full),
-        ]);
+        table.row(&[label.to_string(), fmt_ms(m), format!("{:.2}x", m / full)]);
     }
     out.push_str(&table.finish());
     out.push_str(&format!("paper: fully ablated = {paper}\n\n"));
@@ -74,7 +70,12 @@ fn run_with_pressure(
     let mut rng = DetRng::new(41);
     for (k, spec) in specs.iter().enumerate() {
         let mut sub = rng.fork(k as u64);
-        for t in generate_trace(ArrivalPattern::Bursty, 3.0, SimDuration::from_secs(10), &mut sub) {
+        for t in generate_trace(
+            ArrivalPattern::Bursty,
+            3.0,
+            SimDuration::from_secs(10),
+            &mut sub,
+        ) {
             rt.submit(spec.clone(), t);
         }
     }

@@ -39,11 +39,21 @@ fn corun(cfg: GrouterConfig, other: &Arc<WorkflowSpec>, d: &Arc<WorkflowSpec>) -
         );
         let mut rng = DetRng::new(seed);
         let mut sub = rng.fork(0);
-        for t in generate_trace(ArrivalPattern::Bursty, 8.0, SimDuration::from_secs(12), &mut sub) {
+        for t in generate_trace(
+            ArrivalPattern::Bursty,
+            8.0,
+            SimDuration::from_secs(12),
+            &mut sub,
+        ) {
             rt.submit(d.clone(), t);
         }
         let mut sub = rng.fork(1);
-        for t in generate_trace(ArrivalPattern::Bursty, 8.0, SimDuration::from_secs(12), &mut sub) {
+        for t in generate_trace(
+            ArrivalPattern::Bursty,
+            8.0,
+            SimDuration::from_secs(12),
+            &mut sub,
+        ) {
             rt.submit(other.clone(), t);
         }
         rt.run();

@@ -75,7 +75,12 @@ fn run_at(plane: PlaneKind, avail: f64) -> Metrics {
         rt.world_mut().pools[idx].set_runtime_used(cap * (1.0 - avail));
     }
     let mut rng = DetRng::new(99);
-    for t in generate_trace(ArrivalPattern::Bursty, 22.0, SimDuration::from_secs(12), &mut rng) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        22.0,
+        SimDuration::from_secs(12),
+        &mut rng,
+    ) {
         rt.submit(chain(), t);
     }
     rt.run();
@@ -106,7 +111,10 @@ pub fn run() -> String {
     out.push_str(&table.finish());
     // The paper plots (a) as a latency CDF; print the distribution tails.
     out.push_str("\nlatency CDF at 10% available memory (ms at P25/P50/P75/P90/P99):\n");
-    let mut cdf_table = Table::new(&["system", "p25", "p50", "p75", "p90", "p99"], &[10, 9, 9, 9, 9, 9]);
+    let mut cdf_table = Table::new(
+        &["system", "p25", "p50", "p75", "p90", "p99"],
+        &[10, 9, 9, 9, 9, 9],
+    );
     for (label, plane) in variants() {
         let m = run_at(plane, 0.10);
         let lat = m.latency_ms(None);

@@ -95,7 +95,14 @@ pub fn run() -> String {
 
     out.push_str("(b) vs model and tensor parallelism (4K tokens)\n");
     let mut table = Table::new(
-        &["model", "TP", "INFless+", "Mooncake+", "GROUTER", "vs Mooncake+"],
+        &[
+            "model",
+            "TP",
+            "INFless+",
+            "Mooncake+",
+            "GROUTER",
+            "vs Mooncake+",
+        ],
         &[6, 3, 10, 10, 10, 12],
     );
     for model in LlmModel::ALL {
@@ -120,8 +127,13 @@ pub fn run() -> String {
     // end-to-end ("different stages are deployed on separate 8xH800 GPU
     // nodes"). Each layer's agents fan into the next; every edge carries a
     // 2K-token 7B KV cache.
-    out.push_str("\n(c) full 3-layer x 3-agent MoA workflow, agents spread over 2 nodes, e2e latency (ms)\n");
-    let mut table = Table::new(&["plane", "mean", "p99", "gFn-gFn pass (ms)"], &[10, 9, 9, 18]);
+    out.push_str(
+        "\n(c) full 3-layer x 3-agent MoA workflow, agents spread over 2 nodes, e2e latency (ms)\n",
+    );
+    let mut table = Table::new(
+        &["plane", "mean", "p99", "gFn-gFn pass (ms)"],
+        &[10, 9, 9, 18],
+    );
     let spec = moa(
         grouter_workloads::apps::WorkloadParams {
             batch: 1,
@@ -131,7 +143,11 @@ pub fn run() -> String {
         3,
         LlmModel::Llama7B.kv_bytes(2048),
     );
-    for plane in [PlaneKind::Infless, PlaneKind::Mooncake(1), PlaneKind::Grouter] {
+    for plane in [
+        PlaneKind::Infless,
+        PlaneKind::Mooncake(1),
+        PlaneKind::Grouter,
+    ] {
         use grouter::runtime::placement::PlacementPolicy;
         let cfg = RuntimeConfig {
             placement: PlacementPolicy::RoundRobin,

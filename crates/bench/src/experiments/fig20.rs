@@ -20,7 +20,14 @@ use grouter_workloads::models::GpuClass;
 pub fn run() -> String {
     let mut out = String::from("Fig. 20 — applicability and system overhead\n\n(a) gFn-gFn data passing on 4xA10 (no NVLink), GPU0 -> GPU1\n");
     let mut table = Table::new(
-        &["size (MB)", "INFless+", "NVSHMEM+", "DeepPlan+", "GROUTER", "vs best base"],
+        &[
+            "size (MB)",
+            "INFless+",
+            "NVSHMEM+",
+            "DeepPlan+",
+            "GROUTER",
+            "vs best base",
+        ],
         &[9, 10, 10, 10, 10, 12],
     );
     for size in [64.0 * MB, 128.0 * MB, 256.0 * MB, 512.0 * MB] {
@@ -31,7 +38,15 @@ pub fn run() -> String {
                 seeds
                     .iter()
                     .map(|&sd| {
-                        gfn_hop_ms(presets::a10x4(), 1, p, GpuRef::new(0, 0), GpuRef::new(0, 1), size, sd)
+                        gfn_hop_ms(
+                            presets::a10x4(),
+                            1,
+                            p,
+                            GpuRef::new(0, 0),
+                            GpuRef::new(0, 1),
+                            size,
+                            sd,
+                        )
                     })
                     .sum::<f64>()
                     / seeds.len() as f64
@@ -56,7 +71,12 @@ pub fn run() -> String {
         gpu: GpuClass::V100,
     };
     let mut table = Table::new(
-        &["plane", "local lookups/req", "global lookups/req", "pin events/req"],
+        &[
+            "plane",
+            "local lookups/req",
+            "global lookups/req",
+            "pin events/req",
+        ],
         &[10, 18, 18, 15],
     );
     for plane in [PlaneKind::Infless, PlaneKind::Grouter] {
@@ -80,8 +100,12 @@ pub fn run() -> String {
         );
         let mut rng = DetRng::new(3);
         let spec = driving(params);
-        for t in generate_trace(ArrivalPattern::Sporadic, 5.0, SimDuration::from_secs(10), &mut rng)
-        {
+        for t in generate_trace(
+            ArrivalPattern::Sporadic,
+            5.0,
+            SimDuration::from_secs(10),
+            &mut rng,
+        ) {
             rt.submit(spec.clone(), t);
         }
         rt.run();
@@ -93,11 +117,7 @@ pub fn run() -> String {
             PlaneKind::Infless => {
                 // Modelled as control latency, not ring events: count host
                 // legs = 2 gFn-host transfers per gFn stage (put + get).
-                let gfn_hops: usize = m
-                    .records()
-                    .iter()
-                    .map(|r| r.op_durations.len())
-                    .sum();
+                let gfn_hops: usize = m.records().iter().map(|r| r.op_durations.len()).sum();
                 gfn_hops as u64
             }
             _ => rt.world().pinned.iter().map(|r| r.pin_events()).sum(),
@@ -113,15 +133,25 @@ pub fn run() -> String {
     out.push_str(&table.finish());
     out.push_str("paper: GROUTER's CPU usage is on par with INFless+; the shared pinned ring\nremoves per-transfer pinning (§4.3.2)\n\n");
 
-    out.push_str("(c) GPU memory overhead: peak storage reservation vs peak demand (driving, bursty)\n");
+    out.push_str(
+        "(c) GPU memory overhead: peak storage reservation vs peak demand (driving, bursty)\n",
+    );
     let mut table = Table::new(
-        &["discipline", "peak reserved (MB)", "peak used (MB)", "overhead"],
+        &[
+            "discipline",
+            "peak reserved (MB)",
+            "peak used (MB)",
+            "overhead",
+        ],
         &[22, 18, 15, 9],
     );
     for (label, discipline) in [
         ("GROUTER elastic", PoolDiscipline::Elastic),
         ("static pool", PoolDiscipline::Static { bytes: 4e9 }),
-        ("NVSHMEM symmetric", PoolDiscipline::Symmetric { bytes: 4e9 }),
+        (
+            "NVSHMEM symmetric",
+            PoolDiscipline::Symmetric { bytes: 4e9 },
+        ),
     ] {
         let cfg = RuntimeConfig {
             pool_discipline: discipline,
@@ -130,8 +160,12 @@ pub fn run() -> String {
         let mut rt = Runtime::new(presets::dgx_v100(), 1, PlaneKind::Grouter.build(3), cfg);
         let mut rng = DetRng::new(77);
         let spec = driving(params);
-        for t in generate_trace(ArrivalPattern::Bursty, 15.0, SimDuration::from_secs(10), &mut rng)
-        {
+        for t in generate_trace(
+            ArrivalPattern::Bursty,
+            15.0,
+            SimDuration::from_secs(10),
+            &mut rng,
+        ) {
             rt.submit(spec.clone(), t);
         }
         rt.run();

@@ -26,7 +26,14 @@ pub fn run() -> String {
         "Scalability — weak scaling of the traffic workflow on DGX-V100 clusters\n(load grows with the cluster: 6 req/s per node, bursty)\n\n",
     );
     let mut table = Table::new(
-        &["nodes", "GPUs", "requests", "p50 (ms)", "p99 (ms)", "global lookups/req"],
+        &[
+            "nodes",
+            "GPUs",
+            "requests",
+            "p50 (ms)",
+            "p99 (ms)",
+            "global lookups/req",
+        ],
         &[6, 5, 9, 9, 9, 19],
     );
     for nodes in [1usize, 2, 4, 8] {
@@ -67,7 +74,9 @@ pub fn run() -> String {
     out.push_str(&table.finish());
     out.push_str("\nper-request latency stays flat as the cluster grows: placement keeps workflows\nnode-local and the hierarchical control plane avoids global lookups (§4.2.2)\n\n");
 
-    out.push_str("Cross-node span — the same workflow forced across N nodes (round-robin placement)\n");
+    out.push_str(
+        "Cross-node span — the same workflow forced across N nodes (round-robin placement)\n",
+    );
     let mut table = Table::new(&["span (nodes)", "p99 (ms)", "vs 1 node"], &[12, 10, 10]);
     let mut base = 0.0;
     for span in [1usize, 2, 4] {
@@ -98,11 +107,7 @@ pub fn run() -> String {
         if span == 1 {
             base = p99;
         }
-        table.row(&[
-            span.to_string(),
-            fmt_ms(p99),
-            format!("{:.2}x", p99 / base),
-        ]);
+        table.row(&[span.to_string(), fmt_ms(p99), format!("{:.2}x", p99 / base)]);
     }
     out.push_str(&table.finish());
     out.push_str("\nmulti-NIC GDR keeps the cross-node penalty bounded even when every hop\ncrosses the network\n");

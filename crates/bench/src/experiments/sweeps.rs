@@ -13,7 +13,9 @@ pub fn run() -> String {
     let mut out = String::from("Design-constant sweeps\n\n");
 
     // ---- batch size: fairness vs overhead (§4.3.2) ----
-    out.push_str("(a) chunks per batch — elephant (400 MB) + late mouse (2 MB) on one 12 GB/s PCIe link\n");
+    out.push_str(
+        "(a) chunks per batch — elephant (400 MB) + late mouse (2 MB) on one 12 GB/s PCIe link\n",
+    );
     let mut table = Table::new(
         &["batch", "elephant (ms)", "mouse wait (ms)", "launches"],
         &[7, 14, 16, 9],
@@ -38,16 +40,17 @@ pub fn run() -> String {
         let elephant = p.latency_of(&offered, 0).as_millis_f64();
         let mouse = p.latency_of(&offered, 1).as_millis_f64();
         let launches = 200usize.div_ceil(batch) + 1;
-        let label = if batch == 100_000 { "whole".to_string() } else { batch.to_string() };
-        table.row(&[
-            label,
-            fmt_ms(elephant),
-            fmt_ms(mouse),
-            launches.to_string(),
-        ]);
+        let label = if batch == 100_000 {
+            "whole".to_string()
+        } else {
+            batch.to_string()
+        };
+        table.row(&[label, fmt_ms(elephant), fmt_ms(mouse), launches.to_string()]);
     }
     out.push_str(&table.finish());
-    out.push_str("paper default 5: near-minimal mouse wait at 1/5 the launch overhead of batch=1\n\n");
+    out.push_str(
+        "paper default 5: near-minimal mouse wait at 1/5 the launch overhead of batch=1\n\n",
+    );
 
     // ---- chunk size ----
     out.push_str("(b) chunk size — same scenario, batch of 5\n");
@@ -91,7 +94,9 @@ pub fn run() -> String {
         table.row(&[paths.to_string(), fmt_ms(ms)]);
     }
     out.push_str(&table.finish());
-    out.push_str("returns diminish past 4 paths: the endpoints' aggregate link bandwidth saturates\n\n");
+    out.push_str(
+        "returns diminish past 4 paths: the endpoints' aggregate link bandwidth saturates\n\n",
+    );
 
     // ---- detour length ----
     out.push_str("(d) max NVLink detour hops — same hop\n");
@@ -113,6 +118,8 @@ pub fn run() -> String {
         table.row(&[hops.to_string(), fmt_ms(ms)]);
     }
     out.push_str(&table.finish());
-    out.push_str("paper uses up to 3 hops (Fig. 9b); longer detours stop helping on an 8-GPU mesh\n");
+    out.push_str(
+        "paper uses up to 3 hops (Fig. 9b); longer detours stop helping on an 8-GPU mesh\n",
+    );
     out
 }

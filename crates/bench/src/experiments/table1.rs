@@ -105,7 +105,9 @@ fn has_elastic_storage(plane: &mut dyn DataPlane) -> bool {
     let src = Destination::Gpu(GpuRef::new(0, 0));
     let mut ids = Vec::new();
     for _ in 0..4 {
-        let put = plane.put(&mut probe.ctx(), token(), src, 500e6, 1).expect("put");
+        let put = plane
+            .put(&mut probe.ctx(), token(), src, 500e6, 1)
+            .expect("put");
         ids.push(put.id);
     }
     for id in ids {

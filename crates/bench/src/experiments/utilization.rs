@@ -44,10 +44,19 @@ fn uplink_utilisation(plane: PlaneKind) -> (Vec<f64>, f64) {
     };
     let mut rt = Runtime::new(presets::dgx_v100(), 1, plane.build(5), cfg);
     let uplinks = rt.world().topo.uplink_links(0);
-    rt.schedule_link_samples(uplinks, SimDuration::from_millis(5), SimTime(10_000_000_000));
+    rt.schedule_link_samples(
+        uplinks,
+        SimDuration::from_millis(5),
+        SimTime(10_000_000_000),
+    );
     let mut rng = DetRng::new(8);
     let spec = egress_heavy();
-    for t in generate_trace(ArrivalPattern::Bursty, 20.0, SimDuration::from_secs(10), &mut rng) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        20.0,
+        SimDuration::from_secs(10),
+        &mut rng,
+    ) {
         rt.submit(spec.clone(), t);
     }
     rt.run();
@@ -65,7 +74,14 @@ pub fn run() -> String {
         "PCIe uplink utilisation while one GPU streams 256 MB outputs to host\n(bursty 20 req/s, DGX-V100 node; mean % of each switch uplink)\n\n",
     );
     let mut table = Table::new(
-        &["plane", "uplink0", "uplink1", "uplink2", "uplink3", "mean e2e (ms)"],
+        &[
+            "plane",
+            "uplink0",
+            "uplink1",
+            "uplink2",
+            "uplink3",
+            "mean e2e (ms)",
+        ],
         &[22, 8, 8, 8, 8, 14],
     );
     for (label, plane) in [

@@ -64,6 +64,7 @@ impl PlaneKind {
 }
 
 /// Run `spec` under a trace and return the metrics.
+#[allow(clippy::too_many_arguments)]
 pub fn run_trace(
     topo: TopologySpec,
     nodes: usize,
@@ -78,7 +79,12 @@ pub fn run_trace(
     let mut rng = DetRng::new(seed);
     for (k, spec) in specs.iter().enumerate() {
         let mut sub = rng.fork(k as u64);
-        let trace = generate_trace(pattern, rps_per_spec, SimDuration::from_secs(secs), &mut sub);
+        let trace = generate_trace(
+            pattern,
+            rps_per_spec,
+            SimDuration::from_secs(secs),
+            &mut sub,
+        );
         for t in trace {
             rt.submit(spec.clone(), t);
         }
@@ -136,7 +142,13 @@ pub fn gfn_hop_ms(
 
 /// Data-passing latency (ms) between host memory and a GPU function: a
 /// single gFn whose input of `bytes` arrives via host memory (Fig. 13b).
-pub fn host_gfn_ms(topo: TopologySpec, plane: PlaneKind, gpu: GpuRef, bytes: f64, seed: u64) -> f64 {
+pub fn host_gfn_ms(
+    topo: TopologySpec,
+    plane: PlaneKind,
+    gpu: GpuRef,
+    bytes: f64,
+    seed: u64,
+) -> f64 {
     let mut wf = WorkflowSpec::new("hosthop", bytes);
     wf.push(StageSpec::gpu(
         "sink",

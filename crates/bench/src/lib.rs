@@ -41,7 +41,12 @@ mod smoke_tests {
     #[test]
     fn sweeps_cover_all_four_constants() {
         let out = crate::experiments::sweeps::run();
-        for marker in ["chunks per batch", "chunk size", "max parallel", "detour hops"] {
+        for marker in [
+            "chunks per batch",
+            "chunk size",
+            "max parallel",
+            "detour hops",
+        ] {
             assert!(out.contains(marker), "missing section '{marker}'");
         }
     }

@@ -110,9 +110,24 @@ mod tests {
     #[test]
     fn all_flags_parse() {
         let a = parse(&[
-            "wf.wf", "--plane", "infless", "--topology", "a100", "--nodes", "2",
-            "--pattern", "sporadic", "--rps", "12.5", "--seconds", "30",
-            "--seed", "7", "--compare", "--csv", "out.csv",
+            "wf.wf",
+            "--plane",
+            "infless",
+            "--topology",
+            "a100",
+            "--nodes",
+            "2",
+            "--pattern",
+            "sporadic",
+            "--rps",
+            "12.5",
+            "--seconds",
+            "30",
+            "--seed",
+            "7",
+            "--compare",
+            "--csv",
+            "out.csv",
         ])
         .expect("valid");
         assert_eq!(a.plane, "infless");

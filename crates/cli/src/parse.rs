@@ -112,7 +112,9 @@ pub fn parse_workflow(text: &str) -> Result<WorkflowSpec, ParseError> {
                 name = Some(n.to_string());
             }
             "input" => {
-                let v = words.next().ok_or_else(|| err(lineno, "input needs a size"))?;
+                let v = words
+                    .next()
+                    .ok_or_else(|| err(lineno, "input needs a size"))?;
                 input_bytes = parse_size(v).map_err(|m| err(lineno, m))?;
             }
             "slo" => {
@@ -161,9 +163,9 @@ pub fn parse_workflow(text: &str) -> Result<WorkflowSpec, ParseError> {
                             }
                         }
                         "cond" => {
-                            let (group, weight) = value.split_once(':').ok_or_else(|| {
-                                err(lineno, "cond expects <group>:<weight>")
-                            })?;
+                            let (group, weight) = value
+                                .split_once(':')
+                                .ok_or_else(|| err(lineno, "cond expects <group>:<weight>"))?;
                             let g: u32 = group
                                 .parse()
                                 .map_err(|_| err(lineno, "cond group must be an integer"))?;
@@ -179,8 +181,7 @@ pub fn parse_workflow(text: &str) -> Result<WorkflowSpec, ParseError> {
                 }
                 let compute =
                     compute.ok_or_else(|| err(lineno, "stage needs compute=<duration>"))?;
-                let out_bytes =
-                    out_bytes.ok_or_else(|| err(lineno, "stage needs out=<size>"))?;
+                let out_bytes = out_bytes.ok_or_else(|| err(lineno, "stage needs out=<size>"))?;
                 let mut stage = if is_gpu {
                     StageSpec::gpu(stage_name.clone(), deps, compute, out_bytes, mem_bytes)
                 } else {
@@ -244,8 +245,14 @@ stage classify gpu compute=9ms  out=1MB  mem=0.8GB deps=detect
         assert_eq!(parse_size("  2mb ").unwrap(), 2e6);
         assert!(parse_size("12").is_err());
         assert!(parse_size("-1MB").is_err());
-        assert_eq!(parse_duration("150us").unwrap(), SimDuration::from_micros(150));
-        assert_eq!(parse_duration("1.5s").unwrap(), SimDuration::from_millis(1500));
+        assert_eq!(
+            parse_duration("150us").unwrap(),
+            SimDuration::from_micros(150)
+        );
+        assert_eq!(
+            parse_duration("1.5s").unwrap(),
+            SimDuration::from_millis(1500)
+        );
         assert!(parse_duration("5").is_err());
     }
 

@@ -84,5 +84,10 @@ pub fn grouter_runtime_with(
     cfg: GrouterConfig,
     runtime_cfg: RuntimeConfig,
 ) -> Runtime {
-    Runtime::new(spec, num_nodes, Box::new(GrouterPlane::new(cfg)), runtime_cfg)
+    Runtime::new(
+        spec,
+        num_nodes,
+        Box::new(GrouterPlane::new(cfg)),
+        runtime_cfg,
+    )
 }

@@ -20,14 +20,16 @@
 use std::collections::BTreeMap;
 
 use grouter_mem::{AllocError, EvictionPolicy, GrouterPolicy, LruPolicy, ObjectMeta};
-use grouter_runtime::dataplane::{DataOp, DataPlane, Destination, OpLeg, PlaneCtx, PlaneStats, PutOp};
+use grouter_runtime::dataplane::{
+    DataOp, DataPlane, Destination, OpLeg, PlaneCtx, PlaneStats, PutOp,
+};
 use grouter_sim::rng::DetRng;
 use grouter_sim::time::SimDuration;
 use grouter_store::{AccessToken, DataId, Location, StoreError};
 use grouter_topology::GpuRef;
 use grouter_transfer::plan::{
-    plan_cross_node, plan_d2h, plan_h2d, plan_host_to_host, plan_intra_node, plan_shm,
-    PlannedFlow, TransferPlan,
+    plan_cross_node, plan_d2h, plan_h2d, plan_host_to_host, plan_intra_node, plan_shm, PlannedFlow,
+    TransferPlan,
 };
 
 use crate::config::GrouterConfig;
@@ -120,7 +122,11 @@ impl GrouterPlane {
         bytes: f64,
     ) -> OpLeg {
         use grouter_sim::params;
-        let max_hops = if ctx.topo.has_nvswitch() { 1 } else { self.cfg.max_hops };
+        let max_hops = if ctx.topo.has_nvswitch() {
+            1
+        } else {
+            self.cfg.max_hops
+        };
         let (res, sel, rebalances) =
             ctx.ledgers[node].reserve(src, dst, max_hops, self.cfg.max_paths);
         if sel.is_empty() {
@@ -141,9 +147,11 @@ impl GrouterPlane {
         }
         let caps: Vec<f64> = sel.paths.iter().map(|p| p.rate).collect();
         let shares = grouter_transfer::chunk::proportional_split(bytes, &caps);
+        // Consume the selection: routes move into the planned flows instead
+        // of being re-cloned per path.
         let flows: Vec<PlannedFlow> = sel
             .paths
-            .iter()
+            .into_iter()
             .zip(shares)
             .map(|(p, share)| {
                 let mut links = Vec::new();
@@ -159,7 +167,7 @@ impl GrouterPlane {
                     bytes: share,
                     opts: Default::default(),
                     nv_reservation: None, // the ledger owns the reservation
-                    route: Some(p.gpus.clone()),
+                    route: Some(p.gpus),
                 }
             })
             .collect();
@@ -328,7 +336,10 @@ impl DataPlane for GrouterPlane {
                 let store_gpu = if self.cfg.unified_framework {
                     g
                 } else {
-                    GpuRef::new(g.node, self.rng.next_below(ctx.topo.gpus_per_node() as u64) as usize)
+                    GpuRef::new(
+                        g.node,
+                        self.rng.next_below(ctx.topo.gpus_per_node() as u64) as usize,
+                    )
                 };
                 match self.alloc(ctx, store_gpu, bytes) {
                     Ok((alloc_lat, mut legs)) => {
@@ -379,15 +390,18 @@ impl DataPlane for GrouterPlane {
                     }
                     Err(()) => {
                         // Oversized object: store in host memory.
-                        let (id, lookup) = ctx.store.put(
-                            ctx.now,
-                            token,
-                            Location::Host(g.node),
-                            bytes,
-                            consumers,
-                        );
+                        let (id, lookup) =
+                            ctx.store
+                                .put(ctx.now, token, Location::Host(g.node), bytes, consumers);
                         let mut leg = OpLeg::new(
-                            plan_d2h(ctx.topo, ctx.net, g.node, g.gpu, bytes, &self.cfg.host_cfg()),
+                            plan_d2h(
+                                ctx.topo,
+                                ctx.net,
+                                g.node,
+                                g.gpu,
+                                bytes,
+                                &self.cfg.host_cfg(),
+                            ),
                             g.node,
                         );
                         self.apply_slo(ctx, &mut leg);
@@ -403,9 +417,9 @@ impl DataPlane for GrouterPlane {
                 }
             }
             Destination::Host(n) => {
-                let (id, lookup) = ctx
-                    .store
-                    .put(ctx.now, token, Location::Host(n), bytes, consumers);
+                let (id, lookup) =
+                    ctx.store
+                        .put(ctx.now, token, Location::Host(n), bytes, consumers);
                 Ok(PutOp {
                     id,
                     op: DataOp::control_only(lookup),
@@ -462,7 +476,14 @@ impl DataPlane for GrouterPlane {
             }
             (Location::Gpu(s), Destination::Host(n)) => {
                 let mut leg = OpLeg::new(
-                    plan_d2h(ctx.topo, ctx.net, s.node, s.gpu, entry.bytes, &self.cfg.host_cfg()),
+                    plan_d2h(
+                        ctx.topo,
+                        ctx.net,
+                        s.node,
+                        s.gpu,
+                        entry.bytes,
+                        &self.cfg.host_cfg(),
+                    ),
                     s.node,
                 );
                 self.apply_slo(ctx, &mut leg);
@@ -483,7 +504,14 @@ impl DataPlane for GrouterPlane {
                     ));
                 }
                 let mut leg = OpLeg::new(
-                    plan_h2d(ctx.topo, ctx.net, d.node, d.gpu, entry.bytes, &self.cfg.host_cfg()),
+                    plan_h2d(
+                        ctx.topo,
+                        ctx.net,
+                        d.node,
+                        d.gpu,
+                        entry.bytes,
+                        &self.cfg.host_cfg(),
+                    ),
                     d.node,
                 );
                 self.apply_slo(ctx, &mut leg);

@@ -175,7 +175,10 @@ fn ablation_degrades_monotonically_in_aggregate() {
     );
     // Each later ablation is never better than full GROUTER.
     for (i, p) in passing.iter().enumerate() {
-        assert!(*p >= full * 0.99, "config {i} beat full GROUTER: {passing:?}");
+        assert!(
+            *p >= full * 0.99,
+            "config {i} beat full GROUTER: {passing:?}"
+        );
     }
 }
 
@@ -291,9 +294,17 @@ fn access_control_blocks_cross_workflow_reads() {
         workflow: WorkflowId(8),
     };
     let err = plane
-        .get(&mut ctx, intruder, put.id, Destination::Gpu(GpuRef::new(0, 1)))
+        .get(
+            &mut ctx,
+            intruder,
+            put.id,
+            Destination::Gpu(GpuRef::new(0, 1)),
+        )
         .unwrap_err();
-    assert!(matches!(err, grouter::store::StoreError::AccessDenied { .. }));
+    assert!(matches!(
+        err,
+        grouter::store::StoreError::AccessDenied { .. }
+    ));
     // The rightful owner still reads it.
     let ok = plane.get(&mut ctx, owner, put.id, Destination::Gpu(GpuRef::new(0, 1)));
     assert!(ok.is_ok());

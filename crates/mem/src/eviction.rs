@@ -218,10 +218,7 @@ mod tests {
 
     #[test]
     fn deterministic_tie_break_by_key() {
-        let objects = vec![
-            obj(5, 100.0, 10, Some(3)),
-            obj(2, 100.0, 10, Some(3)),
-        ];
+        let objects = vec![obj(5, 100.0, 10, Some(3)), obj(2, 100.0, 10, Some(3))];
         let victims = QueueAwarePolicy.select_victims(&objects, 100.0);
         assert_eq!(victims, vec![2], "ties resolve by key for determinism");
     }

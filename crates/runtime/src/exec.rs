@@ -74,7 +74,7 @@ impl Runtime {
             self.sim.sched.schedule_at(t, move |w, s| {
                 w.sample_memory(s.now());
             });
-            t = t + every;
+            t += every;
         }
     }
 
@@ -98,7 +98,7 @@ impl Runtime {
             self.sim.sched.schedule_at(t, move |w, s| {
                 w.sample_links(s.now());
             });
-            t = t + every;
+            t += every;
         }
     }
 
@@ -257,11 +257,7 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
             let state = if skipped[i] {
                 StageState::Skipped
             } else {
-                let deps_left = spec.stages[i]
-                    .deps
-                    .iter()
-                    .filter(|&&d| !skipped[d])
-                    .count() as u32;
+                let deps_left = spec.stages[i].deps.iter().filter(|&&d| !skipped[d]).count() as u32;
                 StageState::Waiting { deps_left }
             };
             StageRun {
@@ -272,11 +268,7 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
         })
         .collect();
 
-    let terminals_left = spec
-        .terminals()
-        .iter()
-        .filter(|&&t| !skipped[t])
-        .count() as u32;
+    let terminals_left = spec.terminals().iter().filter(|&&t| !skipped[t]).count() as u32;
     let roots: Vec<usize> = (0..spec.stages.len())
         .filter(|&i| !skipped[i] && spec.stages[i].deps.is_empty())
         .collect();
@@ -359,7 +351,7 @@ fn stage_ready(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
     };
     for d in inputs {
         let cur = w.store.peek(d).and_then(|e| e.next_use);
-        if cur.map_or(true, |c| rank < c) {
+        if cur.is_none_or(|c| rank < c) {
             w.store.set_next_use(d, Some(rank));
         }
     }
@@ -440,7 +432,17 @@ fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
         let slo = instance_slo(w.instances.get(&inst_id).expect("live"));
         let op = with_plane(w, now, slo, |p, ctx| p.get(ctx, token, d, dest))
             .unwrap_or_else(|e| panic!("Get({d:?}) failed: {e}"));
-        start_op(w, s, op, OpKind::Get { inst: inst_id, stage, data: d }, cat);
+        start_op(
+            w,
+            s,
+            op,
+            OpKind::Get {
+                inst: inst_id,
+                stage,
+                data: d,
+            },
+            cat,
+        );
     }
 }
 
@@ -483,7 +485,9 @@ fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: u
         delay = params::COLD_START_CFN;
     }
 
-    s.schedule_in(delay + compute, move |w, s| compute_done(w, s, inst_id, stage));
+    s.schedule_in(delay + compute, move |w, s| {
+        compute_done(w, s, inst_id, stage)
+    });
 }
 
 fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
@@ -537,16 +541,9 @@ fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: us
         // Attribute the put to the dominant downstream edge: gFn–gFn when
         // any live dependent is a GPU function, otherwise host-side
         // (cFn consumers or the response egress).
-        let any_gfn_consumer = inst
-            .spec
-            .stages
-            .iter()
-            .enumerate()
-            .any(|(j, st)| {
-                st.deps.contains(&stage)
-                    && inst.stages[j].state != StageState::Skipped
-                    && st.is_gpu()
-            });
+        let any_gfn_consumer = inst.spec.stages.iter().enumerate().any(|(j, st)| {
+            st.deps.contains(&stage) && inst.stages[j].state != StageState::Skipped && st.is_gpu()
+        });
         edge_category(producer_gfn, any_gfn_consumer)
     };
     start_op(
@@ -571,7 +568,8 @@ fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usiz
         let is_terminal = inst.spec.terminals().contains(&stage);
         let mut dependents = Vec::new();
         for (j, st) in inst.spec.stages.iter().enumerate() {
-            if st.deps.contains(&stage) && matches!(inst.stages[j].state, StageState::Waiting { .. })
+            if st.deps.contains(&stage)
+                && matches!(inst.stages[j].state, StageState::Waiting { .. })
             {
                 dependents.push(j);
             }

@@ -42,9 +42,7 @@ impl InstanceRecord {
     }
 
     pub fn passing_total(&self) -> SimDuration {
-        self.passing
-            .values()
-            .fold(SimDuration::ZERO, |a, &b| a + b)
+        self.passing.values().fold(SimDuration::ZERO, |a, &b| a + b)
     }
 
     pub fn passing_of(&self, cat: PassCategory) -> SimDuration {
@@ -157,8 +155,9 @@ impl Metrics {
     /// Per-request records as CSV (for external plotting):
     /// `workflow,arrived_s,latency_ms,compute_ms,gfn_gfn_ms,gfn_host_ms,cfn_cfn_ms`.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("workflow,arrived_s,latency_ms,compute_ms,gfn_gfn_ms,gfn_host_ms,cfn_cfn_ms\n");
+        let mut out = String::from(
+            "workflow,arrived_s,latency_ms,compute_ms,gfn_gfn_ms,gfn_host_ms,cfn_cfn_ms\n",
+        );
         for r in &self.records {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",
@@ -174,10 +173,13 @@ impl Metrics {
         out
     }
 
-    fn filtered<'a>(&'a self, workflow: Option<&'a str>) -> impl Iterator<Item = &'a InstanceRecord> {
+    fn filtered<'a>(
+        &'a self,
+        workflow: Option<&'a str>,
+    ) -> impl Iterator<Item = &'a InstanceRecord> {
         self.records
             .iter()
-            .filter(move |r| workflow.map_or(true, |w| r.workflow == w))
+            .filter(move |r| workflow.is_none_or(|w| r.workflow == w))
     }
 }
 
@@ -234,8 +236,14 @@ mod tests {
         let mut m = Metrics::new();
         m.record(rec("a", 0, 100, 10, 10));
         m.record(rec("a", 0, 300, 10, 10));
-        assert_eq!(m.slo_compliance(Some("a"), SimDuration::from_millis(150)), 0.5);
-        assert_eq!(m.slo_compliance(Some("none"), SimDuration::from_millis(1)), 0.0);
+        assert_eq!(
+            m.slo_compliance(Some("a"), SimDuration::from_millis(150)),
+            0.5
+        );
+        assert_eq!(
+            m.slo_compliance(Some("none"), SimDuration::from_millis(1)),
+            0.0
+        );
     }
 
     #[test]

@@ -95,9 +95,9 @@ impl Placer {
                         let node = spec.stages[i]
                             .deps
                             .iter()
-                            .filter_map(|&d| match out[d] {
-                                Destination::Gpu(g) => Some(g.node),
-                                Destination::Host(n) => Some(n),
+                            .map(|&d| match out[d] {
+                                Destination::Gpu(g) => g.node,
+                                Destination::Host(n) => n,
                             })
                             .next()
                             .unwrap_or_else(|| {
@@ -176,7 +176,7 @@ impl Placer {
                 // One queued stage costs one "link" of score.
                 let score = conn - load as f64 * 25e9;
                 let key = (-score, load, node, gpu);
-                if best.map_or(true, |b| key < b) {
+                if best.is_none_or(|b| key < b) {
                     best = Some(key);
                 }
             }
@@ -282,7 +282,9 @@ mod tests {
         let a = wf.push(StageSpec::gpu("det", vec![], ms(10), 1e6, 1e9));
         wf.push(StageSpec::cpu("post", vec![a], ms(2), 1e5));
         let placed = placer.place(&topo, &wf, &mut rng);
-        let Destination::Gpu(g) = placed[0] else { panic!() };
+        let Destination::Gpu(g) = placed[0] else {
+            panic!()
+        };
         assert_eq!(g.node, 1, "domain restricted to node 1");
         assert_eq!(placed[1], Destination::Host(1));
     }

@@ -115,9 +115,9 @@ impl DataPlane for LocalityPlane {
                     }
                 };
                 control = control + grant.latency;
-                let (id, lat) =
-                    ctx.store
-                        .put(ctx.now, token, Location::Gpu(g), bytes, consumers);
+                let (id, lat) = ctx
+                    .store
+                    .put(ctx.now, token, Location::Gpu(g), bytes, consumers);
                 Ok(PutOp {
                     id,
                     op: DataOp {
@@ -153,11 +153,20 @@ impl DataPlane for LocalityPlane {
         let cfg = PlanConfig::single_path();
         let plan: TransferPlan = match (entry.location, dest) {
             (Location::Gpu(s), Destination::Gpu(d)) if s == d => {
-                return Ok(DataOp::control_only(lookup + grouter_sim::params::IPC_MAP_CACHED));
+                return Ok(DataOp::control_only(
+                    lookup + grouter_sim::params::IPC_MAP_CACHED,
+                ));
             }
-            (Location::Gpu(s), Destination::Gpu(d)) if s.node == d.node => {
-                plan_intra_node(ctx.topo, ctx.net, None, s.node, s.gpu, d.gpu, entry.bytes, &cfg)
-            }
+            (Location::Gpu(s), Destination::Gpu(d)) if s.node == d.node => plan_intra_node(
+                ctx.topo,
+                ctx.net,
+                None,
+                s.node,
+                s.gpu,
+                d.gpu,
+                entry.bytes,
+                &cfg,
+            ),
             (Location::Gpu(s), Destination::Gpu(d)) => {
                 plan_cross_node(ctx.topo, ctx.net, s, d, entry.bytes, &cfg)
             }
@@ -171,7 +180,11 @@ impl DataPlane for LocalityPlane {
                     legs: vec![
                         OpLeg::new(
                             grouter_transfer::plan::plan_host_to_host(
-                                ctx.topo, ctx.net, n, d.node, entry.bytes,
+                                ctx.topo,
+                                ctx.net,
+                                n,
+                                d.node,
+                                entry.bytes,
                             ),
                             n,
                         ),
@@ -194,7 +207,11 @@ impl DataPlane for LocalityPlane {
                 )];
                 legs.push(OpLeg::new(
                     grouter_transfer::plan::plan_host_to_host(
-                        ctx.topo, ctx.net, s.node, n, entry.bytes,
+                        ctx.topo,
+                        ctx.net,
+                        s.node,
+                        n,
+                        entry.bytes,
                     ),
                     s.node,
                 ));

@@ -23,7 +23,7 @@ use grouter_transfer::rate::RateController;
 
 use crate::dataplane::{DataPlane, Destination, OpLeg};
 use crate::metrics::{Metrics, PassCategory};
-use crate::placement::{Placer, PlacementPolicy};
+use crate::placement::{PlacementPolicy, Placer};
 use crate::spec::WorkflowSpec;
 
 /// Executor configuration.
@@ -61,9 +61,13 @@ impl Default for RuntimeConfig {
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum StageState {
     /// Waiting for `deps_left` upstream stages.
-    Waiting { deps_left: u32 },
+    Waiting {
+        deps_left: u32,
+    },
     /// Inputs being fetched (`gets_left` outstanding `Get`s).
-    Fetching { gets_left: u32 },
+    Fetching {
+        gets_left: u32,
+    },
     /// Inputs resident; waiting for the GPU.
     Queued,
     Running,
@@ -222,9 +226,18 @@ impl World {
             .map(|_| ElasticPool::new(config.pool_discipline, topo.gpu_mem_bytes()))
             .collect();
         let scalers = (0..n_gpus).map(|_| PrewarmScaler::new()).collect();
-        let ledgers = (0..num_nodes)
-            .map(|_| PathLedger::from_topology(&topo))
-            .collect();
+        let ledgers = {
+            // Every node shares the same NVLink fabric, so the loop-free
+            // path sets are identical: warm one prototype's path cache once
+            // and clone it per node — the first transfer on any node is
+            // already a cache hit.
+            let mut proto = PathLedger::from_topology(&topo);
+            if topo.has_nvlink() {
+                let hops = if topo.has_nvswitch() { 1 } else { 3 };
+                proto.warm(hops);
+            }
+            vec![proto; num_nodes]
+        };
         let pinned = (0..num_nodes)
             .map(|_| PinnedRing::new(grouter_sim::params::PINNED_RING_BYTES))
             .collect();
@@ -303,9 +316,8 @@ impl World {
         let g = self.topo.gpus_per_node();
         self.ledgers.iter().all(|l| {
             l.active() == 0
-                && (0..g).all(|a| {
-                    (0..g).all(|b| l.bwm().capacity(a, b) <= 0.0 || l.bwm().is_idle(a, b))
-                })
+                && (0..g)
+                    .all(|a| (0..g).all(|b| l.bwm().capacity(a, b) <= 0.0 || l.bwm().is_idle(a, b)))
         }) && self.nv_flow_index.is_empty()
     }
 }

@@ -136,7 +136,10 @@ fn gpu_is_time_multiplexed() {
         .collect();
     latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
     // Second request waits ~50 ms for the first.
-    assert!(latencies[1] - latencies[0] > 45.0, "latencies {latencies:?}");
+    assert!(
+        latencies[1] - latencies[0] > 45.0,
+        "latencies {latencies:?}"
+    );
 }
 
 #[test]
@@ -280,7 +283,9 @@ fn multiple_conditional_groups_sample_independently() {
         // compute = 2 + (10|20) + (1|3)
         let c = rec.compute.as_millis_f64();
         assert!(
-            [13.0, 15.0, 23.0, 25.0].iter().any(|v| (c - v).abs() < 1e-6),
+            [13.0, 15.0, 23.0, 25.0]
+                .iter()
+                .any(|v| (c - v).abs() < 1e-6),
             "unexpected compute {c}"
         );
     }

@@ -150,10 +150,7 @@ impl<W> Simulation<W> {
     /// Events scheduled exactly at `deadline` still fire. On return the clock
     /// reads `min(deadline, time of last fired event)`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        loop {
-            let Some(next_at) = self.sched.queue.peek().map(|e| e.at) else {
-                break;
-            };
+        while let Some(next_at) = self.sched.queue.peek().map(|e| e.at) {
             if next_at > deadline {
                 break;
             }
@@ -205,9 +202,10 @@ mod tests {
     #[test]
     fn events_can_schedule_events() {
         let mut sim = Simulation::new(World::default());
-        sim.sched.schedule_at(SimTime(10), |_, s: &mut Scheduler<World>| {
-            s.schedule_in(SimDuration(5), |w: &mut World, _| w.log.push((15, "child")));
-        });
+        sim.sched
+            .schedule_at(SimTime(10), |_, s: &mut Scheduler<World>| {
+                s.schedule_in(SimDuration(5), |w: &mut World, _| w.log.push((15, "child")));
+            });
         sim.run();
         assert_eq!(sim.world.log, vec![(15, "child")]);
     }
@@ -215,10 +213,11 @@ mod tests {
     #[test]
     fn past_scheduling_clamps_to_now() {
         let mut sim = Simulation::new(World::default());
-        sim.sched.schedule_at(SimTime(100), |_, s: &mut Scheduler<World>| {
-            // deliberately in the past
-            s.schedule_at(SimTime(1), |w: &mut World, _| w.log.push((100, "clamped")));
-        });
+        sim.sched
+            .schedule_at(SimTime(100), |_, s: &mut Scheduler<World>| {
+                // deliberately in the past
+                s.schedule_at(SimTime(1), |w: &mut World, _| w.log.push((100, "clamped")));
+            });
         sim.run();
         assert_eq!(sim.world.log, vec![(100, "clamped")]);
         assert_eq!(sim.now(), SimTime(100));

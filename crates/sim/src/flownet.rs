@@ -505,7 +505,12 @@ impl FlowNet {
     }
 
     /// Change a flow's idle-bandwidth weight.
-    pub fn set_weight(&mut self, now: SimTime, id: FlowId, weight: f64) -> Result<(), FlowNetError> {
+    pub fn set_weight(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        weight: f64,
+    ) -> Result<(), FlowNetError> {
         let slot = *self
             .id_index
             .get(&id.0)
@@ -923,8 +928,8 @@ impl FlowNet {
             // Cap headroom, in per-unit-weight terms.
             for i in 0..n {
                 if !scratch.frozen[i] {
-                    limiting_inc =
-                        limiting_inc.min((scratch.eff_cap[i] - scratch.rate[i]) / scratch.weight[i]);
+                    limiting_inc = limiting_inc
+                        .min((scratch.eff_cap[i] - scratch.rate[i]) / scratch.weight[i]);
                 }
             }
             if !limiting_inc.is_finite() {
@@ -1141,7 +1146,10 @@ mod tests {
         assert!(r >= 8.0 * GB - 1.0, "floor violated: {r}");
         // Idle 2 GB/s is split 5 ways (the SLO flow also competes for idle).
         let r0 = net.flow_rate(others[0]).unwrap();
-        assert!((r0 - 0.4 * GB).abs() < 10.0, "unexpected best-effort rate {r0}");
+        assert!(
+            (r0 - 0.4 * GB).abs() < 10.0,
+            "unexpected best-effort rate {r0}"
+        );
     }
 
     #[test]
@@ -1300,7 +1308,9 @@ mod tests {
             .unwrap();
         // At t=50ms, half the bytes have moved; a second flow arrives.
         let t = SimTime(50_000_000);
-        let _f2 = net.start_flow(t, vec![l], GB, FlowOptions::default()).unwrap();
+        let _f2 = net
+            .start_flow(t, vec![l], GB, FlowOptions::default())
+            .unwrap();
         let rem = net.flow_remaining(f1).unwrap();
         assert!((rem - 0.5 * GB).abs() < 1e3, "remaining {rem}");
         // f1 now needs 0.5 GB at 5 GB/s → completes at t=150ms.
@@ -1543,7 +1553,9 @@ mod tests {
         // The O(1) aggregate must track the true member-rate sum through
         // arrivals, departures, reroutes and constraint changes.
         let mut net = FlowNet::new();
-        let links: Vec<LinkId> = (0..4).map(|i| net.add_link(format!("l{i}"), 10.0 * GB)).collect();
+        let links: Vec<LinkId> = (0..4)
+            .map(|i| net.add_link(format!("l{i}"), 10.0 * GB))
+            .collect();
         let mut live: Vec<(FlowId, Vec<LinkId>)> = Vec::new();
         let mut t = SimTime::ZERO;
         for step in 0u64..200 {

@@ -149,7 +149,10 @@ impl ReferenceNet {
 
     pub fn set_floor(&mut self, now: SimTime, id: FlowId, floor: f64) -> Result<(), FlowNetError> {
         self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        let flow = self
+            .flows
+            .get_mut(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
         flow.floor = floor.max(0.0);
         self.recompute_rates();
         Ok(())
@@ -157,7 +160,10 @@ impl ReferenceNet {
 
     pub fn set_cap(&mut self, now: SimTime, id: FlowId, cap: f64) -> Result<(), FlowNetError> {
         self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        let flow = self
+            .flows
+            .get_mut(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
         flow.cap = normalize_cap(cap);
         self.recompute_rates();
         Ok(())
@@ -188,15 +194,26 @@ impl ReferenceNet {
             }
         }
         self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        let flow = self
+            .flows
+            .get_mut(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
         flow.path = new_path;
         self.recompute_rates();
         Ok(())
     }
 
-    pub fn set_weight(&mut self, now: SimTime, id: FlowId, weight: f64) -> Result<(), FlowNetError> {
+    pub fn set_weight(
+        &mut self,
+        now: SimTime,
+        id: FlowId,
+        weight: f64,
+    ) -> Result<(), FlowNetError> {
         self.settle(now);
-        let flow = self.flows.get_mut(&id.0).ok_or(FlowNetError::UnknownFlow(id))?;
+        let flow = self
+            .flows
+            .get_mut(&id.0)
+            .ok_or(FlowNetError::UnknownFlow(id))?;
         flow.weight = if weight > 0.0 { weight } else { 1.0 };
         self.recompute_rates();
         Ok(())
@@ -288,10 +305,7 @@ impl ReferenceNet {
         // Step 1: floors, with proportional scaling on oversubscribed links.
         let mut scale = vec![1.0f64; n];
         for (li, link) in self.links.iter().enumerate() {
-            let total_floor: f64 = members[li]
-                .iter()
-                .map(|&i| self.flows[&ids[i]].floor)
-                .sum();
+            let total_floor: f64 = members[li].iter().map(|&i| self.flows[&ids[i]].floor).sum();
             if total_floor > link.capacity {
                 let factor = link.capacity / total_floor;
                 for &i in &members[li] {

@@ -65,15 +65,27 @@ fn stale_wake_does_not_double_complete() {
     sim.run();
 
     // Both flows complete exactly once, and the 100 ms wake was dropped.
-    assert_eq!(sim.world.completed.len(), 2, "completions: {:?}", sim.world.completed);
+    assert_eq!(
+        sim.world.completed.len(),
+        2,
+        "completions: {:?}",
+        sim.world.completed
+    );
     let a_count = sim.world.completed.iter().filter(|&&f| f == a).count();
     assert_eq!(a_count, 1, "flow A completed {a_count} times");
-    assert!(sim.world.stale_wakes_dropped >= 1, "stale wake was not dropped");
+    assert!(
+        sim.world.stale_wakes_dropped >= 1,
+        "stale wake was not dropped"
+    );
     assert_eq!(sim.world.net.num_flows(), 0);
     // A finished at 150 ms (not the stale 100 ms estimate); B's last
     // 0.5 GB then runs at full rate and finishes at 200 ms.
     assert_eq!(sim.world.completed[0], a, "A should complete first");
-    assert!((sim.now().as_millis_f64() - 200.0).abs() < 0.01, "now {}", sim.now());
+    assert!(
+        (sim.now().as_millis_f64() - 200.0).abs() < 0.01,
+        "now {}",
+        sim.now()
+    );
 }
 
 impl World {
@@ -133,6 +145,10 @@ fn wake_after_cancel_is_dropped() {
 
     sim.run();
 
-    assert!(sim.world.completed.is_empty(), "cancelled flow completed: {:?}", sim.world.completed);
+    assert!(
+        sim.world.completed.is_empty(),
+        "cancelled flow completed: {:?}",
+        sim.world.completed
+    );
     assert_eq!(sim.world.stale_wakes_dropped, 1);
 }

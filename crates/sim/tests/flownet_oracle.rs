@@ -184,32 +184,48 @@ impl Harness {
                     return Ok(());
                 }
                 let (fi, fr) = self.live.remove(i % self.live.len());
-                self.inc.cancel_flow(self.now, fi).map_err(|e| e.to_string())?;
-                self.refn.cancel_flow(self.now, fr).map_err(|e| e.to_string())?;
+                self.inc
+                    .cancel_flow(self.now, fi)
+                    .map_err(|e| e.to_string())?;
+                self.refn
+                    .cancel_flow(self.now, fr)
+                    .map_err(|e| e.to_string())?;
             }
             Op::SetFloor(i, f) => {
                 if self.live.is_empty() {
                     return Ok(());
                 }
                 let (fi, fr) = self.live[i % self.live.len()];
-                self.inc.set_floor(self.now, fi, *f).map_err(|e| e.to_string())?;
-                self.refn.set_floor(self.now, fr, *f).map_err(|e| e.to_string())?;
+                self.inc
+                    .set_floor(self.now, fi, *f)
+                    .map_err(|e| e.to_string())?;
+                self.refn
+                    .set_floor(self.now, fr, *f)
+                    .map_err(|e| e.to_string())?;
             }
             Op::SetCap(i, c) => {
                 if self.live.is_empty() {
                     return Ok(());
                 }
                 let (fi, fr) = self.live[i % self.live.len()];
-                self.inc.set_cap(self.now, fi, *c).map_err(|e| e.to_string())?;
-                self.refn.set_cap(self.now, fr, *c).map_err(|e| e.to_string())?;
+                self.inc
+                    .set_cap(self.now, fi, *c)
+                    .map_err(|e| e.to_string())?;
+                self.refn
+                    .set_cap(self.now, fr, *c)
+                    .map_err(|e| e.to_string())?;
             }
             Op::SetWeight(i, w) => {
                 if self.live.is_empty() {
                     return Ok(());
                 }
                 let (fi, fr) = self.live[i % self.live.len()];
-                self.inc.set_weight(self.now, fi, *w).map_err(|e| e.to_string())?;
-                self.refn.set_weight(self.now, fr, *w).map_err(|e| e.to_string())?;
+                self.inc
+                    .set_weight(self.now, fi, *w)
+                    .map_err(|e| e.to_string())?;
+                self.refn
+                    .set_weight(self.now, fr, *w)
+                    .map_err(|e| e.to_string())?;
             }
             Op::Reroute(i, path) => {
                 if self.live.is_empty() {

@@ -226,7 +226,9 @@ mod tests {
     fn cross_workflow_access_is_denied() {
         let mut store = DataStore::new(1);
         let (id, _) = store.put(SimTime::ZERO, token(1, 10), gpu(0, 0), 1e6, 1);
-        let err = store.resolve(SimTime::ZERO, 0, token(5, 99), id).unwrap_err();
+        let err = store
+            .resolve(SimTime::ZERO, 0, token(5, 99), id)
+            .unwrap_err();
         assert!(matches!(err, StoreError::AccessDenied { .. }));
     }
 

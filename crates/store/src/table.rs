@@ -144,7 +144,10 @@ mod tests {
         t.insert(entry(1, 0));
         let (found, lat) = t.lookup(1, DataId(1));
         assert!(found.is_some());
-        assert_eq!(lat, params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP);
+        assert_eq!(
+            lat,
+            params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP
+        );
         // Second lookup from node 1 hits the cache.
         let (_, lat2) = t.lookup(1, DataId(1));
         assert_eq!(lat2, params::LOCAL_TABLE_LOOKUP);
@@ -156,7 +159,10 @@ mod tests {
         let mut t = MappingTables::new(1);
         let (found, lat) = t.lookup(0, DataId(42));
         assert!(found.is_none());
-        assert_eq!(lat, params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP);
+        assert_eq!(
+            lat,
+            params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP
+        );
     }
 
     #[test]

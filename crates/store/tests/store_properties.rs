@@ -20,7 +20,11 @@ enum Op {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
-        (0u64..4, any::<bool>(), 1u16..1000).prop_map(|(wf, gpu, bytes)| Op::Put { wf, gpu, bytes }),
+        (0u64..4, any::<bool>(), 1u16..1000).prop_map(|(wf, gpu, bytes)| Op::Put {
+            wf,
+            gpu,
+            bytes
+        }),
         (0u8..2, 0u64..4).prop_map(|(node, wf)| Op::Resolve { node, wf }),
         Just(Op::Consume),
         any::<bool>().prop_map(|to_host| Op::Relocate { to_host }),

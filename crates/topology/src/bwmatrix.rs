@@ -18,6 +18,11 @@ pub struct BwMatrix {
     topo: Vec<f64>,
     /// Unreserved capacity of the directed edge `a → b`.
     residual: Vec<f64>,
+    /// Topology epoch: bumped whenever a hardware *capacity* changes (link
+    /// degradation). Reservations never bump it — path sets depend only on
+    /// capacities, so caches keyed on the epoch stay valid across arbitrary
+    /// occupy/release churn.
+    epoch: u64,
 }
 
 impl BwMatrix {
@@ -36,7 +41,30 @@ impl BwMatrix {
             n,
             topo: m.clone(),
             residual: m,
+            epoch: 0,
         }
+    }
+
+    /// Current topology epoch (see the field docs). Path caches compare
+    /// against this to decide whether their enumerations are still valid.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Degrade (or restore) the hardware capacity of the directed edge
+    /// `a → b` to `new_cap` bytes/s, preserving the amount currently
+    /// reserved on the edge. Bumps the topology epoch exactly once per call
+    /// that actually changes the capacity, invalidating cached path sets.
+    pub fn degrade_link(&mut self, a: usize, b: usize, new_cap: f64) {
+        let idx = a * self.n + b;
+        let new_cap = new_cap.max(0.0);
+        if self.topo[idx] == new_cap {
+            return;
+        }
+        let reserved = self.topo[idx] - self.residual[idx];
+        self.topo[idx] = new_cap;
+        self.residual[idx] = (new_cap - reserved).clamp(0.0, new_cap);
+        self.epoch += 1;
     }
 
     /// Number of GPUs.
@@ -158,6 +186,47 @@ mod tests {
         // GPU 0 has six link-equivalents: 24+24+48+48.
         assert_eq!(m.out_bw(0), 6.0 * params::NVLINK_V100_SINGLE);
         assert_eq!(m.in_bw(0), 6.0 * params::NVLINK_V100_SINGLE);
+    }
+
+    #[test]
+    fn degrade_bumps_epoch_once_and_preserves_reservations() {
+        let mut m = v100_matrix();
+        assert_eq!(m.epoch(), 0);
+        m.occupy_path(&[0, 3], 10e9);
+        m.degrade_link(0, 3, 30e9);
+        assert_eq!(m.epoch(), 1, "one bump per degradation event");
+        assert_eq!(m.capacity(0, 3), 30e9);
+        // The 10 GB/s reservation survives: residual = 30 - 10.
+        assert_eq!(m.residual(0, 3), 20e9);
+        // No-op degradation (same capacity) does not bump the epoch.
+        m.degrade_link(0, 3, 30e9);
+        assert_eq!(m.epoch(), 1);
+        // Release returns the edge exactly to the degraded baseline.
+        m.release_path(&[0, 3], 10e9);
+        assert_eq!(m.residual(0, 3), 30e9);
+        assert!(m.is_idle(0, 3));
+    }
+
+    #[test]
+    fn degrade_below_reserved_clamps_and_roundtrips() {
+        let mut m = v100_matrix();
+        m.occupy_path(&[0, 3], 40e9);
+        m.degrade_link(0, 3, 20e9);
+        assert_eq!(m.residual(0, 3), 0.0, "reserved exceeds new capacity");
+        m.release_path(&[0, 3], 40e9);
+        assert_eq!(m.residual(0, 3), 20e9, "release clamps at new capacity");
+        // Degrading to zero removes the edge from path enumeration.
+        m.degrade_link(0, 3, 0.0);
+        assert_eq!(m.capacity(0, 3), 0.0);
+        assert_eq!(m.epoch(), 2);
+    }
+
+    #[test]
+    fn reservations_do_not_bump_epoch() {
+        let mut m = v100_matrix();
+        m.occupy_path(&[0, 3, 7], 5e9);
+        m.release_path(&[0, 3, 7], 5e9);
+        assert_eq!(m.epoch(), 0);
     }
 
     #[test]

@@ -400,7 +400,13 @@ impl Topology {
 
     /// Full cross-node GDR path `src → dst` over the given NICs (the fabric
     /// between NICs is assumed non-blocking, as on AWS EFA placements).
-    pub fn gdr_path(&self, src: GpuRef, src_nic: usize, dst: GpuRef, dst_nic: usize) -> Vec<LinkId> {
+    pub fn gdr_path(
+        &self,
+        src: GpuRef,
+        src_nic: usize,
+        dst: GpuRef,
+        dst_nic: usize,
+    ) -> Vec<LinkId> {
         assert_ne!(src.node, dst.node, "GDR path is cross-node");
         let mut p = self.gdr_tx_path(src.node, src.gpu, src_nic);
         p.extend(self.gdr_rx_path(dst.node, dst.gpu, dst_nic));
@@ -594,7 +600,10 @@ mod tests {
         assert_eq!(t.num_gpus(), 16);
         let a = t.d2h_path(0, 0);
         let b = t.d2h_path(1, 0);
-        assert!(a.iter().all(|l| !b.contains(l)), "nodes must not share links");
+        assert!(
+            a.iter().all(|l| !b.contains(l)),
+            "nodes must not share links"
+        );
     }
 
     #[test]

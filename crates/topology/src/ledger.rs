@@ -15,8 +15,9 @@
 use std::collections::BTreeMap;
 
 use crate::bwmatrix::BwMatrix;
+use crate::cache::{CacheStats, PathSelector};
 use crate::graph::Topology;
-use crate::paths::{enumerate_paths, select_parallel_paths, NvPath, PathSelection};
+use crate::paths::{check_endpoints, NvPath, PathSelection};
 
 /// Identifies one live reservation in a [`PathLedger`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -55,7 +56,7 @@ pub struct Rebalance {
 /// ```
 #[derive(Clone, Debug)]
 pub struct PathLedger {
-    bwm: BwMatrix,
+    selector: PathSelector,
     reservations: BTreeMap<u64, Vec<NvPath>>,
     next: u64,
 }
@@ -63,7 +64,7 @@ pub struct PathLedger {
 impl PathLedger {
     pub fn from_topology(topo: &Topology) -> PathLedger {
         PathLedger {
-            bwm: BwMatrix::from_topology(topo),
+            selector: PathSelector::from_topology(topo),
             reservations: BTreeMap::new(),
             next: 0,
         }
@@ -71,14 +72,44 @@ impl PathLedger {
 
     /// Read access to the underlying matrix.
     pub fn bwm(&self) -> &BwMatrix {
-        &self.bwm
+        self.selector.bwm()
     }
 
     /// Raw matrix access for callers that manage reservations themselves
     /// (the planner-level API used by tests and non-ledger planes). Paths
-    /// occupied this way are invisible to rebalancing.
+    /// occupied this way are invisible to rebalancing. Capacity changes made
+    /// here still invalidate the path cache via the topology epoch.
     pub fn bwm_mut(&mut self) -> &mut BwMatrix {
-        &mut self.bwm
+        self.selector.bwm_mut()
+    }
+
+    /// The cached selector serving this ledger's Algorithm 1 calls.
+    pub fn selector(&self) -> &PathSelector {
+        &self.selector
+    }
+
+    /// Mutable selector access (benches drive it directly).
+    pub fn selector_mut(&mut self) -> &mut PathSelector {
+        &mut self.selector
+    }
+
+    /// Path-cache statistics (hits / misses / epoch invalidations).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.selector.cache().stats()
+    }
+
+    /// Pre-enumerate every GPU pair at `max_hops` so the first transfer of
+    /// each pair is already a cache hit (done once at world build; clones of
+    /// this ledger share the warm cache).
+    pub fn warm(&mut self, max_hops: usize) {
+        self.selector.warm(max_hops);
+    }
+
+    /// Degrade the directed NVLink `a → b` to `new_cap` bytes/s. Live
+    /// reservations keep their booked rates (the matrix clamps); cached
+    /// path sets are invalidated through the topology epoch.
+    pub fn degrade_link(&mut self, a: usize, b: usize, new_cap: f64) {
+        self.selector.degrade_link(a, b, new_cap);
     }
 
     /// Number of live reservations.
@@ -98,10 +129,17 @@ impl PathLedger {
         max_paths: usize,
     ) -> (ResId, PathSelection, Vec<Rebalance>) {
         let rebalances = self.rebalance_direct(src, dst, max_hops);
-        let sel = select_parallel_paths(&mut self.bwm, src, dst, max_hops, max_paths);
+        self.selector.select(src, dst, max_hops, max_paths);
+        // Move the scratch into the reservation store (no per-path copy);
+        // the caller's view is the one clone. Buffers come back through
+        // `release` → `recycle`.
+        let paths = self.selector.take_last_selection();
+        let sel = PathSelection {
+            paths: paths.clone(),
+        };
         let id = self.next;
         self.next += 1;
-        self.reservations.insert(id, sel.paths.clone());
+        self.reservations.insert(id, paths);
         (ResId(id), sel, rebalances)
     }
 
@@ -110,9 +148,10 @@ impl PathLedger {
     pub fn release(&mut self, id: ResId) -> bool {
         match self.reservations.remove(&id.0) {
             Some(paths) => {
-                for p in paths {
-                    self.bwm.release_path(&p.gpus, p.rate);
+                for p in &paths {
+                    self.selector.bwm_mut().release_path(&p.gpus, p.rate);
                 }
+                self.selector.recycle(paths);
                 true
             }
             None => false,
@@ -123,7 +162,12 @@ impl PathLedger {
     /// part of an *indirect* route (different endpoints), re-routing each
     /// onto an alternative path that can carry its reserved rate.
     fn rebalance_direct(&mut self, src: usize, dst: usize, max_hops: usize) -> Vec<Rebalance> {
-        if self.bwm.capacity(src, dst) <= 0.0 || self.bwm.is_idle(src, dst) {
+        // Degenerate endpoints cannot name a direct edge; selection will
+        // degrade to an empty set, so there is nothing to make room for.
+        if check_endpoints(self.bwm().len(), src, dst).is_err() {
+            return Vec::new();
+        }
+        if self.bwm().capacity(src, dst) <= 0.0 || self.bwm().is_idle(src, dst) {
             return Vec::new();
         }
         // Collect indirect users of the edge (deterministic order).
@@ -139,21 +183,21 @@ impl PathLedger {
         }
         let mut out = Vec::new();
         for (rid, pi) in candidates {
-            if self.bwm.is_idle(src, dst) {
+            if self.bwm().is_idle(src, dst) {
                 break;
             }
             let old = self.reservations[&rid][pi].clone();
             // Temporarily release the old path, then look for an
-            // alternative with enough residual that avoids the edge.
-            self.bwm.release_path(&old.gpus, old.rate);
+            // alternative with enough residual that avoids the edge. The
+            // candidate set comes from the path cache — no DFS here.
+            self.selector.bwm_mut().release_path(&old.gpus, old.rate);
             let (s, d) = (old.gpus[0], *old.gpus.last().expect("path"));
-            let alternative = enumerate_paths(&self.bwm, s, d, max_hops)
-                .into_iter()
-                .filter(|p| !p.windows(2).any(|h| h[0] == src && h[1] == dst))
-                .find(|p| self.bwm.path_residual(p) >= old.rate);
+            let alternative = self
+                .selector
+                .find_alternative(s, d, max_hops, (src, dst), old.rate);
             match alternative {
                 Some(new_route) => {
-                    self.bwm.occupy_path(&new_route, old.rate);
+                    self.selector.bwm_mut().occupy_path(&new_route, old.rate);
                     let paths = self.reservations.get_mut(&rid).expect("live");
                     paths[pi] = NvPath {
                         gpus: new_route.clone(),
@@ -168,7 +212,7 @@ impl PathLedger {
                 }
                 None => {
                     // No viable alternative: put the old path back.
-                    self.bwm.occupy_path(&old.gpus, old.rate);
+                    self.selector.bwm_mut().occupy_path(&old.gpus, old.rate);
                 }
             }
         }
@@ -213,7 +257,10 @@ mod tests {
             .paths
             .iter()
             .any(|p| p.gpus.windows(2).any(|h| h[0] == 0 && h[1] == 3));
-        assert!(crosses_03, "expected an indirect path over edge (0,3): {sel_a:?}");
+        assert!(
+            crosses_03,
+            "expected an indirect path over edge (0,3): {sel_a:?}"
+        );
         assert!(!l.bwm().is_idle(0, 3));
 
         // Transfer B arrives for exactly that pair: the indirect user must
@@ -279,6 +326,70 @@ mod tests {
         for (x, y) in [(0, 1), (0, 2), (0, 3), (0, 4)] {
             assert!(l.bwm().residual(x, y) >= 0.0, "({x},{y}) negative");
         }
+    }
+
+    #[test]
+    fn degenerate_endpoints_yield_empty_selection() {
+        let mut l = ledger();
+        // Self-loop and out-of-range endpoints degrade to an empty
+        // selection (host-path fallback) instead of aborting the run.
+        let (id, sel, reb) = l.reserve(5, 5, 3, 4);
+        assert!(sel.is_empty());
+        assert!(reb.is_empty());
+        l.release(id);
+        let (_, sel, _) = l.reserve(0, 99, 3, 4);
+        assert!(sel.is_empty());
+        let (_, sel, _) = l.reserve(99, 0, 3, 4);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn degrade_roundtrip_returns_links_to_baseline() {
+        let mut l = ledger();
+        let (id, sel, _) = l.reserve(0, 1, 3, 4);
+        assert!(!sel.is_empty());
+        let epoch0 = l.bwm().epoch();
+        // Degrade a link several live paths cross, mid-reservation.
+        l.degrade_link(0, 3, 10e9);
+        assert_eq!(l.bwm().epoch(), epoch0 + 1, "one bump per degradation");
+        assert_eq!(l.bwm().capacity(0, 3), 10e9);
+        // Releasing returns every link exactly to its (possibly degraded)
+        // baseline — no residual leak in either direction.
+        l.release(id);
+        for x in 0..8 {
+            for y in 0..8 {
+                let cap = l.bwm().capacity(x, y);
+                if cap > 0.0 {
+                    assert!(
+                        (l.bwm().residual(x, y) - cap).abs() < 1e-6,
+                        "({x},{y}) residual {} != cap {cap}",
+                        l.bwm().residual(x, y)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cache_hits_accumulate_and_epoch_invalidates() {
+        let mut l = ledger();
+        l.warm(3);
+        let warm_misses = l.cache_stats().misses;
+        let (a, _, _) = l.reserve(0, 1, 3, 4);
+        assert_eq!(
+            l.cache_stats().misses,
+            warm_misses,
+            "warm cache: reserve must not re-enumerate"
+        );
+        assert!(l.cache_stats().hits > 0);
+        l.release(a);
+        // A degradation event invalidates the cache exactly once; the next
+        // lookup re-enumerates under the new capacities.
+        l.degrade_link(0, 3, 1e9);
+        let inv0 = l.cache_stats().invalidations;
+        let (_b, _, _) = l.reserve(0, 1, 3, 4);
+        assert_eq!(l.cache_stats().invalidations, inv0 + 1);
+        assert!(l.cache_stats().misses > warm_misses);
     }
 
     #[test]

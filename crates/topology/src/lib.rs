@@ -16,12 +16,17 @@
 //!   Algorithm 1 reads and updates (§4.3.3).
 
 pub mod bwmatrix;
+pub mod cache;
 pub mod graph;
 pub mod ledger;
 pub mod paths;
 pub mod presets;
 
 pub use bwmatrix::BwMatrix;
+pub use cache::{CacheStats, CachedPaths, PathCache, PathSelector};
 pub use graph::{GpuRef, Topology, TopologyKind};
 pub use ledger::{PathLedger, Rebalance, ResId};
-pub use paths::{select_parallel_paths, NvPath, PathSelection};
+pub use paths::{
+    check_endpoints, enumerate_paths, select_parallel_paths, try_enumerate_paths, BadEndpoints,
+    NvPath, PathSelection,
+};

@@ -46,15 +46,62 @@ impl PathSelection {
     }
 }
 
+/// A transfer endpoint pair Algorithm 1 cannot route: out-of-range GPU
+/// indices or a self-loop. Produced by [`try_enumerate_paths`]; the
+/// non-`try` entry points degrade to an empty path set / empty selection so
+/// a misplaced workflow spec falls back to the host path instead of
+/// aborting the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BadEndpoints {
+    pub src: usize,
+    pub dst: usize,
+    /// GPUs on the node.
+    pub n: usize,
+}
+
+impl std::fmt::Display for BadEndpoints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "degenerate NVLink endpoints: src {} dst {} on {} GPUs",
+            self.src, self.dst, self.n
+        )
+    }
+}
+
+impl std::error::Error for BadEndpoints {}
+
+/// Validate a `(src, dst)` endpoint pair against an `n`-GPU node.
+pub fn check_endpoints(n: usize, src: usize, dst: usize) -> Result<(), BadEndpoints> {
+    if src < n && dst < n && src != dst {
+        Ok(())
+    } else {
+        Err(BadEndpoints { src, dst, n })
+    }
+}
+
 /// Enumerate all loop-free paths `src → dst` of at most `max_hops` hops over
 /// edges with positive hardware capacity, ordered shortest-first (ties broken
 /// by larger hardware bottleneck, then lexicographically). This is the
 /// `next_shortest_path` oracle of Algorithm 1; with ≤ 8 GPUs per server the
 /// enumeration is tiny and is what lets real GROUTER keep selection below
 /// 10 µs.
+///
+/// Degenerate endpoints yield an empty path set (see [`try_enumerate_paths`]
+/// for the typed error).
 pub fn enumerate_paths(bw: &BwMatrix, src: usize, dst: usize, max_hops: usize) -> Vec<Vec<usize>> {
+    try_enumerate_paths(bw, src, dst, max_hops).unwrap_or_default()
+}
+
+/// [`enumerate_paths`] with a typed error for degenerate endpoints.
+pub fn try_enumerate_paths(
+    bw: &BwMatrix,
+    src: usize,
+    dst: usize,
+    max_hops: usize,
+) -> Result<Vec<Vec<usize>>, BadEndpoints> {
     let n = bw.len();
-    assert!(src < n && dst < n && src != dst, "bad endpoints");
+    check_endpoints(n, src, dst)?;
     let mut out: Vec<Vec<usize>> = Vec::new();
     let mut stack = vec![src];
     let mut visited = vec![false; n];
@@ -65,7 +112,7 @@ pub fn enumerate_paths(bw: &BwMatrix, src: usize, dst: usize, max_hops: usize) -
         let kb = (b.len(), std::cmp::Reverse(OrdF64(min_capacity(bw, b))));
         ka.cmp(&kb).then_with(|| a.cmp(b))
     });
-    out
+    Ok(out)
 }
 
 fn dfs(
@@ -112,7 +159,9 @@ impl PartialOrd for OrdF64 {
 }
 impl Ord for OrdF64 {
     fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.partial_cmp(&other.0).unwrap_or(std::cmp::Ordering::Equal)
+        self.0
+            .partial_cmp(&other.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
     }
 }
 
@@ -137,20 +186,59 @@ pub fn select_parallel_paths(
     max_hops: usize,
     max_paths: usize,
 ) -> PathSelection {
-    const EPS: f64 = 1.0; // bytes/s — below this an edge counts as saturated
     let mut selection = PathSelection::default();
     if max_paths == 0 {
         return selection;
     }
     let candidates = enumerate_paths(bw, src, dst, max_hops);
+    let mut spare = Vec::new();
+    select_from_candidates(
+        bw,
+        src,
+        dst,
+        max_paths,
+        candidates.iter().map(|p| p.as_slice()),
+        &mut selection,
+        &mut spare,
+    );
+    selection
+}
+
+/// The selection core of Algorithm 1, shared by [`select_parallel_paths`]
+/// (fresh DFS candidates) and the cached selector
+/// ([`crate::cache::PathSelector`]). Writes the result into `out` (cleared
+/// first); selected routes reuse buffers popped from `spare` so steady-state
+/// selection allocates nothing.
+pub(crate) fn select_from_candidates<'a, I>(
+    bw: &mut BwMatrix,
+    src: usize,
+    dst: usize,
+    max_paths: usize,
+    candidates: I,
+    out: &mut PathSelection,
+    spare: &mut Vec<Vec<usize>>,
+) where
+    I: Iterator<Item = &'a [usize]> + Clone,
+{
+    const EPS: f64 = 1.0; // bytes/s — below this an edge counts as saturated
+    spare.extend(out.paths.drain(..).map(|p| p.gpus));
+    if max_paths == 0 {
+        return;
+    }
+    let take = |out: &mut PathSelection, spare: &mut Vec<Vec<usize>>, path: &[usize], rate| {
+        let mut gpus = spare.pop().unwrap_or_default();
+        gpus.clear();
+        gpus.extend_from_slice(path);
+        out.paths.push(NvPath { gpus, rate });
+    };
 
     // Phase 1: fully idle paths.
-    for path in &candidates {
-        if selection.paths.len() >= max_paths {
-            return selection;
+    for path in candidates.clone() {
+        if out.paths.len() >= max_paths {
+            return;
         }
         if bw.out_bw(src) <= EPS || bw.in_bw(dst) <= EPS {
-            return selection;
+            return;
         }
         let all_idle = path.windows(2).all(|h| bw.is_idle(h[0], h[1]));
         if !all_idle {
@@ -161,22 +249,19 @@ pub fn select_parallel_paths(
             continue;
         }
         bw.occupy_path(path, rate);
-        selection.paths.push(NvPath {
-            gpus: path.clone(),
-            rate,
-        });
+        take(out, spare, path, rate);
     }
 
     // Phase 2: share partially busy paths while the endpoints allow.
-    for path in &candidates {
-        if selection.paths.len() >= max_paths {
+    for path in candidates {
+        if out.paths.len() >= max_paths {
             break;
         }
         if bw.out_bw(src) <= EPS || bw.in_bw(dst) <= EPS {
             break;
         }
         // Skip paths already selected in phase 1.
-        if selection.paths.iter().any(|p| &p.gpus == path) {
+        if out.paths.iter().any(|p| p.gpus.as_slice() == path) {
             continue;
         }
         let rate = bw.path_residual(path);
@@ -184,13 +269,8 @@ pub fn select_parallel_paths(
             continue;
         }
         bw.occupy_path(path, rate);
-        selection.paths.push(NvPath {
-            gpus: path.clone(),
-            rate,
-        });
+        take(out, spare, path, rate);
     }
-
-    selection
 }
 
 #[cfg(test)]
@@ -267,11 +347,7 @@ mod tests {
         assert!(total <= 6.0 * params::NVLINK_V100_SINGLE + 1.0);
         // Selected paths reserve exactly what the matrix lost.
         let spent_out: f64 = 6.0 * params::NVLINK_V100_SINGLE - bw.out_bw(0);
-        let direct_and_first_hop: f64 = sel
-            .paths
-            .iter()
-            .map(|p| p.rate)
-            .sum();
+        let direct_and_first_hop: f64 = sel.paths.iter().map(|p| p.rate).sum();
         assert!((spent_out - direct_and_first_hop).abs() < 1.0);
     }
 
@@ -321,6 +397,29 @@ mod tests {
         let mut bw = v100();
         let sel = select_parallel_paths(&mut bw, 0, 1, 3, 2);
         assert!(sel.paths.len() <= 2);
+    }
+
+    #[test]
+    fn degenerate_endpoints_degrade_to_empty_not_panic() {
+        let mut bw = v100();
+        // Self-loop and out-of-range endpoints: a misplaced workflow spec
+        // must fall back to an empty path set, not abort the process.
+        assert!(enumerate_paths(&bw, 3, 3, 3).is_empty());
+        assert!(enumerate_paths(&bw, 0, 42, 3).is_empty());
+        assert!(enumerate_paths(&bw, 42, 0, 3).is_empty());
+        assert_eq!(
+            try_enumerate_paths(&bw, 3, 3, 3).unwrap_err(),
+            BadEndpoints {
+                src: 3,
+                dst: 3,
+                n: 8
+            }
+        );
+        assert!(check_endpoints(8, 0, 7).is_ok());
+        let sel = select_parallel_paths(&mut bw, 7, 7, 3, 4);
+        assert!(sel.is_empty());
+        // The matrix is untouched by the failed selection.
+        assert_eq!(bw.out_bw(7), 6.0 * params::NVLINK_V100_SINGLE);
     }
 
     #[test]

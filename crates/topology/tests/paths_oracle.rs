@@ -1,0 +1,241 @@
+//! Oracle property tests: the cached, allocation-free Algorithm 1
+//! ([`grouter_topology::PathSelector`]) must agree **exactly** with the seed
+//! DFS selector ([`grouter_topology::select_parallel_paths`]) when both are
+//! driven by the same reserve/release/degrade sequence over mirrored
+//! bandwidth matrices.
+//!
+//! Equality is exact (`NvPath: PartialEq` on routes and `f64` rates): both
+//! sides perform the identical occupy/release arithmetic in the identical
+//! order, and path enumeration depends only on capacities — which are
+//! constant within a topology epoch — so cached candidate order must equal
+//! a fresh DFS's order bit-for-bit.
+
+use grouter_sim::FlowNet;
+use grouter_topology::{presets, select_parallel_paths, BwMatrix, NvPath, PathSelector, Topology};
+use proptest::prelude::*;
+
+/// One scripted control-path event. Release indices resolve against the
+/// live-reservation list modulo its length, so any script is meaningful.
+#[derive(Clone, Debug)]
+enum Op {
+    Reserve {
+        src: usize,
+        dst: usize,
+        max_hops: usize,
+        max_paths: usize,
+    },
+    Release(usize),
+    /// Degrade (or restore) a directed link's hardware capacity.
+    Degrade {
+        a: usize,
+        b: usize,
+        cap: f64,
+    },
+}
+
+const N_GPUS: usize = 8; // both presets below expose 8 GPUs per node
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The first strategy is repeated to weight reserves over the others
+    // (the vendored `prop_oneof!` has no weight syntax).
+    let reserve = || {
+        (0..N_GPUS, 0..N_GPUS, 1usize..4, 1usize..9).prop_map(|(src, dst, max_hops, max_paths)| {
+            Op::Reserve {
+                src,
+                dst,
+                max_hops,
+                max_paths,
+            }
+        })
+    };
+    prop_oneof![
+        reserve(),
+        reserve(),
+        reserve(),
+        (0usize..64).prop_map(Op::Release),
+        (0usize..64).prop_map(Op::Release),
+        (0..N_GPUS, 0..N_GPUS, 0.0f64..50e9).prop_map(|(a, b, cap)| Op::Degrade {
+            a,
+            b,
+            // Exercise full link failure too.
+            cap: if cap < 1e9 { 0.0 } else { cap },
+        }),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = (bool, Vec<Op>)> {
+    // `true` → DGX-V100 hybrid cube mesh, `false` → DGX-A100 NVSwitch.
+    (any::<bool>(), proptest::collection::vec(arb_op(), 1..48))
+}
+
+fn build_matrix(v100: bool) -> BwMatrix {
+    let mut net = FlowNet::new();
+    let spec = if v100 {
+        presets::dgx_v100()
+    } else {
+        presets::dgx_a100()
+    };
+    let topo = Topology::build(spec, 1, &mut net);
+    BwMatrix::from_topology(&topo)
+}
+
+struct Harness {
+    cached: PathSelector,
+    seed: BwMatrix,
+    /// Reserved path sets, identical on both sides by construction.
+    live: Vec<Vec<NvPath>>,
+}
+
+impl Harness {
+    fn new(v100: bool) -> Harness {
+        Harness {
+            cached: PathSelector::new(build_matrix(v100)),
+            seed: build_matrix(v100),
+            live: Vec::new(),
+        }
+    }
+
+    fn apply(&mut self, op: &Op) -> Result<(), String> {
+        match *op {
+            Op::Reserve {
+                src,
+                dst,
+                max_hops,
+                max_paths,
+            } => {
+                let got = self
+                    .cached
+                    .select(src, dst, max_hops, max_paths)
+                    .paths
+                    .clone();
+                let expect =
+                    select_parallel_paths(&mut self.seed, src, dst, max_hops, max_paths).paths;
+                if got != expect {
+                    return Err(format!(
+                        "selection diverged for {src}->{dst} (hops {max_hops}, fanout \
+                         {max_paths}): cached {got:?} vs seed {expect:?}"
+                    ));
+                }
+                self.live.push(got);
+            }
+            Op::Release(i) => {
+                if self.live.is_empty() {
+                    return Ok(());
+                }
+                let idx = i % self.live.len();
+                let paths = self.live.remove(idx);
+                for p in &paths {
+                    self.cached.bwm_mut().release_path(&p.gpus, p.rate);
+                    self.seed.release_path(&p.gpus, p.rate);
+                }
+                self.cached.recycle(paths);
+            }
+            Op::Degrade { a, b, cap } => {
+                if a == b {
+                    return Ok(());
+                }
+                self.cached.degrade_link(a, b, cap);
+                self.seed.degrade_link(a, b, cap);
+            }
+        }
+        Ok(())
+    }
+
+    /// Both matrices must stay bit-identical after every event.
+    fn check(&self) -> Result<(), String> {
+        let (c, s) = (self.cached.bwm(), &self.seed);
+        if c.epoch() != s.epoch() {
+            return Err(format!("epoch diverged: {} vs {}", c.epoch(), s.epoch()));
+        }
+        for a in 0..N_GPUS {
+            for b in 0..N_GPUS {
+                if c.capacity(a, b).to_bits() != s.capacity(a, b).to_bits() {
+                    return Err(format!(
+                        "capacity({a},{b}) diverged: {} vs {}",
+                        c.capacity(a, b),
+                        s.capacity(a, b)
+                    ));
+                }
+                if c.residual(a, b).to_bits() != s.residual(a, b).to_bits() {
+                    return Err(format!(
+                        "residual({a},{b}) diverged: {} vs {}",
+                        c.residual(a, b),
+                        s.residual(a, b)
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(160))]
+
+    /// Cached selector ≡ seed DFS selector on randomized
+    /// reserve/release/degrade sequences over both testbed presets.
+    #[test]
+    fn cached_selector_matches_seed_dfs((v100, ops) in arb_scenario()) {
+        let mut h = Harness::new(v100);
+        for op in &ops {
+            h.apply(op).map_err(|e| format!("applying {op:?}: {e}"))?;
+            h.check().map_err(|e| format!("after {op:?}: {e}"))?;
+        }
+        // Releasing everything restores both matrices to their (possibly
+        // degraded) baselines.
+        for paths in std::mem::take(&mut h.live) {
+            for p in &paths {
+                h.cached.bwm_mut().release_path(&p.gpus, p.rate);
+                h.seed.release_path(&p.gpus, p.rate);
+            }
+        }
+        h.check().map_err(|e| format!("after drain: {e}"))?;
+    }
+
+    /// Determinism: the cached selector is bit-identical across two runs of
+    /// the same scenario (no cache-population-order or buffer-reuse
+    /// leakage).
+    #[test]
+    fn cached_selector_is_deterministic((v100, ops) in arb_scenario()) {
+        let run = |ops: &[Op]| -> Vec<u64> {
+            let mut sel = PathSelector::new(build_matrix(v100));
+            let mut live: Vec<Vec<NvPath>> = Vec::new();
+            let mut trace = Vec::new();
+            for op in ops {
+                match *op {
+                    Op::Reserve { src, dst, max_hops, max_paths } => {
+                        sel.select(src, dst, max_hops, max_paths);
+                        let paths = sel.take_last_selection();
+                        for p in &paths {
+                            trace.push(p.gpus.len() as u64);
+                            trace.extend(p.gpus.iter().map(|&g| g as u64));
+                            trace.push(p.rate.to_bits());
+                        }
+                        live.push(paths);
+                    }
+                    Op::Release(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let idx = i % live.len();
+                        let paths = live.remove(idx);
+                        for p in &paths {
+                            sel.bwm_mut().release_path(&p.gpus, p.rate);
+                        }
+                        sel.recycle(paths);
+                    }
+                    Op::Degrade { a, b, cap } => {
+                        if a != b {
+                            sel.degrade_link(a, b, cap);
+                        }
+                        trace.push(sel.bwm().epoch());
+                    }
+                }
+            }
+            trace
+        };
+        let a = run(&ops);
+        let b = run(&ops);
+        prop_assert_eq!(a, b, "cached selector not deterministic");
+    }
+}

@@ -57,13 +57,7 @@ pub fn proportional_split(bytes: f64, capacities: &[f64]) -> Vec<f64> {
     }
     capacities
         .iter()
-        .map(|&c| {
-            if c > 0.0 {
-                bytes * c / total
-            } else {
-                0.0
-            }
-        })
+        .map(|&c| if c > 0.0 { bytes * c / total } else { 0.0 })
         .collect()
 }
 

@@ -184,7 +184,7 @@ mod tests {
     use super::*;
     use crate::plan::{plan_d2h, plan_intra_node, PlanConfig, TransferPlan};
     use grouter_sim::time::SimDuration;
-    use grouter_topology::{presets, BwMatrix, Topology};
+    use grouter_topology::{presets, PathSelector, Topology};
 
     const MB: f64 = 1e6;
 
@@ -257,11 +257,11 @@ mod tests {
     fn transfer_finishes_only_when_all_flows_do() {
         let (mut net, topo) = setup();
         let mut eng = TransferEngine::new();
-        let mut bwm = BwMatrix::from_topology(&topo);
+        let mut sel = PathSelector::from_topology(&topo);
         let plan = plan_intra_node(
             &topo,
             &net,
-            Some(&mut bwm),
+            Some(&mut sel),
             0,
             0,
             1,
@@ -281,11 +281,11 @@ mod tests {
     fn reservations_surface_in_completion() {
         let (mut net, topo) = setup();
         let mut eng = TransferEngine::new();
-        let mut bwm = BwMatrix::from_topology(&topo);
+        let mut sel = PathSelector::from_topology(&topo);
         let plan = plan_intra_node(
             &topo,
             &net,
-            Some(&mut bwm),
+            Some(&mut sel),
             0,
             0,
             3,
@@ -297,10 +297,10 @@ mod tests {
         for (route, rate) in &done[0].nv_releases {
             assert!(route.len() >= 2);
             assert!(*rate > 0.0);
-            bwm.release_path(route, *rate);
+            sel.bwm_mut().release_path(route, *rate);
         }
         // Fully released → matrix idle again.
-        assert!(bwm.is_idle(0, 3));
+        assert!(sel.bwm().is_idle(0, 3));
     }
 
     #[test]
@@ -312,7 +312,9 @@ mod tests {
             panic!("expected in-flight");
         };
         assert!(net.num_flows() > 0);
-        let done = eng.cancel(&mut net, SimTime::ZERO, id).expect("cancellable");
+        let done = eng
+            .cancel(&mut net, SimTime::ZERO, id)
+            .expect("cancellable");
         assert_eq!(done.id, id);
         assert_eq!(net.num_flows(), 0);
         assert_eq!(eng.in_flight(), 0);

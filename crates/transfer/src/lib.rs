@@ -26,7 +26,7 @@ pub mod plan;
 pub mod rate;
 
 pub use chunk::{chunk_count, proportional_split, ChunkPlan};
-pub use pipeline::{BatchPipeline, Completion, Offered};
 pub use exec::{TransferDone, TransferEngine, TransferId};
+pub use pipeline::{BatchPipeline, Completion, Offered};
 pub use plan::{PlanConfig, PlannedFlow, TransferPlan};
 pub use rate::{rate_least, RateController, SloSpec};

@@ -130,10 +130,7 @@ impl BatchPipeline {
                 }
             }
             // Pick the next active transfer at or after the cursor.
-            let pick = *active
-                .iter()
-                .find(|&&i| i >= rr)
-                .unwrap_or(&active[0]);
+            let pick = *active.iter().find(|&&i| i >= rr).unwrap_or(&active[0]);
             rr = pick + 1;
             // Serve one batch of it.
             let full_chunks = (remaining[pick] / self.chunk_bytes).ceil() as usize;
@@ -145,9 +142,8 @@ impl BatchPipeline {
                 self.chunk_bytes
             };
             let dt = self.batch_time(chunks, last_partial);
-            now = now + dt;
-            remaining[pick] =
-                (remaining[pick] - chunks as f64 * self.chunk_bytes).max(0.0);
+            now += dt;
+            remaining[pick] = (remaining[pick] - chunks as f64 * self.chunk_bytes).max(0.0);
             if remaining[pick] <= 0.0 {
                 done.push(Completion {
                     id: pick,
@@ -194,7 +190,10 @@ mod tests {
         let lat = p.latency_of(&offered, 0);
         let ideal = 100.0 * MB / 12e9;
         let overhead = 10.0 * 30e-6;
-        assert!((lat.as_secs_f64() - (ideal + overhead)).abs() < 1e-6, "{lat}");
+        assert!(
+            (lat.as_secs_f64() - (ideal + overhead)).abs() < 1e-6,
+            "{lat}"
+        );
     }
 
     #[test]

@@ -12,8 +12,7 @@
 
 use grouter_sim::time::SimDuration;
 use grouter_sim::{params, FlowNet, FlowOptions, LinkId};
-use grouter_topology::paths::select_parallel_paths;
-use grouter_topology::{BwMatrix, GpuRef, Topology};
+use grouter_topology::{GpuRef, PathSelector, Topology};
 
 /// Feature switches for the planners (the ablation knobs of Fig. 16 map to
 /// these plus the storage/locality toggles in the core crate).
@@ -123,7 +122,11 @@ impl TransferPlan {
     }
 }
 
-fn flows_from_paths(paths: Vec<(Vec<LinkId>, Option<(Vec<usize>, f64)>)>, caps: &[f64], bytes: f64) -> Vec<PlannedFlow> {
+/// A candidate link path, optionally backed by an NVLink bandwidth
+/// reservation `(GPU route, reserved rate)`.
+type CandidatePath = (Vec<LinkId>, Option<(Vec<usize>, f64)>);
+
+fn flows_from_paths(paths: Vec<CandidatePath>, caps: &[f64], bytes: f64) -> Vec<PlannedFlow> {
     let shares = crate::chunk::proportional_split(bytes, caps);
     paths
         .into_iter()
@@ -151,14 +154,17 @@ fn path_capacity(net: &FlowNet, links: &[LinkId]) -> f64 {
 ///
 /// * Same GPU → zero-copy (IPC address sharing).
 /// * NVLink machine + `parallel_nvlink` → Algorithm 1 multi-path selection
-///   over `bwm` (reservations recorded for release at completion).
+///   through the cached `selector` (reservations recorded for release at
+///   completion; candidate paths come from the topology-epoch cache, so no
+///   DFS or intermediate path vectors on this hot path).
 /// * NVLink machine, single-path → direct edge, else shortest NVLink route,
 ///   else PCIe peer-to-peer.
 /// * PCIe-only machine → PCIe peer-to-peer.
+#[allow(clippy::too_many_arguments)]
 pub fn plan_intra_node(
     topo: &Topology,
     net: &FlowNet,
-    bwm: Option<&mut BwMatrix>,
+    selector: Option<&mut PathSelector>,
     node: usize,
     src: usize,
     dst: usize,
@@ -172,17 +178,19 @@ pub fn plan_intra_node(
 
     if topo.has_nvlink() {
         if cfg.parallel_nvlink {
-            if let Some(bwm) = bwm {
+            if let Some(sel) = selector {
                 // NVSwitch fabrics gain nothing from detours (the port is
                 // the bottleneck): restrict to the direct path.
                 let max_hops = if topo.has_nvswitch() { 1 } else { cfg.max_hops };
-                let sel = select_parallel_paths(bwm, src, dst, max_hops, cfg.max_paths);
-                if !sel.is_empty() {
-                    let caps: Vec<f64> = sel.paths.iter().map(|p| p.rate).collect();
-                    let paths = sel
-                        .paths
+                if !sel.select(src, dst, max_hops, cfg.max_paths).is_empty() {
+                    let nv_paths = sel.take_last_selection();
+                    let caps: Vec<f64> = nv_paths.iter().map(|p| p.rate).collect();
+                    let shares = crate::chunk::proportional_split(bytes, &caps);
+                    let flows = nv_paths
                         .into_iter()
-                        .map(|p| {
+                        .zip(shares)
+                        .filter(|(_, share)| *share > 0.0 || bytes == 0.0)
+                        .map(|(p, share)| {
                             let mut links = Vec::new();
                             for hop in p.gpus.windows(2) {
                                 links.extend(
@@ -190,11 +198,17 @@ pub fn plan_intra_node(
                                         .expect("selected path uses existing edges"),
                                 );
                             }
-                            (links, Some((p.gpus, p.rate)))
+                            PlannedFlow {
+                                route: Some(p.gpus.clone()),
+                                links,
+                                bytes: share,
+                                opts: FlowOptions::default(),
+                                nv_reservation: Some((p.gpus, p.rate)),
+                            }
                         })
                         .collect();
                     return TransferPlan {
-                        flows: flows_from_paths(paths, &caps, bytes),
+                        flows,
                         setup,
                         total_bytes: bytes,
                     };
@@ -348,8 +362,7 @@ pub fn plan_d2h(
     cfg: &PlanConfig,
 ) -> TransferPlan {
     let setup = params::DMA_LAUNCH + params::CHUNK_OVERHEAD;
-    let mut paths: Vec<(Vec<LinkId>, Option<(Vec<usize>, f64)>)> =
-        vec![(topo.d2h_path(node, gpu), None)];
+    let mut paths: Vec<CandidatePath> = vec![(topo.d2h_path(node, gpu), None)];
     if cfg.parallel_pcie && topo.has_nvlink() {
         for route in pcie_feeder_routes(topo, gpu, cfg) {
             let peer = *route.last().expect("route non-empty");
@@ -376,8 +389,7 @@ pub fn plan_h2d(
     cfg: &PlanConfig,
 ) -> TransferPlan {
     let setup = params::DMA_LAUNCH + params::CHUNK_OVERHEAD;
-    let mut paths: Vec<(Vec<LinkId>, Option<(Vec<usize>, f64)>)> =
-        vec![(topo.h2d_path(node, gpu), None)];
+    let mut paths: Vec<CandidatePath> = vec![(topo.h2d_path(node, gpu), None)];
     if cfg.parallel_pcie && topo.has_nvlink() {
         for route in pcie_feeder_routes(topo, gpu, cfg) {
             let peer = *route.last().expect("route non-empty");
@@ -455,7 +467,7 @@ pub fn plan_cross_node(
     assert_ne!(src.node, dst.node, "cross-node plan needs distinct nodes");
     let setup = params::GDR_SETUP + params::NIC_CONN_SETUP + params::CHUNK_OVERHEAD;
 
-    let mut paths: Vec<(Vec<LinkId>, Option<(Vec<usize>, f64)>)> = Vec::new();
+    let mut paths: Vec<CandidatePath> = Vec::new();
     if cfg.parallel_nics && topo.has_nvlink() {
         for (nic, src_route, dst_route) in nic_routes(topo, src.gpu, dst.gpu) {
             let mut links = Vec::new();
@@ -544,9 +556,9 @@ mod tests {
     #[test]
     fn parallel_nvlink_plan_conserves_bytes() {
         let (net, topo) = v100(1);
-        let mut bwm = BwMatrix::from_topology(&topo);
+        let mut sel = PathSelector::from_topology(&topo);
         let cfg = PlanConfig::grouter();
-        let p = plan_intra_node(&topo, &net, Some(&mut bwm), 0, 0, 1, 100.0 * MB, &cfg);
+        let p = plan_intra_node(&topo, &net, Some(&mut sel), 0, 0, 1, 100.0 * MB, &cfg);
         assert!(p.flows.len() >= 2, "weak pair should use parallel paths");
         assert!((p.assigned_bytes() - 100.0 * MB).abs() < 1.0);
         // Every flow carries an NVLink reservation to release later.
@@ -577,8 +589,8 @@ mod tests {
         let mut net = FlowNet::new();
         let topo = Topology::build(presets::a10x4(), 1, &mut net);
         let cfg = PlanConfig::grouter();
-        let mut bwm = BwMatrix::from_topology(&topo);
-        let p = plan_intra_node(&topo, &net, Some(&mut bwm), 0, 0, 1, 100.0 * MB, &cfg);
+        let mut sel = PathSelector::from_topology(&topo);
+        let p = plan_intra_node(&topo, &net, Some(&mut sel), 0, 0, 1, 100.0 * MB, &cfg);
         assert_eq!(p.flows.len(), 1);
         // Distinct switches → 4 PCIe hops.
         assert_eq!(p.flows[0].links.len(), 4);
@@ -707,9 +719,9 @@ mod tests {
     fn nvswitch_plan_is_direct_only() {
         let mut net = FlowNet::new();
         let topo = Topology::build(presets::dgx_a100(), 1, &mut net);
-        let mut bwm = BwMatrix::from_topology(&topo);
+        let mut sel = PathSelector::from_topology(&topo);
         let cfg = PlanConfig::grouter();
-        let p = plan_intra_node(&topo, &net, Some(&mut bwm), 0, 0, 5, 100.0 * MB, &cfg);
+        let p = plan_intra_node(&topo, &net, Some(&mut sel), 0, 0, 5, 100.0 * MB, &cfg);
         assert_eq!(p.flows.len(), 1, "NVSwitch gains nothing from detours");
         assert_eq!(p.flows[0].links.len(), 2, "egress + ingress port");
     }

@@ -6,22 +6,28 @@ use proptest::prelude::*;
 
 use grouter_sim::FlowNet;
 use grouter_topology::graph::TopologySpec;
-use grouter_topology::{presets, BwMatrix, GpuRef, Topology};
+use grouter_topology::{presets, GpuRef, PathSelector, Topology};
 use grouter_transfer::plan::{
     plan_cross_node, plan_d2h, plan_h2d, plan_intra_node, plan_shm, PlanConfig, TransferPlan,
 };
 
 fn arb_cfg() -> impl Strategy<Value = PlanConfig> {
-    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 1usize..6, 1usize..4).prop_map(
-        |(pcie, nics, nvl, ta, max_paths, max_hops)| PlanConfig {
+    (
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        1usize..6,
+        1usize..4,
+    )
+        .prop_map(|(pcie, nics, nvl, ta, max_paths, max_hops)| PlanConfig {
             parallel_pcie: pcie,
             parallel_nics: nics,
             parallel_nvlink: nvl,
             topology_aware: ta,
             max_paths,
             max_hops,
-        },
-    )
+        })
 }
 
 fn arb_preset() -> impl Strategy<Value = TopologySpec> {
@@ -61,17 +67,17 @@ proptest! {
         src in 0usize..8,
         dst in 0usize..8,
         bytes in 0.0f64..1e9,
-        use_bwm in any::<bool>(),
+        use_selector in any::<bool>(),
     ) {
         let mut net = FlowNet::new();
         let topo = Topology::build(spec, 1, &mut net);
         let g = topo.gpus_per_node();
         let (src, dst) = (src % g, dst % g);
-        let mut bwm = BwMatrix::from_topology(&topo);
+        let mut sel = PathSelector::from_topology(&topo);
         let plan = plan_intra_node(
             &topo,
             &net,
-            if use_bwm { Some(&mut bwm) } else { None },
+            if use_selector { Some(&mut sel) } else { None },
             0,
             src,
             dst,
@@ -86,13 +92,13 @@ proptest! {
             // negative or over capacity.
             for f in &plan.flows {
                 if let Some((route, rate)) = &f.nv_reservation {
-                    bwm.release_path(route, *rate);
+                    sel.bwm_mut().release_path(route, *rate);
                 }
             }
             for a in 0..g {
                 for b in 0..g {
-                    prop_assert!(bwm.residual(a, b) <= bwm.capacity(a, b) + 1.0);
-                    prop_assert!(bwm.residual(a, b) >= 0.0);
+                    prop_assert!(sel.bwm().residual(a, b) <= sel.bwm().capacity(a, b) + 1.0);
+                    prop_assert!(sel.bwm().residual(a, b) >= 0.0);
                 }
             }
         }

@@ -289,7 +289,8 @@ mod tests {
     #[test]
     fn all_suite_specs_validate() {
         for spec in suite(WorkloadParams::default()) {
-            spec.validate().unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert!(spec.critical_path_compute() > SimDuration::ZERO);
         }
     }
@@ -299,9 +300,15 @@ mod tests {
         let s = suite(WorkloadParams::default());
         let by_name = |n: &str| s.iter().find(|w| w.name == n).expect("present");
         // Condition: traffic has a conditional group.
-        assert!(by_name("traffic").stages.iter().any(|st| st.cond_group.is_some()));
+        assert!(by_name("traffic")
+            .stages
+            .iter()
+            .any(|st| st.cond_group.is_some()));
         // Sequence: driving is a chain (every stage ≤ 1 dep, one terminal).
-        assert!(by_name("driving").stages.iter().all(|st| st.deps.len() <= 1));
+        assert!(by_name("driving")
+            .stages
+            .iter()
+            .all(|st| st.deps.len() <= 1));
         assert_eq!(by_name("driving").terminals().len(), 1);
         // Fan-out: video has 4 parallel branches.
         let video = by_name("video");
@@ -326,7 +333,10 @@ mod tests {
         });
         assert!(large.input_bytes > small.input_bytes);
         assert!(large.critical_path_compute() > small.critical_path_compute());
-        assert_eq!(large.stages[0].output_bytes, 16.0 * small.stages[0].output_bytes);
+        assert_eq!(
+            large.stages[0].output_bytes,
+            16.0 * small.stages[0].output_bytes
+        );
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub fn generate_trace(
                 if t >= horizon {
                     break;
                 }
-                let lambda = mean_rps * (1.0 + 0.9 * (2.0 * std::f64::consts::PI * t / period).sin());
+                let lambda =
+                    mean_rps * (1.0 + 0.9 * (2.0 * std::f64::consts::PI * t / period).sin());
                 if rng.next_f64() < lambda / peak {
                     out.push(SimTime((t * 1e9) as u64));
                 }
@@ -158,10 +159,7 @@ mod tests {
         for p in ArrivalPattern::ALL {
             let t = trace(p, 50.0, 120, 11);
             let rate = t.len() as f64 / 120.0;
-            assert!(
-                (rate - 50.0).abs() < 12.0,
-                "{p:?} rate {rate} far from 50"
-            );
+            assert!((rate - 50.0).abs() < 12.0, "{p:?} rate {rate} far from 50");
         }
     }
 
@@ -193,6 +191,9 @@ mod tests {
         }
         let max = *buckets.iter().max().expect("nonempty") as f64;
         let min = *buckets.iter().min().expect("nonempty") as f64;
-        assert!(max > 2.0 * min.max(1.0), "no visible modulation: {max} vs {min}");
+        assert!(
+            max > 2.0 * min.max(1.0),
+            "no visible modulation: {max} vs {min}"
+        );
     }
 }

@@ -84,9 +84,7 @@ mod tests {
 
     #[test]
     fn kv_sizes_scale_with_model_and_context() {
-        assert!(
-            LlmModel::Llama70B.kv_bytes(1000) > LlmModel::Llama7B.kv_bytes(1000)
-        );
+        assert!(LlmModel::Llama70B.kv_bytes(1000) > LlmModel::Llama7B.kv_bytes(1000));
         assert_eq!(LlmModel::Llama7B.kv_bytes(4096), 0.5e6 * 4096.0);
         // 4K context on 7B ≈ 2 GB — matches deployed systems.
         let gb = LlmModel::Llama7B.kv_bytes(4096) / 1e9;
@@ -109,8 +107,8 @@ mod tests {
         let kv = LlmModel::Llama70B.kv_bytes(4096);
         let transfer = SimDuration::from_secs_f64(kv / 10e9);
         let with_reuse = ttft(transfer, LlmModel::Llama70B, 4);
-        let without = LlmModel::Llama70B.prefill_latency(4096, 4)
-            + LlmModel::Llama70B.first_token_latency(4);
+        let without =
+            LlmModel::Llama70B.prefill_latency(4096, 4) + LlmModel::Llama70B.first_token_latency(4);
         assert!(with_reuse < without, "{with_reuse} vs {without}");
     }
 

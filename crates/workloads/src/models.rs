@@ -183,8 +183,19 @@ mod tests {
     #[test]
     fn profiles_have_positive_memory() {
         for p in [
-            &YOLO_DET, &RESNET50, &PREPROCESS, &POSTPROCESS, &DENOISE, &SEGMENT, &COLORIZE,
-            &FACE_DET, &FACE_REC, &CLASSIFIER, &ASR, &NLU, &TTS,
+            &YOLO_DET,
+            &RESNET50,
+            &PREPROCESS,
+            &POSTPROCESS,
+            &DENOISE,
+            &SEGMENT,
+            &COLORIZE,
+            &FACE_DET,
+            &FACE_REC,
+            &CLASSIFIER,
+            &ASR,
+            &NLU,
+            &TTS,
         ] {
             assert!(p.mem_bytes > 0.0, "{}", p.name);
             assert!(p.base_us > 0.0);

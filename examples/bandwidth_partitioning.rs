@@ -47,11 +47,21 @@ fn corun(cfg: GrouterConfig, d: &Arc<WorkflowSpec>, v: &Arc<WorkflowSpec>) -> (f
     );
     let mut rng = DetRng::new(55);
     let mut sub = rng.fork(0);
-    for t in generate_trace(ArrivalPattern::Bursty, 8.0, SimDuration::from_secs(12), &mut sub) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        8.0,
+        SimDuration::from_secs(12),
+        &mut sub,
+    ) {
         rt.submit(d.clone(), t);
     }
     let mut sub = rng.fork(1);
-    for t in generate_trace(ArrivalPattern::Bursty, 8.0, SimDuration::from_secs(12), &mut sub) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        8.0,
+        SimDuration::from_secs(12),
+        &mut sub,
+    ) {
         rt.submit(v.clone(), t);
     }
     rt.run();
@@ -73,10 +83,7 @@ fn main() {
 
     let d = calibrated_driving(params);
     let v = video(params);
-    println!(
-        "driving SLO: {:.0} ms\n",
-        d.slo.as_millis_f64()
-    );
+    println!("driving SLO: {:.0} ms\n", d.slo.as_millis_f64());
     println!(
         "{:<34} {:>16} {:>12} {:>14}",
         "variant", "driving p99 (ms)", "SLO met", "video p99 (ms)"

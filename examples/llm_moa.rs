@@ -71,7 +71,12 @@ fn main() {
     );
     for tokens in [1024u32, 2048, 4096, 8192] {
         let inf = ttft_ms(Box::new(InflessPlane::new()), LlmModel::Llama7B, tokens, 1);
-        let moon = ttft_ms(Box::new(MooncakePlane::new(1)), LlmModel::Llama7B, tokens, 1);
+        let moon = ttft_ms(
+            Box::new(MooncakePlane::new(1)),
+            LlmModel::Llama7B,
+            tokens,
+            1,
+        );
         let ours = ttft_ms(
             Box::new(GrouterPlane::new(GrouterConfig::full())),
             LlmModel::Llama7B,

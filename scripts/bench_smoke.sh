@@ -1,17 +1,22 @@
 #!/bin/sh
 # Quick-turnaround benchmark smoke run.
 #
-# Runs the `bench_flownet` churn group with a reduced sample count, scrapes
-# the machine-readable CRITERION_JSON lines into BENCH_flownet.json, and
-# checks that the incremental allocator holds its speedup target (>= 5x at
-# 1024 concurrent flows) against the full-recompute reference.
+# Runs the `bench_flownet` churn group and the `bench_paths` selection group
+# with a reduced sample count, scrapes the machine-readable CRITERION_JSON
+# lines into BENCH_flownet.json / BENCH_paths.json, and checks the two
+# headline targets:
+#   - incremental flow allocator >= 5x over the full-recompute reference at
+#     1024 concurrent flows;
+#   - cached Algorithm 1 selection >= 10x over the seed DFS selector on the
+#     contended DGX-V100 case.
 #
-# Usage: scripts/bench_smoke.sh [output.json]
+# Usage: scripts/bench_smoke.sh [flownet.json] [paths.json]
 
 set -eu
 
 cd "$(dirname "$0")/.."
 out="${1:-BENCH_flownet.json}"
+paths_out="${2:-BENCH_paths.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
@@ -63,3 +68,55 @@ if [ "$ok" != 1 ]; then
     exit 1
 fi
 echo "1024-flow churn speedup: ${speedup}x (target: >= 5x)"
+
+# ---------------------------------------------------------------------------
+# bench_paths: cached vs uncached Algorithm 1 selection.
+
+cargo bench --bench paths -- --sample-size 10 2>&1 | tee "$raw"
+
+grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk '
+    BEGIN { print "{"; print "  \"group\": \"bench_paths\","; print "  \"results\": [" }
+    { lines[NR] = $0 }
+    END {
+        for (i = 1; i <= NR; i++)
+            printf "    %s%s\n", lines[i], (i < NR ? "," : "")
+        print "  ],"
+    }
+' > "$paths_out.tmp"
+
+# Per-case speedup: seed DFS selector median / cached selector median.
+grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk '
+    {
+        name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        med = $0; sub(/.*"median_ns":/, "", med); sub(/,.*/, "", med)
+        if (name ~ /^paths_cached\//) { sub(/^paths_cached\//, "", name); cached[name] = med }
+        else if (name ~ /^paths_uncached\//) { sub(/^paths_uncached\//, "", name); unc[name] = med }
+    }
+    END {
+        printf "  \"speedup\": {"
+        first = 1
+        for (k in cached) if (k in unc) {
+            printf "%s\"%s\": %.2f", (first ? "" : ", "), k, unc[k] / cached[k]
+            first = 0
+        }
+        print "}"
+        print "}"
+    }
+' >> "$paths_out.tmp"
+mv "$paths_out.tmp" "$paths_out"
+
+echo "wrote $paths_out"
+
+# Acceptance gate: >= 10x cached-vs-uncached selection on the contended
+# DGX-V100 case.
+pspeed=$(sed -n 's/.*"v100_contended": \([0-9.]*\).*/\1/p' "$paths_out")
+if [ -z "$pspeed" ]; then
+    echo "ERROR: no v100_contended speedup in $paths_out" >&2
+    exit 1
+fi
+ok=$(awk -v s="$pspeed" 'BEGIN { print (s >= 10.0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "ERROR: contended V100 selection speedup ${pspeed}x is below the 10x target" >&2
+    exit 1
+fi
+echo "contended V100 selection speedup: ${pspeed}x (target: >= 10x)"

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Offline CI gate: formatting, lints, the tier-1 test suite, and the
+# benchmark smoke run with its speedup gates. Everything runs locally with
+# no network access.
+#
+# Usage: scripts/ci.sh
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> tier-1 tests (cargo build --release && cargo test -q)"
+cargo build --release
+cargo test -q
+
+echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json)"
+scripts/bench_smoke.sh
+
+echo "CI OK"

@@ -29,8 +29,10 @@ fn every_workflow_completes_on_every_plane() {
             assert!(rt.world().quiescent(), "{label}/{}: residue", spec.name);
             // Latency is at least the compute floor for every record.
             for rec in m.records() {
-                assert!(rec.latency() >= rec.compute || rec.compute > rec.latency(),
-                    "sanity");
+                assert!(
+                    rec.latency() >= rec.compute || rec.compute > rec.latency(),
+                    "sanity"
+                );
                 assert!(rec.latency().as_nanos() > 0);
             }
         }
@@ -98,7 +100,11 @@ fn multi_node_cluster_distributes_and_completes() {
     for plane in all_planes(11) {
         let label = plane.name();
         let rt = run_bursty(presets::dgx_v100(), 3, plane, spec.clone(), 4.0, 4, 13);
-        assert_eq!(rt.metrics().completed() as u64, rt.metrics().arrivals, "{label}");
+        assert_eq!(
+            rt.metrics().completed() as u64,
+            rt.metrics().arrivals,
+            "{label}"
+        );
         assert!(rt.world().quiescent(), "{label}");
     }
 }

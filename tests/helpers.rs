@@ -36,7 +36,12 @@ pub fn run_bursty(
 ) -> Runtime {
     let mut rt = Runtime::new(topo, nodes, plane, RuntimeConfig::default());
     let mut rng = DetRng::new(seed);
-    for t in generate_trace(ArrivalPattern::Bursty, rps, SimDuration::from_secs(secs), &mut rng) {
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        rps,
+        SimDuration::from_secs(secs),
+        &mut rng,
+    ) {
         rt.submit(spec.clone(), t);
     }
     rt.run();

@@ -32,7 +32,9 @@ impl Cluster {
                 .map(|_| ElasticPool::new(PoolDiscipline::Elastic, topo.gpu_mem_bytes()))
                 .collect(),
             scalers: (0..topo.num_gpus()).map(|_| PrewarmScaler::new()).collect(),
-            ledgers: (0..nodes).map(|_| PathLedger::from_topology(&topo)).collect(),
+            ledgers: (0..nodes)
+                .map(|_| PathLedger::from_topology(&topo))
+                .collect(),
             pinned: (0..nodes)
                 .map(|_| PinnedRing::new(grouter_sim::params::PINNED_RING_BYTES))
                 .collect(),
@@ -169,7 +171,12 @@ fn access_control_is_universal() {
             )
             .expect("put");
         let err = plane
-            .get(&mut cl.ctx(), token(2), put.id, Destination::Gpu(GpuRef::new(0, 3)))
+            .get(
+                &mut cl.ctx(),
+                token(2),
+                put.id,
+                Destination::Gpu(GpuRef::new(0, 3)),
+            )
             .unwrap_err();
         assert!(
             matches!(err, StoreError::AccessDenied { .. }),
@@ -192,7 +199,11 @@ fn unknown_object_is_reported_not_panicked() {
                 Destination::Gpu(GpuRef::new(0, 0)),
             )
             .unwrap_err();
-        assert!(matches!(err, StoreError::UnknownData(_)), "{}", plane.name());
+        assert!(
+            matches!(err, StoreError::UnknownData(_)),
+            "{}",
+            plane.name()
+        );
     }
 }
 

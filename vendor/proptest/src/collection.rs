@@ -21,7 +21,10 @@ impl From<usize> for SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> SizeRange {
         assert!(r.start < r.end, "empty vec size range");
-        SizeRange { lo: r.start, hi: r.end }
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
     }
 }
 

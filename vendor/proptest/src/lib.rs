@@ -22,7 +22,9 @@ pub mod test_runner;
 pub mod prelude {
     pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 pub use strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
@@ -112,7 +114,11 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         if *l == *r {
             return ::core::result::Result::Err(format!(
-                "assertion failed: `{:?} != {:?}` ({}:{})", l, r, file!(), line!()
+                "assertion failed: `{:?} != {:?}` ({}:{})",
+                l,
+                r,
+                file!(),
+                line!()
             ));
         }
     }};
