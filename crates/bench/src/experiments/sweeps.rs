@@ -37,8 +37,8 @@ pub fn run() -> String {
             chunks_per_batch: batch,
             batch_overhead: SimDuration::from_micros(30),
         };
-        let elephant = p.latency_of(&offered, 0).as_millis_f64();
-        let mouse = p.latency_of(&offered, 1).as_millis_f64();
+        let elephant = p.latency_of(&offered, 0).unwrap().as_millis_f64();
+        let mouse = p.latency_of(&offered, 1).unwrap().as_millis_f64();
         let launches = 200usize.div_ceil(batch) + 1;
         let label = if batch == 100_000 {
             "whole".to_string()
@@ -67,8 +67,8 @@ pub fn run() -> String {
         };
         table.row(&[
             format!("{chunk_mb}"),
-            fmt_ms(p.latency_of(&offered, 0).as_millis_f64()),
-            fmt_ms(p.latency_of(&offered, 1).as_millis_f64()),
+            fmt_ms(p.latency_of(&offered, 0).unwrap().as_millis_f64()),
+            fmt_ms(p.latency_of(&offered, 1).unwrap().as_millis_f64()),
         ]);
     }
     out.push_str(&table.finish());

@@ -129,7 +129,22 @@ impl GrouterPlane {
         };
         let (res, sel, rebalances) =
             ctx.ledgers[node].reserve(src, dst, max_hops, self.cfg.max_paths);
-        if sel.is_empty() {
+        // Resolve each selected GPU route to its links up front. A hop
+        // without an NVLink edge cannot happen while the path cache is
+        // epoch-coherent with the topology; if it ever does, that path is
+        // dropped and planning degrades rather than crashing the data plane.
+        let routed: Vec<(grouter_topology::NvPath, Vec<grouter_sim::LinkId>)> = sel
+            .paths
+            .into_iter()
+            .filter_map(|p| {
+                let mut links = Vec::new();
+                for hop in p.gpus.windows(2) {
+                    links.extend(ctx.topo.nvlink_edge(node, hop[0], hop[1])?);
+                }
+                Some((p, links))
+            })
+            .collect();
+        if routed.is_empty() {
             // No NVLink route: fall back to the single-path planner (PCIe
             // peer-to-peer or shortest route).
             let plan = plan_intra_node(
@@ -145,30 +160,19 @@ impl GrouterPlane {
             ctx.ledgers[node].release(res);
             return OpLeg::new(plan, node);
         }
-        let caps: Vec<f64> = sel.paths.iter().map(|p| p.rate).collect();
+        let caps: Vec<f64> = routed.iter().map(|(p, _)| p.rate).collect();
         let shares = grouter_transfer::chunk::proportional_split(bytes, &caps);
         // Consume the selection: routes move into the planned flows instead
         // of being re-cloned per path.
-        let flows: Vec<PlannedFlow> = sel
-            .paths
+        let flows: Vec<PlannedFlow> = routed
             .into_iter()
             .zip(shares)
-            .map(|(p, share)| {
-                let mut links = Vec::new();
-                for hop in p.gpus.windows(2) {
-                    links.extend(
-                        ctx.topo
-                            .nvlink_edge(node, hop[0], hop[1])
-                            .expect("selected path uses existing edges"),
-                    );
-                }
-                PlannedFlow {
-                    links,
-                    bytes: share,
-                    opts: Default::default(),
-                    nv_reservation: None, // the ledger owns the reservation
-                    route: Some(p.gpus),
-                }
+            .map(|((p, links), share)| PlannedFlow {
+                links,
+                bytes: share,
+                opts: Default::default(),
+                nv_reservation: None, // the ledger owns the reservation
+                route: Some(p.gpus),
             })
             .collect();
         let plan = TransferPlan {
@@ -227,14 +231,18 @@ impl GrouterPlane {
         let mut legs = Vec::new();
         for v in victims {
             let id = DataId(v);
-            let entry = ctx.store.peek(id).expect("victim exists").clone();
+            // Victims were selected from a store snapshot taken above, so
+            // both lookups hold; a vanished victim is skipped, not fatal.
+            let Some(entry) = ctx.store.peek(id).cloned() else {
+                continue;
+            };
+            if ctx.store.relocate(id, Location::Host(gpu.node)).is_err() {
+                continue;
+            }
             legs.push(OpLeg::new(
                 plan_d2h(ctx.topo, ctx.net, gpu.node, gpu.gpu, entry.bytes, &host_cfg),
                 gpu.node,
             ));
-            ctx.store
-                .relocate(id, Location::Host(gpu.node))
-                .expect("victim exists");
             let idx = ctx.pool_index(gpu);
             ctx.pools[idx].free(entry.bytes);
             self.stats.migrations += 1;
@@ -274,7 +282,11 @@ impl GrouterPlane {
         let mut ops = Vec::new();
         for key in order {
             let id = DataId(key);
-            let bytes = ctx.store.peek(id).expect("candidate exists").bytes;
+            // Candidates come from the store scan above; a candidate that
+            // vanished in between is skipped, not fatal.
+            let Some(bytes) = ctx.store.peek(id).map(|e| e.bytes) else {
+                continue;
+            };
             let idx = ctx.pool_index(gpu);
             // Leave headroom for incoming puts: restoring into a full pool
             // would just force the next put to evict again (thrash), and the
@@ -285,9 +297,11 @@ impl GrouterPlane {
             let Ok(grant) = ctx.pools[idx].try_alloc(bytes) else {
                 break; // no headroom; stop restoring
             };
-            ctx.store
-                .relocate(id, Location::Gpu(gpu))
-                .expect("candidate exists");
+            if ctx.store.relocate(id, Location::Gpu(gpu)).is_err() {
+                // Undo the reservation; the object is gone from the store.
+                ctx.pools[idx].free(bytes);
+                continue;
+            }
             self.migrated_home.remove(&key);
             self.stats.restores += 1;
             ops.push(DataOp {
@@ -539,15 +553,30 @@ impl DataPlane for GrouterPlane {
         let entry = ctx.store.peek(id).cloned();
         let mut freed_gpu = None;
         if ctx.store.consumed(id) {
-            self.migrated_home.remove(&id.0);
+            let home = self.migrated_home.remove(&id.0);
             if let Some(entry) = entry {
-                if let Location::Gpu(g) = entry.location {
-                    let idx = ctx.pool_index(g);
-                    ctx.pools[idx].free(entry.bytes);
-                    if self.cfg.elastic_storage {
-                        ctx.scalers[idx].on_consumed(entry.producer.0);
+                match entry.location {
+                    Location::Gpu(g) => {
+                        let idx = ctx.pool_index(g);
+                        ctx.pools[idx].free(entry.bytes);
+                        if self.cfg.elastic_storage {
+                            ctx.scalers[idx].on_consumed(entry.producer.0);
+                        }
+                        freed_gpu = Some(g);
                     }
-                    freed_gpu = Some(g);
+                    // A migrated object consumed straight from host memory:
+                    // its pool bytes were freed at migration time, but the
+                    // home GPU's pre-warm scaler still counts the output as
+                    // live — without this release the leaked count inflates
+                    // the concurrency p99 and the pool over-reserves forever.
+                    Location::Host(_) => {
+                        if self.cfg.elastic_storage {
+                            if let Some(home) = home {
+                                let idx = ctx.pool_index(home);
+                                ctx.scalers[idx].on_consumed(entry.producer.0);
+                            }
+                        }
+                    }
                 }
             }
         }

@@ -311,6 +311,73 @@ fn access_control_blocks_cross_workflow_reads() {
 }
 
 #[test]
+fn consuming_a_migrated_object_releases_its_scaler_reservation() {
+    // Regression test: an output produced on a GPU, migrated to host under
+    // memory pressure and then consumed from there used to keep its
+    // live-output count on the home GPU's pre-warm scaler forever,
+    // ratcheting the concurrency p99 and the pool target upward.
+    use grouter::mem::{ElasticPool, PinnedRing, PoolDiscipline, PrewarmScaler};
+    use grouter::runtime::dataplane::PlaneCtx;
+    use grouter::sim::FlowNet;
+    use grouter::store::{AccessToken, DataStore, FunctionId, Location, WorkflowId};
+    use grouter::topology::{PathLedger, Topology};
+    use grouter::transfer::rate::RateController;
+
+    let mut net = FlowNet::new();
+    let topo = Topology::build(presets::dgx_v100(), 1, &mut net);
+    let mut store = DataStore::new(1);
+    let mut pools: Vec<ElasticPool> = (0..8)
+        .map(|_| ElasticPool::new(PoolDiscipline::Elastic, topo.gpu_mem_bytes()))
+        .collect();
+    let mut scalers: Vec<PrewarmScaler> = (0..8).map(|_| PrewarmScaler::new()).collect();
+    let mut ledgers = vec![PathLedger::from_topology(&topo)];
+    let mut pinned = vec![PinnedRing::new(grouter::sim::params::PINNED_RING_BYTES)];
+    let mut rates = vec![RateController::new()];
+    let mut plane = GrouterPlane::new(GrouterConfig::full());
+
+    let mut ctx = PlaneCtx {
+        topo: &topo,
+        net: &net,
+        store: &mut store,
+        pools: &mut pools,
+        scalers: &mut scalers,
+        ledgers: &mut ledgers,
+        pinned: &mut pinned,
+        rates: &mut rates,
+        now: SimTime::ZERO,
+        slo: None,
+    };
+    let producer = AccessToken {
+        function: FunctionId(1),
+        workflow: WorkflowId(7),
+    };
+    let gpu = GpuRef::new(0, 0);
+    let put = plane
+        .put(&mut ctx, producer, Destination::Gpu(gpu), 400.0 * MB, 1)
+        .expect("put");
+    assert_eq!(ctx.scalers[0].live_outputs(1), 1);
+
+    // Squeeze the GPU so the stored object must migrate to host memory.
+    let capacity = ctx.pools[0].capacity();
+    ctx.pools[0].set_runtime_used(capacity - 100.0 * MB);
+    plane.on_memory_change(&mut ctx, gpu);
+    assert!(
+        matches!(ctx.store.peek(put.id).unwrap().location, Location::Host(_)),
+        "object should have migrated to host under pressure"
+    );
+
+    // The sole consumer reads it from the host: the home GPU's scaler must
+    // release the live-output reservation even though the object no longer
+    // occupies its pool.
+    plane.on_consumed(&mut ctx, put.id);
+    assert_eq!(
+        scalers[0].live_outputs(1),
+        0,
+        "consuming a migrated object leaked its live-output count"
+    );
+}
+
+#[test]
 fn concurrent_transfers_trigger_live_rebalancing_and_release_cleanly() {
     // Stage s0 (GPU0) feeds s1 (GPU1) with a large object whose Algorithm 1
     // selection occupies the direct (0,3) edge as part of an indirect

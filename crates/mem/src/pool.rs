@@ -125,6 +125,48 @@ impl ElasticPool {
         }
     }
 
+    /// `--features audit`: byte accounting stays coherent after every
+    /// mutation — demand within the reservation, the reservation within the
+    /// GPU, peaks ahead of live values, and the elastic idle floor held.
+    #[cfg(feature = "audit")]
+    fn audit_accounting(&self) {
+        grouter_audit::check(
+            "pool.accounting",
+            self.used >= 0.0
+                && self.used <= self.reserved + 0.5
+                && self.reserved <= self.capacity + 0.5,
+            || {
+                format!(
+                    "used {} / reserved {} / capacity {}",
+                    self.used, self.reserved, self.capacity
+                )
+            },
+        );
+        grouter_audit::check(
+            "pool.accounting",
+            self.peak_used + 0.5 >= self.used && self.peak_reserved + 0.5 >= self.reserved,
+            || {
+                format!(
+                    "peaks ({}, {}) behind live values ({}, {})",
+                    self.peak_used, self.peak_reserved, self.used, self.reserved
+                )
+            },
+        );
+        if matches!(self.discipline, PoolDiscipline::Elastic) {
+            grouter_audit::check(
+                "scaler.floor",
+                self.reserved + 0.5 >= self.min_pool.min(self.capacity),
+                || {
+                    format!(
+                        "elastic reservation {} fell below the idle floor {}",
+                        self.reserved,
+                        self.min_pool.min(self.capacity)
+                    )
+                },
+            );
+        }
+    }
+
     fn note_peaks(&mut self) {
         self.peak_used = self.peak_used.max(self.used);
         self.peak_reserved = self.peak_reserved.max(self.reserved);
@@ -197,6 +239,8 @@ impl ElasticPool {
             let overshoot = self.reserved - cap;
             self.reserved -= overshoot.min(shrinkable);
         }
+        #[cfg(feature = "audit")]
+        self.audit_accounting();
         (self.used - self.storage_cap()).max(0.0)
     }
 
@@ -210,6 +254,8 @@ impl ElasticPool {
         if self.used + bytes <= self.reserved {
             self.used += bytes;
             self.note_peaks();
+            #[cfg(feature = "audit")]
+            self.audit_accounting();
             return Ok(AllocGrant {
                 latency: params::POOL_ALLOC,
                 grew: false,
@@ -230,6 +276,8 @@ impl ElasticPool {
                     self.used = want;
                     self.native_allocs += 1;
                     self.note_peaks();
+                    #[cfg(feature = "audit")]
+                    self.audit_accounting();
                     Ok(AllocGrant {
                         latency: params::CUDA_MALLOC,
                         grew: true,
@@ -246,6 +294,8 @@ impl ElasticPool {
     /// Release `bytes` of a live object (consumed, deleted, or migrated).
     pub fn free(&mut self, bytes: f64) {
         self.used = (self.used - bytes).max(0.0);
+        #[cfg(feature = "audit")]
+        self.audit_accounting();
     }
 
     /// Shrink an elastic pool's reservation toward `target` bytes (the
@@ -257,6 +307,8 @@ impl ElasticPool {
         }
         let floor = self.used.max(self.min_pool.min(self.capacity));
         self.reserved = self.reserved.min(target.max(floor)).max(floor);
+        #[cfg(feature = "audit")]
+        self.audit_accounting();
     }
 
     /// Grow an elastic pool's reservation toward `target` ahead of demand
@@ -267,14 +319,17 @@ impl ElasticPool {
             return false;
         }
         let goal = target.min(self.storage_cap());
-        if goal > self.reserved {
+        let grew = if goal > self.reserved {
             self.reserved = goal;
             self.native_allocs += 1;
             self.note_peaks();
             true
         } else {
             false
-        }
+        };
+        #[cfg(feature = "audit")]
+        self.audit_accounting();
+        grew
     }
 }
 

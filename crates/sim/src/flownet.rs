@@ -732,6 +732,148 @@ impl FlowNet {
         self.collect_component(seed_flows, seed_links);
         self.refill_component();
         self.maybe_compact_completions();
+        #[cfg(feature = "audit")]
+        self.audit_recompute();
+    }
+
+    /// Post-recompute invariants (`--features audit`): per-link capacity
+    /// respected and aggregates coherent (every recompute, scoped to the
+    /// component just touched), slab/heap coherence and the fairness oracle
+    /// (sampled — see the `grouter-audit` crate's deterministic sampler).
+    #[cfg(feature = "audit")]
+    fn audit_recompute(&self) {
+        grouter_audit::record_hit("flownet.link_caps");
+        for &l in &self.scratch.comp_links {
+            let link = &self.links[l as usize];
+            let sum: f64 = link
+                .members
+                .iter()
+                .map(|&m| self.slots[m as usize].rate)
+                .sum();
+            let tol = EPS_RATE * (link.members.len() as f64 + 1.0);
+            grouter_audit::check("flownet.link_caps", sum <= link.capacity + tol, || {
+                format!(
+                    "link {} allocated {sum} over capacity {}",
+                    link.name, link.capacity
+                )
+            });
+            grouter_audit::check(
+                "flownet.link_caps",
+                (link.rate_sum - sum).abs() <= tol,
+                || {
+                    format!(
+                        "link {} aggregate {} diverged from member sum {sum}",
+                        link.name, link.rate_sum
+                    )
+                },
+            );
+        }
+
+        if grouter_audit::every("flownet.slab", 8) {
+            let live = self.slots.iter().filter(|s| s.id != FREE).count();
+            grouter_audit::check(
+                "flownet.slab",
+                live == self.live_flows && live == self.id_index.len(),
+                || {
+                    format!(
+                        "live slots {live}, live_flows {}, id_index {}",
+                        self.live_flows,
+                        self.id_index.len()
+                    )
+                },
+            );
+            for (&id, &slot) in &self.id_index {
+                grouter_audit::check(
+                    "flownet.slab",
+                    self.slots.get(slot as usize).map(|s| s.id) == Some(id),
+                    || format!("flow {id} indexed at slot {slot} which holds another flow"),
+                );
+            }
+            for &f in &self.free_slots {
+                grouter_audit::check("flownet.slab", self.slots[f as usize].id == FREE, || {
+                    format!("free-listed slot {f} holds a live flow")
+                });
+            }
+        }
+
+        if grouter_audit::every("flownet.heap", 8) {
+            // Every live flow that is due a wake-up (progressing, or already
+            // drained) must have a projection under its current stamp —
+            // otherwise its completion event is lost forever.
+            let fresh: std::collections::BTreeSet<(u64, u64)> = self
+                .completions
+                .iter()
+                .map(|&Reverse((_, id, stamp))| (id, stamp))
+                .collect();
+            for slot in &self.slots {
+                if slot.id == FREE || (slot.rate <= EPS_RATE && slot.remaining > EPS_BYTES) {
+                    continue;
+                }
+                grouter_audit::check(
+                    "flownet.heap",
+                    fresh.contains(&(slot.id, slot.stamp)),
+                    || {
+                        format!(
+                            "flow {} (stamp {}) has no completion projection",
+                            slot.id, slot.stamp
+                        )
+                    },
+                );
+            }
+        }
+
+        // Replay small components through the full-recompute reference
+        // allocator and require identical rates: the incremental allocator's
+        // fairness must not drift from the oracle.
+        if grouter_audit::every("flownet.fairness", 16) {
+            let n = self.scratch.comp_flows.len();
+            if n > 0 && n <= 64 {
+                let mut reference = crate::flownet_ref::ReferenceNet::new();
+                let mut local = vec![u32::MAX; self.links.len()];
+                for &l in &self.scratch.comp_links {
+                    local[l as usize] = reference.add_link("", self.links[l as usize].capacity).0;
+                }
+                // `comp_flows` is sorted by ascending external id, so the
+                // oracle's BTreeMap iteration (and its floating-point
+                // accumulation order) matches the component's.
+                for &s in &self.scratch.comp_flows {
+                    let slot = &self.slots[s as usize];
+                    let path: Vec<LinkId> = slot
+                        .path
+                        .iter()
+                        .map(|&LinkId(l)| LinkId(local[l as usize]))
+                        .collect();
+                    let started = reference.start_flow(
+                        self.now,
+                        path,
+                        slot.remaining,
+                        FlowOptions {
+                            floor: slot.floor,
+                            cap: slot.cap,
+                            weight: slot.weight,
+                        },
+                    );
+                    grouter_audit::check("flownet.fairness", started.is_ok(), || {
+                        format!("oracle rejected live flow {}'s path", slot.id)
+                    });
+                }
+                for (i, &s) in self.scratch.comp_flows.iter().enumerate() {
+                    let slot = &self.slots[s as usize];
+                    let want = reference.flow_rate(FlowId(i as u64)).unwrap_or(f64::NAN);
+                    let tol = 1e-6 * want.abs().max(1.0) + EPS_RATE;
+                    grouter_audit::check(
+                        "flownet.fairness",
+                        (slot.rate - want).abs() <= tol,
+                        || {
+                            format!(
+                                "flow {}: incremental rate {} vs reference {want}",
+                                slot.id, slot.rate
+                            )
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// Flood-fill the contention component: flows pull in every link on
@@ -863,7 +1005,7 @@ impl FlowNet {
         scratch.csr_entries.clear();
         scratch
             .csr_entries
-            .resize(*scratch.csr_start.last().expect("non-empty") as usize, 0);
+            .resize(scratch.csr_start.last().copied().unwrap_or(0) as usize, 0);
         let mut cursor: Vec<u32> = scratch.csr_start[..scratch.comp_links.len()].to_vec();
         for (local, &s) in scratch.comp_flows.iter().enumerate() {
             for &LinkId(l) in &self.slots[s as usize].path {

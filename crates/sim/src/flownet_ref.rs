@@ -379,7 +379,9 @@ impl ReferenceNet {
         }
 
         for (i, id) in ids.iter().enumerate() {
-            self.flows.get_mut(id).expect("flow present").rate = rate[i];
+            if let Some(f) = self.flows.get_mut(id) {
+                f.rate = rate[i];
+            }
         }
     }
 }

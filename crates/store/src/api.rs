@@ -108,8 +108,9 @@ impl DataStore {
             });
         }
         let snapshot = entry.clone();
-        let entry = self.tables.get_mut(id).expect("just found");
-        entry.last_access = now;
+        if let Some(entry) = self.tables.get_mut(id) {
+            entry.last_access = now;
+        }
         Ok((snapshot, latency))
     }
 

@@ -42,6 +42,40 @@ impl MappingTables {
         let node = entry.location.node();
         self.local[node].insert(entry.id);
         self.global.insert(entry.id, entry);
+        #[cfg(feature = "audit")]
+        self.audit_tables();
+    }
+
+    /// `--features audit`: the hierarchical tables stay coherent — every
+    /// locally cached id resolves in the global table (stale pointers are
+    /// scrubbed only through `lookup`, never created by `insert`/`remove`),
+    /// and every global entry's location names a known node.
+    #[cfg(feature = "audit")]
+    fn audit_tables(&self) {
+        if !grouter_audit::every("store.tables", 16) {
+            return;
+        }
+        grouter_audit::record_hit("store.tables");
+        for (node, cache) in self.local.iter().enumerate() {
+            for id in cache {
+                grouter_audit::check("store.tables", self.global.contains_key(id), || {
+                    format!("node {node} caches {id:?}, absent from the global table")
+                });
+            }
+        }
+        for entry in self.global.values() {
+            grouter_audit::check(
+                "store.tables",
+                entry.location.node() < self.local.len(),
+                || {
+                    format!(
+                        "{:?} located on out-of-range node {}",
+                        entry.id,
+                        entry.location.node()
+                    )
+                },
+            );
+        }
     }
 
     /// Look up `id` from `node`. Returns the entry (if any) and the control-
@@ -84,7 +118,10 @@ impl MappingTables {
         for cache in &mut self.local {
             cache.remove(&id);
         }
-        self.global.remove(&id)
+        let removed = self.global.remove(&id);
+        #[cfg(feature = "audit")]
+        self.audit_tables();
+        removed
     }
 
     /// All live entries (deterministic id order).

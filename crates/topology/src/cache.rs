@@ -118,6 +118,14 @@ impl PathCache {
         } else {
             (n, n, 0)
         };
+        #[cfg(feature = "audit")]
+        grouter_audit::check("pathcache.epoch", self.epoch == bw.epoch(), || {
+            format!(
+                "cache serves epoch {} entries against matrix epoch {}",
+                self.epoch,
+                bw.epoch()
+            )
+        });
         match self.entries.entry(key) {
             std::collections::btree_map::Entry::Occupied(e) => {
                 self.stats.hits += 1;
@@ -222,6 +230,25 @@ impl PathSelector {
     ) -> &PathSelection {
         self.cache.sync(&self.bwm);
         let candidates = self.cache.paths(&self.bwm, src, dst, max_hops);
+        // Cached candidate sets must stay re-derivable: a fresh enumeration
+        // over the same matrix epoch yields the identical path list (sets
+        // depend on the capacity matrix, not on reservation residuals).
+        #[cfg(feature = "audit")]
+        if grouter_audit::every("pathcache.rederive", 32) {
+            let fresh = try_enumerate_paths(&self.bwm, src, dst, max_hops).unwrap_or_default();
+            let same = fresh.len() == candidates.len()
+                && fresh
+                    .iter()
+                    .enumerate()
+                    .all(|(i, p)| candidates.path(i) == &p[..]);
+            grouter_audit::check("pathcache.rederive", same, || {
+                format!(
+                    "cached {src}->{dst} path set (len {}) diverged from fresh enumeration (len {})",
+                    candidates.len(),
+                    fresh.len()
+                )
+            });
+        }
         select_from_candidates(
             &mut self.bwm,
             src,

@@ -174,7 +174,10 @@ impl PathLedger {
         let mut candidates: Vec<(u64, usize)> = Vec::new();
         for (&rid, paths) in &self.reservations {
             for (pi, p) in paths.iter().enumerate() {
-                let endpoints = (p.gpus[0], *p.gpus.last().expect("path"));
+                let (Some(&first), Some(&last)) = (p.gpus.first(), p.gpus.last()) else {
+                    continue; // reserve() never records an empty route
+                };
+                let endpoints = (first, last);
                 let uses_edge = p.gpus.windows(2).any(|h| h[0] == src && h[1] == dst);
                 if uses_edge && endpoints != (src, dst) {
                     candidates.push((rid, pi));
@@ -187,28 +190,34 @@ impl PathLedger {
                 break;
             }
             let old = self.reservations[&rid][pi].clone();
+            let (Some(&s), Some(&d)) = (old.gpus.first(), old.gpus.last()) else {
+                continue; // empty routes were filtered out above
+            };
             // Temporarily release the old path, then look for an
             // alternative with enough residual that avoids the edge. The
             // candidate set comes from the path cache — no DFS here.
             self.selector.bwm_mut().release_path(&old.gpus, old.rate);
-            let (s, d) = (old.gpus[0], *old.gpus.last().expect("path"));
             let alternative = self
                 .selector
                 .find_alternative(s, d, max_hops, (src, dst), old.rate);
             match alternative {
                 Some(new_route) => {
                     self.selector.bwm_mut().occupy_path(&new_route, old.rate);
-                    let paths = self.reservations.get_mut(&rid).expect("live");
-                    paths[pi] = NvPath {
-                        gpus: new_route.clone(),
-                        rate: old.rate,
-                    };
-                    out.push(Rebalance {
-                        reservation: ResId(rid),
-                        old: old.gpus,
-                        new: new_route,
-                        rate: old.rate,
-                    });
+                    // `rid` was enumerated from the live reservation map and
+                    // nothing in this loop removes entries, so the lookup
+                    // cannot miss; tolerate it anyway rather than crash.
+                    if let Some(paths) = self.reservations.get_mut(&rid) {
+                        paths[pi] = NvPath {
+                            gpus: new_route.clone(),
+                            rate: old.rate,
+                        };
+                        out.push(Rebalance {
+                            reservation: ResId(rid),
+                            old: old.gpus,
+                            new: new_route,
+                            rate: old.rate,
+                        });
+                    }
                 }
                 None => {
                     // No viable alternative: put the old path back.

@@ -123,7 +123,9 @@ fn dfs(
     visited: &mut [bool],
     out: &mut Vec<Vec<usize>>,
 ) {
-    let cur = *stack.last().expect("stack never empty");
+    let Some(&cur) = stack.last() else {
+        return; // callers seed the stack with the source GPU
+    };
     if cur == dst {
         out.push(stack.clone());
         return;

@@ -10,7 +10,7 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 use grouter_sim::time::SimTime;
-use grouter_sim::{FlowId, FlowNet};
+use grouter_sim::{FlowId, FlowNet, FlowNetError};
 
 use crate::plan::TransferPlan;
 
@@ -52,6 +52,29 @@ pub struct TransferEngine {
     flow_owner: HashMap<FlowId, u64>,
 }
 
+/// A plan could not be started: one of its flows references links the flow
+/// network does not know (a planner/topology mismatch). Flows started
+/// before the failing one have been cancelled — the engine and the network
+/// are left as if `begin` was never called.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BeginError {
+    /// Index of the failing flow within `plan.flows`.
+    pub flow_index: usize,
+    pub source: FlowNetError,
+}
+
+impl std::fmt::Display for BeginError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "planned flow #{} could not start: {}",
+            self.flow_index, self.source
+        )
+    }
+}
+
+impl std::error::Error for BeginError {}
+
 /// Result of starting a plan.
 #[derive(Clone, Debug, PartialEq)]
 pub enum BeginOutcome {
@@ -67,6 +90,37 @@ pub enum BeginOutcome {
 impl TransferEngine {
     pub fn new() -> TransferEngine {
         Self::default()
+    }
+
+    /// `--features audit`: the two tracking maps must mirror each other —
+    /// every owned flow is pending in its active transfer and every pending
+    /// flow has exactly one ownership record.
+    #[cfg(feature = "audit")]
+    fn audit_pending(&self) {
+        if !grouter_audit::every("transfer.pending", 8) {
+            return;
+        }
+        grouter_audit::record_hit("transfer.pending");
+        for (fid, tid) in &self.flow_owner {
+            grouter_audit::check(
+                "transfer.pending",
+                self.active
+                    .get(tid)
+                    .is_some_and(|a| a.pending.contains(fid)),
+                || format!("flow {fid:?} owned by transfer {tid} but not pending there"),
+            );
+        }
+        let pending_total: usize = self.active.values().map(|a| a.pending.len()).sum();
+        grouter_audit::check(
+            "transfer.pending",
+            pending_total == self.flow_owner.len(),
+            || {
+                format!(
+                    "{pending_total} pending flows vs {} ownership records",
+                    self.flow_owner.len()
+                )
+            },
+        );
     }
 
     /// Number of in-flight transfers.
@@ -86,9 +140,9 @@ impl TransferEngine {
         now: SimTime,
         plan: &TransferPlan,
         nv_node: usize,
-    ) -> BeginOutcome {
+    ) -> Result<BeginOutcome, BeginError> {
         if plan.is_zero_copy() {
-            return BeginOutcome::Immediate;
+            return Ok(BeginOutcome::Immediate);
         }
         let id = self.next_id;
         self.next_id += 1;
@@ -100,19 +154,30 @@ impl TransferEngine {
         // batching collapses the per-flow rate recomputes into one pass
         // over the affected contention component.
         net.begin_batch();
-        for flow in &plan.flows {
-            let fid = net
-                .start_flow(now, flow.links.clone(), flow.bytes, flow.opts)
-                .expect("planned flows reference valid links");
-            pending.insert(fid);
-            self.flow_owner.insert(fid, id);
-            if let Some(res) = &flow.nv_reservation {
-                nv_releases.push(res.clone());
+        for (flow_index, flow) in plan.flows.iter().enumerate() {
+            match net.start_flow(now, flow.links.clone(), flow.bytes, flow.opts) {
+                Ok(fid) => {
+                    pending.insert(fid);
+                    self.flow_owner.insert(fid, id);
+                    if let Some(res) = &flow.nv_reservation {
+                        nv_releases.push(res.clone());
+                    }
+                    if let Some(route) = &flow.route {
+                        routes.push(route.clone());
+                    }
+                    started.push((fid, flow.route.clone()));
+                }
+                Err(source) => {
+                    // Unwind the flows already started so the caller sees
+                    // an all-or-nothing failure.
+                    for (fid, _) in &started {
+                        self.flow_owner.remove(fid);
+                        let _ = net.cancel_flow(now, *fid);
+                    }
+                    net.commit_batch();
+                    return Err(BeginError { flow_index, source });
+                }
             }
-            if let Some(route) = &flow.route {
-                routes.push(route.clone());
-            }
-            started.push((fid, flow.route.clone()));
         }
         net.commit_batch();
         self.active.insert(
@@ -126,7 +191,9 @@ impl TransferEngine {
                 nv_node,
             },
         );
-        BeginOutcome::InFlight(TransferId(id), started)
+        #[cfg(feature = "audit")]
+        self.audit_pending();
+        Ok(BeginOutcome::InFlight(TransferId(id), started))
     }
 
     /// Feed flow completions from `FlowNet::advance_to`; returns transfers
@@ -137,21 +204,30 @@ impl TransferEngine {
             let Some(tid) = self.flow_owner.remove(fid) else {
                 continue; // flow owned by someone else (e.g. background noise)
             };
-            let entry = self.active.get_mut(&tid).expect("owner implies active");
+            // Ownership implies an active entry (the audit checker verifies
+            // the two maps stay coherent); a miss would only drop the
+            // completion, never crash the data plane.
+            let Some(entry) = self.active.get_mut(&tid) else {
+                debug_assert!(false, "flow owner {tid} has no active transfer");
+                continue;
+            };
             entry.pending.remove(fid);
             if entry.pending.is_empty() {
-                let act = self.active.remove(&tid).expect("present");
-                finished.push(TransferDone {
-                    id: TransferId(tid),
-                    started: act.started,
-                    bytes: act.bytes,
-                    nv_releases: act.nv_releases,
-                    routes: act.routes,
-                    nv_node: act.nv_node,
-                });
+                if let Some(act) = self.active.remove(&tid) {
+                    finished.push(TransferDone {
+                        id: TransferId(tid),
+                        started: act.started,
+                        bytes: act.bytes,
+                        nv_releases: act.nv_releases,
+                        routes: act.routes,
+                        nv_node: act.nv_node,
+                    });
+                }
             }
         }
         finished.sort_by_key(|t| t.id);
+        #[cfg(feature = "audit")]
+        self.audit_pending();
         finished
     }
 
@@ -214,7 +290,7 @@ mod tests {
         let mut eng = TransferEngine::new();
         let plan = TransferPlan::zero_copy(SimDuration::from_micros(5));
         assert_eq!(
-            eng.begin(&mut net, SimTime::ZERO, &plan, 0),
+            eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap(),
             BeginOutcome::Immediate
         );
         assert_eq!(eng.in_flight(), 0);
@@ -227,7 +303,7 @@ mod tests {
         let cfg = PlanConfig::single_path();
         // 120 MB over one 12 GB/s PCIe chain → 10 ms.
         let plan = plan_d2h(&topo, &net, 0, 0, 120.0 * MB, &cfg);
-        let out = eng.begin(&mut net, SimTime::ZERO, &plan, 0);
+        let out = eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap();
         assert!(matches!(out, BeginOutcome::InFlight(..)));
         let (t, done) = drain(&mut net, &mut eng);
         assert_eq!(done.len(), 1);
@@ -239,13 +315,13 @@ mod tests {
         let (mut net1, topo1) = setup();
         let mut eng = TransferEngine::new();
         let single = plan_d2h(&topo1, &net1, 0, 0, 480.0 * MB, &PlanConfig::single_path());
-        eng.begin(&mut net1, SimTime::ZERO, &single, 0);
+        eng.begin(&mut net1, SimTime::ZERO, &single, 0).unwrap();
         let (t_single, _) = drain(&mut net1, &mut eng);
 
         let (mut net2, topo2) = setup();
         let mut eng2 = TransferEngine::new();
         let par = plan_d2h(&topo2, &net2, 0, 0, 480.0 * MB, &PlanConfig::grouter());
-        eng2.begin(&mut net2, SimTime::ZERO, &par, 0);
+        eng2.begin(&mut net2, SimTime::ZERO, &par, 0).unwrap();
         let (t_par, _) = drain(&mut net2, &mut eng2);
 
         // 4 disjoint PCIe chains → ~4× faster (paper: 2–4×).
@@ -269,7 +345,7 @@ mod tests {
             &PlanConfig::grouter(),
         );
         assert!(plan.flows.len() >= 2);
-        eng.begin(&mut net, SimTime::ZERO, &plan, 0);
+        eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap();
         // First completion may not finish the transfer if flows end at
         // different instants; drain handles the general case.
         let (_, done) = drain(&mut net, &mut eng);
@@ -292,7 +368,7 @@ mod tests {
             10.0 * MB,
             &PlanConfig::grouter(),
         );
-        eng.begin(&mut net, SimTime::ZERO, &plan, 0);
+        eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap();
         let (_, done) = drain(&mut net, &mut eng);
         for (route, rate) in &done[0].nv_releases {
             assert!(route.len() >= 2);
@@ -308,7 +384,8 @@ mod tests {
         let (mut net, topo) = setup();
         let mut eng = TransferEngine::new();
         let plan = plan_d2h(&topo, &net, 0, 0, 480.0 * MB, &PlanConfig::grouter());
-        let BeginOutcome::InFlight(id, _) = eng.begin(&mut net, SimTime::ZERO, &plan, 0) else {
+        let BeginOutcome::InFlight(id, _) = eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap()
+        else {
             panic!("expected in-flight");
         };
         assert!(net.num_flows() > 0);
@@ -328,8 +405,8 @@ mod tests {
         let mut eng = TransferEngine::new();
         let small = plan_d2h(&topo, &net, 0, 2, 12.0 * MB, &PlanConfig::single_path());
         let large = plan_d2h(&topo, &net, 0, 4, 480.0 * MB, &PlanConfig::single_path());
-        eng.begin(&mut net, SimTime::ZERO, &small, 0);
-        eng.begin(&mut net, SimTime::ZERO, &large, 0);
+        eng.begin(&mut net, SimTime::ZERO, &small, 0).unwrap();
+        eng.begin(&mut net, SimTime::ZERO, &large, 0).unwrap();
         // Distinct switches → no contention; small finishes first.
         let next = net.next_completion().unwrap();
         let done = net.advance_to(next);

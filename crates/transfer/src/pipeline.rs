@@ -154,14 +154,12 @@ impl BatchPipeline {
         done
     }
 
-    /// Latency (from its arrival) of transfer `id` under this discipline.
-    pub fn latency_of(&self, offered: &[Offered], id: usize) -> SimDuration {
+    /// Latency (from its arrival) of transfer `id` under this discipline,
+    /// or `None` if `id` is not among the offered transfers.
+    pub fn latency_of(&self, offered: &[Offered], id: usize) -> Option<SimDuration> {
         let done = self.simulate(offered);
-        let c = done
-            .iter()
-            .find(|c| c.id == id)
-            .expect("transfer completes");
-        c.finished - offered[id].arrival
+        let c = done.iter().find(|c| c.id == id)?;
+        Some(c.finished - offered.get(id)?.arrival)
     }
 }
 
@@ -187,7 +185,7 @@ mod tests {
             arrival: SimTime::ZERO,
             bytes: 100.0 * MB, // 50 chunks = 10 batches
         }];
-        let lat = p.latency_of(&offered, 0);
+        let lat = p.latency_of(&offered, 0).unwrap();
         let ideal = 100.0 * MB / 12e9;
         let overhead = 10.0 * 30e-6;
         assert!(
@@ -211,8 +209,8 @@ mod tests {
                 bytes: 2.0 * MB,
             },
         ];
-        let batched = pipe(5).latency_of(&offered, 1);
-        let monolithic = pipe(100_000).latency_of(&offered, 1);
+        let batched = pipe(5).latency_of(&offered, 1).unwrap();
+        let monolithic = pipe(100_000).latency_of(&offered, 1).unwrap();
         assert!(
             batched.as_millis_f64() < 0.15 * monolithic.as_millis_f64(),
             "batched {batched} vs monolithic {monolithic}"
@@ -225,8 +223,8 @@ mod tests {
             arrival: SimTime::ZERO,
             bytes: 200.0 * MB, // 100 chunks
         }];
-        let per_chunk = pipe(1).latency_of(&offered, 0);
-        let per_five = pipe(5).latency_of(&offered, 0);
+        let per_chunk = pipe(1).latency_of(&offered, 0).unwrap();
+        let per_five = pipe(5).latency_of(&offered, 0).unwrap();
         // batch=1 launches 100 connections; batch=5 launches 20.
         let diff = per_chunk.as_secs_f64() - per_five.as_secs_f64();
         assert!((diff - 80.0 * 30e-6).abs() < 1e-6, "diff {diff}");

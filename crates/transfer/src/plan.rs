@@ -142,6 +142,17 @@ fn flows_from_paths(paths: Vec<CandidatePath>, caps: &[f64], bytes: f64) -> Vec<
         .collect()
 }
 
+/// Link sequence for a GPU route that must ride NVLink edges only.
+/// `None` when some hop has no NVLink edge — callers drop or degrade the
+/// path instead of panicking in the data plane.
+fn nvlink_route_links(topo: &Topology, node: usize, route: &[usize]) -> Option<Vec<LinkId>> {
+    let mut links = Vec::new();
+    for hop in route.windows(2) {
+        links.extend(topo.nvlink_edge(node, hop[0], hop[1])?);
+    }
+    Some(links)
+}
+
 /// Bottleneck hardware capacity of a link path.
 fn path_capacity(net: &FlowNet, links: &[LinkId]) -> f64 {
     links
@@ -183,45 +194,49 @@ pub fn plan_intra_node(
                 // the bottleneck): restrict to the direct path.
                 let max_hops = if topo.has_nvswitch() { 1 } else { cfg.max_hops };
                 if !sel.select(src, dst, max_hops, cfg.max_paths).is_empty() {
+                    // Resolve each selected GPU route to its link sequence.
+                    // A route over a vanished edge cannot happen while the
+                    // selection cache is epoch-coherent with the topology;
+                    // if it ever does, release that reservation and degrade
+                    // to fewer paths instead of crashing the data plane.
                     let nv_paths = sel.take_last_selection();
-                    let caps: Vec<f64> = nv_paths.iter().map(|p| p.rate).collect();
-                    let shares = crate::chunk::proportional_split(bytes, &caps);
-                    let flows = nv_paths
-                        .into_iter()
-                        .zip(shares)
-                        .filter(|(_, share)| *share > 0.0 || bytes == 0.0)
-                        .map(|(p, share)| {
-                            let mut links = Vec::new();
-                            for hop in p.gpus.windows(2) {
-                                links.extend(
-                                    topo.nvlink_edge(node, hop[0], hop[1])
-                                        .expect("selected path uses existing edges"),
-                                );
-                            }
-                            PlannedFlow {
+                    let mut routed = Vec::new();
+                    for p in nv_paths {
+                        match nvlink_route_links(topo, node, &p.gpus) {
+                            Some(links) => routed.push((p, links)),
+                            None => sel.bwm_mut().release_path(&p.gpus, p.rate),
+                        }
+                    }
+                    if !routed.is_empty() {
+                        let caps: Vec<f64> = routed.iter().map(|(p, _)| p.rate).collect();
+                        let shares = crate::chunk::proportional_split(bytes, &caps);
+                        let flows = routed
+                            .into_iter()
+                            .zip(shares)
+                            .filter(|(_, share)| *share > 0.0 || bytes == 0.0)
+                            .map(|((p, links), share)| PlannedFlow {
                                 route: Some(p.gpus.clone()),
                                 links,
                                 bytes: share,
                                 opts: FlowOptions::default(),
                                 nv_reservation: Some((p.gpus, p.rate)),
-                            }
-                        })
-                        .collect();
-                    return TransferPlan {
-                        flows,
-                        setup,
-                        total_bytes: bytes,
-                    };
+                            })
+                            .collect();
+                        return TransferPlan {
+                            flows,
+                            setup,
+                            total_bytes: bytes,
+                        };
+                    }
                 }
                 // No NVLink route at all → fall through to PCIe.
             }
         }
-        // Single NVLink path: direct edge, else shortest route.
+        // Single NVLink path: direct edge, else shortest route. The route
+        // comes from the live topology, so every hop has an edge; should
+        // one be missing, feeder_links degrades that hop to PCIe p2p.
         if let Some(route) = topo.nvlink_shortest_route(src, dst) {
-            let mut links = Vec::new();
-            for hop in route.windows(2) {
-                links.extend(topo.nvlink_edge(node, hop[0], hop[1]).expect("route edge"));
-            }
+            let links = feeder_links(topo, node, &route);
             let cap = path_capacity(net, &links);
             return TransferPlan {
                 flows: flows_from_paths(vec![(links, None)], &[cap], bytes),
@@ -267,8 +282,7 @@ fn route_avoiding(
         let mut neigh = topo.nvlink_neighbors(cur);
         neigh.sort_by(|&a, &b| {
             topo.nvlink_bw(cur, b)
-                .partial_cmp(&topo.nvlink_bw(cur, a))
-                .expect("finite bw")
+                .total_cmp(&topo.nvlink_bw(cur, a))
                 .then(a.cmp(&b))
         });
         for next in neigh {
@@ -365,7 +379,9 @@ pub fn plan_d2h(
     let mut paths: Vec<CandidatePath> = vec![(topo.d2h_path(node, gpu), None)];
     if cfg.parallel_pcie && topo.has_nvlink() {
         for route in pcie_feeder_routes(topo, gpu, cfg) {
-            let peer = *route.last().expect("route non-empty");
+            let Some(&peer) = route.last() else {
+                continue; // feeder routes are at least [gpu, peer]
+            };
             let mut links = feeder_links(topo, node, &route);
             links.extend(topo.d2h_path(node, peer));
             paths.push((links, None));
@@ -392,7 +408,9 @@ pub fn plan_h2d(
     let mut paths: Vec<CandidatePath> = vec![(topo.h2d_path(node, gpu), None)];
     if cfg.parallel_pcie && topo.has_nvlink() {
         for route in pcie_feeder_routes(topo, gpu, cfg) {
-            let peer = *route.last().expect("route non-empty");
+            let Some(&peer) = route.last() else {
+                continue; // feeder routes are at least [gpu, peer]
+            };
             let mut links = topo.h2d_path(node, peer);
             // Reverse feeder: peer → gpu.
             let mut back = route.clone();
@@ -470,15 +488,21 @@ pub fn plan_cross_node(
     let mut paths: Vec<CandidatePath> = Vec::new();
     if cfg.parallel_nics && topo.has_nvlink() {
         for (nic, src_route, dst_route) in nic_routes(topo, src.gpu, dst.gpu) {
-            let mut links = Vec::new();
-            for hop in src_route.windows(2) {
-                links.extend(topo.nvlink_edge(src.node, hop[0], hop[1]).expect("edge"));
-            }
-            links.extend(topo.gdr_tx_path(src.node, *src_route.last().unwrap(), nic));
-            links.extend(topo.gdr_rx_path(dst.node, dst_route[0], nic));
-            for hop in dst_route.windows(2) {
-                links.extend(topo.nvlink_edge(dst.node, hop[0], hop[1]).expect("edge"));
-            }
+            // Routes come from `nvlink_shortest_route`, so every hop has an
+            // edge and the endpoints exist; a NIC whose routes cannot be
+            // resolved is simply skipped.
+            let (Some(src_links), Some(dst_links), Some(&fwd), Some(&entry)) = (
+                nvlink_route_links(topo, src.node, &src_route),
+                nvlink_route_links(topo, dst.node, &dst_route),
+                src_route.last(),
+                dst_route.first(),
+            ) else {
+                continue;
+            };
+            let mut links = src_links;
+            links.extend(topo.gdr_tx_path(src.node, fwd, nic));
+            links.extend(topo.gdr_rx_path(dst.node, entry, nic));
+            links.extend(dst_links);
             paths.push((links, None));
             if paths.len() >= cfg.max_paths {
                 break;

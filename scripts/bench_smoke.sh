@@ -20,7 +20,10 @@ paths_out="${2:-BENCH_paths.json}"
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
 
-cargo bench --bench flownet -- --sample-size 10 2>&1 | tee "$raw"
+# `-p grouter-bench` keeps grouter-audit (a workspace member whose
+# dev-dependencies switch the data-plane `audit` feature on) out of the
+# feature graph: the benches must measure the unaudited hot paths.
+cargo bench -p grouter-bench --bench flownet -- --sample-size 10 2>&1 | tee "$raw"
 
 grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk '
     BEGIN { print "{"; print "  \"group\": \"bench_flownet\","; print "  \"results\": [" }
@@ -72,7 +75,7 @@ echo "1024-flow churn speedup: ${speedup}x (target: >= 5x)"
 # ---------------------------------------------------------------------------
 # bench_paths: cached vs uncached Algorithm 1 selection.
 
-cargo bench --bench paths -- --sample-size 10 2>&1 | tee "$raw"
+cargo bench -p grouter-bench --bench paths -- --sample-size 10 2>&1 | tee "$raw"
 
 grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk '
     BEGIN { print "{"; print "  \"group\": \"bench_paths\","; print "  \"results\": [" }

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Offline CI gate: formatting, lints, the tier-1 test suite, and the
-# benchmark smoke run with its speedup gates. Everything runs locally with
-# no network access.
+# Offline CI gate: formatting, lints, the workspace linter, the tier-1 test
+# suite (with the data-plane invariant auditors unified on), the benchmark
+# smoke run with its speedup gates, and the experiment-suite byte-identity
+# check. Everything runs locally with no network access.
 #
 # Usage: scripts/ci.sh
 
@@ -15,11 +16,24 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> tier-1 tests (cargo build --release && cargo test -q)"
+echo "==> grouter-lint (workspace rules over crates/)"
+cargo run -q --release -p grouter-lint -- crates
+
+echo "==> tier-1 tests, audited (cargo build --release && cargo test -q)"
+# The workspace test graph includes crates/audit, whose dev-dependencies
+# enable the `audit` feature on every data-plane crate — so this single run
+# is the audited tier-1 pass, and crates/audit/tests/coverage.rs fails it
+# if any invariant checker stopped firing.
 cargo build --release
 cargo test -q
 
 echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json)"
 scripts/bench_smoke.sh
+
+echo "==> experiments_output.txt is current (byte-identical to --serial)"
+tmp_out=$(mktemp)
+trap 'rm -f "$tmp_out"' EXIT
+cargo run -q --release -p grouter-bench --bin all_experiments -- --serial > "$tmp_out"
+cmp experiments_output.txt "$tmp_out"
 
 echo "CI OK"

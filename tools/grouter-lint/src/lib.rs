@@ -1,0 +1,693 @@
+//! grouter-lint: a zero-dependency lexical linter for the GROUTER workspace.
+//!
+//! The linter tokenizes Rust sources with a small hand-rolled lexer (no
+//! `syn`, no registry dependencies — the build environment is offline) and
+//! enforces four project rules with file/line diagnostics:
+//!
+//! * `no-panic-in-dataplane` — `unwrap`/`expect`/`panic!`/`unreachable!` are
+//!   banned in the data-plane crates (`sim`, `topology`, `transfer`, `store`,
+//!   `mem`, `core`, `runtime`) outside `#[cfg(test)]` regions, `tests/` and
+//!   `benches/` directories. Silent throughput loss beats a crash in a data
+//!   plane; recoverable paths must carry typed errors, unavoidable
+//!   invariants a justified pragma.
+//! * `no-wallclock-in-sim` — `Instant::now` / `SystemTime` are banned in
+//!   `sim`, `topology`, `transfer`: the simulation is virtual-time only and
+//!   any wall-clock read breaks determinism.
+//! * `no-unordered-emit` — `HashMap`/`HashSet` are banned in
+//!   `crates/bench/src/experiments`: experiment output must be byte-stable
+//!   across runs, so only ordered containers may feed formatted output.
+//! * `no-silent-truncation` — `as u8/u16/u32/usize` narrowing casts applied
+//!   to byte/rate-named quantities in data-plane crates must use `try_from`
+//!   or carry an allow pragma.
+//!
+//! Suppression pragma syntax (same line or the line directly above):
+//!
+//! ```text
+//! // grouter-lint: allow(no-panic-in-dataplane): slot id handed out by this fn
+//! ```
+//!
+//! The justification after `):` is mandatory; a pragma without one (or
+//! naming an unknown rule) is itself reported as `bad-pragma` and does not
+//! suppress anything.
+
+use std::fmt;
+
+/// Every rule the linter knows about.
+pub const RULES: [&str; 4] = [
+    "no-panic-in-dataplane",
+    "no-wallclock-in-sim",
+    "no-unordered-emit",
+    "no-silent-truncation",
+];
+
+/// Crates whose `src/` is considered data-plane code.
+const DATAPLANE_CRATES: [&str; 7] = [
+    "sim", "topology", "transfer", "store", "mem", "core", "runtime",
+];
+
+/// Crates that must run on virtual time only.
+const SIM_TIME_CRATES: [&str; 3] = ["sim", "topology", "transfer"];
+
+/// Identifier segments that mark a quantity as bytes/rate-like for
+/// `no-silent-truncation`.
+const QUANTITY_SEGMENTS: [&str; 8] = [
+    "bytes", "byte", "rate", "rates", "bw", "cap", "capacity", "size",
+];
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub line: usize,
+    pub rule: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: [{}] {}", self.line, self.rule, self.message)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Debug, Clone)]
+struct Sp {
+    line: usize,
+    tok: Tok,
+}
+
+/// Tokenize `src`, returning the token stream and the line comments
+/// (pragmas live in line comments only).
+fn tokenize(src: &str) -> (Vec<Sp>, Vec<(usize, String)>) {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            comments.push((line, b[start..j].iter().collect()));
+            i = j;
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    if b[j] == '\n' {
+                        line += 1;
+                    }
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if c == '"' {
+            i = skip_plain_string(&b, i, &mut line);
+        } else if (c == 'r' || c == 'b') && string_prefix(&b, i).is_some() {
+            let (quote, hashes, raw) = string_prefix(&b, i).unwrap();
+            i = if raw {
+                skip_raw_string(&b, quote, hashes, &mut line)
+            } else {
+                skip_plain_string(&b, quote, &mut line)
+            };
+        } else if c == 'b' && b.get(i + 1) == Some(&'\'') {
+            i = skip_char_or_lifetime(&b, i + 1, &mut line);
+        } else if c == '\'' {
+            i = skip_char_or_lifetime(&b, i, &mut line);
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut j = i;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            toks.push(Sp {
+                line,
+                tok: Tok::Ident(b[i..j].iter().collect()),
+            });
+            i = j;
+        } else {
+            toks.push(Sp {
+                line,
+                tok: Tok::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    (toks, comments)
+}
+
+/// If `b[i]` starts a raw/byte string prefix (`r"`, `r#"`, `br"`, `b"`),
+/// return (index of the opening quote, hash count, is_raw).
+fn string_prefix(b: &[char], i: usize) -> Option<(usize, usize, bool)> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == 'r' {
+        let mut k = j + 1;
+        let mut hashes = 0usize;
+        while k < b.len() && b[k] == '#' {
+            hashes += 1;
+            k += 1;
+        }
+        if k < b.len() && b[k] == '"' {
+            return Some((k, hashes, true));
+        }
+        None
+    } else if b[i] == 'b' && j < b.len() && b[j] == '"' {
+        Some((j, 0, false))
+    } else {
+        None
+    }
+}
+
+/// Skip a `"..."` string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_plain_string(b: &[char], open: usize, line: &mut usize) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a raw string whose opening quote is at `open` with `hashes` hashes.
+fn skip_raw_string(b: &[char], open: usize, hashes: usize, line: &mut usize) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        } else {
+            j += 1;
+        }
+    }
+    j
+}
+
+/// At a `'`: either a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a
+/// lifetime (`'a`). Returns the index one past the literal.
+fn skip_char_or_lifetime(b: &[char], quote: usize, line: &mut usize) -> usize {
+    if b.get(quote + 1) == Some(&'\\') {
+        let mut j = quote + 2;
+        while j < b.len() && b[j] != '\'' {
+            if b[j] == '\n' {
+                *line += 1;
+            }
+            j += 1;
+        }
+        j + 1
+    } else if b.get(quote + 2) == Some(&'\'') {
+        quote + 3
+    } else {
+        let mut j = quote + 1;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        j
+    }
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] exclusion
+// ---------------------------------------------------------------------------
+
+fn is_punct(sp: Option<&Sp>, c: char) -> bool {
+    matches!(sp, Some(Sp { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+fn is_ident(sp: Option<&Sp>, name: &str) -> bool {
+    matches!(sp, Some(Sp { tok: Tok::Ident(s), .. }) if s == name)
+}
+
+/// Mark every token covered by a `#[cfg(test)]` item (attribute through the
+/// end of the item's brace-delimited body, or its terminating `;`).
+fn cfg_test_mask(toks: &[Sp]) -> Vec<bool> {
+    let mut ex = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let attr = is_punct(toks.get(i), '#')
+            && is_punct(toks.get(i + 1), '[')
+            && is_ident(toks.get(i + 2), "cfg")
+            && is_punct(toks.get(i + 3), '(')
+            && is_ident(toks.get(i + 4), "test")
+            && is_punct(toks.get(i + 5), ')')
+            && is_punct(toks.get(i + 6), ']');
+        if !attr {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes between the cfg and the item.
+        let mut j = i + 7;
+        while is_punct(toks.get(j), '#') && is_punct(toks.get(j + 1), '[') {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < toks.len() {
+                match toks[k].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        // The item body is the first `{...}` block; a `;` first means a
+        // body-less item (e.g. `#[cfg(test)] use ...;`).
+        let mut k = j;
+        let mut open = None;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct(';') => break,
+                Tok::Punct('{') => {
+                    open = Some(k);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        let end = if let Some(open) = open {
+            let mut depth = 0i32;
+            let mut m = open;
+            while m < toks.len() {
+                match toks[m].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            m.min(toks.len() - 1)
+        } else {
+            k.min(toks.len() - 1)
+        };
+        for slot in ex.iter_mut().take(end + 1).skip(i) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    ex
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+struct Pragma {
+    line: usize,
+    rules: Vec<String>,
+    justified: bool,
+    parse_error: Option<String>,
+}
+
+fn parse_pragmas(comments: &[(usize, String)]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (line, text) in comments {
+        let t = text.trim();
+        let Some(rest) = t.strip_prefix("grouter-lint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            out.push(Pragma {
+                line: *line,
+                rules: Vec::new(),
+                justified: false,
+                parse_error: Some(format!("expected `allow(<rule>)`, got `{rest}`")),
+            });
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            out.push(Pragma {
+                line: *line,
+                rules: Vec::new(),
+                justified: false,
+                parse_error: Some("unterminated `allow(` pragma".to_string()),
+            });
+            continue;
+        };
+        let rules: Vec<String> = inner[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut err = None;
+        for r in &rules {
+            if !RULES.contains(&r.as_str()) {
+                err = Some(format!("unknown rule `{r}` in allow pragma"));
+            }
+        }
+        if rules.is_empty() {
+            err = Some("empty allow pragma".to_string());
+        }
+        // Justification: non-empty text after the closing paren, typically
+        // introduced by `:`.
+        let tail = inner[close + 1..]
+            .trim_start_matches([':', '-', ' '])
+            .trim();
+        out.push(Pragma {
+            line: *line,
+            rules,
+            justified: !tail.is_empty(),
+            parse_error: err,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Path classification
+// ---------------------------------------------------------------------------
+
+struct PathInfo {
+    crate_name: Option<String>,
+    /// Under a `tests/` or `benches/` directory.
+    test_dir: bool,
+    /// Under `crates/bench/src/experiments`.
+    experiments: bool,
+}
+
+fn classify(path: &str) -> PathInfo {
+    let norm = path.replace('\\', "/");
+    let segs: Vec<&str> = norm.split('/').filter(|s| !s.is_empty()).collect();
+    let crate_name = segs
+        .iter()
+        .position(|&s| s == "crates")
+        .and_then(|p| segs.get(p + 1))
+        .map(|s| s.to_string());
+    let test_dir = segs.iter().any(|&s| s == "tests" || s == "benches");
+    let experiments = norm.contains("crates/bench/src/experiments");
+    PathInfo {
+        crate_name,
+        test_dir,
+        experiments,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+// ---------------------------------------------------------------------------
+
+/// Lint one source file. `path` is the path the rules see (fixtures use a
+/// `//@ path:` directive to impersonate in-tree locations).
+pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let info = classify(path);
+    let (toks, comments) = tokenize(src);
+    let excluded = cfg_test_mask(&toks);
+    let pragmas = parse_pragmas(&comments);
+
+    let mut raw: Vec<Diagnostic> = Vec::new();
+
+    let dataplane = info
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| DATAPLANE_CRATES.contains(&c))
+        && !info.test_dir;
+    let sim_time = info
+        .crate_name
+        .as_deref()
+        .is_some_and(|c| SIM_TIME_CRATES.contains(&c));
+
+    for (i, sp) in toks.iter().enumerate() {
+        if excluded[i] {
+            continue;
+        }
+        let Tok::Ident(name) = &sp.tok else { continue };
+
+        if dataplane {
+            match name.as_str() {
+                "unwrap" | "expect"
+                    if is_punct(toks.get(i.wrapping_sub(1)), '.')
+                        && is_punct(toks.get(i + 1), '(') =>
+                {
+                    raw.push(Diagnostic {
+                        line: sp.line,
+                        rule: "no-panic-in-dataplane".into(),
+                        message: format!(
+                            "`.{name}()` in data-plane code; return a typed error or add a justified allow pragma"
+                        ),
+                    });
+                }
+                "panic" | "unreachable" if is_punct(toks.get(i + 1), '!') => {
+                    raw.push(Diagnostic {
+                        line: sp.line,
+                        rule: "no-panic-in-dataplane".into(),
+                        message: format!(
+                            "`{name}!` in data-plane code; return a typed error or add a justified allow pragma"
+                        ),
+                    });
+                }
+                _ => {}
+            }
+
+            if name == "as" {
+                if let Some(Sp {
+                    tok: Tok::Ident(ty),
+                    ..
+                }) = toks.get(i + 1)
+                {
+                    if matches!(ty.as_str(), "u8" | "u16" | "u32" | "usize") {
+                        if let Some(src_ident) = cast_source_ident(&toks, i) {
+                            if is_quantity_ident(&src_ident) {
+                                raw.push(Diagnostic {
+                                    line: sp.line,
+                                    rule: "no-silent-truncation".into(),
+                                    message: format!(
+                                        "narrowing cast `{src_ident} as {ty}` on a byte/rate quantity; use try_from or add a justified allow pragma"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if sim_time {
+            if name == "SystemTime" {
+                raw.push(Diagnostic {
+                    line: sp.line,
+                    rule: "no-wallclock-in-sim".into(),
+                    message: "`SystemTime` in a virtual-time crate".into(),
+                });
+            }
+            if name == "Instant"
+                && is_punct(toks.get(i + 1), ':')
+                && is_punct(toks.get(i + 2), ':')
+                && is_ident(toks.get(i + 3), "now")
+            {
+                raw.push(Diagnostic {
+                    line: sp.line,
+                    rule: "no-wallclock-in-sim".into(),
+                    message: "`Instant::now` in a virtual-time crate".into(),
+                });
+            }
+        }
+
+        if info.experiments && (name == "HashMap" || name == "HashSet") {
+            raw.push(Diagnostic {
+                line: sp.line,
+                rule: "no-unordered-emit".into(),
+                message: format!(
+                    "`{name}` in an experiment module; iteration order is unordered — use BTreeMap/BTreeSet"
+                ),
+            });
+        }
+    }
+
+    // Apply pragmas: a justified pragma on the same line or the line
+    // directly above suppresses that rule there.
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for d in raw {
+        let suppressed = pragmas.iter().any(|p| {
+            p.justified
+                && p.parse_error.is_none()
+                && (p.line == d.line || p.line + 1 == d.line)
+                && p.rules.iter().any(|r| r == &d.rule)
+        });
+        if !suppressed {
+            out.push(d);
+        }
+    }
+    for p in &pragmas {
+        if let Some(err) = &p.parse_error {
+            out.push(Diagnostic {
+                line: p.line,
+                rule: "bad-pragma".into(),
+                message: err.clone(),
+            });
+        } else if !p.justified {
+            out.push(Diagnostic {
+                line: p.line,
+                rule: "bad-pragma".into(),
+                message: "allow pragma without a justification (`allow(<rule>): <why>`)".into(),
+            });
+        }
+    }
+    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out
+}
+
+/// For a cast at token index `as_idx`, find the identifier naming the value
+/// being cast: either the ident directly before `as`, or — for a call like
+/// `self.total_bytes() as u32` — the ident before the matching `(`.
+fn cast_source_ident(toks: &[Sp], as_idx: usize) -> Option<String> {
+    if as_idx == 0 {
+        return None;
+    }
+    match &toks[as_idx - 1].tok {
+        Tok::Ident(name) => Some(name.clone()),
+        Tok::Punct(')') => {
+            let mut depth = 0i32;
+            let mut j = as_idx - 1;
+            loop {
+                match toks[j].tok {
+                    Tok::Punct(')') => depth += 1,
+                    Tok::Punct('(') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if j == 0 {
+                    return None;
+                }
+                j -= 1;
+            }
+            if j == 0 {
+                return None;
+            }
+            match &toks[j - 1].tok {
+                Tok::Ident(name) => Some(name.clone()),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Does the identifier look like a bytes/rate quantity? Matches whole
+/// snake_case segments, so `escape` does not match `cap`.
+fn is_quantity_ident(name: &str) -> bool {
+    name.split('_')
+        .any(|seg| QUANTITY_SEGMENTS.contains(&seg.to_ascii_lowercase().as_str()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizer_skips_strings_and_comments() {
+        let src = format!(
+            "// panic! in a comment\n\
+             /* .unwrap() in a block comment */\n\
+             let s = \"panic!() .unwrap()\";\n\
+             let r = r{h}\"unreachable!()\"{h};\n",
+            h = "#"
+        );
+        let d = lint_source("crates/sim/src/x.rs", &src);
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x.unwrap() }\n";
+        // Not a real unwrap receiver pattern without `.`? It has `.unwrap(`.
+        let d = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-panic-in-dataplane");
+    }
+
+    #[test]
+    fn unwrap_or_variants_are_allowed() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }\n";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_is_excluded() {
+        let src = "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g(x: Option<u32>) { x.unwrap(); panic!(); }\n}\n";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_requires_justification() {
+        let with = "// grouter-lint: allow(no-panic-in-dataplane): invariant by construction\nfn f(x: Option<u32>) { x.unwrap(); }\n";
+        assert!(lint_source("crates/sim/src/x.rs", with).is_empty());
+        let without =
+            "// grouter-lint: allow(no-panic-in-dataplane)\nfn f(x: Option<u32>) { x.unwrap(); }\n";
+        let d = lint_source("crates/sim/src/x.rs", without);
+        assert_eq!(d.len(), 2, "{d:?}"); // bad-pragma + unsuppressed unwrap
+    }
+
+    #[test]
+    fn truncation_segments_not_substrings() {
+        let src = "fn f(escape: u64, total_bytes: u64) { let _ = escape as u32; let _ = total_bytes as u64; }\n";
+        assert!(lint_source("crates/sim/src/x.rs", src).is_empty());
+        let bad = "fn f(total_bytes: u64) { let _ = total_bytes as u32; }\n";
+        let d = lint_source("crates/sim/src/x.rs", bad);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "no-silent-truncation");
+    }
+
+    #[test]
+    fn non_dataplane_paths_are_ignored() {
+        let src = "fn f(x: Option<u32>) { x.unwrap(); }\n";
+        assert!(lint_source("crates/bench/src/x.rs", src).is_empty());
+        assert!(lint_source("crates/sim/tests/x.rs", src).is_empty());
+    }
+}

@@ -1,0 +1,76 @@
+//! CLI driver: `cargo run -p grouter-lint -- crates` lints every `.rs`
+//! file under the given roots (default `crates`) and exits nonzero when any
+//! diagnostic remains.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let roots: Vec<String> = if args.is_empty() {
+        vec!["crates".to_string()]
+    } else {
+        args
+    };
+
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in &roots {
+        let p = Path::new(root);
+        if p.is_file() {
+            files.push(p.to_path_buf());
+        } else if p.is_dir() {
+            walk(p, &mut files);
+        } else {
+            eprintln!("grouter-lint: no such path: {root}");
+            return ExitCode::from(2);
+        }
+    }
+    files.sort();
+
+    let mut violations = 0usize;
+    for file in &files {
+        let display = file.to_string_lossy().replace('\\', "/");
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("grouter-lint: cannot read {display}: {e}");
+                violations += 1;
+                continue;
+            }
+        };
+        for d in grouter_lint::lint_source(&display, &src) {
+            println!("{display}:{d}");
+            violations += 1;
+        }
+    }
+
+    if violations > 0 {
+        eprintln!(
+            "grouter-lint: {violations} violation(s) across {} file(s)",
+            files.len()
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("grouter-lint: clean ({} files)", files.len());
+        ExitCode::SUCCESS
+    }
+}

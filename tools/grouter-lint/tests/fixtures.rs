@@ -1,0 +1,70 @@
+//! Fixture harness: each `tests/fixtures/*.rs` file starts with a
+//! `//@ path: <virtual path>` directive naming the in-tree location the
+//! rules should see, and a sibling `.expected` file lists the diagnostics
+//! as `<line> <rule>` pairs (one per line, `#` comments allowed, empty for
+//! a clean file). The harness lints every fixture and compares the exact
+//! (line, rule) multisets.
+
+use std::fs;
+use std::path::Path;
+
+fn parse_expected(src: &str, from: &Path) -> Vec<(usize, String)> {
+    src.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(|l| {
+            let (line, rule) = l
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("{from:?}: expected `<line> <rule>`, got `{l}`"));
+            let line = line
+                .parse()
+                .unwrap_or_else(|_| panic!("{from:?}: bad line number in `{l}`"));
+            (line, rule.trim().to_string())
+        })
+        .collect()
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut checked = 0usize;
+    let mut entries: Vec<_> = fs::read_dir(&dir)
+        .expect("fixtures directory exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.extension().is_none_or(|e| e != "rs") {
+            continue;
+        }
+        let src = fs::read_to_string(&path).expect("fixture is readable");
+        let virtual_path = src
+            .lines()
+            .next()
+            .and_then(|l| l.strip_prefix("//@ path:"))
+            .unwrap_or_else(|| panic!("{path:?} is missing its `//@ path:` header"))
+            .trim();
+
+        let mut got: Vec<(usize, String)> = grouter_lint::lint_source(virtual_path, &src)
+            .into_iter()
+            .map(|d| (d.line, d.rule))
+            .collect();
+
+        let expected_path = path.with_extension("expected");
+        let expected_src = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|_| panic!("missing expectations file {expected_path:?}"));
+        let mut want = parse_expected(&expected_src, &expected_path);
+
+        got.sort();
+        want.sort();
+        assert_eq!(
+            got, want,
+            "diagnostics mismatch for fixture {path:?} (as `{virtual_path}`)"
+        );
+        checked += 1;
+    }
+    assert!(
+        checked >= 8,
+        "expected at least 8 fixtures, found {checked}"
+    );
+}

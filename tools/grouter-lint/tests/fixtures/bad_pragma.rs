@@ -1,0 +1,17 @@
+//@ path: crates/mem/src/fixture.rs
+// Unjustified and malformed pragmas are themselves diagnostics and
+// suppress nothing.
+
+fn unjustified(x: Option<u32>) -> u32 {
+    // grouter-lint: allow(no-panic-in-dataplane)
+    x.unwrap()
+}
+
+fn unknown_rule(x: Option<u32>) -> u32 {
+    // grouter-lint: allow(no-such-rule): not a rule the linter knows
+    x.unwrap()
+}
+
+fn malformed() {
+    // grouter-lint: deny(no-panic-in-dataplane): only allow() exists
+}

@@ -1,0 +1,18 @@
+//@ path: crates/runtime/src/fixture.rs
+// #[cfg(test)] items are exempt from the data-plane rules.
+
+fn hot(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    fn helper(x: Option<u32>) -> u32 {
+        x.unwrap()
+    }
+
+    #[test]
+    fn boom() {
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,22 @@
+//@ path: crates/sim/src/fixture.rs
+// Seeded violations for no-panic-in-dataplane.
+
+fn take(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn named(x: Option<u32>) -> u32 {
+    x.expect("always present")
+}
+
+fn boom() {
+    panic!("invariant");
+}
+
+fn cold() -> ! {
+    unreachable!()
+}
+
+fn soft(x: Option<u32>) -> u32 {
+    x.unwrap_or(0).max(x.unwrap_or_default())
+}

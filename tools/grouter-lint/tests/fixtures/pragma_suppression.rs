@@ -1,0 +1,22 @@
+//@ path: crates/transfer/src/fixture.rs
+// Justified pragmas suppress on the same line or the line directly above.
+
+fn above(x: Option<u32>) -> u32 {
+    // grouter-lint: allow(no-panic-in-dataplane): fixture invariant
+    x.unwrap()
+}
+
+fn inline(x: Option<u32>) -> u32 {
+    x.unwrap() // grouter-lint: allow(no-panic-in-dataplane): fixture invariant
+}
+
+fn too_far(x: Option<u32>) -> u32 {
+    // grouter-lint: allow(no-panic-in-dataplane): two lines up does not count
+
+    x.unwrap()
+}
+
+fn wrong_rule(total_bytes: u64) -> u32 {
+    // grouter-lint: allow(no-panic-in-dataplane): names a rule that did not fire here
+    total_bytes as u32
+}

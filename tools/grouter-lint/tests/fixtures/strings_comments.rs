@@ -1,0 +1,10 @@
+//@ path: crates/core/src/fixture.rs
+// Panics in strings, comments and raw strings are not code.
+
+fn text() -> String {
+    // a comment mentioning .unwrap() and panic!()
+    /* block comment: unreachable!() HashMap Instant::now */
+    let plain = "call .unwrap() then panic!(\"no\")";
+    let raw = r#"SystemTime and .expect("x") live here"#;
+    format!("{plain}{raw}")
+}

@@ -1,0 +1,6 @@
+//@ path: crates/sim/tests/fixture.rs
+// Integration tests and benches may panic freely.
+
+fn assert_helper(x: Option<u32>) -> u32 {
+    x.unwrap()
+}

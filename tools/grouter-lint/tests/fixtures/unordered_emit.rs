@@ -1,0 +1,13 @@
+//@ path: crates/bench/src/experiments/fixture.rs
+// Experiment modules must emit in deterministic order.
+
+use std::collections::BTreeMap;
+use std::collections::{HashMap, HashSet};
+
+fn tally(xs: &[u32]) -> HashMap<u32, u32> {
+    let ordered: BTreeMap<u32, u32> = BTreeMap::new();
+    let mut seen = HashSet::new();
+    seen.extend(xs.iter().copied());
+    let _ = ordered;
+    HashMap::new()
+}

@@ -1,0 +1,11 @@
+//@ path: crates/topology/src/fixture.rs
+// Wall-clock reads are banned in virtual-time crates.
+
+use std::time::Instant;
+use std::time::SystemTime;
+
+fn stamp() -> f64 {
+    let t = Instant::now();
+    let _ = SystemTime::now();
+    t.elapsed().as_secs_f64()
+}
