@@ -7,8 +7,15 @@
 //! Hit counters are process-wide, so one test exercises all five crates in
 //! sequence and asserts the full roster at the end.
 
+use std::sync::Arc;
+
+use grouter::{GrouterConfig, GrouterPlane};
 use grouter_audit as audit;
 use grouter_mem::{ElasticPool, PoolDiscipline, PrewarmScaler};
+use grouter_runtime::spec::{StageSpec, WorkflowSpec};
+use grouter_runtime::world::RuntimeConfig;
+use grouter_runtime::Runtime;
+use grouter_sim::fault::{FaultEvent, FaultKind, FaultPlan};
 use grouter_sim::time::SimDuration;
 use grouter_sim::{FlowNet, FlowOptions, SimTime};
 use grouter_store::{AccessToken, DataStore, FunctionId, Location, WorkflowId};
@@ -17,8 +24,8 @@ use grouter_transfer::plan::{plan_d2h, PlanConfig};
 use grouter_transfer::TransferEngine;
 
 /// Every checker the data plane registers, by crate:
-/// sim (4), topology (2), transfer (1), store (1), mem (2).
-const CHECKERS: [&str; 10] = [
+/// sim (4), topology (2), transfer (1), store (1), mem (3), runtime (1).
+const CHECKERS: [&str; 12] = [
     "flownet.link_caps",
     "flownet.slab",
     "flownet.heap",
@@ -28,7 +35,9 @@ const CHECKERS: [&str; 10] = [
     "transfer.pending",
     "store.tables",
     "pool.accounting",
+    "pool.quarantine",
     "scaler.floor",
+    "recovery.no_orphans",
 ];
 
 #[test]
@@ -96,6 +105,49 @@ fn every_checker_fires_at_least_once() {
     let target = scaler.target_bytes(t);
     pool.prewarm_toward(target);
     scaler.on_consumed(1);
+    // A quarantine/rejoin cycle drives the emptiness identity while the
+    // pool is actually quarantined (it is vacuous on a healthy pool).
+    pool.quarantine();
+    pool.release_quarantine();
+
+    // --- Recovery engine: kill a GPU under a live two-stage workflow so the
+    // no-orphans sweep runs against real cancelled ops and reset stages.
+    let mut wf = WorkflowSpec::new("coverage", 4e6);
+    let a = wf.push(StageSpec::gpu(
+        "a",
+        vec![],
+        SimDuration::from_millis(5),
+        32e6,
+        1e9,
+    ));
+    wf.push(StageSpec::gpu(
+        "b",
+        vec![a],
+        SimDuration::from_millis(5),
+        4e6,
+        1e9,
+    ));
+    let wf = Arc::new(wf);
+    let mut rt = Runtime::new(
+        presets::dgx_v100(),
+        1,
+        Box::new(GrouterPlane::new(GrouterConfig::full())),
+        RuntimeConfig::default(),
+    );
+    for i in 0..8u64 {
+        rt.submit(wf.clone(), SimTime::ZERO + SimDuration::from_millis(i));
+    }
+    rt.install_fault_plan(&FaultPlan::scripted(vec![FaultEvent {
+        at: SimTime::ZERO + SimDuration::from_millis(6),
+        kind: FaultKind::GpuFail { gpu: 0 },
+    }]));
+    rt.run();
+    let m = rt.metrics();
+    assert_eq!(
+        m.completed() as u64 + m.failed,
+        m.arrivals,
+        "every arrival must terminate as a completion or a typed failure"
+    );
 
     for name in CHECKERS {
         assert!(

@@ -21,7 +21,7 @@ use std::collections::BTreeMap;
 
 use grouter_mem::{AllocError, EvictionPolicy, GrouterPolicy, LruPolicy, ObjectMeta};
 use grouter_runtime::dataplane::{
-    DataOp, DataPlane, Destination, OpLeg, PlaneCtx, PlaneStats, PutOp,
+    DataOp, DataPlane, Destination, LegHealth, OpLeg, PlaneCtx, PlaneStats, PutOp,
 };
 use grouter_sim::rng::DetRng;
 use grouter_sim::time::SimDuration;
@@ -114,7 +114,7 @@ impl GrouterPlane {
     /// indirect occupants of the direct edge are reassigned to alternative
     /// routes (§4.3.3), and the executor re-paths their in-flight flows.
     fn ledger_intra_leg(
-        &self,
+        &mut self,
         ctx: &mut PlaneCtx<'_>,
         node: usize,
         src: usize,
@@ -145,8 +145,11 @@ impl GrouterPlane {
             })
             .collect();
         if routed.is_empty() {
-            // No NVLink route: fall back to the single-path planner (PCIe
-            // peer-to-peer or shortest route).
+            // No NVLink route (all masked out by failures, or none existed):
+            // fall back to the single-path planner (PCIe peer-to-peer or
+            // shortest route). The leg is typed Degraded so the executor's
+            // recovery log and the plane stats surface the downgrade instead
+            // of silently absorbing it.
             let plan = plan_intra_node(
                 ctx.topo,
                 ctx.net,
@@ -158,7 +161,10 @@ impl GrouterPlane {
                 &grouter_transfer::plan::PlanConfig::single_path(),
             );
             ctx.ledgers[node].release(res);
-            return OpLeg::new(plan, node);
+            let mut leg = OpLeg::new(plan, node);
+            leg.health = LegHealth::Degraded;
+            self.stats.degraded_legs += 1;
+            return leg;
         }
         let caps: Vec<f64> = routed.iter().map(|(p, _)| p.rate).collect();
         let shares = grouter_transfer::chunk::proportional_split(bytes, &caps);

@@ -99,6 +99,9 @@ pub struct ElasticPool {
     /// High-water marks for the memory-overhead report (Fig. 20c).
     peak_used: f64,
     peak_reserved: f64,
+    /// Failed-GPU quarantine: the pool holds nothing and admits nothing
+    /// until the GPU rejoins (see [`ElasticPool::quarantine`]).
+    quarantined: bool,
 }
 
 impl ElasticPool {
@@ -122,7 +125,50 @@ impl ElasticPool {
             native_allocs: 1, // the initial reservation
             peak_used: 0.0,
             peak_reserved: reserved,
+            quarantined: false,
         }
+    }
+
+    /// Quarantine a failed GPU's pool: every stored byte is lost, the
+    /// reservation is surrendered and further allocations are refused until
+    /// [`ElasticPool::release_quarantine`]. Returns the live demand that was
+    /// dropped (the caller purges the matching store entries). Idempotent.
+    pub fn quarantine(&mut self) -> f64 {
+        if self.quarantined {
+            return 0.0;
+        }
+        let lost = self.used;
+        self.quarantined = true;
+        self.used = 0.0;
+        self.reserved = 0.0;
+        self.runtime_used = 0.0;
+        #[cfg(feature = "audit")]
+        self.audit_accounting();
+        lost
+    }
+
+    /// Readmit a recovered GPU: the pool restarts empty at its discipline's
+    /// initial reservation (a fresh native allocation). Idempotent.
+    pub fn release_quarantine(&mut self) {
+        if !self.quarantined {
+            return;
+        }
+        self.quarantined = false;
+        self.reserved = match self.discipline {
+            PoolDiscipline::Elastic => self.min_pool.min(self.capacity),
+            PoolDiscipline::Static { bytes } | PoolDiscipline::Symmetric { bytes } => {
+                bytes.min(self.capacity)
+            }
+        };
+        self.native_allocs += 1;
+        self.note_peaks();
+        #[cfg(feature = "audit")]
+        self.audit_accounting();
+    }
+
+    /// Whether the pool is currently quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
     }
 
     /// `--features audit`: byte accounting stays coherent after every
@@ -152,7 +198,7 @@ impl ElasticPool {
                 )
             },
         );
-        if matches!(self.discipline, PoolDiscipline::Elastic) {
+        if matches!(self.discipline, PoolDiscipline::Elastic) && !self.quarantined {
             grouter_audit::check(
                 "scaler.floor",
                 self.reserved + 0.5 >= self.min_pool.min(self.capacity),
@@ -165,6 +211,19 @@ impl ElasticPool {
                 },
             );
         }
+        // Quarantine accounting identity: a quarantined pool holds nothing —
+        // no demand, no reservation, no runtime charge.
+        grouter_audit::check(
+            "pool.quarantine",
+            !self.quarantined
+                || (self.used == 0.0 && self.reserved == 0.0 && self.runtime_used == 0.0),
+            || {
+                format!(
+                    "quarantined pool still holds used {} / reserved {} / runtime {}",
+                    self.used, self.reserved, self.runtime_used
+                )
+            },
+        );
     }
 
     fn note_peaks(&mut self) {
@@ -230,6 +289,9 @@ impl ElasticPool {
     /// respect the new cap (0.0 when the pool still fits). The caller evicts
     /// via its migration policy and then calls [`ElasticPool::free`].
     pub fn set_runtime_used(&mut self, bytes: f64) -> f64 {
+        if self.quarantined {
+            return 0.0; // a failed GPU executes nothing
+        }
         self.runtime_used = bytes.clamp(0.0, self.capacity);
         let cap = self.storage_cap();
         if self.reserved > cap && matches!(self.discipline, PoolDiscipline::Elastic) {
@@ -247,6 +309,10 @@ impl ElasticPool {
     /// Allocate `bytes` for a new object.
     pub fn try_alloc(&mut self, bytes: f64) -> Result<AllocGrant, AllocError> {
         assert!(bytes >= 0.0, "allocation size must be non-negative");
+        if self.quarantined {
+            // Nothing fits on a failed GPU; callers fall back elsewhere.
+            return Err(AllocError::TooLarge);
+        }
         let cap = self.storage_cap();
         if bytes > cap {
             return Err(AllocError::TooLarge);
@@ -292,7 +358,12 @@ impl ElasticPool {
     }
 
     /// Release `bytes` of a live object (consumed, deleted, or migrated).
+    /// No-op while quarantined: the failed GPU's objects were purged with the
+    /// pool, so a late free would double-count.
     pub fn free(&mut self, bytes: f64) {
+        if self.quarantined {
+            return;
+        }
         self.used = (self.used - bytes).max(0.0);
         #[cfg(feature = "audit")]
         self.audit_accounting();
@@ -302,7 +373,7 @@ impl ElasticPool {
     /// pre-warm scaler's estimate). Reservation never drops below live use
     /// or the idle floor. No-op for fixed disciplines.
     pub fn reclaim_toward(&mut self, target: f64) {
-        if !matches!(self.discipline, PoolDiscipline::Elastic) {
+        if !matches!(self.discipline, PoolDiscipline::Elastic) || self.quarantined {
             return;
         }
         let floor = self.used.max(self.min_pool.min(self.capacity));
@@ -315,7 +386,7 @@ impl ElasticPool {
     /// (pre-warming). Bounded by the storage cap. Returns `true` if a native
     /// allocation happened.
     pub fn prewarm_toward(&mut self, target: f64) -> bool {
-        if !matches!(self.discipline, PoolDiscipline::Elastic) {
+        if !matches!(self.discipline, PoolDiscipline::Elastic) || self.quarantined {
             return false;
         }
         let goal = target.min(self.storage_cap());
@@ -452,6 +523,41 @@ mod tests {
     }
 
     #[test]
+    fn quarantine_drops_everything_and_refuses_allocs() {
+        let mut p = elastic(16.0 * GB);
+        p.try_alloc(2.0 * GB).unwrap();
+        p.set_runtime_used(4.0 * GB);
+        let lost = p.quarantine();
+        assert_eq!(lost, 2.0 * GB, "live demand reported as lost");
+        assert!(p.is_quarantined());
+        assert_eq!(p.used(), 0.0);
+        assert_eq!(p.reserved(), 0.0);
+        assert_eq!(p.runtime_used(), 0.0);
+        assert_eq!(p.try_alloc(1e6), Err(AllocError::TooLarge));
+        assert!(!p.prewarm_toward(1.0 * GB));
+        assert_eq!(p.set_runtime_used(1.0 * GB), 0.0);
+        // Idempotent: a second quarantine loses nothing more.
+        assert_eq!(p.quarantine(), 0.0);
+    }
+
+    #[test]
+    fn release_quarantine_restarts_at_the_idle_floor() {
+        let mut p = elastic(16.0 * GB);
+        p.try_alloc(2.0 * GB).unwrap();
+        p.quarantine();
+        let allocs = p.native_allocs();
+        p.release_quarantine();
+        assert!(!p.is_quarantined());
+        assert_eq!(p.reserved(), params::MIN_POOL_BYTES);
+        assert_eq!(p.used(), 0.0);
+        assert_eq!(p.native_allocs(), allocs + 1, "rejoin re-reserves natively");
+        assert!(p.try_alloc(100e6).is_ok());
+        // Idempotent.
+        p.release_quarantine();
+        assert_eq!(p.reserved(), params::MIN_POOL_BYTES);
+    }
+
+    #[test]
     fn native_alloc_counter_counts_growth() {
         let mut p = elastic(16.0 * GB);
         let start = p.native_allocs();
@@ -473,6 +579,8 @@ mod proptests {
         Runtime(f64),
         Reclaim(f64),
         Prewarm(f64),
+        Quarantine,
+        Rejoin,
     }
 
     fn arb_op() -> impl Strategy<Value = Op> {
@@ -482,6 +590,8 @@ mod proptests {
             (0.0..16e9).prop_map(Op::Runtime),
             (0.0..8e9).prop_map(Op::Reclaim),
             (0.0..8e9).prop_map(Op::Prewarm),
+            Just(Op::Quarantine),
+            Just(Op::Rejoin),
         ]
     }
 
@@ -517,6 +627,15 @@ mod proptests {
                     Op::Prewarm(t) => {
                         pool.prewarm_toward(t);
                     }
+                    Op::Quarantine => {
+                        pool.quarantine();
+                        live = 0.0;
+                    }
+                    Op::Rejoin => pool.release_quarantine(),
+                }
+                if pool.is_quarantined() {
+                    prop_assert_eq!(pool.used(), 0.0, "quarantined pool holds demand");
+                    prop_assert_eq!(pool.reserved(), 0.0, "quarantined pool holds reservation");
                 }
                 prop_assert!(pool.used() >= -1.0, "negative use");
                 prop_assert!(
@@ -557,8 +676,15 @@ mod proptests {
                         Op::Prewarm(t) => {
                             pool.prewarm_toward(t);
                         }
+                        Op::Quarantine => {
+                            pool.quarantine();
+                        }
+                        Op::Rejoin => pool.release_quarantine(),
                     }
-                    prop_assert_eq!(pool.reserved(), initial);
+                    // Quarantine is the only event that moves a fixed
+                    // reservation; rejoin restores it exactly.
+                    let expect = if pool.is_quarantined() { 0.0 } else { initial };
+                    prop_assert_eq!(pool.reserved(), expect);
                 }
             }
         }

@@ -134,6 +134,20 @@ impl PrewarmScaler {
         self.funcs.get(&func).map(|s| s.live_outputs).unwrap_or(0)
     }
 
+    /// Total outstanding outputs across every tracked function — the leak
+    /// indicator chaos tests assert drains to zero.
+    pub fn total_live_outputs(&self) -> u64 {
+        self.funcs.values().map(|s| s.live_outputs as u64).sum()
+    }
+
+    /// Drop every reservation this GPU's scaler holds: the GPU failed, its
+    /// stored outputs are gone, and keeping their histograms would inflate
+    /// the pre-warm target of the (empty) pool when the GPU rejoins. The
+    /// scaler restarts with no history, exactly as at boot.
+    pub fn quarantine(&mut self) {
+        self.funcs.clear();
+    }
+
     /// Number of tracked functions.
     pub fn len(&self) -> usize {
         self.funcs.len()

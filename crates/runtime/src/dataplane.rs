@@ -18,12 +18,26 @@ use grouter_transfer::rate::{RateController, SloSpec};
 
 pub use grouter_store::patterns::Destination;
 
+/// Whether a leg runs over the plane's preferred path class or a degraded
+/// fallback. The executor surfaces degraded legs in the recovery log so a
+/// plane that silently downgrades to PCIe under NVLink loss is observable.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LegHealth {
+    /// The plane's first-choice path class.
+    Nominal,
+    /// A fallback (e.g. single-path PCIe because every NVLink route to the
+    /// destination is masked out).
+    Degraded,
+}
+
 /// One transfer leg of a data operation.
 #[derive(Clone, Debug)]
 pub struct OpLeg {
     pub plan: TransferPlan,
     /// Node whose bandwidth matrix holds the plan's NVLink reservations.
     pub nv_node: usize,
+    /// Nominal vs degraded-fallback path class (see [`LegHealth`]).
+    pub health: LegHealth,
     /// Registered SLO-transfer token to release on completion, if any.
     pub rate_token: Option<(usize, u64)>,
     /// Ledger reservation `(node, id)` to release when the leg completes
@@ -41,6 +55,7 @@ impl OpLeg {
         OpLeg {
             plan,
             nv_node,
+            health: LegHealth::Nominal,
             rate_token: None,
             ledger_release: None,
             pinned_release: None,
@@ -125,6 +140,9 @@ pub struct PlaneStats {
     pub migrations: u64,
     /// Objects proactively restored from host memory to GPU storage.
     pub restores: u64,
+    /// Legs planned on a degraded fallback path class (no nominal route
+    /// survived masking) — the typed counterpart of a silent downgrade.
+    pub degraded_legs: u64,
 }
 
 /// A pluggable data plane.

@@ -113,6 +113,14 @@ impl Runtime {
         schedule_net_wake(&mut self.sim.world, &mut self.sim.sched);
     }
 
+    /// Install a deterministic fault plan: every event is scheduled into the
+    /// simulation and interpreted by the recovery engine ([`crate::fault`]),
+    /// interleaving deterministically with workload events. Must be called
+    /// before `run`.
+    pub fn install_fault_plan(&mut self, plan: &grouter_sim::fault::FaultPlan) {
+        plan.install(&mut self.sim.sched, crate::fault::apply_fault);
+    }
+
     /// Run to quiescence (all submitted requests completed).
     pub fn run(&mut self) {
         self.sim.run();
@@ -141,7 +149,7 @@ impl Runtime {
 }
 
 /// Run a closure against the plane with a borrow-split context.
-fn with_plane<R>(
+pub(crate) fn with_plane<R>(
     w: &mut World,
     now: SimTime,
     slo: Option<grouter_transfer::rate::SloSpec>,
@@ -169,7 +177,7 @@ fn with_plane<R>(
 }
 
 /// SLO spec of an instance's workflow (for `Rate_least`), if calibrated.
-fn instance_slo(inst: &Instance) -> Option<grouter_transfer::rate::SloSpec> {
+pub(crate) fn instance_slo(inst: &Instance) -> Option<grouter_transfer::rate::SloSpec> {
     if inst.spec.slo > SimDuration::ZERO {
         Some(grouter_transfer::rate::SloSpec {
             slo: inst.spec.slo,
@@ -215,7 +223,38 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
     let now = s.now();
     let inst_id = w.next_instance;
     w.next_instance += 1;
-    let placements = w.placer.place(&w.topo, &spec, &mut w.rng);
+    let mut placements = w.placer.place(&w.topo, &spec, &mut w.rng);
+
+    // Failed-GPU avoidance: the load-aware policies already steer around
+    // down GPUs, but pinned placements (and the all-GPUs-down corner) can
+    // still land on one. Remap onto a healthy GPU; when none exists the
+    // request fails *typed* instead of queueing on a dead device forever.
+    if !w.fault.failed_gpus.is_empty() {
+        for p in placements.iter_mut() {
+            let Destination::Gpu(g) = *p else { continue };
+            if !w.gpus[w.gpu_index(g.node, g.gpu)].failed {
+                continue;
+            }
+            match w.placer.pick_healthy(&w.topo, Some(g.node)) {
+                Some(ng) => {
+                    w.placer.release(&w.topo, *p);
+                    *p = Destination::Gpu(ng);
+                    w.placer.bump(&w.topo, *p);
+                }
+                None => {
+                    for d in &placements {
+                        w.placer.release(&w.topo, *d);
+                    }
+                    w.metrics.failed += 1;
+                    w.recovery_log.push((
+                        now,
+                        crate::fault::RecoveryEvent::InstanceFailed { inst: inst_id },
+                    ));
+                    return;
+                }
+            }
+        }
+    }
 
     // Conditional branch sampling: pick one alternative per group.
     let mut skipped = vec![false; spec.stages.len()];
@@ -268,6 +307,9 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
                 state,
                 output: None,
                 rank: None,
+                attempt: 0,
+                got: Vec::new(),
+                egressed: false,
             }
         })
         .collect();
@@ -342,7 +384,7 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
 /// `Get` when they are *invoked*, not when upstream data appears, so inputs
 /// stay in the store while the stage waits in the GPU queue — the
 /// accumulation the elastic storage of §4.4 manages (Figs. 7 and 11).
-fn stage_ready(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
+pub(crate) fn stage_ready(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
     // Queue rank drives queue-aware migration: record which queued stage
     // will consume each input and when.
     let rank = w.enqueue_counter;
@@ -388,15 +430,28 @@ fn stage_inputs(inst: &Instance, stage: usize) -> Vec<DataId> {
     }
 }
 
-fn try_dispatch_gpu(w: &mut World, s: &mut Scheduler<World>, gpu_idx: usize) {
-    if w.gpus[gpu_idx].busy {
+pub(crate) fn try_dispatch_gpu(w: &mut World, s: &mut Scheduler<World>, gpu_idx: usize) {
+    if w.gpus[gpu_idx].busy || w.gpus[gpu_idx].failed {
         return;
     }
-    let Some((inst_id, stage)) = w.gpus[gpu_idx].queue.pop_front() else {
-        return;
-    };
-    w.gpus[gpu_idx].busy = true;
-    start_fetch(w, s, inst_id, stage);
+    loop {
+        let Some((inst_id, stage)) = w.gpus[gpu_idx].queue.pop_front() else {
+            return;
+        };
+        // Recovery can fail an instance or reset a stage while it sits in
+        // the queue; such entries are dropped here rather than eagerly
+        // scrubbed from every queue.
+        let valid = w
+            .instances
+            .get(&inst_id)
+            .map(|i| i.stages[stage].state == StageState::Queued)
+            .unwrap_or(false);
+        if valid {
+            w.gpus[gpu_idx].busy = true;
+            start_fetch(w, s, inst_id, stage);
+            return;
+        }
+    }
 }
 
 /// The function was invoked (GPU assigned / CPU slot taken): fetch inputs
@@ -458,7 +513,7 @@ fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
 
 fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
     let now = s.now();
-    let (dest, compute, mem_bytes, name) = {
+    let (dest, compute, mem_bytes, name, attempt) = {
         // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let inst = w.instances.get_mut(&inst_id).expect("live");
         inst.stages[stage].state = StageState::Running;
@@ -472,6 +527,7 @@ fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: u
             spec.compute,
             mem,
             inst.spec.name.clone(),
+            inst.stages[stage].attempt,
         )
     };
 
@@ -497,15 +553,24 @@ fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: u
     }
 
     s.schedule_in(delay + compute, move |w, s| {
-        compute_done(w, s, inst_id, stage)
+        compute_done(w, s, inst_id, stage, attempt)
     });
 }
 
-fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
+fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize, attempt: u32) {
     let now = s.now();
     let (dest, compute, mem_bytes, output_bytes, fid) = {
-        // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
-        let inst = w.instances.get_mut(&inst_id).expect("live");
+        // The instance may have failed, or the stage may have been reset to
+        // a newer attempt, while this completion was in flight. Recovery
+        // already unwound the GPU/pool state; a stale completion must not
+        // touch it again.
+        let Some(inst) = w.instances.get_mut(&inst_id) else {
+            return;
+        };
+        if inst.stages[stage].attempt != attempt || inst.stages[stage].state != StageState::Running
+        {
+            return;
+        }
         let spec = &inst.spec.stages[stage];
         inst.compute_total = inst.compute_total + spec.compute;
         let mem = match spec.kind {
@@ -535,8 +600,17 @@ fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: us
         }
     }
 
-    // Store the output through the data plane.
-    let consumers = w.instances[&inst_id].consumers_of(stage);
+    // Store the output through the data plane. On a recovery re-run some
+    // dependents may already hold their copy from the first attempt, so the
+    // consumer count is restricted to the ones that will actually fetch.
+    let consumers = {
+        let inst = &w.instances[&inst_id];
+        if inst.stages[stage].attempt == 0 {
+            inst.consumers_of(stage)
+        } else {
+            crate::fault::rerun_consumers(inst, stage)
+        }
+    };
     let token = AccessToken {
         function: FunctionId(fid),
         workflow: w.instances[&inst_id].workflow_id,
@@ -580,7 +654,9 @@ fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usiz
         let inst = w.instances.get_mut(&inst_id).expect("live");
         inst.stages[stage].state = StageState::Done;
         inst.stages[stage].output = Some(data);
-        let is_terminal = inst.spec.terminals().contains(&stage);
+        // A re-run of a terminal whose egress already completed must not
+        // egress (and decrement `terminals_left`) twice.
+        let is_terminal = inst.spec.terminals().contains(&stage) && !inst.stages[stage].egressed;
         let mut dependents = Vec::new();
         for (j, st) in inst.spec.stages.iter().enumerate() {
             if st.deps.contains(&stage)
@@ -667,7 +743,7 @@ fn finish_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u64) {
 // Data operations
 // ---------------------------------------------------------------------------
 
-fn start_op(
+pub(crate) fn start_op(
     w: &mut World,
     s: &mut Scheduler<World>,
     op: DataOp,
@@ -705,10 +781,19 @@ fn advance_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
 
 fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::dataplane::OpLeg) {
     let now = s.now();
-    if let Some(pending) = w.ops.get_mut(&op_id) {
-        pending.rate_token = leg.rate_token;
-        pending.ledger_release = leg.ledger_release;
-        pending.pinned_release = leg.pinned_release;
+    let Some(pending) = w.ops.get_mut(&op_id) else {
+        // The op was cancelled by recovery between advance_op and this
+        // event. The leg's pre-attached reservations were made when the
+        // plane built it and would leak without an explicit release.
+        release_leg_resources(w, &leg);
+        return;
+    };
+    pending.rate_token = leg.rate_token;
+    pending.ledger_release = leg.ledger_release;
+    pending.pinned_release = leg.pinned_release;
+    if leg.health == crate::dataplane::LegHealth::Degraded {
+        w.recovery_log
+            .push((now, crate::fault::RecoveryEvent::DegradedLeg { op: op_id }));
     }
     // Apply direct-path rebalances: move other functions' in-flight flows
     // onto their new routes (§4.3.3 reassignment). A flow that already
@@ -763,6 +848,20 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
     }
 }
 
+/// Release a not-yet-begun leg's reservations (rate token, ledger paths,
+/// pinned staging bytes) without running it.
+pub(crate) fn release_leg_resources(w: &mut World, leg: &crate::dataplane::OpLeg) {
+    if let Some((node, token)) = leg.rate_token {
+        w.rates[node].finish(token);
+    }
+    if let Some((node, res)) = leg.ledger_release {
+        w.ledgers[node].release(res);
+    }
+    if let Some((node, bytes)) = leg.pinned_release {
+        w.pinned[node].release(bytes);
+    }
+}
+
 fn release_rate_token(w: &mut World, op_id: u64) {
     if let Some(pending) = w.ops.get_mut(&op_id) {
         if let Some((node, token)) = pending.rate_token.take() {
@@ -794,9 +893,11 @@ fn complete_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
             let background = with_plane(w, now, None, |p, ctx| p.on_consumed(ctx, data));
             run_background(w, s, background);
             let ready = {
-                // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
-                let instance = w.instances.get_mut(&inst).expect("live");
+                let Some(instance) = w.instances.get_mut(&inst) else {
+                    return;
+                };
                 if let StageState::Fetching { gets_left } = instance.stages[stage].state {
+                    instance.stages[stage].got.push(data);
                     let left = gets_left - 1;
                     instance.stages[stage].state = StageState::Fetching { gets_left: left };
                     left == 0
@@ -813,13 +914,14 @@ fn complete_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
             stage_done(w, s, inst, stage, data);
         }
         OpKind::Egress { inst, stage, data } => {
-            let _ = stage;
             record_pass(w, inst, op.category, duration);
             let background = with_plane(w, now, None, |p, ctx| p.on_consumed(ctx, data));
             run_background(w, s, background);
             let done = {
-                // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
-                let instance = w.instances.get_mut(&inst).expect("live");
+                let Some(instance) = w.instances.get_mut(&inst) else {
+                    return;
+                };
+                instance.stages[stage].egressed = true;
                 instance.terminals_left -= 1;
                 instance.terminals_left == 0
             };
@@ -839,7 +941,7 @@ fn record_pass(w: &mut World, inst_id: u64, cat: PassCategory, dur: SimDuration)
     }
 }
 
-fn run_background(w: &mut World, s: &mut Scheduler<World>, ops: Vec<DataOp>) {
+pub(crate) fn run_background(w: &mut World, s: &mut Scheduler<World>, ops: Vec<DataOp>) {
     for op in ops {
         start_op(w, s, op, OpKind::Background, PassCategory::GpuHost);
     }
@@ -849,7 +951,7 @@ fn run_background(w: &mut World, s: &mut Scheduler<World>, ops: Vec<DataOp>) {
 // Network wake
 // ---------------------------------------------------------------------------
 
-fn schedule_net_wake(w: &mut World, s: &mut Scheduler<World>) {
+pub(crate) fn schedule_net_wake(w: &mut World, s: &mut Scheduler<World>) {
     let Some(at) = w.net.next_completion() else {
         return;
     };

@@ -20,14 +20,16 @@
 
 pub mod dataplane;
 pub mod exec;
+pub mod fault;
 pub mod metrics;
 pub mod placement;
 pub mod simple_plane;
 pub mod spec;
 pub mod world;
 
-pub use dataplane::{DataOp, DataPlane, Destination, OpLeg, PlaneCtx, PutOp};
+pub use dataplane::{DataOp, DataPlane, Destination, LegHealth, OpLeg, PlaneCtx, PutOp};
 pub use exec::Runtime;
+pub use fault::{FaultState, RecoveryEvent};
 pub use metrics::{InstanceRecord, Metrics, PassCategory};
 pub use placement::PlacementPolicy;
 pub use spec::{StageKind, StageSpec, WorkflowSpec};

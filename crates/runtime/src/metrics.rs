@@ -20,6 +20,10 @@ pub enum PassCategory {
     GpuHost,
     /// cFn–cFn via host shared memory (negligible in the paper).
     HostHost,
+    /// Data passing re-issued by failure recovery (retried/replanned
+    /// operations); kept out of the paper-figure categories so the
+    /// failure-free breakdowns are unchanged.
+    Recovery,
 }
 
 /// Finished-instance record.
@@ -56,6 +60,10 @@ pub struct Metrics {
     records: Vec<InstanceRecord>,
     /// Requests that arrived (some may still be in flight at harvest time).
     pub arrivals: u64,
+    /// Requests terminated with a typed failure by the recovery engine
+    /// (unplaceable after GPU loss, or retry budget exhausted). Every
+    /// arrival ends as exactly one completion or one failure.
+    pub failed: u64,
 }
 
 impl Metrics {

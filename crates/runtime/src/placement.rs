@@ -30,6 +30,9 @@ pub struct Placer {
     policy: PlacementPolicy,
     /// Outstanding stage count per flat GPU index.
     load: Vec<u32>,
+    /// GPUs currently failed (flat index); placement avoids them while the
+    /// recovery engine has them marked down.
+    failed: Vec<bool>,
     rr_next: usize,
     /// Round-robin cursor for root CPU stages (spreads ingress across
     /// nodes instead of funnelling every request through node 0).
@@ -48,6 +51,7 @@ impl Placer {
         Placer {
             policy,
             load: vec![0; topo.num_gpus()],
+            failed: vec![false; topo.num_gpus()],
             rr_next: 0,
             cpu_rr: 0,
             nodes,
@@ -126,9 +130,52 @@ impl Placer {
         }
     }
 
+    /// Re-add a stage to its GPU's load counter (recovery re-placement).
+    pub fn bump(&mut self, topo: &Topology, dest: Destination) {
+        if let Destination::Gpu(g) = dest {
+            self.load[g.node * topo.gpus_per_node() + g.gpu] += 1;
+        }
+    }
+
+    /// Mark a GPU (flat index) down or back up for placement.
+    pub fn set_failed(&mut self, idx: usize, failed: bool) {
+        self.failed[idx] = failed;
+    }
+
+    /// Least-loaded healthy GPU in the domain, preferring `prefer_node`
+    /// (re-placement of a stage stranded on a failed GPU: staying on the
+    /// producer's node keeps the data passing intra-node). `None` when every
+    /// domain GPU is down.
+    pub fn pick_healthy(&self, topo: &Topology, prefer_node: Option<usize>) -> Option<GpuRef> {
+        let g = topo.gpus_per_node();
+        let mut best: Option<(bool, u32, usize, usize)> = None;
+        for &node in &self.nodes {
+            for gpu in 0..g {
+                let idx = node * g + gpu;
+                if self.failed[idx] {
+                    continue;
+                }
+                let key = (Some(node) != prefer_node, self.load[idx], node, gpu);
+                if best.is_none_or(|b| key < b) {
+                    best = Some(key);
+                }
+            }
+        }
+        best.map(|(_, _, node, gpu)| GpuRef::new(node, gpu))
+    }
+
     fn next_rr(&mut self, topo: &Topology) -> (usize, usize) {
         let g = topo.gpus_per_node();
         let total = self.nodes.len() * g;
+        for _ in 0..total {
+            let slot = self.rr_next % total;
+            self.rr_next += 1;
+            if !self.failed[self.nodes[slot / g] * g + slot % g] {
+                return (self.nodes[slot / g], slot % g);
+            }
+        }
+        // Every domain GPU is down: fall back to the plain rotation (the
+        // arrival path converts the doomed placement into a typed failure).
         let slot = self.rr_next % total;
         self.rr_next += 1;
         (self.nodes[slot / g], slot % g)
@@ -148,6 +195,9 @@ impl Placer {
         for &node in &self.nodes {
             for gpu in 0..g {
                 let idx = node * g + gpu;
+                if self.failed[idx] {
+                    continue;
+                }
                 let load = self.load[idx];
                 let mut conn = 0.0;
                 for &d in deps {
@@ -181,8 +231,9 @@ impl Placer {
                 }
             }
         }
-        // grouter-lint: allow(no-panic-in-dataplane): the loop above visits every GPU and topologies have at least one
-        let (_, _, node, gpu) = best.expect("domain non-empty");
+        // Every domain GPU failed: return the first slot and let the
+        // arrival path turn the placement into a typed instance failure.
+        let (_, _, node, gpu) = best.unwrap_or((0.0, 0, self.nodes[0], 0));
         GpuRef::new(node, gpu)
     }
 }

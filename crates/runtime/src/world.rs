@@ -85,6 +85,17 @@ pub struct StageRun {
     pub output: Option<DataId>,
     /// Global enqueue rank (queue-aware migration input).
     pub rank: Option<u64>,
+    /// Execution attempt, bumped on every recovery reset. Scheduled events
+    /// (compute completions, retry re-issues) carry the attempt they were
+    /// created under and no-op when it has moved on.
+    pub attempt: u32,
+    /// Inputs this attempt has already consumed (`Get` completed). A reset
+    /// re-fetches everything, so these claims must be re-added to the
+    /// store's pending-consumer counts.
+    pub got: Vec<DataId>,
+    /// Response egress for this terminal already completed (guards against
+    /// double egress when a terminal stage re-runs).
+    pub egressed: bool,
 }
 
 /// One live workflow invocation.
@@ -169,6 +180,8 @@ pub struct PendingOp {
 pub struct GpuExec {
     pub busy: bool,
     pub queue: VecDeque<(u64, usize)>,
+    /// Whole-GPU failure: no dispatch until the recovery engine clears it.
+    pub failed: bool,
 }
 
 /// All mutable simulation state.
@@ -205,6 +218,13 @@ pub struct World {
     pub next_op: u64,
     /// In-flight flows re-pathed by direct-path rebalancing (§4.3.3).
     pub rebalances_applied: u64,
+    /// Fault-injection bookkeeping (failed GPUs, degraded-link baselines,
+    /// per-stage retry budgets).
+    pub fault: crate::fault::FaultState,
+    /// Typed, time-ordered record of every fault the world absorbed and
+    /// every recovery action taken — the observable replacement for silent
+    /// stalls.
+    pub recovery_log: Vec<(SimTime, crate::fault::RecoveryEvent)>,
 }
 
 impl World {
@@ -273,6 +293,8 @@ impl World {
             next_instance: 0,
             next_op: 0,
             rebalances_applied: 0,
+            fault: Default::default(),
+            recovery_log: Vec::new(),
             topo,
             net,
         }

@@ -1,0 +1,312 @@
+//! Deterministic fault injection for the discrete-event sim.
+//!
+//! Production GPU clusters see link flaps, NIC failures and whole-GPU
+//! losses as everyday events; the healthy-path assumption baked into the
+//! GROUTER data plane (route-GPU harvesting, Algorithm 1 selection) must
+//! therefore be exercised under churn. A [`FaultPlan`] is a *seed-replayable
+//! script* of such events: either written out explicitly (scripted) or
+//! generated from a [`DetRng`] seed (randomized), and installed into a
+//! [`Scheduler`] so faults interleave deterministically with regular
+//! workload events. Two installs of the same plan over the same workload
+//! produce bit-identical simulations.
+//!
+//! The plan itself is pure data — it does not know how a world reacts to a
+//! fault. The world-side interpreter (the runtime's recovery engine) is
+//! passed to [`FaultPlan::install`] as a handler.
+
+use crate::engine::Scheduler;
+use crate::flownet::LinkId;
+use crate::rng::DetRng;
+use crate::time::{SimDuration, SimTime};
+
+/// One fault (or repair) the plan injects. GPUs and NICs are named by flat
+/// cluster-wide indices (`node * per_node + local`); FlowNet links by their
+/// [`LinkId`]. The sim crate assigns no meaning to these — the installed
+/// handler interprets them against its topology.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Scale a FlowNet link to `factor` × its healthy capacity
+    /// (`0 < factor ≤ 1`; FlowNet rejects non-positive capacities).
+    LinkDegrade { link: LinkId, factor: f64 },
+    /// Return a previously degraded FlowNet link to its healthy capacity.
+    LinkRestore { link: LinkId },
+    /// A GPU's NVLink ports die: it disappears from the bandwidth matrix
+    /// (both as an endpoint and as an intermediate *route* GPU) but keeps
+    /// computing and keeps its memory.
+    RouteGpuLoss { gpu: usize },
+    /// The NVLink ports of a route-lost GPU come back.
+    RouteGpuRestore { gpu: usize },
+    /// A NIC fails: cross-node traffic over it crawls at a residual trickle
+    /// until repaired.
+    NicFail { node: usize, nic: usize },
+    /// The failed NIC is replaced.
+    NicRestore { node: usize, nic: usize },
+    /// Whole-GPU failure: compute, stored intermediates and links are all
+    /// lost at once.
+    GpuFail { gpu: usize },
+    /// The failed GPU rejoins empty (pool unquarantined, links unmasked).
+    GpuRestore { gpu: usize },
+}
+
+/// A [`FaultKind`] pinned to a simulation instant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultEvent {
+    pub at: SimTime,
+    pub kind: FaultKind,
+}
+
+/// The fault targets a randomized plan may draw from. The caller harvests
+/// these from its topology (the sim crate cannot).
+#[derive(Clone, Debug, Default)]
+pub struct FaultDomain {
+    /// Total GPUs in the cluster (flat indexing).
+    pub gpus: usize,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// NICs per node.
+    pub nics_per_node: usize,
+    /// FlowNet links eligible for degrade/restore flapping.
+    pub links: Vec<LinkId>,
+}
+
+/// Shape of a randomized plan.
+#[derive(Clone, Debug)]
+pub struct FaultPlanConfig {
+    /// Faults are injected uniformly over `[0, horizon)`.
+    pub horizon: SimDuration,
+    /// Number of fault events (each may add a paired repair).
+    pub faults: usize,
+    /// Outage duration range for paired repairs.
+    pub min_outage: SimDuration,
+    pub max_outage: SimDuration,
+    /// Permit whole-GPU failures (the most destructive kind).
+    pub allow_gpu_fail: bool,
+}
+
+impl Default for FaultPlanConfig {
+    fn default() -> Self {
+        FaultPlanConfig {
+            horizon: SimDuration::from_secs_f64(0.2),
+            faults: 4,
+            min_outage: SimDuration::from_secs_f64(0.005),
+            max_outage: SimDuration::from_secs_f64(0.060),
+            allow_gpu_fail: true,
+        }
+    }
+}
+
+/// A deterministic, seed-replayable schedule of fault events.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// A hand-written plan (tests script exact failure instants). Events
+    /// are stably sorted by time so installation order is deterministic
+    /// regardless of authoring order.
+    pub fn scripted(mut events: Vec<FaultEvent>) -> FaultPlan {
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed: 0, events }
+    }
+
+    /// Generate a randomized plan from `seed`. The same `(seed, domain,
+    /// config)` triple always yields the identical plan — chaos tests print
+    /// the seed on failure and replay it verbatim.
+    pub fn randomized(seed: u64, domain: &FaultDomain, cfg: &FaultPlanConfig) -> FaultPlan {
+        let mut rng = DetRng::new(seed).fork(0xFA01);
+        let mut events = Vec::new();
+        let horizon = cfg.horizon.as_nanos().max(1);
+        for _ in 0..cfg.faults {
+            let at = SimTime(rng.next_below(horizon));
+            let outage = SimDuration(
+                cfg.min_outage.as_nanos()
+                    + rng.next_below(
+                        cfg.max_outage
+                            .as_nanos()
+                            .saturating_sub(cfg.min_outage.as_nanos())
+                            .max(1),
+                    ),
+            );
+            let back = at.saturating_add(outage);
+            // Weighted kind choice: link flaps are common, NIC failures
+            // less so, GPU losses rare.
+            let roll = rng.next_below(10);
+            match roll {
+                0..=4 if !domain.links.is_empty() => {
+                    let link = *rng.choose(&domain.links);
+                    let factor = rng.uniform(0.02, 0.5);
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::LinkDegrade { link, factor },
+                    });
+                    events.push(FaultEvent {
+                        at: back,
+                        kind: FaultKind::LinkRestore { link },
+                    });
+                }
+                5..=6 if domain.gpus > 0 => {
+                    let gpu = rng.next_below(domain.gpus as u64) as usize;
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::RouteGpuLoss { gpu },
+                    });
+                    events.push(FaultEvent {
+                        at: back,
+                        kind: FaultKind::RouteGpuRestore { gpu },
+                    });
+                }
+                7 if domain.nodes > 0 && domain.nics_per_node > 0 => {
+                    let node = rng.next_below(domain.nodes as u64) as usize;
+                    let nic = rng.next_below(domain.nics_per_node as u64) as usize;
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::NicFail { node, nic },
+                    });
+                    events.push(FaultEvent {
+                        at: back,
+                        kind: FaultKind::NicRestore { node, nic },
+                    });
+                }
+                _ if cfg.allow_gpu_fail && domain.gpus > 0 => {
+                    let gpu = rng.next_below(domain.gpus as u64) as usize;
+                    events.push(FaultEvent {
+                        at,
+                        kind: FaultKind::GpuFail { gpu },
+                    });
+                    // Half the failures heal within the outage window, the
+                    // rest stay down for the remainder of the run.
+                    if rng.next_u64().is_multiple_of(2) {
+                        events.push(FaultEvent {
+                            at: back,
+                            kind: FaultKind::GpuRestore { gpu },
+                        });
+                    }
+                }
+                _ => {
+                    // Domain cannot express the rolled kind (e.g. GPU kills
+                    // disabled): fall back to a route loss when possible.
+                    if domain.gpus > 0 {
+                        let gpu = rng.next_below(domain.gpus as u64) as usize;
+                        events.push(FaultEvent {
+                            at,
+                            kind: FaultKind::RouteGpuLoss { gpu },
+                        });
+                        events.push(FaultEvent {
+                            at: back,
+                            kind: FaultKind::RouteGpuRestore { gpu },
+                        });
+                    }
+                }
+            }
+        }
+        events.sort_by_key(|e| e.at);
+        FaultPlan { seed, events }
+    }
+
+    /// The generating seed (0 for scripted plans) — printed by failing
+    /// chaos tests for replay.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The scheduled events, time-ordered.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Schedule every event into `sched`. `handler` is the world-side fault
+    /// interpreter; it runs at each event's instant, interleaved
+    /// deterministically with regular events via the scheduler's `(at, seq)`
+    /// order.
+    pub fn install<W, F>(&self, sched: &mut Scheduler<W>, handler: F)
+    where
+        F: Fn(&mut W, &mut Scheduler<W>, &FaultEvent) + Clone + 'static,
+    {
+        for ev in self.events.clone() {
+            let h = handler.clone();
+            sched.schedule_at(ev.at, move |w, s| h(w, s, &ev));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain() -> FaultDomain {
+        FaultDomain {
+            gpus: 16,
+            nodes: 2,
+            nics_per_node: 4,
+            links: (0..12).map(LinkId).collect(),
+        }
+    }
+
+    #[test]
+    fn randomized_plans_replay_byte_identically() {
+        let cfg = FaultPlanConfig::default();
+        let a = FaultPlan::randomized(42, &domain(), &cfg);
+        let b = FaultPlan::randomized(42, &domain(), &cfg);
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+        let c = FaultPlan::randomized(43, &domain(), &cfg);
+        assert_ne!(a, c, "different seeds should differ");
+    }
+
+    #[test]
+    fn events_are_time_ordered_and_within_kind_invariants() {
+        let cfg = FaultPlanConfig {
+            faults: 32,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::randomized(7, &domain(), &cfg);
+        let evs = plan.events();
+        assert!(evs.windows(2).all(|w| w[0].at <= w[1].at));
+        for e in evs {
+            match &e.kind {
+                FaultKind::LinkDegrade { factor, .. } => {
+                    assert!(*factor > 0.0 && *factor <= 1.0);
+                }
+                FaultKind::GpuFail { gpu }
+                | FaultKind::GpuRestore { gpu }
+                | FaultKind::RouteGpuLoss { gpu }
+                | FaultKind::RouteGpuRestore { gpu } => assert!(*gpu < 16),
+                FaultKind::NicFail { node, nic } | FaultKind::NicRestore { node, nic } => {
+                    assert!(*node < 2 && *nic < 4);
+                }
+                FaultKind::LinkRestore { .. } => {}
+            }
+        }
+    }
+
+    #[test]
+    fn install_schedules_all_events_in_plan_order() {
+        let plan = FaultPlan::scripted(vec![
+            FaultEvent {
+                at: SimTime(2_000),
+                kind: FaultKind::GpuFail { gpu: 1 },
+            },
+            FaultEvent {
+                at: SimTime(1_000),
+                kind: FaultKind::LinkDegrade {
+                    link: LinkId(3),
+                    factor: 0.1,
+                },
+            },
+        ]);
+        // scripted() sorts by time.
+        assert_eq!(plan.events()[0].at, SimTime(1_000));
+        let mut sim = crate::engine::Simulation::new(Vec::<(u64, bool)>::new());
+        plan.install(&mut sim.sched, |w: &mut Vec<(u64, bool)>, _s, ev| {
+            w.push((ev.at.0, matches!(ev.kind, FaultKind::GpuFail { .. })));
+        });
+        sim.run();
+        assert_eq!(sim.world, vec![(1_000, false), (2_000, true)]);
+    }
+}

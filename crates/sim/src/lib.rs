@@ -15,6 +15,8 @@
 //!   incremental and scoped to contention components.
 //! * [`flownet_ref`] — the full-recompute reference allocator, kept as the
 //!   property-test oracle and benchmark baseline for [`flownet`].
+//! * [`fault`] — seed-replayable fault-injection plans scheduled into the
+//!   event queue (link flaps, NIC failures, GPU losses).
 //! * [`stats`] — streaming percentiles, histograms and time series used by the
 //!   elastic-storage policies and the experiment harness.
 //! * [`rng`] — seeded deterministic random number helpers.
@@ -24,6 +26,7 @@
 //! runs with the same seed produce bit-identical event orders.
 
 pub mod engine;
+pub mod fault;
 pub mod flownet;
 pub mod flownet_ref;
 pub mod params;
@@ -32,6 +35,7 @@ pub mod stats;
 pub mod time;
 
 pub use engine::{Scheduler, Simulation};
+pub use fault::{FaultDomain, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use flownet::{FlowId, FlowNet, FlowNetError, FlowOptions, LinkId};
 pub use flownet_ref::ReferenceNet;
 pub use time::{SimDuration, SimTime};

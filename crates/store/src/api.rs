@@ -130,6 +130,16 @@ impl DataStore {
         }
     }
 
+    /// Add `n` future consumers to a live object. Recovery uses this when a
+    /// stage that already consumed an input is reset: the retry will read the
+    /// input again, so the earlier decrement must be compensated or the store
+    /// garbage-collects the object one consume too early.
+    pub fn add_pending(&mut self, id: DataId, n: u32) {
+        if let Some(entry) = self.tables.get_mut(id) {
+            entry.pending_consumers += n;
+        }
+    }
+
     /// Update an object's location after migration/restoration.
     pub fn relocate(&mut self, id: DataId, location: Location) -> Result<(), StoreError> {
         match self.tables.get_mut(id) {
@@ -147,6 +157,26 @@ impl DataStore {
         if let Some(entry) = self.tables.get_mut(id) {
             entry.next_use = rank;
         }
+    }
+
+    /// Forcibly remove `id` regardless of pending consumers (data destroyed
+    /// by a GPU failure or an aborted transfer). Returns the entry so the
+    /// caller can unwind pool/scaler accounting. Idempotent.
+    pub fn purge(&mut self, id: DataId) -> Option<DataEntry> {
+        let entry = self.tables.peek(id).cloned()?;
+        self.tables.remove(id);
+        Some(entry)
+    }
+
+    /// Forcibly remove every object resident at `location` (the data loss of
+    /// a whole-GPU failure). Returns the purged entries in deterministic
+    /// order; lineage recovery re-executes their producers as needed.
+    pub fn purge_at(&mut self, location: Location) -> Vec<DataEntry> {
+        let doomed = self.entries_at(location);
+        for e in &doomed {
+            self.tables.remove(e.id);
+        }
+        doomed
     }
 
     /// Objects currently resident on `location` (deterministic order).
@@ -284,6 +314,39 @@ mod tests {
         assert_eq!(store.peek(id).unwrap().next_use, Some(3));
         store.set_next_use(id, None);
         assert_eq!(store.peek(id).unwrap().next_use, None);
+    }
+
+    #[test]
+    fn purge_ignores_pending_consumers_and_is_idempotent() {
+        let mut store = DataStore::new(1);
+        let (id, _) = store.put(SimTime::ZERO, token(1, 1), gpu(0, 0), 5e6, 3);
+        let entry = store.purge(id).expect("live entry purged");
+        assert_eq!(entry.bytes, 5e6);
+        assert_eq!(entry.pending_consumers, 3);
+        assert!(store.is_empty());
+        assert!(store.purge(id).is_none(), "second purge is a no-op");
+        assert!(matches!(
+            store.resolve(SimTime::ZERO, 0, token(1, 1), id),
+            Err(StoreError::UnknownData(_))
+        ));
+    }
+
+    #[test]
+    fn purge_at_drops_exactly_the_failed_gpus_objects() {
+        let mut store = DataStore::new(1);
+        let (a, _) = store.put(SimTime::ZERO, token(1, 1), gpu(0, 0), 1e6, 1);
+        let (b, _) = store.put(SimTime::ZERO, token(1, 1), gpu(0, 1), 2e6, 1);
+        let (c, _) = store.put(SimTime::ZERO, token(1, 1), gpu(0, 0), 3e6, 2);
+        let lost = store.purge_at(gpu(0, 0));
+        assert_eq!(
+            lost.iter().map(|e| e.id).collect::<Vec<_>>(),
+            vec![a, c],
+            "deterministic id order"
+        );
+        assert!(store.peek(a).is_none());
+        assert!(store.peek(c).is_none());
+        assert_eq!(store.peek(b).unwrap().bytes, 2e6, "survivor untouched");
+        assert!(store.purge_at(gpu(0, 0)).is_empty());
     }
 
     #[test]

@@ -14,14 +14,24 @@ use crate::graph::Topology;
 #[derive(Clone, Debug)]
 pub struct BwMatrix {
     n: usize,
-    /// Hardware capacity of the directed edge `a → b` (0 = unconnected).
+    /// Effective capacity of the directed edge `a → b` (0 = unconnected or
+    /// masked). This is what path enumeration and reservations see.
     topo: Vec<f64>,
     /// Unreserved capacity of the directed edge `a → b`.
     residual: Vec<f64>,
-    /// Topology epoch: bumped whenever a hardware *capacity* changes (link
-    /// degradation). Reservations never bump it — path sets depend only on
-    /// capacities, so caches keyed on the epoch stay valid across arbitrary
-    /// occupy/release churn.
+    /// Original hardware capacity snapshot taken at construction — the
+    /// target of [`BwMatrix::restore_link`].
+    base: Vec<f64>,
+    /// Logical (un-masked) capacity: tracks degradations but ignores node
+    /// masks, so unmasking a GPU re-exposes a previously degraded value
+    /// rather than silently healing the link.
+    healthy: Vec<f64>,
+    /// Per-GPU failure mask: a masked GPU contributes no edges.
+    masked: Vec<bool>,
+    /// Topology epoch: bumped whenever an effective *capacity* changes (link
+    /// degradation/restoration or node masking). Reservations never bump it —
+    /// path sets depend only on capacities, so caches keyed on the epoch stay
+    /// valid across arbitrary occupy/release churn.
     epoch: u64,
 }
 
@@ -40,7 +50,10 @@ impl BwMatrix {
         BwMatrix {
             n,
             topo: m.clone(),
-            residual: m,
+            residual: m.clone(),
+            base: m.clone(),
+            healthy: m,
+            masked: vec![false; n],
             epoch: 0,
         }
     }
@@ -51,20 +64,95 @@ impl BwMatrix {
         self.epoch
     }
 
-    /// Degrade (or restore) the hardware capacity of the directed edge
-    /// `a → b` to `new_cap` bytes/s, preserving the amount currently
-    /// reserved on the edge. Bumps the topology epoch exactly once per call
-    /// that actually changes the capacity, invalidating cached path sets.
-    pub fn degrade_link(&mut self, a: usize, b: usize, new_cap: f64) {
-        let idx = a * self.n + b;
-        let new_cap = new_cap.max(0.0);
+    /// Set the effective capacity of edge `idx`, preserving the amount
+    /// currently reserved on it. Returns whether anything changed; does NOT
+    /// bump the epoch (callers decide the bump granularity).
+    fn set_effective(&mut self, idx: usize, new_cap: f64) -> bool {
         if self.topo[idx] == new_cap {
-            return;
+            return false;
         }
         let reserved = self.topo[idx] - self.residual[idx];
         self.topo[idx] = new_cap;
         self.residual[idx] = (new_cap - reserved).clamp(0.0, new_cap);
-        self.epoch += 1;
+        true
+    }
+
+    /// Degrade (or restore) the capacity of the directed edge `a → b` to
+    /// `new_cap` bytes/s, preserving the amount currently reserved on the
+    /// edge. Bumps the topology epoch exactly once per call that actually
+    /// changes the effective capacity, invalidating cached path sets. While
+    /// either endpoint is masked the new value is recorded but the effective
+    /// capacity stays 0 until the node is unmasked.
+    pub fn degrade_link(&mut self, a: usize, b: usize, new_cap: f64) {
+        let idx = a * self.n + b;
+        let new_cap = new_cap.max(0.0);
+        self.healthy[idx] = new_cap;
+        let effective = if self.masked[a] || self.masked[b] {
+            0.0
+        } else {
+            new_cap
+        };
+        if self.set_effective(idx, effective) {
+            self.epoch += 1;
+        }
+    }
+
+    /// Restore the directed edge `a → b` to its original hardware capacity
+    /// (the construction-time snapshot), undoing any prior degradation.
+    /// Same epoch semantics as [`BwMatrix::degrade_link`]; a restore under an
+    /// active node mask takes effect when the node is unmasked.
+    pub fn restore_link(&mut self, a: usize, b: usize) {
+        let base = self.base[a * self.n + b];
+        self.degrade_link(a, b, base);
+    }
+
+    /// Mask a failed GPU: every directed edge touching `g` drops to zero
+    /// effective capacity, removing it from path enumeration. Bumps the
+    /// epoch once if any edge changed. Reservations crossing the masked
+    /// edges are forfeited (the failure path cancels them separately);
+    /// releases clamp harmlessly against the zero capacity.
+    pub fn mask_node(&mut self, g: usize) {
+        if self.masked[g] {
+            return;
+        }
+        self.masked[g] = true;
+        let mut changed = false;
+        for other in 0..self.n {
+            changed |= self.set_effective(g * self.n + other, 0.0);
+            changed |= self.set_effective(other * self.n + g, 0.0);
+        }
+        if changed {
+            self.epoch += 1;
+        }
+    }
+
+    /// Unmask a recovered GPU: edges to every *other unmasked* GPU return to
+    /// their logical (possibly degraded) capacity, fully unreserved. Bumps
+    /// the epoch once if any edge changed.
+    pub fn unmask_node(&mut self, g: usize) {
+        if !self.masked[g] {
+            return;
+        }
+        self.masked[g] = false;
+        let mut changed = false;
+        for other in 0..self.n {
+            if self.masked[other] {
+                continue;
+            }
+            let out = g * self.n + other;
+            let inn = other * self.n + g;
+            let (out_cap, in_cap) = (self.healthy[out], self.healthy[inn]);
+            changed |= self.set_effective(out, out_cap);
+            changed |= self.set_effective(inn, in_cap);
+        }
+        if changed {
+            self.epoch += 1;
+        }
+    }
+
+    /// Whether GPU `g` is currently masked as failed.
+    pub fn is_masked(&self, g: usize) -> bool {
+        self.masked[g]
     }
 
     /// Number of GPUs.
@@ -227,6 +315,88 @@ mod tests {
         m.occupy_path(&[0, 3, 7], 5e9);
         m.release_path(&[0, 3, 7], 5e9);
         assert_eq!(m.epoch(), 0);
+    }
+
+    #[test]
+    fn restore_returns_to_hardware_baseline_and_bumps_epoch() {
+        let mut m = v100_matrix();
+        m.degrade_link(0, 3, 10e9);
+        assert_eq!(m.epoch(), 1);
+        m.restore_link(0, 3);
+        assert_eq!(m.capacity(0, 3), params::NVLINK_V100_DOUBLE);
+        assert_eq!(m.residual(0, 3), params::NVLINK_V100_DOUBLE);
+        assert_eq!(m.epoch(), 2, "restore is a capacity change: epoch bumps");
+        // Restoring an already-healthy link is a no-op.
+        m.restore_link(0, 3);
+        assert_eq!(m.epoch(), 2);
+    }
+
+    #[test]
+    fn restore_preserves_reservations() {
+        let mut m = v100_matrix();
+        m.occupy_path(&[0, 3], 10e9);
+        m.degrade_link(0, 3, 20e9);
+        m.restore_link(0, 3);
+        assert_eq!(m.residual(0, 3), params::NVLINK_V100_DOUBLE - 10e9);
+    }
+
+    #[test]
+    fn mask_node_zeroes_adjacent_edges_once() {
+        let mut m = v100_matrix();
+        m.mask_node(3);
+        assert!(m.is_masked(3));
+        assert_eq!(m.epoch(), 1, "one bump per mask event");
+        assert_eq!(m.capacity(0, 3), 0.0);
+        assert_eq!(m.capacity(3, 0), 0.0);
+        assert_eq!(m.out_bw(3), 0.0);
+        assert_eq!(m.in_bw(3), 0.0);
+        // Unrelated edges untouched.
+        assert_eq!(m.capacity(0, 1), params::NVLINK_V100_SINGLE);
+        // Re-masking is a no-op.
+        m.mask_node(3);
+        assert_eq!(m.epoch(), 1);
+    }
+
+    #[test]
+    fn unmask_restores_logical_capacity_not_baseline() {
+        let mut m = v100_matrix();
+        m.degrade_link(0, 3, 10e9);
+        m.mask_node(3);
+        assert_eq!(m.capacity(0, 3), 0.0);
+        m.unmask_node(3);
+        assert!(!m.is_masked(3));
+        assert_eq!(
+            m.capacity(0, 3),
+            10e9,
+            "mask/unmask must not silently heal a degraded link"
+        );
+        m.restore_link(0, 3);
+        assert_eq!(m.capacity(0, 3), params::NVLINK_V100_DOUBLE);
+    }
+
+    #[test]
+    fn overlapping_masks_resolve_in_any_order() {
+        let mut m = v100_matrix();
+        m.mask_node(0);
+        m.mask_node(3);
+        m.unmask_node(0);
+        // 0→3 stays down: GPU 3 is still masked.
+        assert_eq!(m.capacity(0, 3), 0.0);
+        assert_eq!(m.capacity(0, 1), params::NVLINK_V100_SINGLE);
+        m.unmask_node(3);
+        assert_eq!(m.capacity(0, 3), params::NVLINK_V100_DOUBLE);
+        assert_eq!(m.capacity(3, 0), params::NVLINK_V100_DOUBLE);
+    }
+
+    #[test]
+    fn degrade_under_mask_applies_on_unmask() {
+        let mut m = v100_matrix();
+        m.mask_node(3);
+        let e = m.epoch();
+        m.degrade_link(0, 3, 10e9);
+        assert_eq!(m.epoch(), e, "no effective change while masked");
+        m.unmask_node(3);
+        assert_eq!(m.capacity(0, 3), 10e9);
     }
 
     #[test]

@@ -215,6 +215,24 @@ impl PathSelector {
         self.bwm.degrade_link(a, b, new_cap);
     }
 
+    /// Restore the directed edge `a → b` to its hardware baseline; cached
+    /// path sets are invalidated via the epoch bump.
+    pub fn restore_link(&mut self, a: usize, b: usize) {
+        self.bwm.restore_link(a, b);
+    }
+
+    /// Mask a failed GPU out of path enumeration (see
+    /// [`BwMatrix::mask_node`]); cached path sets are invalidated via the
+    /// epoch bump.
+    pub fn mask_node(&mut self, g: usize) {
+        self.bwm.mask_node(g);
+    }
+
+    /// Readmit a recovered GPU (see [`BwMatrix::unmask_node`]).
+    pub fn unmask_node(&mut self, g: usize) {
+        self.bwm.unmask_node(g);
+    }
+
     /// **Algorithm 1** over the cached path set: behaves exactly like
     /// [`crate::paths::select_parallel_paths`] (rates are reserved in the
     /// matrix; the caller releases them), but enumerates nothing and
@@ -377,6 +395,53 @@ mod tests {
         fresh.degrade_link(0, 3, 0.0);
         let expect = select_parallel_paths(&mut fresh, 0, 3, 3, 8);
         assert_eq!(got, expect.paths);
+    }
+
+    #[test]
+    fn degrade_restore_roundtrip_invalidates_cache_both_ways() {
+        let mut sel = PathSelector::new(v100());
+        sel.warm(3);
+        let base = sel.select(0, 3, 3, 8).paths.clone();
+        sel.release_last();
+        // Degrade: the direct 0→3 edge disappears from the selection.
+        sel.degrade_link(0, 3, 0.0);
+        let degraded = sel.select(0, 3, 3, 8).paths.clone();
+        sel.release_last();
+        assert!(degraded.iter().all(|p| p.gpus != vec![0, 3]));
+        let inv_after_degrade = sel.cache().stats().invalidations;
+        // Restore: the epoch bumps again, the cache re-derives, and the
+        // selection returns exactly to the healthy baseline. Before
+        // restore_link existed, a "restore" via degrade_link required the
+        // caller to remember the hardware capacity; the round trip is now
+        // closed in the matrix itself.
+        sel.restore_link(0, 3);
+        let restored = sel.select(0, 3, 3, 8).paths.clone();
+        sel.release_last();
+        assert_eq!(
+            sel.cache().stats().invalidations,
+            inv_after_degrade + 1,
+            "restore must invalidate cached path sets"
+        );
+        assert_eq!(restored, base, "restored selection ≡ healthy selection");
+    }
+
+    #[test]
+    fn masked_node_disappears_from_selection_and_returns() {
+        let mut sel = PathSelector::new(v100());
+        let base = sel.select(0, 1, 3, 8).paths.clone();
+        sel.release_last();
+        sel.mask_node(3);
+        let masked = sel.select(0, 1, 3, 8).paths.clone();
+        sel.release_last();
+        assert!(
+            masked.iter().all(|p| !p.gpus.contains(&3)),
+            "masked GPU must not appear on any selected route"
+        );
+        assert!(sel.select(0, 3, 3, 8).is_empty(), "no path into a dead GPU");
+        sel.unmask_node(3);
+        let back = sel.select(0, 1, 3, 8).paths.clone();
+        sel.release_last();
+        assert_eq!(back, base);
     }
 
     #[test]

@@ -450,6 +450,13 @@ impl Topology {
     pub fn nic_tx_links(&self, node: usize) -> Vec<LinkId> {
         self.nodes[node].nic_tx.clone()
     }
+
+    /// Both directions of one NIC: `(tx, rx)`. Fault injection throttles the
+    /// pair together — a dead NIC neither sends nor receives.
+    pub fn nic_links(&self, node: usize, nic: usize) -> (LinkId, LinkId) {
+        let links = &self.nodes[node];
+        (links.nic_tx[nic], links.nic_rx[nic])
+    }
 }
 
 #[cfg(test)]
@@ -646,6 +653,15 @@ mod accessor_tests {
             assert_eq!(t.uplink_links(node).len(), 4, "one uplink per switch");
             assert_eq!(t.pcie_up_links(node).len(), 8, "one segment per GPU");
             assert_eq!(t.nic_tx_links(node).len(), 4);
+            for nic in 0..4 {
+                let (tx, rx) = t.nic_links(node, nic);
+                assert_eq!(tx, t.nic_tx_links(node)[nic]);
+                assert_ne!(tx, rx, "tx/rx are distinct simplex links");
+                // rx is the receive side host_net_path wires in.
+                if node == 1 {
+                    assert_eq!(t.host_net_path(0, 1, nic)[2], rx);
+                }
+            }
         }
         // Groups are disjoint across nodes and within a node.
         let mut all: Vec<LinkId> = Vec::new();

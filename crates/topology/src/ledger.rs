@@ -112,6 +112,26 @@ impl PathLedger {
         self.selector.degrade_link(a, b, new_cap);
     }
 
+    /// Restore the directed NVLink `a → b` to its hardware baseline
+    /// capacity (see [`BwMatrix::restore_link`]). Cached path sets are
+    /// invalidated through the topology epoch.
+    pub fn restore_link(&mut self, a: usize, b: usize) {
+        self.selector.restore_link(a, b);
+    }
+
+    /// Mask a failed GPU out of this node's matrix: every edge touching it
+    /// drops to zero capacity and cached path sets are invalidated. Live
+    /// reservations crossing the GPU keep their ids (release stays
+    /// idempotent) but their bandwidth is forfeited.
+    pub fn mask_node(&mut self, g: usize) {
+        self.selector.mask_node(g);
+    }
+
+    /// Readmit a recovered GPU (see [`BwMatrix::unmask_node`]).
+    pub fn unmask_node(&mut self, g: usize) {
+        self.selector.unmask_node(g);
+    }
+
     /// Number of live reservations.
     pub fn active(&self) -> usize {
         self.reservations.len()

@@ -1,8 +1,9 @@
 //! Oracle property tests: the cached, allocation-free Algorithm 1
 //! ([`grouter_topology::PathSelector`]) must agree **exactly** with the seed
 //! DFS selector ([`grouter_topology::select_parallel_paths`]) when both are
-//! driven by the same reserve/release/degrade sequence over mirrored
-//! bandwidth matrices.
+//! driven by the same reserve/release/degrade/restore/mask sequence over
+//! mirrored bandwidth matrices — including flapping links (degrade →
+//! restore round trips) and whole-GPU mask/unmask churn.
 //!
 //! Equality is exact (`NvPath: PartialEq` on routes and `f64` rates): both
 //! sides perform the identical occupy/release arithmetic in the identical
@@ -31,6 +32,15 @@ enum Op {
         b: usize,
         cap: f64,
     },
+    /// Restore a directed link to its hardware baseline capacity.
+    Restore {
+        a: usize,
+        b: usize,
+    },
+    /// Mask a failed GPU out of the matrix (whole-GPU loss).
+    MaskNode(usize),
+    /// Readmit a recovered GPU.
+    UnmaskNode(usize),
 }
 
 const N_GPUS: usize = 8; // both presets below expose 8 GPUs per node
@@ -60,6 +70,9 @@ fn arb_op() -> impl Strategy<Value = Op> {
             // Exercise full link failure too.
             cap: if cap < 1e9 { 0.0 } else { cap },
         }),
+        (0..N_GPUS, 0..N_GPUS).prop_map(|(a, b)| Op::Restore { a, b }),
+        (0..N_GPUS).prop_map(Op::MaskNode),
+        (0..N_GPUS).prop_map(Op::UnmaskNode),
     ]
 }
 
@@ -136,6 +149,21 @@ impl Harness {
                 }
                 self.cached.degrade_link(a, b, cap);
                 self.seed.degrade_link(a, b, cap);
+            }
+            Op::Restore { a, b } => {
+                if a == b {
+                    return Ok(());
+                }
+                self.cached.restore_link(a, b);
+                self.seed.restore_link(a, b);
+            }
+            Op::MaskNode(g) => {
+                self.cached.mask_node(g);
+                self.seed.mask_node(g);
+            }
+            Op::UnmaskNode(g) => {
+                self.cached.unmask_node(g);
+                self.seed.unmask_node(g);
             }
         }
         Ok(())
@@ -228,6 +256,20 @@ proptest! {
                         if a != b {
                             sel.degrade_link(a, b, cap);
                         }
+                        trace.push(sel.bwm().epoch());
+                    }
+                    Op::Restore { a, b } => {
+                        if a != b {
+                            sel.restore_link(a, b);
+                        }
+                        trace.push(sel.bwm().epoch());
+                    }
+                    Op::MaskNode(g) => {
+                        sel.mask_node(g);
+                        trace.push(sel.bwm().epoch());
+                    }
+                    Op::UnmaskNode(g) => {
+                        sel.unmask_node(g);
                         trace.push(sel.bwm().epoch());
                     }
                 }

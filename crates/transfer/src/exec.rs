@@ -128,6 +128,12 @@ impl TransferEngine {
         self.active.len()
     }
 
+    /// Whether `id` is still live (started and neither completed nor
+    /// cancelled). Recovery audits use this to detect orphaned waiters.
+    pub fn is_active(&self, id: TransferId) -> bool {
+        self.active.contains_key(&id.0)
+    }
+
     /// Start `plan`'s flows at `now`. `nv_node` names the node whose
     /// bandwidth matrix holds the plan's NVLink reservations (ignored when
     /// the plan has none).
@@ -232,26 +238,44 @@ impl TransferEngine {
     }
 
     /// Abort an in-flight transfer, cancelling its flows. Returns the
-    /// reservations to release, or `None` if the id is unknown/complete.
+    /// reservations to release plus the flow ids that were torn down (so the
+    /// caller can drop any per-flow indices), or `None` if the id is
+    /// unknown/complete.
     pub fn cancel(
         &mut self,
         net: &mut FlowNet,
         now: SimTime,
         id: TransferId,
-    ) -> Option<TransferDone> {
+    ) -> Option<(TransferDone, Vec<FlowId>)> {
         let act = self.active.remove(&id.0)?;
-        for fid in &act.pending {
+        let mut cancelled: Vec<FlowId> = act.pending.iter().copied().collect();
+        cancelled.sort();
+        for fid in &cancelled {
             self.flow_owner.remove(fid);
             let _ = net.cancel_flow(now, *fid);
         }
-        Some(TransferDone {
-            id,
-            started: act.started,
-            bytes: act.bytes,
-            nv_releases: act.nv_releases,
-            routes: act.routes,
-            nv_node: act.nv_node,
-        })
+        Some((
+            TransferDone {
+                id,
+                started: act.started,
+                bytes: act.bytes,
+                nv_releases: act.nv_releases,
+                routes: act.routes,
+                nv_node: act.nv_node,
+            },
+            cancelled,
+        ))
+    }
+
+    /// In-flight transfers on `nv_node` whose NVLink routes visit `gpu`
+    /// (endpoint or relay) — the set a GPU failure strands mid-flight.
+    /// Ascending id order.
+    pub fn transfers_using_route(&self, nv_node: usize, gpu: usize) -> Vec<TransferId> {
+        self.active
+            .iter()
+            .filter(|(_, a)| a.nv_node == nv_node && a.routes.iter().any(|r| r.contains(&gpu)))
+            .map(|(&id, _)| TransferId(id))
+            .collect()
     }
 }
 
@@ -389,14 +413,54 @@ mod tests {
             panic!("expected in-flight");
         };
         assert!(net.num_flows() > 0);
-        let done = eng
+        let flows_before = net.num_flows();
+        let (done, cancelled) = eng
             .cancel(&mut net, SimTime::ZERO, id)
             .expect("cancellable");
         assert_eq!(done.id, id);
+        assert_eq!(cancelled.len(), flows_before, "every pending flow reported");
+        assert!(cancelled.windows(2).all(|w| w[0] < w[1]), "sorted flow ids");
         assert_eq!(net.num_flows(), 0);
         assert_eq!(eng.in_flight(), 0);
         // Double-cancel is a no-op.
         assert!(eng.cancel(&mut net, SimTime::ZERO, id).is_none());
+    }
+
+    #[test]
+    fn route_query_finds_transfers_crossing_a_gpu() {
+        let (mut net, topo) = setup();
+        let mut eng = TransferEngine::new();
+        let mut sel = PathSelector::from_topology(&topo);
+        let plan = plan_intra_node(
+            &topo,
+            &net,
+            Some(&mut sel),
+            0,
+            0,
+            3,
+            100.0 * MB,
+            &PlanConfig::grouter(),
+        );
+        let BeginOutcome::InFlight(id, _) = eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap()
+        else {
+            panic!("expected in-flight");
+        };
+        // Endpoints are always on some route.
+        assert_eq!(eng.transfers_using_route(0, 0), vec![id]);
+        assert_eq!(eng.transfers_using_route(0, 3), vec![id]);
+        // Wrong node → no hit even for the same GPU index.
+        assert!(eng.transfers_using_route(1, 0).is_empty());
+        // A GPU on no route of this transfer → no hit.
+        let on_routes: std::collections::HashSet<usize> = plan
+            .flows
+            .iter()
+            .filter_map(|f| f.route.as_ref())
+            .flatten()
+            .copied()
+            .collect();
+        if let Some(absent) = (0..8).find(|g| !on_routes.contains(g)) {
+            assert!(eng.transfers_using_route(0, absent).is_empty());
+        }
     }
 
     #[test]

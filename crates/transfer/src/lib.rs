@@ -29,4 +29,4 @@ pub use chunk::{chunk_count, proportional_split, ChunkPlan};
 pub use exec::{TransferDone, TransferEngine, TransferId};
 pub use pipeline::{BatchPipeline, Completion, Offered};
 pub use plan::{PlanConfig, PlannedFlow, TransferPlan};
-pub use rate::{rate_least, RateController, SloSpec};
+pub use rate::{rate_least, rate_least_typed, RateController, RateLeast, SloSpec};

@@ -39,15 +39,57 @@ impl SloSpec {
     }
 }
 
-/// `Rate_least` in bytes/s. A non-positive budget means the SLO is already
-/// blown; the controller then asks for the full `fallback_rate` (the link
-/// capacity) — the best it can still do.
-pub fn rate_least(bytes: f64, spec: SloSpec, fallback_rate: f64) -> f64 {
+/// Typed outcome of the `Rate_least` computation: either a rate that still
+/// meets the SLO, or the typed admission that the deadline is already blown
+/// and the transfer runs best-effort at the domain's max rate. The naive
+/// formula `size / (L_slo − L_infer)` produces a negative (or, at
+/// `L_slo == L_infer`, infinite) rate in that regime — the clamp must be a
+/// *visible* outcome so callers can classify the transfer instead of
+/// silently booking a nonsense floor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RateLeast {
+    /// `L_slo > L_infer`: this rate finishes the transfer inside the budget.
+    Guaranteed(f64),
+    /// `L_slo ≤ L_infer` (deadline already blown by compute alone): run at
+    /// the carried best-effort max rate, typically the link capacity.
+    BestEffort(f64),
+}
+
+impl RateLeast {
+    /// The rate to book, whichever regime applies.
+    pub fn rate(self) -> f64 {
+        match self {
+            RateLeast::Guaranteed(r) | RateLeast::BestEffort(r) => r,
+        }
+    }
+
+    /// Whether the SLO can still be met by this transfer.
+    pub fn is_guaranteed(self) -> bool {
+        matches!(self, RateLeast::Guaranteed(_))
+    }
+}
+
+/// `Rate_least` with a typed regime classification. `max_rate` is the
+/// best-effort ceiling used when the budget is non-positive (or the division
+/// degenerates to a non-finite rate).
+pub fn rate_least_typed(bytes: f64, spec: SloSpec, max_rate: f64) -> RateLeast {
     let budget = spec.transfer_budget().as_secs_f64();
     if budget <= 0.0 {
-        return fallback_rate;
+        return RateLeast::BestEffort(max_rate);
     }
-    bytes / budget
+    let rate = bytes / budget;
+    if !rate.is_finite() {
+        return RateLeast::BestEffort(max_rate);
+    }
+    RateLeast::Guaranteed(rate)
+}
+
+/// `Rate_least` in bytes/s. A non-positive budget means the SLO is already
+/// blown; the controller then asks for the full `fallback_rate` (the link
+/// capacity) — the best it can still do. See [`rate_least_typed`] for the
+/// classified variant.
+pub fn rate_least(bytes: f64, spec: SloSpec, fallback_rate: f64) -> f64 {
+    rate_least_typed(bytes, spec, fallback_rate).rate()
 }
 
 #[derive(Clone, Debug)]
@@ -171,6 +213,34 @@ mod tests {
         assert_eq!(r, 12e9);
         let r = rate_least(100e6, spec(40, 50), 12e9);
         assert_eq!(r, 12e9);
+    }
+
+    #[test]
+    fn blown_budget_is_a_typed_best_effort_clamp() {
+        // L_slo == L_infer: the naive formula divides by zero.
+        let r = rate_least_typed(100e6, spec(50, 50), 12e9);
+        assert_eq!(r, RateLeast::BestEffort(12e9));
+        assert!(!r.is_guaranteed());
+        // L_slo < L_infer: the naive formula goes negative.
+        let r = rate_least_typed(100e6, spec(40, 50), 12e9);
+        assert_eq!(r, RateLeast::BestEffort(12e9));
+        // Healthy budget stays a guarantee with the formula's exact value.
+        let r = rate_least_typed(100e6, spec(150, 50), 12e9);
+        assert_eq!(r, RateLeast::Guaranteed(1e9));
+        assert!(r.is_guaranteed());
+    }
+
+    #[test]
+    fn rate_least_is_never_negative_or_non_finite() {
+        for (slo, infer) in [(50, 50), (40, 50), (1, 1000), (150, 50)] {
+            for bytes in [0.0, 1.0, 100e6, 1e12, f64::INFINITY] {
+                let r = rate_least(bytes, spec(slo, infer), 12e9);
+                assert!(
+                    r.is_finite() && r >= 0.0,
+                    "rate_least({bytes}, slo={slo}, infer={infer}) = {r}"
+                );
+            }
+        }
     }
 
     #[test]

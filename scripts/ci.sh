@@ -27,6 +27,13 @@ echo "==> tier-1 tests, audited (cargo build --release && cargo test -q)"
 cargo build --release
 cargo test -q
 
+echo "==> chaos smoke (fixed-seed fault injection over the GROUTER plane)"
+# Bounded and deterministic: the suite sweeps a fixed seed batch of
+# randomized fault plans (GPU/NIC/link failures) and asserts termination,
+# leak-freedom, and byte-identical same-seed replay. Reproduce a failure
+# with: GROUTER_CHAOS_SEED=<seed> cargo test -p grouter-integration-tests --test chaos
+cargo test -q -p grouter-integration-tests --test chaos
+
 echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json)"
 scripts/bench_smoke.sh
 

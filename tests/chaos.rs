@@ -1,0 +1,275 @@
+//! Chaos property suite for the fault-injection/recovery engine (ISSUE 4).
+//!
+//! Each case runs the full GROUTER plane under a bursty `traffic` trace with
+//! a seed-derived randomized [`FaultPlan`] and asserts the recovery
+//! contract from DESIGN.md §5.4:
+//!
+//! * **termination** — every arrival ends as exactly one completion or one
+//!   typed failure; the world drains to quiescence (no silent stalls);
+//! * **no leaks** — pools, scalers, ledgers, and the object store are all
+//!   empty once the last instance terminates;
+//! * **determinism** — re-running the same seed reproduces the metrics CSV
+//!   and the recovery log byte-for-byte.
+//!
+//! Every assertion message carries the seed. Replay a failure with
+//! `GROUTER_CHAOS_SEED=<seed> cargo test -p grouter-integration-tests
+//! --test chaos` — when the env var is set, only that seed runs (on both
+//! topologies).
+
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::{RecoveryEvent, Runtime};
+use grouter::sim::fault::{FaultDomain, FaultPlan, FaultPlanConfig};
+use grouter::sim::rng::DetRng;
+use grouter::sim::time::{SimDuration, SimTime};
+use grouter::sim::LinkId;
+use grouter::topology::graph::TopologySpec;
+use grouter::topology::presets;
+use grouter::{GrouterConfig, GrouterPlane};
+use grouter_workloads::apps::{traffic, WorkloadParams};
+use grouter_workloads::azure::{generate_trace, ArrivalPattern};
+use grouter_workloads::models::GpuClass;
+
+/// How long the trace keeps arriving; faults land inside the same window so
+/// recovery always races live work.
+const TRACE_SECS: u64 = 2;
+const RPS: f64 = 8.0;
+
+/// Harvested fault targets: every GPU/node/NIC, plus the NIC links and the
+/// D2H chains of the first few GPUs as degrade/restore candidates.
+fn domain_of(rt: &Runtime) -> FaultDomain {
+    let topo = &rt.world().topo;
+    let mut links: Vec<LinkId> = Vec::new();
+    for node in 0..topo.num_nodes() {
+        for nic in 0..topo.num_nics() {
+            let (tx, rx) = topo.nic_links(node, nic);
+            links.push(tx);
+            links.push(rx);
+        }
+        for gpu in 0..topo.gpus_per_node().min(4) {
+            links.extend(topo.d2h_path(node, gpu));
+        }
+    }
+    FaultDomain {
+        gpus: topo.num_gpus(),
+        nodes: topo.num_nodes(),
+        nics_per_node: topo.num_nics(),
+        links,
+    }
+}
+
+/// One chaos run; returns the runtime (drained) and the plan it absorbed.
+fn chaos_run(seed: u64, topo: TopologySpec, gpu: GpuClass) -> (Runtime, FaultPlan) {
+    let spec = traffic(WorkloadParams { batch: 4, gpu });
+    let mut rt = Runtime::new(
+        topo,
+        1,
+        Box::new(GrouterPlane::new(GrouterConfig::full())),
+        RuntimeConfig::default(),
+    );
+    let mut rng = DetRng::new(seed);
+    for t in generate_trace(
+        ArrivalPattern::Bursty,
+        RPS,
+        SimDuration::from_secs(TRACE_SECS),
+        &mut rng,
+    ) {
+        rt.submit(spec.clone(), t);
+    }
+    let plan = FaultPlan::randomized(
+        seed,
+        &domain_of(&rt),
+        &FaultPlanConfig {
+            horizon: SimDuration::from_secs(TRACE_SECS),
+            faults: 5,
+            ..FaultPlanConfig::default()
+        },
+    );
+    rt.install_fault_plan(&plan);
+    rt.run();
+    (rt, plan)
+}
+
+/// The recovery contract every chaos run must satisfy at drain.
+fn assert_contract(rt: &Runtime, seed: u64, plan: &FaultPlan) {
+    let m = rt.metrics();
+    let w = rt.world();
+    assert_eq!(
+        m.completed() as u64 + m.failed,
+        m.arrivals,
+        "seed {seed}: arrivals must all terminate (plan: {:?})",
+        plan.events()
+    );
+    assert!(w.quiescent(), "seed {seed}: world did not drain");
+    assert!(w.ledgers_idle(), "seed {seed}: NVLink bandwidth leaked");
+    assert!(
+        w.store.is_empty(),
+        "seed {seed}: {} object(s) leaked in the store",
+        w.store.len()
+    );
+    for (idx, pool) in w.pools.iter().enumerate() {
+        assert!(
+            pool.used() == 0.0 && pool.runtime_used() == 0.0,
+            "seed {seed}: pool {idx} leaked (used {}, runtime {})",
+            pool.used(),
+            pool.runtime_used()
+        );
+    }
+    for (idx, scaler) in w.scalers.iter().enumerate() {
+        assert_eq!(
+            scaler.total_live_outputs(),
+            0,
+            "seed {seed}: scaler {idx} still counts live outputs"
+        );
+    }
+}
+
+/// Seeds to sweep: the env override when set, otherwise a fixed batch.
+fn seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("GROUTER_CHAOS_SEED") {
+        let seed = s
+            .parse::<u64>()
+            .expect("GROUTER_CHAOS_SEED must be an integer seed");
+        return vec![seed];
+    }
+    (1..=6).map(|i| 0xC4A0_5000 + i).collect()
+}
+
+fn sweep(topo: fn() -> TopologySpec, gpu: GpuClass) {
+    for seed in seeds() {
+        let (rt, plan) = chaos_run(seed, topo(), gpu);
+        assert_contract(&rt, seed, &plan);
+    }
+}
+
+#[test]
+fn chaos_traffic_v100_terminates_without_leaks() {
+    sweep(presets::dgx_v100, GpuClass::V100);
+}
+
+#[test]
+fn chaos_traffic_a100_terminates_without_leaks() {
+    sweep(presets::dgx_a100, GpuClass::A100);
+}
+
+/// Cross-node: two V100 boxes so NIC failures and cross-node re-plans are
+/// actually on the fault path.
+#[test]
+fn chaos_traffic_two_node_terminates_without_leaks() {
+    for seed in seeds() {
+        let spec = traffic(WorkloadParams {
+            batch: 4,
+            gpu: GpuClass::V100,
+        });
+        let mut rt = Runtime::new(
+            presets::dgx_v100(),
+            2,
+            Box::new(GrouterPlane::new(GrouterConfig::full())),
+            RuntimeConfig::default(),
+        );
+        let mut rng = DetRng::new(seed);
+        for t in generate_trace(
+            ArrivalPattern::Bursty,
+            RPS,
+            SimDuration::from_secs(TRACE_SECS),
+            &mut rng,
+        ) {
+            rt.submit(spec.clone(), t);
+        }
+        let plan = FaultPlan::randomized(
+            seed,
+            &domain_of(&rt),
+            &FaultPlanConfig {
+                horizon: SimDuration::from_secs(TRACE_SECS),
+                faults: 5,
+                ..FaultPlanConfig::default()
+            },
+        );
+        rt.install_fault_plan(&plan);
+        rt.run();
+        assert_contract(&rt, seed, &plan);
+    }
+}
+
+/// Same seed twice → byte-identical metrics CSV, identical recovery log.
+#[test]
+fn chaos_same_seed_replays_byte_identically() {
+    for seed in seeds() {
+        let (a, _) = chaos_run(seed, presets::dgx_v100(), GpuClass::V100);
+        let (b, _) = chaos_run(seed, presets::dgx_v100(), GpuClass::V100);
+        assert_eq!(
+            a.metrics().to_csv(),
+            b.metrics().to_csv(),
+            "seed {seed}: metrics CSV diverged between identical runs"
+        );
+        assert_eq!(
+            a.metrics().failed,
+            b.metrics().failed,
+            "seed {seed}: failure count diverged"
+        );
+        assert_eq!(
+            a.world().recovery_log,
+            b.world().recovery_log,
+            "seed {seed}: recovery log diverged between identical runs"
+        );
+    }
+}
+
+/// A plan with GPU failures must leave a typed trail — never a silent stall.
+#[test]
+fn chaos_recovery_log_records_absorbed_faults() {
+    let mut saw_gpu_fail = false;
+    for seed in seeds() {
+        let (rt, plan) = chaos_run(seed, presets::dgx_v100(), GpuClass::V100);
+        if !plan.is_empty() {
+            assert!(
+                !rt.world().recovery_log.is_empty(),
+                "seed {seed}: faults were injected but the recovery log is empty"
+            );
+        }
+        saw_gpu_fail |= rt
+            .world()
+            .recovery_log
+            .iter()
+            .any(|(_, ev)| matches!(ev, RecoveryEvent::GpuFailed { .. }));
+    }
+    if std::env::var("GROUTER_CHAOS_SEED").is_err() {
+        assert!(
+            saw_gpu_fail,
+            "fixed seed batch never produced a GpuFailed event; rebalance seeds"
+        );
+    }
+}
+
+/// `SimTime` sanity for the suite's window: every injected fault lies inside
+/// the configured horizon, so the assertions above always race live work.
+#[test]
+fn chaos_plans_stay_inside_horizon() {
+    for seed in seeds() {
+        let spec = traffic(WorkloadParams {
+            batch: 4,
+            gpu: GpuClass::V100,
+        });
+        let mut rt = Runtime::new(
+            presets::dgx_v100(),
+            1,
+            Box::new(GrouterPlane::new(GrouterConfig::full())),
+            RuntimeConfig::default(),
+        );
+        rt.submit(spec, SimTime::ZERO);
+        let cfg = FaultPlanConfig {
+            horizon: SimDuration::from_secs(TRACE_SECS),
+            faults: 5,
+            ..FaultPlanConfig::default()
+        };
+        let plan = FaultPlan::randomized(seed, &domain_of(&rt), &cfg);
+        let restore_slack = cfg.max_outage;
+        for ev in plan.events() {
+            assert!(
+                ev.at <= SimTime::ZERO + cfg.horizon + restore_slack,
+                "seed {seed}: event at {:?} beyond horizon+outage",
+                ev.at
+            );
+        }
+        assert_eq!(plan.seed(), seed, "plan must carry its seed for replay");
+    }
+}

@@ -1,0 +1,17 @@
+//@ path: crates/runtime/src/fixture_fault.rs
+// Recovery-engine-shaped code. The no-silent-stall contract means every
+// fault must surface a typed outcome: a panic mid-recovery-wave or a
+// narrowed loss counter is exactly what the dataplane rules must flag.
+
+fn on_gpu_fail(failed: Option<usize>) -> usize {
+    failed.unwrap()
+}
+
+fn quarantined(lost_bytes: u64) -> u32 {
+    lost_bytes as u32
+}
+
+fn retry_backoff(attempt: Option<u32>) -> u32 {
+    // grouter-lint: allow(no-panic-in-dataplane): attempt is stamped by the scheduler before the wake is queued; a miss is a scheduler bug
+    attempt.expect("stamped")
+}
