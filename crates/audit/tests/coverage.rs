@@ -24,8 +24,9 @@ use grouter_transfer::plan::{plan_d2h, PlanConfig};
 use grouter_transfer::TransferEngine;
 
 /// Every checker the data plane registers, by crate:
-/// sim (4), topology (2), transfer (1), store (1), mem (3), runtime (1).
-const CHECKERS: [&str; 12] = [
+/// sim (4), topology (2), transfer (1), store (1), mem (3), runtime (1),
+/// obs (1).
+const CHECKERS: [&str; 13] = [
     "flownet.link_caps",
     "flownet.slab",
     "flownet.heap",
@@ -38,6 +39,7 @@ const CHECKERS: [&str; 12] = [
     "pool.quarantine",
     "scaler.floor",
     "recovery.no_orphans",
+    "obs.spans_balanced",
 ];
 
 #[test]
@@ -148,6 +150,19 @@ fn every_checker_fires_at_least_once() {
         m.arrivals,
         "every arrival must terminate as a completion or a typed failure"
     );
+
+    // --- Observability: a balanced begin/end pair drained through the
+    // flight recorder fires the span-accounting checker.
+    let rec = grouter_obs::Recorder::enabled(64);
+    let span = rec.begin(
+        grouter_obs::Comp::Runtime,
+        "coverage",
+        grouter_obs::Ids::NONE,
+        vec![],
+    );
+    rec.set_now(1_000);
+    rec.end(span, vec![]);
+    rec.drain();
 
     for name in CHECKERS {
         assert!(

@@ -310,6 +310,7 @@ mod tests {
                 rates: &mut self.rates,
                 now: SimTime::ZERO,
                 slo: None,
+                trace: grouter_obs::Recorder::disabled(),
             }
         }
     }

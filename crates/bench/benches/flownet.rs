@@ -51,7 +51,7 @@ fn path_pool(topo: &Topology) -> Vec<Vec<LinkId>> {
 fn flow_opts(i: usize) -> FlowOptions {
     FlowOptions {
         // A third of the flows carry an SLO floor, as under rate control.
-        floor: if i % 3 == 0 { 1e9 } else { 0.0 },
+        floor: if i.is_multiple_of(3) { 1e9 } else { 0.0 },
         cap: f64::INFINITY,
         weight: 1.0,
     }

@@ -13,6 +13,10 @@ pub struct Args {
     pub seed: u64,
     pub compare: bool,
     pub csv: Option<String>,
+    /// Write a Chrome trace_event JSON of the run here.
+    pub trace_out: Option<String>,
+    /// Flight-recorder capacity in events.
+    pub trace_buffer: usize,
 }
 
 /// The usage string printed on `--help` or bad invocations.
@@ -20,7 +24,7 @@ pub fn usage() -> String {
     "usage: grouter-cli <workflow.wf> [--plane grouter|infless|nvshmem|deepplan] \
      [--topology v100|a100|a10|h800] [--nodes N] \
      [--pattern bursty|sporadic|periodic] [--rps R] [--seconds S] [--seed N] \
-     [--compare] [--csv <file>]"
+     [--compare] [--csv <file>] [--trace-out <file>] [--trace-buffer <events>]"
         .to_string()
 }
 
@@ -37,6 +41,8 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
         seed: 42,
         compare: false,
         csv: None,
+        trace_out: None,
+        trace_buffer: 65_536,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -71,6 +77,12 @@ pub fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--compare" => args.compare = true,
             "--csv" => args.csv = Some(take("--csv")?),
+            "--trace-out" => args.trace_out = Some(take("--trace-out")?),
+            "--trace-buffer" => {
+                args.trace_buffer = take("--trace-buffer")?
+                    .parse()
+                    .map_err(|_| "--trace-buffer must be an integer".to_string())?
+            }
             "--help" | "-h" => return Err(usage()),
             flag if flag.starts_with("--") => return Err(format!("unknown flag {flag}")),
             path => {
@@ -105,6 +117,8 @@ mod tests {
         assert_eq!(a.nodes, 1);
         assert!(!a.compare);
         assert!(a.csv.is_none());
+        assert!(a.trace_out.is_none());
+        assert_eq!(a.trace_buffer, 65_536);
     }
 
     #[test]
@@ -128,6 +142,10 @@ mod tests {
             "--compare",
             "--csv",
             "out.csv",
+            "--trace-out",
+            "run.trace.json",
+            "--trace-buffer",
+            "1024",
         ])
         .expect("valid");
         assert_eq!(a.plane, "infless");
@@ -139,6 +157,8 @@ mod tests {
         assert_eq!(a.seed, 7);
         assert!(a.compare);
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
+        assert_eq!(a.trace_out.as_deref(), Some("run.trace.json"));
+        assert_eq!(a.trace_buffer, 1024);
     }
 
     #[test]
@@ -148,5 +168,9 @@ mod tests {
         assert!(parse(&["a.wf", "--rps"]).is_err(), "missing value");
         assert!(parse(&["a.wf", "--bogus"]).is_err(), "unknown flag");
         assert!(parse(&["a.wf", "b.wf"]).is_err(), "two files");
+        assert!(
+            parse(&["a.wf", "--trace-buffer", "x"]).is_err(),
+            "bad trace buffer"
+        );
     }
 }

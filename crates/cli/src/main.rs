@@ -75,11 +75,16 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let run_one = |plane_name: &str| -> Result<grouter::runtime::metrics::Metrics, String> {
+    let run_one = |plane_name: &str| -> Result<Runtime, String> {
         let topo = topology_of(&args.topology)?;
         let plane = plane_of(plane_name, args.seed)?;
         let pattern = pattern_of(&args.pattern)?;
-        let mut rt = Runtime::new(topo, args.nodes, plane, RuntimeConfig::default());
+        let config = RuntimeConfig {
+            trace: args.trace_out.is_some(),
+            trace_buffer: args.trace_buffer,
+            ..RuntimeConfig::default()
+        };
+        let mut rt = Runtime::new(topo, args.nodes, plane, config);
         let mut rng = DetRng::new(args.seed);
         for t in generate_trace(
             pattern,
@@ -90,7 +95,7 @@ fn main() -> ExitCode {
             rt.submit(spec.clone(), t);
         }
         rt.run();
-        Ok(rt.metrics().clone())
+        Ok(rt)
     };
     let run = || -> Result<(), String> {
         println!(
@@ -103,7 +108,7 @@ fn main() -> ExitCode {
                 "plane", "mean (ms)", "p50 (ms)", "p99 (ms)", "data pass (ms)"
             );
             for plane_name in ["infless", "nvshmem", "deepplan", "grouter"] {
-                let m = run_one(plane_name)?;
+                let m = run_one(plane_name)?.metrics().clone();
                 let lat = m.latency_ms(None);
                 let (_, gg, gh, hh) = m.breakdown_ms(None);
                 println!(
@@ -117,7 +122,8 @@ fn main() -> ExitCode {
             }
             return Ok(());
         }
-        let m = run_one(&args.plane)?;
+        let rt = run_one(&args.plane)?;
+        let m = rt.metrics().clone();
         let lat = m.latency_ms(None);
         let (comp, gg, gh, hh) = m.breakdown_ms(None);
         println!("plane: {}", args.plane);
@@ -146,6 +152,16 @@ fn main() -> ExitCode {
         if let Some(path) = &args.csv {
             std::fs::write(path, m.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
             println!("per-request records written to {path}");
+        }
+        if let Some(path) = &args.trace_out {
+            let trace = rt.recorder().snapshot();
+            std::fs::write(path, trace.chrome_json())
+                .map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!(
+                "trace written to {path} ({} events, {} dropped)",
+                trace.events.len(),
+                trace.dropped
+            );
         }
         Ok(())
     };

@@ -107,6 +107,29 @@ impl GrouterPlane {
             flow.opts = ctx.rates[node].flow_options(token, flow.bytes, domain_bw);
         }
         leg.rate_token = Some((node, token));
+        if ctx.trace.on(grouter_obs::Comp::Plane) {
+            use grouter_transfer::rate::{rate_least_typed, RateLeast};
+            let guaranteed = matches!(
+                rate_least_typed(leg.plan.total_bytes, slo, domain_bw),
+                RateLeast::Guaranteed(_)
+            );
+            let floor: f64 = leg.plan.flows.iter().map(|f| f.opts.floor).sum();
+            let weight = leg.plan.flows.first().map_or(0.0, |f| f.opts.weight);
+            ctx.trace.instant(
+                grouter_obs::Comp::Plane,
+                "rate_clamp",
+                grouter_obs::Ids::NONE.with_flow(token),
+                vec![
+                    ("node", node.into()),
+                    ("bytes", leg.plan.total_bytes.into()),
+                    ("domain_bw", domain_bw.into()),
+                    ("floor", floor.into()),
+                    ("weight", weight.into()),
+                    ("guaranteed", guaranteed.into()),
+                ],
+            );
+            ctx.trace.count(grouter_obs::Comp::Plane, "rate_clamps", 1);
+        }
     }
 
     /// Build an intra-node gFn–gFn leg through the node's reservation
@@ -491,6 +514,23 @@ impl DataPlane for GrouterPlane {
                     plan_cross_node(ctx.topo, ctx.net, s, d, entry.bytes, &self.cfg.xnode_cfg()),
                     s.node,
                 );
+                if ctx.trace.on(grouter_obs::Comp::Plane) {
+                    ctx.trace.instant(
+                        grouter_obs::Comp::Plane,
+                        "route_gpu",
+                        grouter_obs::Ids::NONE,
+                        vec![
+                            ("src_node", s.node.into()),
+                            ("src_gpu", s.gpu.into()),
+                            ("dst_node", d.node.into()),
+                            ("dst_gpu", d.gpu.into()),
+                            ("paths", leg.plan.flows.len().into()),
+                            ("bytes", entry.bytes.into()),
+                        ],
+                    );
+                    ctx.trace
+                        .count(grouter_obs::Comp::Plane, "route_gpu_selections", 1);
+                }
                 self.apply_slo(ctx, &mut leg);
                 legs.push(leg);
             }

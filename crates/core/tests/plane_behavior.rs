@@ -281,6 +281,7 @@ fn access_control_blocks_cross_workflow_reads() {
         rates: &mut rates,
         now: SimTime::ZERO,
         slo: None,
+        trace: grouter_obs::Recorder::disabled(),
     };
     let owner = AccessToken {
         function: FunctionId(1),
@@ -346,6 +347,7 @@ fn consuming_a_migrated_object_releases_its_scaler_reservation() {
         rates: &mut rates,
         now: SimTime::ZERO,
         slo: None,
+        trace: grouter_obs::Recorder::disabled(),
     };
     let producer = AccessToken {
         function: FunctionId(1),

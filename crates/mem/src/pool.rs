@@ -102,6 +102,10 @@ pub struct ElasticPool {
     /// Failed-GPU quarantine: the pool holds nothing and admits nothing
     /// until the GPU rejoins (see [`ElasticPool::quarantine`]).
     quarantined: bool,
+    /// Observability handle + the owning GPU's global index for event
+    /// correlation ([`ElasticPool::set_recorder`]).
+    rec: grouter_obs::Recorder,
+    gpu_tag: u64,
 }
 
 impl ElasticPool {
@@ -126,7 +130,31 @@ impl ElasticPool {
             peak_used: 0.0,
             peak_reserved: reserved,
             quarantined: false,
+            rec: grouter_obs::Recorder::disabled(),
+            gpu_tag: 0,
         }
+    }
+
+    /// Attach an observability recorder; `gpu` tags this pool's events
+    /// (grow / shrink / pre-warm / quarantine) with the owning GPU's global
+    /// index.
+    pub fn set_recorder(&mut self, rec: grouter_obs::Recorder, gpu: u64) {
+        self.rec = rec;
+        self.gpu_tag = gpu;
+    }
+
+    fn emit_pool_event(&self, name: &'static str, extra: f64, key: &'static str) {
+        self.rec.instant(
+            grouter_obs::Comp::Mem,
+            name,
+            grouter_obs::Ids::NONE,
+            vec![
+                ("gpu", self.gpu_tag.into()),
+                ("reserved", self.reserved.into()),
+                ("used", self.used.into()),
+                (key, extra.into()),
+            ],
+        );
     }
 
     /// Quarantine a failed GPU's pool: every stored byte is lost, the
@@ -142,6 +170,9 @@ impl ElasticPool {
         self.used = 0.0;
         self.reserved = 0.0;
         self.runtime_used = 0.0;
+        if self.rec.on(grouter_obs::Comp::Mem) {
+            self.emit_pool_event("pool_quarantine", lost, "lost");
+        }
         #[cfg(feature = "audit")]
         self.audit_accounting();
         lost
@@ -342,6 +373,10 @@ impl ElasticPool {
                     self.used = want;
                     self.native_allocs += 1;
                     self.note_peaks();
+                    if self.rec.on(grouter_obs::Comp::Mem) {
+                        self.emit_pool_event("pool_grow", bytes, "bytes");
+                        self.rec.count(grouter_obs::Comp::Mem, "native_allocs", 1);
+                    }
                     #[cfg(feature = "audit")]
                     self.audit_accounting();
                     Ok(AllocGrant {
@@ -377,7 +412,11 @@ impl ElasticPool {
             return;
         }
         let floor = self.used.max(self.min_pool.min(self.capacity));
+        let before = self.reserved;
         self.reserved = self.reserved.min(target.max(floor)).max(floor);
+        if self.reserved < before && self.rec.on(grouter_obs::Comp::Mem) {
+            self.emit_pool_event("pool_shrink", before - self.reserved, "released");
+        }
         #[cfg(feature = "audit")]
         self.audit_accounting();
     }
@@ -394,6 +433,10 @@ impl ElasticPool {
             self.reserved = goal;
             self.native_allocs += 1;
             self.note_peaks();
+            if self.rec.on(grouter_obs::Comp::Mem) {
+                self.emit_pool_event("prewarm", goal, "target");
+                self.rec.count(grouter_obs::Comp::Mem, "native_allocs", 1);
+            }
             true
         } else {
             false

@@ -113,6 +113,10 @@ pub struct PlaneCtx<'a> {
     /// background work or uncalibrated workflows). Feeds the `Rate_least`
     /// guarantees of §4.3.2.
     pub slo: Option<SloSpec>,
+    /// Trace recorder for plane-level decisions (route-GPU picks, rate
+    /// clamps). Cheap shared handle; `Recorder::disabled()` for hand-built
+    /// contexts.
+    pub trace: grouter_obs::Recorder,
 }
 
 impl<'a> PlaneCtx<'a> {

@@ -39,10 +39,19 @@ impl Runtime {
         plane: Box<dyn DataPlane>,
         config: RuntimeConfig,
     ) -> Runtime {
+        let world = World::new(spec, num_nodes, plane, config);
+        let mut sim = Simulation::new(world);
+        let rec = sim.world.rec.clone();
+        sim.sched.set_recorder(rec);
         Runtime {
-            sim: Simulation::new(World::new(spec, num_nodes, plane, config)),
+            sim,
             function_ids: std::collections::HashMap::new(),
         }
+    }
+
+    /// The world's trace recorder (shared handle; cheap to clone).
+    pub fn recorder(&self) -> &grouter_obs::Recorder {
+        &self.sim.world.rec
     }
 
     /// Schedule a request for `spec` at absolute time `at`.
@@ -169,6 +178,7 @@ pub(crate) fn with_plane<R>(
             rates: &mut w.rates,
             now,
             slo,
+            trace: w.rec.clone(),
         };
         f(plane.as_mut(), &mut ctx)
     };
@@ -246,10 +256,10 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
                         w.placer.release(&w.topo, *d);
                     }
                     w.metrics.failed += 1;
-                    w.recovery_log.push((
+                    w.log_recovery(
                         now,
                         crate::fault::RecoveryEvent::InstanceFailed { inst: inst_id },
-                    ));
+                    );
                     return;
                 }
             }
@@ -307,6 +317,7 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
                 state,
                 output: None,
                 rank: None,
+                enqueued: None,
                 attempt: 0,
                 got: Vec::new(),
                 egressed: false,
@@ -405,6 +416,21 @@ pub(crate) fn stage_ready(w: &mut World, s: &mut Scheduler<World>, inst_id: u64,
     match dest {
         Destination::Gpu(g) => {
             let idx = w.gpu_index(g.node, g.gpu);
+            if w.rec.on(grouter_obs::Comp::Runtime) {
+                // grouter-lint: allow(no-panic-in-dataplane): stage_ready just wrote this instance above
+                let inst = w.instances.get_mut(&inst_id).expect("live");
+                inst.stages[stage].enqueued = Some(s.now());
+                w.rec.instant(
+                    grouter_obs::Comp::Runtime,
+                    "stage_enqueue",
+                    grouter_obs::Ids::inst(inst_id),
+                    vec![
+                        ("stage", stage.into()),
+                        ("gpu", idx.into()),
+                        ("rank", rank.into()),
+                    ],
+                );
+            }
             w.gpus[idx].queue.push_back((inst_id, stage));
             try_dispatch_gpu(w, s, idx);
         }
@@ -448,6 +474,27 @@ pub(crate) fn try_dispatch_gpu(w: &mut World, s: &mut Scheduler<World>, gpu_idx:
             .unwrap_or(false);
         if valid {
             w.gpus[gpu_idx].busy = true;
+            if w.rec.on(grouter_obs::Comp::Runtime) {
+                let enqueued = w
+                    .instances
+                    .get(&inst_id)
+                    .and_then(|i| i.stages[stage].enqueued);
+                let wait_ns = enqueued.map_or(0, |t| s.now().as_nanos() - t.as_nanos());
+                w.rec.instant(
+                    grouter_obs::Comp::Runtime,
+                    "stage_dispatch",
+                    grouter_obs::Ids::inst(inst_id),
+                    vec![
+                        ("stage", stage.into()),
+                        ("gpu", gpu_idx.into()),
+                        ("queue_wait_ns", wait_ns.into()),
+                    ],
+                );
+                w.rec
+                    .count(grouter_obs::Comp::Runtime, "stage_dispatches", 1);
+                w.rec
+                    .sample(grouter_obs::Comp::Runtime, "queue_wait_ns", wait_ns);
+            }
             start_fetch(w, s, inst_id, stage);
             return;
         }
@@ -752,6 +799,22 @@ pub(crate) fn start_op(
 ) {
     let op_id = w.next_op;
     w.next_op += 1;
+    let span = if w.rec.on(grouter_obs::Comp::Runtime) {
+        let (label, ids) = match kind {
+            OpKind::Get { inst, .. } => ("get", grouter_obs::Ids::op(op_id).with_inst(inst)),
+            OpKind::Put { inst, .. } => ("put", grouter_obs::Ids::op(op_id).with_inst(inst)),
+            OpKind::Egress { inst, .. } => ("egress", grouter_obs::Ids::op(op_id).with_inst(inst)),
+            OpKind::Background => ("background", grouter_obs::Ids::op(op_id)),
+        };
+        w.rec.begin(
+            grouter_obs::Comp::Runtime,
+            "op",
+            ids,
+            vec![("kind", label.into()), ("legs", op.legs.len().into())],
+        )
+    } else {
+        0
+    };
     w.ops.insert(
         op_id,
         PendingOp {
@@ -762,6 +825,7 @@ pub(crate) fn start_op(
             rate_token: None,
             ledger_release: None,
             pinned_release: None,
+            span,
         },
     );
     s.schedule_in(op.control_latency, move |w, s| advance_op(w, s, op_id));
@@ -792,8 +856,7 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
     pending.ledger_release = leg.ledger_release;
     pending.pinned_release = leg.pinned_release;
     if leg.health == crate::dataplane::LegHealth::Degraded {
-        w.recovery_log
-            .push((now, crate::fault::RecoveryEvent::DegradedLeg { op: op_id }));
+        w.log_recovery(now, crate::fault::RecoveryEvent::DegradedLeg { op: op_id });
     }
     // Apply direct-path rebalances: move other functions' in-flight flows
     // onto their new routes (§4.3.3 reassignment). A flow that already
@@ -885,6 +948,7 @@ fn complete_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
     let now = s.now();
     // grouter-lint: allow(no-panic-in-dataplane): op completion events fire exactly once per op the driver created
     let op = w.ops.remove(&op_id).expect("pending op");
+    w.rec.end(op.span, vec![]);
     let duration = now - op.started;
     match op.kind {
         OpKind::Get { inst, stage, data } => {

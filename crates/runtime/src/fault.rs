@@ -21,16 +21,17 @@
 //!   budget is exhausted, the instance terminates with a *typed* failure
 //!   (`Metrics::failed`) — never a silent stall.
 //!
-//! Every action is appended to `World::recovery_log`, which chaos tests
-//! replay byte-for-byte: the whole module is deterministic (BTree iteration,
-//! sorted id collection, no wall-clock).
+//! Every action is recorded as a `Comp::Fault` instant in the observability
+//! trace; `World::recovery_log()` decodes that stream back into typed events,
+//! which chaos tests replay byte-for-byte: the whole module is deterministic
+//! (BTree iteration, sorted id collection, no wall-clock).
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
 
 use grouter_sim::engine::Scheduler;
 use grouter_sim::fault::{FaultEvent, FaultKind};
-use grouter_sim::time::SimDuration;
+use grouter_sim::time::{SimDuration, SimTime};
 use grouter_sim::LinkId;
 use grouter_store::{AccessToken, DataId, FunctionId, Location};
 use grouter_topology::GpuRef;
@@ -116,6 +117,143 @@ pub enum RecoveryEvent {
     },
 }
 
+// ---------------------------------------------------------------------------
+// Trace-stream codec
+// ---------------------------------------------------------------------------
+//
+// `World::recovery_log` is a *view* over the observability trace: every
+// recovery action is encoded as a `Comp::Fault` instant (always recorded,
+// even with tracing off — see `MASK_FAULT_ONLY`), and decoded back on
+// demand. Chaos tests keep comparing the decoded log byte-for-byte.
+
+/// Encode one recovery action as a fault instant stamped at `now`.
+pub(crate) fn record_recovery(rec: &grouter_obs::Recorder, now: SimTime, ev: &RecoveryEvent) {
+    use grouter_obs::{Comp, Ids, Val};
+    let mut ids = Ids::NONE;
+    let (name, args): (&'static str, Vec<(&'static str, Val)>) = match *ev {
+        RecoveryEvent::LinkDegraded { link } => {
+            ("link_degraded", vec![("link", u64::from(link.0).into())])
+        }
+        RecoveryEvent::LinkRestored { link } => {
+            ("link_restored", vec![("link", u64::from(link.0).into())])
+        }
+        RecoveryEvent::NicDegraded { node, nic } => (
+            "nic_degraded",
+            vec![("node", node.into()), ("nic", nic.into())],
+        ),
+        RecoveryEvent::NicRestored { node, nic } => (
+            "nic_restored",
+            vec![("node", node.into()), ("nic", nic.into())],
+        ),
+        RecoveryEvent::RouteLost { gpu } => ("route_lost", vec![("gpu", gpu.into())]),
+        RecoveryEvent::RouteRestored { gpu } => ("route_restored", vec![("gpu", gpu.into())]),
+        RecoveryEvent::GpuFailed {
+            gpu,
+            lost_objects,
+            lost_bytes,
+        } => (
+            "gpu_failed",
+            vec![
+                ("gpu", gpu.into()),
+                ("lost_objects", lost_objects.into()),
+                ("lost_bytes", lost_bytes.into()),
+            ],
+        ),
+        RecoveryEvent::GpuRestored { gpu } => ("gpu_restored", vec![("gpu", gpu.into())]),
+        RecoveryEvent::OpRetried {
+            inst,
+            stage,
+            attempt,
+        } => {
+            ids = Ids::inst(inst);
+            (
+                "op_retried",
+                vec![("stage", stage.into()), ("attempt", attempt.into())],
+            )
+        }
+        RecoveryEvent::StageRestarted { inst, stage } => {
+            ids = Ids::inst(inst);
+            ("stage_restarted", vec![("stage", stage.into())])
+        }
+        RecoveryEvent::InstanceFailed { inst } => {
+            ids = Ids::inst(inst);
+            ("instance_failed", vec![])
+        }
+        RecoveryEvent::DegradedLeg { op } => {
+            ids = Ids::op(op);
+            ("degraded_leg", vec![])
+        }
+    };
+    rec.instant_at(now.as_nanos(), Comp::Fault, name, ids, args);
+}
+
+/// Decode a fault instant back into its typed form. Non-fault events (and
+/// fault events that are not recovery actions) decode to `None`.
+pub(crate) fn decode_recovery(e: &grouter_obs::Event) -> Option<(SimTime, RecoveryEvent)> {
+    use grouter_obs::{Comp, Val};
+    if e.comp != Comp::Fault {
+        return None;
+    }
+    let arg_u64 = |k: &str| -> Option<u64> {
+        e.args
+            .iter()
+            .find(|(n, _)| *n == k)
+            .and_then(|(_, v)| match *v {
+                Val::U64(x) => Some(x),
+                _ => None,
+            })
+    };
+    let arg_f64 = |k: &str| -> Option<f64> {
+        e.args
+            .iter()
+            .find(|(n, _)| *n == k)
+            .and_then(|(_, v)| match *v {
+                Val::F64(x) => Some(x),
+                _ => None,
+            })
+    };
+    let link = || -> Option<LinkId> { Some(LinkId(u32::try_from(arg_u64("link")?).ok()?)) };
+    let ev = match e.name {
+        "link_degraded" => RecoveryEvent::LinkDegraded { link: link()? },
+        "link_restored" => RecoveryEvent::LinkRestored { link: link()? },
+        "nic_degraded" => RecoveryEvent::NicDegraded {
+            node: arg_u64("node")? as usize,
+            nic: arg_u64("nic")? as usize,
+        },
+        "nic_restored" => RecoveryEvent::NicRestored {
+            node: arg_u64("node")? as usize,
+            nic: arg_u64("nic")? as usize,
+        },
+        "route_lost" => RecoveryEvent::RouteLost {
+            gpu: arg_u64("gpu")? as usize,
+        },
+        "route_restored" => RecoveryEvent::RouteRestored {
+            gpu: arg_u64("gpu")? as usize,
+        },
+        "gpu_failed" => RecoveryEvent::GpuFailed {
+            gpu: arg_u64("gpu")? as usize,
+            lost_objects: arg_u64("lost_objects")? as usize,
+            lost_bytes: arg_f64("lost_bytes")?,
+        },
+        "gpu_restored" => RecoveryEvent::GpuRestored {
+            gpu: arg_u64("gpu")? as usize,
+        },
+        "op_retried" => RecoveryEvent::OpRetried {
+            inst: e.ids.inst?,
+            stage: arg_u64("stage")? as usize,
+            attempt: arg_u64("attempt")? as u32,
+        },
+        "stage_restarted" => RecoveryEvent::StageRestarted {
+            inst: e.ids.inst?,
+            stage: arg_u64("stage")? as usize,
+        },
+        "instance_failed" => RecoveryEvent::InstanceFailed { inst: e.ids.inst? },
+        "degraded_leg" => RecoveryEvent::DegradedLeg { op: e.ids.op? },
+        _ => return None,
+    };
+    Some((SimTime(e.t_ns), ev))
+}
+
 /// The `(inst, stage, data)` of a request-owned op (`None` for background
 /// migration traffic).
 fn op_owner(kind: &OpKind) -> Option<(u64, usize, DataId)> {
@@ -144,16 +282,14 @@ pub(crate) fn apply_fault(w: &mut World, s: &mut Scheduler<World>, ev: &FaultEve
             // factor > 0, the clamp guards hand-written scripts.
             w.net
                 .set_link_capacity(now, *link, (base * factor).max(base * 1e-6));
-            w.recovery_log
-                .push((now, RecoveryEvent::LinkDegraded { link: *link }));
+            w.log_recovery(now, RecoveryEvent::LinkDegraded { link: *link });
             exec::schedule_net_wake(w, s);
         }
         FaultKind::LinkRestore { link } => {
             if let Some(&base) = w.fault.link_baseline.get(link) {
                 w.net.set_link_capacity(now, *link, base);
             }
-            w.recovery_log
-                .push((now, RecoveryEvent::LinkRestored { link: *link }));
+            w.log_recovery(now, RecoveryEvent::LinkRestored { link: *link });
             exec::schedule_net_wake(w, s);
         }
         FaultKind::NicFail { node, nic } => {
@@ -164,13 +300,13 @@ pub(crate) fn apply_fault(w: &mut World, s: &mut Scheduler<World>, ev: &FaultEve
                 w.net
                     .set_link_capacity(now, link, base * NIC_RESIDUAL_FACTOR);
             }
-            w.recovery_log.push((
+            w.log_recovery(
                 now,
                 RecoveryEvent::NicDegraded {
                     node: *node,
                     nic: *nic,
                 },
-            ));
+            );
             exec::schedule_net_wake(w, s);
         }
         FaultKind::NicRestore { node, nic } => {
@@ -180,21 +316,20 @@ pub(crate) fn apply_fault(w: &mut World, s: &mut Scheduler<World>, ev: &FaultEve
                     w.net.set_link_capacity(now, link, base);
                 }
             }
-            w.recovery_log.push((
+            w.log_recovery(
                 now,
                 RecoveryEvent::NicRestored {
                     node: *node,
                     nic: *nic,
                 },
-            ));
+            );
             exec::schedule_net_wake(w, s);
         }
         FaultKind::RouteGpuLoss { gpu } => {
             let per = w.topo.gpus_per_node();
             let (node, local) = (*gpu / per, *gpu % per);
             w.ledgers[node].mask_node(local);
-            w.recovery_log
-                .push((now, RecoveryEvent::RouteLost { gpu: *gpu }));
+            w.log_recovery(now, RecoveryEvent::RouteLost { gpu: *gpu });
             recover_route_ops(w, s, node, local, None);
             exec::schedule_net_wake(w, s);
         }
@@ -205,8 +340,7 @@ pub(crate) fn apply_fault(w: &mut World, s: &mut Scheduler<World>, ev: &FaultEve
                 let per = w.topo.gpus_per_node();
                 w.ledgers[*gpu / per].unmask_node(*gpu % per);
             }
-            w.recovery_log
-                .push((now, RecoveryEvent::RouteRestored { gpu: *gpu }));
+            w.log_recovery(now, RecoveryEvent::RouteRestored { gpu: *gpu });
         }
         FaultKind::GpuFail { gpu } => {
             apply_gpu_fail(w, s, *gpu);
@@ -220,8 +354,7 @@ pub(crate) fn apply_fault(w: &mut World, s: &mut Scheduler<World>, ev: &FaultEve
                 w.placer.set_failed(*gpu, false);
                 w.ledgers[*gpu / per].unmask_node(*gpu % per);
                 w.pools[*gpu].release_quarantine();
-                w.recovery_log
-                    .push((now, RecoveryEvent::GpuRestored { gpu: *gpu }));
+                w.log_recovery(now, RecoveryEvent::GpuRestored { gpu: *gpu });
             }
         }
     }
@@ -290,14 +423,14 @@ fn apply_gpu_fail(w: &mut World, s: &mut Scheduler<World>, gpu: usize) {
     }
     w.pools[gpu].quarantine();
     w.scalers[gpu].quarantine();
-    w.recovery_log.push((
+    w.log_recovery(
         now,
         RecoveryEvent::GpuFailed {
             gpu,
             lost_objects: lost.len(),
             lost_bytes,
         },
-    ));
+    );
 
     let mut visited: BTreeSet<(u64, usize)> = BTreeSet::new();
     for &(inst_id, stage) in &affected {
@@ -325,6 +458,7 @@ fn apply_gpu_fail(w: &mut World, s: &mut Scheduler<World>, gpu: usize) {
 pub(crate) fn cancel_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) -> Option<OpKind> {
     let now = s.now();
     let mut op = w.ops.remove(&op_id)?;
+    w.rec.end(op.span, vec![("cancelled", true.into())]);
     if let Some((node, token)) = op.rate_token.take() {
         w.rates[node].finish(token);
     }
@@ -383,14 +517,14 @@ fn recover_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
         fail_instance(w, s, inst_id);
         return;
     }
-    w.recovery_log.push((
+    w.log_recovery(
         now,
         RecoveryEvent::OpRetried {
             inst: inst_id,
             stage,
             attempt: n,
         },
-    ));
+    );
     let delay = SimDuration::from_millis(1u64 << (n - 1).min(8));
     s.schedule_in(delay, move |w, s| {
         re_issue(w, s, inst_id, stage, kind, attempt)
@@ -645,13 +779,13 @@ fn reset_stage(
         inst.stages[stage].state = StageState::Waiting { deps_left };
         inst.stages[stage].attempt
     };
-    w.recovery_log.push((
+    w.log_recovery(
         now,
         RecoveryEvent::StageRestarted {
             inst: inst_id,
             stage,
         },
-    ));
+    );
     for d in dead_deps {
         restart_stage(w, s, inst_id, d, visited);
     }
@@ -940,8 +1074,7 @@ pub(crate) fn fail_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u6
     w.instances.remove(&inst_id);
     w.fault.retries.retain(|&(i, _), _| i != inst_id);
     w.metrics.failed += 1;
-    w.recovery_log
-        .push((now, RecoveryEvent::InstanceFailed { inst: inst_id }));
+    w.log_recovery(now, RecoveryEvent::InstanceFailed { inst: inst_id });
 }
 
 // ---------------------------------------------------------------------------

@@ -42,6 +42,13 @@ pub struct RuntimeConfig {
     /// GPU pool discipline (elastic for GROUTER, static/symmetric for the
     /// memory-overhead baselines of Fig. 20c).
     pub pool_discipline: PoolDiscipline,
+    /// Enable full tracing: every component records into the flight
+    /// recorder. When `false` (default) only fault/recovery events are
+    /// recorded — they back [`World::recovery_log`] — and every other
+    /// emit site costs one atomic load.
+    pub trace: bool,
+    /// Flight-recorder ring capacity in events (oldest evicted first).
+    pub trace_buffer: usize,
 }
 
 impl Default for RuntimeConfig {
@@ -53,6 +60,8 @@ impl Default for RuntimeConfig {
             prewarm: true,
             sample_memory: false,
             pool_discipline: PoolDiscipline::Elastic,
+            trace: false,
+            trace_buffer: 65_536,
         }
     }
 }
@@ -85,6 +94,9 @@ pub struct StageRun {
     pub output: Option<DataId>,
     /// Global enqueue rank (queue-aware migration input).
     pub rank: Option<u64>,
+    /// When the stage entered its GPU queue (feeds the queue-wait
+    /// histogram; `None` for host stages, which never queue).
+    pub enqueued: Option<SimTime>,
     /// Execution attempt, bumped on every recovery reset. Scheduled events
     /// (compute completions, retry re-issues) carry the attempt they were
     /// created under and no-op when it has moved on.
@@ -173,6 +185,8 @@ pub struct PendingOp {
     pub ledger_release: Option<(usize, grouter_topology::ResId)>,
     /// Pinned-ring bytes of the current leg, returned when it completes.
     pub pinned_release: Option<(usize, f64)>,
+    /// Trace span covering the op from issue to completion (0 = untraced).
+    pub span: u64,
 }
 
 /// Compute occupancy of one GPU (time-multiplexed, §4.3.2 footnote).
@@ -221,10 +235,11 @@ pub struct World {
     /// Fault-injection bookkeeping (failed GPUs, degraded-link baselines,
     /// per-stage retry budgets).
     pub fault: crate::fault::FaultState,
-    /// Typed, time-ordered record of every fault the world absorbed and
-    /// every recovery action taken — the observable replacement for silent
-    /// stalls.
-    pub recovery_log: Vec<(SimTime, crate::fault::RecoveryEvent)>,
+    /// The flight recorder every component in this world reports into.
+    /// `Comp::Fault` events are recorded even with tracing off, so the
+    /// recovery log ([`World::recovery_log`]) is a decoded *view* over this
+    /// stream rather than a bespoke `Vec`.
+    pub rec: grouter_obs::Recorder,
 }
 
 impl World {
@@ -241,9 +256,23 @@ impl World {
         if config.placement_nodes.is_empty() {
             config.placement_nodes = (0..num_nodes).collect();
         }
+        // The world's flight recorder: fault events always recorded (they
+        // back the recovery-log view); everything else only under full
+        // tracing. Every component below gets a clone of the handle.
+        let mask = if config.trace {
+            grouter_obs::MASK_ALL
+        } else {
+            grouter_obs::MASK_FAULT_ONLY
+        };
+        let rec = grouter_obs::Recorder::with_mask(config.trace_buffer, mask);
+        net.set_recorder(rec.clone());
         let n_gpus = topo.num_gpus();
-        let pools = (0..n_gpus)
-            .map(|_| ElasticPool::new(config.pool_discipline, topo.gpu_mem_bytes()))
+        let pools: Vec<ElasticPool> = (0..n_gpus)
+            .map(|g| {
+                let mut p = ElasticPool::new(config.pool_discipline, topo.gpu_mem_bytes());
+                p.set_recorder(rec.clone(), g as u64);
+                p
+            })
             .collect();
         let scalers = (0..n_gpus).map(|_| PrewarmScaler::new()).collect();
         let ledgers = {
@@ -256,6 +285,7 @@ impl World {
                 let hops = if topo.has_nvswitch() { 1 } else { 3 };
                 proto.warm(hops);
             }
+            proto.set_recorder(rec.clone());
             vec![proto; num_nodes]
         };
         let pinned = (0..num_nodes)
@@ -268,12 +298,16 @@ impl World {
             config.placement_nodes.clone(),
         );
         let mem_series = (0..n_gpus).map(|_| TimeSeries::new()).collect();
+        let mut engine = TransferEngine::new();
+        engine.set_recorder(rec.clone());
+        let mut store = DataStore::new(num_nodes);
+        store.set_recorder(rec.clone());
         World {
             rng: DetRng::new(config.seed),
             placer,
             gpus: (0..n_gpus).map(|_| GpuExec::default()).collect(),
-            engine: TransferEngine::new(),
-            store: DataStore::new(num_nodes),
+            engine,
+            store,
             pools,
             scalers,
             ledgers,
@@ -294,10 +328,29 @@ impl World {
             next_op: 0,
             rebalances_applied: 0,
             fault: Default::default(),
-            recovery_log: Vec::new(),
+            rec,
             topo,
             net,
         }
+    }
+
+    /// Decode the fault-component events of the flight recorder back into
+    /// the typed recovery log (PR 4's `Vec` is now a view over the trace
+    /// stream). Order is emit order; entries evicted by ring wrap are gone
+    /// — size [`RuntimeConfig::trace_buffer`] accordingly.
+    pub fn recovery_log(&self) -> Vec<(SimTime, crate::fault::RecoveryEvent)> {
+        self.rec
+            .snapshot()
+            .events
+            .iter()
+            .filter_map(crate::fault::decode_recovery)
+            .collect()
+    }
+
+    /// Append a typed recovery event to the trace stream (always recorded:
+    /// `Comp::Fault` is in the default mask).
+    pub(crate) fn log_recovery(&self, now: SimTime, ev: crate::fault::RecoveryEvent) {
+        crate::fault::record_recovery(&self.rec, now, &ev);
     }
 
     /// Flat GPU index.

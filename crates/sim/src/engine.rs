@@ -44,6 +44,10 @@ pub struct Scheduler<W> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Scheduled<W>>,
+    /// Observability handle. The scheduler is the source of truth for
+    /// virtual time, so it mirrors the clock into the recorder before each
+    /// dispatch; world code then emits events without threading `now`.
+    rec: grouter_obs::Recorder,
 }
 
 impl<W> Default for Scheduler<W> {
@@ -52,6 +56,7 @@ impl<W> Default for Scheduler<W> {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
+            rec: grouter_obs::Recorder::disabled(),
         }
     }
 }
@@ -111,6 +116,17 @@ impl<W> Scheduler<W> {
     fn pop(&mut self) -> Option<Scheduled<W>> {
         self.queue.pop()
     }
+
+    /// Attach a recorder whose virtual clock follows this scheduler.
+    pub fn set_recorder(&mut self, rec: grouter_obs::Recorder) {
+        rec.set_now(self.now.as_nanos());
+        self.rec = rec;
+    }
+
+    /// The attached recorder (disabled handle when none was attached).
+    pub fn recorder(&self) -> &grouter_obs::Recorder {
+        &self.rec
+    }
 }
 
 /// A world plus its scheduler; owns the run loop.
@@ -133,6 +149,7 @@ impl<W> Simulation<W> {
             Some(ev) => {
                 debug_assert!(ev.at >= self.sched.now);
                 self.sched.now = ev.at;
+                self.sched.rec.set_now(ev.at.as_nanos());
                 (ev.event)(&mut self.world, &mut self.sched);
                 true
             }

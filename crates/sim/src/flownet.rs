@@ -248,6 +248,9 @@ pub struct FlowNet {
     completions: BinaryHeap<Reverse<(u64, u64, u64)>>,
     scratch: Scratch,
     batch: Batch,
+    /// Observability handle ([`FlowNet::set_recorder`]); disabled by
+    /// default, so the per-recompute cost is one atomic load.
+    rec: grouter_obs::Recorder,
 }
 
 impl Default for FlowNet {
@@ -270,7 +273,15 @@ impl FlowNet {
             completions: BinaryHeap::new(),
             scratch: Scratch::default(),
             batch: Batch::default(),
+            rec: grouter_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder; rate-reallocation waves are then
+    /// emitted as `net.realloc_wave` instants (when [`grouter_obs::Comp::Net`]
+    /// is enabled in the recorder's mask).
+    pub fn set_recorder(&mut self, rec: grouter_obs::Recorder) {
+        self.rec = rec;
     }
 
     /// Register a link with `capacity` bytes/second.
@@ -732,8 +743,39 @@ impl FlowNet {
         self.collect_component(seed_flows, seed_links);
         self.refill_component();
         self.maybe_compact_completions();
+        if self.rec.on(grouter_obs::Comp::Net) {
+            self.emit_realloc_wave();
+        }
         #[cfg(feature = "audit")]
         self.audit_recompute();
+    }
+
+    /// One `net.realloc_wave` instant per progressive-filling pass: how many
+    /// flows/links the contention component spanned and the post-fill
+    /// aggregate rate, the quantities that explain why a transfer's rate
+    /// moved (cold path — only reached when `Comp::Net` tracing is on).
+    fn emit_realloc_wave(&self) {
+        let mut rate_sum = 0.0;
+        for &s in &self.scratch.comp_flows {
+            rate_sum += self.slots[s as usize].rate;
+        }
+        self.rec.instant(
+            grouter_obs::Comp::Net,
+            "realloc_wave",
+            grouter_obs::Ids::NONE,
+            vec![
+                ("flows", self.scratch.comp_flows.len().into()),
+                ("links", self.scratch.comp_links.len().into()),
+                ("version", self.version.into()),
+                ("rate_sum", rate_sum.into()),
+            ],
+        );
+        self.rec.count(grouter_obs::Comp::Net, "realloc_waves", 1);
+        self.rec.sample(
+            grouter_obs::Comp::Net,
+            "component_flows",
+            self.scratch.comp_flows.len() as u64,
+        );
     }
 
     /// Post-recompute invariants (`--features audit`): per-link capacity

@@ -47,6 +47,9 @@ impl std::error::Error for StoreError {}
 pub struct DataStore {
     tables: MappingTables,
     next_id: u64,
+    /// Observability handle ([`DataStore::set_recorder`]); Put/Get/migrate
+    /// instants are emitted when `Comp::Store` is enabled.
+    rec: grouter_obs::Recorder,
 }
 
 impl DataStore {
@@ -54,7 +57,26 @@ impl DataStore {
         DataStore {
             tables: MappingTables::new(num_nodes),
             next_id: 0,
+            rec: grouter_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder.
+    pub fn set_recorder(&mut self, rec: grouter_obs::Recorder) {
+        self.rec = rec;
+    }
+
+    fn emit_store_event(&self, name: &'static str, id: DataId, bytes: f64, location: Location) {
+        self.rec.instant(
+            grouter_obs::Comp::Store,
+            name,
+            grouter_obs::Ids::NONE,
+            vec![
+                ("data", id.0.into()),
+                ("bytes", bytes.into()),
+                ("loc", format!("{location:?}").into()),
+            ],
+        );
     }
 
     /// Register an object produced by `token.function` at `location`.
@@ -83,6 +105,12 @@ impl DataStore {
             pending_consumers,
             next_use: None,
         });
+        if self.rec.on(grouter_obs::Comp::Store) {
+            self.emit_store_event("put", id, bytes, location);
+            self.rec.count(grouter_obs::Comp::Store, "puts", 1);
+            self.rec
+                .sample(grouter_obs::Comp::Store, "put_bytes", bytes.max(0.0) as u64);
+        }
         (id, grouter_sim::params::LOCAL_TABLE_LOOKUP)
     }
 
@@ -110,6 +138,10 @@ impl DataStore {
         let snapshot = entry.clone();
         if let Some(entry) = self.tables.get_mut(id) {
             entry.last_access = now;
+        }
+        if self.rec.on(grouter_obs::Comp::Store) {
+            self.emit_store_event("get", id, snapshot.bytes, snapshot.location);
+            self.rec.count(grouter_obs::Comp::Store, "gets", 1);
         }
         Ok((snapshot, latency))
     }
@@ -145,6 +177,11 @@ impl DataStore {
         match self.tables.get_mut(id) {
             Some(entry) => {
                 entry.location = location;
+                let bytes = entry.bytes;
+                if self.rec.on(grouter_obs::Comp::Store) {
+                    self.emit_store_event("migrate", id, bytes, location);
+                    self.rec.count(grouter_obs::Comp::Store, "migrations", 1);
+                }
                 Ok(())
             }
             None => Err(StoreError::UnknownData(id)),

@@ -174,6 +174,9 @@ pub struct PathSelector {
     cache: PathCache,
     scratch: PathSelection,
     spare: Vec<Vec<usize>>,
+    /// Observability handle ([`PathSelector::set_recorder`]); disabled by
+    /// default so steady-state selection pays one atomic load.
+    rec: grouter_obs::Recorder,
 }
 
 impl PathSelector {
@@ -183,7 +186,15 @@ impl PathSelector {
             cache: PathCache::new(),
             scratch: PathSelection::default(),
             spare: Vec::new(),
+            rec: grouter_obs::Recorder::disabled(),
         }
+    }
+
+    /// Attach an observability recorder: each [`PathSelector::select`] then
+    /// emits a `topo.path_select` instant (cache hit/miss, pick count) and
+    /// one `topo.path_pick` per chosen path with its reserved capacity.
+    pub fn set_recorder(&mut self, rec: grouter_obs::Recorder) {
+        self.rec = rec;
     }
 
     pub fn from_topology(topo: &Topology) -> PathSelector {
@@ -247,6 +258,11 @@ impl PathSelector {
         max_paths: usize,
     ) -> &PathSelection {
         self.cache.sync(&self.bwm);
+        let stats_before = if self.rec.on(grouter_obs::Comp::Topo) {
+            Some(self.cache.stats())
+        } else {
+            None
+        };
         let candidates = self.cache.paths(&self.bwm, src, dst, max_hops);
         // Cached candidate sets must stay re-derivable: a fresh enumeration
         // over the same matrix epoch yields the identical path list (sets
@@ -276,6 +292,42 @@ impl PathSelector {
             &mut self.scratch,
             &mut self.spare,
         );
+        if let Some(before) = stats_before {
+            let after = self.cache.stats();
+            let hit = after.hits > before.hits;
+            self.rec.count(
+                grouter_obs::Comp::Topo,
+                if hit { "cache_hit" } else { "cache_miss" },
+                1,
+            );
+            let total: f64 = self.scratch.paths.iter().map(|p| p.rate).sum();
+            self.rec.instant(
+                grouter_obs::Comp::Topo,
+                "path_select",
+                grouter_obs::Ids::NONE,
+                vec![
+                    ("src", src.into()),
+                    ("dst", dst.into()),
+                    ("cache_hit", hit.into()),
+                    ("paths", self.scratch.paths.len().into()),
+                    ("rate_total", total.into()),
+                ],
+            );
+            for (idx, p) in self.scratch.paths.iter().enumerate() {
+                self.rec.instant(
+                    grouter_obs::Comp::Topo,
+                    "path_pick",
+                    grouter_obs::Ids::NONE,
+                    vec![
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("idx", idx.into()),
+                        ("hops", p.gpus.len().saturating_sub(1).into()),
+                        ("rate", p.rate.into()),
+                    ],
+                );
+            }
+        }
         &self.scratch
     }
 

@@ -93,6 +93,12 @@ impl PathLedger {
         &mut self.selector
     }
 
+    /// Attach an observability recorder to the underlying selector (see
+    /// [`PathSelector::set_recorder`]).
+    pub fn set_recorder(&mut self, rec: grouter_obs::Recorder) {
+        self.selector.set_recorder(rec);
+    }
+
     /// Path-cache statistics (hits / misses / epoch invalidations).
     pub fn cache_stats(&self) -> CacheStats {
         self.selector.cache().stats()

@@ -28,6 +28,8 @@ struct Active {
     routes: Vec<Vec<usize>>,
     /// Node whose bandwidth matrix holds the reservations.
     nv_node: usize,
+    /// Open `transfer.leg` span (0 when tracing was off at begin).
+    span: u64,
 }
 
 /// A finished transfer.
@@ -50,6 +52,8 @@ pub struct TransferEngine {
     next_id: u64,
     active: BTreeMap<u64, Active>,
     flow_owner: HashMap<FlowId, u64>,
+    /// Observability handle ([`TransferEngine::set_recorder`]).
+    rec: grouter_obs::Recorder,
 }
 
 /// A plan could not be started: one of its flows references links the flow
@@ -90,6 +94,13 @@ pub enum BeginOutcome {
 impl TransferEngine {
     pub fn new() -> TransferEngine {
         Self::default()
+    }
+
+    /// Attach an observability recorder: each non-zero-copy transfer then
+    /// runs inside a `transfer.leg` span and every started chunk flow emits
+    /// a flow-correlated `chunk_flow` instant.
+    pub fn set_recorder(&mut self, rec: grouter_obs::Recorder) {
+        self.rec = rec;
     }
 
     /// `--features audit`: the two tracking maps must mirror each other —
@@ -186,6 +197,37 @@ impl TransferEngine {
             }
         }
         net.commit_batch();
+        let mut span = 0;
+        if self.rec.on(grouter_obs::Comp::Transfer) {
+            span = self.rec.begin(
+                grouter_obs::Comp::Transfer,
+                "leg",
+                grouter_obs::Ids::NONE,
+                vec![
+                    ("transfer", id.into()),
+                    ("bytes", plan.total_bytes.into()),
+                    ("chunk_flows", started.len().into()),
+                    ("nv_node", nv_node.into()),
+                ],
+            );
+            for (fid, route) in &started {
+                let mut args: Vec<(&'static str, grouter_obs::Val)> = vec![("transfer", id.into())];
+                if let Some(route) = route {
+                    args.push(("route_gpus", format!("{route:?}").into()));
+                }
+                self.rec.instant(
+                    grouter_obs::Comp::Transfer,
+                    "chunk_flow",
+                    grouter_obs::Ids::flow(fid.0),
+                    args,
+                );
+            }
+            self.rec.sample(
+                grouter_obs::Comp::Transfer,
+                "chunk_batch",
+                started.len() as u64,
+            );
+        }
         self.active.insert(
             id,
             Active {
@@ -195,6 +237,7 @@ impl TransferEngine {
                 nv_releases,
                 routes,
                 nv_node,
+                span,
             },
         );
         #[cfg(feature = "audit")]
@@ -220,6 +263,7 @@ impl TransferEngine {
             entry.pending.remove(fid);
             if entry.pending.is_empty() {
                 if let Some(act) = self.active.remove(&tid) {
+                    self.rec.end(act.span, vec![("bytes", act.bytes.into())]);
                     finished.push(TransferDone {
                         id: TransferId(tid),
                         started: act.started,
@@ -248,6 +292,7 @@ impl TransferEngine {
         id: TransferId,
     ) -> Option<(TransferDone, Vec<FlowId>)> {
         let act = self.active.remove(&id.0)?;
+        self.rec.end(act.span, vec![("cancelled", true.into())]);
         let mut cancelled: Vec<FlowId> = act.pending.iter().copied().collect();
         cancelled.sort();
         for fid in &cancelled {

@@ -1,7 +1,8 @@
 #!/bin/sh
 # Quick-turnaround benchmark smoke run.
 #
-# Runs the `bench_flownet` churn group and the `bench_paths` selection group
+# Runs the `bench_flownet` churn, `bench_paths` selection, and `bench_obs`
+# overhead groups
 # with a reduced sample count, scrapes the machine-readable CRITERION_JSON
 # lines into BENCH_flownet.json / BENCH_paths.json, and checks the two
 # headline targets:
@@ -9,8 +10,10 @@
 #     1024 concurrent flows;
 #   - cached Algorithm 1 selection >= 10x over the seed DFS selector on the
 #     contended DGX-V100 case.
+#   - disabled-path observability overhead <= 3% on 1k-flow churn
+#     (BENCH_obs.json).
 #
-# Usage: scripts/bench_smoke.sh [flownet.json] [paths.json]
+# Usage: scripts/bench_smoke.sh [flownet.json] [paths.json] [obs.json]
 
 set -eu
 
@@ -123,3 +126,60 @@ if [ "$ok" != 1 ]; then
     exit 1
 fi
 echo "contended V100 selection speedup: ${pspeed}x (target: >= 10x)"
+
+# ---------------------------------------------------------------------------
+# bench_obs: observability overhead on 1k-flow churn.
+
+obs_out="${3:-BENCH_obs.json}"
+
+cargo bench -p grouter-bench --bench obs -- --sample-size 10 2>&1 | tee "$raw"
+
+grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk '
+    BEGIN { print "{"; print "  \"group\": \"bench_obs\","; print "  \"results\": [" }
+    { lines[NR] = $0 }
+    END {
+        for (i = 1; i <= NR; i++)
+            printf "    %s%s\n", lines[i], (i < NR ? "," : "")
+        print "  ],"
+    }
+' > "$obs_out.tmp"
+
+# Overhead ratios. The gated "disabled" number is the paired
+# measurement the bench prints on its OBS_OVERHEAD_JSON line (median of
+# alternating-round time ratios) — comparing the Criterion groups, which
+# run tens of seconds apart, picks up CPU frequency drift larger than
+# the 3% bound. "enabled" stays a cross-group min_ns ratio and is
+# informational only.
+paired=$(sed -n 's/^OBS_OVERHEAD_JSON .*"disabled_vs_untraced":\([0-9.]*\).*/\1/p' "$raw")
+if [ -z "$paired" ]; then
+    echo "ERROR: no OBS_OVERHEAD_JSON line in bench output" >&2
+    exit 1
+fi
+grep '^CRITERION_JSON ' "$raw" | sed 's/^CRITERION_JSON //' | awk -v paired="$paired" '
+    {
+        name = $0; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        min = $0; sub(/.*"min_ns":/, "", min); sub(/,.*/, "", min)
+        if (name ~ /^obs_untraced\//) base = min
+        else if (name ~ /^obs_enabled\//) en = min
+    }
+    END {
+        printf "  \"overhead\": {\"disabled\": %s, \"enabled\": %.4f}\n", paired, en / base
+        print "}"
+    }
+' >> "$obs_out.tmp"
+mv "$obs_out.tmp" "$obs_out"
+
+echo "wrote $obs_out"
+
+# Acceptance gate: disabled-path tracing costs <= 3% on the churn loop.
+ratio=$(sed -n 's/.*"disabled": \([0-9.]*\).*/\1/p' "$obs_out")
+if [ -z "$ratio" ]; then
+    echo "ERROR: no disabled-path overhead ratio in $obs_out" >&2
+    exit 1
+fi
+ok=$(awk -v r="$ratio" 'BEGIN { print (r <= 1.03) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "ERROR: disabled-path tracing overhead ${ratio}x exceeds the 1.03x bound" >&2
+    exit 1
+fi
+echo "disabled-path tracing overhead: ${ratio}x (bound: <= 1.03x)"

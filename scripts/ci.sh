@@ -1,8 +1,8 @@
 #!/bin/sh
 # Offline CI gate: formatting, lints, the workspace linter, the tier-1 test
 # suite (with the data-plane invariant auditors unified on), the benchmark
-# smoke run with its speedup gates, and the experiment-suite byte-identity
-# check. Everything runs locally with no network access.
+# smoke run with its speedup gates, the trace-export determinism smoke, and
+# the experiment-suite byte-identity check. Everything runs locally with no network access.
 #
 # Usage: scripts/ci.sh
 
@@ -34,8 +34,24 @@ echo "==> chaos smoke (fixed-seed fault injection over the GROUTER plane)"
 # with: GROUTER_CHAOS_SEED=<seed> cargo test -p grouter-integration-tests --test chaos
 cargo test -q -p grouter-integration-tests --test chaos
 
-echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json)"
+echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json + BENCH_obs.json)"
 scripts/bench_smoke.sh
+
+echo "==> trace smoke (fixed-seed Chrome export: valid JSON, byte-identical re-run)"
+# A short fixed-seed CLI run with the flight recorder on. The export must
+# be loadable JSON (checked by the obs crate's validator via the trace
+# integration test) and byte-identical when the same seed runs again —
+# the observability subsystem must never inject nondeterminism.
+trace_a=$(mktemp)
+trace_b=$(mktemp)
+cargo run -q --release -p grouter-cli -- examples/workflows/traffic_lite.wf \
+    --nodes 2 --seconds 3 --seed 42 --trace-out "$trace_a" > /dev/null
+cargo run -q --release -p grouter-cli -- examples/workflows/traffic_lite.wf \
+    --nodes 2 --seconds 3 --seed 42 --trace-out "$trace_b" > /dev/null
+cmp "$trace_a" "$trace_b"
+head -c 1 "$trace_a" | grep -q '{' || { echo "trace export is not JSON" >&2; exit 1; }
+cargo test -q -p grouter-integration-tests --test trace
+rm -f "$trace_a" "$trace_b"
 
 echo "==> experiments_output.txt is current (byte-identical to --serial)"
 tmp_out=$(mktemp)

@@ -207,8 +207,8 @@ fn chaos_same_seed_replays_byte_identically() {
             "seed {seed}: failure count diverged"
         );
         assert_eq!(
-            a.world().recovery_log,
-            b.world().recovery_log,
+            a.world().recovery_log(),
+            b.world().recovery_log(),
             "seed {seed}: recovery log diverged between identical runs"
         );
     }
@@ -222,13 +222,13 @@ fn chaos_recovery_log_records_absorbed_faults() {
         let (rt, plan) = chaos_run(seed, presets::dgx_v100(), GpuClass::V100);
         if !plan.is_empty() {
             assert!(
-                !rt.world().recovery_log.is_empty(),
+                !rt.world().recovery_log().is_empty(),
                 "seed {seed}: faults were injected but the recovery log is empty"
             );
         }
         saw_gpu_fail |= rt
             .world()
-            .recovery_log
+            .recovery_log()
             .iter()
             .any(|(_, ev)| matches!(ev, RecoveryEvent::GpuFailed { .. }));
     }

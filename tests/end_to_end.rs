@@ -329,7 +329,7 @@ fn diamond_dag_replays_lineage_after_producer_gpu_failure() {
         m.failed, 0,
         "no typed failure expected: lineage can recover"
     );
-    let log = &rt.world().recovery_log;
+    let log = &rt.world().recovery_log();
     assert!(
         log.iter()
             .any(|(_, e)| matches!(e, RecoveryEvent::GpuFailed { gpu: 0, .. })),
@@ -369,7 +369,7 @@ fn diamond_dag_route_loss_reissues_transfers_under_recovery_category() {
     let m = rt.metrics();
     assert_eq!(m.completed(), 1, "route loss alone must not fail the DAG");
     assert_eq!(m.failed, 0);
-    let log = &rt.world().recovery_log;
+    let log = &rt.world().recovery_log();
     assert!(
         log.iter()
             .any(|(_, e)| matches!(e, RecoveryEvent::OpRetried { .. })),

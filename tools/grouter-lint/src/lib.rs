@@ -2,7 +2,7 @@
 //!
 //! The linter tokenizes Rust sources with a small hand-rolled lexer (no
 //! `syn`, no registry dependencies — the build environment is offline) and
-//! enforces four project rules with file/line diagnostics:
+//! enforces five project rules with file/line diagnostics:
 //!
 //! * `no-panic-in-dataplane` — `unwrap`/`expect`/`panic!`/`unreachable!` are
 //!   banned in the data-plane crates (`sim`, `topology`, `transfer`, `store`,
@@ -19,6 +19,10 @@
 //! * `no-silent-truncation` — `as u8/u16/u32/usize` narrowing casts applied
 //!   to byte/rate-named quantities in data-plane crates must use `try_from`
 //!   or carry an allow pragma.
+//! * `no-stray-print` — `println!`/`eprintln!`/`print!`/`eprint!` are banned
+//!   in data-plane crates outside `#[cfg(test)]`: diagnostics belong in the
+//!   observability trace (`grouter-obs`), not on stdout, where they would
+//!   corrupt byte-compared experiment output.
 //!
 //! Suppression pragma syntax (same line or the line directly above):
 //!
@@ -33,11 +37,12 @@
 use std::fmt;
 
 /// Every rule the linter knows about.
-pub const RULES: [&str; 4] = [
+pub const RULES: [&str; 5] = [
     "no-panic-in-dataplane",
     "no-wallclock-in-sim",
     "no-unordered-emit",
     "no-silent-truncation",
+    "no-stray-print",
 ];
 
 /// Crates whose `src/` is considered data-plane code.
@@ -476,6 +481,15 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                         rule: "no-panic-in-dataplane".into(),
                         message: format!(
                             "`.{name}()` in data-plane code; return a typed error or add a justified allow pragma"
+                        ),
+                    });
+                }
+                "println" | "eprintln" | "print" | "eprint" if is_punct(toks.get(i + 1), '!') => {
+                    raw.push(Diagnostic {
+                        line: sp.line,
+                        rule: "no-stray-print".into(),
+                        message: format!(
+                            "`{name}!` in data-plane code; emit a trace event through grouter-obs or add a justified allow pragma"
                         ),
                     });
                 }

@@ -1,0 +1,28 @@
+//@ path: crates/transfer/src/debug.rs
+//! Fixture: stray prints in a data-plane crate.
+
+pub fn noisy(bytes: f64) {
+    println!("transferring {bytes} bytes");
+    eprintln!("warning: slow path");
+    print!("partial");
+    eprint!("partial err");
+}
+
+pub fn allowed(bytes: f64) {
+    // grouter-lint: allow(no-stray-print): one-shot calibration tool output, never runs inside the simulator
+    println!("calibrated at {bytes}");
+}
+
+/// A `println` identifier without the bang is not a macro invocation.
+pub fn not_a_macro() {
+    let println = 3;
+    let _ = println;
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prints_are_fine_in_tests() {
+        println!("test output is exempt");
+    }
+}
