@@ -24,13 +24,14 @@ use grouter_transfer::plan::{plan_d2h, PlanConfig};
 use grouter_transfer::TransferEngine;
 
 /// Every checker the data plane registers, by crate:
-/// sim (4), topology (2), transfer (1), store (1), mem (3), runtime (1),
+/// sim (5), topology (2), transfer (1), store (1), mem (3), runtime (1),
 /// obs (1).
-const CHECKERS: [&str; 13] = [
+const CHECKERS: [&str; 14] = [
     "flownet.link_caps",
     "flownet.slab",
     "flownet.heap",
     "flownet.fairness",
+    "engine.timeline",
     "pathcache.epoch",
     "pathcache.rederive",
     "transfer.pending",
@@ -52,7 +53,7 @@ fn every_checker_fires_at_least_once() {
     let mut engine = TransferEngine::new();
     let plan = plan_d2h(&topo, &net, 0, 0, 120e6, &PlanConfig::grouter());
     engine
-        .begin(&mut net, SimTime::ZERO, &plan, 0)
+        .begin(&mut net, SimTime::ZERO, plan, 0)
         .expect("planned transfer starts");
     net.start_flow(
         SimTime::ZERO,

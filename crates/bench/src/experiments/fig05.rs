@@ -63,13 +63,13 @@ fn gfn_host_mean(plane: PlaneKind, with_video: bool, single_path: bool) -> (f64,
     let driving_gh: Vec<f64> = m
         .records()
         .iter()
-        .filter(|r| r.workflow == "driving")
+        .filter(|r| m.workflow_name(r.workflow) == "driving")
         .map(|r| r.passing_of(PassCategory::GpuHost).as_millis_f64())
         .collect();
     let video_gh: Vec<f64> = m
         .records()
         .iter()
-        .filter(|r| r.workflow == "video")
+        .filter(|r| m.workflow_name(r.workflow) == "video")
         .map(|r| r.passing_of(PassCategory::GpuHost).as_millis_f64())
         .collect();
     let mean = |v: &[f64]| {

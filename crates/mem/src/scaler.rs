@@ -43,18 +43,18 @@ impl FuncStats {
     }
 
     /// `R_size · R_con` — the reservation while the function is active.
-    fn reservation(&self) -> f64 {
+    fn reservation(&mut self) -> f64 {
         let size = self.size_bytes.p99().unwrap_or(0.0);
         let con = self.concurrency.p99().unwrap_or(1.0).max(1.0);
         size * con
     }
 
     /// `R_window` in seconds; a conservative default before any history.
-    fn window_s(&self) -> f64 {
+    fn window_s(&mut self) -> f64 {
         self.interval_s.p99().unwrap_or(1.0)
     }
 
-    fn active_at(&self, now: SimTime) -> bool {
+    fn active_at(&mut self, now: SimTime) -> bool {
         match self.last_request {
             None => false,
             Some(last) => (now - last.min(now)).as_secs_f64() <= self.window_s(),
@@ -104,13 +104,13 @@ impl PrewarmScaler {
 
     /// The pool size the GPU should hold at `now`:
     /// `max(Σ_active R_size·R_con, MIN_POOL_BYTES)`.
-    pub fn target_bytes(&self, now: SimTime) -> f64 {
-        let demand: f64 = self
-            .funcs
-            .values()
-            .filter(|s| s.active_at(now))
-            .map(|s| s.reservation())
-            .sum();
+    pub fn target_bytes(&mut self, now: SimTime) -> f64 {
+        let mut demand = 0.0;
+        for s in self.funcs.values_mut() {
+            if s.active_at(now) {
+                demand += s.reservation();
+            }
+        }
         let target = demand.max(params::MIN_POOL_BYTES);
         #[cfg(feature = "audit")]
         grouter_audit::check(
@@ -122,8 +122,8 @@ impl PrewarmScaler {
     }
 
     /// Reservation window for one function, if known (testing/diagnostics).
-    pub fn window_secs(&self, func: u64) -> Option<f64> {
-        self.funcs.get(&func).map(|s| s.window_s())
+    pub fn window_secs(&mut self, func: u64) -> Option<f64> {
+        self.funcs.get_mut(&func).map(|s| s.window_s())
     }
 
     /// Outstanding (produced but unconsumed) outputs currently counted for
@@ -167,7 +167,7 @@ mod tests {
 
     #[test]
     fn empty_scaler_targets_the_floor() {
-        let s = PrewarmScaler::new();
+        let mut s = PrewarmScaler::new();
         assert_eq!(s.target_bytes(SimTime::ZERO), params::MIN_POOL_BYTES);
     }
 

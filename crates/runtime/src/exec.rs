@@ -26,10 +26,20 @@ use crate::metrics::{InstanceRecord, Metrics, PassCategory};
 use crate::spec::{StageKind, WorkflowSpec};
 use crate::world::{Instance, OpKind, PendingOp, RuntimeConfig, StageRun, StageState, World};
 
+/// Cached per-spec submit identities: the held `Arc<WorkflowSpec>` pins the
+/// cache key's allocation, `u32` is the interned workflow name, `Arc<[u64]>`
+/// the shared function-id table.
+type SpecCacheEntry = (Arc<WorkflowSpec>, u32, Arc<[u64]>);
+
 /// Public driver: a [`World`] plus its event queue.
 pub struct Runtime {
     sim: Simulation<World>,
     function_ids: std::collections::HashMap<(String, usize), u64>,
+    /// Per-spec submit cache keyed on `Arc` identity: interned workflow
+    /// name and shared function-id table, computed once per spec. The held
+    /// `Arc` keeps the pointer alive so it can never be reused by a
+    /// different allocation.
+    spec_cache: grouter_sim::FxHashMap<usize, SpecCacheEntry>,
 }
 
 impl Runtime {
@@ -46,7 +56,15 @@ impl Runtime {
         Runtime {
             sim,
             function_ids: std::collections::HashMap::new(),
+            spec_cache: grouter_sim::FxHashMap::default(),
         }
+    }
+
+    /// Switch the event core to the historical boxed-closure heap (see
+    /// [`grouter_sim::Scheduler::force_boxed_dispatch`]). Benchmark baseline
+    /// only; must be called before anything is scheduled.
+    pub fn force_boxed_dispatch(&mut self) {
+        self.sim.sched.force_boxed_dispatch();
     }
 
     /// The world's trace recorder (shared handle; cheap to clone).
@@ -56,24 +74,41 @@ impl Runtime {
 
     /// Schedule a request for `spec` at absolute time `at`.
     pub fn submit(&mut self, spec: Arc<WorkflowSpec>, at: SimTime) {
-        // grouter-lint: allow(no-panic-in-dataplane): submit() is the public entry point; an invalid spec is caller error and must abort
-        spec.validate().expect("workflow spec must be valid");
-        // Stable per-(workflow, stage) function identities for the pre-warm
-        // scalers: stage 0 of "traffic" is the same function on every
-        // request.
-        let base = self.function_ids.len() as u64;
-        for i in 0..spec.stages.len() {
-            let key = (spec.name.clone(), i);
-            let next = base + i as u64 + 1;
-            self.function_ids.entry(key).or_insert(next);
-        }
-        let ids: Vec<u64> = (0..spec.stages.len())
-            .map(|i| self.function_ids[&(spec.name.clone(), i)])
-            .collect();
+        let cache_key = Arc::as_ptr(&spec) as usize;
+        let (wf_name, fn_ids) = match self.spec_cache.get(&cache_key) {
+            Some((_, wf, ids)) => (*wf, ids.clone()),
+            None => {
+                // grouter-lint: allow(no-panic-in-dataplane): submit() is the public entry point; an invalid spec is caller error and must abort
+                spec.validate().expect("workflow spec must be valid");
+                // Stable per-(workflow, stage) function identities for the
+                // pre-warm scalers: stage 0 of "traffic" is the same
+                // function on every request.
+                let base = self.function_ids.len() as u64;
+                for i in 0..spec.stages.len() {
+                    // grouter-lint: allow(no-hot-string-clone): spec-cache miss, once per distinct spec
+                    let key = (spec.name.clone(), i);
+                    let next = base + i as u64 + 1;
+                    self.function_ids.entry(key).or_insert(next);
+                }
+                let ids: Arc<[u64]> = (0..spec.stages.len())
+                    // grouter-lint: allow(no-hot-string-clone): spec-cache miss, once per distinct spec
+                    .map(|i| self.function_ids[&(spec.name.clone(), i)])
+                    .collect();
+                let wf = self.sim.world.metrics.intern(&spec.name);
+                self.spec_cache
+                    .insert(cache_key, (spec.clone(), wf, ids.clone()));
+                (wf, ids)
+            }
+        };
         self.sim.world.metrics.arrivals += 1;
-        self.sim
-            .sched
-            .schedule_at(at, move |w, s| arrival(w, s, spec, ids));
+        self.sim.sched.schedule_at(
+            at,
+            Event::Arrival {
+                spec,
+                wf_name,
+                fn_ids,
+            },
+        );
     }
 
     /// Record per-GPU idle-memory samples every `every` until `until`
@@ -81,9 +116,7 @@ impl Runtime {
     pub fn schedule_memory_samples(&mut self, every: SimDuration, until: SimTime) {
         let mut t = SimTime::ZERO;
         while t <= until {
-            self.sim.sched.schedule_at(t, move |w, s| {
-                w.sample_memory(s.now());
-            });
+            self.sim.sched.schedule_at(t, Event::MemSample);
             t += every;
         }
     }
@@ -105,9 +138,7 @@ impl Runtime {
         }
         let mut t = SimTime::ZERO;
         while t <= until {
-            self.sim.sched.schedule_at(t, move |w, s| {
-                w.sample_links(s.now());
-            });
+            self.sim.sched.schedule_at(t, Event::LinkSample);
             t += every;
         }
     }
@@ -127,7 +158,9 @@ impl Runtime {
     /// interleaving deterministically with workload events. Must be called
     /// before `run`.
     pub fn install_fault_plan(&mut self, plan: &grouter_sim::fault::FaultPlan) {
-        plan.install(&mut self.sim.sched, crate::fault::apply_fault);
+        for ev in plan.events() {
+            self.sim.sched.schedule_at(ev.at, Event::Fault(ev.clone()));
+        }
     }
 
     /// Run to quiescence (all submitted requests completed).
@@ -154,6 +187,104 @@ impl Runtime {
 
     pub fn world_mut(&mut self) -> &mut World {
         &mut self.sim.world
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed event core
+// ---------------------------------------------------------------------------
+
+/// Every event the executor schedules, as a value: dispatch moves a small
+/// enum out of the scheduler's recycled buckets instead of calling a
+/// heap-boxed closure. Cold one-off hooks (tests poking the world) can
+/// still use [`grouter_sim::Scheduler::schedule_boxed`].
+#[derive(Debug)]
+pub enum Event {
+    /// A submitted request arrives.
+    Arrival {
+        spec: Arc<WorkflowSpec>,
+        /// Interned workflow name (id into `Metrics`' name table).
+        wf_name: u32,
+        fn_ids: Arc<[u64]>,
+    },
+    /// Record per-GPU idle-memory samples (Fig. 7a).
+    MemSample,
+    /// Record watched-link utilisation samples (Fig. 5a).
+    LinkSample,
+    /// Stage compute finished (stale when the attempt moved on).
+    ComputeDone {
+        inst: u64,
+        stage: usize,
+        attempt: u32,
+    },
+    /// An op's control latency (or previous leg) finished: pop the next leg.
+    AdvanceOp { op: u64 },
+    /// The staged leg's setup latency elapsed: start its flows.
+    BeginLeg { op: u64 },
+    /// Flow-network wake, version-stamped against re-allocation staleness.
+    NetWake { version: u64 },
+    /// An injected fault fires (interpreted by [`crate::fault`]).
+    Fault(grouter_sim::fault::FaultEvent),
+    /// Deferred dispatch attempt after recovery freed a GPU.
+    TryDispatchGpu { gpu: usize },
+    /// Deferred stage re-entry after a recovery reset wave; dropped when a
+    /// later reset superseded `attempt`.
+    StageReadyIfWaiting {
+        inst: u64,
+        stage: usize,
+        attempt: u32,
+    },
+    /// Re-issue a cancelled data operation after its retry backoff.
+    ReIssue {
+        inst: u64,
+        stage: usize,
+        kind: OpKind,
+        attempt: u32,
+    },
+}
+
+impl grouter_sim::EventWorld for World {
+    type Event = Event;
+
+    fn dispatch(&mut self, s: &mut Scheduler<World>, ev: Event) {
+        match ev {
+            Event::Arrival {
+                spec,
+                wf_name,
+                fn_ids,
+            } => arrival(self, s, spec, wf_name, fn_ids),
+            Event::MemSample => self.sample_memory(s.now()),
+            Event::LinkSample => self.sample_links(s.now()),
+            Event::ComputeDone {
+                inst,
+                stage,
+                attempt,
+            } => compute_done(self, s, inst, stage, attempt),
+            Event::AdvanceOp { op } => advance_op(self, s, op),
+            Event::BeginLeg { op } => begin_leg(self, s, op),
+            Event::NetWake { version } => net_wake(self, s, version),
+            Event::Fault(ev) => crate::fault::apply_fault(self, s, &ev),
+            Event::TryDispatchGpu { gpu } => try_dispatch_gpu(self, s, gpu),
+            Event::StageReadyIfWaiting {
+                inst,
+                stage,
+                attempt,
+            } => {
+                let ok = self.instances.get(&inst).is_some_and(|i| {
+                    i.stages[stage].attempt == attempt
+                        && matches!(i.stages[stage].state, StageState::Waiting { deps_left: 0 })
+                });
+                if ok {
+                    stage_ready(self, s, inst, stage);
+                }
+            }
+            Event::ReIssue {
+                inst,
+                stage,
+                kind,
+                attempt,
+            } => crate::fault::re_issue(self, s, inst, stage, kind, attempt),
+        }
     }
 }
 
@@ -229,7 +360,13 @@ fn pass_category(pattern: DataPassPattern) -> PassCategory {
 // Arrival
 // ---------------------------------------------------------------------------
 
-fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_ids: Vec<u64>) {
+fn arrival(
+    w: &mut World,
+    s: &mut Scheduler<World>,
+    spec: Arc<WorkflowSpec>,
+    wf_name: u32,
+    fn_ids: Arc<[u64]>,
+) {
     let now = s.now();
     let inst_id = w.next_instance;
     w.next_instance += 1;
@@ -325,14 +462,15 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
         })
         .collect();
 
-    let terminals_left = spec.terminals().iter().filter(|&&t| !skipped[t]).count() as u32;
+    let terminals_left = (0..spec.stages.len())
+        .filter(|&i| !skipped[i] && spec.is_terminal(i))
+        .count() as u32;
     let roots: Vec<usize> = (0..spec.stages.len())
         .filter(|&i| !skipped[i] && spec.stages[i].deps.is_empty())
         .collect();
 
     // Pre-warm hook for the elastic store.
-    let fn_dests: Vec<Destination> = placements.clone();
-    with_plane(w, now, None, |p, ctx| p.on_request(ctx, &fn_dests));
+    with_plane(w, now, None, |p, ctx| p.on_request(ctx, &placements));
     for (i, &fid) in fn_ids.iter().enumerate() {
         if !skipped[i] {
             if let Destination::Gpu(g) = placements[i] {
@@ -375,6 +513,7 @@ fn arrival(w: &mut World, s: &mut Scheduler<World>, spec: Arc<WorkflowSpec>, fn_
             passing: Default::default(),
             op_durations: Vec::new(),
             workflow_id: WorkflowId(inst_id),
+            wf_name,
             fn_ids,
         },
     );
@@ -560,7 +699,7 @@ fn start_fetch(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usi
 
 fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize) {
     let now = s.now();
-    let (dest, compute, mem_bytes, name, attempt) = {
+    let (dest, compute, mem_bytes, fid, attempt) = {
         // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
         let inst = w.instances.get_mut(&inst_id).expect("live");
         inst.stages[stage].state = StageState::Running;
@@ -573,7 +712,7 @@ fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: u
             inst.placements[stage],
             spec.compute,
             mem,
-            inst.spec.name.clone(),
+            inst.fn_ids[stage],
             inst.stages[stage].attempt,
         )
     };
@@ -581,7 +720,9 @@ fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: u
     let mut delay = SimDuration::ZERO;
     if let Destination::Gpu(g) = dest {
         // Cold start unless pre-warmed (paper pre-warms, SHEPHERD-style).
-        let warm_key = (name, stage, w.gpu_index(g.node, g.gpu));
+        // Function ids are bijective with (workflow, stage), so the warm key
+        // never clones the workflow name.
+        let warm_key = (fid, w.gpu_index(g.node, g.gpu));
         if !w.config.prewarm && !w.warm.contains(&warm_key) {
             delay = params::COLD_START_GFN;
         }
@@ -599,9 +740,14 @@ fn start_running(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: u
         delay = params::COLD_START_CFN;
     }
 
-    s.schedule_in(delay + compute, move |w, s| {
-        compute_done(w, s, inst_id, stage, attempt)
-    });
+    s.schedule_in(
+        delay + compute,
+        Event::ComputeDone {
+            inst: inst_id,
+            stage,
+            attempt,
+        },
+    );
 }
 
 fn compute_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usize, attempt: u32) {
@@ -703,7 +849,7 @@ fn stage_done(w: &mut World, s: &mut Scheduler<World>, inst_id: u64, stage: usiz
         inst.stages[stage].output = Some(data);
         // A re-run of a terminal whose egress already completed must not
         // egress (and decrement `terminals_left`) twice.
-        let is_terminal = inst.spec.terminals().contains(&stage) && !inst.stages[stage].egressed;
+        let is_terminal = inst.spec.is_terminal(stage) && !inst.stages[stage].egressed;
         let mut dependents = Vec::new();
         for (j, st) in inst.spec.stages.iter().enumerate() {
             if st.deps.contains(&stage)
@@ -776,7 +922,7 @@ fn finish_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u64) {
     // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
     let inst = w.instances.remove(&inst_id).expect("live");
     w.metrics.record(InstanceRecord {
-        workflow: inst.spec.name.clone(),
+        workflow: inst.wf_name,
         arrived: inst.arrived,
         completed: now,
         compute: inst.compute_total,
@@ -819,6 +965,7 @@ pub(crate) fn start_op(
         op_id,
         PendingOp {
             legs: op.legs.into(),
+            staged: None,
             started: s.now(),
             kind,
             category,
@@ -828,7 +975,7 @@ pub(crate) fn start_op(
             span,
         },
     );
-    s.schedule_in(op.control_latency, move |w, s| advance_op(w, s, op_id));
+    s.schedule_in(op.control_latency, Event::AdvanceOp { op: op_id });
 }
 
 fn advance_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
@@ -838,23 +985,35 @@ fn advance_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
     match pending.legs.pop_front() {
         None => complete_op(w, s, op_id),
         Some(leg) => {
-            s.schedule_in(leg.plan.setup, move |w, s| begin_leg(w, s, op_id, leg));
+            let setup = leg.plan.setup;
+            pending.staged = Some(leg);
+            s.schedule_in(setup, Event::BeginLeg { op: op_id });
         }
     }
 }
 
-fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::dataplane::OpLeg) {
+fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
     let now = s.now();
-    let Some(pending) = w.ops.get_mut(&op_id) else {
-        // The op was cancelled by recovery between advance_op and this
-        // event. The leg's pre-attached reservations were made when the
-        // plane built it and would leak without an explicit release.
-        release_leg_resources(w, &leg);
-        return;
+    let leg = match w.ops.get_mut(&op_id) {
+        Some(pending) => {
+            // grouter-lint: allow(no-panic-in-dataplane): advance_op stages exactly one leg per BeginLeg event
+            let leg = pending.staged.take().expect("staged leg");
+            pending.rate_token = leg.rate_token;
+            pending.ledger_release = leg.ledger_release;
+            pending.pinned_release = leg.pinned_release;
+            leg
+        }
+        None => {
+            // The op was cancelled by recovery between advance_op and this
+            // event; cancel_op parked the staged leg. Its pre-attached
+            // reservations were made when the plane built it and would leak
+            // without an explicit release.
+            if let Some(leg) = w.orphan_legs.remove(&op_id) {
+                release_leg_resources(w, &leg);
+            }
+            return;
+        }
     };
-    pending.rate_token = leg.rate_token;
-    pending.ledger_release = leg.ledger_release;
-    pending.pinned_release = leg.pinned_release;
     if leg.health == crate::dataplane::LegHealth::Degraded {
         w.log_recovery(now, crate::fault::RecoveryEvent::DegradedLeg { op: op_id });
     }
@@ -866,12 +1025,7 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
     // the touched contention components.
     w.net.begin_batch();
     for (node, rb) in &leg.reroutes {
-        let found = w
-            .nv_flow_index
-            .iter()
-            .find(|(_, v)| **v == (*node, rb.old.clone()))
-            .map(|(fid, _)| *fid);
-        if let Some(fid) = found {
+        if let Some(fid) = w.nv_flow_index.find(*node, &rb.old) {
             let mut links = Vec::new();
             for hop in rb.new.windows(2) {
                 links.extend(
@@ -885,11 +1039,11 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
                 .reroute_flow(now, fid, links)
                 // grouter-lint: allow(no-panic-in-dataplane): the flow id comes from nv_flow_index, which tracks only live flows
                 .expect("rerouted flow is live");
-            w.nv_flow_index.insert(fid, (*node, rb.new.clone()));
+            w.nv_flow_index.insert(fid, *node, rb.new.clone());
             w.rebalances_applied += 1;
         }
     }
-    let outcome = w.engine.begin(&mut w.net, now, &leg.plan, leg.nv_node);
+    let outcome = w.engine.begin(&mut w.net, now, leg.plan, leg.nv_node);
     w.net.commit_batch();
     match outcome {
         // grouter-lint: allow(no-panic-in-dataplane): a plan over unknown links is a planner/topology mismatch; the driver aborts the run
@@ -902,7 +1056,7 @@ fn begin_leg(w: &mut World, s: &mut Scheduler<World>, op_id: u64, leg: crate::da
         Ok(BeginOutcome::InFlight(tid, flows)) => {
             for (fid, route) in flows {
                 if let Some(route) = route {
-                    w.nv_flow_index.insert(fid, (leg.nv_node, route));
+                    w.nv_flow_index.insert(fid, leg.nv_node, route);
                 }
             }
             w.transfer_waiters.insert(tid, op_id);
@@ -1020,25 +1174,32 @@ pub(crate) fn schedule_net_wake(w: &mut World, s: &mut Scheduler<World>) {
         return;
     };
     let version = w.net.version();
-    s.schedule_at(at, move |w, s| {
-        if w.net.version() != version {
-            return; // stale wake; a fresher one is scheduled
+    s.schedule_at(at, Event::NetWake { version });
+}
+
+/// Harvest the flow network at a wake instant: one event per *batch* of
+/// completions sharing the instant, not one per flow.
+fn net_wake(w: &mut World, s: &mut Scheduler<World>, version: u64) {
+    if w.net.version() != version {
+        return; // stale wake; a fresher one is scheduled
+    }
+    let mut done = std::mem::take(&mut w.flow_scratch);
+    w.net.advance_to_into(s.now(), &mut done);
+    for fid in &done {
+        w.nv_flow_index.remove(fid);
+    }
+    let finished = w.engine.on_flows_complete(&done);
+    done.clear();
+    w.flow_scratch = done;
+    for td in finished {
+        for (route, rate) in &td.nv_releases {
+            w.ledgers[td.nv_node].bwm_mut().release_path(route, *rate);
         }
-        let done = w.net.advance_to(s.now());
-        for fid in &done {
-            w.nv_flow_index.remove(fid);
+        if let Some(op_id) = w.transfer_waiters.remove(&td.id) {
+            release_rate_token(w, op_id);
+            release_ledger(w, op_id);
+            advance_op(w, s, op_id);
         }
-        let finished = w.engine.on_flows_complete(&done);
-        for td in finished {
-            for (route, rate) in &td.nv_releases {
-                w.ledgers[td.nv_node].bwm_mut().release_path(route, *rate);
-            }
-            if let Some(op_id) = w.transfer_waiters.remove(&td.id) {
-                release_rate_token(w, op_id);
-                release_ledger(w, op_id);
-                advance_op(w, s, op_id);
-            }
-        }
-        schedule_net_wake(w, s);
-    });
+    }
+    schedule_net_wake(w, s);
 }

@@ -37,7 +37,7 @@ use grouter_store::{AccessToken, DataId, FunctionId, Location};
 use grouter_topology::GpuRef;
 
 use crate::dataplane::Destination;
-use crate::exec;
+use crate::exec::{self, Event};
 use crate::metrics::PassCategory;
 use crate::spec::StageKind;
 use crate::world::{Instance, OpKind, StageState, World};
@@ -468,6 +468,12 @@ pub(crate) fn cancel_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) -> 
     if let Some((node, bytes)) = op.pinned_release.take() {
         w.pinned[node].release(bytes);
     }
+    if let Some(leg) = op.staged.take() {
+        // A BeginLeg event for this leg is still in flight; park the leg so
+        // that event releases its reservations when it fires — the same
+        // instant the boxed-closure core released them at.
+        w.orphan_legs.insert(op_id, leg);
+    }
     for leg in op.legs.drain(..) {
         exec::release_leg_resources(w, &leg);
     }
@@ -526,15 +532,21 @@ fn recover_op(w: &mut World, s: &mut Scheduler<World>, op_id: u64) {
         },
     );
     let delay = SimDuration::from_millis(1u64 << (n - 1).min(8));
-    s.schedule_in(delay, move |w, s| {
-        re_issue(w, s, inst_id, stage, kind, attempt)
-    });
+    s.schedule_in(
+        delay,
+        Event::ReIssue {
+            inst: inst_id,
+            stage,
+            kind,
+            attempt,
+        },
+    );
 }
 
 /// Re-plan a cancelled operation through the data plane over the *current*
 /// (degraded) topology. Runs after the backoff delay; a stage reset or
 /// instance failure in the meantime makes it a no-op.
-fn re_issue(
+pub(crate) fn re_issue(
     w: &mut World,
     s: &mut Scheduler<World>,
     inst_id: u64,
@@ -672,12 +684,15 @@ fn reset_stage(
 
     // Cancel the stage's in-flight data operations. A cancelled Put's
     // half-stored output is garbage: drain its claims so the plane GCs it.
-    let op_ids: Vec<u64> = w
+    let mut op_ids: Vec<u64> = w
         .ops
         .iter()
         .filter(|(_, op)| op_owner(&op.kind).is_some_and(|(i, j, _)| i == inst_id && j == stage))
         .map(|(&id, _)| id)
         .collect();
+    // Slab iteration is slot-ordered; cancel in ascending id order (the
+    // BTreeMap order the recovery goldens were captured under).
+    op_ids.sort_unstable();
     for id in op_ids {
         if let Some(OpKind::Put { data, .. }) = cancel_op(w, s, id) {
             drain_object(w, s, data);
@@ -709,9 +724,7 @@ fn reset_stage(
                     exec::run_background(w, s, background);
                 }
                 // Deferred so the dispatch sees post-recovery state only.
-                s.schedule_in(SimDuration::ZERO, move |w, s| {
-                    exec::try_dispatch_gpu(w, s, idx);
-                });
+                s.schedule_in(SimDuration::ZERO, Event::TryDispatchGpu { gpu: idx });
             }
         }
     }
@@ -791,17 +804,16 @@ fn reset_stage(
     }
     if deps_left == 0 {
         // Deferred past the current recovery wave (and its claims fixup) so
-        // the fetch sees a consistent store; the guard drops the event if a
-        // later reset in the same wave superseded this one.
-        s.schedule_in(SimDuration::ZERO, move |w, s| {
-            let ok = w.instances.get(&inst_id).is_some_and(|i| {
-                i.stages[stage].attempt == attempt_now
-                    && matches!(i.stages[stage].state, StageState::Waiting { deps_left: 0 })
-            });
-            if ok {
-                exec::stage_ready(w, s, inst_id, stage);
-            }
-        });
+        // the fetch sees a consistent store; the dispatch-side guard drops
+        // the event if a later reset in the same wave superseded this one.
+        s.schedule_in(
+            SimDuration::ZERO,
+            Event::StageReadyIfWaiting {
+                inst: inst_id,
+                stage,
+                attempt: attempt_now,
+            },
+        );
     }
 }
 
@@ -859,7 +871,7 @@ pub(crate) fn rerun_consumers(inst: &Instance, stage: usize) -> u32 {
             n += 1;
         }
     }
-    if inst.spec.terminals().contains(&stage)
+    if inst.spec.is_terminal(stage)
         && inst.stages[stage].state != StageState::Skipped
         && !inst.stages[stage].egressed
     {
@@ -947,7 +959,7 @@ fn fixup_claims(w: &mut World, s: &mut Scheduler<World>, inst_id: u64) {
             continue;
         }
         let mut needed = future_fetches(Some(p), o, inst);
-        if inst.spec.terminals().contains(&p) && !run.egressed {
+        if inst.spec.is_terminal(p) && !run.egressed {
             needed += 1; // the response egress still consumes one claim
         }
         outs.push((o, needed));
@@ -1009,12 +1021,13 @@ pub(crate) fn fail_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u6
     if !w.instances.contains_key(&inst_id) {
         return;
     }
-    let op_ids: Vec<u64> = w
+    let mut op_ids: Vec<u64> = w
         .ops
         .iter()
         .filter(|(_, op)| op_owner(&op.kind).is_some_and(|(i, _, _)| i == inst_id))
         .map(|(&id, _)| id)
         .collect();
+    op_ids.sort_unstable();
     let mut orphan_puts: Vec<DataId> = Vec::new();
     for id in op_ids {
         if let Some(OpKind::Put { data, .. }) = cancel_op(w, s, id) {
@@ -1049,9 +1062,7 @@ pub(crate) fn fail_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u6
                             exec::with_plane(w, now, None, |p, ctx| p.on_memory_change(ctx, g));
                         exec::run_background(w, s, background);
                     }
-                    s.schedule_in(SimDuration::ZERO, move |w, s| {
-                        exec::try_dispatch_gpu(w, s, idx);
-                    });
+                    s.schedule_in(SimDuration::ZERO, Event::TryDispatchGpu { gpu: idx });
                 }
             }
         }

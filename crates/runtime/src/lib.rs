@@ -24,13 +24,15 @@ pub mod fault;
 pub mod metrics;
 pub mod placement;
 pub mod simple_plane;
+pub mod slab;
 pub mod spec;
 pub mod world;
 
 pub use dataplane::{DataOp, DataPlane, Destination, LegHealth, OpLeg, PlaneCtx, PutOp};
-pub use exec::Runtime;
+pub use exec::{Event, Runtime};
 pub use fault::{FaultState, RecoveryEvent};
 pub use metrics::{InstanceRecord, Metrics, PassCategory};
 pub use placement::PlacementPolicy;
+pub use slab::{IdSlab, NvFlowIndex};
 pub use spec::{StageKind, StageSpec, WorkflowSpec};
 pub use world::World;

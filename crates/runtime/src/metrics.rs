@@ -26,10 +26,13 @@ pub enum PassCategory {
     Recovery,
 }
 
-/// Finished-instance record.
+/// Finished-instance record. The workflow name is an interned id into the
+/// owning [`Metrics`]' name table ([`Metrics::intern`] /
+/// [`Metrics::workflow_name`]) so recording an instance never clones a
+/// `String` on the hot path.
 #[derive(Clone, Debug)]
 pub struct InstanceRecord {
-    pub workflow: String,
+    pub workflow: u32,
     pub arrived: SimTime,
     pub completed: SimTime,
     /// Total busy compute time across stages (not the critical path).
@@ -64,11 +67,38 @@ pub struct Metrics {
     /// (unplaceable after GPU loss, or retry budget exhausted). Every
     /// arrival ends as exactly one completion or one failure.
     pub failed: u64,
+    /// Interned workflow names, indexed by the ids in
+    /// [`InstanceRecord::workflow`].
+    names: Vec<String>,
+    name_ids: grouter_sim::FxHashMap<String, u32>,
 }
 
 impl Metrics {
     pub fn new() -> Metrics {
         Self::default()
+    }
+
+    /// Intern a workflow name, returning its dense id. Idempotent: the same
+    /// name always maps to the same id within one `Metrics`.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.name_ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_string());
+        self.name_ids.insert(name.to_string(), id);
+        id
+    }
+
+    /// The name behind an interned workflow id.
+    pub fn workflow_name(&self, id: u32) -> &str {
+        &self.names[id as usize]
+    }
+
+    /// The interned id of a workflow name, if any instance of it was
+    /// submitted.
+    pub fn name_id(&self, name: &str) -> Option<u32> {
+        self.name_ids.get(name).copied()
     }
 
     pub fn record(&mut self, rec: InstanceRecord) {
@@ -169,7 +199,7 @@ impl Metrics {
         for r in &self.records {
             out.push_str(&format!(
                 "{},{},{},{},{},{},{}\n",
-                r.workflow,
+                self.workflow_name(r.workflow),
                 r.arrived.as_secs_f64(),
                 r.latency().as_millis_f64(),
                 r.compute.as_millis_f64(),
@@ -185,9 +215,13 @@ impl Metrics {
         &'a self,
         workflow: Option<&'a str>,
     ) -> impl Iterator<Item = &'a InstanceRecord> {
-        self.records
-            .iter()
-            .filter(move |r| workflow.is_none_or(|w| r.workflow == w))
+        // A name no instance was ever submitted under matches nothing.
+        let want = workflow.map(|w| self.name_id(w));
+        self.records.iter().filter(move |r| match want {
+            None => true,
+            Some(Some(id)) => r.workflow == id,
+            Some(None) => false,
+        })
     }
 }
 
@@ -195,12 +229,13 @@ impl Metrics {
 mod tests {
     use super::*;
 
-    fn rec(name: &str, arrive_ms: u64, done_ms: u64, gg_ms: u64, gh_ms: u64) -> InstanceRecord {
+    fn rec(m: &mut Metrics, name: &str, arrive_ms: u64, done_ms: u64, gg_ms: u64, gh_ms: u64) {
+        let workflow = m.intern(name);
         let mut passing = BTreeMap::new();
         passing.insert(PassCategory::GpuGpu, SimDuration::from_millis(gg_ms));
         passing.insert(PassCategory::GpuHost, SimDuration::from_millis(gh_ms));
-        InstanceRecord {
-            workflow: name.into(),
+        let record = InstanceRecord {
+            workflow,
             arrived: SimTime(arrive_ms * 1_000_000),
             completed: SimTime(done_ms * 1_000_000),
             compute: SimDuration::from_millis(done_ms - arrive_ms - gg_ms - gh_ms),
@@ -209,14 +244,15 @@ mod tests {
                 (PassCategory::GpuGpu, SimDuration::from_millis(gg_ms)),
                 (PassCategory::GpuHost, SimDuration::from_millis(gh_ms)),
             ],
-        }
+        };
+        m.record(InstanceRecord { workflow, ..record });
     }
 
     #[test]
     fn latency_and_breakdown() {
         let mut m = Metrics::new();
-        m.record(rec("t", 0, 100, 60, 30));
-        m.record(rec("t", 0, 200, 120, 60));
+        rec(&mut m, "t", 0, 100, 60, 30);
+        rec(&mut m, "t", 0, 200, 120, 60);
         let lat = m.latency_ms(Some("t"));
         assert_eq!(lat.len(), 2);
         assert_eq!(lat.max(), 200.0);
@@ -232,8 +268,8 @@ mod tests {
     #[test]
     fn filters_by_workflow() {
         let mut m = Metrics::new();
-        m.record(rec("a", 0, 100, 10, 10));
-        m.record(rec("b", 0, 300, 10, 10));
+        rec(&mut m, "a", 0, 100, 10, 10);
+        rec(&mut m, "b", 0, 300, 10, 10);
         assert_eq!(m.latency_ms(Some("a")).len(), 1);
         assert_eq!(m.latency_ms(None).len(), 2);
         assert_eq!(m.breakdown_ms(Some("zzz")), (0.0, 0.0, 0.0, 0.0));
@@ -242,8 +278,8 @@ mod tests {
     #[test]
     fn slo_compliance_counts_fractions() {
         let mut m = Metrics::new();
-        m.record(rec("a", 0, 100, 10, 10));
-        m.record(rec("a", 0, 300, 10, 10));
+        rec(&mut m, "a", 0, 100, 10, 10);
+        rec(&mut m, "a", 0, 300, 10, 10);
         assert_eq!(
             m.slo_compliance(Some("a"), SimDuration::from_millis(150)),
             0.5
@@ -257,8 +293,8 @@ mod tests {
     #[test]
     fn throughput_is_completions_over_time() {
         let mut m = Metrics::new();
-        m.record(rec("a", 0, 100, 10, 10));
-        m.record(rec("a", 0, 100, 10, 10));
+        rec(&mut m, "a", 0, 100, 10, 10);
+        rec(&mut m, "a", 0, 100, 10, 10);
         assert_eq!(m.throughput(SimTime(2_000_000_000)), 1.0);
         assert_eq!(m.throughput(SimTime::ZERO), 0.0);
     }
@@ -266,7 +302,7 @@ mod tests {
     #[test]
     fn csv_export_has_header_and_rows() {
         let mut m = Metrics::new();
-        m.record(rec("a", 0, 100, 40, 20));
+        rec(&mut m, "a", 0, 100, 40, 20);
         let csv = m.to_csv();
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
@@ -277,7 +313,7 @@ mod tests {
     #[test]
     fn op_latency_collects_per_category() {
         let mut m = Metrics::new();
-        m.record(rec("a", 0, 100, 40, 20));
+        rec(&mut m, "a", 0, 100, 40, 20);
         let gg = m.op_latency_ms(PassCategory::GpuGpu, None);
         assert_eq!(gg.len(), 1);
         assert_eq!(gg.max(), 40.0);

@@ -165,6 +165,14 @@ impl WorkflowSpec {
         finish.into_iter().max().unwrap_or(SimDuration::ZERO)
     }
 
+    /// Whether `stage` is terminal (no stage depends on it) — the
+    /// allocation-free membership test hot paths use instead of
+    /// [`WorkflowSpec::terminals`]. Dependency lists are a handful of
+    /// entries, so the scan beats building the terminal set.
+    pub fn is_terminal(&self, stage: usize) -> bool {
+        !self.stages.iter().any(|s| s.deps.contains(&stage))
+    }
+
     /// Terminal stages (no stage depends on them); their outputs form the
     /// workflow response.
     pub fn terminals(&self) -> Vec<usize> {

@@ -6,14 +6,14 @@
 //! controllers, GPU run queues, live workflow instances and in-flight data
 //! operations.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::Arc;
 
 use grouter_mem::{ElasticPool, PinnedRing, PoolDiscipline, PrewarmScaler};
 use grouter_sim::rng::DetRng;
 use grouter_sim::stats::TimeSeries;
 use grouter_sim::time::{SimDuration, SimTime};
-use grouter_sim::FlowNet;
+use grouter_sim::{FlowNet, FxHashMap, FxHashSet};
 use grouter_store::DataStore;
 use grouter_store::{DataId, WorkflowId};
 use grouter_topology::graph::TopologySpec;
@@ -24,6 +24,7 @@ use grouter_transfer::rate::RateController;
 use crate::dataplane::{DataPlane, Destination, OpLeg};
 use crate::metrics::{Metrics, PassCategory};
 use crate::placement::{PlacementPolicy, Placer};
+use crate::slab::{IdSlab, NvFlowIndex};
 use crate::spec::WorkflowSpec;
 
 /// Executor configuration.
@@ -124,8 +125,11 @@ pub struct Instance {
     pub passing: BTreeMap<PassCategory, SimDuration>,
     pub op_durations: Vec<(PassCategory, SimDuration)>,
     pub workflow_id: WorkflowId,
+    /// Interned workflow name (id into `Metrics`' name table).
+    pub wf_name: u32,
     /// Stable per-(workflow, stage) function identity (pre-warm statistics).
-    pub fn_ids: Vec<u64>,
+    /// Shared across every instance of the workflow — no per-arrival copy.
+    pub fn_ids: Arc<[u64]>,
 }
 
 impl Instance {
@@ -138,7 +142,7 @@ impl Instance {
                 n += 1;
             }
         }
-        let is_terminal = self.spec.terminals().contains(&stage);
+        let is_terminal = self.spec.is_terminal(stage);
         if is_terminal && self.stages[stage].state != StageState::Skipped {
             n += 1;
         }
@@ -175,6 +179,9 @@ pub enum OpKind {
 #[derive(Debug)]
 pub struct PendingOp {
     pub legs: VecDeque<OpLeg>,
+    /// Leg popped by `advance_op`, waiting out its setup latency until the
+    /// `BeginLeg` event fires.
+    pub staged: Option<OpLeg>,
     pub started: SimTime,
     pub kind: OpKind,
     pub category: PassCategory,
@@ -214,18 +221,27 @@ pub struct World {
     pub gpus: Vec<GpuExec>,
     pub placer: Placer,
     pub rng: DetRng,
-    pub instances: BTreeMap<u64, Instance>,
-    pub ops: BTreeMap<u64, PendingOp>,
-    pub transfer_waiters: HashMap<TransferId, u64>,
-    /// Live NVLink flows and their current `(node, GPU route)`, so a ledger
-    /// rebalance can find and re-path the in-flight flow.
-    pub nv_flow_index: HashMap<grouter_sim::FlowId, (usize, Vec<usize>)>,
+    pub instances: IdSlab<Instance>,
+    pub ops: IdSlab<PendingOp>,
+    pub transfer_waiters: FxHashMap<TransferId, u64>,
+    /// Live NVLink flows and their current `(node, GPU route)`, reverse-
+    /// indexed so a ledger rebalance finds the in-flight flow for a route
+    /// without scanning (see [`NvFlowIndex`]).
+    pub nv_flow_index: NvFlowIndex,
+    /// Staged legs of cancelled ops, parked until their still-in-flight
+    /// `BeginLeg` event fires and releases them (matching the instant the
+    /// boxed-closure core released them at).
+    pub orphan_legs: FxHashMap<u64, OpLeg>,
+    /// Recycled buffer for flow-completion harvests (net-wake batches).
+    pub flow_scratch: Vec<grouter_sim::FlowId>,
     pub metrics: Metrics,
     pub mem_series: Vec<TimeSeries>,
     /// Watched links and their utilisation-fraction time series (enabled by
     /// `Runtime::schedule_link_samples`).
     pub link_series: Vec<(grouter_sim::LinkId, TimeSeries)>,
-    pub warm: std::collections::HashSet<(String, usize, usize)>,
+    /// `(function id, flat GPU index)` pairs that have run at least once
+    /// (container warm; function ids are bijective with (workflow, stage)).
+    pub warm: FxHashSet<(u64, usize)>,
     pub config: RuntimeConfig,
     pub enqueue_counter: u64,
     pub next_instance: u64,
@@ -314,14 +330,16 @@ impl World {
             pinned,
             rates,
             plane: Some(plane),
-            instances: BTreeMap::new(),
-            ops: BTreeMap::new(),
-            transfer_waiters: HashMap::new(),
-            nv_flow_index: HashMap::new(),
+            instances: IdSlab::new(),
+            ops: IdSlab::new(),
+            transfer_waiters: FxHashMap::default(),
+            nv_flow_index: NvFlowIndex::default(),
+            orphan_legs: FxHashMap::default(),
+            flow_scratch: Vec::new(),
             metrics: Metrics::new(),
             mem_series,
             link_series: Vec::new(),
-            warm: std::collections::HashSet::new(),
+            warm: FxHashSet::default(),
             config,
             enqueue_counter: 0,
             next_instance: 0,

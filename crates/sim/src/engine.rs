@@ -1,69 +1,155 @@
-//! Discrete-event scheduler.
+//! Discrete-event scheduler with a typed, allocation-free hot path.
 //!
-//! The engine is generic over a world type `W`: events are boxed closures
-//! `FnOnce(&mut W, &mut Scheduler<W>)`, so any subsystem can schedule follow-up
-//! work without the engine knowing about it. Events at the same instant fire
-//! in scheduling order (a monotonically increasing sequence number breaks
-//! ties), which makes every run deterministic.
+//! The original engine boxed every event (`Box<dyn FnOnce>`) into one
+//! `BinaryHeap`: one heap allocation plus `O(log n)` comparisons per event,
+//! at every step of every run. This version separates the two concerns:
+//!
+//! * **What fires** is a typed value: the world implements [`EventWorld`]
+//!   with an associated `Event` enum and a `dispatch` function. Scheduling a
+//!   typed event moves a small value into a recycled buffer — no allocation
+//!   in steady state. Rare/cold callers (fault plans, tests, one-off hooks)
+//!   can still pass closures through the [`Scheduler::schedule_boxed`]
+//!   escape hatch.
+//! * **When it fires** is a bucketed timeline: events sharing a virtual
+//!   timestamp live in one bucket (a recycled `VecDeque` in a slab), and the
+//!   heap orders *buckets*, not events. A wave of flow completions landing
+//!   on the same instant — the common case under contention, where one
+//!   allocation pass finishes many transfers at once — costs one heap pop
+//!   for the whole wave instead of one per event.
+//!
+//! Ordering semantics are identical to the boxed engine and are pinned by
+//! golden tests: events fire in nondecreasing time, ties fire in schedule
+//! order (typed and boxed interleaved alike), scheduling in the past clamps
+//! to `now`.
+//!
+//! [`Scheduler::force_boxed_dispatch`] switches a fresh scheduler back to
+//! the historical boxed-closure `BinaryHeap` core so benchmarks can measure
+//! the dispatch layers against each other in the same build.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
 
+use crate::fxhash::FxHashMap;
 use crate::time::{SimDuration, SimTime};
+
+/// A world driven by typed events.
+///
+/// `dispatch` is the single decode point: the engine hands back the event
+/// value and the world routes it to its handler. Worlds that only ever use
+/// boxed closures can set `type Event = ()` and leave `dispatch` empty.
+pub trait EventWorld: Sized {
+    type Event;
+    fn dispatch(&mut self, sched: &mut Scheduler<Self>, ev: Self::Event);
+}
 
 type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
 
-struct Scheduled<W> {
+/// One scheduled unit: a typed event or a boxed closure.
+enum Item<W: EventWorld> {
+    Typed(W::Event),
+    Boxed(BoxedEvent<W>),
+}
+
+/// All events sharing one virtual timestamp, in schedule order.
+struct Bucket<W: EventWorld> {
+    at: SimTime,
+    items: VecDeque<Item<W>>,
+}
+
+/// Legacy heap entry (`force_boxed_dispatch` mode).
+struct Scheduled<W: EventWorld> {
     at: SimTime,
     seq: u64,
     event: BoxedEvent<W>,
 }
 
-impl<W> PartialEq for Scheduled<W> {
+impl<W: EventWorld> PartialEq for Scheduled<W> {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+impl<W: EventWorld> Eq for Scheduled<W> {}
+impl<W: EventWorld> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> Ordering {
+impl<W: EventWorld> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
         // BinaryHeap is a max-heap; invert so the earliest event pops first.
         (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
 
+/// The timeline backend: bucketed slab (default) or the historical
+/// boxed-closure heap (benchmark baseline).
+enum Timeline<W: EventWorld> {
+    Bucketed {
+        /// Bucket slab; slots listed in `free` are empty with their
+        /// `VecDeque` capacity retained for reuse.
+        slots: Vec<Bucket<W>>,
+        free: Vec<u32>,
+        /// Min-order over live buckets. Exactly one entry per bucket,
+        /// pushed at bucket creation and removed only by `take_next` — no
+        /// stale entries to skip.
+        heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+        /// Live bucket for each pending timestamp (including the one being
+        /// drained, so same-instant follow-ups append in schedule order).
+        by_time: FxHashMap<u64, u32>,
+        /// Bucket currently being drained, already popped from the heap.
+        current: Option<u32>,
+    },
+    BoxedHeap {
+        queue: BinaryHeap<Scheduled<W>>,
+        seq: u64,
+    },
+}
+
 /// The event queue and simulated clock.
 ///
 /// Handed to every firing event so it can schedule more events.
-pub struct Scheduler<W> {
+pub struct Scheduler<W: EventWorld> {
     now: SimTime,
-    seq: u64,
-    queue: BinaryHeap<Scheduled<W>>,
+    timeline: Timeline<W>,
+    len: usize,
     /// Observability handle. The scheduler is the source of truth for
     /// virtual time, so it mirrors the clock into the recorder before each
     /// dispatch; world code then emits events without threading `now`.
     rec: grouter_obs::Recorder,
 }
 
-impl<W> Default for Scheduler<W> {
+impl<W: EventWorld> Default for Scheduler<W> {
     fn default() -> Self {
         Scheduler {
             now: SimTime::ZERO,
-            seq: 0,
-            queue: BinaryHeap::new(),
+            timeline: Timeline::Bucketed {
+                slots: Vec::new(),
+                free: Vec::new(),
+                heap: BinaryHeap::new(),
+                by_time: FxHashMap::default(),
+                current: None,
+            },
+            len: 0,
             rec: grouter_obs::Recorder::disabled(),
         }
     }
 }
 
-impl<W> Scheduler<W> {
+impl<W: EventWorld> Scheduler<W> {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Switch to the historical boxed-closure `BinaryHeap` core: every
+    /// event (typed or not) is heap-boxed and ordered individually. Only
+    /// meaningful as a benchmark baseline; must be called before anything
+    /// is scheduled.
+    pub fn force_boxed_dispatch(&mut self) {
+        assert_eq!(self.len, 0, "switch dispatch modes before scheduling");
+        self.timeline = Timeline::BoxedHeap {
+            queue: BinaryHeap::new(),
+            seq: 0,
+        };
     }
 
     /// The current simulated instant.
@@ -75,46 +161,189 @@ impl<W> Scheduler<W> {
     /// Number of pending events.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.queue.len()
+        self.len
     }
 
-    /// Schedule `event` to fire at absolute time `at`.
+    /// Schedule a typed event to fire at absolute time `at`.
     ///
     /// Scheduling in the past is a logic error; the event is clamped to `now`
     /// so the clock never runs backwards.
-    pub fn schedule_at<F>(&mut self, at: SimTime, event: F)
+    #[inline]
+    pub fn schedule_at(&mut self, at: SimTime, ev: W::Event)
+    where
+        W::Event: 'static,
+    {
+        match &mut self.timeline {
+            Timeline::Bucketed { .. } => self.push_item(at, Item::Typed(ev)),
+            Timeline::BoxedHeap { .. } => {
+                // Baseline mode: pay exactly the old cost — one heap Box
+                // and one ordered heap entry per event.
+                self.push_boxed(
+                    at,
+                    Box::new(move |w: &mut W, s: &mut Scheduler<W>| w.dispatch(s, ev)),
+                );
+            }
+        }
+    }
+
+    /// Schedule a typed event to fire `delay` after the current instant.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, ev: W::Event)
+    where
+        W::Event: 'static,
+    {
+        self.schedule_at(self.now.saturating_add(delay), ev);
+    }
+
+    /// Schedule a typed event to fire immediately (after already-queued
+    /// events at the current instant).
+    #[inline]
+    pub fn schedule_now(&mut self, ev: W::Event)
+    where
+        W::Event: 'static,
+    {
+        self.schedule_at(self.now, ev);
+    }
+
+    /// Escape hatch: schedule a closure at absolute time `at`. Costs a heap
+    /// allocation — for cold paths (fault plans, tests, one-off hooks), not
+    /// steady-state dispatch.
+    pub fn schedule_boxed<F>(&mut self, at: SimTime, event: F)
     where
         F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
     {
+        self.push_boxed(at, Box::new(event));
+    }
+
+    /// [`Self::schedule_boxed`] at `now + delay`.
+    pub fn schedule_boxed_in<F>(&mut self, delay: SimDuration, event: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule_boxed(self.now.saturating_add(delay), event);
+    }
+
+    /// [`Self::schedule_boxed`] at the current instant.
+    pub fn schedule_boxed_now<F>(&mut self, event: F)
+    where
+        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    {
+        self.schedule_boxed(self.now, event);
+    }
+
+    fn push_boxed(&mut self, at: SimTime, event: BoxedEvent<W>) {
         let at = at.max(self.now);
-        let seq = self.seq;
-        self.seq += 1;
-        self.queue.push(Scheduled {
-            at,
-            seq,
-            event: Box::new(event),
+        match &mut self.timeline {
+            Timeline::Bucketed { .. } => self.push_item(at, Item::Boxed(event)),
+            Timeline::BoxedHeap { queue, seq } => {
+                let s = *seq;
+                *seq += 1;
+                queue.push(Scheduled { at, seq: s, event });
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Append an item to the timestamp's bucket, creating (or recycling) the
+    /// bucket if this is the first event at that instant.
+    #[inline]
+    fn push_item(&mut self, at: SimTime, item: Item<W>) {
+        let at = at.max(self.now);
+        let Timeline::Bucketed {
+            slots,
+            free,
+            heap,
+            by_time,
+            ..
+        } = &mut self.timeline
+        else {
+            // grouter-lint: allow(no-panic-in-dataplane): push_boxed routes BoxedHeap mode away before calling push_item
+            unreachable!("push_item is only called in bucketed mode");
+        };
+        let slot = *by_time.entry(at.as_nanos()).or_insert_with(|| {
+            let slot = match free.pop() {
+                Some(s) => {
+                    slots[s as usize].at = at;
+                    s
+                }
+                None => {
+                    slots.push(Bucket {
+                        at,
+                        items: VecDeque::new(),
+                    });
+                    (slots.len() - 1) as u32
+                }
+            };
+            heap.push(Reverse((at, slot)));
+            slot
         });
+        slots[slot as usize].items.push_back(item);
+        self.len += 1;
     }
 
-    /// Schedule `event` to fire `delay` after the current instant.
-    pub fn schedule_in<F>(&mut self, delay: SimDuration, event: F)
-    where
-        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
-    {
-        self.schedule_at(self.now.saturating_add(delay), event);
+    /// Pop the next item in (time, schedule) order, advancing through the
+    /// current bucket before consulting the heap. Frees a bucket the moment
+    /// it empties, so `next_at` never sees a hollow bucket.
+    fn take_next(&mut self) -> Option<(SimTime, Item<W>)> {
+        match &mut self.timeline {
+            Timeline::Bucketed {
+                slots,
+                free,
+                heap,
+                by_time,
+                current,
+            } => {
+                loop {
+                    if let Some(cur) = *current {
+                        let b = &mut slots[cur as usize];
+                        if let Some(item) = b.items.pop_front() {
+                            let at = b.at;
+                            if b.items.is_empty() {
+                                by_time.remove(&at.as_nanos());
+                                free.push(cur);
+                                *current = None;
+                            }
+                            self.len -= 1;
+                            return Some((at, item));
+                        }
+                        // A bucket is freed the moment its last item is
+                        // taken; an empty current bucket cannot persist.
+                        by_time.remove(&b.at.as_nanos());
+                        free.push(cur);
+                        *current = None;
+                    }
+                    let Reverse((_, slot)) = heap.pop()?;
+                    *current = Some(slot);
+                }
+            }
+            Timeline::BoxedHeap { queue, .. } => {
+                let ev = queue.pop()?;
+                self.len -= 1;
+                Some((ev.at, Item::Boxed(ev.event)))
+            }
+        }
     }
 
-    /// Schedule `event` to fire immediately (after already-queued events at
-    /// the current instant).
-    pub fn schedule_now<F>(&mut self, event: F)
-    where
-        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
-    {
-        self.schedule_at(self.now, event);
-    }
-
-    fn pop(&mut self) -> Option<Scheduled<W>> {
-        self.queue.pop()
+    /// Timestamp of the next pending event, if any.
+    fn next_at(&self) -> Option<SimTime> {
+        match &self.timeline {
+            Timeline::Bucketed {
+                slots,
+                heap,
+                current,
+                ..
+            } => {
+                // The draining bucket (if any) always precedes the heap: its
+                // time is `now` and heap buckets are strictly later.
+                if let Some(cur) = *current {
+                    if !slots[cur as usize].items.is_empty() {
+                        return Some(slots[cur as usize].at);
+                    }
+                }
+                heap.peek().map(|&Reverse((at, _))| at)
+            }
+            Timeline::BoxedHeap { queue, .. } => queue.peek().map(|e| e.at),
+        }
     }
 
     /// Attach a recorder whose virtual clock follows this scheduler.
@@ -127,15 +356,69 @@ impl<W> Scheduler<W> {
     pub fn recorder(&self) -> &grouter_obs::Recorder {
         &self.rec
     }
+
+    /// `engine.timeline` (`--features audit`): the bucketed timeline is
+    /// coherent — the pending count equals the sum over live buckets, every
+    /// time-index entry points at a bucket stamped with its key, free slots
+    /// are empty, and heap entries reference live buckets exactly once.
+    #[cfg(feature = "audit")]
+    fn audit_timeline(&self) {
+        let Timeline::Bucketed {
+            slots,
+            free,
+            heap,
+            by_time,
+            current,
+        } = &self.timeline
+        else {
+            return;
+        };
+        grouter_audit::record_hit("engine.timeline");
+        let live: Vec<u32> = (0..slots.len() as u32)
+            .filter(|s| !free.contains(s))
+            .collect();
+        let total: usize = live.iter().map(|&s| slots[s as usize].items.len()).sum();
+        grouter_audit::check("engine.timeline", total == self.len, || {
+            format!("pending count {} != bucket total {total}", self.len)
+        });
+        for (&t, &slot) in by_time {
+            grouter_audit::check(
+                "engine.timeline",
+                slots
+                    .get(slot as usize)
+                    .is_some_and(|b| b.at.as_nanos() == t)
+                    && !free.contains(&slot),
+                || format!("time index {t} -> slot {slot} is stale"),
+            );
+        }
+        for &s in free {
+            grouter_audit::check(
+                "engine.timeline",
+                slots[s as usize].items.is_empty(),
+                || format!("free slot {s} still holds events"),
+            );
+        }
+        let mut heap_slots: Vec<u32> = heap.iter().map(|&Reverse((_, s))| s).collect();
+        heap_slots.sort_unstable();
+        let mut expect: Vec<u32> = live
+            .iter()
+            .copied()
+            .filter(|s| Some(*s) != *current)
+            .collect();
+        expect.sort_unstable();
+        grouter_audit::check("engine.timeline", heap_slots == expect, || {
+            format!("heap slots {heap_slots:?} != live non-current buckets {expect:?}")
+        });
+    }
 }
 
 /// A world plus its scheduler; owns the run loop.
-pub struct Simulation<W> {
+pub struct Simulation<W: EventWorld> {
     pub world: W,
     pub sched: Scheduler<W>,
 }
 
-impl<W> Simulation<W> {
+impl<W: EventWorld> Simulation<W> {
     pub fn new(world: W) -> Self {
         Simulation {
             world,
@@ -145,12 +428,19 @@ impl<W> Simulation<W> {
 
     /// Fire the next event. Returns `false` when the queue is empty.
     pub fn step(&mut self) -> bool {
-        match self.sched.pop() {
-            Some(ev) => {
-                debug_assert!(ev.at >= self.sched.now);
-                self.sched.now = ev.at;
-                self.sched.rec.set_now(ev.at.as_nanos());
-                (ev.event)(&mut self.world, &mut self.sched);
+        #[cfg(feature = "audit")]
+        if grouter_audit::every("engine.timeline", 64) {
+            self.sched.audit_timeline();
+        }
+        match self.sched.take_next() {
+            Some((at, item)) => {
+                debug_assert!(at >= self.sched.now);
+                self.sched.now = at;
+                self.sched.rec.set_now(at.as_nanos());
+                match item {
+                    Item::Typed(ev) => self.world.dispatch(&mut self.sched, ev),
+                    Item::Boxed(f) => f(&mut self.world, &mut self.sched),
+                }
                 true
             }
             None => false,
@@ -167,7 +457,7 @@ impl<W> Simulation<W> {
     /// Events scheduled exactly at `deadline` still fire. On return the clock
     /// reads `min(deadline, time of last fired event)`.
     pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(next_at) = self.sched.queue.peek().map(|e| e.at) {
+        while let Some(next_at) = self.sched.next_at() {
             if next_at > deadline {
                 break;
             }
@@ -185,20 +475,25 @@ impl<W> Simulation<W> {
 mod tests {
     use super::*;
 
+    /// Test world: typed events append `(fire_time_hint, label)` to a log.
     #[derive(Default)]
     struct World {
         log: Vec<(u64, &'static str)>,
     }
 
+    impl EventWorld for World {
+        type Event = (u64, &'static str);
+        fn dispatch(&mut self, _s: &mut Scheduler<Self>, ev: Self::Event) {
+            self.log.push(ev);
+        }
+    }
+
     #[test]
     fn events_fire_in_time_order() {
         let mut sim = Simulation::new(World::default());
-        sim.sched
-            .schedule_at(SimTime(30), |w: &mut World, _| w.log.push((30, "c")));
-        sim.sched
-            .schedule_at(SimTime(10), |w: &mut World, _| w.log.push((10, "a")));
-        sim.sched
-            .schedule_at(SimTime(20), |w: &mut World, _| w.log.push((20, "b")));
+        sim.sched.schedule_at(SimTime(30), (30, "c"));
+        sim.sched.schedule_at(SimTime(10), (10, "a"));
+        sim.sched.schedule_at(SimTime(20), (20, "b"));
         sim.run();
         assert_eq!(sim.world.log, vec![(10, "a"), (20, "b"), (30, "c")]);
         assert_eq!(sim.now(), SimTime(30));
@@ -208,8 +503,7 @@ mod tests {
     fn ties_fire_in_schedule_order() {
         let mut sim = Simulation::new(World::default());
         for name in ["first", "second", "third"] {
-            sim.sched
-                .schedule_at(SimTime(5), move |w: &mut World, _| w.log.push((5, name)));
+            sim.sched.schedule_at(SimTime(5), (5, name));
         }
         sim.run();
         let names: Vec<_> = sim.world.log.iter().map(|&(_, n)| n).collect();
@@ -217,23 +511,54 @@ mod tests {
     }
 
     #[test]
+    fn typed_and_boxed_ties_interleave_in_schedule_order() {
+        let mut sim = Simulation::new(World::default());
+        sim.sched.schedule_at(SimTime(5), (5, "typed-1"));
+        sim.sched
+            .schedule_boxed(SimTime(5), |w: &mut World, _| w.log.push((5, "boxed-2")));
+        sim.sched.schedule_at(SimTime(5), (5, "typed-3"));
+        sim.sched
+            .schedule_boxed(SimTime(5), |w: &mut World, _| w.log.push((5, "boxed-4")));
+        sim.run();
+        let names: Vec<_> = sim.world.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["typed-1", "boxed-2", "typed-3", "boxed-4"]);
+    }
+
+    #[test]
     fn events_can_schedule_events() {
         let mut sim = Simulation::new(World::default());
         sim.sched
-            .schedule_at(SimTime(10), |_, s: &mut Scheduler<World>| {
-                s.schedule_in(SimDuration(5), |w: &mut World, _| w.log.push((15, "child")));
+            .schedule_boxed(SimTime(10), |_, s: &mut Scheduler<World>| {
+                s.schedule_in(SimDuration(5), (15, "child"));
             });
         sim.run();
         assert_eq!(sim.world.log, vec![(15, "child")]);
     }
 
     #[test]
+    fn same_instant_follow_ups_fire_after_queued_ties() {
+        // An event firing at t=5 schedules a follow-up at t=5; the follow-up
+        // must run after the other already-queued t=5 events (global
+        // schedule order), exactly as with the boxed heap.
+        let mut sim = Simulation::new(World::default());
+        sim.sched
+            .schedule_boxed(SimTime(5), |w: &mut World, s: &mut Scheduler<World>| {
+                w.log.push((5, "a"));
+                s.schedule_now((5, "a-child"));
+            });
+        sim.sched.schedule_at(SimTime(5), (5, "b"));
+        sim.run();
+        let names: Vec<_> = sim.world.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["a", "b", "a-child"]);
+    }
+
+    #[test]
     fn past_scheduling_clamps_to_now() {
         let mut sim = Simulation::new(World::default());
         sim.sched
-            .schedule_at(SimTime(100), |_, s: &mut Scheduler<World>| {
+            .schedule_boxed(SimTime(100), |_, s: &mut Scheduler<World>| {
                 // deliberately in the past
-                s.schedule_at(SimTime(1), |w: &mut World, _| w.log.push((100, "clamped")));
+                s.schedule_at(SimTime(1), (100, "clamped"));
             });
         sim.run();
         assert_eq!(sim.world.log, vec![(100, "clamped")]);
@@ -243,10 +568,8 @@ mod tests {
     #[test]
     fn run_until_stops_at_deadline() {
         let mut sim = Simulation::new(World::default());
-        sim.sched
-            .schedule_at(SimTime(10), |w: &mut World, _| w.log.push((10, "in")));
-        sim.sched
-            .schedule_at(SimTime(50), |w: &mut World, _| w.log.push((50, "out")));
+        sim.sched.schedule_at(SimTime(10), (10, "in"));
+        sim.sched.schedule_at(SimTime(50), (50, "out"));
         sim.run_until(SimTime(20));
         assert_eq!(sim.world.log, vec![(10, "in")]);
         // the out-of-window event is still pending
@@ -258,10 +581,49 @@ mod tests {
     #[test]
     fn run_until_inclusive_of_deadline() {
         let mut sim = Simulation::new(World::default());
-        sim.sched
-            .schedule_at(SimTime(20), |w: &mut World, _| w.log.push((20, "edge")));
+        sim.sched.schedule_at(SimTime(20), (20, "edge"));
         sim.run_until(SimTime(20));
         assert_eq!(sim.world.log, vec![(20, "edge")]);
+    }
+
+    #[test]
+    fn bucket_slots_recycle() {
+        // Interleaved schedule/drain cycles must reuse bucket slots rather
+        // than growing the slab without bound.
+        let mut sim = Simulation::new(World::default());
+        for round in 0..100u64 {
+            for k in 0..4u64 {
+                sim.sched.schedule_at(SimTime(round * 10 + k), (round, "e"));
+            }
+            sim.run();
+        }
+        assert_eq!(sim.world.log.len(), 400);
+        let Timeline::Bucketed { slots, .. } = &sim.sched.timeline else {
+            panic!("default mode is bucketed");
+        };
+        assert!(
+            slots.len() <= 8,
+            "slab grew to {} slots for 4 concurrent timestamps",
+            slots.len()
+        );
+    }
+
+    #[test]
+    fn forced_boxed_mode_matches_bucketed_ordering() {
+        let times = [30u64, 10, 10, 50, 10, 30, 0, 50];
+        let run = |boxed: bool| -> Vec<(u64, &'static str)> {
+            let mut sim = Simulation::new(World::default());
+            if boxed {
+                sim.sched.force_boxed_dispatch();
+            }
+            for (i, &t) in times.iter().enumerate() {
+                let label: &'static str = ["a", "b", "c", "d", "e", "f", "g", "h"][i];
+                sim.sched.schedule_at(SimTime(t), (t, label));
+            }
+            sim.run();
+            sim.world.log
+        };
+        assert_eq!(run(false), run(true));
     }
 }
 
@@ -270,20 +632,34 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
 
+    struct W {
+        fired: Vec<u64>,
+    }
+
+    impl EventWorld for W {
+        type Event = ();
+        fn dispatch(&mut self, s: &mut Scheduler<Self>, _ev: ()) {
+            self.fired.push(s.now().as_nanos());
+        }
+    }
+
     proptest! {
         /// Whatever the schedule order, events fire in (time, seq) order and
-        /// the clock never runs backwards.
+        /// the clock never runs backwards — typed and boxed schedules alike.
         #[test]
-        fn events_fire_in_nondecreasing_time(times in proptest::collection::vec(0u64..10_000, 1..64)) {
-            #[derive(Default)]
-            struct W {
-                fired: Vec<u64>,
-            }
-            let mut sim = Simulation::new(W::default());
-            for &t in &times {
-                sim.sched.schedule_at(SimTime(t), move |w: &mut W, s: &mut Scheduler<W>| {
-                    w.fired.push(s.now().as_nanos());
-                });
+        fn events_fire_in_nondecreasing_time(
+            times in proptest::collection::vec(0u64..10_000, 1..64),
+            typed_mask in proptest::collection::vec(any::<bool>(), 64),
+        ) {
+            let mut sim = Simulation::new(W { fired: Vec::new() });
+            for (i, &t) in times.iter().enumerate() {
+                if typed_mask[i % typed_mask.len()] {
+                    sim.sched.schedule_at(SimTime(t), ());
+                } else {
+                    sim.sched.schedule_boxed(SimTime(t), |w: &mut W, s: &mut Scheduler<W>| {
+                        w.fired.push(s.now().as_nanos());
+                    });
+                }
             }
             sim.run();
             prop_assert_eq!(sim.world.fired.len(), times.len());
@@ -297,23 +673,44 @@ mod proptests {
         /// with the clock at the final hop.
         #[test]
         fn chained_events_advance_monotonically(hops in 1u64..50, step in 1u64..1000) {
-            struct W {
+            struct Chain {
                 remaining: u64,
                 step: u64,
             }
-            fn hop(w: &mut W, s: &mut Scheduler<W>) {
-                if w.remaining > 0 {
-                    w.remaining -= 1;
-                    let d = SimDuration(w.step);
-                    s.schedule_in(d, hop);
+            impl EventWorld for Chain {
+                type Event = ();
+                fn dispatch(&mut self, s: &mut Scheduler<Self>, _ev: ()) {
+                    if self.remaining > 0 {
+                        self.remaining -= 1;
+                        let d = SimDuration(self.step);
+                        s.schedule_in(d, ());
+                    }
                 }
             }
-            let mut sim = Simulation::new(W { remaining: hops, step });
-            sim.sched.schedule_at(SimTime::ZERO, hop);
+            let mut sim = Simulation::new(Chain { remaining: hops, step });
+            sim.sched.schedule_at(SimTime::ZERO, ());
             sim.run();
             // The k-th firing happens at k·step; the last event (which sees
             // remaining == 0 and schedules nothing) fires at hops·step.
             prop_assert_eq!(sim.now().as_nanos(), hops * step);
+        }
+
+        /// The bucketed timeline and the legacy boxed heap produce the same
+        /// firing sequence for any tie-heavy schedule.
+        #[test]
+        fn bucketed_equals_boxed_heap(times in proptest::collection::vec(0u64..16, 1..48)) {
+            let run = |boxed: bool| {
+                let mut sim = Simulation::new(W { fired: Vec::new() });
+                if boxed {
+                    sim.sched.force_boxed_dispatch();
+                }
+                for &t in &times {
+                    sim.sched.schedule_at(SimTime(t), ());
+                }
+                sim.run();
+                sim.world.fired
+            };
+            prop_assert_eq!(run(false), run(true));
         }
     }
 }

@@ -226,11 +226,12 @@ impl FaultPlan {
     /// order.
     pub fn install<W, F>(&self, sched: &mut Scheduler<W>, handler: F)
     where
+        W: crate::engine::EventWorld,
         F: Fn(&mut W, &mut Scheduler<W>, &FaultEvent) + Clone + 'static,
     {
         for ev in self.events.clone() {
             let h = handler.clone();
-            sched.schedule_at(ev.at, move |w, s| h(w, s, &ev));
+            sched.schedule_boxed(ev.at, move |w, s| h(w, s, &ev));
         }
     }
 }
@@ -283,6 +284,11 @@ mod tests {
                 FaultKind::LinkRestore { .. } => {}
             }
         }
+    }
+
+    impl crate::engine::EventWorld for Vec<(u64, bool)> {
+        type Event = ();
+        fn dispatch(&mut self, _s: &mut crate::engine::Scheduler<Self>, _ev: ()) {}
     }
 
     #[test]

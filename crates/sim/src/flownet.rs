@@ -199,6 +199,11 @@ struct Scratch {
     // CSR of per-link member lists (local flow indices, ascending id).
     csr_start: Vec<u32>,
     csr_entries: Vec<u32>,
+    /// Per-link write cursor during CSR construction (recycled per fill).
+    csr_cursor: Vec<u32>,
+    /// Harvest/removal buffers recycled across completion waves.
+    harvest: Vec<u32>,
+    freed_links: Vec<u32>,
 }
 
 /// Deferred-recompute state for a batch of same-instant updates.
@@ -358,19 +363,21 @@ impl FlowNet {
         if self.batch.depth > 0 {
             return;
         }
-        let seed_flows = std::mem::take(&mut self.batch.seed_flows);
-        let seed_links = std::mem::take(&mut self.batch.seed_links);
-        if seed_flows.is_empty() && seed_links.is_empty() {
-            return;
+        let mut seed_flows = std::mem::take(&mut self.batch.seed_flows);
+        let mut seed_links = std::mem::take(&mut self.batch.seed_links);
+        if !seed_flows.is_empty() || !seed_links.is_empty() {
+            // A slot recorded as a seed may have been cancelled (and
+            // possibly reused) later in the same batch; freed slots are
+            // skipped — their links were recorded separately at removal
+            // time.
+            seed_flows.retain(|&s| self.slots[s as usize].id != FREE);
+            self.recompute_scoped(&seed_flows, &seed_links);
         }
-        // A slot recorded as a seed may have been cancelled (and possibly
-        // reused) later in the same batch; freed slots are skipped — their
-        // links were recorded separately at removal time.
-        let live_seeds: Vec<u32> = seed_flows
-            .into_iter()
-            .filter(|&s| self.slots[s as usize].id != FREE)
-            .collect();
-        self.recompute_scoped(&live_seeds, &seed_links);
+        // Recycle the seed buffers for the next batch.
+        seed_flows.clear();
+        seed_links.clear();
+        self.batch.seed_flows = seed_flows;
+        self.batch.seed_links = seed_links;
     }
 
     /// Start transferring `bytes` over `path`. Progress is settled to `now`
@@ -578,14 +585,27 @@ impl FlowNet {
     /// ascending `FlowId` order). Completed flows are removed; the affected
     /// contention components are recomputed.
     pub fn advance_to(&mut self, now: SimTime) -> Vec<FlowId> {
+        let mut out = Vec::new();
+        self.advance_to_into(now, &mut out);
+        out
+    }
+
+    /// [`FlowNet::advance_to`] into a caller-owned buffer: the whole batch
+    /// of flows completing by `now` is appended to `out` (ascending
+    /// `FlowId`), so a steady-state caller recycling its buffer harvests a
+    /// completion wave without allocating.
+    pub fn advance_to_into(&mut self, now: SimTime, out: &mut Vec<FlowId>) {
         assert!(self.batch.depth == 0, "advance_to inside a batch");
         self.advance_clock(now);
         let horizon = self.now.0;
-        let mut done_ids: Vec<u64> = Vec::new();
+        let start = out.len();
         // A harvest frees bandwidth, which can push a peer's projected
         // completion down to this very instant — loop until quiescent.
+        // The harvest buffer is recycled across waves (taken out of scratch
+        // so `remove_flows` can borrow the rest of `self`).
+        let mut harvested = std::mem::take(&mut self.scratch.harvest);
         loop {
-            let mut harvested: Vec<u32> = Vec::new();
+            harvested.clear();
             while let Some(&Reverse((at, id, stamp))) = self.completions.peek() {
                 if at > horizon {
                     break;
@@ -601,15 +621,13 @@ impl FlowNet {
                 break;
             }
             for &s in &harvested {
-                done_ids.push(self.slots[s as usize].id);
+                out.push(FlowId(self.slots[s as usize].id));
             }
             self.remove_flows(&harvested);
         }
-        if done_ids.is_empty() {
-            return Vec::new();
-        }
-        done_ids.sort_unstable();
-        done_ids.into_iter().map(FlowId).collect()
+        harvested.clear();
+        self.scratch.harvest = harvested;
+        out[start..].sort_unstable();
     }
 
     // -- internals ----------------------------------------------------------
@@ -706,8 +724,10 @@ impl FlowNet {
     /// Remove a set of live flows and recompute the contention components
     /// they leave behind.
     fn remove_flows(&mut self, removed: &[u32]) {
-        // Collect the affected links before the membership edits.
-        let mut freed_links: Vec<u32> = Vec::new();
+        // Collect the affected links before the membership edits (into a
+        // recycled buffer — completion waves are too frequent to allocate).
+        let mut freed_links = std::mem::take(&mut self.scratch.freed_links);
+        freed_links.clear();
         for &s in removed {
             freed_links.extend(self.slots[s as usize].path.iter().map(|l| l.0));
         }
@@ -724,10 +744,12 @@ impl FlowNet {
             self.live_flows -= 1;
         }
         if self.batch.depth > 0 {
-            self.batch.seed_links.extend(freed_links);
-            return;
+            self.batch.seed_links.extend_from_slice(&freed_links);
+        } else {
+            self.recompute_scoped(&[], &freed_links);
         }
-        self.recompute_scoped(&[], &freed_links);
+        freed_links.clear();
+        self.scratch.freed_links = freed_links;
     }
 
     /// Recompute rates for the union of contention components reachable from
@@ -1048,12 +1070,15 @@ impl FlowNet {
         scratch
             .csr_entries
             .resize(scratch.csr_start.last().copied().unwrap_or(0) as usize, 0);
-        let mut cursor: Vec<u32> = scratch.csr_start[..scratch.comp_links.len()].to_vec();
+        scratch.csr_cursor.clear();
+        scratch
+            .csr_cursor
+            .extend_from_slice(&scratch.csr_start[..scratch.comp_links.len()]);
         for (local, &s) in scratch.comp_flows.iter().enumerate() {
             for &LinkId(l) in &self.slots[s as usize].path {
                 let li = scratch.link_local[l as usize] as usize;
-                scratch.csr_entries[cursor[li] as usize] = local as u32;
-                cursor[li] += 1;
+                scratch.csr_entries[scratch.csr_cursor[li] as usize] = local as u32;
+                scratch.csr_cursor[li] += 1;
             }
         }
         let members_of = |scratch: &Scratch, li: usize| -> std::ops::Range<usize> {

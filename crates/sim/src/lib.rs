@@ -29,13 +29,15 @@ pub mod engine;
 pub mod fault;
 pub mod flownet;
 pub mod flownet_ref;
+pub mod fxhash;
 pub mod params;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use engine::{Scheduler, Simulation};
+pub use engine::{EventWorld, Scheduler, Simulation};
 pub use fault::{FaultDomain, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use flownet::{FlowId, FlowNet, FlowNetError, FlowOptions, LinkId};
 pub use flownet_ref::ReferenceNet;
+pub use fxhash::{FxHashMap, FxHashSet};
 pub use time::{SimDuration, SimTime};

@@ -16,6 +16,12 @@ pub struct WindowedPercentile {
     samples: Vec<f64>,
     cursor: usize,
     filled: bool,
+    /// Sorted copy of `samples`, rebuilt lazily on quantile queries. The
+    /// pre-warm scaler reads three p99s per pool resize, several resizes per
+    /// data operation — cloning and sorting the window each time dominated
+    /// the end-to-end profile.
+    sorted: Vec<f64>,
+    dirty: bool,
 }
 
 impl WindowedPercentile {
@@ -27,9 +33,14 @@ impl WindowedPercentile {
         assert!(window > 0, "window must be non-empty");
         WindowedPercentile {
             window,
-            samples: Vec::with_capacity(window),
+            // Lazily grown: most trackers (one per function × signal × GPU)
+            // see far fewer samples than the window bound, and eager 256-slot
+            // buffers made tracker creation the hottest part of arrivals.
+            samples: Vec::new(),
             cursor: 0,
             filled: false,
+            sorted: Vec::new(),
+            dirty: false,
         }
     }
 
@@ -44,6 +55,7 @@ impl WindowedPercentile {
             self.samples[self.cursor] = value;
             self.cursor = (self.cursor + 1) % self.window;
         }
+        self.dirty = true;
     }
 
     /// Number of samples currently held.
@@ -59,19 +71,24 @@ impl WindowedPercentile {
     ///
     /// Uses the nearest-rank method, which matches how serverless pre-warming
     /// policies read "the 99th percentile" of a small histogram.
-    pub fn quantile(&self, q: f64) -> Option<f64> {
+    pub fn quantile(&mut self, q: f64) -> Option<f64> {
         if self.samples.is_empty() {
             return None;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        if self.dirty || self.sorted.len() != self.samples.len() {
+            self.sorted.clear();
+            self.sorted.extend_from_slice(&self.samples);
+            self.sorted
+                .sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            self.dirty = false;
+        }
         let q = q.clamp(0.0, 1.0);
-        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-        Some(sorted[rank - 1])
+        let rank = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[rank - 1])
     }
 
     /// Convenience: the 99th percentile.
-    pub fn p99(&self) -> Option<f64> {
+    pub fn p99(&mut self) -> Option<f64> {
         self.quantile(0.99)
     }
 

@@ -5,7 +5,7 @@
 //! duplicate wake for the same flow generation — must never harvest the
 //! same flow twice or harvest it at a superseded completion time.
 
-use grouter_sim::{FlowId, FlowNet, FlowOptions, Scheduler, SimTime, Simulation};
+use grouter_sim::{EventWorld, FlowId, FlowNet, FlowOptions, Scheduler, SimTime, Simulation};
 
 const GB: f64 = 1e9;
 
@@ -17,6 +17,25 @@ struct World {
     stale_wakes_dropped: usize,
 }
 
+/// The wake is a typed event, exactly as in the runtime's event enum; the
+/// version stamp rides in the event value.
+struct NetWake {
+    version: u64,
+}
+
+impl EventWorld for World {
+    type Event = NetWake;
+    fn dispatch(&mut self, s: &mut Scheduler<Self>, ev: NetWake) {
+        if self.net.version() != ev.version {
+            self.stale_wakes_dropped += 1;
+            return;
+        }
+        let done = self.net.advance_to(s.now());
+        self.completed.extend(done);
+        schedule_net_wake(self, s);
+    }
+}
+
 /// Mirror of the runtime's `schedule_net_wake`: one pending wake per
 /// version; on fire, drop if stale, otherwise harvest and rearm.
 fn schedule_net_wake(w: &mut World, s: &mut Scheduler<World>) {
@@ -24,15 +43,7 @@ fn schedule_net_wake(w: &mut World, s: &mut Scheduler<World>) {
         return;
     };
     let version = w.net.version();
-    s.schedule_at(at, move |w, s| {
-        if w.net.version() != version {
-            w.stale_wakes_dropped += 1;
-            return;
-        }
-        let done = w.net.advance_to(s.now());
-        w.completed.extend(done);
-        schedule_net_wake(w, s);
-    });
+    s.schedule_at(at, NetWake { version });
 }
 
 #[test]
@@ -55,7 +66,7 @@ fn stale_wake_does_not_double_complete() {
     // At t = 50 ms a second flow arrives on the same link: rates halve,
     // A's completion moves to 150 ms and the version bumps, so the wake
     // already queued for 100 ms is stale. The handler re-arms a fresh one.
-    sim.sched.schedule_at(SimTime(50_000_000), |w, s| {
+    sim.sched.schedule_boxed(SimTime(50_000_000), |w, s| {
         w.net
             .start_flow(s.now(), vec![w.link_of_b()], GB, FlowOptions::default())
             .unwrap();
@@ -138,7 +149,7 @@ fn wake_after_cancel_is_dropped() {
         .start_flow(SimTime::ZERO, vec![link], GB, FlowOptions::default())
         .unwrap();
     schedule_net_wake(&mut sim.world, &mut sim.sched);
-    sim.sched.schedule_at(SimTime(10_000_000), move |w, s| {
+    sim.sched.schedule_boxed(SimTime(10_000_000), move |w, s| {
         w.net.cancel_flow(s.now(), f).unwrap();
         schedule_net_wake(w, s);
     });

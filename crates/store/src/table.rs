@@ -7,20 +7,67 @@
 //! a miss adds a [`grouter_sim::params::GLOBAL_TABLE_LOOKUP`] RPC, after
 //! which the entry is cached locally (the §7 invocation-time metadata sync).
 
-use std::collections::BTreeMap;
-use std::collections::BTreeSet;
-
 use grouter_sim::params;
 use grouter_sim::time::SimDuration;
 
 use crate::id::{DataEntry, DataId};
 
+/// Dense bitset over data ids. [`DataId`]s are allocated by a monotone
+/// counter, so id-indexed storage stays compact and every membership test
+/// is one shift and mask instead of a tree walk.
+#[derive(Debug, Clone, Default)]
+struct IdBits(Vec<u64>);
+
+impl IdBits {
+    #[inline]
+    fn contains(&self, id: u64) -> bool {
+        let w = (id / 64) as usize;
+        self.0
+            .get(w)
+            .is_some_and(|bits| bits & (1 << (id % 64)) != 0)
+    }
+
+    #[inline]
+    fn insert(&mut self, id: u64) {
+        let w = (id / 64) as usize;
+        if w >= self.0.len() {
+            self.0.resize(w + 1, 0);
+        }
+        self.0[w] |= 1 << (id % 64);
+    }
+
+    #[inline]
+    fn remove(&mut self, id: u64) {
+        let w = (id / 64) as usize;
+        if let Some(bits) = self.0.get_mut(w) {
+            *bits &= !(1 << (id % 64));
+        }
+    }
+
+    /// Set bits in ascending order (audit/diagnostics only).
+    #[cfg(feature = "audit")]
+    fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.0.iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64).filter_map(move |b| (bits & (1 << b) != 0).then_some(w as u64 * 64 + b))
+        })
+    }
+}
+
 /// Local per-node caches over one global table.
+///
+/// The global table is a slab indexed by data id with a sorted live-id list
+/// for ordered iteration: ids are handed out monotonically, so inserts
+/// append and the common lookup/update path is a direct slot access — this
+/// sits under every `Get`/`Put` the runtime issues and was the last tree
+/// walk on the macro-benchmark's hot path.
 #[derive(Debug)]
 pub struct MappingTables {
     /// `local[node]` = set of data ids whose entry is cached on that node.
-    local: Vec<BTreeSet<DataId>>,
-    global: BTreeMap<DataId, DataEntry>,
+    local: Vec<IdBits>,
+    /// Slot per id ever issued; `None` after removal.
+    global: Vec<Option<DataEntry>>,
+    /// Live ids, ascending (iteration order of [`MappingTables::entries`]).
+    live: Vec<DataId>,
     local_hits: u64,
     global_lookups: u64,
 }
@@ -29,19 +76,35 @@ impl MappingTables {
     pub fn new(num_nodes: usize) -> MappingTables {
         assert!(num_nodes > 0, "need at least one node");
         MappingTables {
-            local: vec![BTreeSet::new(); num_nodes],
-            global: BTreeMap::new(),
+            local: vec![IdBits::default(); num_nodes],
+            global: Vec::new(),
+            live: Vec::new(),
             local_hits: 0,
             global_lookups: 0,
         }
+    }
+
+    #[inline]
+    fn slot(&self, id: DataId) -> Option<&DataEntry> {
+        self.global.get(id.0 as usize).and_then(|s| s.as_ref())
     }
 
     /// Register a new entry; its metadata is immediately visible on the
     /// producing node and in the global table.
     pub fn insert(&mut self, entry: DataEntry) {
         let node = entry.location.node();
-        self.local[node].insert(entry.id);
-        self.global.insert(entry.id, entry);
+        let id = entry.id;
+        self.local[node].insert(id.0);
+        let idx = id.0 as usize;
+        if idx >= self.global.len() {
+            self.global.resize_with(idx + 1, || None);
+        }
+        if self.global[idx].replace(entry).is_none() {
+            // Ids are monotone in practice, so this is a push.
+            if let Err(pos) = self.live.binary_search(&id) {
+                self.live.insert(pos, id);
+            }
+        }
         #[cfg(feature = "audit")]
         self.audit_tables();
     }
@@ -57,13 +120,13 @@ impl MappingTables {
         }
         grouter_audit::record_hit("store.tables");
         for (node, cache) in self.local.iter().enumerate() {
-            for id in cache {
-                grouter_audit::check("store.tables", self.global.contains_key(id), || {
-                    format!("node {node} caches {id:?}, absent from the global table")
+            for id in cache.iter() {
+                grouter_audit::check("store.tables", self.slot(DataId(id)).is_some(), || {
+                    format!("node {node} caches DataId({id}), absent from the global table")
                 });
             }
         }
-        for entry in self.global.values() {
+        for entry in self.entries() {
             grouter_audit::check(
                 "store.tables",
                 entry.location.node() < self.local.len(),
@@ -82,21 +145,21 @@ impl MappingTables {
     /// plane latency of the lookup. A miss on the local table falls back to
     /// the global table and caches the result.
     pub fn lookup(&mut self, node: usize, id: DataId) -> (Option<&DataEntry>, SimDuration) {
-        if self.local[node].contains(&id) {
+        if self.local[node].contains(id.0) {
             self.local_hits += 1;
             // The cached pointer may be stale after removal; verify against
             // the global table (same node-local cost).
-            if self.global.contains_key(&id) {
-                return (self.global.get(&id), params::LOCAL_TABLE_LOOKUP);
+            if self.slot(id).is_some() {
+                return (self.slot(id), params::LOCAL_TABLE_LOOKUP);
             }
-            self.local[node].remove(&id);
+            self.local[node].remove(id.0);
             return (None, params::LOCAL_TABLE_LOOKUP);
         }
         self.global_lookups += 1;
         let latency = params::LOCAL_TABLE_LOOKUP + params::GLOBAL_TABLE_LOOKUP;
-        if self.global.contains_key(&id) {
-            self.local[node].insert(id);
-            (self.global.get(&id), latency)
+        if self.slot(id).is_some() {
+            self.local[node].insert(id.0);
+            (self.slot(id), latency)
         } else {
             (None, latency)
         }
@@ -105,20 +168,28 @@ impl MappingTables {
     /// Mutable access to an entry (location updates, access stamps). Does not
     /// model latency: callers pair it with a prior `lookup`.
     pub fn get_mut(&mut self, id: DataId) -> Option<&mut DataEntry> {
-        self.global.get_mut(&id)
+        self.global.get_mut(id.0 as usize).and_then(|s| s.as_mut())
     }
 
     /// Read-only access without latency accounting (diagnostics, policies).
     pub fn peek(&self, id: DataId) -> Option<&DataEntry> {
-        self.global.get(&id)
+        self.slot(id)
     }
 
     /// Remove an entry everywhere.
     pub fn remove(&mut self, id: DataId) -> Option<DataEntry> {
         for cache in &mut self.local {
-            cache.remove(&id);
+            cache.remove(id.0);
         }
-        let removed = self.global.remove(&id);
+        let removed = self
+            .global
+            .get_mut(id.0 as usize)
+            .and_then(|slot| slot.take());
+        if removed.is_some() {
+            if let Ok(pos) = self.live.binary_search(&id) {
+                self.live.remove(pos);
+            }
+        }
         #[cfg(feature = "audit")]
         self.audit_tables();
         removed
@@ -126,16 +197,16 @@ impl MappingTables {
 
     /// All live entries (deterministic id order).
     pub fn entries(&self) -> impl Iterator<Item = &DataEntry> {
-        self.global.values()
+        self.live.iter().filter_map(|id| self.slot(*id))
     }
 
     /// Number of live entries.
     pub fn len(&self) -> usize {
-        self.global.len()
+        self.live.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.global.is_empty()
+        self.live.is_empty()
     }
 
     /// (local hits, global lookups) — for the CPU-overhead report (Fig. 20b).
@@ -219,12 +290,12 @@ mod tests {
         t.insert(entry(1, 0));
         // Simulate a stale cache: remove globally but re-add the pointer.
         t.remove(DataId(1));
-        t.local[0].insert(DataId(1));
+        t.local[0].insert(1);
         let (found, lat) = t.lookup(0, DataId(1));
         assert!(found.is_none());
         assert_eq!(lat, params::LOCAL_TABLE_LOOKUP);
         // Stale pointer was scrubbed.
-        assert!(!t.local[0].contains(&DataId(1)));
+        assert!(!t.local[0].contains(1));
     }
 
     #[test]

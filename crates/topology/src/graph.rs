@@ -127,10 +127,29 @@ struct NodeLinks {
 }
 
 /// A built cluster topology: `num_nodes` identical servers.
+///
+/// The NVLink graph is immutable once built (faults mask *bandwidth*, in the
+/// ledger's matrix — never edges), so every pure graph query the planners
+/// repeat per transfer is precomputed here once: neighbor lists in both
+/// expansion orders, all-pairs shortest routes, and the edge-disjoint feeder
+/// routes of Fig. 5a. Planning then reads tables instead of re-running BFS.
 pub struct Topology {
     spec: TopologySpec,
     num_nodes: usize,
     nodes: Vec<NodeLinks>,
+    /// Per-GPU NVLink neighbors, ascending index (BFS order of
+    /// [`Topology::nvlink_shortest_route`]).
+    neighbors: Vec<Vec<usize>>,
+    /// Per-GPU neighbors in descending-bandwidth, index-tie-broken order —
+    /// the expansion order of the feeder-route search.
+    neighbors_by_bw: Vec<Vec<usize>>,
+    /// All-pairs shortest NVLink routes, flattened `a * g + b`.
+    routes: Vec<Option<Vec<usize>>>,
+    /// Topology-aware feeder routes per GPU (one per reachable foreign PCIe
+    /// switch, edge-disjoint, in discovery order, no path limit applied).
+    feeder_routes: Vec<Vec<Vec<usize>>>,
+    /// Naive (index-order) feeder routes per GPU — the DeepPlan+ mode.
+    naive_feeder_routes: Vec<Vec<Vec<usize>>>,
 }
 
 impl Topology {
@@ -206,11 +225,37 @@ impl Topology {
                 nic_rx,
             });
         }
-        Topology {
+        let mut topo = Topology {
             spec,
             num_nodes,
             nodes,
-        }
+            neighbors: Vec::new(),
+            neighbors_by_bw: Vec::new(),
+            routes: Vec::new(),
+            feeder_routes: Vec::new(),
+            naive_feeder_routes: Vec::new(),
+        };
+        topo.neighbors = (0..g).map(|a| topo.compute_neighbors(a)).collect();
+        topo.neighbors_by_bw = (0..g)
+            .map(|a| {
+                let mut n = topo.neighbors[a].clone();
+                n.sort_by(|&x, &y| {
+                    topo.nvlink_bw(a, y)
+                        .total_cmp(&topo.nvlink_bw(a, x))
+                        .then(x.cmp(&y))
+                });
+                n
+            })
+            .collect();
+        topo.routes = (0..g)
+            .flat_map(|a| (0..g).map(move |b| (a, b)))
+            .map(|(a, b)| topo.compute_shortest_route(a, b))
+            .collect();
+        topo.feeder_routes = (0..g).map(|a| topo.compute_feeder_routes(a)).collect();
+        topo.naive_feeder_routes = (0..g)
+            .map(|a| (0..g).filter(|&b| b != a).map(|b| vec![a, b]).collect())
+            .collect();
+        topo
     }
 
     pub fn kind(&self) -> TopologyKind {
@@ -297,9 +342,19 @@ impl Topology {
         links.nvlink[a * self.spec.gpus_per_node + b].map(|l| vec![l])
     }
 
-    /// GPUs directly NVLink-connected to `a` (empty on PCIe-only machines;
-    /// everyone else on NVSwitch machines).
-    pub fn nvlink_neighbors(&self, a: usize) -> Vec<usize> {
+    /// GPUs directly NVLink-connected to `a`, ascending index (empty on
+    /// PCIe-only machines; everyone else on NVSwitch machines).
+    pub fn nvlink_neighbors(&self, a: usize) -> &[usize] {
+        &self.neighbors[a]
+    }
+
+    /// NVLink neighbors of `a` in descending link-bandwidth order (ties by
+    /// ascending index) — the expansion order route searches prefer.
+    pub fn nvlink_neighbors_by_bw(&self, a: usize) -> &[usize] {
+        &self.neighbors_by_bw[a]
+    }
+
+    fn compute_neighbors(&self, a: usize) -> Vec<usize> {
         let g = self.spec.gpus_per_node;
         if self.has_nvswitch() {
             return (0..g).filter(|&b| b != a).collect();
@@ -366,10 +421,21 @@ impl Topology {
         p
     }
 
-    /// Shortest NVLink route `a → b` on one node as a GPU sequence (BFS,
-    /// deterministic neighbor order), or `None` when `b` is unreachable over
-    /// NVLink. Used to reach NIC-adjacent forwarding GPUs (Fig. 9a).
+    /// Shortest NVLink route `a → b` on one node as a GPU sequence
+    /// (precomputed BFS, deterministic ascending neighbor order), or `None`
+    /// when `b` is unreachable over NVLink. Used to reach NIC-adjacent
+    /// forwarding GPUs (Fig. 9a).
     pub fn nvlink_shortest_route(&self, a: usize, b: usize) -> Option<Vec<usize>> {
+        self.nvlink_route(a, b).map(|r| r.to_vec())
+    }
+
+    /// Borrowed form of [`Topology::nvlink_shortest_route`] for hot planning
+    /// paths: the route slice lives in the topology's all-pairs table.
+    pub fn nvlink_route(&self, a: usize, b: usize) -> Option<&[usize]> {
+        self.routes[a * self.spec.gpus_per_node + b].as_deref()
+    }
+
+    fn compute_shortest_route(&self, a: usize, b: usize) -> Option<Vec<usize>> {
         if a == b {
             return Some(vec![a]);
         }
@@ -378,7 +444,7 @@ impl Topology {
         let mut queue = std::collections::VecDeque::from([a]);
         prev[a] = a;
         while let Some(cur) = queue.pop_front() {
-            for next in self.nvlink_neighbors(cur) {
+            for &next in &self.neighbors[cur] {
                 if prev[next] == usize::MAX {
                     prev[next] = cur;
                     if next == b {
@@ -393,6 +459,79 @@ impl Topology {
                     }
                     queue.push_back(next);
                 }
+            }
+        }
+        None
+    }
+
+    /// Edge-disjoint feeder routes from `gpu` toward foreign PCIe switches
+    /// (topology-aware route-GPU selection, Fig. 5a): one route per
+    /// reachable foreign switch, in switch discovery order, with no path
+    /// limit applied. Callers truncate to their `max_paths` budget — valid
+    /// because the search's used-edge set grows monotonically, so a limited
+    /// run's result is exactly a prefix of this table.
+    pub fn pcie_feeder_route_table(&self, gpu: usize) -> &[Vec<usize>] {
+        &self.feeder_routes[gpu]
+    }
+
+    /// Index-order feeder pairs `[gpu, peer]` for the naive (DeepPlan+)
+    /// staging mode, which ignores switch sharing and NVLink reachability.
+    pub fn naive_feeder_route_table(&self, gpu: usize) -> &[Vec<usize>] {
+        &self.naive_feeder_routes[gpu]
+    }
+
+    fn compute_feeder_routes(&self, gpu: usize) -> Vec<Vec<usize>> {
+        let my_switch = self.switch_of(gpu);
+        let mut switches: Vec<usize> = (0..self.spec.gpus_per_node)
+            .map(|g| self.switch_of(g))
+            .filter(|&s| s != my_switch)
+            .collect();
+        switches.sort_unstable();
+        switches.dedup();
+        let mut used = std::collections::HashSet::new();
+        let mut routes = Vec::new();
+        for sw in switches {
+            let found = self.route_avoiding(gpu, |g| self.switch_of(g) == sw, &used);
+            if let Some(route) = found {
+                for hop in route.windows(2) {
+                    used.insert((hop[0], hop[1]));
+                }
+                routes.push(route);
+            }
+        }
+        routes
+    }
+
+    /// BFS from `src` over NVLink edges not in `used`, to the nearest GPU
+    /// satisfying `target`. Neighbours expand in descending link-bandwidth
+    /// order (index-tie-broken) so wide links are preferred at equal depth.
+    fn route_avoiding(
+        &self,
+        src: usize,
+        target: impl Fn(usize) -> bool,
+        used: &std::collections::HashSet<(usize, usize)>,
+    ) -> Option<Vec<usize>> {
+        let g = self.spec.gpus_per_node;
+        let mut prev = vec![usize::MAX; g];
+        prev[src] = src;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(cur) = queue.pop_front() {
+            for &next in &self.neighbors_by_bw[cur] {
+                if prev[next] != usize::MAX || used.contains(&(cur, next)) {
+                    continue;
+                }
+                prev[next] = cur;
+                if target(next) {
+                    let mut route = vec![next];
+                    let mut at = next;
+                    while at != src {
+                        at = prev[at];
+                        route.push(at);
+                    }
+                    route.reverse();
+                    return Some(route);
+                }
+                queue.push_back(next);
             }
         }
         None
@@ -632,7 +771,7 @@ mod tests {
         let mut net = FlowNet::new();
         let t = Topology::build(presets::dgx_v100(), 1, &mut net);
         for a in 0..8 {
-            for b in t.nvlink_neighbors(a) {
+            for &b in t.nvlink_neighbors(a) {
                 assert!(t.nvlink_neighbors(b).contains(&a));
                 assert_eq!(t.nvlink_bw(a, b), t.nvlink_bw(b, a));
             }

@@ -7,10 +7,10 @@
 //! reports which logical transfers finished so the runtime can resume the
 //! waiting function and release NVLink reservations.
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 use grouter_sim::time::SimTime;
-use grouter_sim::{FlowId, FlowNet, FlowNetError};
+use grouter_sim::{FlowId, FlowNet, FlowNetError, FxHashMap};
 
 use crate::plan::TransferPlan;
 
@@ -20,7 +20,9 @@ pub struct TransferId(pub u64);
 
 #[derive(Debug)]
 struct Active {
-    pending: HashSet<FlowId>,
+    /// Flows not yet complete. Plans are at most a handful of paths wide, so
+    /// a flat vector with `swap_remove` beats a hash set on every metric.
+    pending: Vec<FlowId>,
     started: SimTime,
     bytes: f64,
     nv_releases: Vec<(Vec<usize>, f64)>,
@@ -51,7 +53,7 @@ pub struct TransferDone {
 pub struct TransferEngine {
     next_id: u64,
     active: BTreeMap<u64, Active>,
-    flow_owner: HashMap<FlowId, u64>,
+    flow_owner: FxHashMap<FlowId, u64>,
     /// Observability handle ([`TransferEngine::set_recorder`]).
     rec: grouter_obs::Recorder,
 }
@@ -149,13 +151,17 @@ impl TransferEngine {
     /// bandwidth matrix holds the plan's NVLink reservations (ignored when
     /// the plan has none).
     ///
+    /// The plan is consumed: its link paths, reservations and routes move
+    /// straight into the flow network and the active-transfer record, so a
+    /// steady-state leg start performs no per-flow clones.
+    ///
     /// The caller is responsible for charging `plan.setup` *before* `now`
     /// (schedule `begin` at `t + setup`).
     pub fn begin(
         &mut self,
         net: &mut FlowNet,
         now: SimTime,
-        plan: &TransferPlan,
+        plan: TransferPlan,
         nv_node: usize,
     ) -> Result<BeginOutcome, BeginError> {
         if plan.is_zero_copy() {
@@ -163,26 +169,23 @@ impl TransferEngine {
         }
         let id = self.next_id;
         self.next_id += 1;
-        let mut pending = HashSet::new();
+        let total_bytes = plan.total_bytes;
+        let mut pending = Vec::new();
         let mut nv_releases = Vec::new();
-        let mut routes = Vec::new();
         let mut started = Vec::new();
         // A multi-path plan starts all of its flows at the same instant;
         // batching collapses the per-flow rate recomputes into one pass
         // over the affected contention component.
         net.begin_batch();
-        for (flow_index, flow) in plan.flows.iter().enumerate() {
-            match net.start_flow(now, flow.links.clone(), flow.bytes, flow.opts) {
+        for (flow_index, flow) in plan.flows.into_iter().enumerate() {
+            match net.start_flow(now, flow.links, flow.bytes, flow.opts) {
                 Ok(fid) => {
-                    pending.insert(fid);
+                    pending.push(fid);
                     self.flow_owner.insert(fid, id);
-                    if let Some(res) = &flow.nv_reservation {
-                        nv_releases.push(res.clone());
+                    if let Some(res) = flow.nv_reservation {
+                        nv_releases.push(res);
                     }
-                    if let Some(route) = &flow.route {
-                        routes.push(route.clone());
-                    }
-                    started.push((fid, flow.route.clone()));
+                    started.push((fid, flow.route));
                 }
                 Err(source) => {
                     // Unwind the flows already started so the caller sees
@@ -197,6 +200,10 @@ impl TransferEngine {
             }
         }
         net.commit_batch();
+        let routes: Vec<Vec<usize>> = started
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().cloned())
+            .collect();
         let mut span = 0;
         if self.rec.on(grouter_obs::Comp::Transfer) {
             span = self.rec.begin(
@@ -205,7 +212,7 @@ impl TransferEngine {
                 grouter_obs::Ids::NONE,
                 vec![
                     ("transfer", id.into()),
-                    ("bytes", plan.total_bytes.into()),
+                    ("bytes", total_bytes.into()),
                     ("chunk_flows", started.len().into()),
                     ("nv_node", nv_node.into()),
                 ],
@@ -233,7 +240,7 @@ impl TransferEngine {
             Active {
                 pending,
                 started: now,
-                bytes: plan.total_bytes,
+                bytes: total_bytes,
                 nv_releases,
                 routes,
                 nv_node,
@@ -260,7 +267,9 @@ impl TransferEngine {
                 debug_assert!(false, "flow owner {tid} has no active transfer");
                 continue;
             };
-            entry.pending.remove(fid);
+            if let Some(pos) = entry.pending.iter().position(|f| f == fid) {
+                entry.pending.swap_remove(pos);
+            }
             if entry.pending.is_empty() {
                 if let Some(act) = self.active.remove(&tid) {
                     self.rec.end(act.span, vec![("bytes", act.bytes.into())]);
@@ -293,7 +302,7 @@ impl TransferEngine {
     ) -> Option<(TransferDone, Vec<FlowId>)> {
         let act = self.active.remove(&id.0)?;
         self.rec.end(act.span, vec![("cancelled", true.into())]);
-        let mut cancelled: Vec<FlowId> = act.pending.iter().copied().collect();
+        let mut cancelled: Vec<FlowId> = act.pending.to_vec();
         cancelled.sort();
         for fid in &cancelled {
             self.flow_owner.remove(fid);
@@ -359,7 +368,7 @@ mod tests {
         let mut eng = TransferEngine::new();
         let plan = TransferPlan::zero_copy(SimDuration::from_micros(5));
         assert_eq!(
-            eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap(),
+            eng.begin(&mut net, SimTime::ZERO, plan, 0).unwrap(),
             BeginOutcome::Immediate
         );
         assert_eq!(eng.in_flight(), 0);
@@ -372,7 +381,7 @@ mod tests {
         let cfg = PlanConfig::single_path();
         // 120 MB over one 12 GB/s PCIe chain → 10 ms.
         let plan = plan_d2h(&topo, &net, 0, 0, 120.0 * MB, &cfg);
-        let out = eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap();
+        let out = eng.begin(&mut net, SimTime::ZERO, plan, 0).unwrap();
         assert!(matches!(out, BeginOutcome::InFlight(..)));
         let (t, done) = drain(&mut net, &mut eng);
         assert_eq!(done.len(), 1);
@@ -384,13 +393,13 @@ mod tests {
         let (mut net1, topo1) = setup();
         let mut eng = TransferEngine::new();
         let single = plan_d2h(&topo1, &net1, 0, 0, 480.0 * MB, &PlanConfig::single_path());
-        eng.begin(&mut net1, SimTime::ZERO, &single, 0).unwrap();
+        eng.begin(&mut net1, SimTime::ZERO, single, 0).unwrap();
         let (t_single, _) = drain(&mut net1, &mut eng);
 
         let (mut net2, topo2) = setup();
         let mut eng2 = TransferEngine::new();
         let par = plan_d2h(&topo2, &net2, 0, 0, 480.0 * MB, &PlanConfig::grouter());
-        eng2.begin(&mut net2, SimTime::ZERO, &par, 0).unwrap();
+        eng2.begin(&mut net2, SimTime::ZERO, par, 0).unwrap();
         let (t_par, _) = drain(&mut net2, &mut eng2);
 
         // 4 disjoint PCIe chains → ~4× faster (paper: 2–4×).
@@ -414,7 +423,7 @@ mod tests {
             &PlanConfig::grouter(),
         );
         assert!(plan.flows.len() >= 2);
-        eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap();
+        eng.begin(&mut net, SimTime::ZERO, plan.clone(), 0).unwrap();
         // First completion may not finish the transfer if flows end at
         // different instants; drain handles the general case.
         let (_, done) = drain(&mut net, &mut eng);
@@ -437,7 +446,7 @@ mod tests {
             10.0 * MB,
             &PlanConfig::grouter(),
         );
-        eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap();
+        eng.begin(&mut net, SimTime::ZERO, plan, 0).unwrap();
         let (_, done) = drain(&mut net, &mut eng);
         for (route, rate) in &done[0].nv_releases {
             assert!(route.len() >= 2);
@@ -453,7 +462,7 @@ mod tests {
         let (mut net, topo) = setup();
         let mut eng = TransferEngine::new();
         let plan = plan_d2h(&topo, &net, 0, 0, 480.0 * MB, &PlanConfig::grouter());
-        let BeginOutcome::InFlight(id, _) = eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap()
+        let BeginOutcome::InFlight(id, _) = eng.begin(&mut net, SimTime::ZERO, plan, 0).unwrap()
         else {
             panic!("expected in-flight");
         };
@@ -486,7 +495,8 @@ mod tests {
             100.0 * MB,
             &PlanConfig::grouter(),
         );
-        let BeginOutcome::InFlight(id, _) = eng.begin(&mut net, SimTime::ZERO, &plan, 0).unwrap()
+        let BeginOutcome::InFlight(id, _) =
+            eng.begin(&mut net, SimTime::ZERO, plan.clone(), 0).unwrap()
         else {
             panic!("expected in-flight");
         };
@@ -514,8 +524,8 @@ mod tests {
         let mut eng = TransferEngine::new();
         let small = plan_d2h(&topo, &net, 0, 2, 12.0 * MB, &PlanConfig::single_path());
         let large = plan_d2h(&topo, &net, 0, 4, 480.0 * MB, &PlanConfig::single_path());
-        eng.begin(&mut net, SimTime::ZERO, &small, 0).unwrap();
-        eng.begin(&mut net, SimTime::ZERO, &large, 0).unwrap();
+        eng.begin(&mut net, SimTime::ZERO, small, 0).unwrap();
+        eng.begin(&mut net, SimTime::ZERO, large, 0).unwrap();
         // Distinct switches → no contention; small finishes first.
         let next = net.next_completion().unwrap();
         let done = net.advance_to(next);

@@ -235,8 +235,8 @@ pub fn plan_intra_node(
         // Single NVLink path: direct edge, else shortest route. The route
         // comes from the live topology, so every hop has an edge; should
         // one be missing, feeder_links degrades that hop to PCIe p2p.
-        if let Some(route) = topo.nvlink_shortest_route(src, dst) {
-            let links = feeder_links(topo, node, &route);
+        if let Some(route) = topo.nvlink_route(src, dst) {
+            let links = feeder_links(topo, node, route);
             let cap = path_capacity(net, &links);
             return TransferPlan {
                 flows: flows_from_paths(vec![(links, None)], &[cap], bytes),
@@ -265,89 +265,28 @@ pub fn plan_intra_node(
 /// Naive (DeepPlan+): the first GPUs by index, regardless of switch sharing
 /// or NVLink reachability — unreachable ones are fed over PCIe peer-to-peer,
 /// which doubles traffic on `gpu`'s own PCIe segment (§3.2.2).
-/// BFS from `src` over NVLink edges not in `used`, to the nearest GPU
-/// satisfying `target`. Neighbours expand in descending link-bandwidth order
-/// (index-tie-broken) so wide links are preferred at equal depth.
-fn route_avoiding(
-    topo: &Topology,
-    src: usize,
-    target: impl Fn(usize) -> bool,
-    used: &std::collections::HashSet<(usize, usize)>,
-) -> Option<Vec<usize>> {
-    let g = topo.gpus_per_node();
-    let mut prev = vec![usize::MAX; g];
-    prev[src] = src;
-    let mut queue = std::collections::VecDeque::from([src]);
-    while let Some(cur) = queue.pop_front() {
-        let mut neigh = topo.nvlink_neighbors(cur);
-        neigh.sort_by(|&a, &b| {
-            topo.nvlink_bw(cur, b)
-                .total_cmp(&topo.nvlink_bw(cur, a))
-                .then(a.cmp(&b))
-        });
-        for next in neigh {
-            if prev[next] != usize::MAX || used.contains(&(cur, next)) {
-                continue;
-            }
-            prev[next] = cur;
-            if target(next) {
-                let mut route = vec![next];
-                let mut at = next;
-                while at != src {
-                    at = prev[at];
-                    route.push(at);
-                }
-                route.reverse();
-                return Some(route);
-            }
-            queue.push_back(next);
-        }
-    }
-    None
-}
-
-/// Route-GPU feeder routes for parallel PCIe staging from `gpu`.
 ///
-/// Topology-aware (GROUTER, Fig. 5a): one route GPU per *foreign* PCIe
-/// switch (shared-switch GPUs share one host uplink and are excluded),
-/// reached over edge-disjoint NVLink routes so the feeders don't contend
-/// with each other.
-///
-/// Naive (DeepPlan+): the first GPUs by index, regardless of switch sharing
-/// or NVLink reachability — unreachable ones are fed over PCIe peer-to-peer,
-/// which doubles traffic on `gpu`'s own PCIe segment (§3.2.2).
-fn pcie_feeder_routes(topo: &Topology, gpu: usize, cfg: &PlanConfig) -> Vec<Vec<usize>> {
+/// Both modes read the topology's precomputed feeder tables; the
+/// topology-aware table is unlimited and truncated to the `max_paths`
+/// budget here (a prefix of the table is exactly what a limited search
+/// would have produced — see [`Topology::pcie_feeder_route_table`]).
+fn pcie_feeder_routes<'t>(topo: &'t Topology, gpu: usize, cfg: &PlanConfig) -> Vec<&'t [usize]> {
     let limit = cfg.max_paths.saturating_sub(1);
     if cfg.topology_aware {
-        let my_switch = topo.switch_of(gpu);
-        let mut switches: Vec<usize> = (0..topo.gpus_per_node())
-            .map(|g| topo.switch_of(g))
-            .filter(|&s| s != my_switch)
+        let mut routes: Vec<&[usize]> = topo
+            .pcie_feeder_route_table(gpu)
+            .iter()
+            .take(limit)
+            .map(|r| r.as_slice())
             .collect();
-        switches.sort_unstable();
-        switches.dedup();
-        let mut used = std::collections::HashSet::new();
-        let mut routes = Vec::new();
-        for sw in switches {
-            if routes.len() >= limit {
-                break;
-            }
-            let found = route_avoiding(topo, gpu, |g| topo.switch_of(g) == sw, &used);
-            if let Some(route) = found {
-                for hop in route.windows(2) {
-                    used.insert((hop[0], hop[1]));
-                }
-                routes.push(route);
-            }
-        }
         // Nearest routes first so the widest feeders carry shares first.
         routes.sort_by_key(|r| (r.len(), r[r.len() - 1]));
         routes
     } else {
-        (0..topo.gpus_per_node())
-            .filter(|&g| g != gpu)
+        topo.naive_feeder_route_table(gpu)
+            .iter()
             .take(limit)
-            .map(|g| vec![gpu, g])
+            .map(|r| r.as_slice())
             .collect()
     }
 }
@@ -382,7 +321,7 @@ pub fn plan_d2h(
             let Some(&peer) = route.last() else {
                 continue; // feeder routes are at least [gpu, peer]
             };
-            let mut links = feeder_links(topo, node, &route);
+            let mut links = feeder_links(topo, node, route);
             links.extend(topo.d2h_path(node, peer));
             paths.push((links, None));
         }
@@ -413,7 +352,7 @@ pub fn plan_h2d(
             };
             let mut links = topo.h2d_path(node, peer);
             // Reverse feeder: peer → gpu.
-            let mut back = route.clone();
+            let mut back = route.to_vec();
             back.reverse();
             links.extend(feeder_links(topo, node, &back));
             paths.push((links, None));
@@ -430,11 +369,7 @@ pub fn plan_h2d(
 /// NIC routes for a cross-node transfer (Fig. 9a): per NIC, a forwarding
 /// GPU on the NIC's switch reachable from `src` over NVLink, and the mirror
 /// entry GPU on the destination node.
-fn nic_routes(
-    topo: &Topology,
-    src_gpu: usize,
-    dst_gpu: usize,
-) -> Vec<(usize, Vec<usize>, Vec<usize>)> {
+fn nic_routes(topo: &Topology, src_gpu: usize, dst_gpu: usize) -> Vec<(usize, &[usize], &[usize])> {
     // (nic, src-side GPU route ending at forwarder, dst-side route from entry)
     let mut routes = Vec::new();
     for nic in 0..topo.num_nics() {
@@ -443,10 +378,10 @@ fn nic_routes(
         let (Some(fwd), Some(entry)) = (fwd, entry) else {
             continue;
         };
-        let Some(src_route) = topo.nvlink_shortest_route(src_gpu, fwd) else {
+        let Some(src_route) = topo.nvlink_route(src_gpu, fwd) else {
             continue;
         };
-        let Some(dst_route) = topo.nvlink_shortest_route(entry, dst_gpu) else {
+        let Some(dst_route) = topo.nvlink_route(entry, dst_gpu) else {
             continue;
         };
         routes.push((nic, src_route, dst_route));
@@ -463,7 +398,7 @@ fn best_gpu_on_nic_switch(topo: &Topology, from: usize, nic: usize) -> Option<us
     }
     (0..topo.gpus_per_node())
         .filter(|&g| topo.switch_of(g) == sw)
-        .filter_map(|g| topo.nvlink_shortest_route(from, g).map(|r| (r.len(), g)))
+        .filter_map(|g| topo.nvlink_route(from, g).map(|r| (r.len(), g)))
         .min()
         .map(|(_, g)| g)
 }
@@ -492,8 +427,8 @@ pub fn plan_cross_node(
             // edge and the endpoints exist; a NIC whose routes cannot be
             // resolved is simply skipped.
             let (Some(src_links), Some(dst_links), Some(&fwd), Some(&entry)) = (
-                nvlink_route_links(topo, src.node, &src_route),
-                nvlink_route_links(topo, dst.node, &dst_route),
+                nvlink_route_links(topo, src.node, src_route),
+                nvlink_route_links(topo, dst.node, dst_route),
                 src_route.last(),
                 dst_route.first(),
             ) else {

@@ -12,8 +12,11 @@
 #     contended DGX-V100 case.
 #   - disabled-path observability overhead <= 3% on 1k-flow churn
 #     (BENCH_obs.json).
+#   - end-to-end macro throughput on the contended DGX-V100 testbed
+#     (BENCH_e2e.json): minimum ops/sec and simulated-seconds-per-wall-
+#     second floors, plus the paired typed-vs-boxed dispatch ratio.
 #
-# Usage: scripts/bench_smoke.sh [flownet.json] [paths.json] [obs.json]
+# Usage: scripts/bench_smoke.sh [flownet.json] [paths.json] [obs.json] [e2e.json]
 
 set -eu
 
@@ -183,3 +186,95 @@ if [ "$ok" != 1 ]; then
     exit 1
 fi
 echo "disabled-path tracing overhead: ${ratio}x (bound: <= 1.03x)"
+
+# ---------------------------------------------------------------------------
+# bench_e2e: whole-trace macro throughput (typed event core vs the boxed-
+# closure baseline, both testbeds).
+
+e2e_out="${4:-BENCH_e2e.json}"
+
+# Gate floors on the contended DGX-V100 testbed, set 25-30% below the
+# numbers measured on the reference dev machine (recorded under "measured"
+# in BENCH_e2e.json): regression protection, not aspiration. The ISSUE 6
+# target of >= 3x ops/sec over the boxed-closure seed baseline was NOT
+# reached: the event-core rework plus the allocation/bookkeeping work
+# delivers ~1.7x end to end (552k vs 325.5k ops/sec), because the remaining
+# cycles are genuine simulation arithmetic (water-filling rate allocation,
+# percentile tracking, the stage state machine), not dispatch overhead —
+# the paired typed-vs-boxed ratio on the *optimized* bookkeeping is ~1.0x,
+# i.e. the seed's cost was the per-event allocations and tree walks around
+# dispatch, not the BinaryHeap itself. The honest measured ratio is
+# committed as "speedup_vs_seed_baseline" and floored here so it cannot
+# silently regress.
+e2e_ops_floor=400000
+e2e_simwall_floor=1300
+
+cargo bench -p grouter-bench --bench e2e -- --sample-size 10 2>&1 | tee "$raw"
+
+awk '
+    /^E2E_JSON / {
+        line = $0; sub(/^E2E_JSON /, "", line); work[++nw] = line
+        name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        ops = line; sub(/.*"ops":/, "", ops); sub(/,.*/, "", ops)
+        sim = line; sub(/.*"sim_ns":/, "", sim); sub(/[^0-9].*/, "", sim)
+        opsOf[name] = ops; simOf[name] = sim
+    }
+    /^CRITERION_JSON / {
+        line = $0; sub(/^CRITERION_JSON /, "", line); res[++nr] = line
+        name = line; sub(/.*"name":"/, "", name); sub(/".*/, "", name)
+        med = line; sub(/.*"median_ns":/, "", med); sub(/,.*/, "", med)
+        if (name ~ /^e2e\//) { sub(/^e2e\//, "", name); typed[name] = med }
+        else if (name ~ /^e2e_boxed\//) { sub(/^e2e_boxed\//, "", name); boxed[name] = med }
+    }
+    END {
+        print "{"
+        print "  \"group\": \"bench_e2e\","
+        print "  \"results\": ["
+        for (i = 1; i <= nr; i++) printf "    %s%s\n", res[i], (i < nr ? "," : "")
+        print "  ],"
+        print "  \"work\": ["
+        for (i = 1; i <= nw; i++) printf "    %s%s\n", work[i], (i < nw ? "," : "")
+        print "  ],"
+        # Frozen seed reference: the boxed-closure event core with the pre-
+        # refactor bookkeeping (String clones, BTree tables) ran this exact
+        # contended trace at 325513 ops/sec on the reference dev machine.
+        print "  \"seed_baseline_ops_per_sec\": {\"v100_contended\": 325513},"
+        print "  \"measured\": {"
+        n = 0
+        for (k in typed) n++
+        i = 0
+        for (k in typed) {
+            i++
+            ops_s = opsOf[k] * 1e9 / typed[k]
+            simwall = simOf[k] / typed[k]
+            ratio = (k in boxed) ? boxed[k] / typed[k] : 0
+            printf "    \"%s\": {\"ops_per_sec\": %.0f, \"sim_sec_per_wall_sec\": %.1f, \"dispatch_speedup_vs_boxed\": %.2f}%s\n", k, ops_s, simwall, ratio, (i < n ? "," : "")
+        }
+        print "  },"
+        printf "  \"speedup_vs_seed_baseline\": {\"v100_contended\": %.2f}\n", (opsOf["v100_contended"] * 1e9 / typed["v100_contended"]) / 325513
+        print "}"
+    }
+' "$raw" > "$e2e_out.tmp"
+mv "$e2e_out.tmp" "$e2e_out"
+
+echo "wrote $e2e_out"
+
+# Acceptance gates: ops/sec and simulated-seconds-per-wall-second floors on
+# the contended testbed.
+e2e_ops=$(sed -n 's/.*"v100_contended": {"ops_per_sec": \([0-9]*\),.*/\1/p' "$e2e_out")
+e2e_simwall=$(sed -n 's/.*"v100_contended": {"ops_per_sec": [0-9]*, "sim_sec_per_wall_sec": \([0-9.]*\),.*/\1/p' "$e2e_out")
+if [ -z "$e2e_ops" ] || [ -z "$e2e_simwall" ]; then
+    echo "ERROR: no v100_contended measurements in $e2e_out" >&2
+    exit 1
+fi
+ok=$(awk -v s="$e2e_ops" -v f="$e2e_ops_floor" 'BEGIN { print (s + 0 >= f + 0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "ERROR: contended e2e throughput ${e2e_ops} ops/sec is below the ${e2e_ops_floor} floor" >&2
+    exit 1
+fi
+ok=$(awk -v s="$e2e_simwall" -v f="$e2e_simwall_floor" 'BEGIN { print (s + 0 >= f + 0) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "ERROR: contended e2e sim-sec/wall-sec ${e2e_simwall} is below the ${e2e_simwall_floor} floor" >&2
+    exit 1
+fi
+echo "contended e2e: ${e2e_ops} ops/sec (floor: ${e2e_ops_floor}), ${e2e_simwall} sim-sec/wall-sec (floor: ${e2e_simwall_floor})"

@@ -23,6 +23,12 @@
 //!   in data-plane crates outside `#[cfg(test)]`: diagnostics belong in the
 //!   observability trace (`grouter-obs`), not on stdout, where they would
 //!   corrupt byte-compared experiment output.
+//! * `no-hot-string-clone` — owned-`String` production (`.to_string()`,
+//!   `.to_owned()`, `String::from`, and `.clone()` of `name`-like fields) is
+//!   banned in the runtime dispatch path (`crates/runtime/src/exec.rs`):
+//!   workflow and function names are interned to dense ids at spec-load
+//!   time, and a per-event allocation there regresses the macro benchmark.
+//!   Cold setup paths (spec-cache misses) carry a justified allow pragma.
 //!
 //! Suppression pragma syntax (same line or the line directly above):
 //!
@@ -37,12 +43,13 @@
 use std::fmt;
 
 /// Every rule the linter knows about.
-pub const RULES: [&str; 5] = [
+pub const RULES: [&str; 6] = [
     "no-panic-in-dataplane",
     "no-wallclock-in-sim",
     "no-unordered-emit",
     "no-silent-truncation",
     "no-stray-print",
+    "no-hot-string-clone",
 ];
 
 /// Crates whose `src/` is considered data-plane code.
@@ -421,6 +428,8 @@ struct PathInfo {
     test_dir: bool,
     /// Under `crates/bench/src/experiments`.
     experiments: bool,
+    /// The runtime dispatch path (`no-hot-string-clone` scope).
+    hot_dispatch: bool,
 }
 
 fn classify(path: &str) -> PathInfo {
@@ -433,10 +442,12 @@ fn classify(path: &str) -> PathInfo {
         .map(|s| s.to_string());
     let test_dir = segs.iter().any(|&s| s == "tests" || s == "benches");
     let experiments = norm.contains("crates/bench/src/experiments");
+    let hot_dispatch = norm.ends_with("crates/runtime/src/exec.rs");
     PathInfo {
         crate_name,
         test_dir,
         experiments,
+        hot_dispatch,
     }
 }
 
@@ -545,6 +556,32 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                     line: sp.line,
                     rule: "no-wallclock-in-sim".into(),
                     message: "`Instant::now` in a virtual-time crate".into(),
+                });
+            }
+        }
+
+        if info.hot_dispatch {
+            let string_maker = matches!(name.as_str(), "to_string" | "to_owned")
+                && is_punct(toks.get(i.wrapping_sub(1)), '.')
+                && is_punct(toks.get(i + 1), '(');
+            let string_from = name == "String"
+                && is_punct(toks.get(i + 1), ':')
+                && is_punct(toks.get(i + 2), ':')
+                && is_ident(toks.get(i + 3), "from");
+            let name_clone = name == "clone"
+                && is_punct(toks.get(i.wrapping_sub(1)), '.')
+                && is_punct(toks.get(i + 1), '(')
+                && matches!(
+                    toks.get(i.wrapping_sub(2)).map(|sp| &sp.tok),
+                    Some(Tok::Ident(recv)) if recv.split('_').any(|seg| seg == "name")
+                );
+            if string_maker || string_from || name_clone {
+                raw.push(Diagnostic {
+                    line: sp.line,
+                    rule: "no-hot-string-clone".into(),
+                    message: format!(
+                        "`{name}` builds an owned String in the runtime dispatch path; use the interned ids (or add a justified allow pragma on a cold setup path)"
+                    ),
                 });
             }
         }

@@ -1,0 +1,38 @@
+//@ path: crates/runtime/src/exec.rs
+// Owned-String production is banned in the runtime dispatch path: names are
+// interned to dense ids at spec-load time.
+
+fn dispatch_hot(spec_name: &str, wf: &Wf) -> u64 {
+    let owned = spec_name.to_string();
+    let again = spec_name.to_owned();
+    let from = String::from(spec_name);
+    let cloned = wf.name.clone();
+    let snake = wf.wf_name.clone();
+    (owned.len() + again.len() + from.len() + cloned.len() + snake.len()) as u64
+}
+
+fn cold_setup(spec_name: &str) -> String {
+    // grouter-lint: allow(no-hot-string-clone): spec-cache miss, once per spec
+    spec_name.to_string()
+}
+
+fn fine(wf: &Wf) -> (u32, std::sync::Arc<[u64]>) {
+    // Interned ids and Arc handles clone without touching String.
+    (wf.wf_id, wf.fn_ids.clone())
+}
+
+struct Wf {
+    name: String,
+    wf_name: String,
+    wf_id: u32,
+    fn_ids: std::sync::Arc<[u64]>,
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_clone() {
+        let s = "x".to_string();
+        assert_eq!(s.clone(), s);
+    }
+}
