@@ -1,0 +1,225 @@
+//! Cluster-scale sweep: the monolithic single-shard core vs the sharded
+//! engine on a million-invocation open-loop trace (ISSUE 7).
+//!
+//! Hand-rolled harness (no criterion): each configuration is one full
+//! trace run, far too large to iterate. Every run prints one line
+//!
+//! ```text
+//! SWEEP_JSON {"name":"uniform64/w1", ...}
+//! ```
+//!
+//! scraped by `scripts/bench_smoke.sh` into `BENCH_sweep.json` and gated
+//! there: the sharded core at ≥4 shards must hold a committed
+//! sim-sec/wall-sec speedup floor over the single-shard core.
+//!
+//! Configurations:
+//!
+//! * `mono64` — 64 V100 GPUs as ONE world on ONE timeline, driven by the
+//!   plain event loop (`Runtime::run`, no sharding machinery). MAPA scans
+//!   all 64 GPUs per placement; every event shares one heap.
+//! * `uniform64/wN` — the same 64 GPUs as 8 group-shards under the
+//!   conservative engine on N worker threads. Same workload mix, same
+//!   total arrival rate, group-local placement and timelines.
+//! * `hetero64` / `hetero128` — the heterogeneous presets (alternating
+//!   V100/A100 groups), sharded only: a monolithic world cannot mix GPU
+//!   classes (`Topology::build` replicates one spec).
+//!
+//! `GROUTER_SWEEP_INVOCATIONS` overrides the 1M default (CI smoke uses a
+//! reduced trace); the committed `BENCH_sweep.json` comes from a full run.
+
+use std::time::Instant;
+
+use grouter::runtime::cluster::{ClusterPort, ClusterSim};
+use grouter::runtime::simple_plane::LocalityPlane;
+use grouter::runtime::world::RuntimeConfig;
+use grouter::runtime::Runtime;
+use grouter::sim::rng::DetRng;
+use grouter::topology::presets;
+use grouter_workloads::azure::ArrivalPattern;
+use grouter_workloads::cluster::{cluster_mix, group_setups, ClusterPreset, OpenLoopArrivals};
+use grouter_workloads::models::GpuClass;
+
+const SEED: u64 = 42;
+/// Per-group arrival rate; ×8 groups ⇒ 8000 rps cluster-wide, so a
+/// million invocations span ≈125 simulated seconds. Chosen to hold the
+/// cluster near 60% GPU utilization — deep enough queues that placement
+/// and timeline costs dominate, below the saturation point where both
+/// cores just grind through backlog.
+const RPS_PER_GROUP: f64 = 1000.0;
+
+fn rps_per_group() -> f64 {
+    std::env::var("GROUTER_SWEEP_RPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(RPS_PER_GROUP)
+}
+
+fn invocations() -> u64 {
+    std::env::var("GROUTER_SWEEP_INVOCATIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000)
+}
+
+struct Outcome {
+    completed: u64,
+    failed: u64,
+    responses: u64,
+    sim_ns: u64,
+    wall_ns: u128,
+    epochs: u64,
+    messages: u64,
+}
+
+fn report(name: &str, workers: usize, groups: usize, gpus: usize, n: u64, o: &Outcome) {
+    let sim_s = o.sim_ns as f64 / 1e9;
+    let wall_s = o.wall_ns as f64 / 1e9;
+    println!(
+        "SWEEP_JSON {{\"name\":\"{name}\",\"workers\":{workers},\"groups\":{groups},\
+\"gpus\":{gpus},\"invocations\":{n},\"completed\":{},\"failed\":{},\"responses\":{},\
+\"sim_ns\":{},\"wall_ns\":{},\"epochs\":{},\"messages\":{},\"sim_per_wall\":{:.2}}}",
+        o.completed,
+        o.failed,
+        o.responses,
+        o.sim_ns,
+        o.wall_ns,
+        o.epochs,
+        o.messages,
+        sim_s / wall_s.max(1e-9),
+    );
+}
+
+/// The single-shard core: one world, one timeline, plain `Runtime::run`.
+/// The open-loop source feeds the whole cluster-wide rate into one port so
+/// the workload matches the sharded runs invocation-for-invocation in
+/// distribution (same mix, same total rate, same count).
+fn monolithic(nodes: usize, n: u64) -> Outcome {
+    let specs = cluster_mix(GpuClass::V100);
+    let mut rt = Runtime::new(
+        presets::dgx_v100(),
+        nodes,
+        Box::new(LocalityPlane::new()),
+        RuntimeConfig {
+            seed: SEED,
+            ..RuntimeConfig::default()
+        },
+    );
+    let mut port = ClusterPort::new(0, 1);
+    let k = specs.len() as u32;
+    for spec in specs {
+        rt.cluster_register(&mut port, spec);
+    }
+    port.source = Some(Box::new(OpenLoopArrivals::new(
+        ArrivalPattern::Sporadic,
+        rps_per_group() * nodes as f64,
+        n,
+        DetRng::new(SEED).fork(0xA21).split(0),
+        0,
+        1,
+        k,
+    )));
+    rt.world_mut().cluster = Some(Box::new(port));
+    rt.start_cluster_arrivals();
+    let t0 = Instant::now();
+    rt.run();
+    let wall_ns = t0.elapsed().as_nanos();
+    let w = rt.world();
+    let port = w.cluster.as_ref().expect("port installed");
+    assert!(w.quiescent(), "monolithic run did not drain");
+    Outcome {
+        completed: w.metrics.completed() as u64,
+        failed: w.metrics.failed,
+        responses: port.responses,
+        sim_ns: rt.now().as_nanos(),
+        wall_ns,
+        epochs: 0,
+        messages: 0,
+    }
+}
+
+/// One sharded run of `preset` on `workers` threads, `n` invocations
+/// spread evenly over the groups at [`RPS_PER_GROUP`] each.
+fn sharded(preset: &ClusterPreset, workers: usize, n: u64) -> Outcome {
+    let per_group = n / preset.groups.len() as u64;
+    let setups = group_setups(
+        preset,
+        ArrivalPattern::Sporadic,
+        rps_per_group(),
+        per_group,
+        SEED,
+        |_| Box::new(LocalityPlane::new()),
+    );
+    let mut sim = ClusterSim::new(SEED, setups);
+    let t0 = Instant::now();
+    let stats = sim.run(workers);
+    let wall_ns = t0.elapsed().as_nanos();
+    let sim_ns = (0..sim.groups())
+        .map(|g| sim.now(g).as_nanos())
+        .max()
+        .unwrap_or(0);
+    Outcome {
+        completed: sim.completed() as u64,
+        failed: sim.failed(),
+        responses: sim.responses(),
+        sim_ns,
+        wall_ns,
+        epochs: stats.epochs,
+        messages: stats.messages,
+    }
+}
+
+fn main() {
+    let n = invocations();
+    // `GROUTER_SWEEP_ONLY=<substring>` runs the matching configurations
+    // only (profiling one configuration, quick CI iterations).
+    let only = std::env::var("GROUTER_SWEEP_ONLY").ok();
+    let want = |name: &str| only.as_deref().is_none_or(|f| name.contains(f));
+    eprintln!("sweep: {n} invocations per configuration");
+
+    if want("mono64") {
+        let mono = monolithic(8, n);
+        report("mono64", 1, 1, 64, n, &mono);
+    }
+
+    let uniform = ClusterPreset::uniform_64();
+    for workers in [1usize, 2, 4, 8] {
+        let name = format!("uniform64/w{workers}");
+        if !want(&name) {
+            continue;
+        }
+        let o = sharded(&uniform, workers, n);
+        assert_eq!(
+            o.completed + o.failed,
+            n / 8 * 8,
+            "sharded run lost invocations"
+        );
+        report(&name, workers, 8, 64, n, &o);
+    }
+
+    if want("mono128") {
+        let mono = monolithic(16, n);
+        report("mono128", 1, 1, 128, n, &mono);
+    }
+
+    let uniform128 = ClusterPreset::uniform_128();
+    for workers in [1usize, 8] {
+        let name = format!("uniform128/w{workers}");
+        if !want(&name) {
+            continue;
+        }
+        let o = sharded(&uniform128, workers, n);
+        report(&name, workers, 16, 128, n, &o);
+    }
+
+    if want("hetero64/w8") {
+        let hetero64 = ClusterPreset::hetero_64();
+        let o = sharded(&hetero64, 8, n);
+        report("hetero64/w8", 8, 8, 64, n, &o);
+    }
+
+    if want("hetero128/w8") {
+        let hetero128 = ClusterPreset::hetero_128();
+        let o = sharded(&hetero128, 8, n);
+        report("hetero128/w8", 8, 16, 128, n, &o);
+    }
+}

@@ -1,0 +1,413 @@
+//! Cluster-scale sharded runtime: node groups as conservative shards.
+//!
+//! A 64–128-GPU serverless cluster is modelled as a set of *node groups*
+//! (one DGX-class node each, or a small rack), every group owning a full
+//! [`World`] — its own topology, data plane, event timeline and RNG stream.
+//! Groups interact only through the cluster frontend: a request is routed
+//! to a *home* group, and if the gateway that admitted it belongs to a
+//! different group, the invocation (and later its response) crosses a
+//! frontend channel with [`params::CROSS_GROUP_LATENCY`] one-way latency
+//! and [`params::CROSS_GROUP_BW`] bandwidth. That latency is the
+//! conservative lookahead of the sharded engine: no group can affect
+//! another sooner, so every group may simulate that far ahead of the
+//! global safe horizon in parallel (see `grouter_sim::shard`).
+//!
+//! Determinism: group worlds draw from [`DetRng::split`] streams of the
+//! run seed, cross-group messages are delivered in `(time, src, seq)`
+//! order regardless of worker threads, and merged reports iterate groups
+//! in index order — the same seed yields byte-identical metrics CSV and
+//! recovery logs on 1 or N threads.
+
+use std::sync::Arc;
+
+use grouter_sim::engine::Scheduler;
+use grouter_sim::fault::FaultPlan;
+use grouter_sim::params;
+use grouter_sim::rng::DetRng;
+use grouter_sim::shard::{Envelope, RunStats, ShardWorld, ShardedEngine};
+use grouter_sim::time::{SimDuration, SimTime};
+use grouter_sim::FxHashMap;
+use grouter_topology::graph::TopologySpec;
+
+use crate::dataplane::DataPlane;
+use crate::exec::{Event, Runtime};
+use crate::spec::WorkflowSpec;
+use crate::world::{RuntimeConfig, World};
+
+/// A message crossing the cluster frontend between two groups.
+#[derive(Clone, Debug)]
+pub enum CrossMsg {
+    /// Forwarded invocation: run logical workflow `spec` here; tell
+    /// `origin` when it finishes.
+    Invoke { spec: u32, origin: u32 },
+    /// Completion notification flowing back to the admitting group.
+    Response,
+}
+
+/// Open-loop request generator a group's gateway pulls from. Arrivals must
+/// be non-decreasing in time; `home` picks the executing group (locality
+/// routing keeps most requests on the admitting group).
+pub trait ArrivalSource: Send {
+    fn next(&mut self) -> Option<ClusterArrival>;
+}
+
+/// One frontend arrival: at `at`, logical workflow `spec` (an index into
+/// the cluster-global registry) is admitted and routed to group `home`.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterArrival {
+    pub at: SimTime,
+    pub spec: u32,
+    pub home: u32,
+}
+
+/// A workflow registered with a group, with the submit identities the
+/// executor needs precomputed (interned name + stable function ids).
+pub struct RegisteredSpec {
+    pub spec: Arc<WorkflowSpec>,
+    pub wf_name: u32,
+    pub fn_ids: Arc<[u64]>,
+}
+
+/// Per-group cluster frontend state, carried inside the group's [`World`].
+///
+/// Registry indices are *cluster-global logical ids*: every group registers
+/// the same workflow list in the same order (heterogeneous groups register
+/// their own GPU-tuned variant at the same index), so a forwarded `Invoke`
+/// names the right workflow everywhere.
+pub struct ClusterPort {
+    /// This group's index.
+    pub group: u32,
+    /// Total groups in the cluster.
+    pub groups: u32,
+    pub registry: Vec<RegisteredSpec>,
+    /// This group's share of the frontend request stream.
+    pub source: Option<Box<dyn ArrivalSource>>,
+    /// One-way frontend latency (also the engine lookahead floor).
+    pub cross_latency: SimDuration,
+    /// Directed per-(src,dst) frontend channel bandwidth, bytes/sec.
+    pub cross_bw: f64,
+    /// Envelopes produced this window, drained by the sharded engine.
+    pub(crate) outbox: Vec<Envelope<CrossMsg>>,
+    /// Per-destination envelope sequence counter.
+    seq: u64,
+    /// FIFO serialization point of each directed channel: the next message
+    /// to `dst` cannot depart before the previous one finished transmitting.
+    busy_until: FxHashMap<u32, SimTime>,
+    /// Admitting group of each remotely-requested live instance.
+    origin: FxHashMap<u64, u32>,
+    /// Responses received for requests this group admitted (local
+    /// completions count immediately; remote ones on `Response` delivery).
+    pub responses: u64,
+    /// Invocations this group forwarded elsewhere.
+    pub remote_out: u64,
+    /// Invocations this group executed for another group.
+    pub remote_in: u64,
+}
+
+impl ClusterPort {
+    pub fn new(group: u32, groups: u32) -> ClusterPort {
+        ClusterPort {
+            group,
+            groups,
+            registry: Vec::new(),
+            source: None,
+            cross_latency: params::CROSS_GROUP_LATENCY,
+            cross_bw: params::CROSS_GROUP_BW,
+            outbox: Vec::new(),
+            seq: 0,
+            busy_until: FxHashMap::default(),
+            origin: FxHashMap::default(),
+            responses: 0,
+            remote_out: 0,
+            remote_in: 0,
+        }
+    }
+
+    /// Queue `msg` for `dst`: serialize on the directed channel's FIFO,
+    /// transmit `bytes` at the channel bandwidth, then add the one-way
+    /// latency. The stamped time is always ≥ `now + cross_latency`, which
+    /// is what licenses the engine's lookahead.
+    fn send(&mut self, now: SimTime, dst: u32, bytes: f64, msg: CrossMsg) {
+        let busy = self
+            .busy_until
+            .get(&dst)
+            .copied()
+            .unwrap_or(SimTime::ZERO)
+            .max(now);
+        let xfer = SimDuration::from_secs_f64(bytes.max(0.0) / self.cross_bw);
+        let ready = busy + xfer;
+        self.busy_until.insert(dst, ready);
+        self.outbox.push(Envelope {
+            at: ready + self.cross_latency,
+            src: self.group,
+            dst,
+            seq: self.seq,
+            msg,
+        });
+        self.seq += 1;
+    }
+}
+
+/// The engine lookahead a cluster of these ports supports: the frontend
+/// one-way latency, which every cross-group message pays on top of its
+/// send time.
+pub fn cross_group_lookahead() -> SimDuration {
+    params::CROSS_GROUP_LATENCY
+}
+
+// ---------------------------------------------------------------------------
+// Event handlers (dispatched from `exec`)
+// ---------------------------------------------------------------------------
+
+/// Pull the next arrival off this group's source and schedule its ingress
+/// plus the following pull (chained so the event queue holds O(1) future
+/// arrivals instead of the whole trace).
+pub(crate) fn next_arrival(w: &mut World, s: &mut Scheduler<World>) {
+    let Some(port) = w.cluster.as_mut() else {
+        return;
+    };
+    let Some(source) = port.source.as_mut() else {
+        return;
+    };
+    if let Some(a) = source.next() {
+        debug_assert!(a.at >= s.now(), "arrival sources must be time-ordered");
+        let at = a.at.max(s.now());
+        s.schedule_at(
+            at,
+            Event::ClusterIngress {
+                spec: a.spec,
+                home: a.home,
+            },
+        );
+        s.schedule_at(at, Event::NextArrival);
+    }
+}
+
+/// A request reached this group's gateway: run it here if this is its home
+/// group, otherwise forward the invocation across the frontend.
+pub(crate) fn ingress(w: &mut World, s: &mut Scheduler<World>, spec: u32, home: u32) {
+    let now = s.now();
+    let Some(port) = w.cluster.as_mut() else {
+        return;
+    };
+    if home == port.group {
+        admit(w, s, spec, None);
+    } else {
+        port.remote_out += 1;
+        let bytes = port.registry[spec as usize].spec.input_bytes;
+        let origin = port.group;
+        port.send(now, home, bytes, CrossMsg::Invoke { spec, origin });
+    }
+}
+
+/// A frontend envelope stamped for this instant: execute a forwarded
+/// invocation, or account a returning response.
+pub(crate) fn deliver(w: &mut World, s: &mut Scheduler<World>, msg: CrossMsg) {
+    match msg {
+        CrossMsg::Invoke { spec, origin } => {
+            if let Some(port) = w.cluster.as_mut() {
+                port.remote_in += 1;
+            }
+            admit(w, s, spec, Some(origin));
+        }
+        CrossMsg::Response => {
+            if let Some(port) = w.cluster.as_mut() {
+                port.responses += 1;
+            }
+        }
+    }
+}
+
+/// Start a registered workflow on this group's world, remembering the
+/// admitting group so the completion can be routed back.
+fn admit(w: &mut World, s: &mut Scheduler<World>, spec_idx: u32, origin: Option<u32>) {
+    let (spec, wf_name, fn_ids) = {
+        // grouter-lint: allow(no-panic-in-dataplane): admit is only reachable from cluster events, which require the port
+        let port = w.cluster.as_ref().expect("admit on non-cluster world");
+        let r = &port.registry[spec_idx as usize];
+        (r.spec.clone(), r.wf_name, r.fn_ids.clone())
+    };
+    // `arrival` consumes this id; a fail-fast arrival never inserts it.
+    let inst_id = w.next_instance;
+    w.metrics.arrivals += 1;
+    crate::exec::arrival(w, s, spec, wf_name, fn_ids);
+    if let Some(origin) = origin {
+        if w.instances.contains_key(&inst_id) {
+            if let Some(port) = w.cluster.as_mut() {
+                port.origin.insert(inst_id, origin);
+            }
+        }
+    }
+}
+
+/// Executor hook: an instance finished. Route the response (terminal-stage
+/// output bytes) back to its admitting group, or count it locally.
+pub(crate) fn on_instance_finished(w: &mut World, now: SimTime, inst_id: u64, resp_bytes: f64) {
+    let Some(port) = w.cluster.as_mut() else {
+        return;
+    };
+    match port.origin.remove(&inst_id) {
+        Some(origin) if origin != port.group => {
+            port.send(now, origin, resp_bytes, CrossMsg::Response);
+        }
+        _ => port.responses += 1,
+    }
+}
+
+/// Executor hook: an instance failed (typed recovery failure). Failed
+/// requests never answer their admitting gateway; drop the routing entry
+/// so the origin map cannot grow over a chaotic run.
+pub(crate) fn on_instance_failed(w: &mut World, inst_id: u64) {
+    if let Some(port) = w.cluster.as_mut() {
+        port.origin.remove(&inst_id);
+    }
+}
+
+impl ShardWorld for World {
+    type Msg = CrossMsg;
+
+    fn drain_outbox(&mut self, sink: &mut Vec<Envelope<CrossMsg>>) {
+        if let Some(port) = self.cluster.as_mut() {
+            sink.append(&mut port.outbox);
+        }
+    }
+
+    fn apply_message(&mut self, sched: &mut Scheduler<World>, env: Envelope<CrossMsg>) {
+        sched.schedule_at(env.at, Event::ClusterDeliver(env.msg));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSim facade
+// ---------------------------------------------------------------------------
+
+/// Everything needed to build one group's world.
+pub struct GroupSetup {
+    pub topo: TopologySpec,
+    pub nodes: usize,
+    pub plane: Box<dyn DataPlane>,
+    pub config: RuntimeConfig,
+    /// Cluster-global workflow registry, in logical-id order. Every group
+    /// must supply the same-length list; heterogeneous groups supply their
+    /// own GPU-tuned variants at matching indices.
+    pub specs: Vec<Arc<WorkflowSpec>>,
+    pub source: Option<Box<dyn ArrivalSource>>,
+    pub fault_plan: Option<FaultPlan>,
+}
+
+/// A sharded cluster: one [`World`] per node group under a conservative
+/// parallel engine, plus deterministic merged reporting.
+pub struct ClusterSim {
+    engine: ShardedEngine<World>,
+}
+
+impl ClusterSim {
+    /// Build the cluster. Each group's world seeds its RNG from
+    /// `DetRng::new(run_seed).split(group)` — deterministic and independent
+    /// of group construction order.
+    pub fn new(run_seed: u64, groups: Vec<GroupSetup>) -> ClusterSim {
+        let n = groups.len() as u32;
+        assert!(n > 0, "a cluster needs at least one group");
+        let root = DetRng::new(run_seed);
+        let mut sims = Vec::with_capacity(groups.len());
+        for (g, setup) in groups.into_iter().enumerate() {
+            let mut rt = Runtime::new(setup.topo, setup.nodes, setup.plane, setup.config);
+            rt.world_mut().rng = root.split(g as u64);
+            let mut port = ClusterPort::new(g as u32, n);
+            for spec in setup.specs {
+                rt.cluster_register(&mut port, spec);
+            }
+            port.source = setup.source;
+            rt.world_mut().cluster = Some(Box::new(port));
+            if let Some(plan) = &setup.fault_plan {
+                rt.install_fault_plan(plan);
+            }
+            rt.start_cluster_arrivals();
+            sims.push(rt.into_sim());
+        }
+        ClusterSim {
+            engine: ShardedEngine::from_sims(sims, cross_group_lookahead()),
+        }
+    }
+
+    /// Run every group to global quiescence on `threads` workers. The
+    /// result is byte-identical for any thread count.
+    pub fn run(&mut self, threads: usize) -> RunStats {
+        self.engine.run(threads)
+    }
+
+    pub fn groups(&self) -> usize {
+        self.engine.shards()
+    }
+
+    pub fn world(&self, group: usize) -> &World {
+        &self.engine.shard(group).world
+    }
+
+    /// A group's local virtual clock (groups stop at slightly different
+    /// instants; the cluster-wide sim time is the max).
+    pub fn now(&self, group: usize) -> SimTime {
+        self.engine.shard(group).now()
+    }
+
+    pub fn port(&self, group: usize) -> &ClusterPort {
+        self.world(group)
+            .cluster
+            .as_ref()
+            // grouter-lint: allow(no-panic-in-dataplane): ClusterSim::new installs a port on every group world it builds
+            .expect("cluster worlds carry a port")
+    }
+
+    pub fn arrivals(&self) -> u64 {
+        self.each().map(|w| w.metrics.arrivals).sum()
+    }
+
+    pub fn completed(&self) -> usize {
+        self.each().map(|w| w.metrics.completed()).sum()
+    }
+
+    pub fn failed(&self) -> u64 {
+        self.each().map(|w| w.metrics.failed).sum()
+    }
+
+    pub fn responses(&self) -> u64 {
+        (0..self.groups()).map(|g| self.port(g).responses).sum()
+    }
+
+    fn each(&self) -> impl Iterator<Item = &World> {
+        self.engine.sims().iter().map(|s| &s.world)
+    }
+
+    /// Merged per-instance metrics, grouped deterministically: the standard
+    /// CSV prefixed with a `group` column, groups in index order. Identical
+    /// bytes for any worker thread count.
+    pub fn merged_csv(&self) -> String {
+        let mut out = String::from(
+            "group,workflow,arrived_s,latency_ms,compute_ms,gfn_gfn_ms,gfn_host_ms,cfn_cfn_ms\n",
+        );
+        for (g, w) in self.each().enumerate() {
+            let csv = w.metrics.to_csv();
+            for line in csv.lines().skip(1) {
+                out.push_str(&format!("{g},{line}\n"));
+            }
+        }
+        out
+    }
+
+    /// Merged recovery log, ordered by `(time, group, per-group index)` —
+    /// a deterministic global interleaving of every group's typed log.
+    pub fn merged_recovery_log(&self) -> String {
+        let mut rows: Vec<(SimTime, usize, usize, String)> = Vec::new();
+        for (g, w) in self.each().enumerate() {
+            for (i, (t, ev)) in w.recovery_log().into_iter().enumerate() {
+                rows.push((t, g, i, format!("{ev:?}")));
+            }
+        }
+        rows.sort_by_key(|r| (r.0, r.1, r.2));
+        let mut out = String::new();
+        for (t, g, _, ev) in rows {
+            out.push_str(&format!("{} g{} {}\n", t.as_nanos(), g, ev));
+        }
+        out
+    }
+}

@@ -150,7 +150,9 @@ pub struct PlaneStats {
 }
 
 /// A pluggable data plane.
-pub trait DataPlane {
+/// `Send` because a whole [`crate::world::World`] (which owns its plane)
+/// may be moved to a shard worker thread by the sharded cluster engine.
+pub trait DataPlane: Send {
     /// Short name for reports ("GROUTER", "INFless+", …).
     fn name(&self) -> &'static str;
 

@@ -74,8 +74,23 @@ impl Runtime {
 
     /// Schedule a request for `spec` at absolute time `at`.
     pub fn submit(&mut self, spec: Arc<WorkflowSpec>, at: SimTime) {
-        let cache_key = Arc::as_ptr(&spec) as usize;
-        let (wf_name, fn_ids) = match self.spec_cache.get(&cache_key) {
+        let (wf_name, fn_ids) = self.spec_identity(&spec);
+        self.sim.world.metrics.arrivals += 1;
+        self.sim.sched.schedule_at(
+            at,
+            Event::Arrival {
+                spec,
+                wf_name,
+                fn_ids,
+            },
+        );
+    }
+
+    /// The submit identities of `spec` — interned workflow name and stable
+    /// per-stage function ids — computed once per distinct spec.
+    fn spec_identity(&mut self, spec: &Arc<WorkflowSpec>) -> (u32, Arc<[u64]>) {
+        let cache_key = Arc::as_ptr(spec) as usize;
+        match self.spec_cache.get(&cache_key) {
             Some((_, wf, ids)) => (*wf, ids.clone()),
             None => {
                 // grouter-lint: allow(no-panic-in-dataplane): submit() is the public entry point; an invalid spec is caller error and must abort
@@ -99,16 +114,48 @@ impl Runtime {
                     .insert(cache_key, (spec.clone(), wf, ids.clone()));
                 (wf, ids)
             }
-        };
-        self.sim.world.metrics.arrivals += 1;
-        self.sim.sched.schedule_at(
-            at,
-            Event::Arrival {
-                spec,
-                wf_name,
-                fn_ids,
-            },
-        );
+        }
+    }
+
+    /// Register `spec` with a cluster port: compute its submit identities
+    /// against this group's world and append it to the port's registry.
+    /// Returns the logical id (registry index).
+    pub fn cluster_register(
+        &mut self,
+        port: &mut crate::cluster::ClusterPort,
+        spec: Arc<WorkflowSpec>,
+    ) -> u32 {
+        let (wf_name, fn_ids) = self.spec_identity(&spec);
+        port.registry.push(crate::cluster::RegisteredSpec {
+            spec,
+            wf_name,
+            fn_ids,
+        });
+        (port.registry.len() - 1) as u32
+    }
+
+    /// Kick the cluster arrival pump: schedule the first `NextArrival`
+    /// pull. Requires an installed [`crate::cluster::ClusterPort`] with a
+    /// source; a no-op otherwise.
+    pub fn start_cluster_arrivals(&mut self) {
+        let has_source = self
+            .sim
+            .world
+            .cluster
+            .as_ref()
+            .is_some_and(|p| p.source.is_some());
+        if has_source {
+            self.sim
+                .sched
+                .schedule_at(SimTime::ZERO, Event::NextArrival);
+        }
+    }
+
+    /// Surrender the driver wrapper, keeping the warmed-up simulation
+    /// (scheduled events, installed fault plans, cluster port) — the form
+    /// the sharded engine consumes.
+    pub fn into_sim(self) -> Simulation<World> {
+        self.sim
     }
 
     /// Record per-GPU idle-memory samples every `every` until `until`
@@ -241,6 +288,13 @@ pub enum Event {
         kind: OpKind,
         attempt: u32,
     },
+    /// Pull the next arrival from the cluster port's open-loop source.
+    NextArrival,
+    /// A request reached this group's gateway: run locally or forward to
+    /// its home group.
+    ClusterIngress { spec: u32, home: u32 },
+    /// A cross-group envelope stamped for this instant.
+    ClusterDeliver(crate::cluster::CrossMsg),
 }
 
 impl grouter_sim::EventWorld for World {
@@ -284,6 +338,9 @@ impl grouter_sim::EventWorld for World {
                 kind,
                 attempt,
             } => crate::fault::re_issue(self, s, inst, stage, kind, attempt),
+            Event::NextArrival => crate::cluster::next_arrival(self, s),
+            Event::ClusterIngress { spec, home } => crate::cluster::ingress(self, s, spec, home),
+            Event::ClusterDeliver(msg) => crate::cluster::deliver(self, s, msg),
         }
     }
 }
@@ -360,7 +417,7 @@ fn pass_category(pattern: DataPassPattern) -> PassCategory {
 // Arrival
 // ---------------------------------------------------------------------------
 
-fn arrival(
+pub(crate) fn arrival(
     w: &mut World,
     s: &mut Scheduler<World>,
     spec: Arc<WorkflowSpec>,
@@ -921,6 +978,14 @@ fn finish_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u64) {
     let now = s.now();
     // grouter-lint: allow(no-panic-in-dataplane): scheduled events reference instances that outlive them; a miss is a scheduler bug
     let inst = w.instances.remove(&inst_id).expect("live");
+    // Response payload back to the admitting gateway: the terminal stages'
+    // outputs (what egress returned to the caller).
+    let resp_bytes: f64 = inst
+        .spec
+        .terminals()
+        .iter()
+        .map(|&t| inst.spec.stages[t].output_bytes)
+        .sum();
     w.metrics.record(InstanceRecord {
         workflow: inst.wf_name,
         arrived: inst.arrived,
@@ -929,6 +994,7 @@ fn finish_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u64) {
         passing: inst.passing,
         op_durations: inst.op_durations,
     });
+    crate::cluster::on_instance_finished(w, now, inst_id, resp_bytes);
     let _ = s;
 }
 

@@ -1083,6 +1083,7 @@ pub(crate) fn fail_instance(w: &mut World, s: &mut Scheduler<World>, inst_id: u6
         drain_object(w, s, data);
     }
     w.instances.remove(&inst_id);
+    crate::cluster::on_instance_failed(w, inst_id);
     w.fault.retries.retain(|&(i, _), _| i != inst_id);
     w.metrics.failed += 1;
     w.log_recovery(now, RecoveryEvent::InstanceFailed { inst: inst_id });

@@ -18,6 +18,7 @@
 //!   GPU/CPU occupancy.
 //! * [`exec`] — the event-driven executor tying it all together.
 
+pub mod cluster;
 pub mod dataplane;
 pub mod exec;
 pub mod fault;
@@ -28,6 +29,7 @@ pub mod slab;
 pub mod spec;
 pub mod world;
 
+pub use cluster::{ArrivalSource, ClusterArrival, ClusterPort, ClusterSim, CrossMsg, GroupSetup};
 pub use dataplane::{DataOp, DataPlane, Destination, LegHealth, OpLeg, PlaneCtx, PutOp};
 pub use exec::{Event, Runtime};
 pub use fault::{FaultState, RecoveryEvent};

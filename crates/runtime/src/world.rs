@@ -251,6 +251,9 @@ pub struct World {
     /// Fault-injection bookkeeping (failed GPUs, degraded-link baselines,
     /// per-stage retry budgets).
     pub fault: crate::fault::FaultState,
+    /// Cross-group port installed when this world is one shard of a
+    /// [`crate::cluster::ClusterSim`]; `None` for standalone worlds.
+    pub cluster: Option<Box<crate::cluster::ClusterPort>>,
     /// The flight recorder every component in this world reports into.
     /// `Comp::Fault` events are recorded even with tracing off, so the
     /// recovery log ([`World::recovery_log`]) is a decoded *view* over this
@@ -346,6 +349,7 @@ impl World {
             next_op: 0,
             rebalances_applied: 0,
             fault: Default::default(),
+            cluster: None,
             rec,
             topo,
             net,

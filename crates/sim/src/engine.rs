@@ -42,7 +42,10 @@ pub trait EventWorld: Sized {
     fn dispatch(&mut self, sched: &mut Scheduler<Self>, ev: Self::Event);
 }
 
-type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+/// Boxed-closure events are `Send` so a whole `Simulation` (world plus
+/// pending timeline) can move to a shard worker thread; see
+/// [`crate::shard`].
+type BoxedEvent<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>) + Send>;
 
 /// One scheduled unit: a typed event or a boxed closure.
 enum Item<W: EventWorld> {
@@ -171,7 +174,7 @@ impl<W: EventWorld> Scheduler<W> {
     #[inline]
     pub fn schedule_at(&mut self, at: SimTime, ev: W::Event)
     where
-        W::Event: 'static,
+        W::Event: Send + 'static,
     {
         match &mut self.timeline {
             Timeline::Bucketed { .. } => self.push_item(at, Item::Typed(ev)),
@@ -190,7 +193,7 @@ impl<W: EventWorld> Scheduler<W> {
     #[inline]
     pub fn schedule_in(&mut self, delay: SimDuration, ev: W::Event)
     where
-        W::Event: 'static,
+        W::Event: Send + 'static,
     {
         self.schedule_at(self.now.saturating_add(delay), ev);
     }
@@ -200,7 +203,7 @@ impl<W: EventWorld> Scheduler<W> {
     #[inline]
     pub fn schedule_now(&mut self, ev: W::Event)
     where
-        W::Event: 'static,
+        W::Event: Send + 'static,
     {
         self.schedule_at(self.now, ev);
     }
@@ -210,7 +213,7 @@ impl<W: EventWorld> Scheduler<W> {
     /// steady-state dispatch.
     pub fn schedule_boxed<F>(&mut self, at: SimTime, event: F)
     where
-        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     {
         self.push_boxed(at, Box::new(event));
     }
@@ -218,7 +221,7 @@ impl<W: EventWorld> Scheduler<W> {
     /// [`Self::schedule_boxed`] at `now + delay`.
     pub fn schedule_boxed_in<F>(&mut self, delay: SimDuration, event: F)
     where
-        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     {
         self.schedule_boxed(self.now.saturating_add(delay), event);
     }
@@ -226,7 +229,7 @@ impl<W: EventWorld> Scheduler<W> {
     /// [`Self::schedule_boxed`] at the current instant.
     pub fn schedule_boxed_now<F>(&mut self, event: F)
     where
-        F: FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        F: FnOnce(&mut W, &mut Scheduler<W>) + Send + 'static,
     {
         self.schedule_boxed(self.now, event);
     }
@@ -322,6 +325,12 @@ impl<W: EventWorld> Scheduler<W> {
                 Some((ev.at, Item::Boxed(ev.event)))
             }
         }
+    }
+
+    /// Timestamp of the next pending event, if any. The sharded engine uses
+    /// this to compute the global safe window without popping anything.
+    pub fn next_event_at(&self) -> Option<SimTime> {
+        self.next_at()
     }
 
     /// Timestamp of the next pending event, if any.
@@ -459,6 +468,21 @@ impl<W: EventWorld> Simulation<W> {
     pub fn run_until(&mut self, deadline: SimTime) {
         while let Some(next_at) = self.sched.next_at() {
             if next_at > deadline {
+                break;
+            }
+            self.step();
+        }
+    }
+
+    /// Run until the queue drains or the next event would fire at or after
+    /// `bound` (strictly exclusive, unlike [`Simulation::run_until`]).
+    ///
+    /// This is the primitive the conservative sharded engine needs: a shard
+    /// may execute exactly the events with `t < horizon` — the horizon
+    /// itself is not safe, because a cross-shard message can land there.
+    pub fn run_before(&mut self, bound: SimTime) {
+        while let Some(next_at) = self.sched.next_at() {
+            if next_at >= bound {
                 break;
             }
             self.step();

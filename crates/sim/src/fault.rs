@@ -227,7 +227,7 @@ impl FaultPlan {
     pub fn install<W, F>(&self, sched: &mut Scheduler<W>, handler: F)
     where
         W: crate::engine::EventWorld,
-        F: Fn(&mut W, &mut Scheduler<W>, &FaultEvent) + Clone + 'static,
+        F: Fn(&mut W, &mut Scheduler<W>, &FaultEvent) + Clone + Send + 'static,
     {
         for ev in self.events.clone() {
             let h = handler.clone();

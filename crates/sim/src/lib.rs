@@ -20,10 +20,14 @@
 //! * [`stats`] — streaming percentiles, histograms and time series used by the
 //!   elastic-storage policies and the experiment harness.
 //! * [`rng`] — seeded deterministic random number helpers.
+//! * [`shard`] — a conservative parallel engine: many [`engine`] timelines
+//!   advanced in safe windows bounded by a cross-shard lookahead, with
+//!   deterministic `(timestamp, shard, sequence)` message delivery.
 //! * [`params`] — the single calibration table for all hardware constants.
 //!
-//! Everything in this crate is single-threaded and fully deterministic: two
-//! runs with the same seed produce bit-identical event orders.
+//! Everything in this crate is fully deterministic: two runs with the same
+//! seed produce bit-identical event orders — including sharded runs, where
+//! the result is additionally independent of the worker thread count.
 
 pub mod engine;
 pub mod fault;
@@ -32,6 +36,7 @@ pub mod flownet_ref;
 pub mod fxhash;
 pub mod params;
 pub mod rng;
+pub mod shard;
 pub mod stats;
 pub mod time;
 
@@ -40,4 +45,5 @@ pub use fault::{FaultDomain, FaultEvent, FaultKind, FaultPlan, FaultPlanConfig};
 pub use flownet::{FlowId, FlowNet, FlowNetError, FlowOptions, LinkId};
 pub use flownet_ref::ReferenceNet;
 pub use fxhash::{FxHashMap, FxHashSet};
+pub use shard::{Envelope, RunStats, ShardWorld, ShardedEngine};
 pub use time::{SimDuration, SimTime};

@@ -88,6 +88,15 @@ pub const LOCAL_TABLE_LOOKUP: SimDuration = SimDuration::from_micros(2);
 /// Global-table RPC on a local miss (hierarchical control plane, §4.2.2).
 pub const GLOBAL_TABLE_LOOKUP: SimDuration = SimDuration::from_micros(30);
 
+/// One-way latency between node groups through the cluster frontend
+/// (gateway dispatch + cross-rack fabric floor). Doubles as the sharded
+/// engine's conservative lookahead: no cross-group message can land
+/// sooner, so each group may safely simulate this far ahead of the rest.
+pub const CROSS_GROUP_LATENCY: SimDuration = SimDuration::from_millis(1);
+/// Effective bandwidth of one directed frontend channel between groups
+/// (request/response payloads, not intra-group data-plane traffic).
+pub const CROSS_GROUP_BW: f64 = 10.0 * GBPS;
+
 /// Container cold start (pull + init) for a CPU function.
 pub const COLD_START_CFN: SimDuration = SimDuration::from_millis(500);
 /// Container cold start + model load for a GPU function.

@@ -13,6 +13,9 @@
 #[derive(Clone, Debug)]
 pub struct DetRng {
     state: u64,
+    /// Construction seed, kept so [`DetRng::split`] can derive streams that
+    /// do not depend on how many values this generator has produced.
+    seed: u64,
 }
 
 impl DetRng {
@@ -21,12 +24,38 @@ impl DetRng {
     pub fn new(seed: u64) -> Self {
         DetRng {
             state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15),
+            seed,
         }
     }
 
     /// Derive an independent child generator (e.g. one per workflow).
+    ///
+    /// Consumes one value from this generator, so the child depends on how
+    /// much the parent has already produced. For position-insensitive
+    /// derivation (per-shard streams) use [`DetRng::split`].
     pub fn fork(&mut self, tag: u64) -> DetRng {
         DetRng::new(self.next_u64() ^ tag.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+    }
+
+    /// Derive an independent stream keyed only by `(construction seed,
+    /// stream_id)`.
+    ///
+    /// Unlike [`DetRng::fork`], `split` does not advance this generator:
+    /// the same `stream_id` yields the same stream no matter how many values
+    /// were drawn in between and no matter the order streams are split in.
+    /// This is the per-shard derivation the sharded engine relies on — a
+    /// shard's randomness must not depend on how other shards were set up.
+    pub fn split(&self, stream_id: u64) -> DetRng {
+        // Two SplitMix64 finalisation rounds over (seed, stream_id):
+        // consecutive stream ids land on decorrelated seeds.
+        let mut z = self.seed.wrapping_add(0x9E37_79B9_7F4A_7C15)
+            ^ stream_id.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        DetRng::new(z ^ (z >> 31))
     }
 
     /// Next raw 64-bit value.
@@ -149,6 +178,52 @@ mod tests {
         let mut c1 = parent.fork(1);
         let mut c2 = parent.fork(2);
         let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn split_is_reproducible() {
+        let a = DetRng::new(42);
+        let b = DetRng::new(42);
+        let mut s1 = a.split(7);
+        let mut s2 = b.split(7);
+        for _ in 0..100 {
+            assert_eq!(s1.next_u64(), s2.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_is_order_and_position_insensitive() {
+        // Splitting after draws, and splitting streams in any order, must
+        // yield the same streams: split depends only on (seed, stream_id).
+        let mut a = DetRng::new(99);
+        let b = DetRng::new(99);
+        for _ in 0..17 {
+            a.next_u64(); // advance the parent
+        }
+        let mut a3 = a.split(3);
+        let mut a1 = a.split(1);
+        let mut b1 = b.split(1);
+        let mut b3 = b.split(3);
+        for _ in 0..64 {
+            assert_eq!(a1.next_u64(), b1.next_u64());
+            assert_eq!(a3.next_u64(), b3.next_u64());
+        }
+    }
+
+    #[test]
+    fn split_streams_are_independent() {
+        let r = DetRng::new(5);
+        let mut s1 = r.split(0);
+        let mut s2 = r.split(1);
+        let same = (0..64).filter(|_| s1.next_u64() == s2.next_u64()).count();
+        assert_eq!(same, 0);
+        // A split stream also differs from its parent's own output.
+        let mut parent = DetRng::new(5);
+        let mut child = DetRng::new(5).split(0);
+        let same = (0..64)
+            .filter(|_| parent.next_u64() == child.next_u64())
+            .count();
         assert_eq!(same, 0);
     }
 

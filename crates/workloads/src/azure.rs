@@ -117,6 +117,134 @@ pub fn generate_trace(
     out
 }
 
+/// Incremental arrival generator: the same processes as [`generate_trace`],
+/// emitted one arrival at a time.
+///
+/// Cluster-scale sweeps drive millions of invocations; materialising the
+/// whole trace up front costs hundreds of MB and pollutes the cache before
+/// the run even starts. `OpenLoopGen` holds O(1) state and draws from the
+/// RNG in *exactly* the order `generate_trace` does, so a bounded generator
+/// yields the identical arrival sequence byte for byte
+/// (`open_loop_matches_generate_trace` below pins this).
+#[derive(Clone, Debug)]
+pub struct OpenLoopGen {
+    pattern: ArrivalPattern,
+    mean_rps: f64,
+    /// Horizon in seconds; `f64::INFINITY` for count-bounded callers.
+    horizon: f64,
+    rng: DetRng,
+    /// Current process time, seconds.
+    t: f64,
+    /// Bursty modulation state.
+    on: bool,
+    phase_end: f64,
+}
+
+impl OpenLoopGen {
+    /// Arrivals over `[0, duration)`, mirroring
+    /// `generate_trace(pattern, mean_rps, duration, rng)`.
+    pub fn new(
+        pattern: ArrivalPattern,
+        mean_rps: f64,
+        duration: SimDuration,
+        mut rng: DetRng,
+    ) -> OpenLoopGen {
+        assert!(mean_rps > 0.0, "rate must be positive");
+        let phase_end = if pattern == ArrivalPattern::Bursty {
+            rng.exponential(4.0)
+        } else {
+            0.0
+        };
+        OpenLoopGen {
+            pattern,
+            mean_rps,
+            horizon: duration.as_secs_f64(),
+            rng,
+            t: 0.0,
+            on: false,
+            phase_end,
+        }
+    }
+
+    /// An endless generator — the caller bounds the run by arrival count
+    /// (open-loop cluster sweeps) instead of by horizon.
+    pub fn unbounded(pattern: ArrivalPattern, mean_rps: f64, mut rng: DetRng) -> OpenLoopGen {
+        assert!(mean_rps > 0.0, "rate must be positive");
+        let phase_end = if pattern == ArrivalPattern::Bursty {
+            rng.exponential(4.0)
+        } else {
+            0.0
+        };
+        OpenLoopGen {
+            pattern,
+            mean_rps,
+            horizon: f64::INFINITY,
+            rng,
+            t: 0.0,
+            on: false,
+            phase_end,
+        }
+    }
+}
+
+impl Iterator for OpenLoopGen {
+    type Item = SimTime;
+
+    fn next(&mut self) -> Option<SimTime> {
+        match self.pattern {
+            ArrivalPattern::Sporadic => {
+                self.t += self.rng.exponential(1.0 / self.mean_rps);
+                if self.t >= self.horizon {
+                    return None;
+                }
+                Some(SimTime((self.t * 1e9) as u64))
+            }
+            ArrivalPattern::Periodic => {
+                let peak = self.mean_rps * 1.9;
+                let period = 10.0;
+                loop {
+                    self.t += self.rng.exponential(1.0 / peak);
+                    if self.t >= self.horizon {
+                        return None;
+                    }
+                    let lambda = self.mean_rps
+                        * (1.0 + 0.9 * (2.0 * std::f64::consts::PI * self.t / period).sin());
+                    if self.rng.next_f64() < lambda / peak {
+                        return Some(SimTime((self.t * 1e9) as u64));
+                    }
+                }
+            }
+            ArrivalPattern::Bursty => {
+                let on_rate = self.mean_rps * 8.0;
+                let off_rate = self.mean_rps * 0.12;
+                loop {
+                    let rate = if self.on { on_rate } else { off_rate };
+                    let dt = self.rng.exponential(1.0 / rate);
+                    if self.t + dt >= self.phase_end {
+                        self.t = self.phase_end;
+                        self.on = !self.on;
+                        self.phase_end = self.t
+                            + if self.on {
+                                self.rng.exponential(0.5)
+                            } else {
+                                self.rng.exponential(4.0)
+                            };
+                        if self.t >= self.horizon {
+                            return None;
+                        }
+                    } else {
+                        self.t += dt;
+                        if self.t >= self.horizon {
+                            return None;
+                        }
+                        return Some(SimTime((self.t * 1e9) as u64));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Coefficient of variation of inter-arrival times (trace shape check).
 pub fn interarrival_cv(trace: &[SimTime]) -> f64 {
     if trace.len() < 3 {
@@ -179,6 +307,63 @@ mod tests {
         assert_eq!(a, b);
         let c = trace(ArrivalPattern::Bursty, 25.0, 30, 10);
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn open_loop_matches_generate_trace() {
+        for p in ArrivalPattern::ALL {
+            let eager = trace(p, 40.0, 60, 13);
+            let lazy: Vec<SimTime> =
+                OpenLoopGen::new(p, 40.0, SimDuration::from_secs(60), DetRng::new(13)).collect();
+            assert_eq!(eager, lazy, "{p:?} open-loop diverged from eager trace");
+        }
+    }
+
+    #[test]
+    fn open_loop_same_seed_is_byte_identical() {
+        let a: Vec<SimTime> =
+            OpenLoopGen::unbounded(ArrivalPattern::Bursty, 500.0, DetRng::new(21))
+                .take(10_000)
+                .collect();
+        let b: Vec<SimTime> =
+            OpenLoopGen::unbounded(ArrivalPattern::Bursty, 500.0, DetRng::new(21))
+                .take(10_000)
+                .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn open_loop_rate_holds_under_backlog() {
+        // Open-loop means the arrival process never slows down with the
+        // consumer: after N draws the clock must sit at ≈ N/λ regardless
+        // of how far behind a simulated server would be.
+        let n = 200_000usize;
+        let rps = 4_000.0;
+        let last = OpenLoopGen::unbounded(ArrivalPattern::Sporadic, rps, DetRng::new(5))
+            .take(n)
+            .last()
+            .expect("nonempty");
+        let elapsed = last.as_secs_f64();
+        let expect = n as f64 / rps;
+        assert!(
+            (elapsed - expect).abs() / expect < 0.05,
+            "open-loop clock drifted: {elapsed:.2}s for {n} arrivals at {rps} rps (expect ≈{expect:.2}s)"
+        );
+    }
+
+    #[test]
+    fn open_loop_generates_a_million_arrivals() {
+        // Generation speed guard for the cluster sweep: a million arrivals
+        // must stream through in O(n) with O(1) state (no materialised
+        // trace). Monotonicity is checked on the fly.
+        let mut gen = OpenLoopGen::unbounded(ArrivalPattern::Sporadic, 4_000.0, DetRng::new(77));
+        let mut prev = SimTime::ZERO;
+        for _ in 0..1_000_000 {
+            let t = gen.next().expect("unbounded generator never ends");
+            assert!(t >= prev);
+            prev = t;
+        }
+        assert!(prev > SimTime::ZERO);
     }
 
     #[test]

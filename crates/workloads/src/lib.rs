@@ -16,8 +16,10 @@
 
 pub mod apps;
 pub mod azure;
+pub mod cluster;
 pub mod llm;
 pub mod models;
 
 pub use apps::{suite, WorkloadParams};
-pub use azure::{generate_trace, ArrivalPattern};
+pub use azure::{generate_trace, ArrivalPattern, OpenLoopGen};
+pub use cluster::{cluster_mix, group_setups, ClusterPreset, OpenLoopArrivals};

@@ -34,6 +34,13 @@ echo "==> chaos smoke (fixed-seed fault injection over the GROUTER plane)"
 # with: GROUTER_CHAOS_SEED=<seed> cargo test -p grouter-integration-tests --test chaos
 cargo test -q -p grouter-integration-tests --test chaos
 
+echo "==> sharded-determinism smoke (same seed, inline vs 2 vs 8 worker threads)"
+# Reduced-scale cluster run under the conservative sharded engine: the
+# merged metrics CSV and recovery log must be byte-identical whether the
+# group shards run inline on one thread or spread over workers. Thread-
+# count-dependent nondeterminism fails here fast, before the bench gates.
+cargo test -q -p grouter-integration-tests --test sharded thread_count_never_changes_merged_outputs
+
 echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json + BENCH_obs.json)"
 scripts/bench_smoke.sh
 

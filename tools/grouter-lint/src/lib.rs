@@ -2,7 +2,7 @@
 //!
 //! The linter tokenizes Rust sources with a small hand-rolled lexer (no
 //! `syn`, no registry dependencies — the build environment is offline) and
-//! enforces five project rules with file/line diagnostics:
+//! enforces seven project rules with file/line diagnostics:
 //!
 //! * `no-panic-in-dataplane` — `unwrap`/`expect`/`panic!`/`unreachable!` are
 //!   banned in the data-plane crates (`sim`, `topology`, `transfer`, `store`,
@@ -29,6 +29,16 @@
 //!   workflow and function names are interned to dense ids at spec-load
 //!   time, and a per-event allocation there regresses the macro benchmark.
 //!   Cold setup paths (spec-cache misses) carry a justified allow pragma.
+//! * `no-shared-mut-across-shards` — `static mut`, `lazy_static!`/
+//!   `thread_local!`-style globals and shared-mutability cells
+//!   (`Mutex`/`RwLock`/`Condvar`/`Atomic*`/`RefCell`/`UnsafeCell`/
+//!   `OnceLock`/`OnceCell`) are banned in the sharded-engine modules
+//!   (`crates/sim/src/shard.rs`, `crates/runtime/src/cluster.rs`): shards
+//!   may exchange state only through timestamped envelopes drained at
+//!   epoch barriers, because any other cross-shard channel is invisible to
+//!   the (timestamp, shard, sequence) ordering that makes runs
+//!   thread-count independent. The threaded driver's own epoch plumbing
+//!   carries justified allow pragmas.
 //!
 //! Suppression pragma syntax (same line or the line directly above):
 //!
@@ -43,13 +53,30 @@
 use std::fmt;
 
 /// Every rule the linter knows about.
-pub const RULES: [&str; 6] = [
+pub const RULES: [&str; 7] = [
     "no-panic-in-dataplane",
     "no-wallclock-in-sim",
     "no-unordered-emit",
     "no-silent-truncation",
     "no-stray-print",
     "no-hot-string-clone",
+    "no-shared-mut-across-shards",
+];
+
+/// Modules that make up the sharded engine (`no-shared-mut-across-shards`
+/// scope): cross-shard state must flow through envelopes, not shared cells.
+const SHARD_MODULES: [&str; 2] = ["crates/sim/src/shard.rs", "crates/runtime/src/cluster.rs"];
+
+/// Shared-mutability type names banned across shards.
+const SHARED_MUT_TYPES: [&str; 8] = [
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "RefCell",
+    "UnsafeCell",
+    "OnceLock",
+    "OnceCell",
+    "Cell",
 ];
 
 /// Crates whose `src/` is considered data-plane code.
@@ -430,6 +457,8 @@ struct PathInfo {
     experiments: bool,
     /// The runtime dispatch path (`no-hot-string-clone` scope).
     hot_dispatch: bool,
+    /// A sharded-engine module (`no-shared-mut-across-shards` scope).
+    shard_module: bool,
 }
 
 fn classify(path: &str) -> PathInfo {
@@ -443,11 +472,13 @@ fn classify(path: &str) -> PathInfo {
     let test_dir = segs.iter().any(|&s| s == "tests" || s == "benches");
     let experiments = norm.contains("crates/bench/src/experiments");
     let hot_dispatch = norm.ends_with("crates/runtime/src/exec.rs");
+    let shard_module = SHARD_MODULES.iter().any(|m| norm.ends_with(m));
     PathInfo {
         crate_name,
         test_dir,
         experiments,
         hot_dispatch,
+        shard_module,
     }
 }
 
@@ -581,6 +612,25 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                     rule: "no-hot-string-clone".into(),
                     message: format!(
                         "`{name}` builds an owned String in the runtime dispatch path; use the interned ids (or add a justified allow pragma on a cold setup path)"
+                    ),
+                });
+            }
+        }
+
+        if info.shard_module {
+            let static_mut = name == "static" && is_ident(toks.get(i + 1), "mut");
+            let global_macro = matches!(name.as_str(), "lazy_static" | "thread_local")
+                && is_punct(toks.get(i + 1), '!');
+            let shared_cell = SHARED_MUT_TYPES.contains(&name.as_str())
+                || (name.starts_with("Atomic") && name.len() > "Atomic".len());
+            if static_mut || global_macro || shared_cell {
+                raw.push(Diagnostic {
+                    line: sp.line,
+                    rule: "no-shared-mut-across-shards".into(),
+                    message: format!(
+                        "`{}` is shared mutable state in a sharded-engine module; cross-shard \
+state must travel in timestamped envelopes (or add a justified allow pragma)",
+                        if static_mut { "static mut" } else { name }
                     ),
                 });
             }
@@ -733,6 +783,28 @@ mod tests {
         let d = lint_source("crates/sim/src/x.rs", bad);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "no-silent-truncation");
+    }
+
+    #[test]
+    fn shared_mut_is_banned_in_shard_modules_only() {
+        let src = "use std::sync::Mutex;\nstatic mut SEQ: u64 = 0;\nthread_local! { static T: u32 = 0; }\nfn f(x: &std::sync::atomic::AtomicU64) { let _ = x; }\n";
+        let d = lint_source("crates/sim/src/shard.rs", src);
+        let rules: Vec<_> = d.iter().map(|d| (d.line, d.rule.as_str())).collect();
+        assert_eq!(
+            rules,
+            vec![
+                (1, "no-shared-mut-across-shards"),
+                (2, "no-shared-mut-across-shards"),
+                (3, "no-shared-mut-across-shards"),
+                (4, "no-shared-mut-across-shards"),
+            ],
+            "{d:?}"
+        );
+        // Same source outside the sharded engine: only dataplane rules apply.
+        assert!(lint_source("crates/runtime/src/world.rs", src).is_empty());
+        // A justified pragma suppresses the barrier plumbing.
+        let ok = "// grouter-lint: allow(no-shared-mut-across-shards): epoch barrier plumbing\nuse std::sync::Mutex;\n";
+        assert!(lint_source("crates/runtime/src/cluster.rs", ok).is_empty());
     }
 
     #[test]

@@ -1,0 +1,15 @@
+//@ path: crates/runtime/src/world.rs
+// The shared-mut ban is scoped to the sharded-engine modules; ordinary
+// runtime code may use interior mutability (dataplane rules still apply).
+
+use std::sync::Mutex;
+
+struct Cache {
+    slots: Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    fn len(&self) -> usize {
+        self.slots.lock().map(|s| s.len()).unwrap_or(0)
+    }
+}

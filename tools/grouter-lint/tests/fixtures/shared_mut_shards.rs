@@ -1,0 +1,39 @@
+//@ path: crates/sim/src/shard.rs
+// Shards may exchange state only through timestamped envelopes: globals
+// and shared-mutability cells are invisible to the (timestamp, shard,
+// sequence) ordering and break thread-count independence.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+static mut NEXT_SEQ: u64 = 0;
+
+lazy_static! {
+    static ref REGISTRY: Vec<u32> = Vec::new();
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Vec<u8>> = RefCell::new(Vec::new());
+}
+
+struct CrossShardCounter {
+    hits: AtomicU64,
+}
+
+impl CrossShardCounter {
+    fn bump(&self) {
+        self.hits.fetch_add(1, Ordering::SeqCst);
+    }
+}
+
+// grouter-lint: allow(no-shared-mut-across-shards): worker handoff slots for the epoch barrier; determinism comes from the envelope sort, not lock order
+fn handoff(slots: &[Mutex<Vec<u64>>]) -> usize {
+    slots.len()
+}
+
+// `Barrier` and `Ordering` are pure synchronization, not shared data —
+// they are not flagged.
+fn sync_only(b: &std::sync::Barrier) {
+    b.wait();
+}
