@@ -390,7 +390,11 @@ impl<W: EventWorld> Scheduler<W> {
         grouter_audit::check("engine.timeline", total == self.len, || {
             format!("pending count {} != bucket total {total}", self.len)
         });
-        for (&t, &slot) in by_time {
+        // Check in sorted key order: `check` aborts on the first violation,
+        // so a corrupt index must name the same entry on every run.
+        let mut index: Vec<(u64, u32)> = by_time.iter().map(|(&t, &s)| (t, s)).collect();
+        index.sort_unstable();
+        for (t, slot) in index {
             grouter_audit::check(
                 "engine.timeline",
                 slots
@@ -521,6 +525,29 @@ mod tests {
         sim.run();
         assert_eq!(sim.world.log, vec![(10, "a"), (20, "b"), (30, "c")]);
         assert_eq!(sim.now(), SimTime(30));
+    }
+
+    /// Regression: the timeline auditor walks `by_time` in sorted key
+    /// order, so a corrupt index with several stale entries aborts naming
+    /// the smallest key on every run. Before the sort, the entry named
+    /// depended on hash-iteration order (found by grouter-analyze's
+    /// determinism-taint pass).
+    #[cfg(feature = "audit")]
+    #[test]
+    fn corrupt_time_index_aborts_on_the_smallest_key() {
+        let mut sim = Simulation::new(World::default());
+        sim.sched.schedule_at(SimTime(10), (10, "a"));
+        let Timeline::Bucketed { by_time, .. } = &mut sim.sched.timeline else {
+            panic!("default timeline is bucketed");
+        };
+        by_time.insert(777, 99);
+        by_time.insert(555, 98);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            sim.sched.audit_timeline();
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("time index 555 -> slot 98"), "{msg}");
     }
 
     #[test]

@@ -846,7 +846,10 @@ impl FlowNet {
                     )
                 },
             );
-            for (&id, &slot) in &self.id_index {
+            // Sorted so a corrupt slab aborts naming the same flow each run.
+            let mut index: Vec<(u64, u32)> = self.id_index.iter().map(|(&i, &s)| (i, s)).collect();
+            index.sort_unstable();
+            for (id, slot) in index {
                 grouter_audit::check(
                     "flownet.slab",
                     self.slots.get(slot as usize).map(|s| s.id) == Some(id),

@@ -114,7 +114,12 @@ impl TransferEngine {
             return;
         }
         grouter_audit::record_hit("transfer.pending");
-        for (fid, tid) in &self.flow_owner {
+        // Sorted so a corrupt ownership map aborts naming the same flow
+        // each run (`check` panics on the first violation it sees).
+        let mut owners: Vec<(FlowId, u64)> =
+            self.flow_owner.iter().map(|(&f, &t)| (f, t)).collect();
+        owners.sort_unstable();
+        for (fid, tid) in owners.iter().map(|(f, t)| (f, t)) {
             grouter_audit::check(
                 "transfer.pending",
                 self.active

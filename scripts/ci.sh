@@ -19,6 +19,14 @@ cargo clippy --workspace -- -D warnings
 echo "==> grouter-lint (workspace rules over crates/)"
 cargo run -q --release -p grouter-lint -- crates
 
+echo "==> grouter-analyze (call-graph passes; zero unbaselined findings)"
+# Interprocedural panic-/wallclock-reachability and determinism taint over
+# every crate. Known findings live in analyze-baseline.txt with per-entry
+# justifications; any new finding, stale entry, bad pragma, or a call-site
+# resolution rate under 90% fails here.
+cargo run -q --release -p grouter-analyze -- \
+    --baseline analyze-baseline.txt --min-resolution 0.90 crates
+
 echo "==> tier-1 tests, audited (cargo build --release && cargo test -q)"
 # The workspace test graph includes crates/audit, whose dev-dependencies
 # enable the `audit` feature on every data-plane crate — so this single run

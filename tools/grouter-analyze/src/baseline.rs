@@ -1,0 +1,194 @@
+//! The committed findings baseline (`analyze-baseline.txt`).
+//!
+//! Line format:
+//!
+//! ```text
+//! <pass> <fqn> <kind> | <justification>
+//! ```
+//!
+//! Blank lines and `#` comments are ignored. Every entry MUST carry a
+//! non-empty justification; a malformed line is a hard error (a baseline
+//! that does not parse must not silently admit findings). Reconciliation
+//! is exact-set: findings without an entry fail the run, and entries that
+//! no finding matches are *stale* and also fail the run, so the baseline
+//! can only shrink truthfully.
+
+use crate::Finding;
+use std::collections::BTreeSet;
+
+#[derive(Debug, Clone)]
+pub struct Entry {
+    /// `<pass> <fqn> <kind>` with single-space separators.
+    pub key: String,
+    pub justification: String,
+    /// 1-based line in the baseline file, for error reporting.
+    pub line: usize,
+}
+
+#[derive(Debug, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// Parse a baseline file. Returns the parsed entries or every malformed
+/// line as `line N: message`.
+pub fn parse(text: &str) -> Result<Baseline, Vec<String>> {
+    let mut entries = Vec::new();
+    let mut errors = Vec::new();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((left, right)) = line.split_once('|') else {
+            errors.push(format!(
+                "line {lineno}: missing ` | <justification>` separator"
+            ));
+            continue;
+        };
+        let fields: Vec<&str> = left.split_whitespace().collect();
+        if fields.len() != 3 {
+            errors.push(format!(
+                "line {lineno}: expected `<pass> <fqn> <kind>` before `|`, got {} field(s)",
+                fields.len()
+            ));
+            continue;
+        }
+        if !crate::PASSES.contains(&fields[0]) {
+            errors.push(format!("line {lineno}: unknown pass `{}`", fields[0]));
+            continue;
+        }
+        let justification = right.trim().to_string();
+        if justification.is_empty() {
+            errors.push(format!("line {lineno}: empty justification"));
+            continue;
+        }
+        let key = fields.join(" ");
+        if !seen.insert(key.clone()) {
+            errors.push(format!("line {lineno}: duplicate entry `{key}`"));
+            continue;
+        }
+        entries.push(Entry {
+            key,
+            justification,
+            line: lineno,
+        });
+    }
+    if errors.is_empty() {
+        Ok(Baseline { entries })
+    } else {
+        Err(errors)
+    }
+}
+
+#[derive(Debug, Default)]
+pub struct Reconciliation {
+    /// Indices into the findings slice with no baseline entry.
+    pub unbaselined: Vec<usize>,
+    /// Baseline entries no current finding matches.
+    pub stale: Vec<Entry>,
+    /// Findings covered by the baseline.
+    pub baselined: usize,
+}
+
+pub fn reconcile(baseline: &Baseline, findings: &[Finding]) -> Reconciliation {
+    let keys: BTreeSet<&str> = baseline.entries.iter().map(|e| e.key.as_str()).collect();
+    let mut used: BTreeSet<String> = BTreeSet::new();
+    let mut out = Reconciliation::default();
+    for (i, f) in findings.iter().enumerate() {
+        let key = f.baseline_key();
+        if keys.contains(key.as_str()) {
+            used.insert(key);
+            out.baselined += 1;
+        } else {
+            out.unbaselined.push(i);
+        }
+    }
+    for e in &baseline.entries {
+        if !used.contains(&e.key) {
+            out.stale.push(e.clone());
+        }
+    }
+    out
+}
+
+/// Render a baseline skeleton covering `findings` (one line per distinct
+/// key, justification left as a TODO for the author to fill in).
+pub fn emit(findings: &[Finding]) -> String {
+    let mut keys: Vec<String> = findings.iter().map(|f| f.baseline_key()).collect();
+    keys.sort();
+    keys.dedup();
+    let mut out = String::from(
+        "# grouter-analyze baseline: `<pass> <fqn> <kind> | <justification>` per line.\n",
+    );
+    for k in keys {
+        out.push_str(&k);
+        out.push_str(" | TODO: justify\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: &'static str, func: &str, kind: &str) -> Finding {
+        Finding {
+            pass,
+            func: func.into(),
+            file: "crates/sim/src/x.rs".into(),
+            line: 1,
+            col: 1,
+            kind: kind.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn parse_accepts_comments_and_entries() {
+        let b = parse(
+            "# header\n\npanic-reachable sim::x::f unwrap | slab ids are live by construction\n",
+        )
+        .unwrap();
+        assert_eq!(b.entries.len(), 1);
+        assert_eq!(b.entries[0].key, "panic-reachable sim::x::f unwrap");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let errs = parse(
+            "panic-reachable sim::x::f unwrap\nnot-a-pass a b | x\npanic-reachable toofew | x\npanic-reachable sim::x::f unwrap |   \n",
+        )
+        .unwrap_err();
+        assert_eq!(errs.len(), 4, "{errs:?}");
+    }
+
+    #[test]
+    fn reconcile_splits_covered_new_and_stale() {
+        let b = parse(
+            "panic-reachable sim::x::f unwrap | fine\nwallclock-reachable sim::x::gone instant-now | was removed\n",
+        )
+        .unwrap();
+        let findings = vec![
+            finding("panic-reachable", "sim::x::f", "unwrap"),
+            finding("determinism-taint", "sim::x::g", "hash-iter->metrics"),
+        ];
+        let r = reconcile(&b, &findings);
+        assert_eq!(r.baselined, 1);
+        assert_eq!(r.unbaselined, vec![1]);
+        assert_eq!(r.stale.len(), 1);
+        assert!(r.stale[0].key.contains("sim::x::gone"));
+    }
+
+    #[test]
+    fn emit_dedups_keys() {
+        let findings = vec![
+            finding("panic-reachable", "sim::x::f", "unwrap"),
+            finding("panic-reachable", "sim::x::f", "unwrap"),
+        ];
+        let s = emit(&findings);
+        assert_eq!(s.matches("sim::x::f").count(), 1);
+    }
+}

@@ -1,0 +1,106 @@
+//! Hand-rolled JSON emission for machine-readable diagnostics (the build
+//! environment is offline, so no serde). Output is deterministic: findings
+//! arrive pre-sorted and stats are a fixed-shape object.
+
+use crate::Report;
+
+/// Escape a string per JSON. Only the escapes the analyzer can actually
+/// produce (quotes, backslashes, control chars) are handled.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the full report as a JSON document.
+pub fn render(r: &Report) -> String {
+    let mut out = String::from("{\n  \"findings\": [");
+    for (i, f) in r.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pass\": \"{}\", \"func\": \"{}\", \"file\": \"{}\", \"line\": {}, \"col\": {}, \"kind\": \"{}\", \"message\": \"{}\"}}",
+            escape(f.pass),
+            escape(&f.func),
+            escape(&f.file),
+            f.line,
+            f.col,
+            escape(&f.kind),
+            escape(&f.message),
+        ));
+    }
+    if !r.findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+    out.push_str(&format!(
+        "  \"stats\": {{\"files\": {}, \"functions\": {}, \"entry_points\": {}, \"call_sites\": {}, \"internal\": {}, \"external\": {}, \"unresolved\": {}, \"resolution_rate\": {:.4}}},\n",
+        r.files,
+        r.functions,
+        r.entry_points,
+        r.stats.call_sites,
+        r.stats.internal,
+        r.stats.external,
+        r.stats.unresolved,
+        r.stats.resolution_rate(),
+    ));
+    out.push_str("  \"pragma_errors\": [");
+    for (i, e) in r.pragma_errors.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("\"{}\"", escape(e)));
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphStats;
+    use crate::Finding;
+
+    #[test]
+    fn renders_valid_shape_and_escapes() {
+        let r = Report {
+            findings: vec![Finding {
+                pass: "determinism-taint",
+                func: "sim::x::f".into(),
+                file: "crates/sim/src/x.rs".into(),
+                line: 3,
+                col: 9,
+                kind: "hash-iter->metrics".into(),
+                message: "a \"quoted\" chain".into(),
+            }],
+            stats: GraphStats {
+                call_sites: 10,
+                internal: 8,
+                external: 1,
+                unresolved: 1,
+            },
+            files: 2,
+            functions: 5,
+            entry_points: 1,
+            pragma_errors: vec![],
+        };
+        let s = render(&r);
+        assert!(s.contains("\"kind\": \"hash-iter->metrics\""));
+        assert!(s.contains("a \\\"quoted\\\" chain"));
+        assert!(s.contains("\"resolution_rate\": 0.9000"));
+        // Balanced braces/brackets as a cheap well-formedness check.
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+}

@@ -1,0 +1,10 @@
+//@ path: crates/sim/src/fixture.rs
+//! Malformed suppressions are hard errors, reported as `bad-pragma`
+//! pseudo-findings by the harness: one names an unknown pass, one has no
+//! justification.
+
+// grouter-analyze: allow(no-such-pass): typo in the pass name
+fn a() {}
+
+// grouter-analyze: allow(determinism-taint)
+fn b() {}

@@ -1,0 +1,25 @@
+//@ path: crates/transfer/src/fixture.rs
+//! True positives: panic sites transitively reachable from a data-plane
+//! entry type through a two-hop call chain.
+
+pub struct TransferEngine;
+
+impl TransferEngine {
+    pub fn admit(&mut self, req: u64) {
+        stage(req);
+    }
+}
+
+fn stage(req: u64) {
+    finish(req);
+}
+
+fn finish(req: u64) {
+    let table: Vec<u64> = Vec::new();
+    let x: Option<u64> = None;
+    let _a = x.unwrap();
+    let _b = table[req as usize];
+    if req == 0 {
+        panic!("zero request");
+    }
+}

@@ -1,0 +1,18 @@
+//@ path: crates/transfer/src/fixture.rs
+//! True negative: the panicking helper is never called from any entry
+//! point, so the reachability pass stays quiet. Literal indexing and
+//! full-range slicing are also exempt even where reachable.
+
+pub struct TransferEngine;
+
+impl TransferEngine {
+    pub fn admit(&mut self, buf: &[u8]) -> u8 {
+        let head = buf[0];
+        let _all = &buf[..];
+        head
+    }
+}
+
+fn lonely(x: Option<u64>) -> u64 {
+    x.unwrap()
+}

@@ -1,0 +1,13 @@
+//@ path: crates/sim/src/fixture.rs
+//! Spawned-thread completion order flowing into cross-shard envelope
+//! construction: whichever worker finishes first builds its envelope
+//! first, so the receiving shard sees a host-order-dependent sequence.
+
+pub fn fan_out(items: Vec<Work>, tx: &Sender) {
+    for item in items {
+        let handle = std::thread::spawn(move || item.run());
+        let result = handle.join();
+        let env = Envelope { shard: 0, payload: result };
+        tx.send(env);
+    }
+}

@@ -1,0 +1,15 @@
+//@ path: crates/obs/src/fixture.rs
+//! Seeded true positive: FxHashMap iteration order flows straight into a
+//! metrics row with no canonicalization in between.
+
+pub struct HitTable {
+    pending: FxHashMap<u64, u32>,
+}
+
+impl HitTable {
+    pub fn flush(&self, table: &mut MetricsTable) {
+        for (flow, hits) in self.pending.iter() {
+            table.record(*flow, *hits);
+        }
+    }
+}

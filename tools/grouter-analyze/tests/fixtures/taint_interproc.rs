@@ -1,0 +1,19 @@
+//@ path: crates/obs/src/fixture.rs
+//! Interprocedural sink: the iteration itself never touches a sink, but
+//! the helper it calls per entry does, so the taint still lands.
+
+pub struct HitTable {
+    pending: FxHashMap<u64, u32>,
+}
+
+impl HitTable {
+    pub fn flush(&self, table: &mut MetricsTable) {
+        for (flow, hits) in self.pending.iter() {
+            emit_row(table, *flow, *hits);
+        }
+    }
+}
+
+fn emit_row(table: &mut MetricsTable, flow: u64, hits: u32) {
+    table.record(flow, hits);
+}

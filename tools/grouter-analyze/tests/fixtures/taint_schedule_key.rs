@@ -1,0 +1,15 @@
+//@ path: crates/sim/src/fixture.rs
+//! Hash-iteration order deciding event schedule order: each key becomes a
+//! wake-up event, so the timeline's tie-break order is nondeterministic.
+
+pub struct Wakeups {
+    due: FxHashSet<u64>,
+}
+
+impl Wakeups {
+    pub fn arm(&self, sched: &mut Scheduler) {
+        for &flow in self.due.iter() {
+            sched.schedule_at(SimTime(flow), Event::Wake(flow));
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//@ path: crates/obs/src/fixture.rs
+//! True negative: the same iteration is canonicalized with a sort before
+//! any row is emitted, so the taint pass stays quiet.
+
+pub struct HitTable {
+    pending: FxHashMap<u64, u32>,
+}
+
+impl HitTable {
+    pub fn flush(&self, table: &mut MetricsTable) {
+        let mut rows: Vec<(u64, u32)> = self.pending.iter().map(|(&k, &v)| (k, v)).collect();
+        rows.sort_unstable();
+        for (flow, hits) in rows {
+            table.record(flow, hits);
+        }
+    }
+}

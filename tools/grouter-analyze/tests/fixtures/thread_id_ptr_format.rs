@@ -1,0 +1,14 @@
+//@ path: crates/obs/src/fixture.rs
+//! Two more source kinds: thread ids and pointer formatting, both feeding
+//! an obs trace sample.
+
+pub struct Tracer;
+
+impl Tracer {
+    pub fn label(&self, rec: &mut Recorder, buf: &Buffer) {
+        let tid = thread::current().id();
+        rec.sample("worker", tid);
+        let addr = format!("{:p}", buf);
+        rec.sample("buffer", addr);
+    }
+}

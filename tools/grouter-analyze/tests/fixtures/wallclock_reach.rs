@@ -1,0 +1,16 @@
+//@ path: crates/sim/src/fixture.rs
+//! Wall-clock reads on a sim-driven path: `Instant::now` and `SystemTime`
+//! both fire once the containing function is reachable from `FlowNet`.
+
+pub struct FlowNet;
+
+impl FlowNet {
+    pub fn recompute(&mut self) {
+        stamp();
+    }
+}
+
+fn stamp() {
+    let _t0 = Instant::now();
+    let _wall = SystemTime::now();
+}

@@ -1,0 +1,499 @@
+//! Shared infrastructure for the workspace's source tools (`grouter-lint`
+//! and `grouter-analyze`): the hand-rolled lexer, `#[cfg(test)]` masking,
+//! the suppression-pragma parser, the diagnostic type, and the file walker.
+//!
+//! Both tools consume this module so they cannot drift on path filtering,
+//! pragma syntax, or how Rust sources are tokenized. Everything here is
+//! zero-dependency and offline.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// A finding at a source position. Displayed as `line:col: [rule] message`,
+/// so a driver printing `path:{diag}` yields the clickable
+/// `path:line:col: [rule] message` form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    pub line: usize,
+    pub col: usize,
+    pub rule: String,
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    Ident(String),
+    Punct(char),
+    /// A string literal's contents (escapes left as written). Kept in the
+    /// stream so expression-aware passes can inspect format strings; the
+    /// token-pattern rules simply never match on it.
+    Str(String),
+}
+
+#[derive(Debug, Clone)]
+pub struct Sp {
+    pub line: usize,
+    pub col: usize,
+    pub tok: Tok,
+}
+
+/// Tokenize `src`, returning the token stream and the line comments
+/// (pragmas live in line comments only). Positions are 1-based.
+pub fn tokenize(src: &str) -> (Vec<Sp>, Vec<(usize, String)>) {
+    let b: Vec<char> = src.chars().collect();
+    // line_starts[k] = char index where line k+1 begins.
+    let mut line_starts = vec![0usize];
+    for (i, &c) in b.iter().enumerate() {
+        if c == '\n' {
+            line_starts.push(i + 1);
+        }
+    }
+    let pos = |i: usize| -> (usize, usize) {
+        let line = line_starts.partition_point(|&s| s <= i);
+        (line, i - line_starts[line - 1] + 1)
+    };
+
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c == '/' && b.get(i + 1) == Some(&'/') {
+            let start = i + 2;
+            let mut j = start;
+            while j < b.len() && b[j] != '\n' {
+                j += 1;
+            }
+            comments.push((pos(i).0, b[start..j].iter().collect()));
+            i = j;
+        } else if c == '/' && b.get(i + 1) == Some(&'*') {
+            let mut depth = 1usize;
+            let mut j = i + 2;
+            while j < b.len() && depth > 0 {
+                if b[j] == '/' && b.get(j + 1) == Some(&'*') {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            i = j;
+        } else if c == '"' {
+            let (line, col) = pos(i);
+            let end = skip_plain_string(&b, i);
+            toks.push(Sp {
+                line,
+                col,
+                tok: Tok::Str(b[i + 1..end.saturating_sub(1).max(i + 1)].iter().collect()),
+            });
+            i = end;
+        } else if (c == 'r' || c == 'b') && string_prefix(&b, i).is_some() {
+            let (quote, hashes, raw) = string_prefix(&b, i).unwrap();
+            let (line, col) = pos(i);
+            let end = if raw {
+                skip_raw_string(&b, quote, hashes)
+            } else {
+                skip_plain_string(&b, quote)
+            };
+            let content_end = if raw {
+                end.saturating_sub(1 + hashes)
+            } else {
+                end.saturating_sub(1)
+            };
+            toks.push(Sp {
+                line,
+                col,
+                tok: Tok::Str(
+                    b[(quote + 1).min(content_end)..content_end]
+                        .iter()
+                        .collect(),
+                ),
+            });
+            i = end;
+        } else if c == 'b' && b.get(i + 1) == Some(&'\'') {
+            i = skip_char_or_lifetime(&b, i + 1);
+        } else if c == '\'' {
+            i = skip_char_or_lifetime(&b, i);
+        } else if c.is_alphanumeric() || c == '_' {
+            let mut j = i;
+            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            let (line, col) = pos(i);
+            toks.push(Sp {
+                line,
+                col,
+                tok: Tok::Ident(b[i..j].iter().collect()),
+            });
+            i = j;
+        } else {
+            let (line, col) = pos(i);
+            toks.push(Sp {
+                line,
+                col,
+                tok: Tok::Punct(c),
+            });
+            i += 1;
+        }
+    }
+    (toks, comments)
+}
+
+/// If `b[i]` starts a raw/byte string prefix (`r"`, `r#"`, `br"`, `b"`),
+/// return (index of the opening quote, hash count, is_raw).
+fn string_prefix(b: &[char], i: usize) -> Option<(usize, usize, bool)> {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == 'r' {
+        let mut k = j + 1;
+        let mut hashes = 0usize;
+        while k < b.len() && b[k] == '#' {
+            hashes += 1;
+            k += 1;
+        }
+        if k < b.len() && b[k] == '"' {
+            return Some((k, hashes, true));
+        }
+        None
+    } else if b[i] == 'b' && j < b.len() && b[j] == '"' {
+        Some((j, 0, false))
+    } else {
+        None
+    }
+}
+
+/// Skip a `"..."` string starting at the opening quote; returns the index
+/// one past the closing quote.
+fn skip_plain_string(b: &[char], open: usize) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Skip a raw string whose opening quote is at `open` with `hashes` hashes.
+fn skip_raw_string(b: &[char], open: usize, hashes: usize) -> usize {
+    let mut j = open + 1;
+    while j < b.len() {
+        if b[j] == '"'
+            && b[j + 1..]
+                .iter()
+                .take(hashes)
+                .filter(|&&c| c == '#')
+                .count()
+                == hashes
+        {
+            return j + 1 + hashes;
+        }
+        j += 1;
+    }
+    j
+}
+
+/// At a `'`: either a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a
+/// lifetime (`'a`). Returns the index one past the literal.
+fn skip_char_or_lifetime(b: &[char], quote: usize) -> usize {
+    if b.get(quote + 1) == Some(&'\\') {
+        let mut j = quote + 2;
+        while j < b.len() && b[j] != '\'' {
+            j += 1;
+        }
+        j + 1
+    } else if b.get(quote + 2) == Some(&'\'') {
+        quote + 3
+    } else {
+        let mut j = quote + 1;
+        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+            j += 1;
+        }
+        j
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token helpers
+// ---------------------------------------------------------------------------
+
+pub fn is_punct(sp: Option<&Sp>, c: char) -> bool {
+    matches!(sp, Some(Sp { tok: Tok::Punct(p), .. }) if *p == c)
+}
+
+pub fn is_ident(sp: Option<&Sp>, name: &str) -> bool {
+    matches!(sp, Some(Sp { tok: Tok::Ident(s), .. }) if s == name)
+}
+
+// ---------------------------------------------------------------------------
+// #[cfg(test)] exclusion
+// ---------------------------------------------------------------------------
+
+/// Mark every token covered by a `#[cfg(test)]` item (attribute through the
+/// end of the item's brace-delimited body, or its terminating `;`).
+pub fn cfg_test_mask(toks: &[Sp]) -> Vec<bool> {
+    let mut ex = vec![false; toks.len()];
+    let mut i = 0usize;
+    while i < toks.len() {
+        let attr = is_punct(toks.get(i), '#')
+            && is_punct(toks.get(i + 1), '[')
+            && is_ident(toks.get(i + 2), "cfg")
+            && is_punct(toks.get(i + 3), '(')
+            && is_ident(toks.get(i + 4), "test")
+            && is_punct(toks.get(i + 5), ')')
+            && is_punct(toks.get(i + 6), ']');
+        if !attr {
+            i += 1;
+            continue;
+        }
+        // Skip any further attributes between the cfg and the item.
+        let mut j = i + 7;
+        while is_punct(toks.get(j), '#') && is_punct(toks.get(j + 1), '[') {
+            let mut depth = 0i32;
+            let mut k = j + 1;
+            while k < toks.len() {
+                match toks[k].tok {
+                    Tok::Punct('[') => depth += 1,
+                    Tok::Punct(']') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            k += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                k += 1;
+            }
+            j = k;
+        }
+        // The item body is the first `{...}` block; a `;` first means a
+        // body-less item (e.g. `#[cfg(test)] use ...;`).
+        let mut k = j;
+        let mut open = None;
+        while k < toks.len() {
+            match toks[k].tok {
+                Tok::Punct(';') => break,
+                Tok::Punct('{') => {
+                    open = Some(k);
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        let end = if let Some(open) = open {
+            let mut depth = 0i32;
+            let mut m = open;
+            while m < toks.len() {
+                match toks[m].tok {
+                    Tok::Punct('{') => depth += 1,
+                    Tok::Punct('}') => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                m += 1;
+            }
+            m.min(toks.len() - 1)
+        } else {
+            k.min(toks.len() - 1)
+        };
+        for slot in ex.iter_mut().take(end + 1).skip(i) {
+            *slot = true;
+        }
+        i = end + 1;
+    }
+    ex
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas
+// ---------------------------------------------------------------------------
+
+/// A suppression pragma, e.g. `// grouter-lint: allow(<rule>): <why>`. The
+/// tool name (`grouter-lint:` / `grouter-analyze:`) is the `prefix`
+/// argument to [`parse_pragmas`]; the syntax is otherwise identical across
+/// tools. The justification after `):` is mandatory; a pragma without one
+/// (or naming a rule outside `known`) carries `parse_error`/`justified`
+/// state the caller reports as `bad-pragma`.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    pub line: usize,
+    pub rules: Vec<String>,
+    pub justified: bool,
+    pub parse_error: Option<String>,
+}
+
+pub fn parse_pragmas(comments: &[(usize, String)], prefix: &str, known: &[&str]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (line, text) in comments {
+        let t = text.trim();
+        let Some(rest) = t.strip_prefix(prefix) else {
+            continue;
+        };
+        let rest = rest.trim();
+        let Some(inner) = rest.strip_prefix("allow(") else {
+            out.push(Pragma {
+                line: *line,
+                rules: Vec::new(),
+                justified: false,
+                parse_error: Some(format!("expected `allow(<rule>)`, got `{rest}`")),
+            });
+            continue;
+        };
+        let Some(close) = inner.find(')') else {
+            out.push(Pragma {
+                line: *line,
+                rules: Vec::new(),
+                justified: false,
+                parse_error: Some("unterminated `allow(` pragma".to_string()),
+            });
+            continue;
+        };
+        let rules: Vec<String> = inner[..close]
+            .split(',')
+            .map(|r| r.trim().to_string())
+            .filter(|r| !r.is_empty())
+            .collect();
+        let mut err = None;
+        for r in &rules {
+            if !known.contains(&r.as_str()) {
+                err = Some(format!("unknown rule `{r}` in allow pragma"));
+            }
+        }
+        if rules.is_empty() {
+            err = Some("empty allow pragma".to_string());
+        }
+        // Justification: non-empty text after the closing paren, typically
+        // introduced by `:`.
+        let tail = inner[close + 1..]
+            .trim_start_matches([':', '-', ' '])
+            .trim();
+        out.push(Pragma {
+            line: *line,
+            rules,
+            justified: !tail.is_empty(),
+            parse_error: err,
+        });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// File walker
+// ---------------------------------------------------------------------------
+
+fn walk_dir(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            walk_dir(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Collect every `.rs` file under the given roots (files are accepted
+/// verbatim), sorted for deterministic traversal. `target/` and dotted
+/// directories are skipped. Returns `Err` for a root that does not exist.
+pub fn walk_rs_files(roots: &[String]) -> Result<Vec<PathBuf>, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    for root in roots {
+        let p = Path::new(root);
+        if p.is_file() {
+            files.push(p.to_path_buf());
+        } else if p.is_dir() {
+            walk_dir(p, &mut files);
+        } else {
+            return Err(format!("no such path: {root}"));
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_are_one_based_char_positions() {
+        let (toks, _) = tokenize("let x = foo();\n  bar();\n");
+        let foo = toks.iter().find(|s| is_ident(Some(s), "foo")).unwrap();
+        assert_eq!((foo.line, foo.col), (1, 9));
+        let bar = toks.iter().find(|s| is_ident(Some(s), "bar")).unwrap();
+        assert_eq!((bar.line, bar.col), (2, 3));
+    }
+
+    #[test]
+    fn string_literals_become_str_tokens() {
+        let (toks, _) = tokenize("f(\"a{:p}b\", r#\"raw\"#);");
+        let strs: Vec<&str> = toks
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Str(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(strs, vec!["a{:p}b", "raw"]);
+    }
+
+    #[test]
+    fn multiline_strings_keep_line_accounting() {
+        let (toks, _) = tokenize("let s = \"a\nb\";\nfn after() {}\n");
+        let after = toks.iter().find(|s| is_ident(Some(s), "after")).unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn pragma_prefix_is_parameterized() {
+        let comments = vec![(
+            1,
+            " grouter-analyze: allow(panic-reachable): why".to_string(),
+        )];
+        let p = parse_pragmas(&comments, "grouter-analyze:", &["panic-reachable"]);
+        assert_eq!(p.len(), 1);
+        assert!(p[0].justified && p[0].parse_error.is_none());
+        // The other tool's prefix does not match.
+        assert!(parse_pragmas(&comments, "grouter-lint:", &["panic-reachable"]).is_empty());
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! The linter tokenizes Rust sources with a small hand-rolled lexer (no
 //! `syn`, no registry dependencies — the build environment is offline) and
-//! enforces seven project rules with file/line diagnostics:
+//! enforces seven project rules with `path:line:col` diagnostics:
 //!
 //! * `no-panic-in-dataplane` — `unwrap`/`expect`/`panic!`/`unreachable!` are
 //!   banned in the data-plane crates (`sim`, `topology`, `transfer`, `store`,
@@ -49,8 +49,14 @@
 //! The justification after `):` is mandatory; a pragma without one (or
 //! naming an unknown rule) is itself reported as `bad-pragma` and does not
 //! suppress anything.
+//!
+//! The lexer, pragma parser, diagnostic type and file walker live in
+//! [`common`], shared with `grouter-analyze` so the two tools cannot drift.
 
-use std::fmt;
+pub mod common;
+
+pub use common::Diagnostic;
+use common::{cfg_test_mask, is_ident, is_punct, parse_pragmas, tokenize, Sp, Tok};
 
 /// Every rule the linter knows about.
 pub const RULES: [&str; 7] = [
@@ -62,6 +68,9 @@ pub const RULES: [&str; 7] = [
     "no-hot-string-clone",
     "no-shared-mut-across-shards",
 ];
+
+/// The pragma prefix this tool answers to.
+pub const PRAGMA_PREFIX: &str = "grouter-lint:";
 
 /// Modules that make up the sharded engine (`no-shared-mut-across-shards`
 /// scope): cross-shard state must flow through envelopes, not shared cells.
@@ -92,358 +101,6 @@ const SIM_TIME_CRATES: [&str; 3] = ["sim", "topology", "transfer"];
 const QUANTITY_SEGMENTS: [&str; 8] = [
     "bytes", "byte", "rate", "rates", "bw", "cap", "capacity", "size",
 ];
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Diagnostic {
-    pub line: usize,
-    pub rule: String,
-    pub message: String,
-}
-
-impl fmt::Display for Diagnostic {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: [{}] {}", self.line, self.rule, self.message)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Lexer
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone, PartialEq, Eq)]
-enum Tok {
-    Ident(String),
-    Punct(char),
-}
-
-#[derive(Debug, Clone)]
-struct Sp {
-    line: usize,
-    tok: Tok,
-}
-
-/// Tokenize `src`, returning the token stream and the line comments
-/// (pragmas live in line comments only).
-fn tokenize(src: &str) -> (Vec<Sp>, Vec<(usize, String)>) {
-    let b: Vec<char> = src.chars().collect();
-    let mut toks = Vec::new();
-    let mut comments = Vec::new();
-    let mut line = 1usize;
-    let mut i = 0usize;
-    while i < b.len() {
-        let c = b[i];
-        if c == '\n' {
-            line += 1;
-            i += 1;
-        } else if c.is_whitespace() {
-            i += 1;
-        } else if c == '/' && b.get(i + 1) == Some(&'/') {
-            let start = i + 2;
-            let mut j = start;
-            while j < b.len() && b[j] != '\n' {
-                j += 1;
-            }
-            comments.push((line, b[start..j].iter().collect()));
-            i = j;
-        } else if c == '/' && b.get(i + 1) == Some(&'*') {
-            let mut depth = 1usize;
-            let mut j = i + 2;
-            while j < b.len() && depth > 0 {
-                if b[j] == '/' && b.get(j + 1) == Some(&'*') {
-                    depth += 1;
-                    j += 2;
-                } else if b[j] == '*' && b.get(j + 1) == Some(&'/') {
-                    depth -= 1;
-                    j += 2;
-                } else {
-                    if b[j] == '\n' {
-                        line += 1;
-                    }
-                    j += 1;
-                }
-            }
-            i = j;
-        } else if c == '"' {
-            i = skip_plain_string(&b, i, &mut line);
-        } else if (c == 'r' || c == 'b') && string_prefix(&b, i).is_some() {
-            let (quote, hashes, raw) = string_prefix(&b, i).unwrap();
-            i = if raw {
-                skip_raw_string(&b, quote, hashes, &mut line)
-            } else {
-                skip_plain_string(&b, quote, &mut line)
-            };
-        } else if c == 'b' && b.get(i + 1) == Some(&'\'') {
-            i = skip_char_or_lifetime(&b, i + 1, &mut line);
-        } else if c == '\'' {
-            i = skip_char_or_lifetime(&b, i, &mut line);
-        } else if c.is_alphanumeric() || c == '_' {
-            let mut j = i;
-            while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
-                j += 1;
-            }
-            toks.push(Sp {
-                line,
-                tok: Tok::Ident(b[i..j].iter().collect()),
-            });
-            i = j;
-        } else {
-            toks.push(Sp {
-                line,
-                tok: Tok::Punct(c),
-            });
-            i += 1;
-        }
-    }
-    (toks, comments)
-}
-
-/// If `b[i]` starts a raw/byte string prefix (`r"`, `r#"`, `br"`, `b"`),
-/// return (index of the opening quote, hash count, is_raw).
-fn string_prefix(b: &[char], i: usize) -> Option<(usize, usize, bool)> {
-    let mut j = i;
-    if b[j] == 'b' {
-        j += 1;
-    }
-    if j < b.len() && b[j] == 'r' {
-        let mut k = j + 1;
-        let mut hashes = 0usize;
-        while k < b.len() && b[k] == '#' {
-            hashes += 1;
-            k += 1;
-        }
-        if k < b.len() && b[k] == '"' {
-            return Some((k, hashes, true));
-        }
-        None
-    } else if b[i] == 'b' && j < b.len() && b[j] == '"' {
-        Some((j, 0, false))
-    } else {
-        None
-    }
-}
-
-/// Skip a `"..."` string starting at the opening quote; returns the index
-/// one past the closing quote.
-fn skip_plain_string(b: &[char], open: usize, line: &mut usize) -> usize {
-    let mut j = open + 1;
-    while j < b.len() {
-        match b[j] {
-            '\\' => j += 2,
-            '"' => return j + 1,
-            '\n' => {
-                *line += 1;
-                j += 1;
-            }
-            _ => j += 1,
-        }
-    }
-    j
-}
-
-/// Skip a raw string whose opening quote is at `open` with `hashes` hashes.
-fn skip_raw_string(b: &[char], open: usize, hashes: usize, line: &mut usize) -> usize {
-    let mut j = open + 1;
-    while j < b.len() {
-        if b[j] == '\n' {
-            *line += 1;
-            j += 1;
-        } else if b[j] == '"'
-            && b[j + 1..]
-                .iter()
-                .take(hashes)
-                .filter(|&&c| c == '#')
-                .count()
-                == hashes
-        {
-            return j + 1 + hashes;
-        } else {
-            j += 1;
-        }
-    }
-    j
-}
-
-/// At a `'`: either a char literal (`'x'`, `'\n'`, `'\u{1F600}'`) or a
-/// lifetime (`'a`). Returns the index one past the literal.
-fn skip_char_or_lifetime(b: &[char], quote: usize, line: &mut usize) -> usize {
-    if b.get(quote + 1) == Some(&'\\') {
-        let mut j = quote + 2;
-        while j < b.len() && b[j] != '\'' {
-            if b[j] == '\n' {
-                *line += 1;
-            }
-            j += 1;
-        }
-        j + 1
-    } else if b.get(quote + 2) == Some(&'\'') {
-        quote + 3
-    } else {
-        let mut j = quote + 1;
-        while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
-            j += 1;
-        }
-        j
-    }
-}
-
-// ---------------------------------------------------------------------------
-// #[cfg(test)] exclusion
-// ---------------------------------------------------------------------------
-
-fn is_punct(sp: Option<&Sp>, c: char) -> bool {
-    matches!(sp, Some(Sp { tok: Tok::Punct(p), .. }) if *p == c)
-}
-
-fn is_ident(sp: Option<&Sp>, name: &str) -> bool {
-    matches!(sp, Some(Sp { tok: Tok::Ident(s), .. }) if s == name)
-}
-
-/// Mark every token covered by a `#[cfg(test)]` item (attribute through the
-/// end of the item's brace-delimited body, or its terminating `;`).
-fn cfg_test_mask(toks: &[Sp]) -> Vec<bool> {
-    let mut ex = vec![false; toks.len()];
-    let mut i = 0usize;
-    while i < toks.len() {
-        let attr = is_punct(toks.get(i), '#')
-            && is_punct(toks.get(i + 1), '[')
-            && is_ident(toks.get(i + 2), "cfg")
-            && is_punct(toks.get(i + 3), '(')
-            && is_ident(toks.get(i + 4), "test")
-            && is_punct(toks.get(i + 5), ')')
-            && is_punct(toks.get(i + 6), ']');
-        if !attr {
-            i += 1;
-            continue;
-        }
-        // Skip any further attributes between the cfg and the item.
-        let mut j = i + 7;
-        while is_punct(toks.get(j), '#') && is_punct(toks.get(j + 1), '[') {
-            let mut depth = 0i32;
-            let mut k = j + 1;
-            while k < toks.len() {
-                match toks[k].tok {
-                    Tok::Punct('[') => depth += 1,
-                    Tok::Punct(']') => {
-                        depth -= 1;
-                        if depth == 0 {
-                            k += 1;
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                k += 1;
-            }
-            j = k;
-        }
-        // The item body is the first `{...}` block; a `;` first means a
-        // body-less item (e.g. `#[cfg(test)] use ...;`).
-        let mut k = j;
-        let mut open = None;
-        while k < toks.len() {
-            match toks[k].tok {
-                Tok::Punct(';') => break,
-                Tok::Punct('{') => {
-                    open = Some(k);
-                    break;
-                }
-                _ => k += 1,
-            }
-        }
-        let end = if let Some(open) = open {
-            let mut depth = 0i32;
-            let mut m = open;
-            while m < toks.len() {
-                match toks[m].tok {
-                    Tok::Punct('{') => depth += 1,
-                    Tok::Punct('}') => {
-                        depth -= 1;
-                        if depth == 0 {
-                            break;
-                        }
-                    }
-                    _ => {}
-                }
-                m += 1;
-            }
-            m.min(toks.len() - 1)
-        } else {
-            k.min(toks.len() - 1)
-        };
-        for slot in ex.iter_mut().take(end + 1).skip(i) {
-            *slot = true;
-        }
-        i = end + 1;
-    }
-    ex
-}
-
-// ---------------------------------------------------------------------------
-// Pragmas
-// ---------------------------------------------------------------------------
-
-#[derive(Debug, Clone)]
-struct Pragma {
-    line: usize,
-    rules: Vec<String>,
-    justified: bool,
-    parse_error: Option<String>,
-}
-
-fn parse_pragmas(comments: &[(usize, String)]) -> Vec<Pragma> {
-    let mut out = Vec::new();
-    for (line, text) in comments {
-        let t = text.trim();
-        let Some(rest) = t.strip_prefix("grouter-lint:") else {
-            continue;
-        };
-        let rest = rest.trim();
-        let Some(inner) = rest.strip_prefix("allow(") else {
-            out.push(Pragma {
-                line: *line,
-                rules: Vec::new(),
-                justified: false,
-                parse_error: Some(format!("expected `allow(<rule>)`, got `{rest}`")),
-            });
-            continue;
-        };
-        let Some(close) = inner.find(')') else {
-            out.push(Pragma {
-                line: *line,
-                rules: Vec::new(),
-                justified: false,
-                parse_error: Some("unterminated `allow(` pragma".to_string()),
-            });
-            continue;
-        };
-        let rules: Vec<String> = inner[..close]
-            .split(',')
-            .map(|r| r.trim().to_string())
-            .filter(|r| !r.is_empty())
-            .collect();
-        let mut err = None;
-        for r in &rules {
-            if !RULES.contains(&r.as_str()) {
-                err = Some(format!("unknown rule `{r}` in allow pragma"));
-            }
-        }
-        if rules.is_empty() {
-            err = Some("empty allow pragma".to_string());
-        }
-        // Justification: non-empty text after the closing paren, typically
-        // introduced by `:`.
-        let tail = inner[close + 1..]
-            .trim_start_matches([':', '-', ' '])
-            .trim();
-        out.push(Pragma {
-            line: *line,
-            rules,
-            justified: !tail.is_empty(),
-            parse_error: err,
-        });
-    }
-    out
-}
 
 // ---------------------------------------------------------------------------
 // Path classification
@@ -492,7 +149,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
     let info = classify(path);
     let (toks, comments) = tokenize(src);
     let excluded = cfg_test_mask(&toks);
-    let pragmas = parse_pragmas(&comments);
+    let pragmas = parse_pragmas(&comments, PRAGMA_PREFIX, &RULES);
 
     let mut raw: Vec<Diagnostic> = Vec::new();
 
@@ -520,6 +177,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                 {
                     raw.push(Diagnostic {
                         line: sp.line,
+                        col: sp.col,
                         rule: "no-panic-in-dataplane".into(),
                         message: format!(
                             "`.{name}()` in data-plane code; return a typed error or add a justified allow pragma"
@@ -529,6 +187,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                 "println" | "eprintln" | "print" | "eprint" if is_punct(toks.get(i + 1), '!') => {
                     raw.push(Diagnostic {
                         line: sp.line,
+                        col: sp.col,
                         rule: "no-stray-print".into(),
                         message: format!(
                             "`{name}!` in data-plane code; emit a trace event through grouter-obs or add a justified allow pragma"
@@ -538,6 +197,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                 "panic" | "unreachable" if is_punct(toks.get(i + 1), '!') => {
                     raw.push(Diagnostic {
                         line: sp.line,
+                        col: sp.col,
                         rule: "no-panic-in-dataplane".into(),
                         message: format!(
                             "`{name}!` in data-plane code; return a typed error or add a justified allow pragma"
@@ -558,6 +218,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
                             if is_quantity_ident(&src_ident) {
                                 raw.push(Diagnostic {
                                     line: sp.line,
+                                    col: sp.col,
                                     rule: "no-silent-truncation".into(),
                                     message: format!(
                                         "narrowing cast `{src_ident} as {ty}` on a byte/rate quantity; use try_from or add a justified allow pragma"
@@ -574,6 +235,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
             if name == "SystemTime" {
                 raw.push(Diagnostic {
                     line: sp.line,
+                    col: sp.col,
                     rule: "no-wallclock-in-sim".into(),
                     message: "`SystemTime` in a virtual-time crate".into(),
                 });
@@ -585,6 +247,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
             {
                 raw.push(Diagnostic {
                     line: sp.line,
+                    col: sp.col,
                     rule: "no-wallclock-in-sim".into(),
                     message: "`Instant::now` in a virtual-time crate".into(),
                 });
@@ -609,6 +272,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
             if string_maker || string_from || name_clone {
                 raw.push(Diagnostic {
                     line: sp.line,
+                    col: sp.col,
                     rule: "no-hot-string-clone".into(),
                     message: format!(
                         "`{name}` builds an owned String in the runtime dispatch path; use the interned ids (or add a justified allow pragma on a cold setup path)"
@@ -626,6 +290,7 @@ pub fn lint_source(path: &str, src: &str) -> Vec<Diagnostic> {
             if static_mut || global_macro || shared_cell {
                 raw.push(Diagnostic {
                     line: sp.line,
+                    col: sp.col,
                     rule: "no-shared-mut-across-shards".into(),
                     message: format!(
                         "`{}` is shared mutable state in a sharded-engine module; cross-shard \
@@ -639,6 +304,7 @@ state must travel in timestamped envelopes (or add a justified allow pragma)",
         if info.experiments && (name == "HashMap" || name == "HashSet") {
             raw.push(Diagnostic {
                 line: sp.line,
+                col: sp.col,
                 rule: "no-unordered-emit".into(),
                 message: format!(
                     "`{name}` in an experiment module; iteration order is unordered — use BTreeMap/BTreeSet"
@@ -665,18 +331,20 @@ state must travel in timestamped envelopes (or add a justified allow pragma)",
         if let Some(err) = &p.parse_error {
             out.push(Diagnostic {
                 line: p.line,
+                col: 1,
                 rule: "bad-pragma".into(),
                 message: err.clone(),
             });
         } else if !p.justified {
             out.push(Diagnostic {
                 line: p.line,
+                col: 1,
                 rule: "bad-pragma".into(),
                 message: "allow pragma without a justification (`allow(<rule>): <why>`)".into(),
             });
         }
     }
-    out.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    out.sort_by(|a, b| (a.line, a.col, &a.rule).cmp(&(b.line, b.col, &b.rule)));
     out
 }
 
@@ -751,6 +419,22 @@ mod tests {
         let d = lint_source("crates/sim/src/x.rs", src);
         assert_eq!(d.len(), 1);
         assert_eq!(d[0].rule, "no-panic-in-dataplane");
+    }
+
+    #[test]
+    fn diagnostics_carry_columns() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        let d = lint_source("crates/sim/src/x.rs", src);
+        assert_eq!(d.len(), 1);
+        // `unwrap` starts at 1-based column 33.
+        assert_eq!((d[0].line, d[0].col), (1, 33));
+        assert_eq!(
+            format!("crates/sim/src/x.rs:{}", d[0]),
+            format!(
+                "crates/sim/src/x.rs:1:33: [no-panic-in-dataplane] {}",
+                d[0].message
+            )
+        );
     }
 
     #[test]

@@ -1,28 +1,8 @@
 //! CLI driver: `cargo run -p grouter-lint -- crates` lints every `.rs`
 //! file under the given roots (default `crates`) and exits nonzero when any
-//! diagnostic remains.
+//! diagnostic remains. Diagnostics print as `path:line:col: [rule] message`.
 
-use std::path::{Path, PathBuf};
 use std::process::ExitCode;
-
-fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
-    let Ok(entries) = std::fs::read_dir(dir) else {
-        return;
-    };
-    for entry in entries.flatten() {
-        let path = entry.path();
-        let name = entry.file_name();
-        let name = name.to_string_lossy();
-        if path.is_dir() {
-            if name == "target" || name.starts_with('.') {
-                continue;
-            }
-            walk(&path, out);
-        } else if name.ends_with(".rs") {
-            out.push(path);
-        }
-    }
-}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,19 +12,13 @@ fn main() -> ExitCode {
         args
     };
 
-    let mut files: Vec<PathBuf> = Vec::new();
-    for root in &roots {
-        let p = Path::new(root);
-        if p.is_file() {
-            files.push(p.to_path_buf());
-        } else if p.is_dir() {
-            walk(p, &mut files);
-        } else {
-            eprintln!("grouter-lint: no such path: {root}");
+    let files = match grouter_lint::common::walk_rs_files(&roots) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("grouter-lint: {e}");
             return ExitCode::from(2);
         }
-    }
-    files.sort();
+    };
 
     let mut violations = 0usize;
     for file in &files {
