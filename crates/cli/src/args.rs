@@ -19,13 +19,122 @@ pub struct Args {
     pub trace_buffer: usize,
 }
 
+/// Parsed `serve` subcommand: a service-mode cluster run (heartbeat-view
+/// router admitting an open-loop stream over the sharded fabric).
+#[derive(Clone, Debug)]
+pub struct ServeArgs {
+    pub preset: String,
+    /// Truncate the preset to this many groups (0 = all).
+    pub groups: usize,
+    pub pattern: String,
+    pub rps: f64,
+    /// Total invocations in the trace.
+    pub total: u64,
+    pub seed: u64,
+    /// Shard worker threads (outputs are identical for any value).
+    pub threads: usize,
+    /// Heartbeat interval in milliseconds.
+    pub hb_ms: u64,
+    /// Inject the randomized control-plane fault plan.
+    pub faults: bool,
+    pub csv: Option<String>,
+}
+
+/// Either the classic single-runtime run or the service-mode cluster.
+#[derive(Clone, Debug)]
+pub enum Command {
+    Run(Args),
+    Serve(ServeArgs),
+}
+
 /// The usage string printed on `--help` or bad invocations.
 pub fn usage() -> String {
     "usage: grouter-cli <workflow.wf> [--plane grouter|infless|nvshmem|deepplan] \
      [--topology v100|a100|a10|h800] [--nodes N] \
      [--pattern bursty|sporadic|periodic] [--rps R] [--seconds S] [--seed N] \
-     [--compare] [--csv <file>] [--trace-out <file>] [--trace-buffer <events>]"
+     [--compare] [--csv <file>] [--trace-out <file>] [--trace-buffer <events>]\n\
+     \n\
+     grouter-cli serve [--preset uniform64|uniform128|hetero64|hetero128] \
+     [--groups N] [--pattern bursty|sporadic|periodic] [--rps R] [--total N] \
+     [--seed N] [--threads T] [--hb-ms M] [--faults] [--csv <file>]"
         .to_string()
+}
+
+/// Parse `argv` into a [`Command`]; `serve` selects service mode.
+pub fn parse_command(argv: &[String]) -> Result<Command, String> {
+    if argv.first().map(String::as_str) == Some("serve") {
+        return parse_serve_args(&argv[1..]).map(Command::Serve);
+    }
+    parse_args(argv).map(Command::Run)
+}
+
+/// Parse the `serve` subcommand's flags (after the literal `serve`).
+pub fn parse_serve_args(argv: &[String]) -> Result<ServeArgs, String> {
+    let mut args = ServeArgs {
+        preset: "uniform64".into(),
+        groups: 0,
+        pattern: "sporadic".into(),
+        rps: 400.0,
+        total: 10_000,
+        seed: 42,
+        threads: 1,
+        hb_ms: 50,
+        faults: false,
+        csv: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--preset" => args.preset = take("--preset")?,
+            "--groups" => {
+                args.groups = take("--groups")?
+                    .parse()
+                    .map_err(|_| "--groups must be an integer".to_string())?
+            }
+            "--pattern" => args.pattern = take("--pattern")?,
+            "--rps" => {
+                args.rps = take("--rps")?
+                    .parse()
+                    .map_err(|_| "--rps must be a number".to_string())?
+            }
+            "--total" => {
+                args.total = take("--total")?
+                    .parse()
+                    .map_err(|_| "--total must be an integer".to_string())?
+            }
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--threads" => {
+                args.threads = take("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?
+            }
+            "--hb-ms" => {
+                args.hb_ms = take("--hb-ms")?
+                    .parse()
+                    .map_err(|_| "--hb-ms must be an integer".to_string())?
+            }
+            "--faults" => args.faults = true,
+            "--csv" => args.csv = Some(take("--csv")?),
+            "--help" | "-h" => return Err(usage()),
+            flag => return Err(format!("unknown serve flag {flag}")),
+        }
+    }
+    if args.threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    if args.hb_ms == 0 {
+        return Err("--hb-ms must be at least 1".to_string());
+    }
+    Ok(args)
 }
 
 /// Parse `argv` (without the program name).
@@ -159,6 +268,75 @@ mod tests {
         assert_eq!(a.csv.as_deref(), Some("out.csv"));
         assert_eq!(a.trace_out.as_deref(), Some("run.trace.json"));
         assert_eq!(a.trace_buffer, 1024);
+    }
+
+    #[test]
+    fn serve_defaults_and_flags_parse() {
+        let c = parse_command(&["serve".to_string()]).expect("bare serve is valid");
+        let Command::Serve(a) = c else {
+            panic!("serve must select service mode");
+        };
+        assert_eq!(a.preset, "uniform64");
+        assert_eq!(a.groups, 0);
+        assert_eq!(a.threads, 1);
+        assert_eq!(a.hb_ms, 50);
+        assert!(!a.faults);
+        let argv: Vec<String> = [
+            "serve",
+            "--preset",
+            "hetero64",
+            "--groups",
+            "4",
+            "--pattern",
+            "bursty",
+            "--rps",
+            "900",
+            "--total",
+            "50000",
+            "--seed",
+            "9",
+            "--threads",
+            "8",
+            "--hb-ms",
+            "25",
+            "--faults",
+            "--csv",
+            "m.csv",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Command::Serve(a) = parse_command(&argv).expect("valid") else {
+            panic!("serve must select service mode");
+        };
+        assert_eq!(a.preset, "hetero64");
+        assert_eq!(a.groups, 4);
+        assert_eq!(a.pattern, "bursty");
+        assert_eq!(a.rps, 900.0);
+        assert_eq!(a.total, 50_000);
+        assert_eq!(a.seed, 9);
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.hb_ms, 25);
+        assert!(a.faults);
+        assert_eq!(a.csv.as_deref(), Some("m.csv"));
+    }
+
+    #[test]
+    fn serve_errors_are_reported() {
+        let parse = |words: &[&str]| {
+            let argv: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+            parse_command(&argv)
+        };
+        assert!(parse(&["serve", "--threads", "0"]).is_err(), "zero threads");
+        assert!(parse(&["serve", "--hb-ms", "0"]).is_err(), "zero interval");
+        assert!(parse(&["serve", "--bogus"]).is_err(), "unknown flag");
+        assert!(parse(&["serve", "--rps"]).is_err(), "missing value");
+        assert!(
+            parse(&["serve", "extra.wf"]).is_err(),
+            "serve takes no file"
+        );
+        let c = parse(&["plain.wf"]).expect("non-serve argv still parses");
+        assert!(matches!(c, Command::Run(_)));
     }
 
     #[test]

@@ -19,9 +19,12 @@ use grouter::topology::graph::TopologySpec;
 use grouter::topology::presets;
 use grouter::{GrouterConfig, GrouterPlane};
 use grouter_baselines::{deepplan_plane, InflessPlane, NvshmemPlane};
-use grouter_cli::args::parse_args;
+use grouter_cli::args::{parse_command, Command, ServeArgs};
 use grouter_cli::parse_workflow;
+use grouter_ctl::{ServiceConfig, ServiceSim};
+use grouter_sim::fault::CtlFaultConfig;
 use grouter_workloads::azure::{generate_trace, ArrivalPattern};
+use grouter_workloads::cluster::ClusterPreset;
 
 fn topology_of(name: &str) -> Result<TopologySpec, String> {
     Ok(match name {
@@ -52,10 +55,103 @@ fn pattern_of(name: &str) -> Result<ArrivalPattern, String> {
     })
 }
 
+fn preset_of(name: &str) -> Result<ClusterPreset, String> {
+    Ok(match name {
+        "uniform64" => ClusterPreset::uniform_64(),
+        "uniform128" => ClusterPreset::uniform_128(),
+        "hetero64" => ClusterPreset::hetero_64(),
+        "hetero128" => ClusterPreset::hetero_128(),
+        other => return Err(format!("unknown preset '{other}'")),
+    })
+}
+
+/// FNV-1a over the bytes — a dependency-free digest for comparing
+/// service-mode outputs across thread counts / hosts.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The `serve` subcommand: a service-mode cluster run with the
+/// heartbeat-view router at the gateway.
+fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
+    let mut preset = preset_of(&args.preset)?;
+    if args.groups > 0 && args.groups < preset.groups.len() {
+        preset.groups.truncate(args.groups);
+    }
+    let cfg = ServiceConfig {
+        pattern: pattern_of(&args.pattern)?,
+        rps: args.rps,
+        total: args.total,
+        seed: args.seed,
+        hb_interval: SimDuration::from_millis(args.hb_ms),
+        ctl_faults: args.faults.then(CtlFaultConfig::default),
+    };
+    println!(
+        "serve: {} preset, {} groups, {} pattern at {} req/s, {} invocations, \
+         hb {}ms, seed {}, {} threads, faults {}",
+        args.preset,
+        preset.groups.len(),
+        args.pattern,
+        args.rps,
+        args.total,
+        args.hb_ms,
+        args.seed,
+        args.threads,
+        if args.faults { "on" } else { "off" }
+    );
+    let mut svc = ServiceSim::build(&preset, &cfg);
+    svc.run(args.threads);
+    let lat = svc.latency_ms();
+    let (hb_sent, hb_recv, hb_drop) = svc.cluster().heartbeat_stats();
+    println!(
+        "requests: {} submitted, {} completed, {} failed",
+        svc.arrivals(),
+        svc.completed(),
+        svc.failed()
+    );
+    println!(
+        "latency (ms): mean {:.1}  p50 {:.1}  p99 {:.1}  max {:.1}",
+        lat.mean(),
+        lat.p50(),
+        lat.p99(),
+        lat.max()
+    );
+    println!("heartbeats: {hb_sent} sent, {hb_recv} delivered, {hb_drop} dropped");
+    let csv = svc.merged_csv();
+    let admission = svc.admission_log();
+    let recovery = svc.merged_recovery_log();
+    // Thread-count independence is checkable from the digests alone.
+    println!(
+        "digests: csv={:016x} admission={:016x} recovery={:016x}",
+        fnv64(csv.as_bytes()),
+        fnv64(admission.as_bytes()),
+        fnv64(recovery.as_bytes())
+    );
+    if let Some(path) = &args.csv {
+        std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("merged per-request records written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
-        Ok(a) => a,
+    let args = match parse_command(&argv) {
+        Ok(Command::Run(a)) => a,
+        Ok(Command::Serve(a)) => {
+            return match cmd_serve(&a) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(m) => {
+                    eprintln!("{m}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
         Err(m) => {
             eprintln!("{m}");
             return ExitCode::FAILURE;

@@ -1,0 +1,164 @@
+//! GPU-level placement from a heartbeat-reconstructed view.
+//!
+//! [`ViewPlacer`] mirrors the Mapa arm of [`grouter_runtime::Placer`]
+//! exactly — same scan ([`mapa_scan`]), same CPU-stage rotation, same load
+//! bookkeeping — but its load/failure vectors come from worker heartbeats
+//! ([`ViewPlacer::sync`]) rather than the world's live counters. The
+//! placement-oracle test proves that with a perfectly fresh view the two
+//! make identical decisions on every testbed; whatever gap service mode
+//! shows is therefore *staleness*, not a different policy.
+
+use grouter_runtime::dataplane::Destination;
+use grouter_runtime::placement::mapa_scan;
+use grouter_runtime::spec::WorkflowSpec;
+use grouter_topology::Topology;
+
+/// MAPA placement over a reconstructed (possibly stale) per-GPU view.
+#[derive(Clone, Debug)]
+pub struct ViewPlacer {
+    /// Believed outstanding stage count per flat GPU index.
+    load: Vec<u32>,
+    /// Believed failure flags per flat GPU index.
+    failed: Vec<bool>,
+    /// Round-robin cursor for root CPU stages (mirrors `Placer`).
+    cpu_rr: usize,
+    /// Nodes eligible for placement.
+    nodes: Vec<usize>,
+}
+
+impl ViewPlacer {
+    pub fn new(topo: &Topology, nodes: Vec<usize>) -> ViewPlacer {
+        ViewPlacer {
+            load: vec![0; topo.num_gpus()],
+            failed: vec![false; topo.num_gpus()],
+            cpu_rr: 0,
+            nodes,
+        }
+    }
+
+    /// Replace the believed view with a heartbeat snapshot. With the
+    /// omniscient vectors this makes the next [`ViewPlacer::place`]
+    /// decision-identical to `Placer::place`.
+    pub fn sync(&mut self, load: &[u32], failed: &[bool]) {
+        self.load.clear();
+        self.load.extend_from_slice(load);
+        self.failed.clear();
+        self.failed.extend_from_slice(failed);
+    }
+
+    /// Believed load vector (updated locally between syncs).
+    pub fn load(&self) -> &[u32] {
+        &self.load
+    }
+
+    /// Place all stages of one workflow instance — the Mapa arm of
+    /// `Placer::place`, verbatim, against the believed view.
+    pub fn place(&mut self, topo: &Topology, spec: &WorkflowSpec) -> Vec<Destination> {
+        let mut out: Vec<Destination> = Vec::with_capacity(spec.stages.len());
+        for (i, stage) in spec.stages.iter().enumerate() {
+            if stage.is_gpu() {
+                let gpu = mapa_scan(
+                    topo,
+                    &self.nodes,
+                    &self.load,
+                    &self.failed,
+                    &spec.stages[i].deps,
+                    &out,
+                );
+                out.push(Destination::Gpu(gpu));
+            } else {
+                let node = spec.stages[i]
+                    .deps
+                    .iter()
+                    .map(|&d| match out[d] {
+                        Destination::Gpu(g) => g.node,
+                        Destination::Host(n) => n,
+                    })
+                    .next()
+                    .unwrap_or_else(|| {
+                        let n = self.nodes[self.cpu_rr % self.nodes.len()];
+                        self.cpu_rr += 1;
+                        n
+                    });
+                out.push(Destination::Host(node));
+            }
+        }
+        for dest in &out {
+            if let Destination::Gpu(g) = dest {
+                self.load[topo.flat_index(g.node, g.gpu)] += 1;
+            }
+        }
+        out
+    }
+
+    /// A stage finished: decrement the believed load (mirrors
+    /// `Placer::release`).
+    pub fn release(&mut self, topo: &Topology, dest: Destination) {
+        if let Destination::Gpu(g) = dest {
+            let idx = topo.flat_index(g.node, g.gpu);
+            self.load[idx] = self.load[idx].saturating_sub(1);
+        }
+    }
+
+    /// Mark a GPU (flat index) down or up in the believed view.
+    pub fn set_failed(&mut self, idx: usize, failed: bool) {
+        self.failed[idx] = failed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouter_runtime::spec::StageSpec;
+    use grouter_sim::time::SimDuration;
+    use grouter_sim::FlowNet;
+    use grouter_topology::presets;
+
+    fn chain(n: usize) -> WorkflowSpec {
+        let mut wf = WorkflowSpec::new("chain", 1e6);
+        for i in 0..n {
+            let deps = if i == 0 { vec![] } else { vec![i - 1] };
+            wf.push(StageSpec::gpu(
+                format!("s{i}"),
+                deps,
+                SimDuration::from_millis(10),
+                1e6,
+                1e9,
+            ));
+        }
+        wf
+    }
+
+    #[test]
+    fn stale_failure_flag_places_onto_a_dead_gpu() {
+        // The point of the view: it can be wrong. A failed GPU the router
+        // has not heard about yet still receives placements.
+        let mut net = FlowNet::new();
+        let topo = Topology::build(presets::dgx_v100(), 1, &mut net);
+        let mut view = ViewPlacer::new(&topo, vec![0]);
+        let placed = view.place(&topo, &chain(1));
+        let Destination::Gpu(first) = placed[0] else {
+            panic!("gpu stage");
+        };
+        // Omniscient truth: that GPU just died. The un-synced view repeats
+        // the decision; after a sync it avoids the GPU.
+        let mut failed = vec![false; topo.num_gpus()];
+        failed[topo.flat_index(first.node, first.gpu)] = true;
+        let mut stale = ViewPlacer::new(&topo, vec![0]);
+        let again = stale.place(&topo, &chain(1));
+        assert_eq!(again[0], placed[0], "stale view repeats the bad pick");
+        let mut synced = ViewPlacer::new(&topo, vec![0]);
+        synced.sync(&vec![0; topo.num_gpus()], &failed);
+        let fresh = synced.place(&topo, &chain(1));
+        assert_ne!(fresh[0], placed[0], "synced view avoids the dead GPU");
+    }
+
+    #[test]
+    fn release_is_saturating() {
+        let mut net = FlowNet::new();
+        let topo = Topology::build(presets::dgx_v100(), 1, &mut net);
+        let mut view = ViewPlacer::new(&topo, vec![0]);
+        view.release(&topo, Destination::Gpu(grouter_topology::GpuRef::new(0, 3)));
+        assert!(view.load().iter().all(|&l| l == 0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Placement oracle: the heartbeat-view scheduler against the omniscient
+//! MAPA scan.
+//!
+//! **Zero staleness ⇒ identity.** A [`ViewPlacer`] synced from the
+//! omniscient [`Placer`]'s live load/failure vectors immediately before
+//! every placement must make *exactly* the same decision for every stage
+//! of every workflow, across randomized arrival/release/fault scripts, on
+//! both testbeds (dgx_v100 and dgx_a100). Both sides call the same
+//! [`grouter_runtime::mapa_scan`] kernel, so any divergence is a bug in
+//! the view reconstruction, not a policy difference.
+//!
+//! **Bounded staleness ⇒ bounded degradation.** A service run whose
+//! router sees 50×-staler heartbeats (and suffers control-plane faults)
+//! may complete fewer requests at a worse p99, but the gap is pinned:
+//! regressions past the pinned factors mean the failure detector or the
+//! routed-since correction broke.
+
+use grouter_ctl::{ServiceConfig, ServiceSim, ViewPlacer};
+use grouter_runtime::dataplane::Destination;
+use grouter_runtime::spec::{StageSpec, WorkflowSpec};
+use grouter_runtime::{PlacementPolicy, Placer};
+use grouter_sim::fault::CtlFaultConfig;
+use grouter_sim::rng::DetRng;
+use grouter_sim::time::SimDuration;
+use grouter_sim::FlowNet;
+use grouter_topology::graph::TopologySpec;
+use grouter_topology::{presets, Topology};
+use grouter_workloads::cluster::ClusterPreset;
+use proptest::prelude::*;
+
+/// The workflow shapes the script draws from: a GPU chain, a fan-out/
+/// fan-in diamond, and a CPU-rooted pipeline (exercises the root-CPU
+/// round-robin cursor both sides must keep in lockstep).
+fn spec_library() -> Vec<WorkflowSpec> {
+    let ms = SimDuration::from_millis;
+    let mut chain = WorkflowSpec::new("chain", 1e6);
+    for i in 0..4 {
+        let deps = if i == 0 { vec![] } else { vec![i - 1] };
+        chain.push(StageSpec::gpu(format!("c{i}"), deps, ms(10), 1e6, 2e9));
+    }
+    let mut diamond = WorkflowSpec::new("diamond", 5e5);
+    diamond.push(StageSpec::gpu("root", vec![], ms(5), 1e6, 1e9));
+    diamond.push(StageSpec::gpu("left", vec![0], ms(8), 5e5, 1e9));
+    diamond.push(StageSpec::gpu("right", vec![0], ms(8), 5e5, 1e9));
+    diamond.push(StageSpec::gpu("join", vec![1, 2], ms(4), 1e5, 1e9));
+    let mut piped = WorkflowSpec::new("piped", 2e6);
+    piped.push(StageSpec::cpu("pre", vec![], ms(2), 2e6));
+    piped.push(StageSpec::gpu("infer", vec![0], ms(15), 1e6, 4e9));
+    piped.push(StageSpec::cpu("post", vec![1], ms(1), 1e4));
+    vec![chain, diamond, piped]
+}
+
+/// One scripted control-plane event. Indices resolve modulo the live
+/// sets, so any script is meaningful in any interleaving.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Admit one instance of `spec_library()[i % 3]`.
+    Place(usize),
+    /// Retire one outstanding GPU stage (omniscient release).
+    Release(usize),
+    /// Fail a GPU (flat index, modulo the testbed size).
+    Fail(usize),
+    /// Restore a GPU likewise.
+    Restore(usize),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0usize..64).prop_map(Op::Place),
+        (0usize..64).prop_map(Op::Place),
+        (0usize..64).prop_map(Op::Release),
+        (0usize..64).prop_map(Op::Fail),
+        (0usize..64).prop_map(Op::Restore),
+    ]
+}
+
+fn arb_scenario() -> impl Strategy<Value = (usize, Vec<Op>)> {
+    // testbed 0 = dgx_v100, 1 = dgx_a100; two nodes each.
+    (0usize..2, proptest::collection::vec(arb_op(), 1..60))
+}
+
+fn testbed(which: usize) -> TopologySpec {
+    if which == 0 {
+        presets::dgx_v100()
+    } else {
+        presets::dgx_a100()
+    }
+}
+
+/// Drive the omniscient placer and a per-place-synced view through one
+/// script, asserting decision identity at every placement.
+fn run_identity(which: usize, ops: &[Op]) -> Result<(), String> {
+    let mut net = FlowNet::new();
+    let topo = Topology::build(testbed(which), 2, &mut net);
+    let nodes = vec![0, 1];
+    let mut placer = Placer::new(PlacementPolicy::Mapa, &topo, nodes.clone());
+    let mut view = ViewPlacer::new(&topo, nodes);
+    let mut rng = DetRng::new(0x07AC1E);
+    let specs = spec_library();
+    // Outstanding GPU stages the Release op can retire.
+    let mut outstanding: Vec<Destination> = Vec::new();
+    for op in ops {
+        match op {
+            Op::Place(i) => {
+                let spec = &specs[i % specs.len()];
+                // The zero-staleness premise: the heartbeat arrived *now*.
+                view.sync(placer.load(), placer.failed_mask());
+                let want = placer.place(&topo, spec, &mut rng);
+                let got = view.place(&topo, spec);
+                prop_assert_eq!(
+                    &got,
+                    &want,
+                    "fresh view diverged from omniscient MAPA on testbed {} for {}",
+                    which,
+                    spec.name
+                );
+                prop_assert_eq!(
+                    view.load(),
+                    placer.load(),
+                    "post-place load bookkeeping diverged"
+                );
+                outstanding.extend(want.iter().filter(|d| matches!(d, Destination::Gpu(_))));
+            }
+            Op::Release(i) => {
+                if outstanding.is_empty() {
+                    continue;
+                }
+                let dest = outstanding.remove(i % outstanding.len());
+                placer.release(&topo, dest);
+            }
+            Op::Fail(i) => placer.set_failed(i % topo.num_gpus(), true),
+            Op::Restore(i) => placer.set_failed(i % topo.num_gpus(), false),
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Zero staleness ⇒ the heartbeat-view placement is byte-identical to
+    /// the omniscient scan on every testbed, under arrivals, releases and
+    /// GPU fail/restore churn.
+    #[test]
+    fn fresh_view_is_decision_identical_to_omniscient((which, ops) in arb_scenario()) {
+        run_identity(which, &ops)?;
+    }
+}
+
+/// A deterministic spot-check of the same identity (fast path for CI,
+/// and a fixed anchor independent of proptest's RNG).
+#[test]
+fn fresh_view_identity_fixed_script() {
+    let ops: Vec<Op> = (0..48)
+        .map(|i| match i % 7 {
+            0 | 1 | 4 => Op::Place(i),
+            2 | 5 => Op::Release(i / 2),
+            3 => Op::Fail(i),
+            _ => Op::Restore(i / 3),
+        })
+        .collect();
+    for which in 0..2 {
+        run_identity(which, &ops).expect("identity must hold on the fixed script");
+    }
+}
+
+fn small_preset() -> ClusterPreset {
+    let mut p = ClusterPreset::uniform_64();
+    p.groups.truncate(4);
+    p
+}
+
+fn service_run(hb_millis: u64) -> (u64, f64) {
+    let cfg = ServiceConfig {
+        total: 3_000,
+        seed: 0xDE6,
+        hb_interval: SimDuration::from_millis(hb_millis),
+        ctl_faults: Some(CtlFaultConfig::default()),
+        ..ServiceConfig::default()
+    };
+    let mut svc = ServiceSim::build(&small_preset(), &cfg);
+    svc.run(2);
+    assert_eq!(
+        svc.completed() as u64 + svc.failed(),
+        svc.arrivals(),
+        "service run must account for every arrival"
+    );
+    (svc.completed() as u64, svc.latency_ms().p99())
+}
+
+/// Bounded staleness ⇒ bounded degradation: with 50×-staler heartbeats
+/// under the same randomized control-plane fault plan, the router may
+/// lose some completions and latency, but within pinned factors.
+#[test]
+fn stale_view_degradation_is_bounded() {
+    let (fresh_done, fresh_p99) = service_run(5);
+    let (stale_done, stale_p99) = service_run(250);
+    // Completed count: the stale router must still finish the vast
+    // majority of what the fresh router finishes.
+    assert!(
+        stale_done * 10 >= fresh_done * 9,
+        "stale completions {stale_done} fell below 90% of fresh {fresh_done}"
+    );
+    // p99 latency: staleness may cost tail latency, but not an order of
+    // magnitude.
+    assert!(
+        stale_p99 <= fresh_p99 * 8.0,
+        "stale p99 {stale_p99}ms exceeds 8x fresh p99 {fresh_p99}ms"
+    );
+}

@@ -25,5 +25,5 @@ pub mod scaler;
 
 pub use eviction::{EvictionPolicy, GrouterPolicy, LruPolicy, ObjectMeta, QueueAwarePolicy};
 pub use pinned::PinnedRing;
-pub use pool::{AllocError, AllocGrant, ElasticPool, PoolDiscipline};
+pub use pool::{AllocError, AllocGrant, ElasticPool, PoolDiscipline, PoolOccupancy};
 pub use scaler::PrewarmScaler;

@@ -79,6 +79,36 @@ impl std::error::Error for AllocError {}
 /// pool.reclaim_toward(0.0);
 /// assert_eq!(pool.reserved(), 300e6);
 /// ```
+/// Point-in-time memory occupancy of one GPU's pool, published to the
+/// service-mode router in heartbeats (see `DESIGN.md` §5.9). Fractions of
+/// `capacity`; `free = capacity - runtime_used - reserved`.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub struct PoolOccupancy {
+    /// Total GPU memory.
+    pub capacity: f64,
+    /// Pool bytes reserved from the GPU (storage footprint).
+    pub reserved: f64,
+    /// Pool bytes held by live objects (storage demand).
+    pub used: f64,
+    /// Memory used by function execution.
+    pub runtime_used: f64,
+}
+
+impl PoolOccupancy {
+    /// GPU memory not taken by the runtime or the pool.
+    pub fn idle(&self) -> f64 {
+        (self.capacity - self.runtime_used - self.reserved).max(0.0)
+    }
+
+    /// Occupied fraction of capacity, in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.capacity <= 0.0 {
+            return 0.0;
+        }
+        ((self.runtime_used + self.reserved) / self.capacity).clamp(0.0, 1.0)
+    }
+}
+
 #[derive(Clone, Debug)]
 pub struct ElasticPool {
     discipline: PoolDiscipline,
@@ -312,6 +342,18 @@ impl ElasticPool {
     /// Number of native allocation events so far.
     pub fn native_allocs(&self) -> u64 {
         self.native_allocs
+    }
+
+    /// Point-in-time occupancy snapshot, as shipped in service-mode
+    /// heartbeats. A plain value type so the control plane can carry it
+    /// across the fabric without borrowing the pool.
+    pub fn occupancy(&self) -> PoolOccupancy {
+        PoolOccupancy {
+            capacity: self.capacity,
+            reserved: self.reserved,
+            used: self.used,
+            runtime_used: self.runtime_used,
+        }
     }
 
     /// Record a change in runtime (function execution) memory usage.

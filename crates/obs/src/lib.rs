@@ -57,10 +57,13 @@ pub enum Comp {
     Plane = 7,
     /// Fault injection and recovery waves (`grouter-runtime::fault`).
     Fault = 8,
+    /// Control plane: router admission/routing decisions and worker
+    /// heartbeats (`grouter-ctl` over `grouter-runtime::cluster`).
+    Ctl = 9,
 }
 
 /// All components, in `tid` order. Keep in sync with [`Comp`].
-pub const COMPONENTS: [Comp; 9] = [
+pub const COMPONENTS: [Comp; 10] = [
     Comp::Sim,
     Comp::Net,
     Comp::Topo,
@@ -70,6 +73,7 @@ pub const COMPONENTS: [Comp; 9] = [
     Comp::Runtime,
     Comp::Plane,
     Comp::Fault,
+    Comp::Ctl,
 ];
 
 impl Comp {
@@ -92,6 +96,7 @@ impl Comp {
             Comp::Runtime => "runtime",
             Comp::Plane => "plane",
             Comp::Fault => "fault",
+            Comp::Ctl => "ctl",
         }
     }
 }

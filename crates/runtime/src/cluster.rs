@@ -42,6 +42,79 @@ pub enum CrossMsg {
     Invoke { spec: u32, origin: u32 },
     /// Completion notification flowing back to the admitting group.
     Response,
+    /// Worker state snapshot published to the router (service mode). Boxed:
+    /// the snapshot carries per-GPU vectors and must not fatten every
+    /// envelope in the fabric.
+    Heartbeat(Box<Heartbeat>),
+}
+
+/// One worker heartbeat: everything the router's scheduler is allowed to
+/// know about a group, as of the emission instant (`DESIGN.md` §5.9). The
+/// router's view is exactly the last snapshot per group — between beats it
+/// is stale by construction, which is the point of the control-plane
+/// boundary.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Heartbeat {
+    /// Emitting group.
+    pub group: u32,
+    /// Per-group monotone sequence number.
+    pub seq: u64,
+    /// Virtual emission time.
+    pub at: SimTime,
+    /// Live workflow instances on the group (queue depth).
+    pub depth: u32,
+    /// Outstanding stage count per flat GPU index (the MAPA load vector).
+    pub gpu_load: Vec<u32>,
+    /// Per-GPU failure flags (flat index).
+    pub gpu_failed: Vec<bool>,
+    /// Per-GPU memory occupancy snapshots (flat index).
+    pub pool: Vec<grouter_mem::PoolOccupancy>,
+    /// Requests completed so far.
+    pub completed: u64,
+    /// Requests failed (typed) so far.
+    pub failed: u64,
+    /// `false` on the final beat before the group's daemon goes idle; the
+    /// router must not suspect a group that told it it went quiet.
+    pub active: bool,
+}
+
+/// Router-side admission/placement policy consulted by the service-mode
+/// gateway. The mechanism (heartbeat transport, drop budgets, arming) lives
+/// here in `runtime`; the policy (`grouter-ctl`'s heartbeat-view scheduler)
+/// is injected through this trait.
+///
+/// Every call happens inside the router group's deterministic event
+/// dispatch, so implementations may keep mutable state and an admission log
+/// without any thread-count dependence.
+pub trait RouterAgent: Send {
+    /// A heartbeat from `src` survived the fabric (and any drop budget).
+    fn on_heartbeat(&mut self, now: SimTime, src: u32, hb: &Heartbeat, rec: &grouter_obs::Recorder);
+
+    /// Pick the executing group for a request admitted at the router.
+    fn route(&mut self, now: SimTime, spec: u32, rec: &grouter_obs::Recorder) -> u32;
+
+    /// The admission log accumulated so far (one line per routed request);
+    /// byte-identical across worker thread counts.
+    fn admission_log(&self) -> String;
+}
+
+/// Heartbeat wiring for one group: publish snapshots to group `to` every
+/// `interval` while the group has live work.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// Router group receiving this group's beats.
+    pub to: u32,
+    /// Beat period (virtual time).
+    pub interval: SimDuration,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> HeartbeatConfig {
+        HeartbeatConfig {
+            to: 0,
+            interval: params::HEARTBEAT_INTERVAL,
+        }
+    }
 }
 
 /// Open-loop request generator a group's gateway pulls from. Arrivals must
@@ -102,6 +175,28 @@ pub struct ClusterPort {
     pub remote_out: u64,
     /// Invocations this group executed for another group.
     pub remote_in: u64,
+    /// Service-mode heartbeat wiring; `None` outside service mode.
+    pub hb: Option<HeartbeatConfig>,
+    /// Per-group heartbeat sequence counter.
+    pub(crate) hb_seq: u64,
+    /// A heartbeat tick chain is scheduled (armed on admit, disarmed by the
+    /// final idle beat — the chain never outlives the work, so service runs
+    /// still quiesce).
+    pub(crate) hb_armed: bool,
+    /// Worker death: the daemon is silent until a `WorkerRestart`.
+    pub(crate) hb_muted: bool,
+    /// Router-side fault budget: the next `hb_drop[g]` heartbeats from
+    /// group `g` are lost before the agent sees them (`HeartbeatLoss`).
+    pub(crate) hb_drop: Vec<u32>,
+    /// Heartbeats published by this group.
+    pub hb_sent: u64,
+    /// Heartbeats this group's agent consumed.
+    pub hb_recv: u64,
+    /// Heartbeats lost to an injected drop budget.
+    pub hb_drops: u64,
+    /// Router-side admission/placement policy (service mode, router group
+    /// only).
+    pub agent: Option<Box<dyn RouterAgent>>,
 }
 
 impl ClusterPort {
@@ -120,6 +215,15 @@ impl ClusterPort {
             responses: 0,
             remote_out: 0,
             remote_in: 0,
+            hb: None,
+            hb_seq: 0,
+            hb_armed: false,
+            hb_muted: false,
+            hb_drop: vec![0; groups as usize],
+            hb_sent: 0,
+            hb_recv: 0,
+            hb_drops: 0,
+            agent: None,
         }
     }
 
@@ -184,25 +288,44 @@ pub(crate) fn next_arrival(w: &mut World, s: &mut Scheduler<World>) {
 }
 
 /// A request reached this group's gateway: run it here if this is its home
-/// group, otherwise forward the invocation across the frontend.
+/// group, otherwise forward the invocation across the frontend. A
+/// service-mode router (a group carrying a [`RouterAgent`]) re-routes
+/// requests homed on it from the agent's heartbeat view instead of the
+/// omniscient scan.
 pub(crate) fn ingress(w: &mut World, s: &mut Scheduler<World>, spec: u32, home: u32) {
     let now = s.now();
+    let rec = w.rec.clone();
     let Some(port) = w.cluster.as_mut() else {
         return;
     };
-    if home == port.group {
+    let me = port.group;
+    let groups = port.groups;
+    let mut home = home;
+    if home == me {
+        if let Some(mut agent) = port.agent.take() {
+            rec.count(grouter_obs::Comp::Ctl, "admit", 1);
+            home = agent.route(now, spec, &rec);
+            debug_assert!(home < groups, "agent routed to unknown group");
+            if home != me {
+                rec.count(grouter_obs::Comp::Ctl, "route_remote", 1);
+            }
+            port.agent = Some(agent);
+        }
+    }
+    if home == me {
         admit(w, s, spec, None);
     } else {
         port.remote_out += 1;
         let bytes = port.registry[spec as usize].spec.input_bytes;
-        let origin = port.group;
-        port.send(now, home, bytes, CrossMsg::Invoke { spec, origin });
+        port.send(now, home, bytes, CrossMsg::Invoke { spec, origin: me });
     }
 }
 
-/// A frontend envelope stamped for this instant: execute a forwarded
-/// invocation, or account a returning response.
-pub(crate) fn deliver(w: &mut World, s: &mut Scheduler<World>, msg: CrossMsg) {
+/// A frontend envelope from group `src` stamped for this instant: execute a
+/// forwarded invocation, account a returning response, or absorb a worker
+/// heartbeat into the router's view.
+pub(crate) fn deliver(w: &mut World, s: &mut Scheduler<World>, src: u32, msg: CrossMsg) {
+    let now = s.now();
     match msg {
         CrossMsg::Invoke { spec, origin } => {
             if let Some(port) = w.cluster.as_mut() {
@@ -215,6 +338,120 @@ pub(crate) fn deliver(w: &mut World, s: &mut Scheduler<World>, msg: CrossMsg) {
                 port.responses += 1;
             }
         }
+        CrossMsg::Heartbeat(hb) => {
+            let rec = w.rec.clone();
+            let Some(port) = w.cluster.as_mut() else {
+                return;
+            };
+            // Injected router-side loss: burn the budget before the agent
+            // ever sees the beat.
+            let dropped = match port.hb_drop.get_mut(src as usize) {
+                Some(budget) if *budget > 0 => {
+                    *budget -= 1;
+                    port.hb_drops += 1;
+                    true
+                }
+                _ => false,
+            };
+            if dropped {
+                rec.count(grouter_obs::Comp::Ctl, "hb_drop", 1);
+                w.log_recovery(
+                    now,
+                    crate::fault::RecoveryEvent::HbDropped {
+                        group: src as usize,
+                    },
+                );
+                return;
+            }
+            port.hb_recv += 1;
+            if let Some(mut agent) = port.agent.take() {
+                rec.count(grouter_obs::Comp::Ctl, "hb_recv", 1);
+                agent.on_heartbeat(now, src, &hb, &rec);
+                port.agent = Some(agent);
+            }
+        }
+    }
+}
+
+/// Schedule the heartbeat tick chain if service-mode wiring is installed
+/// and the daemon is neither already ticking nor dead. Called on every
+/// admit: the chain runs exactly while the group has work (plus one final
+/// idle beat), so it never blocks global quiescence.
+pub(crate) fn arm_heartbeat(w: &mut World, s: &mut Scheduler<World>) {
+    let Some(port) = w.cluster.as_mut() else {
+        return;
+    };
+    let Some(hb) = port.hb else {
+        return;
+    };
+    if port.hb_armed || port.hb_muted {
+        return;
+    }
+    port.hb_armed = true;
+    s.schedule_at(s.now() + hb.interval, Event::HeartbeatTick);
+}
+
+/// Emit one heartbeat and keep the chain alive while the group is busy.
+/// The last beat of a burst reports `active: false` and disarms; a muted
+/// (dead) worker silently drops the chain until restart re-arms it.
+pub(crate) fn heartbeat_tick(w: &mut World, s: &mut Scheduler<World>) {
+    let now = s.now();
+    // Snapshot world state before borrowing the port.
+    let depth = w.instances.len() as u32;
+    let active = depth > 0;
+    let gpu_load = w.placer.load().to_vec();
+    let gpu_failed = w.placer.failed_mask().to_vec();
+    let pool: Vec<grouter_mem::PoolOccupancy> = w.pools.iter().map(|p| p.occupancy()).collect();
+    let completed = w.metrics.completed() as u64;
+    let failed = w.metrics.failed;
+    let rec = w.rec.clone();
+    let Some(port) = w.cluster.as_mut() else {
+        return;
+    };
+    let Some(cfg) = port.hb else {
+        return;
+    };
+    if port.hb_muted {
+        port.hb_armed = false;
+        return;
+    }
+    let hb = Heartbeat {
+        group: port.group,
+        seq: port.hb_seq,
+        at: now,
+        depth,
+        gpu_load,
+        gpu_failed,
+        pool,
+        completed,
+        failed,
+        active,
+    };
+    port.hb_seq += 1;
+    port.hb_sent += 1;
+    rec.count(grouter_obs::Comp::Ctl, "hb_sent", 1);
+    let src = port.group;
+    if cfg.to == src {
+        // The router's own worker daemon: zero network staleness, no
+        // envelope — the snapshot goes straight into the agent's view.
+        if let Some(mut agent) = port.agent.take() {
+            port.hb_recv += 1;
+            rec.count(grouter_obs::Comp::Ctl, "hb_recv", 1);
+            agent.on_heartbeat(now, src, &hb, &rec);
+            port.agent = Some(agent);
+        }
+    } else {
+        port.send(
+            now,
+            cfg.to,
+            params::HEARTBEAT_BYTES,
+            CrossMsg::Heartbeat(Box::new(hb)),
+        );
+    }
+    if active {
+        s.schedule_at(now + cfg.interval, Event::HeartbeatTick);
+    } else {
+        port.hb_armed = false;
     }
 }
 
@@ -238,6 +475,9 @@ fn admit(w: &mut World, s: &mut Scheduler<World>, spec_idx: u32, origin: Option<
             }
         }
     }
+    // Service mode: admitting work (re)starts the worker's heartbeat
+    // daemon; a no-op without heartbeat wiring.
+    arm_heartbeat(w, s);
 }
 
 /// Executor hook: an instance finished. Route the response (terminal-stage
@@ -273,7 +513,13 @@ impl ShardWorld for World {
     }
 
     fn apply_message(&mut self, sched: &mut Scheduler<World>, env: Envelope<CrossMsg>) {
-        sched.schedule_at(env.at, Event::ClusterDeliver(env.msg));
+        sched.schedule_at(
+            env.at,
+            Event::ClusterDeliver {
+                src: env.src,
+                msg: env.msg,
+            },
+        );
     }
 }
 
@@ -292,7 +538,14 @@ pub struct GroupSetup {
     /// own GPU-tuned variants at matching indices.
     pub specs: Vec<Arc<WorkflowSpec>>,
     pub source: Option<Box<dyn ArrivalSource>>,
-    pub fault_plan: Option<FaultPlan>,
+    /// Fault plans to install on this group's world (data-plane and
+    /// control-plane plans compose; each is scheduled independently).
+    pub fault_plans: Vec<FaultPlan>,
+    /// Service-mode heartbeat wiring for this group's worker daemon.
+    pub hb: Option<HeartbeatConfig>,
+    /// Router-side scheduling policy; set on exactly the router group in
+    /// service mode.
+    pub agent: Option<Box<dyn RouterAgent>>,
 }
 
 /// A sharded cluster: one [`World`] per node group under a conservative
@@ -318,8 +571,10 @@ impl ClusterSim {
                 rt.cluster_register(&mut port, spec);
             }
             port.source = setup.source;
+            port.hb = setup.hb;
+            port.agent = setup.agent;
             rt.world_mut().cluster = Some(Box::new(port));
-            if let Some(plan) = &setup.fault_plan {
+            for plan in &setup.fault_plans {
                 rt.install_fault_plan(plan);
             }
             rt.start_cluster_arrivals();
@@ -372,6 +627,20 @@ impl ClusterSim {
 
     pub fn responses(&self) -> u64 {
         (0..self.groups()).map(|g| self.port(g).responses).sum()
+    }
+
+    /// Heartbeats published / consumed / injected-dropped, cluster-wide.
+    pub fn heartbeat_stats(&self) -> (u64, u64, u64) {
+        (0..self.groups()).fold((0, 0, 0), |(s, r, d), g| {
+            let p = self.port(g);
+            (s + p.hb_sent, r + p.hb_recv, d + p.hb_drops)
+        })
+    }
+
+    /// The router agent's admission log, if any group carries one (service
+    /// mode). Byte-identical across worker thread counts.
+    pub fn admission_log(&self) -> Option<String> {
+        (0..self.groups()).find_map(|g| self.port(g).agent.as_ref().map(|a| a.admission_log()))
     }
 
     fn each(&self) -> impl Iterator<Item = &World> {

@@ -293,8 +293,14 @@ pub enum Event {
     /// A request reached this group's gateway: run locally or forward to
     /// its home group.
     ClusterIngress { spec: u32, home: u32 },
-    /// A cross-group envelope stamped for this instant.
-    ClusterDeliver(crate::cluster::CrossMsg),
+    /// A cross-group envelope from group `src` stamped for this instant.
+    ClusterDeliver {
+        src: u32,
+        msg: crate::cluster::CrossMsg,
+    },
+    /// Service-mode worker heartbeat: publish a state snapshot to the
+    /// router and keep the chain alive while the group has work.
+    HeartbeatTick,
 }
 
 impl grouter_sim::EventWorld for World {
@@ -340,7 +346,8 @@ impl grouter_sim::EventWorld for World {
             } => crate::fault::re_issue(self, s, inst, stage, kind, attempt),
             Event::NextArrival => crate::cluster::next_arrival(self, s),
             Event::ClusterIngress { spec, home } => crate::cluster::ingress(self, s, spec, home),
-            Event::ClusterDeliver(msg) => crate::cluster::deliver(self, s, msg),
+            Event::ClusterDeliver { src, msg } => crate::cluster::deliver(self, s, src, msg),
+            Event::HeartbeatTick => crate::cluster::heartbeat_tick(self, s),
         }
     }
 }

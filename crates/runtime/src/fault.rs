@@ -115,6 +115,22 @@ pub enum RecoveryEvent {
     DegradedLeg {
         op: u64,
     },
+    /// Service mode: this worker group died — heartbeat daemon silent,
+    /// every local GPU failed (the host gateway survives).
+    WorkerDied,
+    /// Service mode: the worker came back — GPUs restored, daemon re-armed.
+    WorkerRestarted,
+    /// Service mode: a router-side drop budget was armed for `group`'s
+    /// next `drops` heartbeats.
+    HbLossArmed {
+        group: usize,
+        drops: u32,
+    },
+    /// Service mode: one heartbeat from `group` was lost to a drop budget
+    /// before the router's agent saw it.
+    HbDropped {
+        group: usize,
+    },
 }
 
 // ---------------------------------------------------------------------------
@@ -183,6 +199,13 @@ pub(crate) fn record_recovery(rec: &grouter_obs::Recorder, now: SimTime, ev: &Re
             ids = Ids::op(op);
             ("degraded_leg", vec![])
         }
+        RecoveryEvent::WorkerDied => ("worker_died", vec![]),
+        RecoveryEvent::WorkerRestarted => ("worker_restarted", vec![]),
+        RecoveryEvent::HbLossArmed { group, drops } => (
+            "hb_loss_armed",
+            vec![("group", group.into()), ("drops", drops.into())],
+        ),
+        RecoveryEvent::HbDropped { group } => ("hb_dropped", vec![("group", group.into())]),
     };
     rec.instant_at(now.as_nanos(), Comp::Fault, name, ids, args);
 }
@@ -249,6 +272,15 @@ pub(crate) fn decode_recovery(e: &grouter_obs::Event) -> Option<(SimTime, Recove
         },
         "instance_failed" => RecoveryEvent::InstanceFailed { inst: e.ids.inst? },
         "degraded_leg" => RecoveryEvent::DegradedLeg { op: e.ids.op? },
+        "worker_died" => RecoveryEvent::WorkerDied,
+        "worker_restarted" => RecoveryEvent::WorkerRestarted,
+        "hb_loss_armed" => RecoveryEvent::HbLossArmed {
+            group: arg_u64("group")? as usize,
+            drops: arg_u64("drops")? as u32,
+        },
+        "hb_dropped" => RecoveryEvent::HbDropped {
+            group: arg_u64("group")? as usize,
+        },
         _ => return None,
     };
     Some((SimTime(e.t_ns), ev))
@@ -346,20 +378,74 @@ pub(crate) fn apply_fault(w: &mut World, s: &mut Scheduler<World>, ev: &FaultEve
             apply_gpu_fail(w, s, *gpu);
         }
         FaultKind::GpuRestore { gpu } => {
-            if w.fault.failed_gpus.remove(gpu) {
-                let per = w.topo.gpus_per_node();
-                w.gpus[*gpu].failed = false;
-                w.gpus[*gpu].busy = false;
-                w.gpus[*gpu].queue.clear();
-                w.placer.set_failed(*gpu, false);
-                w.ledgers[*gpu / per].unmask_node(*gpu % per);
-                w.pools[*gpu].release_quarantine();
-                w.log_recovery(now, RecoveryEvent::GpuRestored { gpu: *gpu });
+            apply_gpu_restore(w, now, *gpu);
+        }
+        FaultKind::WorkerDeath => {
+            // The worker host dies mid-heartbeat-interval: the daemon goes
+            // silent (the router only finds out via its failure detector)
+            // and every local GPU fails at once. The gateway itself
+            // survives, so forwarded invocations keep arriving and fail
+            // typed instead of stalling.
+            if let Some(port) = w.cluster.as_mut() {
+                port.hb_muted = true;
             }
+            w.log_recovery(now, RecoveryEvent::WorkerDied);
+            for gpu in 0..w.topo.num_gpus() {
+                apply_gpu_fail(w, s, gpu);
+            }
+        }
+        FaultKind::WorkerRestart => {
+            if let Some(port) = w.cluster.as_mut() {
+                port.hb_muted = false;
+            }
+            w.log_recovery(now, RecoveryEvent::WorkerRestarted);
+            // A host restart brings every local GPU back (including any
+            // that failed independently before the death).
+            let downed: Vec<usize> = w.fault.failed_gpus.iter().copied().collect();
+            for gpu in downed {
+                apply_gpu_restore(w, now, gpu);
+            }
+            // Live work resumes the daemon immediately; otherwise the next
+            // admit re-arms it.
+            if !w.instances.is_empty() {
+                crate::cluster::arm_heartbeat(w, s);
+            }
+        }
+        FaultKind::HeartbeatLoss { group, drops } => {
+            // Router-side: arm a drop budget so the next `drops` beats
+            // from `group` vanish before the agent's view sees them.
+            if let Some(port) = w.cluster.as_mut() {
+                if let Some(budget) = port.hb_drop.get_mut(*group) {
+                    *budget += drops;
+                }
+            }
+            w.log_recovery(
+                now,
+                RecoveryEvent::HbLossArmed {
+                    group: *group,
+                    drops: *drops,
+                },
+            );
         }
     }
     #[cfg(feature = "audit")]
     audit_recovery(w);
+}
+
+/// Bring a failed GPU back: clear device and placement flags, unmask its
+/// routes, release the pool quarantine. Idempotent — a GPU that is not
+/// down is left untouched.
+fn apply_gpu_restore(w: &mut World, now: SimTime, gpu: usize) {
+    if w.fault.failed_gpus.remove(&gpu) {
+        let per = w.topo.gpus_per_node();
+        w.gpus[gpu].failed = false;
+        w.gpus[gpu].busy = false;
+        w.gpus[gpu].queue.clear();
+        w.placer.set_failed(gpu, false);
+        w.ledgers[gpu / per].unmask_node(gpu % per);
+        w.pools[gpu].release_quarantine();
+        w.log_recovery(now, RecoveryEvent::GpuRestored { gpu });
+    }
 }
 
 /// Whole-GPU failure: quarantine the device, purge its data, restart the

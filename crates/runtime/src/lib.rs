@@ -29,12 +29,15 @@ pub mod slab;
 pub mod spec;
 pub mod world;
 
-pub use cluster::{ArrivalSource, ClusterArrival, ClusterPort, ClusterSim, CrossMsg, GroupSetup};
+pub use cluster::{
+    ArrivalSource, ClusterArrival, ClusterPort, ClusterSim, CrossMsg, GroupSetup, Heartbeat,
+    HeartbeatConfig, RouterAgent,
+};
 pub use dataplane::{DataOp, DataPlane, Destination, LegHealth, OpLeg, PlaneCtx, PutOp};
 pub use exec::{Event, Runtime};
 pub use fault::{FaultState, RecoveryEvent};
 pub use metrics::{InstanceRecord, Metrics, PassCategory};
-pub use placement::PlacementPolicy;
+pub use placement::{mapa_scan, PlacementPolicy, Placer};
 pub use slab::{IdSlab, NvFlowIndex};
 pub use spec::{StageKind, StageSpec, WorkflowSpec};
 pub use world::World;

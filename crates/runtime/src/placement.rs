@@ -142,6 +142,22 @@ impl Placer {
         self.failed[idx] = failed;
     }
 
+    /// Outstanding stage count per flat GPU index — the load vector
+    /// heartbeats publish and [`mapa_scan`] consumes.
+    pub fn load(&self) -> &[u32] {
+        &self.load
+    }
+
+    /// Per-GPU failure flags (flat index).
+    pub fn failed_mask(&self) -> &[bool] {
+        &self.failed
+    }
+
+    /// Nodes eligible for placement.
+    pub fn nodes(&self) -> &[usize] {
+        &self.nodes
+    }
+
     /// Least-loaded healthy GPU in the domain, preferring `prefer_node`
     /// (re-placement of a stage stranded on a failed GPU: staying on the
     /// producer's node keeps the data passing intra-node). `None` when every
@@ -190,52 +206,67 @@ impl Placer {
         placed: &[Destination],
         _rng: &mut DetRng,
     ) -> GpuRef {
-        let g = topo.gpus_per_node();
-        let mut best: Option<(f64, u32, usize, usize)> = None; // (-score, load, node, gpu)
-        for &node in &self.nodes {
-            for gpu in 0..g {
-                let idx = node * g + gpu;
-                if self.failed[idx] {
-                    continue;
-                }
-                let load = self.load[idx];
-                let mut conn = 0.0;
-                for &d in deps {
-                    match placed[d] {
-                        Destination::Gpu(up) if up.node == node => {
-                            conn += if up.gpu == gpu {
-                                // Same GPU: zero-copy beats any link, but
-                                // serialises compute; value it like a top
-                                // link rather than infinity.
-                                2.0 * topo.nvlink_bw(0, 1).max(1e9)
-                            } else {
-                                topo.nvlink_bw(up.gpu, gpu)
-                            };
-                        }
-                        // Node affinity: staying on the producer's node
-                        // avoids a NIC hop entirely (hierarchical control
-                        // plane, §5 — "minimizing inter-node transfers").
-                        Destination::Gpu(_) | Destination::Host(_)
-                            if placed[d].node_of() == node =>
-                        {
-                            conn += 40e9;
-                        }
-                        _ => {}
+        mapa_scan(topo, &self.nodes, &self.load, &self.failed, deps, placed)
+    }
+}
+
+/// The MAPA scoring scan, as a pure function of the scheduler's *view* of
+/// per-GPU state: `load` and `failed` are indexed by flat GPU index
+/// ([`Topology::flat_index`]). The omniscient [`Placer`] calls this with its
+/// live counters; the service-mode router (`grouter-ctl`) calls it with
+/// heartbeat-reconstructed ones — the placement-oracle test proves the two
+/// coincide when the view is exact.
+pub fn mapa_scan(
+    topo: &Topology,
+    nodes: &[usize],
+    load: &[u32],
+    failed: &[bool],
+    deps: &[usize],
+    placed: &[Destination],
+) -> GpuRef {
+    let g = topo.gpus_per_node();
+    let mut best: Option<(f64, u32, usize, usize)> = None; // (-score, load, node, gpu)
+    for &node in nodes {
+        for gpu in 0..g {
+            let idx = node * g + gpu;
+            if failed[idx] {
+                continue;
+            }
+            let load = load[idx];
+            let mut conn = 0.0;
+            for &d in deps {
+                match placed[d] {
+                    Destination::Gpu(up) if up.node == node => {
+                        conn += if up.gpu == gpu {
+                            // Same GPU: zero-copy beats any link, but
+                            // serialises compute; value it like a top
+                            // link rather than infinity.
+                            2.0 * topo.nvlink_bw(0, 1).max(1e9)
+                        } else {
+                            topo.nvlink_bw(up.gpu, gpu)
+                        };
                     }
-                }
-                // One queued stage costs one "link" of score.
-                let score = conn - load as f64 * 25e9;
-                let key = (-score, load, node, gpu);
-                if best.is_none_or(|b| key < b) {
-                    best = Some(key);
+                    // Node affinity: staying on the producer's node
+                    // avoids a NIC hop entirely (hierarchical control
+                    // plane, §5 — "minimizing inter-node transfers").
+                    Destination::Gpu(_) | Destination::Host(_) if placed[d].node_of() == node => {
+                        conn += 40e9;
+                    }
+                    _ => {}
                 }
             }
+            // One queued stage costs one "link" of score.
+            let score = conn - load as f64 * 25e9;
+            let key = (-score, load, node, gpu);
+            if best.is_none_or(|b| key < b) {
+                best = Some(key);
+            }
         }
-        // Every domain GPU failed: return the first slot and let the
-        // arrival path turn the placement into a typed instance failure.
-        let (_, _, node, gpu) = best.unwrap_or((0.0, 0, self.nodes[0], 0));
-        GpuRef::new(node, gpu)
     }
+    // Every domain GPU failed: return the first slot and let the
+    // arrival path turn the placement into a typed instance failure.
+    let (_, _, node, gpu) = best.unwrap_or((0.0, 0, nodes[0], 0));
+    GpuRef::new(node, gpu)
 }
 
 #[cfg(test)]

@@ -375,9 +375,9 @@ impl World {
         crate::fault::record_recovery(&self.rec, now, &ev);
     }
 
-    /// Flat GPU index.
+    /// Flat GPU index (canonical ordering from [`Topology::flat_index`]).
     pub fn gpu_index(&self, node: usize, gpu: usize) -> usize {
-        node * self.topo.gpus_per_node() + gpu
+        self.topo.flat_index(node, gpu)
     }
 
     /// Idle (neither runtime- nor pool-reserved) memory on a GPU.

@@ -46,6 +46,17 @@ pub enum FaultKind {
     GpuFail { gpu: usize },
     /// The failed GPU rejoins empty (pool unquarantined, links unmasked).
     GpuRestore { gpu: usize },
+    /// Control plane: the worker group this plan is installed on dies —
+    /// its heartbeat daemon goes silent and every local GPU fails at once.
+    /// (The host gateway survives: requests already in flight toward the
+    /// group still arrive and terminate as typed failures.)
+    WorkerDeath,
+    /// The dead worker rejoins: GPUs restore empty and heartbeats resume.
+    WorkerRestart,
+    /// Control plane, router side: the next `drops` heartbeats *from*
+    /// worker `group` are lost before the router sees them (frontend
+    /// message loss); the router keeps routing on its stale view.
+    HeartbeatLoss { group: usize, drops: u32 },
 }
 
 /// A [`FaultKind`] pinned to a simulation instant.
@@ -91,6 +102,36 @@ impl Default for FaultPlanConfig {
             min_outage: SimDuration::from_secs_f64(0.005),
             max_outage: SimDuration::from_secs_f64(0.060),
             allow_gpu_fail: true,
+        }
+    }
+}
+
+/// Shape of a randomized control-plane fault plan (service mode): worker
+/// deaths mid-heartbeat-interval plus router-side heartbeat loss.
+#[derive(Clone, Debug)]
+pub struct CtlFaultConfig {
+    /// Events land uniformly over `[0, horizon)`.
+    pub horizon: SimDuration,
+    /// Worker-death events (each may add a paired restart).
+    pub deaths: usize,
+    /// Router-side heartbeat-loss events.
+    pub hb_losses: usize,
+    /// Heartbeats dropped per loss event, drawn from `1..=max_drops`.
+    pub max_drops: u32,
+    /// Outage duration range for paired restarts.
+    pub min_outage: SimDuration,
+    pub max_outage: SimDuration,
+}
+
+impl Default for CtlFaultConfig {
+    fn default() -> Self {
+        CtlFaultConfig {
+            horizon: SimDuration::from_secs_f64(2.0),
+            deaths: 2,
+            hb_losses: 3,
+            max_drops: 4,
+            min_outage: SimDuration::from_secs_f64(0.2),
+            max_outage: SimDuration::from_secs_f64(0.8),
         }
     }
 }
@@ -205,6 +246,76 @@ impl FaultPlan {
         FaultPlan { seed, events }
     }
 
+    /// Generate randomized control-plane fault plans for a `groups`-wide
+    /// service cluster with the router on group `router`: one plan per
+    /// group, to be installed alongside any data-plane plan. Worker deaths
+    /// land on non-router groups (their own plan); heartbeat losses land on
+    /// the router's plan. A dedicated generator — rather than new arms in
+    /// [`FaultPlan::randomized`] — keeps the existing weighted-roll RNG
+    /// stream byte-stable for every seed the chaos goldens pin.
+    pub fn randomized_ctl(
+        seed: u64,
+        groups: u32,
+        router: u32,
+        cfg: &CtlFaultConfig,
+    ) -> Vec<FaultPlan> {
+        assert!(groups > 0 && router < groups);
+        let mut rng = DetRng::new(seed).fork(0xC71);
+        let mut per_group: Vec<Vec<FaultEvent>> = vec![Vec::new(); groups as usize];
+        let horizon = cfg.horizon.as_nanos().max(1);
+        let workers: Vec<u32> = (0..groups).filter(|&g| g != router).collect();
+        for _ in 0..cfg.deaths {
+            if workers.is_empty() {
+                break;
+            }
+            let g = *rng.choose(&workers);
+            let at = SimTime(rng.next_below(horizon));
+            let outage = SimDuration(
+                cfg.min_outage.as_nanos()
+                    + rng.next_below(
+                        cfg.max_outage
+                            .as_nanos()
+                            .saturating_sub(cfg.min_outage.as_nanos())
+                            .max(1),
+                    ),
+            );
+            per_group[g as usize].push(FaultEvent {
+                at,
+                kind: FaultKind::WorkerDeath,
+            });
+            // Half the deaths revive within the outage window; the rest
+            // stay down for the remainder of the run.
+            if rng.next_u64().is_multiple_of(2) {
+                per_group[g as usize].push(FaultEvent {
+                    at: at.saturating_add(outage),
+                    kind: FaultKind::WorkerRestart,
+                });
+            }
+        }
+        for _ in 0..cfg.hb_losses {
+            if workers.is_empty() {
+                break;
+            }
+            let g = *rng.choose(&workers);
+            let at = SimTime(rng.next_below(horizon));
+            let drops = 1 + rng.next_below(cfg.max_drops.max(1) as u64) as u32;
+            per_group[router as usize].push(FaultEvent {
+                at,
+                kind: FaultKind::HeartbeatLoss {
+                    group: g as usize,
+                    drops,
+                },
+            });
+        }
+        per_group
+            .into_iter()
+            .map(|mut events| {
+                events.sort_by_key(|e| e.at);
+                FaultPlan { seed, events }
+            })
+            .collect()
+    }
+
     /// The generating seed (0 for scripted plans) — printed by failing
     /// chaos tests for replay.
     pub fn seed(&self) -> u64 {
@@ -282,8 +393,57 @@ mod tests {
                     assert!(*node < 2 && *nic < 4);
                 }
                 FaultKind::LinkRestore { .. } => {}
+                // Control-plane faults come only from `randomized_ctl`.
+                FaultKind::WorkerDeath
+                | FaultKind::WorkerRestart
+                | FaultKind::HeartbeatLoss { .. } => {
+                    unreachable!("randomized() must not emit ctl faults")
+                }
             }
         }
+    }
+
+    #[test]
+    fn randomized_ctl_plans_are_deterministic_and_well_formed() {
+        let cfg = CtlFaultConfig::default();
+        let plans = FaultPlan::randomized_ctl(99, 4, 0, &cfg);
+        assert_eq!(plans, FaultPlan::randomized_ctl(99, 4, 0, &cfg));
+        assert_eq!(plans.len(), 4);
+        let mut deaths = 0;
+        let mut losses = 0;
+        for (g, plan) in plans.iter().enumerate() {
+            assert!(plan.events().windows(2).all(|w| w[0].at <= w[1].at));
+            for e in plan.events() {
+                assert!(e.at.as_nanos() <= cfg.horizon.saturating_mul(2).as_nanos());
+                match &e.kind {
+                    FaultKind::WorkerDeath | FaultKind::WorkerRestart => {
+                        // Deaths never land on the router group.
+                        assert_ne!(g, 0);
+                        if matches!(e.kind, FaultKind::WorkerDeath) {
+                            deaths += 1;
+                        }
+                    }
+                    FaultKind::HeartbeatLoss { group, drops } => {
+                        // Losses are router-side drop budgets for worker groups.
+                        assert_eq!(g, 0);
+                        assert!(*group != 0 && *group < 4);
+                        assert!(*drops >= 1 && *drops <= cfg.max_drops);
+                        losses += 1;
+                    }
+                    other => unreachable!("unexpected data-plane fault {other:?}"),
+                }
+            }
+        }
+        assert_eq!(deaths, cfg.deaths);
+        assert_eq!(losses, cfg.hb_losses);
+    }
+
+    #[test]
+    fn randomized_ctl_single_group_degenerates_to_empty_plans() {
+        // With no worker groups there is nothing to kill or mute.
+        let plans = FaultPlan::randomized_ctl(7, 1, 0, &CtlFaultConfig::default());
+        assert_eq!(plans.len(), 1);
+        assert!(plans[0].is_empty());
     }
 
     impl crate::engine::EventWorld for Vec<(u64, bool)> {

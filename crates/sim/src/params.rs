@@ -97,6 +97,20 @@ pub const CROSS_GROUP_LATENCY: SimDuration = SimDuration::from_millis(1);
 /// (request/response payloads, not intra-group data-plane traffic).
 pub const CROSS_GROUP_BW: f64 = 10.0 * GBPS;
 
+/// Worker heartbeat period in service mode: each active node group
+/// publishes a state snapshot (queue depth, pool occupancy, SLO headroom)
+/// to the router this often. Small against the paper's second-scale SLOs,
+/// large against the per-request service times — the router's view is
+/// genuinely stale between beats.
+pub const HEARTBEAT_INTERVAL: SimDuration = SimDuration::from_millis(50);
+/// Wire size of one heartbeat message on the frontend channel (a few
+/// counters plus a per-GPU load vector).
+pub const HEARTBEAT_BYTES: f64 = 256.0;
+/// A worker is suspected dead after this many silent heartbeat intervals
+/// (classic 3× failure-detector timeout); the router stops routing to it
+/// until a fresh heartbeat arrives.
+pub const HEARTBEAT_SUSPECT_FACTOR: u64 = 3;
+
 /// Container cold start (pull + init) for a CPU function.
 pub const COLD_START_CFN: SimDuration = SimDuration::from_millis(500);
 /// Container cold start + model load for a GPU function.

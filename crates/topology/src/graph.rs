@@ -274,6 +274,18 @@ impl Topology {
         self.num_nodes * self.spec.gpus_per_node
     }
 
+    /// Flat cluster-wide index of `(node, gpu)` — the canonical ordering for
+    /// per-GPU vectors (load, failure flags, occupancy snapshots).
+    pub fn flat_index(&self, node: usize, gpu: usize) -> usize {
+        debug_assert!(node < self.num_nodes && gpu < self.spec.gpus_per_node);
+        node * self.spec.gpus_per_node + gpu
+    }
+
+    /// Inverse of [`Topology::flat_index`].
+    pub fn unflatten(&self, idx: usize) -> GpuRef {
+        GpuRef::new(idx / self.spec.gpus_per_node, idx % self.spec.gpus_per_node)
+    }
+
     pub fn gpu_mem_bytes(&self) -> f64 {
         self.spec.gpu_mem_bytes
     }

@@ -283,7 +283,113 @@ pub fn group_setups(
                 },
                 specs,
                 source: Some(Box::new(source)),
-                fault_plan: None,
+                fault_plans: Vec::new(),
+                hb: None,
+                agent: None,
+            }
+        })
+        .collect()
+}
+
+/// Service-mode arrival source: the whole open-loop stream enters at the
+/// router group's gateway (group [`ROUTER_GROUP`]); the router's
+/// heartbeat-view agent — not the trace — decides where each request runs.
+/// Workflow draws use the same RNG stream shape as [`OpenLoopArrivals`].
+pub struct ServiceArrivals {
+    gen: OpenLoopGen,
+    rng: DetRng,
+    router: u32,
+    specs: u32,
+    remaining: u64,
+}
+
+/// The group hosting the service-mode router (and its gateway).
+pub const ROUTER_GROUP: u32 = 0;
+
+impl ServiceArrivals {
+    pub fn new(
+        pattern: ArrivalPattern,
+        rps: f64,
+        count: u64,
+        rng: DetRng,
+        router: u32,
+        specs: u32,
+    ) -> ServiceArrivals {
+        assert!(specs > 0);
+        ServiceArrivals {
+            gen: OpenLoopGen::unbounded(pattern, rps, rng.split(0)),
+            rng: rng.split(1),
+            router,
+            specs,
+            remaining: count,
+        }
+    }
+}
+
+impl ArrivalSource for ServiceArrivals {
+    fn next(&mut self) -> Option<ClusterArrival> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        let at: SimTime = self.gen.next()?;
+        let spec = self.rng.next_below(self.specs as u64) as u32;
+        Some(ClusterArrival {
+            at,
+            spec,
+            home: self.router,
+        })
+    }
+}
+
+/// Assemble service-mode group setups for `preset`: every group runs a
+/// heartbeat daemon publishing to the router group, and the single
+/// open-loop stream (`total` invocations at `rps`) enters at the router's
+/// gateway. The caller installs the router agent on
+/// `setups[ROUTER_GROUP as usize].agent` (the policy lives in
+/// `grouter-ctl`; this crate only wires the fabric).
+pub fn service_setups(
+    preset: &ClusterPreset,
+    pattern: ArrivalPattern,
+    rps: f64,
+    total: u64,
+    seed: u64,
+    hb_interval: SimDuration,
+    plane: impl Fn(usize) -> Box<dyn DataPlane>,
+) -> Vec<GroupSetup> {
+    let root = DetRng::new(seed).fork(0xA22);
+    preset
+        .groups
+        .iter()
+        .enumerate()
+        .map(|(g, gs)| {
+            let specs = cluster_mix(gs.gpu);
+            let source = (g as u32 == ROUTER_GROUP).then(|| {
+                Box::new(ServiceArrivals::new(
+                    pattern,
+                    rps,
+                    total,
+                    root.split(g as u64),
+                    ROUTER_GROUP,
+                    specs.len() as u32,
+                )) as Box<dyn ArrivalSource>
+            });
+            GroupSetup {
+                topo: (gs.topo)(),
+                nodes: gs.nodes,
+                plane: plane(g),
+                config: RuntimeConfig {
+                    seed,
+                    ..RuntimeConfig::default()
+                },
+                specs,
+                source,
+                fault_plans: Vec::new(),
+                hb: Some(grouter_runtime::HeartbeatConfig {
+                    to: ROUTER_GROUP,
+                    interval: hb_interval,
+                }),
+                agent: None,
             }
         })
         .collect()

@@ -22,4 +22,7 @@ pub mod models;
 
 pub use apps::{suite, WorkloadParams};
 pub use azure::{generate_trace, ArrivalPattern, OpenLoopGen};
-pub use cluster::{cluster_mix, group_setups, ClusterPreset, OpenLoopArrivals};
+pub use cluster::{
+    cluster_mix, group_setups, service_setups, ClusterPreset, OpenLoopArrivals, ServiceArrivals,
+    ROUTER_GROUP,
+};

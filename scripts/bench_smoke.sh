@@ -387,3 +387,26 @@ if [ "$ok" != 1 ]; then
     exit 1
 fi
 echo "sharded 64-GPU sweep speedup: ${sspeed}x (floor: >= ${sweep_floor}x)"
+
+# The heterogeneous preset (alternating V100/A100 groups — the only sweep
+# row exercising A100 iron) was measured but never gated. The committed
+# full run has hetero64/w8 at 12.64 sim-sec/wall-sec vs 11.42 for
+# uniform64/w8: mixing in the faster A100 groups is a mild speedup, never
+# a cliff. Gate the hetero/uniform ratio at the same worker count — it is
+# scale-invariant under the reduced smoke trace — with wide noise margin.
+hetero_ratio_floor=0.75
+hval=$(grep '^SWEEP_JSON ' "$raw" | grep '"name":"hetero64/w8"' \
+    | sed -n 's/.*"sim_per_wall":\([0-9.]*\).*/\1/p')
+uval=$(grep '^SWEEP_JSON ' "$raw" | grep '"name":"uniform64/w8"' \
+    | sed -n 's/.*"sim_per_wall":\([0-9.]*\).*/\1/p')
+if [ -z "$hval" ] || [ -z "$uval" ]; then
+    echo "ERROR: missing hetero64/w8 or uniform64/w8 sim_per_wall in sweep output" >&2
+    exit 1
+fi
+ok=$(awk -v h="$hval" -v u="$uval" -v f="$hetero_ratio_floor" \
+    'BEGIN { print (u > 0 && h / u >= f) ? 1 : 0 }')
+if [ "$ok" != 1 ]; then
+    echo "ERROR: hetero64/w8 (${hval}) fell below ${hetero_ratio_floor}x of uniform64/w8 (${uval})" >&2
+    exit 1
+fi
+echo "hetero (A100) 64-GPU sweep: ${hval} sim-sec/wall-sec vs uniform ${uval} (floor: >= ${hetero_ratio_floor}x ratio)"

@@ -49,6 +49,22 @@ echo "==> sharded-determinism smoke (same seed, inline vs 2 vs 8 worker threads)
 # count-dependent nondeterminism fails here fast, before the bench gates.
 cargo test -q -p grouter-integration-tests --test sharded thread_count_never_changes_merged_outputs
 
+echo "==> ctl smoke (service mode: heartbeat router, 1 vs 2 vs 8 threads, faults on)"
+# A reduced-scale `serve` run of the control plane: the heartbeat-view
+# router admits an open-loop stream while the randomized control-plane
+# fault plan kills workers and drops heartbeats. The printed output digests
+# (metrics CSV, admission log, recovery log) must be identical for any
+# shard thread count.
+ctl_a=$(cargo run -q --release -p grouter-cli -- serve --groups 4 --total 20000 \
+    --threads 1 --faults --seed 42 | grep digests:)
+for t in 2 8; do
+    ctl_b=$(cargo run -q --release -p grouter-cli -- serve --groups 4 --total 20000 \
+        --threads "$t" --faults --seed 42 | grep digests:)
+    [ "$ctl_a" = "$ctl_b" ] || {
+        echo "serve digests diverged at $t threads: $ctl_a vs $ctl_b" >&2; exit 1;
+    }
+done
+
 echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json + BENCH_obs.json)"
 scripts/bench_smoke.sh
 

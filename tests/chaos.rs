@@ -18,6 +18,7 @@
 
 use grouter::runtime::world::RuntimeConfig;
 use grouter::runtime::{RecoveryEvent, Runtime};
+use grouter::sim::fault::CtlFaultConfig;
 use grouter::sim::fault::{FaultDomain, FaultPlan, FaultPlanConfig};
 use grouter::sim::rng::DetRng;
 use grouter::sim::time::{SimDuration, SimTime};
@@ -25,8 +26,10 @@ use grouter::sim::LinkId;
 use grouter::topology::graph::TopologySpec;
 use grouter::topology::presets;
 use grouter::{GrouterConfig, GrouterPlane};
+use grouter_ctl::{ServiceConfig, ServiceSim};
 use grouter_workloads::apps::{traffic, WorkloadParams};
 use grouter_workloads::azure::{generate_trace, ArrivalPattern};
+use grouter_workloads::cluster::ClusterPreset;
 use grouter_workloads::models::GpuClass;
 
 /// How long the trace keeps arriving; faults land inside the same window so
@@ -271,5 +274,127 @@ fn chaos_plans_stay_inside_horizon() {
             );
         }
         assert_eq!(plan.seed(), seed, "plan must carry its seed for replay");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Control-plane chaos (ISSUE 9): worker death mid-heartbeat-interval and
+// router-side heartbeat loss, injected into a live service-mode cluster.
+// ---------------------------------------------------------------------------
+
+/// A reduced service fleet (4 V100 groups) with the heartbeat router at the
+/// gateway and the randomized control-plane fault plan armed.
+fn ctl_chaos_run(seed: u64, threads: usize) -> ServiceSim {
+    let mut preset = ClusterPreset::uniform_64();
+    preset.groups.truncate(4);
+    let cfg = ServiceConfig {
+        total: 1_500,
+        seed,
+        ctl_faults: Some(CtlFaultConfig::default()),
+        ..ServiceConfig::default()
+    };
+    let mut svc = ServiceSim::build(&preset, &cfg);
+    svc.run(threads);
+    svc
+}
+
+fn ctl_seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("GROUTER_CHAOS_SEED") {
+        let seed = s
+            .parse::<u64>()
+            .expect("GROUTER_CHAOS_SEED must be an integer seed");
+        return vec![seed];
+    }
+    (1..=4).map(|i| 0xC71_7000 + i).collect()
+}
+
+/// Termination and leak-freedom with the control plane active: worker
+/// deaths and dropped heartbeats must not strand an invocation, leak an
+/// object, or leave bandwidth reserved in any group.
+#[test]
+fn ctl_chaos_terminates_without_leaks() {
+    for seed in ctl_seeds() {
+        let svc = ctl_chaos_run(seed, 2);
+        assert_eq!(
+            svc.completed() as u64 + svc.failed(),
+            svc.arrivals(),
+            "seed {seed}: every admitted request must terminate"
+        );
+        let sim = svc.cluster();
+        for g in 0..sim.groups() {
+            let w = sim.world(g);
+            assert!(w.quiescent(), "seed {seed}: group {g} did not drain");
+            assert!(
+                w.ledgers_idle(),
+                "seed {seed}: group {g} leaked NVLink bandwidth"
+            );
+            assert!(
+                w.store.is_empty(),
+                "seed {seed}: group {g} leaked {} object(s)",
+                w.store.len()
+            );
+            for (idx, pool) in w.pools.iter().enumerate() {
+                assert!(
+                    pool.used() == 0.0 && pool.runtime_used() == 0.0,
+                    "seed {seed}: group {g} pool {idx} leaked"
+                );
+            }
+            for (idx, scaler) in w.scalers.iter().enumerate() {
+                assert_eq!(
+                    scaler.total_live_outputs(),
+                    0,
+                    "seed {seed}: group {g} scaler {idx} still counts live outputs"
+                );
+            }
+        }
+    }
+}
+
+/// The new fault kinds actually land and are visible in the typed recovery
+/// log: worker deaths, heartbeat-loss arming, and the per-beat drops the
+/// budget burns.
+#[test]
+fn ctl_chaos_recovery_log_records_ctl_faults() {
+    let svc = ctl_chaos_run(0xC71_7001, 2);
+    let log = svc.merged_recovery_log();
+    assert!(
+        log.contains("WorkerDied"),
+        "no worker death in the recovery log:\n{log}"
+    );
+    assert!(
+        log.contains("HbLossArmed"),
+        "no heartbeat-loss arming in the recovery log:\n{log}"
+    );
+    let (_, _, dropped) = svc.cluster().heartbeat_stats();
+    if dropped > 0 {
+        assert!(
+            log.contains("HbDropped"),
+            "{dropped} beats dropped but none logged:\n{log}"
+        );
+    }
+}
+
+/// Replayability with the control plane active: same seed, same outputs,
+/// byte for byte — metrics CSV, admission log and recovery log.
+#[test]
+fn ctl_chaos_same_seed_replays_byte_identically() {
+    for seed in ctl_seeds() {
+        let a = ctl_chaos_run(seed, 2);
+        let b = ctl_chaos_run(seed, 2);
+        assert_eq!(
+            a.merged_csv(),
+            b.merged_csv(),
+            "seed {seed}: metrics CSV not replayable"
+        );
+        assert_eq!(
+            a.admission_log(),
+            b.admission_log(),
+            "seed {seed}: admission log not replayable"
+        );
+        assert_eq!(
+            a.merged_recovery_log(),
+            b.merged_recovery_log(),
+            "seed {seed}: recovery log not replayable"
+        );
     }
 }

@@ -185,3 +185,59 @@ fn golden_runs_self_replay() {
     let d = suite_run();
     assert_eq!(c.metrics().to_csv(), d.metrics().to_csv());
 }
+
+// ---------------------------------------------------------------------------
+// Service-mode goldens (ISSUE 9): heartbeat-view router + control-plane
+// faults, pinned byte-for-byte across shard thread counts.
+// ---------------------------------------------------------------------------
+
+/// A reduced service-mode run (4 V100 groups, heartbeat router at the
+/// gateway, randomized control-plane fault plan armed) on `threads` shard
+/// workers. The golden files pin the *merged* outputs, so any ordering
+/// drift in the conservative parallel engine or the router's admission
+/// order shows up as a byte diff.
+fn service_run(threads: usize) -> grouter_ctl::ServiceSim {
+    use grouter::sim::fault::CtlFaultConfig;
+    use grouter_ctl::{ServiceConfig, ServiceSim};
+    use grouter_workloads::cluster::ClusterPreset;
+
+    let mut preset = ClusterPreset::uniform_64();
+    preset.groups.truncate(4);
+    let cfg = ServiceConfig {
+        total: 1_000,
+        seed: 0xC4A0_5009,
+        ctl_faults: Some(CtlFaultConfig::default()),
+        ..ServiceConfig::default()
+    };
+    let mut svc = ServiceSim::build(&preset, &cfg);
+    svc.run(threads);
+    svc
+}
+
+/// Merged metrics CSV and admission log, byte-identical on 1, 2 and 8
+/// threads *and* to the committed goldens.
+#[test]
+fn golden_service_outputs_thread_invariant() {
+    let base = service_run(1);
+    check("service_c4a05009_metrics.csv", &base.merged_csv());
+    check("service_c4a05009_admission.txt", &base.admission_log());
+    check("service_c4a05009_recovery.txt", &base.merged_recovery_log());
+    for threads in [2usize, 8] {
+        let svc = service_run(threads);
+        assert_eq!(
+            svc.merged_csv(),
+            base.merged_csv(),
+            "service CSV diverged from the 1-thread run at {threads} threads"
+        );
+        assert_eq!(
+            svc.admission_log(),
+            base.admission_log(),
+            "admission log diverged from the 1-thread run at {threads} threads"
+        );
+        assert_eq!(
+            svc.merged_recovery_log(),
+            base.merged_recovery_log(),
+            "recovery log diverged from the 1-thread run at {threads} threads"
+        );
+    }
+}

@@ -15,8 +15,9 @@
 
 use grouter::runtime::cluster::ClusterSim;
 use grouter::runtime::simple_plane::LocalityPlane;
-use grouter::sim::fault::{FaultDomain, FaultPlan, FaultPlanConfig};
+use grouter::sim::fault::{CtlFaultConfig, FaultDomain, FaultPlan, FaultPlanConfig};
 use grouter::sim::time::SimDuration;
+use grouter_ctl::{ServiceConfig, ServiceSim};
 use grouter_runtime::cluster::GroupSetup;
 use grouter_workloads::azure::ArrivalPattern;
 use grouter_workloads::cluster::{group_setups, ClusterPreset};
@@ -48,7 +49,7 @@ fn setups(per_group: u64, faults: bool) -> Vec<GroupSetup> {
                 nics_per_node: setup.topo.nics.len(),
                 links: Vec::new(),
             };
-            setup.fault_plan = Some(FaultPlan::randomized(
+            setup.fault_plans = vec![FaultPlan::randomized(
                 SEED ^ (g as u64).wrapping_mul(0x9E37_79B9),
                 &domain,
                 &FaultPlanConfig {
@@ -56,7 +57,7 @@ fn setups(per_group: u64, faults: bool) -> Vec<GroupSetup> {
                     faults: 4,
                     ..FaultPlanConfig::default()
                 },
-            ));
+            )];
         }
     }
     setups
@@ -132,6 +133,44 @@ fn sharded_chaos_preserves_recovery_contract() {
                 "group {g} pool {idx} leaked"
             );
         }
+    }
+}
+
+/// Service mode under the same hard requirement: the heartbeat-view router
+/// at the gateway plus randomized control-plane faults, and still the same
+/// seed ⇒ byte-identical merged metrics CSV, admission log, *and* recovery
+/// log on 1, 2 and 8 worker threads.
+#[test]
+fn service_mode_thread_count_never_changes_outputs() {
+    let cfg = ServiceConfig {
+        total: 2_000,
+        seed: SEED,
+        ctl_faults: Some(CtlFaultConfig::default()),
+        ..ServiceConfig::default()
+    };
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        let mut svc = ServiceSim::build(&small_preset(), &cfg);
+        svc.run(threads);
+        runs.push((
+            threads,
+            svc.merged_csv(),
+            svc.admission_log(),
+            svc.merged_recovery_log(),
+        ));
+    }
+    let (_, csv0, adm0, rec0) = &runs[0];
+    assert!(csv0.lines().count() > 1, "service run produced no records");
+    assert_eq!(
+        adm0.lines().count(),
+        2_000,
+        "router must log every admission"
+    );
+    assert!(!rec0.is_empty(), "ctl fault plan must leave a recovery log");
+    for (threads, csv, adm, rec) in &runs[1..] {
+        assert_eq!(csv, csv0, "service CSV diverged at {threads} threads");
+        assert_eq!(adm, adm0, "admission log diverged at {threads} threads");
+        assert_eq!(rec, rec0, "recovery log diverged at {threads} threads");
     }
 }
 

@@ -89,12 +89,12 @@ const SHARED_MUT_TYPES: [&str; 8] = [
 ];
 
 /// Crates whose `src/` is considered data-plane code.
-const DATAPLANE_CRATES: [&str; 7] = [
-    "sim", "topology", "transfer", "store", "mem", "core", "runtime",
+const DATAPLANE_CRATES: [&str; 8] = [
+    "sim", "topology", "transfer", "store", "mem", "core", "runtime", "ctl",
 ];
 
 /// Crates that must run on virtual time only.
-const SIM_TIME_CRATES: [&str; 3] = ["sim", "topology", "transfer"];
+const SIM_TIME_CRATES: [&str; 4] = ["sim", "topology", "transfer", "ctl"];
 
 /// Identifier segments that mark a quantity as bytes/rate-like for
 /// `no-silent-truncation`.
