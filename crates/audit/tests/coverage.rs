@@ -25,8 +25,8 @@ use grouter_transfer::TransferEngine;
 
 /// Every checker the data plane registers, by crate:
 /// sim (5), topology (2), transfer (1), store (1), mem (3), runtime (1),
-/// obs (1).
-const CHECKERS: [&str; 14] = [
+/// obs (1), llm (2).
+const CHECKERS: [&str; 16] = [
     "flownet.link_caps",
     "flownet.slab",
     "flownet.heap",
@@ -41,6 +41,8 @@ const CHECKERS: [&str; 14] = [
     "scaler.floor",
     "recovery.no_orphans",
     "obs.spans_balanced",
+    "llm.kv_blocks",
+    "llm.stream_order",
 ];
 
 #[test]
@@ -151,6 +153,19 @@ fn every_checker_fires_at_least_once() {
         m.arrivals,
         "every arrival must terminate as a completion or a typed failure"
     );
+
+    // --- LLM serving: a reduced-scale disaggregated run pushes KV blocks
+    // through prefill handoff, decode append/seal and completion, firing the
+    // block-map checker (sampled every 8 audits) and the per-token stream
+    // monotonicity checker.
+    let llm_cfg = grouter_llm::LlmServeConfig {
+        groups: 1,
+        requests: 60,
+        rps: 40.0,
+        ..grouter_llm::LlmServeConfig::reference(grouter_llm::PlaneKind::Grouter)
+    };
+    let llm = grouter_llm::run_llm_serve(&llm_cfg);
+    assert_eq!(llm.completed + llm.failed, llm_cfg.requests);
 
     // --- Observability: a balanced begin/end pair drained through the
     // flight recorder fires the span-accounting checker.

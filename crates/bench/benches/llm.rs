@@ -1,0 +1,81 @@
+//! Disaggregated LLM serving: GROUTER vs Mooncake+ under KV memory
+//! pressure (ISSUE 10, the dynamic half of the paper's §6 LLM study).
+//!
+//! Hand-rolled harness (no criterion): each configuration is one full
+//! open-loop serve run at the reference operating point. Every run prints
+//! one line
+//!
+//! ```text
+//! LLM_JSON {"name":"grouter", ...}
+//! ```
+//!
+//! scraped by `scripts/bench_smoke.sh` into `BENCH_llm.json` and gated
+//! there: GROUTER must beat Mooncake+ on p99 TTFT and mean TBT with its
+//! migration count strictly positive — the win has to come through
+//! pressure-triggered KV migration, not from an idle pool.
+//!
+//! `GROUTER_LLM_REQUESTS` overrides the 10k-request default (CI smoke can
+//! reduce it); the committed `BENCH_llm.json` comes from a full run.
+
+use std::time::Instant;
+
+use grouter_llm::{run_llm_serve, LlmServeConfig, PlaneKind};
+
+fn requests() -> u64 {
+    std::env::var("GROUTER_LLM_REQUESTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(10_000)
+}
+
+fn threads() -> usize {
+    std::env::var("GROUTER_LLM_THREADS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+fn run_one(plane: PlaneKind, name: &str, n: u64, threads: usize) {
+    let cfg = LlmServeConfig {
+        requests: n,
+        threads,
+        ..LlmServeConfig::reference(plane)
+    };
+    let wall = Instant::now();
+    let report = run_llm_serve(&cfg);
+    let wall_ns = wall.elapsed().as_nanos();
+    assert_eq!(
+        report.completed + report.failed,
+        n,
+        "{name}: serve run lost requests"
+    );
+    let m = &report.metrics;
+    let us = |x: f64| (x * 1e6 * 1000.0).round() / 1000.0;
+    println!(
+        "LLM_JSON {{\"name\":\"{name}\",\"requests\":{n},\"threads\":{threads},\
+\"completed\":{},\"failed\":{},\"tokens\":{},\"ttft_p50_us\":{:.3},\"ttft_p99_us\":{:.3},\
+\"tbt_mean_us\":{:.3},\"tbt_p99_us\":{:.3},\"migrations\":{},\"restores\":{},\
+\"stalls\":{},\"remat\":{},\"wall_ns\":{},\"digest\":\"{:016x}\"}}",
+        m.completed,
+        m.failed,
+        m.tokens,
+        us(m.ttft.p50()),
+        us(m.ttft.p99()),
+        us(m.tbt.mean()),
+        us(m.tbt.p99()),
+        report.migrations,
+        report.restores,
+        m.restore_stalls,
+        m.rematerialized,
+        wall_ns,
+        report.digest,
+    );
+}
+
+fn main() {
+    let n = requests();
+    let threads = threads();
+    eprintln!("llm: {n} requests per plane, {threads} worker threads");
+    run_one(PlaneKind::Grouter, "grouter", n, threads);
+    run_one(PlaneKind::Mooncake, "mooncake", n, threads);
+}

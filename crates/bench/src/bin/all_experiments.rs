@@ -30,6 +30,7 @@ fn main() {
         ("Fig. 18", e::fig18::run),
         ("Fig. 19", e::fig19::run),
         ("Fig. 20", e::fig20::run),
+        ("LLM serving (§6 dynamic)", e::llm_serve::run),
         ("Scalability (§1 claim)", e::scalability::run),
         ("Design-constant sweeps", e::sweeps::run),
         (

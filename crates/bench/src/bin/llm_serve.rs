@@ -1,0 +1,4 @@
+//! Regenerates the LLM-serving comparison (see the experiment module docs).
+fn main() {
+    print!("{}", grouter_bench::experiments::llm_serve::run());
+}

@@ -1,0 +1,71 @@
+//! **LLM serving** — prefill/decode-disaggregated serving over the GPU
+//! store vs the Mooncake+ baseline (DESIGN.md §5.10; the dynamic half of
+//! the paper's §6 LLM study, which Fig. 19 measures only statically).
+//!
+//! Both planes serve the same open-loop 13B/7B chat stream on two 8-GPU
+//! H800 groups (4 prefill + 4 decode each). Decode activations grow with
+//! the continuous batch, squeezing the KV pool: GROUTER re-hosts cold KV
+//! blocks via pressure-triggered migration and restores them proactively;
+//! Mooncake+ homes all KV on one cache GPU per node and pays relay
+//! fetches plus inline LRU eviction. Reported per load point: TTFT
+//! p50/p99, mean TBT, and GROUTER's migration/restore counts (the
+//! mechanism counter — the win must come through pressure, not an idle
+//! pool).
+
+use crate::harness::{fmt_ms, Table};
+use grouter_llm::{run_llm_serve, LlmReport, LlmServeConfig, PlaneKind};
+
+/// Requests per load point: enough arrivals that the decode batches reach
+/// steady state and the p99 is sampled from thousands of streams, small
+/// enough that the full figure stays in suite-smoke budget.
+const REQUESTS: u64 = 2_000;
+
+fn run_point(plane: PlaneKind, rps: f64) -> LlmReport {
+    let cfg = LlmServeConfig {
+        requests: REQUESTS,
+        rps,
+        threads: 2,
+        ..LlmServeConfig::reference(plane)
+    };
+    run_llm_serve(&cfg)
+}
+
+pub fn run() -> String {
+    let mut out = String::from(
+        "LLM serving — disaggregated prefill/decode over the GPU store, 2x8 H800\n\
+         (13B/7B chat mix, ~2K-token prompts, open loop; TTFT/TBT in ms)\n\n",
+    );
+    let mut table = Table::new(
+        &[
+            "rps", "plane", "ttft p50", "ttft p99", "tbt mean", "migr", "restores", "stalls",
+        ],
+        &[5, 9, 9, 9, 9, 7, 9, 7],
+    );
+    for rps in [12.0, 20.0, 28.0] {
+        for plane in [PlaneKind::Mooncake, PlaneKind::Grouter] {
+            let r = run_point(plane, rps);
+            let m = &r.metrics;
+            table.row(&[
+                format!("{rps:.0}"),
+                match plane {
+                    PlaneKind::Grouter => "GROUTER".to_string(),
+                    PlaneKind::Mooncake => "Mooncake+".to_string(),
+                },
+                fmt_ms(m.ttft.p50() * 1e3),
+                fmt_ms(m.ttft.p99() * 1e3),
+                fmt_ms(m.tbt.mean() * 1e3),
+                r.migrations.to_string(),
+                r.restores.to_string(),
+                m.restore_stalls.to_string(),
+            ]);
+        }
+    }
+    out.push_str(&table.finish());
+    out.push_str(
+        "\nGates (BENCH_llm.json, scripts/bench_smoke.sh): GROUTER < Mooncake+ on\n\
+         p99 TTFT and mean TBT at the 20 rps reference point, GROUTER migrations > 0.\n\
+         Mooncake+ shows 0 migrations by design: its evictions happen inline at put\n\
+         time on the cache GPU and are visible as restore stalls instead.\n",
+    );
+    out
+}

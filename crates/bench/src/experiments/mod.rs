@@ -13,6 +13,7 @@ pub mod fig17;
 pub mod fig18;
 pub mod fig19;
 pub mod fig20;
+pub mod llm_serve;
 pub mod scalability;
 pub mod sweeps;
 pub mod table1;

@@ -40,11 +40,32 @@ pub struct ServeArgs {
     pub csv: Option<String>,
 }
 
-/// Either the classic single-runtime run or the service-mode cluster.
+/// Parsed `llm` subcommand: a disaggregated LLM serving run (prefill/decode
+/// split over the GPU store, TTFT/TBT report).
+#[derive(Clone, Debug)]
+pub struct LlmArgs {
+    /// `grouter`, `mooncake`, or `both` (side-by-side comparison).
+    pub plane: String,
+    /// Serving groups (one H800 node each).
+    pub groups: usize,
+    /// Total requests injected by the open-loop source.
+    pub requests: u64,
+    pub rps: f64,
+    pub pattern: String,
+    pub seed: u64,
+    pub threads: usize,
+    /// Decode GPUs per group (the rest of the node runs prefill).
+    pub decode_gpus: usize,
+    pub csv: Option<String>,
+}
+
+/// Either the classic single-runtime run, the service-mode cluster, or the
+/// disaggregated LLM serving experiment.
 #[derive(Clone, Debug)]
 pub enum Command {
     Run(Args),
     Serve(ServeArgs),
+    Llm(LlmArgs),
 }
 
 /// The usage string printed on `--help` or bad invocations.
@@ -56,16 +77,98 @@ pub fn usage() -> String {
      \n\
      grouter-cli serve [--preset uniform64|uniform128|hetero64|hetero128] \
      [--groups N] [--pattern bursty|sporadic|periodic] [--rps R] [--total N] \
-     [--seed N] [--threads T] [--hb-ms M] [--faults] [--csv <file>]"
+     [--seed N] [--threads T] [--hb-ms M] [--faults] [--csv <file>]\n\
+     \n\
+     grouter-cli llm [--plane grouter|mooncake|both] [--groups N] \
+     [--requests N] [--rps R] [--pattern bursty|sporadic|periodic] [--seed N] \
+     [--threads T] [--decode-gpus N] [--csv <file>]"
         .to_string()
 }
 
-/// Parse `argv` into a [`Command`]; `serve` selects service mode.
+/// Parse `argv` into a [`Command`]; `serve` selects service mode, `llm` the
+/// disaggregated LLM serving experiment.
 pub fn parse_command(argv: &[String]) -> Result<Command, String> {
     if argv.first().map(String::as_str) == Some("serve") {
         return parse_serve_args(&argv[1..]).map(Command::Serve);
     }
+    if argv.first().map(String::as_str) == Some("llm") {
+        return parse_llm_args(&argv[1..]).map(Command::Llm);
+    }
     parse_args(argv).map(Command::Run)
+}
+
+/// Parse the `llm` subcommand's flags (after the literal `llm`).
+pub fn parse_llm_args(argv: &[String]) -> Result<LlmArgs, String> {
+    let mut args = LlmArgs {
+        plane: "both".into(),
+        groups: 2,
+        requests: 10_000,
+        rps: 20.0,
+        pattern: "sporadic".into(),
+        seed: 7,
+        threads: 1,
+        decode_gpus: 4,
+        csv: None,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        let mut take = |name: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match a.as_str() {
+            "--plane" => args.plane = take("--plane")?,
+            "--groups" => {
+                args.groups = take("--groups")?
+                    .parse()
+                    .map_err(|_| "--groups must be an integer".to_string())?
+            }
+            "--requests" => {
+                args.requests = take("--requests")?
+                    .parse()
+                    .map_err(|_| "--requests must be an integer".to_string())?
+            }
+            "--rps" => {
+                args.rps = take("--rps")?
+                    .parse()
+                    .map_err(|_| "--rps must be a number".to_string())?
+            }
+            "--pattern" => args.pattern = take("--pattern")?,
+            "--seed" => {
+                args.seed = take("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--threads" => {
+                args.threads = take("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be an integer".to_string())?
+            }
+            "--decode-gpus" => {
+                args.decode_gpus = take("--decode-gpus")?
+                    .parse()
+                    .map_err(|_| "--decode-gpus must be an integer".to_string())?
+            }
+            "--csv" => args.csv = Some(take("--csv")?),
+            "--help" | "-h" => return Err(usage()),
+            flag => return Err(format!("unknown llm flag {flag}")),
+        }
+    }
+    if args.threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    if args.groups == 0 {
+        return Err("--groups must be at least 1".to_string());
+    }
+    if args.decode_gpus == 0 || args.decode_gpus > 7 {
+        return Err("--decode-gpus must be in 1..=7 (one node is 8 GPUs)".to_string());
+    }
+    match args.plane.as_str() {
+        "grouter" | "mooncake" | "both" => {}
+        other => return Err(format!("unknown llm plane '{other}'")),
+    }
+    Ok(args)
 }
 
 /// Parse the `serve` subcommand's flags (after the literal `serve`).
@@ -337,6 +440,84 @@ mod tests {
         );
         let c = parse(&["plain.wf"]).expect("non-serve argv still parses");
         assert!(matches!(c, Command::Run(_)));
+    }
+
+    #[test]
+    fn llm_defaults_and_flags_parse() {
+        let c = parse_command(&["llm".to_string()]).expect("bare llm is valid");
+        let Command::Llm(a) = c else {
+            panic!("llm must select serving mode");
+        };
+        assert_eq!(a.plane, "both");
+        assert_eq!(a.groups, 2);
+        assert_eq!(a.requests, 10_000);
+        assert_eq!(a.rps, 20.0);
+        assert_eq!(a.pattern, "sporadic");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.threads, 1);
+        assert_eq!(a.decode_gpus, 4);
+        assert!(a.csv.is_none());
+        let argv: Vec<String> = [
+            "llm",
+            "--plane",
+            "mooncake",
+            "--groups",
+            "4",
+            "--requests",
+            "500",
+            "--rps",
+            "32.5",
+            "--pattern",
+            "steady",
+            "--seed",
+            "11",
+            "--threads",
+            "8",
+            "--decode-gpus",
+            "6",
+            "--csv",
+            "llm.csv",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let Command::Llm(a) = parse_command(&argv).expect("valid") else {
+            panic!("llm must select serving mode");
+        };
+        assert_eq!(a.plane, "mooncake");
+        assert_eq!(a.groups, 4);
+        assert_eq!(a.requests, 500);
+        assert_eq!(a.rps, 32.5);
+        assert_eq!(a.pattern, "steady");
+        assert_eq!(a.seed, 11);
+        assert_eq!(a.threads, 8);
+        assert_eq!(a.decode_gpus, 6);
+        assert_eq!(a.csv.as_deref(), Some("llm.csv"));
+    }
+
+    #[test]
+    fn llm_errors_are_reported() {
+        let parse = |words: &[&str]| {
+            let argv: Vec<String> = words.iter().map(|s| s.to_string()).collect();
+            parse_command(&argv)
+        };
+        assert!(parse(&["llm", "--threads", "0"]).is_err(), "zero threads");
+        assert!(parse(&["llm", "--groups", "0"]).is_err(), "zero groups");
+        assert!(
+            parse(&["llm", "--decode-gpus", "0"]).is_err(),
+            "no decode GPUs"
+        );
+        assert!(
+            parse(&["llm", "--decode-gpus", "8"]).is_err(),
+            "no prefill GPUs left"
+        );
+        assert!(
+            parse(&["llm", "--plane", "bogus"]).is_err(),
+            "unknown plane"
+        );
+        assert!(parse(&["llm", "--bogus"]).is_err(), "unknown flag");
+        assert!(parse(&["llm", "--rps"]).is_err(), "missing value");
+        assert!(parse(&["llm", "extra.wf"]).is_err(), "llm takes no file");
     }
 
     #[test]

@@ -19,7 +19,7 @@ use grouter::topology::graph::TopologySpec;
 use grouter::topology::presets;
 use grouter::{GrouterConfig, GrouterPlane};
 use grouter_baselines::{deepplan_plane, InflessPlane, NvshmemPlane};
-use grouter_cli::args::{parse_command, Command, ServeArgs};
+use grouter_cli::args::{parse_command, Command, LlmArgs, ServeArgs};
 use grouter_cli::parse_workflow;
 use grouter_ctl::{ServiceConfig, ServiceSim};
 use grouter_sim::fault::CtlFaultConfig;
@@ -139,12 +139,109 @@ fn cmd_serve(args: &ServeArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// One LLM serving run on one plane; returns the report for comparison.
+fn llm_run_one(
+    args: &LlmArgs,
+    plane: grouter_llm::PlaneKind,
+) -> Result<grouter_llm::LlmReport, String> {
+    let cfg = grouter_llm::LlmServeConfig {
+        groups: args.groups,
+        seed: args.seed,
+        requests: args.requests,
+        rps: args.rps,
+        pattern: pattern_of(&args.pattern)?,
+        decode_gpus: args.decode_gpus,
+        prefill_gpus: 8 - args.decode_gpus,
+        threads: args.threads,
+        ..grouter_llm::LlmServeConfig::reference(plane)
+    };
+    let report = grouter_llm::run_llm_serve(&cfg);
+    println!(
+        "{:<10} {:>9} {:>9} {:>7} {:>12.1} {:>12.1} {:>11.2} {:>10} {:>9} {:>8}",
+        match plane {
+            grouter_llm::PlaneKind::Grouter => "grouter",
+            grouter_llm::PlaneKind::Mooncake => "mooncake+",
+        },
+        report.completed,
+        report.failed,
+        report.metrics.rematerialized,
+        report.metrics.ttft.p50() * 1e3,
+        report.metrics.ttft.p99() * 1e3,
+        report.metrics.tbt.mean() * 1e3,
+        report.migrations,
+        report.restores,
+        report.metrics.restore_stalls,
+    );
+    Ok(report)
+}
+
+/// The `llm` subcommand: disaggregated prefill/decode serving over the GPU
+/// store, GROUTER vs the Mooncake+ baseline.
+fn cmd_llm(args: &LlmArgs) -> Result<(), String> {
+    println!(
+        "llm: {} groups x h800 ({} prefill + {} decode GPUs), {} pattern at {} req/s, \
+         {} requests, seed {}, {} threads",
+        args.groups,
+        8 - args.decode_gpus,
+        args.decode_gpus,
+        args.pattern,
+        args.rps,
+        args.requests,
+        args.seed,
+        args.threads
+    );
+    println!(
+        "{:<10} {:>9} {:>9} {:>7} {:>12} {:>12} {:>11} {:>10} {:>9} {:>8}",
+        "plane",
+        "completed",
+        "failed",
+        "remat",
+        "ttft p50(ms)",
+        "ttft p99(ms)",
+        "tbt mean(ms)",
+        "migrations",
+        "restores",
+        "stalls"
+    );
+    let planes: &[grouter_llm::PlaneKind] = match args.plane.as_str() {
+        "grouter" => &[grouter_llm::PlaneKind::Grouter],
+        "mooncake" => &[grouter_llm::PlaneKind::Mooncake],
+        _ => &[
+            grouter_llm::PlaneKind::Grouter,
+            grouter_llm::PlaneKind::Mooncake,
+        ],
+    };
+    let mut csv = String::new();
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for &plane in planes {
+        let report = llm_run_one(args, plane)?;
+        csv.push_str(&report.csv);
+        digest ^= report.digest;
+    }
+    // Thread-count independence is checkable from the digest alone.
+    println!("digests: csv={digest:016x}");
+    if let Some(path) = &args.csv {
+        std::fs::write(path, &csv).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = match parse_command(&argv) {
         Ok(Command::Run(a)) => a,
         Ok(Command::Serve(a)) => {
             return match cmd_serve(&a) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(m) => {
+                    eprintln!("{m}");
+                    ExitCode::FAILURE
+                }
+            };
+        }
+        Ok(Command::Llm(a)) => {
+            return match cmd_llm(&a) {
                 Ok(()) => ExitCode::SUCCESS,
                 Err(m) => {
                     eprintln!("{m}");

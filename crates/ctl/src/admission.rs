@@ -1,0 +1,122 @@
+//! Decode-aware admission for disaggregated LLM serving.
+//!
+//! The router only sees heartbeat snapshots of each serving group, so
+//! admission is a *policy over stale views*: it must never deadlock on
+//! staleness (an idle group is always admittable) while still deferring
+//! requests that would pile KV on a group already saturated by live decode
+//! state. This is the LLM analogue of [`crate::HeartbeatRouter`]'s drop
+//! budget — but instead of CPU queue depth, the binding resource is **KV
+//! bytes resident on decode GPUs**, which a new request holds for its whole
+//! token stream.
+
+/// What the router knows about one serving group, as of its last heartbeat.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeView {
+    /// Requests currently streaming tokens (continuous-batch occupancy).
+    pub active: u32,
+    /// Live KV bytes resident across the group's decode GPUs.
+    pub kv_bytes: f64,
+    /// Requests admitted to the group but not yet streaming.
+    pub queued: u32,
+}
+
+/// Per-group capacity the admission policy budgets against.
+#[derive(Clone, Copy, Debug)]
+pub struct DecodeBudget {
+    /// Continuous-batch slots across the group's decode instances.
+    pub max_active: u32,
+    /// KV bytes the group can hold before pressure migration dominates.
+    pub kv_soft_cap: f64,
+}
+
+/// Admission decision for one request against one group view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Send it: the group has batch slots and KV headroom.
+    Admit,
+    /// Hold it at the router until a fresher view shows headroom.
+    Defer,
+}
+
+/// Decide whether a request expected to hold `kv_need` bytes of KV may be
+/// admitted to a group in state `view` under `budget`.
+///
+/// Liveness rule: a group with **no** active or queued work is always
+/// admittable, whatever the KV estimate says — otherwise a single oversized
+/// request could starve forever against an empty cluster. Beyond that, the
+/// policy defers when batch slots are exhausted (counting in-flight
+/// admissions the view already knows about) or when the request would push
+/// resident KV past the soft cap.
+pub fn admit(view: DecodeView, budget: DecodeBudget, kv_need: f64) -> Admission {
+    if view.active == 0 && view.queued == 0 {
+        return Admission::Admit;
+    }
+    if view.active + view.queued >= budget.max_active {
+        return Admission::Defer;
+    }
+    if view.kv_bytes + kv_need > budget.kv_soft_cap {
+        return Admission::Defer;
+    }
+    Admission::Admit
+}
+
+/// Pick the group to admit to among `views` (one entry per serving group,
+/// group order fixed): the admittable group with the most KV headroom,
+/// ties to the lowest group index. Returns `None` when every group defers.
+pub fn pick_group(views: &[DecodeView], budget: DecodeBudget, kv_need: f64) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in views.iter().enumerate() {
+        if admit(v, budget, kv_need) != Admission::Admit {
+            continue;
+        }
+        let headroom = budget.kv_soft_cap - v.kv_bytes;
+        match best {
+            Some((_, h)) if headroom <= h => {}
+            _ => best = Some((i, headroom)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BUDGET: DecodeBudget = DecodeBudget {
+        max_active: 4,
+        kv_soft_cap: 10e9,
+    };
+
+    fn view(active: u32, kv: f64, queued: u32) -> DecodeView {
+        DecodeView {
+            active,
+            kv_bytes: kv,
+            queued,
+        }
+    }
+
+    #[test]
+    fn idle_group_always_admits() {
+        // Even an absurd KV estimate admits against an idle group.
+        assert_eq!(admit(view(0, 0.0, 0), BUDGET, 1e12), Admission::Admit);
+    }
+
+    #[test]
+    fn batch_slots_and_kv_cap_defer() {
+        assert_eq!(admit(view(4, 1e9, 0), BUDGET, 1e9), Admission::Defer);
+        assert_eq!(admit(view(2, 1e9, 2), BUDGET, 1e9), Admission::Defer);
+        assert_eq!(admit(view(1, 9.5e9, 0), BUDGET, 1e9), Admission::Defer);
+        assert_eq!(admit(view(1, 1e9, 0), BUDGET, 1e9), Admission::Admit);
+    }
+
+    #[test]
+    fn pick_group_prefers_kv_headroom_then_index() {
+        let views = [view(1, 6e9, 0), view(1, 2e9, 0), view(1, 2e9, 0)];
+        assert_eq!(pick_group(&views, BUDGET, 1e9), Some(1));
+        let full = [view(4, 1e9, 0), view(2, 9.9e9, 0)];
+        assert_eq!(pick_group(&full, BUDGET, 1e9), None);
+        // An idle group rescues an otherwise-full cluster.
+        let rescued = [view(4, 1e9, 0), view(0, 0.0, 0)];
+        assert_eq!(pick_group(&rescued, BUDGET, 1e9), Some(1));
+    }
+}

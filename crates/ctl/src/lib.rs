@@ -26,10 +26,12 @@
 //! recovery log on 1, 2 or 8 worker threads (pinned by the golden and
 //! sharded suites).
 
+pub mod admission;
 pub mod router;
 pub mod service;
 pub mod view;
 
+pub use admission::{admit, pick_group, Admission, DecodeBudget, DecodeView};
 pub use router::HeartbeatRouter;
 pub use service::{ServiceConfig, ServiceSim};
 pub use view::ViewPlacer;

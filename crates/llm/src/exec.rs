@@ -1,0 +1,94 @@
+//! Analytic execution of data-plane operations.
+//!
+//! The full executor (`grouter_runtime::exec`) runs every leg as live
+//! flows through the max-min [`grouter_sim::FlowNet`]. A serving group
+//! instead executes operations *analytically*: each leg takes
+//! `setup + max over flows of bytes / bottleneck-capacity`, i.e. every
+//! flow gets its path's full hardware bandwidth (the dedicated-bandwidth
+//! approximation — DESIGN.md §5.10 discusses the gap). What is **not**
+//! approximated is the resource contract: every leg's rate token, ledger
+//! reservation, pinned-ring bytes and NVLink path reservations are
+//! released exactly as `release_leg_resources` would, or the group's
+//! ledgers would leak reservations and later operations would starve.
+
+use grouter_mem::PinnedRing;
+use grouter_runtime::dataplane::{DataOp, OpLeg};
+use grouter_sim::time::SimDuration;
+use grouter_sim::FlowNet;
+use grouter_topology::PathLedger;
+use grouter_transfer::rate::RateController;
+
+/// Duration of one leg at dedicated hardware bandwidth.
+fn leg_duration(leg: &OpLeg, net: &FlowNet) -> SimDuration {
+    let mut slowest = 0.0f64;
+    for flow in &leg.plan.flows {
+        let cap = flow
+            .links
+            .iter()
+            .map(|&l| net.link_capacity(l))
+            .fold(f64::INFINITY, f64::min);
+        if cap.is_finite() && cap > 0.0 {
+            slowest = slowest.max(flow.bytes / cap);
+        }
+    }
+    leg.plan.setup + SimDuration::from_secs_f64(slowest)
+}
+
+/// Release everything a completed leg held — the analytic mirror of the
+/// full executor's `release_leg_resources`, plus the NVLink path
+/// reservations the flow teardown path would return.
+fn release_leg(
+    leg: &OpLeg,
+    ledgers: &mut [PathLedger],
+    pinned: &mut [PinnedRing],
+    rates: &mut [RateController],
+) {
+    if let Some((node, token)) = leg.rate_token {
+        rates[node].finish(token);
+    }
+    if let Some((node, res)) = leg.ledger_release {
+        ledgers[node].release(res);
+    }
+    if let Some((node, bytes)) = leg.pinned_release {
+        pinned[node].release(bytes);
+    }
+    for flow in &leg.plan.flows {
+        if let Some((route, rate)) = &flow.nv_reservation {
+            ledgers[leg.nv_node].bwm_mut().release_path(route, *rate);
+        }
+    }
+}
+
+/// Execute one operation: control latency plus its legs run strictly in
+/// order, with every leg's resources released on completion. Returns the
+/// operation's total duration.
+pub fn run_op(
+    op: &DataOp,
+    net: &FlowNet,
+    ledgers: &mut [PathLedger],
+    pinned: &mut [PinnedRing],
+    rates: &mut [RateController],
+) -> SimDuration {
+    let mut total = op.control_latency;
+    for leg in &op.legs {
+        total = total + leg_duration(leg, net);
+        release_leg(leg, ledgers, pinned, rates);
+    }
+    total
+}
+
+/// Execute a batch of background operations (migrations, proactive
+/// restores); returns the sum of their durations.
+pub fn run_ops(
+    ops: &[DataOp],
+    net: &FlowNet,
+    ledgers: &mut [PathLedger],
+    pinned: &mut [PinnedRing],
+    rates: &mut [RateController],
+) -> SimDuration {
+    let mut total = SimDuration::ZERO;
+    for op in ops {
+        total = total + run_op(op, net, ledgers, pinned, rates);
+    }
+    total
+}

@@ -60,10 +60,13 @@ pub enum Comp {
     /// Control plane: router admission/routing decisions and worker
     /// heartbeats (`grouter-ctl` over `grouter-runtime::cluster`).
     Ctl = 9,
+    /// LLM serving: prefill/decode disaggregation, KV block lifecycle and
+    /// token-stream progress (`grouter-llm`).
+    Llm = 10,
 }
 
 /// All components, in `tid` order. Keep in sync with [`Comp`].
-pub const COMPONENTS: [Comp; 10] = [
+pub const COMPONENTS: [Comp; 11] = [
     Comp::Sim,
     Comp::Net,
     Comp::Topo,
@@ -74,6 +77,7 @@ pub const COMPONENTS: [Comp; 10] = [
     Comp::Plane,
     Comp::Fault,
     Comp::Ctl,
+    Comp::Llm,
 ];
 
 impl Comp {
@@ -97,6 +101,7 @@ impl Comp {
             Comp::Plane => "plane",
             Comp::Fault => "fault",
             Comp::Ctl => "ctl",
+            Comp::Llm => "llm",
         }
     }
 }

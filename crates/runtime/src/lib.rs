@@ -27,6 +27,7 @@ pub mod placement;
 pub mod simple_plane;
 pub mod slab;
 pub mod spec;
+pub mod stream;
 pub mod world;
 
 pub use cluster::{
@@ -37,7 +38,8 @@ pub use dataplane::{DataOp, DataPlane, Destination, LegHealth, OpLeg, PlaneCtx, 
 pub use exec::{Event, Runtime};
 pub use fault::{FaultState, RecoveryEvent};
 pub use metrics::{InstanceRecord, Metrics, PassCategory};
-pub use placement::{mapa_scan, PlacementPolicy, Placer};
+pub use placement::{mapa_scan, pin_decode, PlacementPolicy, Placer};
 pub use slab::{IdSlab, NvFlowIndex};
 pub use spec::{StageKind, StageSpec, WorkflowSpec};
+pub use stream::TokenStream;
 pub use world::World;

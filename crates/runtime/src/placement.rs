@@ -24,6 +24,27 @@ pub enum PlacementPolicy {
     Pinned(Vec<Destination>),
 }
 
+/// Pinned-consumer placement for streaming workloads: pick the decode GPU
+/// that will *own* a request's KV cache for its whole token stream. The KV
+/// object is pinned to that GPU's pool (only pressure-triggered migration
+/// re-hosts it), so the right choice is the eligible GPU currently holding
+/// the least live KV bytes — load balance by resident state, not queue
+/// depth. Ties break to the lowest flat index so placement is deterministic.
+///
+/// `kv_bytes[i]` is live KV resident on flat GPU `i`; `eligible` lists the
+/// flat indices of decode instances (callers exclude failed GPUs).
+pub fn pin_decode(kv_bytes: &[f64], eligible: &[usize]) -> usize {
+    assert!(!eligible.is_empty(), "no eligible decode GPUs");
+    let mut best = eligible[0];
+    for &g in eligible {
+        assert!(g < kv_bytes.len(), "decode GPU {g} out of range");
+        if kv_bytes[g] < kv_bytes[best] || (kv_bytes[g] == kv_bytes[best] && g < best) {
+            best = g;
+        }
+    }
+    best
+}
+
 /// Tracks per-GPU queue depth so placement can balance load.
 #[derive(Debug)]
 pub struct Placer {
@@ -383,5 +404,13 @@ mod tests {
         );
         let mut rng = DetRng::new(1);
         placer.place(&topo, &chain(2), &mut rng);
+    }
+
+    #[test]
+    fn pin_decode_prefers_least_kv_then_lowest_index() {
+        let kv = [4e9, 1e9, 1e9, 9e9];
+        assert_eq!(pin_decode(&kv, &[0, 1, 2, 3]), 1);
+        assert_eq!(pin_decode(&kv, &[2, 1]), 1);
+        assert_eq!(pin_decode(&kv, &[3]), 3);
     }
 }

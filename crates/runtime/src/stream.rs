@@ -1,0 +1,116 @@
+//! Streaming invocation bookkeeping for token-at-a-time workloads.
+//!
+//! A decode instance emits one small gFn invocation per generated token, so a
+//! request's observable output is a *stream* of completions rather than a
+//! single stage finish. [`TokenStream`] tracks that stream per request and
+//! enforces the contract the `llm.stream_order` audit checker gates on: token
+//! completions are strictly monotone in virtual time and dense in token index
+//! (token `k` completes before token `k + 1`, never skipping).
+
+use grouter_sim::time::SimTime;
+
+/// Per-request token-stream progress.
+#[derive(Clone, Debug)]
+pub struct TokenStream {
+    /// When the request arrived (TTFT baseline).
+    pub arrival: SimTime,
+    /// Tokens the stream must emit before it is complete.
+    pub target_tokens: u32,
+    /// Tokens emitted so far.
+    pub emitted: u32,
+    /// Completion time of the most recent token.
+    pub last_emit: Option<SimTime>,
+    /// Completion time of the first token (TTFT observation point).
+    pub first_emit: Option<SimTime>,
+}
+
+impl TokenStream {
+    pub fn new(arrival: SimTime, target_tokens: u32) -> TokenStream {
+        assert!(target_tokens > 0, "a stream must emit at least one token");
+        TokenStream {
+            arrival,
+            target_tokens,
+            emitted: 0,
+            last_emit: None,
+            first_emit: None,
+        }
+    }
+
+    /// Record the completion of the next token at `now`. Returns the new
+    /// emitted count. Panics if the stream is already complete or if `now`
+    /// runs backwards relative to the previous token — both are executor
+    /// bugs, not workload conditions.
+    pub fn emit(&mut self, now: SimTime) -> u32 {
+        assert!(self.emitted < self.target_tokens, "stream over-emits");
+        if let Some(prev) = self.last_emit {
+            assert!(now >= prev, "token stream went backwards: {now} < {prev}");
+        }
+        if self.first_emit.is_none() {
+            self.first_emit = Some(now);
+        }
+        self.last_emit = Some(now);
+        self.emitted += 1;
+        self.emitted
+    }
+
+    pub fn complete(&self) -> bool {
+        self.emitted == self.target_tokens
+    }
+
+    /// Time-to-first-token, if the first token has been emitted.
+    pub fn ttft(&self) -> Option<grouter_sim::time::SimDuration> {
+        self.first_emit.map(|t| t - self.arrival)
+    }
+
+    /// Mean time-between-tokens over the emitted stream (first → last), if
+    /// at least two tokens are out.
+    pub fn mean_tbt(&self) -> Option<grouter_sim::time::SimDuration> {
+        match (self.first_emit, self.last_emit) {
+            (Some(first), Some(last)) if self.emitted >= 2 => {
+                Some(grouter_sim::time::SimDuration::from_secs_f64(
+                    (last - first).as_secs_f64() / (self.emitted - 1) as f64,
+                ))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grouter_sim::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn stream_tracks_ttft_and_tbt() {
+        let mut s = TokenStream::new(t(0), 3);
+        assert!(s.ttft().is_none());
+        s.emit(t(40));
+        assert_eq!(s.ttft(), Some(SimDuration::from_millis(40)));
+        assert!(s.mean_tbt().is_none());
+        s.emit(t(60));
+        s.emit(t(80));
+        assert!(s.complete());
+        assert_eq!(s.mean_tbt(), Some(SimDuration::from_millis(20)));
+    }
+
+    #[test]
+    #[should_panic(expected = "over-emits")]
+    fn over_emission_is_rejected() {
+        let mut s = TokenStream::new(t(0), 1);
+        s.emit(t(10));
+        s.emit(t(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "went backwards")]
+    fn time_regression_is_rejected() {
+        let mut s = TokenStream::new(t(0), 4);
+        s.emit(t(30));
+        s.emit(t(10));
+    }
+}

@@ -172,6 +172,32 @@ impl DataStore {
         }
     }
 
+    /// Grow a live object in place by `delta` bytes (append-mostly KV-cache
+    /// blocks, §6.4: decode extends the context one block group at a time
+    /// while the object stays addressable). The caller owns the matching
+    /// pool accounting at the object's current residency. Returns the new
+    /// total size and the table-update latency.
+    pub fn grow(
+        &mut self,
+        now: SimTime,
+        id: DataId,
+        delta: f64,
+    ) -> Result<(f64, SimDuration), StoreError> {
+        match self.tables.get_mut(id) {
+            Some(entry) => {
+                entry.bytes += delta.max(0.0);
+                entry.last_access = now;
+                let (bytes, location) = (entry.bytes, entry.location);
+                if self.rec.on(grouter_obs::Comp::Store) {
+                    self.emit_store_event("grow", id, bytes, location);
+                    self.rec.count(grouter_obs::Comp::Store, "grows", 1);
+                }
+                Ok((bytes, grouter_sim::params::LOCAL_TABLE_LOOKUP))
+            }
+            None => Err(StoreError::UnknownData(id)),
+        }
+    }
+
     /// Update an object's location after migration/restoration.
     pub fn relocate(&mut self, id: DataId, location: Location) -> Result<(), StoreError> {
         match self.tables.get_mut(id) {
@@ -317,6 +343,25 @@ mod tests {
         assert!(store.consumed(id), "last consumer frees the object");
         assert!(store.is_empty());
         assert!(!store.consumed(id), "idempotent on missing objects");
+    }
+
+    #[test]
+    fn grow_extends_a_live_object_in_place() {
+        let mut store = DataStore::new(1);
+        let (id, _) = store.put(SimTime::ZERO, token(1, 1), gpu(0, 0), 4e6, 1);
+        let (total, _) = store.grow(SimTime(50), id, 1e6).unwrap();
+        assert_eq!(total, 5e6);
+        let entry = store.peek(id).unwrap();
+        assert_eq!(entry.bytes, 5e6);
+        assert_eq!(entry.location, gpu(0, 0), "grow never moves the object");
+        assert_eq!(entry.last_access, SimTime(50), "grow refreshes the stamp");
+        // Negative deltas are clamped: grow is append-only.
+        let (total, _) = store.grow(SimTime(60), id, -3e6).unwrap();
+        assert_eq!(total, 5e6);
+        assert_eq!(
+            store.grow(SimTime::ZERO, DataId(99), 1.0),
+            Err(StoreError::UnknownData(DataId(99)))
+        );
     }
 
     #[test]

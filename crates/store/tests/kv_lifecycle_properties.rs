@@ -1,0 +1,210 @@
+//! Property tests over the append-mostly KV-block lifecycle (ISSUE 10): a
+//! GPU pool and the metadata store driven through arbitrary interleavings of
+//! block puts, in-place grows, consumes, migrations/restores and runtime
+//! memory churn. The invariants mirror what `grouter-llm` relies on:
+//!
+//! * pool accounting never inverts — `0 ≤ used ≤ reserved ≤ capacity`
+//!   after every operation, including forced eviction under runtime churn;
+//! * pool demand always equals the byte sum of the GPU-resident blocks;
+//! * migration is content-preserving — a block's recorded size never
+//!   changes across any number of GPU↔host moves, only its location does.
+
+use proptest::prelude::*;
+
+use grouter_mem::{AllocError, ElasticPool, PoolDiscipline};
+use grouter_sim::time::SimTime;
+use grouter_store::{AccessToken, DataId, DataStore, FunctionId, Location, WorkflowId};
+use grouter_topology::GpuRef;
+
+const CAPACITY: f64 = 8e9;
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Open a new KV block (lands on the GPU when the pool grants it,
+    /// spills to host otherwise — the plane's put fallback).
+    Put { bytes: u32 },
+    /// Append tokens to an existing block in place.
+    Grow { pick: usize, delta: u32 },
+    /// Decode consumed the block (stream completed or was dropped).
+    Consume { pick: usize },
+    /// Migrate a resident block to host, or restore a host block to GPU.
+    Migrate { pick: usize },
+    /// Function execution claims a fraction of the GPU; overflow must be
+    /// evicted, exactly as the plane's `on_memory_change` does.
+    Runtime { permille: u16 },
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..400_000_000).prop_map(|bytes| Op::Put { bytes }),
+        (0usize..64, 1u32..40_000_000).prop_map(|(pick, delta)| Op::Grow { pick, delta }),
+        (0usize..64).prop_map(|pick| Op::Consume { pick }),
+        (0usize..64).prop_map(|pick| Op::Migrate { pick }),
+        (0u16..900).prop_map(|permille| Op::Runtime { permille }),
+    ]
+}
+
+/// Shadow model of one block: id, exact byte size, GPU residency.
+#[derive(Clone, Debug)]
+struct Block {
+    id: DataId,
+    bytes: f64,
+    on_gpu: bool,
+}
+
+fn token() -> AccessToken {
+    AccessToken {
+        function: FunctionId(1),
+        workflow: WorkflowId(1),
+    }
+}
+
+fn gpu() -> Location {
+    Location::Gpu(GpuRef::new(0, 0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Interleaved grow/consume/migrate sequences never invert the pool's
+    /// accounting chain and never corrupt a block's recorded size.
+    #[test]
+    fn kv_lifecycle_keeps_pool_and_store_coherent(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+    ) {
+        let now = SimTime::ZERO;
+        let mut pool = ElasticPool::new(PoolDiscipline::Elastic, CAPACITY);
+        let mut store = DataStore::new(1);
+        let mut blocks: Vec<Block> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Put { bytes } => {
+                    let bytes = bytes as f64;
+                    let on_gpu = pool.try_alloc(bytes).is_ok();
+                    let loc = if on_gpu { gpu() } else { Location::Host(0) };
+                    let (id, _) = store.put(now, token(), loc, bytes, 1);
+                    blocks.push(Block { id, bytes, on_gpu });
+                }
+                Op::Grow { pick, delta } => {
+                    if blocks.is_empty() { continue; }
+                    let idx = pick % blocks.len();
+                    let b = &mut blocks[idx];
+                    let delta = delta as f64;
+                    // A resident block grows only with the pool's grant; a
+                    // spilled block grows on host without pool accounting.
+                    if b.on_gpu && pool.try_alloc(delta).is_err() {
+                        continue;
+                    }
+                    let (total, _) = store.grow(now, b.id, delta).expect("live block grows");
+                    b.bytes += delta;
+                    prop_assert!(
+                        (total - b.bytes).abs() < 1.0,
+                        "grow returned {total}, model says {}",
+                        b.bytes
+                    );
+                }
+                Op::Consume { pick } => {
+                    if blocks.is_empty() { continue; }
+                    let idx = pick % blocks.len();
+                    let b = blocks.swap_remove(idx);
+                    prop_assert!(store.consumed(b.id), "single-consumer block must gc");
+                    if b.on_gpu {
+                        pool.free(b.bytes);
+                    }
+                }
+                Op::Migrate { pick } => {
+                    if blocks.is_empty() { continue; }
+                    let idx = pick % blocks.len();
+                    let b = &mut blocks[idx];
+                    if b.on_gpu {
+                        store.relocate(b.id, Location::Host(0)).expect("live block moves");
+                        pool.free(b.bytes);
+                        b.on_gpu = false;
+                    } else if pool.try_alloc(b.bytes).is_ok() {
+                        store.relocate(b.id, gpu()).expect("live block restores");
+                        b.on_gpu = true;
+                    }
+                }
+                Op::Runtime { permille } => {
+                    let mut overflow =
+                        pool.set_runtime_used(CAPACITY * permille as f64 / 1000.0);
+                    // Evict resident blocks (front first) until the pool
+                    // fits under its shrunken cap again.
+                    let mut i = 0;
+                    while overflow > 0.0 && i < blocks.len() {
+                        if blocks[i].on_gpu {
+                            let b = &mut blocks[i];
+                            store.relocate(b.id, Location::Host(0)).expect("evictee moves");
+                            pool.free(b.bytes);
+                            b.on_gpu = false;
+                            overflow -= b.bytes;
+                        }
+                        i += 1;
+                    }
+                }
+            }
+
+            // --- The accounting chain, after every single operation.
+            prop_assert!(pool.used() >= 0.0, "negative demand");
+            prop_assert!(
+                pool.used() <= pool.reserved() + 1e-6,
+                "demand {} above footprint {}",
+                pool.used(),
+                pool.reserved()
+            );
+            prop_assert!(
+                pool.reserved() <= pool.capacity() + 1e-6,
+                "footprint {} above capacity {}",
+                pool.reserved(),
+                pool.capacity()
+            );
+
+            // --- Pool demand is exactly the resident blocks' byte sum.
+            let resident: f64 = blocks.iter().filter(|b| b.on_gpu).map(|b| b.bytes).sum();
+            prop_assert!(
+                (pool.used() - resident).abs() < 1.0,
+                "pool says {} used, resident blocks sum to {resident}",
+                pool.used()
+            );
+
+            // --- Migration preserved every block's bytes and residency.
+            for b in &blocks {
+                let entry = store.peek(b.id).expect("shadow block is live");
+                prop_assert!(
+                    (entry.bytes - b.bytes).abs() < 1.0,
+                    "block {:?} holds {} bytes, model says {}",
+                    b.id,
+                    entry.bytes,
+                    b.bytes
+                );
+                let loc_is_gpu = matches!(entry.location, Location::Gpu(_));
+                prop_assert_eq!(loc_is_gpu, b.on_gpu, "residency diverged for {:?}", b.id);
+            }
+        }
+
+        // Drain: consuming every surviving block leaves both sides empty.
+        for b in blocks.drain(..) {
+            prop_assert!(store.consumed(b.id));
+            if b.on_gpu {
+                pool.free(b.bytes);
+            }
+        }
+        prop_assert_eq!(store.len(), 0, "store retained consumed blocks");
+        prop_assert!(pool.used() == 0.0, "pool retained {} bytes", pool.used());
+    }
+}
+
+/// `AllocError` is part of the contract the lifecycle leans on: a grow that
+/// cannot fit reports the exact shortfall so the caller can size eviction.
+#[test]
+fn grow_shortfall_is_exact() {
+    let mut pool = ElasticPool::new(PoolDiscipline::Elastic, 1e9);
+    pool.try_alloc(pool.storage_cap()).expect("fill to the cap");
+    match pool.try_alloc(64e6) {
+        Err(AllocError::NeedsEviction { shortfall }) => {
+            assert!((shortfall - 64e6).abs() < 1.0, "shortfall {shortfall}");
+        }
+        other => panic!("expected NeedsEviction, got {other:?}"),
+    }
+}

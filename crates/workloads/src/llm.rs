@@ -6,6 +6,7 @@
 //! prefill — which is exactly what makes the data plane the bottleneck and
 //! GROUTER's multi-NIC, locality-aware transfers pay off.
 
+use grouter_sim::rng::DetRng;
 use grouter_sim::time::SimDuration;
 
 /// An LLM size class used in Fig. 19(b).
@@ -60,6 +61,20 @@ impl LlmModel {
         SimDuration::from_nanos((us * 1_000.0) as u64)
     }
 
+    /// One decode step (one token for every sequence of a continuous batch)
+    /// on an H800 decode instance. Memory-bound: a per-step floor for the
+    /// weight pass plus a per-sequence attention/KV-read cost that grows
+    /// with the batch.
+    pub fn decode_step_latency(self, batch: u32, tp: u32) -> SimDuration {
+        let (base_us, per_seq_us) = match self {
+            LlmModel::Llama7B => (9_000.0, 60.0),
+            LlmModel::Llama13B => (14_000.0, 110.0),
+            LlmModel::Llama70B => (40_000.0, 380.0),
+        };
+        let us = (base_us + per_seq_us * batch as f64) / (tp as f64).powf(0.7);
+        SimDuration::from_nanos((us * 1_000.0) as u64)
+    }
+
     /// KV-cache size for an `input_tokens`-token context.
     pub fn kv_bytes(self, input_tokens: u32) -> f64 {
         self.kv_bytes_per_token() * input_tokens as f64
@@ -76,6 +91,83 @@ impl LlmModel {
 /// TTFT decomposition for a receiver agent: KV transfer + first token.
 pub fn ttft(kv_transfer: SimDuration, model: LlmModel, tp: u32) -> SimDuration {
     kv_transfer + model.first_token_latency(tp)
+}
+
+/// One sampled serving request: which model, how long the prompt is, and how
+/// many tokens the decode stream will emit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LlmRequestSpec {
+    pub model: LlmModel,
+    pub prompt_tokens: u32,
+    pub output_tokens: u32,
+}
+
+/// Request mix for the serving scenario: a weighted model choice plus
+/// log-normal-ish prompt lengths and geometric-ish output lengths, all drawn
+/// from a caller-owned [`DetRng`] so runs replay byte-identically.
+#[derive(Clone, Debug)]
+pub struct LlmMix {
+    /// `(model, weight)` pairs; weights need not sum to 1.
+    pub models: Vec<(LlmModel, f64)>,
+    /// Median prompt length in tokens (log-space mean).
+    pub prompt_median: f64,
+    /// Log-space standard deviation of the prompt length.
+    pub prompt_sigma: f64,
+    /// Hard clamp on sampled prompt lengths.
+    pub prompt_min: u32,
+    pub prompt_max: u32,
+    /// Mean output (decode) length in tokens.
+    pub output_mean: f64,
+    /// Hard clamp on sampled output lengths.
+    pub output_min: u32,
+    pub output_max: u32,
+}
+
+impl LlmMix {
+    /// The chat-style mix used by the serving experiment: 13B-dominated with
+    /// a 7B tail, ~1K-token prompts, ~128-token answers.
+    pub fn chat() -> LlmMix {
+        LlmMix {
+            models: vec![(LlmModel::Llama13B, 0.7), (LlmModel::Llama7B, 0.3)],
+            prompt_median: 1024.0,
+            prompt_sigma: 0.6,
+            prompt_min: 64,
+            prompt_max: 8192,
+            output_mean: 128.0,
+            output_min: 8,
+            output_max: 1024,
+        }
+    }
+
+    /// Single-model variant, handy for pressure-focused runs.
+    pub fn single(model: LlmModel) -> LlmMix {
+        LlmMix {
+            models: vec![(model, 1.0)],
+            ..LlmMix::chat()
+        }
+    }
+
+    pub fn sample(&self, rng: &mut DetRng) -> LlmRequestSpec {
+        let total: f64 = self.models.iter().map(|(_, w)| w).sum();
+        let mut pick = rng.next_f64() * total;
+        let mut model = self.models[0].0;
+        for &(m, w) in &self.models {
+            model = m;
+            if pick < w {
+                break;
+            }
+            pick -= w;
+        }
+        let prompt = (self.prompt_median * rng.normal(0.0, self.prompt_sigma).exp()) as u32;
+        let prompt_tokens = prompt.clamp(self.prompt_min, self.prompt_max);
+        let output = rng.exponential(self.output_mean) as u32;
+        let output_tokens = output.clamp(self.output_min, self.output_max);
+        LlmRequestSpec {
+            model,
+            prompt_tokens,
+            output_tokens,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,5 +209,52 @@ mod tests {
         for m in LlmModel::ALL {
             assert!(!m.name().is_empty());
         }
+    }
+
+    #[test]
+    fn decode_step_grows_with_batch_and_shrinks_with_tp() {
+        let one = LlmModel::Llama13B.decode_step_latency(1, 1);
+        let many = LlmModel::Llama13B.decode_step_latency(64, 1);
+        assert!(many > one);
+        // Sub-linear in batch: 64 sequences cost far less than 64 steps.
+        assert!(many.as_secs_f64() < 64.0 * one.as_secs_f64());
+        assert!(
+            LlmModel::Llama13B.decode_step_latency(8, 4)
+                < LlmModel::Llama13B.decode_step_latency(8, 1)
+        );
+    }
+
+    #[test]
+    fn mix_sampling_is_deterministic_and_clamped() {
+        let mix = LlmMix::chat();
+        let mut a = DetRng::new(7);
+        let mut b = DetRng::new(7);
+        for _ in 0..500 {
+            let sa = mix.sample(&mut a);
+            let sb = mix.sample(&mut b);
+            assert_eq!(sa, sb);
+            assert!((mix.prompt_min..=mix.prompt_max).contains(&sa.prompt_tokens));
+            assert!((mix.output_min..=mix.output_max).contains(&sa.output_tokens));
+        }
+    }
+
+    #[test]
+    fn mix_draws_every_weighted_model() {
+        let mix = LlmMix::chat();
+        let mut rng = DetRng::new(11);
+        let mut seen_7b = false;
+        let mut seen_13b = false;
+        for _ in 0..200 {
+            match mix.sample(&mut rng).model {
+                LlmModel::Llama7B => seen_7b = true,
+                LlmModel::Llama13B => seen_13b = true,
+                LlmModel::Llama70B => panic!("70B has zero weight in chat()"),
+            }
+        }
+        assert!(seen_7b && seen_13b);
+        assert_eq!(
+            LlmMix::single(LlmModel::Llama70B).sample(&mut rng).model,
+            LlmModel::Llama70B
+        );
     }
 }

@@ -65,6 +65,21 @@ for t in 2 8; do
     }
 done
 
+echo "==> llm smoke (disaggregated serving: both planes, 1 vs 2 vs 8 threads)"
+# A reduced-scale disaggregated LLM serving run on both data planes: open-
+# loop arrivals through the router shard, prefill/decode handoff, KV
+# migration under decode pressure. The printed metrics digest must be
+# identical at any shard thread count.
+llm_a=$(cargo run -q --release -p grouter-cli -- llm --requests 2000 \
+    --threads 1 --seed 42 | grep digests:)
+for t in 2 8; do
+    llm_b=$(cargo run -q --release -p grouter-cli -- llm --requests 2000 \
+        --threads "$t" --seed 42 | grep digests:)
+    [ "$llm_a" = "$llm_b" ] || {
+        echo "llm digests diverged at $t threads: $llm_a vs $llm_b" >&2; exit 1;
+    }
+done
+
 echo "==> benchmark smoke (BENCH_flownet.json + BENCH_paths.json + BENCH_obs.json)"
 scripts/bench_smoke.sh
 

@@ -398,3 +398,86 @@ fn ctl_chaos_same_seed_replays_byte_identically() {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// LLM serving chaos (ISSUE 10): a decode GPU dies mid-stream while its
+// continuous batch holds pinned KV. Streams either re-materialize from
+// lineage (prompt + emitted tokens re-prefilled elsewhere) or fail typed;
+// nothing leaks, and the same seed replays byte-for-byte at any thread
+// count. Leak-freedom is enforced inside `run_llm_serve` itself: every
+// group's `assert_drained` (store/pool/scaler all empty) runs before the
+// report is built, so a leak panics the run rather than skewing metrics.
+// ---------------------------------------------------------------------------
+
+/// Reduced-scale disaggregated run with the second decode GPU of group 0
+/// killed mid-run. The fail time is seed-derived so different seeds cut the
+/// batch at different stream depths.
+fn llm_chaos_cfg(seed: u64) -> grouter_llm::LlmServeConfig {
+    let base = grouter_llm::LlmServeConfig::reference(grouter_llm::PlaneKind::Grouter);
+    let fail_at = SimTime::ZERO + SimDuration::from_millis(1_500 + (seed % 5) * 700);
+    grouter_llm::LlmServeConfig {
+        requests: 300,
+        rps: 40.0,
+        seed,
+        fail: Some((0, base.prefill_gpus + 1, fail_at)),
+        ..base
+    }
+}
+
+fn llm_seeds() -> Vec<u64> {
+    if let Ok(s) = std::env::var("GROUTER_CHAOS_SEED") {
+        let seed = s
+            .parse::<u64>()
+            .expect("GROUTER_CHAOS_SEED must be an integer seed");
+        return vec![seed];
+    }
+    (1..=3).map(|i| 0x11A_A000 + i).collect()
+}
+
+/// Termination under decode failure: every admitted request still resolves
+/// as a completion or a typed failure, and the failure window actually hits
+/// live streams (re-materializations or typed failures are visible).
+#[test]
+fn llm_chaos_decode_failure_terminates_without_leaks() {
+    for seed in llm_seeds() {
+        let cfg = llm_chaos_cfg(seed);
+        let report = grouter_llm::run_llm_serve(&cfg);
+        assert_eq!(
+            report.completed + report.failed,
+            cfg.requests,
+            "seed {seed}: requests leaked at the router"
+        );
+        assert_eq!(
+            report.metrics.completed + report.metrics.failed,
+            cfg.requests,
+            "seed {seed}: requests leaked in the groups"
+        );
+        assert!(
+            report.metrics.rematerialized > 0 || report.failed > 0,
+            "seed {seed}: the decode failure never hit an in-flight stream"
+        );
+        assert!(
+            report.completed > 0,
+            "seed {seed}: the surviving decode GPUs completed nothing"
+        );
+    }
+}
+
+/// Chaos replay: the same seed under the same decode failure produces a
+/// byte-identical metrics CSV whether the shards run on 1 or 8 threads.
+#[test]
+fn llm_chaos_same_seed_replays_byte_identically() {
+    for seed in llm_seeds() {
+        let cfg = llm_chaos_cfg(seed);
+        let a = grouter_llm::run_llm_serve(&cfg);
+        let b = grouter_llm::run_llm_serve(&grouter_llm::LlmServeConfig {
+            threads: 8,
+            ..cfg.clone()
+        });
+        assert_eq!(a.csv, b.csv, "seed {seed}: chaos replay CSV diverged");
+        assert_eq!(
+            a.digest, b.digest,
+            "seed {seed}: chaos replay digest diverged"
+        );
+    }
+}

@@ -74,7 +74,11 @@ pub const PRAGMA_PREFIX: &str = "grouter-lint:";
 
 /// Modules that make up the sharded engine (`no-shared-mut-across-shards`
 /// scope): cross-shard state must flow through envelopes, not shared cells.
-const SHARD_MODULES: [&str; 2] = ["crates/sim/src/shard.rs", "crates/runtime/src/cluster.rs"];
+const SHARD_MODULES: [&str; 3] = [
+    "crates/sim/src/shard.rs",
+    "crates/runtime/src/cluster.rs",
+    "crates/llm/src/world.rs",
+];
 
 /// Shared-mutability type names banned across shards.
 const SHARED_MUT_TYPES: [&str; 8] = [
@@ -89,12 +93,12 @@ const SHARED_MUT_TYPES: [&str; 8] = [
 ];
 
 /// Crates whose `src/` is considered data-plane code.
-const DATAPLANE_CRATES: [&str; 8] = [
-    "sim", "topology", "transfer", "store", "mem", "core", "runtime", "ctl",
+const DATAPLANE_CRATES: [&str; 9] = [
+    "sim", "topology", "transfer", "store", "mem", "core", "runtime", "ctl", "llm",
 ];
 
 /// Crates that must run on virtual time only.
-const SIM_TIME_CRATES: [&str; 4] = ["sim", "topology", "transfer", "ctl"];
+const SIM_TIME_CRATES: [&str; 5] = ["sim", "topology", "transfer", "ctl", "llm"];
 
 /// Identifier segments that mark a quantity as bytes/rate-like for
 /// `no-silent-truncation`.

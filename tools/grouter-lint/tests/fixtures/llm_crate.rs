@@ -1,0 +1,31 @@
+//@ path: crates/llm/src/fixture.rs
+// The LLM serving crate is data-plane *and* sim-time scoped: panics and
+// wall clocks are both banned outside #[cfg(test)].
+
+use std::time::Instant;
+
+fn tail_bytes(blocks: &[f64]) -> f64 {
+    *blocks.last().unwrap()
+}
+
+fn stamp() -> Instant {
+    Instant::now()
+}
+
+fn narrow(kv_bytes: f64) -> u32 {
+    kv_bytes as u32
+}
+
+fn soft(blocks: &[f64]) -> f64 {
+    blocks.first().copied().unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn in_tests_anything_goes() {
+        let t = std::time::Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+        Option::<u32>::None.unwrap_or_default();
+    }
+}
